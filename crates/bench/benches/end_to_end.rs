@@ -1,0 +1,37 @@
+//! End-to-end benchmark: wall-clock cost of simulating one standard
+//! experiment cell per design. This is the simulator-throughput number
+//! that determines how long the figure sweeps take.
+
+use bench::{run_experiment, DesignKind, ExperimentConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::SimDur;
+use ycsb::Workload;
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_cell");
+    group.sample_size(10);
+    for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.label()),
+            &design,
+            |b, &design| {
+                b.iter(|| {
+                    let cfg = ExperimentConfig {
+                        design,
+                        workload: Workload::a(),
+                        num_keys: 20_000,
+                        clients: 16,
+                        warmup: SimDur::from_millis(1),
+                        measure: SimDur::from_millis(4),
+                        ..ExperimentConfig::default()
+                    };
+                    black_box(run_experiment(&cfg).ops)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment);
+criterion_main!(benches);

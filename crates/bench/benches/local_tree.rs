@@ -1,0 +1,70 @@
+//! Microbenchmarks of the local B-link tree — the code RPC handlers run
+//! on memory servers (its cost drives the CPU model's constants).
+
+use blink::{LocalTree, PageLayout};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build(n: u64) -> LocalTree {
+    LocalTree::bulk_load(PageLayout::default(), (0..n).map(|i| (i * 8, i)), 0.7)
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_tree_get");
+    for n in [10_000u64, 100_000, 1_000_000] {
+        let tree = build(n);
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                k = (k + 2_654_435_761) % n;
+                black_box(tree.get(black_box(k * 8)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("local_tree_insert_100k", |b| {
+        b.iter_with_setup(
+            || (build(100_000), 0u64),
+            |(mut tree, _)| {
+                for i in 0..100u64 {
+                    tree.insert(i * 800 + 1, i);
+                }
+                black_box(tree.len_live())
+            },
+        )
+    });
+}
+
+fn bench_range(c: &mut Criterion) {
+    let tree = build(100_000);
+    let mut group = c.benchmark_group("local_tree_range");
+    for span in [100u64, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(span), &span, |b, &span| {
+            let mut lo = 0u64;
+            b.iter(|| {
+                lo = (lo + 7_777) % (100_000 - span);
+                let mut out = Vec::with_capacity(span as usize);
+                tree.range(lo * 8, (lo + span - 1) * 8, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    c.bench_function("local_tree_bulk_load_100k", |b| {
+        b.iter(|| black_box(build(100_000)).height())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_get,
+    bench_insert,
+    bench_range,
+    bench_bulk_load
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Microbenchmarks of the B-link page codec: the inner loops every
+//! remote traversal and every RPC handler execute.
+
+use blink::layout::{PageLayout, Ptr, KEY_MAX};
+use blink::node::{InnerNodeMut, LeafNodeMut, LeafNodeRef};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn full_leaf(layout: PageLayout) -> Box<[u8]> {
+    let mut page = layout.alloc_page();
+    let mut leaf = LeafNodeMut::init(&mut page, KEY_MAX, Ptr::NULL, Ptr::NULL);
+    for k in 0..layout.entry_capacity() as u64 {
+        leaf.push(k * 2, k).unwrap();
+    }
+    page
+}
+
+fn bench_leaf_search(c: &mut Criterion) {
+    let layout = PageLayout::default();
+    let page = full_leaf(layout);
+    let leaf = LeafNodeRef::new(&page);
+    let n = layout.entry_capacity() as u64;
+    let mut i = 0u64;
+    c.bench_function("leaf_get_hit", |b| {
+        b.iter(|| {
+            i = (i + 7) % n;
+            black_box(leaf.get(black_box(i * 2)))
+        })
+    });
+    c.bench_function("leaf_get_miss", |b| {
+        b.iter(|| {
+            i = (i + 7) % n;
+            black_box(leaf.get(black_box(i * 2 + 1)))
+        })
+    });
+}
+
+fn bench_leaf_insert(c: &mut Criterion) {
+    let layout = PageLayout::default();
+    let cap = layout.entry_capacity() as u64;
+    c.bench_function("leaf_fill_sorted", |b| {
+        b.iter(|| {
+            let mut page = layout.alloc_page();
+            let mut leaf = LeafNodeMut::init(&mut page, KEY_MAX, Ptr::NULL, Ptr::NULL);
+            for k in 0..cap {
+                leaf.insert(k, k).unwrap();
+            }
+            black_box(page)
+        })
+    });
+    c.bench_function("leaf_fill_reverse", |b| {
+        b.iter(|| {
+            let mut page = layout.alloc_page();
+            let mut leaf = LeafNodeMut::init(&mut page, KEY_MAX, Ptr::NULL, Ptr::NULL);
+            for k in (0..cap).rev() {
+                leaf.insert(k, k).unwrap();
+            }
+            black_box(page)
+        })
+    });
+}
+
+fn bench_split(c: &mut Criterion) {
+    let layout = PageLayout::default();
+    c.bench_function("leaf_split", |b| {
+        b.iter_with_setup(
+            || (full_leaf(layout), layout.alloc_page()),
+            |(mut page, mut right)| {
+                let sep = LeafNodeMut::new(&mut page).split_into(&mut right, Ptr(1), Ptr(2));
+                black_box((sep, page, right))
+            },
+        )
+    });
+}
+
+fn bench_inner_route(c: &mut Criterion) {
+    let layout = PageLayout::default();
+    let mut page = layout.alloc_page();
+    let mut inner = InnerNodeMut::init(&mut page, 1, KEY_MAX, Ptr::NULL);
+    let cap = layout.entry_capacity() as u64;
+    for i in 0..cap {
+        let sep = if i + 1 == cap { KEY_MAX } else { (i + 1) * 100 };
+        inner.push(sep, Ptr(i + 1)).unwrap();
+    }
+    let view = blink::node::InnerNodeRef::new(&page);
+    let mut k = 0u64;
+    c.bench_function("inner_find_child", |b| {
+        b.iter(|| {
+            k = (k + 137) % (cap * 100);
+            black_box(view.find_child(black_box(k)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_leaf_search,
+    bench_leaf_insert,
+    bench_split,
+    bench_inner_route
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the simulation substrate: how many virtual events
+//! the engine processes per wall-clock second bounds every experiment's
+//! runtime.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simnet::resource::{CpuPool, FifoLink};
+use simnet::rng::{DetRng, Zipf};
+use simnet::stats::Histogram;
+use simnet::{Sim, SimDur};
+use std::rc::Rc;
+
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("executor_10k_timer_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for t in 0..100u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    for i in 0..100u64 {
+                        s.sleep(SimDur::from_nanos(10 + t + i)).await;
+                    }
+                });
+            }
+            black_box(sim.run())
+        })
+    });
+}
+
+fn bench_fifo_link(c: &mut Criterion) {
+    c.bench_function("fifo_link_10k_acquires", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let link = Rc::new(FifoLink::new());
+            for _ in 0..10 {
+                let s = sim.clone();
+                let l = link.clone();
+                sim.spawn(async move {
+                    for _ in 0..1_000 {
+                        l.acquire(&s, SimDur::from_nanos(100)).await;
+                    }
+                });
+            }
+            black_box(sim.run())
+        })
+    });
+}
+
+fn bench_cpu_pool(c: &mut Criterion) {
+    c.bench_function("cpu_pool_contended_grants", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let pool = Rc::new(CpuPool::new(4));
+            for _ in 0..40 {
+                let s = sim.clone();
+                let p = pool.clone();
+                sim.spawn(async move {
+                    for _ in 0..50 {
+                        p.run(&s, SimDur::from_nanos(500)).await;
+                    }
+                });
+            }
+            black_box(sim.run())
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = Zipf::new(1_000_000, Zipf::YCSB_THETA);
+    let mut rng = DetRng::seed_from_u64(1);
+    c.bench_function("zipf_sample_scrambled", |b| {
+        b.iter(|| black_box(z.sample_scrambled(&mut rng)))
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut h = Histogram::new();
+    let mut v = 1u64;
+    c.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1) % 10_000_000;
+            h.record(black_box(v));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_executor,
+    bench_fifo_link,
+    bench_cpu_pool,
+    bench_zipf,
+    bench_histogram
+);
+criterion_main!(benches);

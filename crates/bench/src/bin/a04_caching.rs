@@ -1,0 +1,80 @@
+//! Appendix A.4: opportunities of client-side caching — fine-grained
+//! point lookups with and without an inner-node cache (read-only
+//! workload, so no invalidation is needed).
+
+use bench::figures::num_keys;
+use bench::plot::{results_dir, write_csv};
+use blink::PageLayout;
+use namdex_core::{cache::fg_lookup_cached, ClientCache, FgConfig, FineGrained};
+use rdma_sim::{Cluster, ClusterSpec, Endpoint};
+use simnet::rng::DetRng;
+use simnet::stats::Counter;
+use simnet::{Sim, SimDur, SimTime};
+use std::rc::Rc;
+
+fn run(cached: bool, clients: usize, keys: u64) -> f64 {
+    let sim = Sim::new();
+    let cluster = Cluster::new(&sim, ClusterSpec::default());
+    let idx = FineGrained::build(
+        &cluster,
+        FgConfig {
+            layout: PageLayout::default(),
+            fill: 0.7,
+            head_stride: 8,
+        },
+        (0..keys).map(|i| (i * 8, i)),
+    );
+    let warmup = SimTime::from_millis(3);
+    let end = warmup + SimDur::from_millis(25);
+    let ops = Rc::new(Counter::new());
+    for c in 0..clients {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&cluster);
+        let sim_c = sim.clone();
+        let ops = ops.clone();
+        let cache = Rc::new(ClientCache::new(0));
+        let mut rng = DetRng::seed_from_u64(42 ^ c as u64);
+        sim.spawn(async move {
+            loop {
+                let key = rng.next_u64_below(keys) * 8;
+                let t0 = sim_c.now();
+                if cached {
+                    fg_lookup_cached(&idx, &ep, &cache, key).await;
+                } else {
+                    idx.lookup(&ep, key).await;
+                }
+                if t0 >= warmup && sim_c.now() <= end {
+                    ops.inc();
+                }
+            }
+        });
+    }
+    sim.run_until(end);
+    ops.get() as f64 / 0.025
+}
+
+fn main() {
+    println!("Appendix A.4: Client-side caching of upper levels (FG, point queries)\n");
+    let keys = num_keys();
+    let mut csv = Vec::new();
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "clients", "uncached", "cached", "speedup"
+    );
+    for clients in [20usize, 80, 160, 240] {
+        let base = run(false, clients, keys);
+        let fast = run(true, clients, keys);
+        println!(
+            "{clients:>8} {base:>16.0} {fast:>16.0} {:>7.1}x",
+            fast / base.max(1.0)
+        );
+        csv.push(vec![
+            clients.to_string(),
+            format!("{base:.1}"),
+            format!("{fast:.1}"),
+        ]);
+    }
+    let path = results_dir().join("a04_caching.csv");
+    write_csv(&path, &["clients", "uncached_tput", "cached_tput"], &csv).expect("csv");
+    println!("\nwrote {}", path.display());
+}

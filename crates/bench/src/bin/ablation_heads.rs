@@ -1,0 +1,53 @@
+//! Ablation: head-node prefetch stride (§4.3).
+//!
+//! Sweeps `head_stride` for fine-grained range scans at several
+//! selectivities. Stride 0 disables head nodes entirely (every leaf is
+//! a fresh round trip); larger strides prefetch bigger groups per round
+//! trip but over-read more at scan tails.
+
+use bench::figures::num_keys;
+use bench::plot::{results_dir, write_csv};
+use bench::{run_experiment, DesignKind, ExperimentConfig};
+use simnet::SimDur;
+use ycsb::Workload;
+
+fn main() {
+    println!("Ablation: head-node stride (fine-grained range scans, 120 clients)\n");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "selectivity", "stride 0", "stride 4", "stride 8", "stride 16"
+    );
+    let mut csv = Vec::new();
+    for sel in [0.001, 0.01] {
+        let mut row = format!("{sel:>12}");
+        for stride in [0usize, 4, 8, 16] {
+            let cfg = ExperimentConfig {
+                design: DesignKind::Fg,
+                workload: Workload::b(sel),
+                num_keys: num_keys(),
+                clients: 120,
+                head_stride: stride,
+                warmup: SimDur::from_millis(3),
+                measure: SimDur::from_millis(60),
+                ..ExperimentConfig::default()
+            };
+            let r = run_experiment(&cfg);
+            row.push_str(&format!(" {:>12.0}", r.throughput));
+            csv.push(vec![
+                sel.to_string(),
+                stride.to_string(),
+                format!("{:.1}", r.throughput),
+                r.latency.percentile(0.5).to_string(),
+            ]);
+        }
+        println!("{row}");
+    }
+    let path = results_dir().join("ablation_heads.csv");
+    write_csv(
+        &path,
+        &["selectivity", "stride", "throughput", "p50_ns"],
+        &csv,
+    )
+    .expect("csv");
+    println!("\nwrote {}", path.display());
+}

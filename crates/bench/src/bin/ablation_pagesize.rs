@@ -1,0 +1,55 @@
+//! Ablation: index page size `P`.
+//!
+//! The paper fixes P = 1024 (Table 1). Smaller pages mean taller trees
+//! (more round trips for the one-sided design) but less wasted transfer
+//! per point lookup; larger pages flatten the tree but move more bytes
+//! per level. Point queries and mid-selectivity ranges respond in
+//! opposite directions.
+
+use bench::figures::num_keys;
+use bench::plot::{results_dir, write_csv};
+use bench::{run_experiment, DesignKind, ExperimentConfig};
+use simnet::SimDur;
+use ycsb::Workload;
+
+fn main() {
+    println!("Ablation: page size (120 clients, uniform)\n");
+    let mut csv = Vec::new();
+    for (panel, workload, measure_ms) in [
+        ("point", Workload::a(), 25u64),
+        ("range_sel0.01", Workload::b(0.01), 60),
+    ] {
+        println!("  {panel}:");
+        println!(
+            "{:>18} {:>10} {:>10} {:>10} {:>10}",
+            "design", "P=512", "P=1024", "P=2048", "P=4096"
+        );
+        for design in [DesignKind::Cg, DesignKind::Fg] {
+            let mut row = format!("{:>18}", design.label());
+            for page_size in [512usize, 1024, 2048, 4096] {
+                let cfg = ExperimentConfig {
+                    design,
+                    workload,
+                    num_keys: num_keys(),
+                    clients: 120,
+                    page_size,
+                    warmup: SimDur::from_millis(3),
+                    measure: SimDur::from_millis(measure_ms),
+                    ..ExperimentConfig::default()
+                };
+                let r = run_experiment(&cfg);
+                row.push_str(&format!(" {:>10.0}", r.throughput));
+                csv.push(vec![
+                    design.label().to_string(),
+                    panel.to_string(),
+                    page_size.to_string(),
+                    format!("{:.1}", r.throughput),
+                ]);
+            }
+            println!("{row}");
+        }
+    }
+    let path = results_dir().join("ablation_pagesize.csv");
+    write_csv(&path, &["design", "panel", "page_size", "throughput"], &csv).expect("csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,53 @@
+//! Ablation: coarse-grained partitioning scheme — range vs hash (§2.2,
+//! Table 2, Figure 3).
+//!
+//! Hash partitioning balances point queries perfectly but must
+//! broadcast every range query to all servers (the `H·P·S` term of
+//! Table 2), so range-partitioned CG should win on ranges and the gap
+//! should grow with the number of servers.
+
+use bench::figures::num_keys;
+use bench::plot::{results_dir, write_csv};
+use bench::{run_experiment, CgPartition, DesignKind, ExperimentConfig};
+use simnet::SimDur;
+use ycsb::Workload;
+
+fn main() {
+    println!("Ablation: CG partitioning — range vs hash (120 clients, uniform)\n");
+    let mut csv = Vec::new();
+    for (panel, workload, measure_ms) in [
+        ("point", Workload::a(), 25u64),
+        ("range_sel0.001", Workload::b(0.001), 25),
+        ("range_sel0.01", Workload::b(0.01), 60),
+    ] {
+        let mut vals = Vec::new();
+        for scheme in [CgPartition::Range, CgPartition::Hash] {
+            let cfg = ExperimentConfig {
+                design: DesignKind::Cg,
+                cg_partition: scheme,
+                workload,
+                num_keys: num_keys(),
+                clients: 120,
+                warmup: SimDur::from_millis(3),
+                measure: SimDur::from_millis(measure_ms),
+                ..ExperimentConfig::default()
+            };
+            let r = run_experiment(&cfg);
+            vals.push(r.throughput);
+            csv.push(vec![
+                format!("{scheme:?}"),
+                panel.to_string(),
+                format!("{:.1}", r.throughput),
+            ]);
+        }
+        println!(
+            "  {panel:<16} range={:>10.0}  hash={:>10.0}  (range/hash = {:.2}x)",
+            vals[0],
+            vals[1],
+            vals[0] / vals[1].max(1.0)
+        );
+    }
+    let path = results_dir().join("ablation_partitioning.csv");
+    write_csv(&path, &["scheme", "panel", "throughput"], &csv).expect("csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,118 @@
+//! Calibration scratchpad: print throughput/latency sweeps for the three
+//! designs so the `ClusterSpec` defaults can be tuned to the paper's
+//! qualitative shapes. Not part of the figure set.
+
+use bench::{run_experiment, DataDist, DesignKind, ExperimentConfig};
+use simnet::SimDur;
+use ycsb::Workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let num_keys: u64 = if quick { 100_000 } else { 1_000_000 };
+    let clients_sweep: &[usize] = if quick {
+        &[10, 40, 120]
+    } else {
+        &[10, 20, 40, 80, 120, 160, 200, 240]
+    };
+
+    for (dist, dist_name) in [(DataDist::Uniform, "uniform"), (DataDist::Skewed, "skew")] {
+        println!("\n=== point queries, {dist_name} data, {num_keys} keys ===");
+        println!(
+            "{:>8} {:>14} {:>14} {:>14}   (ops/s)",
+            "clients", "CG", "FG", "Hybrid"
+        );
+        for &clients in clients_sweep {
+            let mut row = format!("{clients:>8}");
+            for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+                let cfg = ExperimentConfig {
+                    design,
+                    workload: Workload::a(),
+                    num_keys,
+                    clients,
+                    data_dist: dist,
+                    warmup: SimDur::from_millis(2),
+                    measure: SimDur::from_millis(20),
+                    ..ExperimentConfig::default()
+                };
+                let r = run_experiment(&cfg);
+                row.push_str(&format!(" {:>14.0}", r.throughput));
+            }
+            println!("{row}");
+        }
+    }
+
+    println!("\n=== latency p50 us (uniform, point) ===");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "clients", "CG", "FG", "Hybrid"
+    );
+    for &clients in clients_sweep {
+        let mut row = format!("{clients:>8}");
+        for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+            let cfg = ExperimentConfig {
+                design,
+                workload: Workload::a(),
+                num_keys,
+                clients,
+                warmup: SimDur::from_millis(2),
+                measure: SimDur::from_millis(20),
+                ..ExperimentConfig::default()
+            };
+            let r = run_experiment(&cfg);
+            row.push_str(&format!(
+                " {:>10.1}",
+                r.latency.percentile(0.5) as f64 / 1000.0
+            ));
+        }
+        println!("{row}");
+    }
+
+    println!("\n=== range sel=0.01 (uniform + skew) ===");
+    for (dist, name) in [(DataDist::Uniform, "uniform"), (DataDist::Skewed, "skew")] {
+        println!(
+            "{name:>8} {:>14} {:>14} {:>14}  wireGB/s(CG,FG,HY)",
+            "CG", "FG", "Hybrid"
+        );
+        let mut row = format!("{:>8}", 120);
+        let mut gbps = String::new();
+        for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+            let cfg = ExperimentConfig {
+                design,
+                workload: Workload::b(0.01),
+                num_keys,
+                clients: 120,
+                data_dist: dist,
+                warmup: SimDur::from_millis(2),
+                measure: SimDur::from_millis(30),
+                ..ExperimentConfig::default()
+            };
+            let r = run_experiment(&cfg);
+            row.push_str(&format!(" {:>14.0}", r.throughput));
+            gbps.push_str(&format!(" {:.1}", r.wire_gbps));
+        }
+        println!("{row}  {gbps}");
+    }
+
+    println!("\n=== workload D (50% inserts, uniform) ===");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "clients", "CG", "FG", "Hybrid"
+    );
+    for &clients in clients_sweep {
+        let mut row = format!("{clients:>8}");
+        for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+            let cfg = ExperimentConfig {
+                design,
+                workload: Workload::d(),
+                num_keys,
+                clients,
+                warmup: SimDur::from_millis(2),
+                measure: SimDur::from_millis(20),
+                ..ExperimentConfig::default()
+            };
+            let r = run_experiment(&cfg);
+            row.push_str(&format!(" {:>14.0}", r.throughput));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Extension: epoch garbage collection behaviour under load.
+//!
+//! The paper defers GC to epoch passes (§3.2, §4.2) but does not
+//! evaluate them. This experiment deletes a fraction of a loaded index,
+//! runs one GC epoch *while read clients keep querying*, and reports:
+//! the reclaim rate, the GC pass's virtual duration per design, and the
+//! read throughput with and without a concurrent GC pass.
+
+use bench::figures::num_keys;
+use bench::plot::{results_dir, write_csv};
+use blink::PageLayout;
+use nam::{NamCluster, PartitionMap};
+use namdex_core::{gc, CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
+use rdma_sim::{ClusterSpec, Endpoint};
+use simnet::rng::DetRng;
+use simnet::stats::Counter;
+use simnet::{Sim, SimDur, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
+
+struct GcRun {
+    reclaimed: usize,
+    gc_micros: u64,
+    reads_during_gc: f64,
+    reads_baseline: f64,
+}
+
+fn run(design_name: &'static str, keys: u64, delete_frac: f64) -> GcRun {
+    let measure = |with_gc: bool| -> (usize, u64, f64) {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::default());
+        let data = ycsb::Dataset::new(keys);
+        let partition = PartitionMap::range_uniform(nam.num_servers(), data.domain());
+        let design = match design_name {
+            "coarse-grained" => Design::Cg(CoarseGrained::build(
+                &nam,
+                PageLayout::default(),
+                partition,
+                data.iter(),
+                0.7,
+            )),
+            "fine-grained" => Design::Fg(FineGrained::build(
+                &nam.rdma,
+                FgConfig::default(),
+                data.iter(),
+            )),
+            _ => Design::Hybrid(Hybrid::build(
+                &nam,
+                FgConfig::default(),
+                partition,
+                data.iter(),
+            )),
+        };
+
+        // Tombstone a fraction of keys (untimed setup-style burst).
+        let step = (1.0 / delete_frac) as u64;
+        {
+            let design = design.clone();
+            let ep = Endpoint::new(&nam.rdma);
+            sim.spawn(async move {
+                for i in (0..keys).step_by(step as usize) {
+                    design.delete(&ep, i * 8).await;
+                }
+            });
+        }
+        sim.run();
+
+        // Readers + (optionally) one GC pass, measured over a window.
+        let t0 = sim.now();
+        let end = t0 + SimDur::from_millis(30);
+        let reads = Rc::new(Counter::new());
+        for c in 0..40u64 {
+            let design = design.clone();
+            let ep = Endpoint::new(&nam.rdma);
+            let reads = reads.clone();
+            let sim_c = sim.clone();
+            let mut rng = DetRng::seed_from_u64(c);
+            sim.spawn(async move {
+                loop {
+                    let k = rng.next_u64_below(keys) * 8;
+                    design.lookup(&ep, k).await;
+                    if sim_c.now() <= end {
+                        reads.inc();
+                    }
+                }
+            });
+        }
+        let reclaimed = Rc::new(Cell::new(0usize));
+        let gc_end = Rc::new(Cell::new(SimTime::ZERO));
+        if with_gc {
+            let design = design.clone();
+            let ep = Endpoint::new(&nam.rdma);
+            let reclaimed = reclaimed.clone();
+            let gc_end = gc_end.clone();
+            let sim_c = sim.clone();
+            sim.spawn(async move {
+                let freed = match &design {
+                    Design::Cg(d) => gc::cg_gc_pass(d, &ep).await,
+                    Design::Fg(d) => gc::fg_gc_pass(d, &ep).await,
+                    Design::Hybrid(d) => gc::hybrid_gc_pass(d, &ep).await,
+                };
+                reclaimed.set(freed);
+                gc_end.set(sim_c.now());
+            });
+        }
+        sim.run_until(end);
+        // The one-sided collector may outlive the read window; let it
+        // finish (readers keep running but are no longer counted).
+        if with_gc && gc_end.get() == SimTime::ZERO {
+            sim.run_until(end + SimDur::from_millis(500));
+        }
+        let gc_micros = if with_gc {
+            assert!(gc_end.get() > t0, "GC pass must complete");
+            (gc_end.get() - t0).as_micros()
+        } else {
+            0
+        };
+        (reclaimed.get(), gc_micros, reads.get() as f64 / 0.030)
+    };
+
+    let (_, _, baseline) = measure(false);
+    let (reclaimed, gc_micros, during) = measure(true);
+    GcRun {
+        reclaimed,
+        gc_micros,
+        reads_during_gc: during,
+        reads_baseline: baseline,
+    }
+}
+
+fn main() {
+    let keys = num_keys().min(200_000); // GC walks the whole leaf chain
+    println!(
+        "Extension: epoch GC under load ({} keys, 10% deleted, 40 readers)\n",
+        keys
+    );
+    println!(
+        "{:>16} {:>10} {:>12} {:>16} {:>16} {:>8}",
+        "design", "reclaimed", "GC pass", "reads (no GC)", "reads (GC)", "impact"
+    );
+    let mut csv = Vec::new();
+    for design in ["coarse-grained", "fine-grained", "hybrid"] {
+        let r = run(design, keys, 0.1);
+        println!(
+            "{design:>16} {:>10} {:>9}us {:>16.0} {:>16.0} {:>7.0}%",
+            r.reclaimed,
+            r.gc_micros,
+            r.reads_baseline,
+            r.reads_during_gc,
+            r.reads_during_gc / r.reads_baseline * 100.0
+        );
+        csv.push(vec![
+            design.to_string(),
+            r.reclaimed.to_string(),
+            r.gc_micros.to_string(),
+            format!("{:.1}", r.reads_baseline),
+            format!("{:.1}", r.reads_during_gc),
+        ]);
+    }
+    let path = results_dir().join("ext_gc.csv");
+    write_csv(
+        &path,
+        &[
+            "design",
+            "reclaimed",
+            "gc_micros",
+            "reads_no_gc",
+            "reads_with_gc",
+        ],
+        &csv,
+    )
+    .expect("csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! Extension: request-side skew (Zipfian, YCSB theta = 0.99).
+//!
+//! The paper's evaluation induces *attribute-value* (data placement)
+//! skew; its discussion (§1, §2.2) also motivates robustness against
+//! skewed *access patterns*. This experiment drives Zipfian point
+//! queries: hot keys concentrate on whichever server holds them, so the
+//! coarse-grained design loses balance while the fine-grained design's
+//! per-node scatter keeps the *traversal* traffic spread (only the hot
+//! leaf itself is pinned).
+
+use bench::figures::num_keys;
+use bench::plot::{results_dir, write_csv};
+use bench::{run_experiment, DesignKind, ExperimentConfig};
+use simnet::SimDur;
+use ycsb::{RequestDist, Workload};
+
+fn main() {
+    println!("Extension: Zipfian request skew (point queries, 120 clients)\n");
+    println!(
+        "{:>18} {:>14} {:>14} {:>10}",
+        "design", "uniform", "zipf(0.99)", "retained"
+    );
+    let mut csv = Vec::new();
+    for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+        let mut vals = Vec::new();
+        for dist in [RequestDist::Uniform, RequestDist::Zipfian(0.99)] {
+            let cfg = ExperimentConfig {
+                design,
+                workload: Workload::a().with_dist(dist),
+                num_keys: num_keys(),
+                clients: 120,
+                warmup: SimDur::from_millis(3),
+                measure: SimDur::from_millis(25),
+                ..ExperimentConfig::default()
+            };
+            let r = run_experiment(&cfg);
+            vals.push(r.throughput);
+            csv.push(vec![
+                design.label().to_string(),
+                format!("{dist:?}"),
+                format!("{:.1}", r.throughput),
+            ]);
+        }
+        println!(
+            "{:>18} {:>14.0} {:>14.0} {:>9.0}%",
+            design.label(),
+            vals[0],
+            vals[1],
+            vals[1] / vals[0].max(1.0) * 100.0
+        );
+    }
+    let path = results_dir().join("ext_request_skew.csv");
+    write_csv(&path, &["design", "dist", "throughput"], &csv).expect("csv");
+    println!("\nwrote {}", path.display());
+}

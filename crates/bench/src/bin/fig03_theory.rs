@@ -1,0 +1,46 @@
+//! Figure 3: theoretical maximal throughput vs memory servers (range
+//! queries, sel = 0.001, z = 10).
+
+use analysis::{figure3, ModelParams};
+use bench::plot::{ascii_chart, results_dir, write_csv};
+
+fn main() {
+    let servers = [2u64, 4, 8, 16, 32, 64];
+    let series = figure3(ModelParams::default(), &servers);
+
+    let chart: Vec<(String, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(name, pts)| {
+            (
+                name.to_string(),
+                pts.iter()
+                    .map(|p| (p.servers as f64, p.throughput))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 3: Maximal Throughput (Theoretical) — Range Queries (sel=0.001, z=10)",
+            "memory servers",
+            "ops/s",
+            &chart,
+            false,
+        )
+    );
+
+    let mut rows = Vec::new();
+    for (name, pts) in &series {
+        for p in pts {
+            rows.push(vec![
+                name.to_string(),
+                p.servers.to_string(),
+                format!("{:.1}", p.throughput),
+            ]);
+        }
+    }
+    let path = results_dir().join("fig03_theory.csv");
+    write_csv(&path, &["series", "servers", "max_throughput"], &rows).expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,38 @@
+//! Figure 8: throughput for Workloads A and B under attribute-value
+//! uniform data, 0–240 clients, four panels (point, range sel
+//! 0.001/0.01/0.1).
+
+use bench::figures::{full_sweep, panel_series, panels};
+use bench::plot::{ascii_chart, results_dir, write_csv};
+use bench::DataDist;
+
+fn main() {
+    let rows = full_sweep(DataDist::Uniform);
+    for (panel, _) in panels() {
+        let series = panel_series(&rows, panel, |r| r.throughput);
+        println!(
+            "{}",
+            ascii_chart(
+                &format!("Figure 8 ({panel}): Throughput, Uniform Data"),
+                "clients",
+                "ops/s",
+                &series,
+                true,
+            )
+        );
+    }
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.design.clone(),
+                r.panel.clone(),
+                r.clients.to_string(),
+                format!("{:.1}", r.throughput),
+            ]
+        })
+        .collect();
+    let path = results_dir().join("fig08_throughput_unif.csv");
+    write_csv(&path, &["design", "panel", "clients", "throughput"], &csv).expect("csv");
+    println!("wrote {}", path.display());
+}

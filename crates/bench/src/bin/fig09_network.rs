@@ -1,0 +1,55 @@
+//! Figure 9: network utilization (GB/s) for Workloads A and B under
+//! skewed data, with the aggregate "Max. Bandwidth" line.
+
+use bench::figures::{full_sweep, panel_series, panels};
+use bench::plot::{ascii_chart, results_dir, write_csv};
+use bench::DataDist;
+
+fn main() {
+    let rows = full_sweep(DataDist::Skewed);
+    let max_bw = rows.first().map(|r| r.max_bw_gbps).unwrap_or(0.0);
+    for (panel, _) in panels() {
+        let mut series = panel_series(&rows, panel, |r| r.wire_gbps);
+        // The horizontal capacity line of the paper's plots.
+        let xs: Vec<f64> = series
+            .first()
+            .map(|(_, pts)| pts.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        if let (Some(&x0), Some(&x1)) = (xs.first(), xs.last()) {
+            series.push((
+                "Max. Bandwidth".to_string(),
+                vec![(x0, max_bw), (x1, max_bw)],
+            ));
+        }
+        println!(
+            "{}",
+            ascii_chart(
+                &format!("Figure 9 ({panel}): Network Utilization, Skewed Data"),
+                "clients",
+                "GB/s",
+                &series,
+                false,
+            )
+        );
+    }
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.design.clone(),
+                r.panel.clone(),
+                r.clients.to_string(),
+                format!("{:.3}", r.wire_gbps),
+                format!("{:.3}", r.max_bw_gbps),
+            ]
+        })
+        .collect();
+    let path = results_dir().join("fig09_network.csv");
+    write_csv(
+        &path,
+        &["design", "panel", "clients", "wire_gbps", "max_bw_gbps"],
+        &csv,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,77 @@
+//! Figure 10: throughput vs data size (uniform data, 240 clients):
+//! point queries and range queries with sel = 0.1.
+//!
+//! The paper sweeps 1M/10M/100M keys on hardware; the simulated
+//! reproduction sweeps 100K/1M/10M (one decade down — same index-height
+//! regime, see DESIGN.md).
+
+use bench::figures::{quick, DESIGNS};
+use bench::plot::{ascii_chart, results_dir, write_csv};
+use bench::{run_experiment, ExperimentConfig};
+use simnet::SimDur;
+use ycsb::Workload;
+
+fn main() {
+    let sizes: Vec<u64> = if quick() {
+        vec![10_000, 100_000]
+    } else {
+        vec![100_000, 1_000_000, 10_000_000]
+    };
+    let clients = 240;
+    let mut csv = Vec::new();
+    for (panel, workload) in [("point", Workload::a()), ("range_sel0.1", Workload::b(0.1))] {
+        let mut series = Vec::new();
+        for design in DESIGNS {
+            let mut pts = Vec::new();
+            for &num_keys in &sizes {
+                // sel=0.1 scans grow linearly with data size, so the
+                // window must outlast individual operations.
+                let measure = if panel == "point" {
+                    SimDur::from_millis(25)
+                } else {
+                    match num_keys {
+                        0..=200_000 => SimDur::from_millis(150),
+                        200_001..=2_000_000 => SimDur::from_millis(800),
+                        _ => SimDur::from_millis(4_000),
+                    }
+                };
+                let cfg = ExperimentConfig {
+                    design,
+                    workload,
+                    num_keys,
+                    clients,
+                    warmup: SimDur::from_millis(3),
+                    measure,
+                    ..ExperimentConfig::default()
+                };
+                let r = run_experiment(&cfg);
+                eprintln!(
+                    "[fig10] {panel} {} keys={num_keys}: {:.0} ops/s",
+                    design.label(),
+                    r.throughput
+                );
+                pts.push((num_keys as f64, r.throughput));
+                csv.push(vec![
+                    design.label().to_string(),
+                    panel.to_string(),
+                    num_keys.to_string(),
+                    format!("{:.1}", r.throughput),
+                ]);
+            }
+            series.push((design.label().to_string(), pts));
+        }
+        println!(
+            "{}",
+            ascii_chart(
+                &format!("Figure 10 ({panel}): Varying Data Size, Uniform, 240 Clients"),
+                "keys (log-x as listed)",
+                "ops/s",
+                &series,
+                true,
+            )
+        );
+    }
+    let path = results_dir().join("fig10_datasize.csv");
+    write_csv(&path, &["design", "panel", "num_keys", "throughput"], &csv).expect("csv");
+    println!("wrote {}", path.display());
+}

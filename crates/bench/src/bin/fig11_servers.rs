@@ -1,0 +1,78 @@
+//! Figure 11: throughput vs number of memory servers (120 clients,
+//! 1M keys): point queries and range queries (sel = 0.01), uniform and
+//! skewed data, coarse-grained vs fine-grained (the paper omits the
+//! hybrid here: it tracks CG for points and FG for ranges).
+
+use bench::figures::{num_keys, quick};
+use bench::plot::{ascii_chart, results_dir, write_csv};
+use bench::{run_experiment, DataDist, DesignKind, ExperimentConfig};
+use simnet::SimDur;
+use ycsb::Workload;
+
+fn main() {
+    let servers: Vec<usize> = if quick() {
+        vec![2, 8]
+    } else {
+        vec![2, 4, 6, 8]
+    };
+    let mut csv = Vec::new();
+    for (dist, dist_name) in [(DataDist::Uniform, "uniform"), (DataDist::Skewed, "skew")] {
+        for (panel, workload) in [
+            ("point", Workload::a()),
+            ("range_sel0.01", Workload::b(0.01)),
+        ] {
+            let mut series = Vec::new();
+            for design in [DesignKind::Cg, DesignKind::Fg] {
+                let mut pts = Vec::new();
+                for &n in &servers {
+                    let cfg = ExperimentConfig {
+                        design,
+                        workload,
+                        num_keys: num_keys(),
+                        clients: 120,
+                        memory_servers: n,
+                        data_dist: dist,
+                        warmup: SimDur::from_millis(3),
+                        measure: SimDur::from_millis(25),
+                        ..ExperimentConfig::default()
+                    };
+                    let r = run_experiment(&cfg);
+                    eprintln!(
+                        "[fig11] {dist_name} {panel} {} servers={n}: {:.0} ops/s",
+                        design.label(),
+                        r.throughput
+                    );
+                    pts.push((n as f64, r.throughput));
+                    csv.push(vec![
+                        design.label().to_string(),
+                        panel.to_string(),
+                        dist_name.to_string(),
+                        n.to_string(),
+                        format!("{:.1}", r.throughput),
+                    ]);
+                }
+                series.push((design.label().to_string(), pts));
+            }
+            println!(
+                "{}",
+                ascii_chart(
+                    &format!(
+                        "Figure 11 ({panel}, {dist_name}): Varying Memory Servers, 120 Clients"
+                    ),
+                    "memory servers",
+                    "ops/s",
+                    &series,
+                    false,
+                )
+            );
+        }
+    }
+    let path = results_dir().join("fig11_servers.csv");
+    write_csv(
+        &path,
+        &["design", "panel", "dist", "servers", "throughput"],
+        &csv,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

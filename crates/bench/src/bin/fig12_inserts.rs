@@ -1,0 +1,56 @@
+//! Figure 12: throughput for Workloads C (5% inserts) and D (50%
+//! inserts) with uniform data, 0–240 clients, all three designs.
+
+use bench::figures::{clients_sweep, num_keys, DESIGNS};
+use bench::plot::{ascii_chart, results_dir, write_csv};
+use bench::{run_experiment, ExperimentConfig};
+use simnet::SimDur;
+use ycsb::Workload;
+
+fn main() {
+    let mut csv = Vec::new();
+    let mut series = Vec::new();
+    for (mix, workload) in [("5", Workload::c()), ("50", Workload::d())] {
+        for design in DESIGNS {
+            let mut pts = Vec::new();
+            for clients in clients_sweep() {
+                let cfg = ExperimentConfig {
+                    design,
+                    workload,
+                    num_keys: num_keys(),
+                    clients,
+                    warmup: SimDur::from_millis(3),
+                    measure: SimDur::from_millis(25),
+                    ..ExperimentConfig::default()
+                };
+                let r = run_experiment(&cfg);
+                eprintln!(
+                    "[fig12] {}% inserts {} clients={clients}: {:.0} ops/s",
+                    mix,
+                    design.label(),
+                    r.throughput
+                );
+                pts.push((clients as f64, r.throughput));
+                csv.push(vec![
+                    format!("{} {}", design.label(), mix),
+                    clients.to_string(),
+                    format!("{:.1}", r.throughput),
+                ]);
+            }
+            series.push((format!("{} {}", design.label(), mix), pts));
+        }
+    }
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 12: Workloads C & D with Inserts (Uniform Data)",
+            "clients",
+            "ops/s",
+            &series,
+            true,
+        )
+    );
+    let path = results_dir().join("fig12_inserts.csv");
+    write_csv(&path, &["series", "clients", "throughput"], &csv).expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,44 @@
+//! Figure 13: operation latency for Workloads A and B under skewed
+//! data (four panels).
+
+use bench::figures::{full_sweep, panel_series, panels};
+use bench::plot::{ascii_chart, results_dir, write_csv};
+use bench::DataDist;
+
+fn main() {
+    let rows = full_sweep(DataDist::Skewed);
+    for (panel, _) in panels() {
+        let series = panel_series(&rows, panel, |r| r.p50_ns as f64 / 1e9);
+        println!(
+            "{}",
+            ascii_chart(
+                &format!("Figure 13 ({panel}): Latency (p50, seconds), Skewed Data"),
+                "clients",
+                "latency s",
+                &series,
+                true,
+            )
+        );
+    }
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.design.clone(),
+                r.panel.clone(),
+                r.clients.to_string(),
+                r.p50_ns.to_string(),
+                r.p99_ns.to_string(),
+                format!("{:.1}", r.mean_ns),
+            ]
+        })
+        .collect();
+    let path = results_dir().join("fig13_latency_skew.csv");
+    write_csv(
+        &path,
+        &["design", "panel", "clients", "p50_ns", "p99_ns", "mean_ns"],
+        &csv,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! Figure 15 (Appendix A.3): effect of co-locating compute and memory
+//! servers — distributed vs co-located NAM, 80 clients, uniform data,
+//! four panels (point + three range selectivities), CG vs FG.
+
+use bench::figures::{num_keys, panels};
+use bench::plot::{results_dir, write_csv};
+use bench::{run_experiment, DesignKind, ExperimentConfig};
+use simnet::SimDur;
+
+fn main() {
+    let mut csv = Vec::new();
+    println!("Figure 15: Effects of Co-location on Throughput (80 clients, uniform)\n");
+    for (panel, workload) in panels() {
+        println!("  {panel}:");
+        for design in [DesignKind::Fg, DesignKind::Cg] {
+            let mut row = format!("    {:<16}", design.label());
+            let mut vals = Vec::new();
+            for colocated in [false, true] {
+                let cfg = ExperimentConfig {
+                    design,
+                    workload,
+                    num_keys: num_keys(),
+                    clients: 80,
+                    colocated,
+                    warmup: SimDur::from_millis(3),
+                    measure: SimDur::from_millis(25),
+                    ..ExperimentConfig::default()
+                };
+                let r = run_experiment(&cfg);
+                vals.push(r.throughput);
+                row.push_str(&format!(
+                    " {}={:.0}",
+                    if colocated {
+                        "co-located"
+                    } else {
+                        "distributed"
+                    },
+                    r.throughput
+                ));
+                csv.push(vec![
+                    design.label().to_string(),
+                    panel.to_string(),
+                    if colocated {
+                        "colocated"
+                    } else {
+                        "distributed"
+                    }
+                    .to_string(),
+                    format!("{:.1}", r.throughput),
+                ]);
+            }
+            row.push_str(&format!("  (gain {:.2}x)", vals[1] / vals[0].max(1.0)));
+            println!("{row}");
+        }
+    }
+    let path = results_dir().join("fig15_colocation.csv");
+    write_csv(
+        &path,
+        &["design", "panel", "deployment", "throughput"],
+        &csv,
+    )
+    .expect("csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,37 @@
+//! Run every table/figure binary in sequence (the full reproduction).
+//! Respects NAMDEX_QUICK=1 for a fast smoke pass.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "fig03_theory",
+        "fig07_throughput_skew",
+        "fig08_throughput_unif",
+        "fig09_network",
+        "fig10_datasize",
+        "fig11_servers",
+        "fig12_inserts",
+        "fig13_latency_skew",
+        "fig14_latency_unif",
+        "fig15_colocation",
+        "a04_caching",
+        "ablation_heads",
+        "ablation_pagesize",
+        "ablation_partitioning",
+        "ext_request_skew",
+        "ext_gc",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================ {bin} ================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll tables and figures regenerated; CSVs in the results directory.");
+}

@@ -1,0 +1,12 @@
+//! Table 1: the scalability model's symbols with the paper's example
+//! values.
+
+use analysis::{table1, ModelParams};
+
+fn main() {
+    println!("Table 1: Overview of Symbols (paper's example column)\n");
+    for (symbol, value) in table1(ModelParams::default()) {
+        println!("  {symbol:<38} {value}");
+    }
+    println!("\nFormulas: M = P/(3K); L = D/M; H = ceil(log_M(...)).");
+}

@@ -1,0 +1,50 @@
+//! Table 2: the three-step scalability analysis, evaluated with the
+//! paper's example parameters.
+
+use analysis::{Dist, ModelParams, Query, Scheme};
+use bench::plot::format_si;
+
+fn main() {
+    let p = ModelParams::default();
+    let z = 10.0;
+    let s = 0.001;
+    println!(
+        "Table 2: Scalability Analysis (Theoretical), S={}, sel={s}, z={z}\n",
+        p.servers
+    );
+
+    println!("Step (1): available bandwidth (GB/s)");
+    for (name, scheme) in [
+        ("Fine-grained (1-sided)", Scheme::FineGrained),
+        ("Coarse-grained Range (2-sided)", Scheme::CgRange),
+        ("Coarse-grained Hash (2-sided)", Scheme::CgHash),
+    ] {
+        println!(
+            "  {name:<32} uniform {:>8}   skew {:>8}",
+            format_si(p.available_bandwidth(scheme, Dist::Uniform)),
+            format_si(p.available_bandwidth(scheme, Dist::Skewed { z })),
+        );
+    }
+
+    println!("\nStep (2): bandwidth per query (bytes)");
+    for (qname, q) in [("Point", Query::Point), ("Range", Query::Range { s })] {
+        for (dname, d) in [("Unif", Dist::Uniform), ("Skew", Dist::Skewed { z })] {
+            print!("  {qname} ({dname}):");
+            for scheme in [Scheme::FineGrained, Scheme::CgRange, Scheme::CgHash] {
+                print!(" {:>12}", format_si(p.bytes_per_query(scheme, d, q)));
+            }
+            println!("   (FG / CG-range / CG-hash)");
+        }
+    }
+
+    println!("\nStep (3): max throughput (queries/s)");
+    for (qname, q) in [("Point", Query::Point), ("Range", Query::Range { s })] {
+        for (dname, d) in [("Unif", Dist::Uniform), ("Skew", Dist::Skewed { z })] {
+            print!("  {qname} ({dname}):");
+            for scheme in [Scheme::FineGrained, Scheme::CgRange, Scheme::CgHash] {
+                print!(" {:>12}", format_si(p.max_throughput(scheme, d, q)));
+            }
+            println!("   (FG / CG-range / CG-hash)");
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! One experiment = one deployed cluster + one index design + N
+//! closed-loop clients, measured over a warmup-then-measure window of
+//! virtual time.
+//!
+//! Matches the paper's methodology (§6.1): each client executes index
+//! operations in a closed loop (waiting for one to finish before issuing
+//! the next) and spreads lookups uniformly at random over the key space;
+//! attribute-value skew assigns 80/12/5/3 of the key space to the four
+//! servers for the coarse-grained/hybrid partitioning while fine-grained
+//! leaves stay scattered round-robin.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use blink::PageLayout;
+use nam::{NamCluster, PartitionMap};
+use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
+use rdma_sim::{ClusterSpec, Endpoint, ServerStats};
+use simnet::rng::Zipf;
+use simnet::stats::{Counter, Histogram};
+use simnet::{Sim, SimDur};
+use ycsb::{Dataset, Op, OpGen, RequestDist, Workload};
+
+/// Which index design to benchmark.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DesignKind {
+    /// Design 1: coarse-grained / two-sided.
+    Cg,
+    /// Design 2: fine-grained / one-sided.
+    Fg,
+    /// Design 3: hybrid.
+    Hybrid,
+}
+
+impl DesignKind {
+    /// Display name matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            DesignKind::Cg => "Coarse-Grained",
+            DesignKind::Fg => "Fine-Grained",
+            DesignKind::Hybrid => "Hybrid",
+        }
+    }
+}
+
+/// Coarse-grained partitioning flavour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CgPartition {
+    /// Range partitioning.
+    Range,
+    /// Hash partitioning (range queries broadcast).
+    Hash,
+}
+
+/// Data placement: uniform or attribute-value skewed (§6.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataDist {
+    /// Keys spread evenly over servers.
+    Uniform,
+    /// 80/12/5/3-style assignment: most keys on server 0.
+    Skewed,
+}
+
+/// Fractions of the key space per server under attribute-value skew.
+/// For 4 servers this is the paper's 80/12/5/3; other counts use a
+/// geometric profile with the same character.
+pub fn skew_fractions(n: usize) -> Vec<f64> {
+    if n == 1 {
+        return vec![1.0];
+    }
+    if n == 4 {
+        return vec![0.80, 0.12, 0.05, 0.03];
+    }
+    let raw: Vec<f64> = (0..n).map(|i| 4.0f64.powi(-(i as i32))).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|f| f / total).collect()
+}
+
+/// Full description of one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Index design under test.
+    pub design: DesignKind,
+    /// CG partitioning flavour (ignored by FG).
+    pub cg_partition: CgPartition,
+    /// Operation mix.
+    pub workload: Workload,
+    /// Loaded records.
+    pub num_keys: u64,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Memory servers (packed 2/machine).
+    pub memory_servers: usize,
+    /// Data placement.
+    pub data_dist: DataDist,
+    /// Co-locate compute with memory servers (Appendix A.3).
+    pub colocated: bool,
+    /// Virtual warmup before measuring.
+    pub warmup: SimDur,
+    /// Virtual measurement window.
+    pub measure: SimDur,
+    /// Workload seed.
+    pub seed: u64,
+    /// Index page size `P`.
+    pub page_size: usize,
+    /// Head-node stride (FG/hybrid leaf level; 0 disables).
+    pub head_stride: usize,
+    /// Cluster spec override (defaults to the calibrated spec).
+    pub spec: Option<ClusterSpec>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            design: DesignKind::Cg,
+            cg_partition: CgPartition::Range,
+            workload: Workload::a(),
+            num_keys: 1_000_000,
+            clients: 40,
+            memory_servers: 4,
+            data_dist: DataDist::Uniform,
+            colocated: false,
+            warmup: SimDur::from_millis(5),
+            measure: SimDur::from_millis(40),
+            seed: 42,
+            page_size: PageLayout::DEFAULT_PAGE_SIZE,
+            head_stride: 8,
+            spec: None,
+        }
+    }
+}
+
+/// Measurements from one run.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Operations completed inside the measurement window.
+    pub ops: u64,
+    /// Throughput in operations/second.
+    pub throughput: f64,
+    /// Latency histogram (nanoseconds) of measured operations.
+    pub latency: Histogram,
+    /// Wire bytes moved during the window (all servers, both
+    /// directions).
+    pub wire_bytes: u64,
+    /// Wire bandwidth used, GB/s.
+    pub wire_gbps: f64,
+    /// Aggregate wire capacity of the deployment, GB/s (Fig. 9's "Max.
+    /// Bandwidth" line).
+    pub max_bandwidth_gbps: f64,
+    /// Per-server counter deltas over the window.
+    pub per_server: Vec<ServerStats>,
+}
+
+fn delta(end: &ServerStats, start: &ServerStats) -> ServerStats {
+    ServerStats {
+        bytes_in: end.bytes_in - start.bytes_in,
+        bytes_out: end.bytes_out - start.bytes_out,
+        local_bytes: end.local_bytes - start.local_bytes,
+        onesided_ops: end.onesided_ops - start.onesided_ops,
+        rpcs: end.rpcs - start.rpcs,
+        nic_busy_nanos: end.nic_busy_nanos - start.nic_busy_nanos,
+        cpu_busy_nanos: end.cpu_busy_nanos - start.cpu_busy_nanos,
+    }
+}
+
+/// Build the configured design over freshly loaded data.
+fn build_design(cfg: &ExperimentConfig, nam: &NamCluster, data: Dataset) -> Design {
+    let layout = PageLayout::new(cfg.page_size);
+    let n = nam.num_servers();
+    let domain = data.domain();
+    let range_partition = match cfg.data_dist {
+        DataDist::Uniform => PartitionMap::range_uniform(n, domain),
+        DataDist::Skewed => PartitionMap::range_fractions(&skew_fractions(n), domain),
+    };
+    match cfg.design {
+        DesignKind::Cg => {
+            let partition = match cfg.cg_partition {
+                CgPartition::Range => range_partition,
+                CgPartition::Hash => PartitionMap::hash(n),
+            };
+            Design::Cg(CoarseGrained::build(
+                nam,
+                layout,
+                partition,
+                data.iter(),
+                0.7,
+            ))
+        }
+        DesignKind::Fg => Design::Fg(FineGrained::build(
+            &nam.rdma,
+            FgConfig {
+                layout,
+                fill: 0.7,
+                head_stride: cfg.head_stride,
+            },
+            data.iter(),
+        )),
+        DesignKind::Hybrid => Design::Hybrid(Hybrid::build(
+            nam,
+            FgConfig {
+                layout,
+                fill: 0.7,
+                head_stride: cfg.head_stride,
+            },
+            range_partition,
+            data.iter(),
+        )),
+    }
+}
+
+/// Run one experiment to completion and return its measurements.
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    let sim = Sim::new();
+    let spec = cfg
+        .spec
+        .clone()
+        .unwrap_or_else(|| ClusterSpec::with_memory_servers(cfg.memory_servers));
+    let machines = spec.machines;
+    let nam = NamCluster::new(&sim, spec);
+    nam.rdma.set_active_clients(cfg.clients);
+
+    let data = Dataset::new(cfg.num_keys);
+    let design = build_design(cfg, &nam, data);
+
+    let warmup_end = sim.now() + cfg.warmup;
+    let end = warmup_end + cfg.measure;
+
+    // Shared measurement state.
+    let ops = Rc::new(Counter::new());
+    let latency = Rc::new(RefCell::new(Histogram::new()));
+
+    // One Zipf table shared by all clients (it is O(num_keys) to build).
+    let zipf = match cfg.workload.dist {
+        RequestDist::Zipfian(theta) => Some(Rc::new(Zipf::new(cfg.num_keys, theta))),
+        RequestDist::Uniform => None,
+    };
+
+    for c in 0..cfg.clients {
+        let ep = if cfg.colocated {
+            Endpoint::colocated(&nam.rdma, c % machines)
+        } else {
+            Endpoint::new(&nam.rdma)
+        };
+        let design = design.clone();
+        let sim_c = sim.clone();
+        let ops = ops.clone();
+        let latency = latency.clone();
+        // Per-client zipf sampling goes through a shared table; OpGen
+        // needs its own copy handle, so rebuild tiny per-client
+        // generators around the shared table.
+        let mut gen = OpGen::with_shared_zipf(
+            cfg.workload,
+            data,
+            c as u64,
+            cfg.clients as u64,
+            cfg.seed,
+            zipf.as_ref().map(|z| (**z).clone()),
+        );
+        sim.spawn(async move {
+            loop {
+                let op = gen.next_op();
+                let t0 = sim_c.now();
+                match op {
+                    Op::Point(k) => {
+                        design.lookup(&ep, k).await;
+                    }
+                    Op::Range(lo, hi) => {
+                        design.range(&ep, lo, hi).await;
+                    }
+                    Op::Insert(k, v) => {
+                        design.insert(&ep, k, v).await;
+                    }
+                }
+                let t1 = sim_c.now();
+                // Completion-based counting: an operation belongs to the
+                // window it completes in (long scans can outlive the
+                // warmup or span window fractions).
+                if t1 > warmup_end && t1 <= end {
+                    ops.inc();
+                    latency.borrow_mut().record((t1 - t0).as_nanos());
+                }
+            }
+        });
+    }
+
+    // Snapshot counters at the end of warmup.
+    let baseline = Rc::new(RefCell::new(Vec::<ServerStats>::new()));
+    {
+        let nam_rdma = nam.rdma.clone();
+        let baseline = baseline.clone();
+        let sim_c = sim.clone();
+        sim.spawn(async move {
+            sim_c.sleep_until(warmup_end).await;
+            *baseline.borrow_mut() = nam_rdma.all_stats();
+        });
+    }
+
+    sim.run_until(end);
+
+    let start_stats = baseline.borrow().clone();
+    assert!(
+        !start_stats.is_empty(),
+        "warmup snapshot task must have fired"
+    );
+    let end_stats = nam.rdma.all_stats();
+    let per_server: Vec<ServerStats> = end_stats
+        .iter()
+        .zip(start_stats.iter())
+        .map(|(e, s)| delta(e, s))
+        .collect();
+    let wire_bytes: u64 = per_server.iter().map(|s| s.bytes_in + s.bytes_out).sum();
+    let secs = cfg.measure.as_secs_f64();
+    let count = ops.get();
+    let hist = latency.borrow().clone();
+
+    ExperimentResult {
+        ops: count,
+        throughput: count as f64 / secs,
+        latency: hist,
+        wire_bytes,
+        wire_gbps: wire_bytes as f64 / secs / 1e9,
+        max_bandwidth_gbps: nam.rdma.aggregate_bandwidth() / 1e9,
+        per_server,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(design: DesignKind) -> ExperimentConfig {
+        ExperimentConfig {
+            design,
+            num_keys: 20_000,
+            clients: 8,
+            warmup: SimDur::from_millis(1),
+            measure: SimDur::from_millis(5),
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_designs_produce_throughput() {
+        for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+            let r = run_experiment(&quick(design));
+            assert!(r.ops > 100, "{design:?} completed only {} ops", r.ops);
+            assert!(r.throughput > 0.0);
+            assert!(r.latency.count() == r.ops);
+            assert!(r.wire_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_experiment(&quick(DesignKind::Fg));
+        let b = run_experiment(&quick(DesignKind::Fg));
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.wire_bytes, b.wire_bytes);
+        assert_eq!(a.latency.percentile(0.5), b.latency.percentile(0.5));
+    }
+
+    #[test]
+    fn more_clients_more_throughput_until_saturation() {
+        let mut last = 0.0;
+        for clients in [2usize, 8, 32] {
+            let cfg = ExperimentConfig {
+                clients,
+                ..quick(DesignKind::Fg)
+            };
+            let r = run_experiment(&cfg);
+            assert!(
+                r.throughput > last * 1.2,
+                "{clients} clients: {} vs {last}",
+                r.throughput
+            );
+            last = r.throughput;
+        }
+    }
+
+    #[test]
+    fn skewed_data_hurts_cg_only() {
+        let mk = |design, dist| {
+            let cfg = ExperimentConfig {
+                data_dist: dist,
+                clients: 32,
+                ..quick(design)
+            };
+            run_experiment(&cfg).throughput
+        };
+        let cg_u = mk(DesignKind::Cg, DataDist::Uniform);
+        let cg_s = mk(DesignKind::Cg, DataDist::Skewed);
+        let fg_u = mk(DesignKind::Fg, DataDist::Uniform);
+        let fg_s = mk(DesignKind::Fg, DataDist::Skewed);
+        assert!(
+            cg_s < cg_u * 0.9,
+            "CG must lose under skew: {cg_s} vs {cg_u}"
+        );
+        assert!(
+            fg_s > fg_u * 0.85,
+            "FG must be robust to skew: {fg_s} vs {fg_u}"
+        );
+    }
+
+    #[test]
+    fn insert_workload_runs_on_all_designs() {
+        for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+            let cfg = ExperimentConfig {
+                workload: Workload::d(),
+                ..quick(design)
+            };
+            let r = run_experiment(&cfg);
+            assert!(r.ops > 50, "{design:?}: {}", r.ops);
+        }
+    }
+
+    #[test]
+    fn colocation_raises_throughput() {
+        let base = quick(DesignKind::Cg);
+        let distributed = run_experiment(&base).throughput;
+        let colocated = run_experiment(&ExperimentConfig {
+            colocated: true,
+            ..base
+        })
+        .throughput;
+        assert!(
+            colocated > distributed,
+            "co-location must help: {colocated} vs {distributed}"
+        );
+    }
+
+    #[test]
+    fn hash_partition_runs() {
+        let cfg = ExperimentConfig {
+            cg_partition: CgPartition::Hash,
+            workload: Workload::b(0.01),
+            ..quick(DesignKind::Cg)
+        };
+        let r = run_experiment(&cfg);
+        assert!(
+            r.ops > 20,
+            "hash-partitioned ranges must complete: {}",
+            r.ops
+        );
+    }
+
+    #[test]
+    fn more_servers_help_fg() {
+        let small = run_experiment(&ExperimentConfig {
+            memory_servers: 2,
+            clients: 32,
+            ..quick(DesignKind::Fg)
+        })
+        .throughput;
+        let big = run_experiment(&ExperimentConfig {
+            memory_servers: 8,
+            clients: 32,
+            ..quick(DesignKind::Fg)
+        })
+        .throughput;
+        assert!(
+            big > small * 1.2,
+            "FG must scale with servers: {small} -> {big}"
+        );
+    }
+
+    #[test]
+    fn skew_fractions_sum_to_one() {
+        for n in 1..=8 {
+            let f = skew_fractions(n);
+            assert_eq!(f.len(), n);
+            assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            if n > 1 {
+                assert!(f[0] > 0.5, "first server dominates");
+            }
+        }
+    }
+}

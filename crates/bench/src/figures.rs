@@ -1,0 +1,301 @@
+//! Shared sweep infrastructure for the figure binaries.
+//!
+//! Figures 7, 9 and 13 (and 8, 14) all come from one underlying sweep:
+//! {3 designs} × {client counts} × {workload A + three range
+//! selectivities} under one data distribution. [`full_sweep`] runs it
+//! once and caches the rows as CSV under the results directory; the
+//! figure binaries then render their view of the data. Delete the
+//! `results/` directory to force re-measurement.
+//!
+//! Scale note: the paper's headline runs use 100M keys on real FDR
+//! hardware; the simulated reproduction defaults to 1M keys (same tree
+//! heights at the default page size within one level) and scales down
+//! client windows accordingly. Set `NAMDEX_QUICK=1` for a fast smoke
+//! sweep (100K keys, 3 client counts).
+
+use std::path::{Path, PathBuf};
+
+use simnet::SimDur;
+use ycsb::Workload;
+
+use crate::driver::{run_experiment, DataDist, DesignKind, ExperimentConfig};
+use crate::plot::{results_dir, write_csv};
+
+/// All three designs, in the paper's legend order.
+pub const DESIGNS: [DesignKind; 3] = [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid];
+
+/// Whether quick mode is on (`NAMDEX_QUICK=1`).
+pub fn quick() -> bool {
+    std::env::var("NAMDEX_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Loaded records for sweep figures.
+pub fn num_keys() -> u64 {
+    if quick() {
+        100_000
+    } else {
+        1_000_000
+    }
+}
+
+/// Client counts swept (the paper's x-axis is 0–240).
+pub fn clients_sweep() -> Vec<usize> {
+    if quick() {
+        vec![20, 120, 240]
+    } else {
+        vec![20, 60, 120, 180, 240]
+    }
+}
+
+/// The four workload panels of Figs. 7/8/9/13/14.
+pub fn panels() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("point", Workload::a()),
+        ("range_sel0.001", Workload::b(0.001)),
+        ("range_sel0.01", Workload::b(0.01)),
+        ("range_sel0.1", Workload::b(0.1)),
+    ]
+}
+
+/// One measured sweep cell.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Design label.
+    pub design: String,
+    /// Panel name (see [`panels`]).
+    pub panel: String,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Operations/second.
+    pub throughput: f64,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Mean latency, nanoseconds.
+    pub mean_ns: f64,
+    /// Wire bandwidth used, GB/s.
+    pub wire_gbps: f64,
+    /// Aggregate wire capacity, GB/s.
+    pub max_bw_gbps: f64,
+}
+
+fn cache_path(dist: DataDist) -> PathBuf {
+    let tag = match dist {
+        DataDist::Uniform => "uniform",
+        DataDist::Skewed => "skew",
+    };
+    results_dir().join(format!("sweep_{tag}_{}keys.csv", num_keys()))
+}
+
+fn save(path: &Path, rows: &[SweepRow]) {
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.design.clone(),
+                r.panel.clone(),
+                r.clients.to_string(),
+                format!("{:.1}", r.throughput),
+                r.p50_ns.to_string(),
+                r.p99_ns.to_string(),
+                format!("{:.1}", r.mean_ns),
+                format!("{:.4}", r.wire_gbps),
+                format!("{:.4}", r.max_bw_gbps),
+            ]
+        })
+        .collect();
+    write_csv(
+        path,
+        &[
+            "design",
+            "panel",
+            "clients",
+            "throughput",
+            "p50_ns",
+            "p99_ns",
+            "mean_ns",
+            "wire_gbps",
+            "max_bw_gbps",
+        ],
+        &csv_rows,
+    )
+    .expect("write sweep cache");
+}
+
+fn load(path: &Path) -> Option<Vec<SweepRow>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut rows = Vec::new();
+    for line in text.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 9 {
+            return None;
+        }
+        rows.push(SweepRow {
+            design: f[0].to_string(),
+            panel: f[1].to_string(),
+            clients: f[2].parse().ok()?,
+            throughput: f[3].parse().ok()?,
+            p50_ns: f[4].parse().ok()?,
+            p99_ns: f[5].parse().ok()?,
+            mean_ns: f[6].parse().ok()?,
+            wire_gbps: f[7].parse().ok()?,
+            max_bw_gbps: f[8].parse().ok()?,
+        });
+    }
+    if rows.is_empty() {
+        None
+    } else {
+        Some(rows)
+    }
+}
+
+/// Run (or load from cache) the full sweep for one data distribution.
+pub fn full_sweep(dist: DataDist) -> Vec<SweepRow> {
+    let path = cache_path(dist);
+    if let Some(rows) = load(&path) {
+        eprintln!("[sweep] reusing cached {}", path.display());
+        return rows;
+    }
+    let mut rows = Vec::new();
+    for (panel, workload) in panels() {
+        // Longer windows for longer operations: a sel=0.1 scan moves
+        // thousands of pages and takes tens of virtual milliseconds
+        // under load.
+        let measure = match panel {
+            "range_sel0.1" => SimDur::from_millis(300),
+            "range_sel0.01" => SimDur::from_millis(60),
+            _ => SimDur::from_millis(25),
+        };
+        for design in DESIGNS {
+            for clients in clients_sweep() {
+                let cfg = ExperimentConfig {
+                    design,
+                    workload,
+                    num_keys: num_keys(),
+                    clients,
+                    data_dist: dist,
+                    warmup: SimDur::from_millis(3),
+                    measure,
+                    ..ExperimentConfig::default()
+                };
+                let r = run_experiment(&cfg);
+                eprintln!(
+                    "[sweep {dist:?}] {panel} {} clients={clients}: {:.0} ops/s",
+                    design.label(),
+                    r.throughput
+                );
+                rows.push(SweepRow {
+                    design: design.label().to_string(),
+                    panel: panel.to_string(),
+                    clients,
+                    throughput: r.throughput,
+                    p50_ns: r.latency.percentile(0.5),
+                    p99_ns: r.latency.percentile(0.99),
+                    mean_ns: r.latency.mean(),
+                    wire_gbps: r.wire_gbps,
+                    max_bw_gbps: r.max_bandwidth_gbps,
+                });
+            }
+        }
+    }
+    save(&path, &rows);
+    rows
+}
+
+/// Pull one panel's series (`design -> [(clients, metric)]`) out of a
+/// sweep.
+pub fn panel_series(
+    rows: &[SweepRow],
+    panel: &str,
+    metric: impl Fn(&SweepRow) -> f64,
+) -> Vec<(String, Vec<(f64, f64)>)> {
+    DESIGNS
+        .iter()
+        .map(|d| {
+            let pts: Vec<(f64, f64)> = rows
+                .iter()
+                .filter(|r| r.panel == panel && r.design == d.label())
+                .map(|r| (r.clients as f64, metric(r)))
+                .collect();
+            (d.label().to_string(), pts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(design: &str, panel: &str, clients: usize, tput: f64) -> SweepRow {
+        SweepRow {
+            design: design.into(),
+            panel: panel.into(),
+            clients,
+            throughput: tput,
+            p50_ns: 1_000,
+            p99_ns: 9_000,
+            mean_ns: 2_000.0,
+            wire_gbps: 1.5,
+            max_bw_gbps: 25.8,
+        }
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let dir = std::env::temp_dir().join("namdex_figures_test");
+        let path = dir.join("sweep.csv");
+        let rows = vec![
+            row("Coarse-Grained", "point", 20, 1_000_000.0),
+            row("Fine-Grained", "range_sel0.01", 240, 50_000.5),
+        ];
+        save(&path, &rows);
+        let loaded = load(&path).expect("cache must load");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].design, "Coarse-Grained");
+        assert_eq!(loaded[0].clients, 20);
+        assert!((loaded[1].throughput - 50_000.5).abs() < 0.01);
+        assert_eq!(loaded[1].p99_ns, 9_000);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_malformed() {
+        let dir = std::env::temp_dir().join("namdex_figures_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "header\nnot,enough,fields\n").unwrap();
+        assert!(load(&path).is_none(), "malformed cache must be re-measured");
+        assert!(load(&dir.join("missing.csv")).is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn panel_series_filters_and_orders() {
+        let rows = vec![
+            row("Coarse-Grained", "point", 20, 10.0),
+            row("Coarse-Grained", "point", 240, 20.0),
+            row("Fine-Grained", "point", 20, 5.0),
+            row("Fine-Grained", "range_sel0.01", 20, 99.0), // other panel
+            row("Hybrid", "point", 20, 7.0),
+        ];
+        let series = panel_series(&rows, "point", |r| r.throughput);
+        assert_eq!(series.len(), 3, "one series per design");
+        let cg = &series[0];
+        assert_eq!(cg.0, "Coarse-Grained");
+        assert_eq!(cg.1, vec![(20.0, 10.0), (240.0, 20.0)]);
+        let fg = &series[1];
+        assert_eq!(fg.1, vec![(20.0, 5.0)], "other panels excluded");
+    }
+
+    #[test]
+    fn panels_cover_the_figure_grid() {
+        let p = panels();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0].0, "point");
+        for (name, w) in &p[1..] {
+            assert!(name.starts_with("range_sel"));
+            assert!(w.range_frac == 1.0);
+        }
+    }
+}

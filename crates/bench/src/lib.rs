@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # bench — the experiment harness
+//!
+//! Reproduces every table and figure of the paper's evaluation (§6 and
+//! appendices). [`driver`] runs one configuration — deploy a simulated
+//! NAM cluster, build an index design, load YCSB data, drive closed-loop
+//! clients, measure throughput/latency/network — and the `src/bin/fig*`
+//! binaries sweep configurations to regenerate each figure's series.
+//! [`plot`] renders ASCII charts and CSV files.
+
+pub mod driver;
+pub mod figures;
+pub mod plot;
+
+pub use driver::{
+    run_experiment, CgPartition, DataDist, DesignKind, ExperimentConfig, ExperimentResult,
+};

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # blink — B-link tree pages and local trees
+//!
+//! This crate implements the index structure of the paper: a B-link tree
+//! (Lehman & Yao) adapted for RDMA access, following §2.2–§5 of
+//! *"Designing Distributed Tree-based Index Structures for Fast
+//! RDMA-capable Networks"* (SIGMOD '19).
+//!
+//! Three layers:
+//!
+//! * [`layout`] — the fixed binary page format: every node starts with an
+//!   8-byte `(version, lock-bit)` word, carries a high key and sibling
+//!   pointers, and stores sorted `(key, value)` entries. Pages are plain
+//!   byte arrays so they can live in an RDMA-registered memory pool and be
+//!   fetched with one-sided READs.
+//! * [`node`] — node-level operations on page bytes: binary search,
+//!   sorted insert, Lehman-Yao splits, tombstone deletes, head-node
+//!   (prefetch) pages.
+//! * [`local`] — a complete single-machine B-link tree over an owned page
+//!   pool. Memory servers in the coarse-grained and hybrid designs run
+//!   this tree locally when serving two-sided RPCs; it also reports
+//!   [`local::WorkStats`] so the simulator can charge CPU time
+//!   proportional to real work.
+//!
+//! Keys are `u64`. Values are 63-bit (`value <= MAX_VALUE`): the top bit
+//! of the value word is the per-entry *delete bit* the paper uses for
+//! tombstone deletes reclaimed by epoch-based garbage collection.
+
+pub mod layout;
+pub mod local;
+pub mod node;
+
+pub use layout::{Key, PageLayout, Ptr, Value, KEY_MAX, MAX_VALUE};
+pub use local::{LocalTree, WorkStats};
+pub use node::{InnerNodeMut, InnerNodeRef, LeafNodeMut, LeafNodeRef, NodeKind};

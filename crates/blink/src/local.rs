@@ -1,0 +1,758 @@
+//! A complete single-machine B-link tree over an owned page pool.
+//!
+//! This is the tree each memory server builds for its partition in the
+//! coarse-grained design (§3) and for the upper levels in the hybrid
+//! design (§5). Handlers run it *locally* when serving two-sided RPCs.
+//!
+//! Every operation returns [`WorkStats`] describing the work actually
+//! performed (nodes visited, entries scanned, splits); the simulator uses
+//! these to charge CPU service time, so a taller tree or a bigger range
+//! scan genuinely costs more simulated time.
+//!
+//! Deletes follow the paper: the delete *bit* is set on the entry and the
+//! space is reclaimed later by [`LocalTree::gc_compact`] (epoch-based GC).
+
+use crate::layout::{Key, PageLayout, Ptr, Value, KEY_MAX};
+use crate::node::{kind_of, InnerNodeMut, InnerNodeRef, LeafNodeMut, LeafNodeRef, NodeKind};
+
+/// Work performed by one index operation; the basis for CPU cost models.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Index nodes traversed (including sibling hops).
+    pub nodes_visited: u32,
+    /// Leaf entries examined during scans.
+    pub entries_scanned: u32,
+    /// Node splits performed.
+    pub splits: u32,
+    /// Lehman-Yao right-sibling hops taken.
+    pub sibling_hops: u32,
+    /// Leaf pages touched by a range scan.
+    pub leaves_scanned: u32,
+}
+
+impl WorkStats {
+    /// Merge another operation's stats into this one.
+    pub fn absorb(&mut self, other: WorkStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.entries_scanned += other.entries_scanned;
+        self.splits += other.splits;
+        self.sibling_hops += other.sibling_hops;
+        self.leaves_scanned += other.leaves_scanned;
+    }
+}
+
+/// A local B-link tree. Pointers are page ids into an owned pool.
+pub struct LocalTree {
+    layout: PageLayout,
+    pages: Vec<Box<[u8]>>,
+    root: Ptr,
+    leftmost_leaf: Ptr,
+    height: u8,
+}
+
+impl LocalTree {
+    /// Create an empty tree (a single empty leaf root).
+    pub fn new(layout: PageLayout) -> Self {
+        let mut tree = LocalTree {
+            layout,
+            pages: Vec::new(),
+            root: Ptr::NULL,
+            leftmost_leaf: Ptr::NULL,
+            height: 1,
+        };
+        let root = tree.alloc();
+        LeafNodeMut::init(tree.page_mut(root), KEY_MAX, Ptr::NULL, Ptr::NULL);
+        tree.root = root;
+        tree.leftmost_leaf = root;
+        tree
+    }
+
+    /// Bulk-load from keys sorted ascending (duplicates allowed).
+    /// `fill` is the target node fill factor in `(0, 1]`.
+    pub fn bulk_load(
+        layout: PageLayout,
+        items: impl IntoIterator<Item = (Key, Value)>,
+        fill: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fill) && fill > 0.0,
+            "fill factor in (0,1]"
+        );
+        let mut tree = LocalTree {
+            layout,
+            pages: Vec::new(),
+            root: Ptr::NULL,
+            leftmost_leaf: Ptr::NULL,
+            height: 1,
+        };
+        let per_leaf = ((layout.entry_capacity() as f64 * fill) as usize).max(2);
+
+        // Build the leaf level.
+        let mut leaves: Vec<(Key, Ptr)> = Vec::new(); // (high_key, ptr)
+        let mut cur: Option<Ptr> = None;
+        let mut cur_n = 0usize;
+        let mut prev_key: Option<Key> = None;
+        let mut prev_leaf = Ptr::NULL;
+        for (k, v) in items {
+            debug_assert!(prev_key.is_none_or(|p| p <= k), "bulk_load input unsorted");
+            // Never split identical keys across leaves.
+            let start_new = match (cur, prev_key) {
+                (None, _) => true,
+                (Some(_), Some(p)) => cur_n >= per_leaf && p != k,
+                (Some(_), None) => false,
+            };
+            if start_new {
+                let ptr = tree.alloc();
+                LeafNodeMut::init(tree.page_mut(ptr), KEY_MAX, prev_leaf, Ptr::NULL);
+                if let Some(prev) = cur {
+                    // Seal the previous leaf: high key = its last key.
+                    let last = prev_key.expect("previous leaf is non-empty");
+                    let mut node = LeafNodeMut::new(tree.page_mut(prev));
+                    node.split_seal_for_bulk(last, ptr);
+                    leaves.push((last, prev));
+                } else {
+                    tree.leftmost_leaf = ptr;
+                }
+                cur = Some(ptr);
+                cur_n = 0;
+                prev_leaf = ptr;
+            }
+            let ptr = cur.expect("leaf exists");
+            LeafNodeMut::new(tree.page_mut(ptr))
+                .push(k, v)
+                .expect("fill factor keeps leaves under capacity");
+            cur_n += 1;
+            prev_key = Some(k);
+        }
+        match cur {
+            None => {
+                // Empty input: single empty leaf root.
+                let root = tree.alloc();
+                LeafNodeMut::init(tree.page_mut(root), KEY_MAX, Ptr::NULL, Ptr::NULL);
+                tree.root = root;
+                tree.leftmost_leaf = root;
+                return tree;
+            }
+            Some(last_leaf) => {
+                leaves.push((KEY_MAX, last_leaf));
+            }
+        }
+
+        // Build inner levels bottom-up.
+        let per_inner = ((layout.entry_capacity() as f64 * fill) as usize).max(2);
+        let mut level: Vec<(Key, Ptr)> = leaves;
+        let mut height = 1u8;
+        while level.len() > 1 {
+            height += 1;
+            let mut next: Vec<(Key, Ptr)> = Vec::new();
+            let mut i = 0usize;
+            let mut prev_ptr = Ptr::NULL;
+            while i < level.len() {
+                let n = per_inner.min(level.len() - i);
+                // Avoid a trailing 1-entry node: rebalance the tail.
+                let n = if level.len() - i - n == 1 { n - 1 } else { n };
+                let ptr = tree.alloc();
+                {
+                    let mut node =
+                        InnerNodeMut::init(tree.page_mut(ptr), height - 1, KEY_MAX, Ptr::NULL);
+                    for (sep, child) in &level[i..i + n] {
+                        node.push(*sep, *child).expect("inner under capacity");
+                    }
+                }
+                let high = level[i + n - 1].0;
+                if !prev_ptr.is_null() {
+                    let prev_page = tree.page_mut(prev_ptr);
+                    let mut prev_node = InnerNodeMut::new(prev_page);
+                    prev_node.seal_for_bulk(ptr);
+                }
+                // Seal this node's high key unless it is the last.
+                if i + n < level.len() {
+                    let page = tree.page_mut(ptr);
+                    crate::layout::write_u64(page, crate::layout::off::HIGH_KEY, high);
+                }
+                next.push((high, ptr));
+                prev_ptr = ptr;
+                i += n;
+            }
+            level = next;
+        }
+        tree.root = level[0].1;
+        tree.height = height;
+        tree
+    }
+
+    /// Page geometry.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    /// Number of levels (1 = a single leaf).
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// Total pages allocated.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Root pointer.
+    pub fn root(&self) -> Ptr {
+        self.root
+    }
+
+    /// Pointer to the leftmost leaf (start of the leaf chain).
+    pub fn leftmost_leaf(&self) -> Ptr {
+        self.leftmost_leaf
+    }
+
+    fn alloc(&mut self) -> Ptr {
+        self.pages.push(self.layout.alloc_page());
+        Ptr(self.pages.len() as u64) // ids start at 1; 0 is null
+    }
+
+    fn page(&self, p: Ptr) -> &[u8] {
+        &self.pages[(p.raw() - 1) as usize]
+    }
+
+    fn page_mut(&mut self, p: Ptr) -> &mut [u8] {
+        &mut self.pages[(p.raw() - 1) as usize]
+    }
+
+    /// Descend to the leaf that covers `key`, recording the inner path.
+    fn descend(&self, key: Key, stats: &mut WorkStats, path: Option<&mut Vec<Ptr>>) -> Ptr {
+        let mut path = path;
+        let mut cur = self.root;
+        loop {
+            stats.nodes_visited += 1;
+            match kind_of(self.page(cur)) {
+                NodeKind::Inner => {
+                    let node = InnerNodeRef::new(self.page(cur));
+                    match node.find_child(key) {
+                        Some(child) => {
+                            if let Some(p) = path.as_deref_mut() {
+                                p.push(cur);
+                            }
+                            cur = child;
+                        }
+                        None => {
+                            stats.sibling_hops += 1;
+                            cur = node.right_sibling();
+                            assert!(!cur.is_null(), "rightmost node must cover KEY_MAX");
+                        }
+                    }
+                }
+                NodeKind::Leaf => {
+                    let node = LeafNodeRef::new(self.page(cur));
+                    if node.covers(key) {
+                        return cur;
+                    }
+                    stats.sibling_hops += 1;
+                    cur = node.right_sibling();
+                    assert!(!cur.is_null(), "rightmost leaf must cover KEY_MAX");
+                }
+                NodeKind::Head => unreachable!("local trees have no head nodes"),
+            }
+        }
+    }
+
+    /// Point lookup: first live value under `key`.
+    pub fn get(&self, key: Key) -> (Option<Value>, WorkStats) {
+        let mut stats = WorkStats::default();
+        let leaf = self.descend(key, &mut stats, None);
+        let node = LeafNodeRef::new(self.page(leaf));
+        stats.entries_scanned += 1;
+        (node.get(key), stats)
+    }
+
+    /// Smallest stored live `(key, value)` with key `>= key`, if any.
+    /// Used by the hybrid design's upper levels to map a search key to a
+    /// leaf pointer.
+    pub fn ceiling(&self, key: Key) -> (Option<(Key, Value)>, WorkStats) {
+        let mut stats = WorkStats::default();
+        let mut cur = self.descend(key, &mut stats, None);
+        loop {
+            let node = LeafNodeRef::new(self.page(cur));
+            let mut i = node.lower_bound(key);
+            while i < node.count() {
+                let (k, v, deleted) = node.entry(i);
+                stats.entries_scanned += 1;
+                if !deleted {
+                    return (Some((k, v)), stats);
+                }
+                i += 1;
+            }
+            let next = node.right_sibling();
+            if next.is_null() {
+                return (None, stats);
+            }
+            stats.nodes_visited += 1;
+            stats.sibling_hops += 1;
+            cur = next;
+        }
+    }
+
+    /// Range scan: append live entries with keys in `[lo, hi]` to `out`.
+    pub fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) -> WorkStats {
+        let mut stats = WorkStats::default();
+        let mut cur = self.descend(lo, &mut stats, None);
+        loop {
+            let node = LeafNodeRef::new(self.page(cur));
+            stats.leaves_scanned += 1;
+            stats.entries_scanned += node.collect_range(lo, hi, out) as u32;
+            if node.high_key() >= hi {
+                return stats;
+            }
+            let next = node.right_sibling();
+            if next.is_null() {
+                return stats;
+            }
+            stats.nodes_visited += 1;
+            cur = next;
+        }
+    }
+
+    /// Insert `(key, value)`; splits propagate up and may grow the tree.
+    pub fn insert(&mut self, key: Key, value: Value) -> WorkStats {
+        self.insert_at_leaf(key, value).1
+    }
+
+    /// As [`Self::insert`], additionally reporting the leaf the entry
+    /// landed in (used by handlers to model page-lock contention).
+    pub fn insert_at_leaf(&mut self, key: Key, value: Value) -> (Ptr, WorkStats) {
+        let mut stats = WorkStats::default();
+        let mut path = Vec::with_capacity(self.height as usize);
+        let leaf = self.descend(key, &mut stats, Some(&mut path));
+
+        {
+            let mut node = LeafNodeMut::new(self.page_mut(leaf));
+            if node.insert(key, value).is_ok() {
+                return (leaf, stats);
+            }
+        }
+
+        // Leaf is full: split, insert into the correct half, propagate.
+        stats.splits += 1;
+        let right = self.alloc();
+        let sep = {
+            let (left_page, right_page) = self.two_pages_mut(leaf, right);
+            LeafNodeMut::new(left_page).split_into(right_page, leaf, right)
+        };
+        // Fix the next leaf's left-sibling back pointer.
+        let next = LeafNodeRef::new(self.page(right)).right_sibling();
+        if !next.is_null() {
+            LeafNodeMut::new(self.page_mut(next)).set_left_sibling(right);
+        }
+        let target = if key <= sep { leaf } else { right };
+        {
+            let mut node = LeafNodeMut::new(self.page_mut(target));
+            node.insert(key, value).expect("half-full after split");
+        }
+        self.propagate_split(sep, leaf, right, path, &mut stats);
+        (target, stats)
+    }
+
+    /// Replace the value of the first live entry under `key` (used by the
+    /// hybrid design's upper levels when a leaf split repoints its high
+    /// key). Returns whether an entry was updated.
+    pub fn update_value(&mut self, key: Key, new_value: Value) -> (bool, WorkStats) {
+        let mut stats = WorkStats::default();
+        let leaf = self.descend(key, &mut stats, None);
+        stats.entries_scanned += 1;
+        let page = self.page_mut(leaf);
+        let node = LeafNodeRef::new(page);
+        let mut i = node.lower_bound(key);
+        while i < node.count() {
+            let (k, _, deleted) = node.entry(i);
+            if k != key {
+                return (false, stats);
+            }
+            if !deleted {
+                // Rewrite the entry word in place.
+                let off = crate::layout::off::ENTRIES + i * crate::layout::ENTRY_SIZE + 8;
+                crate::layout::write_u64(page, off, new_value);
+                return (true, stats);
+            }
+            i += 1;
+        }
+        (false, stats)
+    }
+
+    /// Propagate `(sep, left, right)` into the recorded parent path,
+    /// splitting parents as needed; grows a new root at the top.
+    fn propagate_split(
+        &mut self,
+        mut sep: Key,
+        mut left: Ptr,
+        mut right: Ptr,
+        mut path: Vec<Ptr>,
+        stats: &mut WorkStats,
+    ) {
+        while let Some(parent) = path.pop() {
+            {
+                let mut node = InnerNodeMut::new(self.page_mut(parent));
+                if node.install_split(sep, right).is_ok() {
+                    return;
+                }
+            }
+            // Parent full: split it first, then install into the half that
+            // covers `sep`.
+            stats.splits += 1;
+            let parent_right = self.alloc();
+            let parent_sep = {
+                let (left_page, right_page) = self.two_pages_mut(parent, parent_right);
+                InnerNodeMut::new(left_page).split_into(right_page, parent, parent_right)
+            };
+            let target = if sep <= parent_sep {
+                parent
+            } else {
+                parent_right
+            };
+            InnerNodeMut::new(self.page_mut(target))
+                .install_split(sep, right)
+                .expect("half-full after split");
+            sep = parent_sep;
+            left = parent;
+            right = parent_right;
+        }
+        // Split reached the root: grow the tree.
+        let new_root = self.alloc();
+        let level = self.height;
+        InnerNodeMut::init_root(self.page_mut(new_root), level, sep, left, right);
+        self.root = new_root;
+        self.height += 1;
+    }
+
+    /// Tombstone the first live entry under `key` (the paper's delete
+    /// bit); space is reclaimed by [`Self::gc_compact`].
+    pub fn delete(&mut self, key: Key) -> (bool, WorkStats) {
+        let (deleted, _, stats) = self.delete_at_leaf(key);
+        (deleted, stats)
+    }
+
+    /// As [`Self::delete`], additionally reporting the leaf touched
+    /// (used by handlers to model page-lock contention).
+    pub fn delete_at_leaf(&mut self, key: Key) -> (bool, Ptr, WorkStats) {
+        let mut stats = WorkStats::default();
+        let leaf = self.descend(key, &mut stats, None);
+        stats.entries_scanned += 1;
+        let mut node = LeafNodeMut::new(self.page_mut(leaf));
+        (node.mark_deleted(key), leaf, stats)
+    }
+
+    /// Epoch GC: compact every leaf, removing tombstoned entries.
+    /// Returns the number of entries reclaimed.
+    pub fn gc_compact(&mut self) -> usize {
+        let mut reclaimed = 0;
+        let mut cur = self.leftmost_leaf;
+        while !cur.is_null() {
+            let next = {
+                let mut node = LeafNodeMut::new(self.page_mut(cur));
+                reclaimed += node.compact();
+                node.right_sibling()
+            };
+            cur = next;
+        }
+        reclaimed
+    }
+
+    /// Count live entries by walking the leaf chain.
+    pub fn len_live(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.leftmost_leaf;
+        while !cur.is_null() {
+            let node = LeafNodeRef::new(self.page(cur));
+            n += node.live_count();
+            cur = node.right_sibling();
+        }
+        n
+    }
+
+    /// Split-borrow two distinct pages mutably.
+    fn two_pages_mut(&mut self, a: Ptr, b: Ptr) -> (&mut [u8], &mut [u8]) {
+        let ia = (a.raw() - 1) as usize;
+        let ib = (b.raw() - 1) as usize;
+        assert_ne!(ia, ib);
+        if ia < ib {
+            let (lo, hi) = self.pages.split_at_mut(ib);
+            (&mut lo[ia], &mut hi[0])
+        } else {
+            let (lo, hi) = self.pages.split_at_mut(ia);
+            (&mut hi[0], &mut lo[ib])
+        }
+    }
+
+    /// Verify structural invariants; panics with a description on
+    /// violation. Test/debug aid.
+    pub fn check_invariants(&self) {
+        // Walk the leaf chain: keys sorted, within fences, chain ordered.
+        let mut cur = self.leftmost_leaf;
+        let mut prev_high: Option<Key> = None;
+        let mut prev_ptr = Ptr::NULL;
+        while !cur.is_null() {
+            let node = LeafNodeRef::new(self.page(cur));
+            let mut last: Option<Key> = None;
+            for i in 0..node.count() {
+                let (k, _, _) = node.entry(i);
+                assert!(last.is_none_or(|l| l <= k), "leaf keys unsorted");
+                assert!(k <= node.high_key(), "leaf key above high fence");
+                if let Some(ph) = prev_high {
+                    assert!(k > ph, "leaf key below low fence");
+                }
+                last = Some(k);
+            }
+            assert_eq!(node.left_sibling(), prev_ptr, "left sibling broken");
+            prev_high = Some(node.high_key());
+            prev_ptr = cur;
+            cur = node.right_sibling();
+        }
+        assert_eq!(prev_high, Some(KEY_MAX), "rightmost leaf must cover +inf");
+        // Every inner entry's child high key equals its separator.
+        self.check_inner(self.root);
+    }
+
+    fn check_inner(&self, ptr: Ptr) {
+        if kind_of(self.page(ptr)) != NodeKind::Inner {
+            return;
+        }
+        let node = InnerNodeRef::new(self.page(ptr));
+        assert!(node.count() > 0, "empty inner node");
+        let mut prev: Option<Key> = None;
+        for i in 0..node.count() {
+            let (sep, child) = node.entry(i);
+            assert!(prev.is_none_or(|p| p < sep), "inner separators unsorted");
+            prev = Some(sep);
+            let child_high = match kind_of(self.page(child)) {
+                NodeKind::Leaf => LeafNodeRef::new(self.page(child)).high_key(),
+                NodeKind::Inner => InnerNodeRef::new(self.page(child)).high_key(),
+                NodeKind::Head => panic!("head node in local tree"),
+            };
+            assert_eq!(child_high, sep, "child fence != separator");
+            self.check_inner(child);
+        }
+        assert_eq!(
+            node.entry(node.count() - 1).0,
+            node.high_key(),
+            "last separator != high key"
+        );
+    }
+}
+
+// Bulk-load helpers that reach into page internals.
+impl LeafNodeMut<'_> {
+    /// Seal a bulk-built leaf: set its high key and right sibling.
+    fn split_seal_for_bulk(&mut self, high: Key, right: Ptr) {
+        let page = self.raw_page_mut();
+        crate::layout::write_u64(page, crate::layout::off::HIGH_KEY, high);
+        crate::layout::write_u64(page, crate::layout::off::RIGHT_SIBLING, right.raw());
+    }
+}
+
+impl InnerNodeMut<'_> {
+    /// Seal a bulk-built inner node: set its right sibling.
+    fn seal_for_bulk(&mut self, right: Ptr) {
+        let page = self.raw_page_mut();
+        crate::layout::write_u64(page, crate::layout::off::RIGHT_SIBLING, right.raw());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> PageLayout {
+        // Small pages force deep trees in tests.
+        PageLayout::new(200) // capacity = (200-40)/16 = 10 entries
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = LocalTree::new(layout());
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.get(42).0, None);
+        assert_eq!(tree.len_live(), 0);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut tree = LocalTree::new(layout());
+        for k in 0..1000u64 {
+            tree.insert(k * 2, k);
+        }
+        tree.check_invariants();
+        assert!(tree.height() > 2, "1000 keys at fanout 10 must be deep");
+        for k in 0..1000u64 {
+            assert_eq!(tree.get(k * 2).0, Some(k), "key {}", k * 2);
+            assert_eq!(tree.get(k * 2 + 1).0, None);
+        }
+        assert_eq!(tree.len_live(), 1000);
+    }
+
+    #[test]
+    fn insert_random_order() {
+        let mut tree = LocalTree::new(layout());
+        // Deterministic pseudo-shuffle.
+        let mut keys: Vec<u64> = (0..500).map(|i| (i * 2654435761u64) % 100_000).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut shuffled = keys.clone();
+        shuffled.reverse();
+        for &k in &shuffled {
+            tree.insert(k, k + 1);
+        }
+        tree.check_invariants();
+        for &k in &keys {
+            assert_eq!(tree.get(k).0, Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn lookup_work_grows_with_height() {
+        let mut tree = LocalTree::new(layout());
+        for k in 0..2000u64 {
+            tree.insert(k, k);
+        }
+        let (_, stats) = tree.get(1234);
+        assert_eq!(stats.nodes_visited as u8, tree.height());
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut tree = LocalTree::new(layout());
+        for k in 0..300u64 {
+            tree.insert(k, k * 10);
+        }
+        let mut out = Vec::new();
+        let stats = tree.range(100, 199, &mut out);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.first(), Some(&(100, 1000)));
+        assert_eq!(out.last(), Some(&(199, 1990)));
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(stats.entries_scanned >= 100);
+    }
+
+    #[test]
+    fn range_scan_empty_and_full() {
+        let mut tree = LocalTree::new(layout());
+        for k in 0..100u64 {
+            tree.insert(k, k);
+        }
+        let mut out = Vec::new();
+        tree.range(500, 600, &mut out);
+        assert!(out.is_empty());
+        tree.range(0, KEY_MAX - 1, &mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn delete_and_gc() {
+        let mut tree = LocalTree::new(layout());
+        for k in 0..200u64 {
+            tree.insert(k, k);
+        }
+        for k in (0..200u64).step_by(2) {
+            let (ok, _) = tree.delete(k);
+            assert!(ok);
+        }
+        assert_eq!(tree.len_live(), 100);
+        assert_eq!(tree.get(4).0, None);
+        assert_eq!(tree.get(5).0, Some(5));
+        let reclaimed = tree.gc_compact();
+        assert_eq!(reclaimed, 100);
+        assert_eq!(tree.len_live(), 100);
+        tree.check_invariants();
+        // Deleted keys can be reinserted.
+        tree.insert(4, 40);
+        assert_eq!(tree.get(4).0, Some(40));
+    }
+
+    #[test]
+    fn delete_missing_key() {
+        let mut tree = LocalTree::new(layout());
+        tree.insert(1, 1);
+        let (ok, _) = tree.delete(99);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn duplicates_supported() {
+        let mut tree = LocalTree::new(layout());
+        for v in 0..5u64 {
+            tree.insert(7, v);
+        }
+        tree.insert(6, 60);
+        tree.insert(8, 80);
+        tree.check_invariants();
+        let mut out = Vec::new();
+        tree.range(7, 7, &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(tree.get(7).0, Some(0));
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let items: Vec<(u64, u64)> = (0..5000u64).map(|k| (k * 3, k)).collect();
+        let tree = LocalTree::bulk_load(layout(), items.iter().copied(), 0.8);
+        tree.check_invariants();
+        assert_eq!(tree.len_live(), 5000);
+        for &(k, v) in items.iter().step_by(97) {
+            assert_eq!(tree.get(k).0, Some(v));
+        }
+        assert_eq!(tree.get(1).0, None);
+        let mut out = Vec::new();
+        tree.range(300, 600, &mut out);
+        assert_eq!(out.len(), 101); // keys 300,303,...,600
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let tree = LocalTree::bulk_load(layout(), std::iter::empty(), 0.8);
+        tree.check_invariants();
+        assert_eq!(tree.len_live(), 0);
+        assert_eq!(tree.get(1).0, None);
+    }
+
+    #[test]
+    fn bulk_load_single() {
+        let tree = LocalTree::bulk_load(layout(), [(5u64, 50u64)], 0.8);
+        tree.check_invariants();
+        assert_eq!(tree.get(5).0, Some(50));
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn bulk_load_then_insert() {
+        let items: Vec<(u64, u64)> = (0..1000u64).map(|k| (k * 2, k)).collect();
+        let mut tree = LocalTree::bulk_load(layout(), items, 0.7);
+        for k in 0..1000u64 {
+            tree.insert(k * 2 + 1, k);
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len_live(), 2000);
+        for k in 0..2000u64 {
+            assert!(tree.get(k).0.is_some(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn ceiling_queries() {
+        let tree = LocalTree::bulk_load(layout(), (0..100u64).map(|k| (k * 10, k)), 0.8);
+        assert_eq!(tree.ceiling(0).0, Some((0, 0)));
+        assert_eq!(tree.ceiling(11).0, Some((20, 2)));
+        assert_eq!(tree.ceiling(990).0, Some((990, 99)));
+        assert_eq!(tree.ceiling(991).0, None);
+    }
+
+    #[test]
+    fn split_work_counted() {
+        let mut tree = LocalTree::new(layout());
+        let mut total_splits = 0;
+        for k in 0..100u64 {
+            total_splits += tree.insert(k, k).splits;
+        }
+        assert!(total_splits > 0);
+        // 100 keys / 10-entry pages: at least 10 leaves exist.
+        assert!(tree.num_pages() >= 10);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the B-link page format and the local tree.
+
+use blink::layout::{PageLayout, Ptr, KEY_MAX};
+use blink::node::{LeafNodeMut, LeafNodeRef};
+use blink::LocalTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    /// Sorted order and retrievability hold for any insertion order.
+    #[test]
+    fn leaf_insert_any_order(keys in prop::collection::vec(0u64..10_000, 1..50)) {
+        let layout = PageLayout::default();
+        let mut page = layout.alloc_page();
+        let mut leaf = LeafNodeMut::init(&mut page, KEY_MAX, Ptr::NULL, Ptr::NULL);
+        for (i, &k) in keys.iter().enumerate() {
+            leaf.insert(k, i as u64).unwrap();
+        }
+        let view = LeafNodeRef::new(&page);
+        prop_assert_eq!(view.count(), keys.len());
+        // Sorted.
+        for i in 1..view.count() {
+            prop_assert!(view.entry(i - 1).0 <= view.entry(i).0);
+        }
+        // Every key findable.
+        for &k in &keys {
+            prop_assert!(view.get(k).is_some());
+        }
+    }
+
+    /// Split preserves the multiset of entries and the key ordering
+    /// between halves, for any contents.
+    #[test]
+    fn leaf_split_preserves_entries(
+        mut keys in prop::collection::vec(0u64..1_000, 4..60),
+    ) {
+        // Need at least two distinct keys to split.
+        keys.sort_unstable();
+        prop_assume!(keys.first() != keys.last());
+
+        let layout = PageLayout::default();
+        let mut page = layout.alloc_page();
+        let mut leaf = LeafNodeMut::init(&mut page, KEY_MAX, Ptr::NULL, Ptr::NULL);
+        for (i, &k) in keys.iter().enumerate() {
+            leaf.push(k, i as u64).unwrap();
+        }
+        let mut right = layout.alloc_page();
+        let sep = LeafNodeMut::new(&mut page).split_into(&mut right, Ptr(1), Ptr(2));
+
+        let l = LeafNodeRef::new(&page);
+        let r = LeafNodeRef::new(&right);
+        prop_assert_eq!(l.count() + r.count(), keys.len());
+        prop_assert!(l.count() >= 1 && r.count() >= 1);
+        // All left keys <= sep < all right keys.
+        for i in 0..l.count() {
+            prop_assert!(l.entry(i).0 <= sep);
+        }
+        for i in 0..r.count() {
+            prop_assert!(r.entry(i).0 > sep);
+        }
+        prop_assert_eq!(l.high_key(), sep);
+        prop_assert_eq!(l.right_sibling(), Ptr(2));
+        prop_assert_eq!(r.left_sibling(), Ptr(1));
+    }
+
+    /// The local tree agrees with a BTreeMap oracle across arbitrary
+    /// insert/delete/lookup/range scripts, at any page size, and its
+    /// structural invariants survive.
+    #[test]
+    fn local_tree_matches_oracle(
+        page_size in 136usize..600,
+        ops in prop::collection::vec((0u8..4, 0u64..3_000, 0u64..1_000_000), 1..300),
+    ) {
+        let layout = PageLayout::new(page_size);
+        let mut tree = LocalTree::new(layout);
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, key, val) in ops {
+            match op {
+                0 => {
+                    if let std::collections::btree_map::Entry::Vacant(e) = oracle.entry(key) {
+                        let v = val % blink::MAX_VALUE;
+                        e.insert(v);
+                        tree.insert(key, v);
+                    }
+                }
+                1 => {
+                    let expected = oracle.remove(&key).is_some();
+                    let (got, _) = tree.delete(key);
+                    prop_assert_eq!(got, expected);
+                }
+                2 => {
+                    let (got, _) = tree.get(key);
+                    prop_assert_eq!(got, oracle.get(&key).copied());
+                }
+                _ => {
+                    let hi = key + 200;
+                    let mut out = Vec::new();
+                    tree.range(key, hi, &mut out);
+                    let want: Vec<(u64, u64)> =
+                        oracle.range(key..=hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(out, want);
+                }
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len_live(), oracle.len());
+    }
+
+    /// Bulk load is equivalent to repeated inserts for any sorted input
+    /// and fill factor.
+    #[test]
+    fn bulk_load_equivalent_to_inserts(
+        mut keys in prop::collection::vec(0u64..100_000, 1..400),
+        fill in 0.3f64..1.0,
+    ) {
+        keys.sort_unstable();
+        keys.dedup();
+        let layout = PageLayout::new(264);
+        let bulk = LocalTree::bulk_load(layout, keys.iter().map(|&k| (k, k + 1)), fill);
+        bulk.check_invariants();
+        let mut incr = LocalTree::new(layout);
+        for &k in &keys {
+            incr.insert(k, k + 1);
+        }
+        incr.check_invariants();
+        for &k in &keys {
+            prop_assert_eq!(bulk.get(k).0, Some(k + 1));
+            prop_assert_eq!(incr.get(k).0, Some(k + 1));
+        }
+        prop_assert_eq!(bulk.len_live(), incr.len_live());
+    }
+
+    /// GC compaction never loses live entries, for any delete pattern.
+    #[test]
+    fn gc_preserves_live_entries(
+        n in 10u64..500,
+        delete_mask in prop::collection::vec(any::<bool>(), 500),
+    ) {
+        let layout = PageLayout::new(264);
+        let mut tree = LocalTree::bulk_load(layout, (0..n).map(|i| (i, i * 2)), 0.7);
+        let mut live = 0u64;
+        for i in 0..n {
+            if delete_mask[i as usize] {
+                tree.delete(i);
+            } else {
+                live += 1;
+            }
+        }
+        let reclaimed = tree.gc_compact();
+        prop_assert_eq!(reclaimed as u64 + live, n);
+        tree.check_invariants();
+        for i in 0..n {
+            let expect = if delete_mask[i as usize] { None } else { Some(i * 2) };
+            prop_assert_eq!(tree.get(i).0, expect);
+        }
+    }
+}

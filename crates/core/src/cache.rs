@@ -1,0 +1,241 @@
+//! Client-side caching of upper index levels (Appendix A.4).
+//!
+//! The paper's initial caching results: compute servers can cache hot
+//! inner nodes and skip remote READs during descents, which benefits the
+//! fine-grained design most (it pays one round trip per level). For
+//! read-only workloads no invalidation is needed; with writes, cache
+//! invalidation becomes the hard problem the appendix defers to future
+//! work. This module implements the read-mostly variant: inner nodes are
+//! cached; leaves are always fetched fresh; a stale cached inner node is
+//! harmless because descents correct themselves through B-link sibling
+//! chases, and entries are refreshed on every miss.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use blink::node::{kind_of, HeadNodeRef, InnerNodeRef, LeafNodeRef, NodeKind};
+use blink::{Key, Value};
+use rdma_sim::{Endpoint, RemotePtr};
+use simnet::stats::Counter;
+
+use crate::fg::FineGrained;
+use crate::onesided::read_unlocked;
+
+/// A per-compute-server cache of inner index nodes.
+#[derive(Default)]
+pub struct ClientCache {
+    pages: RefCell<HashMap<u64, Vec<u8>>>,
+    capacity: usize,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl ClientCache {
+    /// Cache holding at most `capacity` pages (0 = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        ClientCache {
+            pages: RefCell::new(HashMap::new()),
+            capacity,
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// Cached copy of `ptr`, if present.
+    fn get(&self, ptr: RemotePtr) -> Option<Vec<u8>> {
+        let hit = self.pages.borrow().get(&ptr.raw()).cloned();
+        if hit.is_some() {
+            self.hits.inc();
+        } else {
+            self.misses.inc();
+        }
+        hit
+    }
+
+    /// Install a page copy.
+    fn put(&self, ptr: RemotePtr, page: Vec<u8>) {
+        let mut map = self.pages.borrow_mut();
+        if self.capacity > 0 && map.len() >= self.capacity && !map.contains_key(&ptr.raw()) {
+            // Simple random-ish eviction: drop an arbitrary entry. The
+            // paper leaves replacement policy to future work.
+            if let Some(&k) = map.keys().next() {
+                map.remove(&k);
+            }
+        }
+        map.insert(ptr.raw(), page);
+    }
+
+    /// Drop everything (epoch invalidation).
+    pub fn invalidate_all(&self) {
+        self.pages.borrow_mut().clear();
+    }
+
+    /// Cache hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Cache misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Pages currently cached.
+    pub fn len(&self) -> usize {
+        self.pages.borrow().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.borrow().is_empty()
+    }
+}
+
+/// Fine-grained point lookup with inner-node caching: cached levels cost
+/// no network round trips; leaves are always read fresh.
+pub async fn fg_lookup_cached(
+    idx: &FineGrained,
+    ep: &Endpoint,
+    cache: &ClientCache,
+    key: Key,
+) -> Option<Value> {
+    let ps = idx.layout().page_size();
+    let mut cur = idx.root();
+    loop {
+        // Try the cache for inner nodes only; a cached page is used
+        // without touching the network.
+        let page = match cache.get(cur) {
+            Some(p) => p,
+            None => {
+                let p = read_unlocked(ep, cur, ps).await;
+                if kind_of(&p) == NodeKind::Inner {
+                    cache.put(cur, p.clone());
+                }
+                p
+            }
+        };
+        match kind_of(&page) {
+            NodeKind::Inner => {
+                let node = InnerNodeRef::new(&page);
+                cur = match node.find_child(key) {
+                    Some(c) => RemotePtr::from_page_ptr(c),
+                    None => RemotePtr::from_page_ptr(node.right_sibling()),
+                };
+            }
+            NodeKind::Head => {
+                cur = RemotePtr::from_page_ptr(HeadNodeRef::new(&page).right_sibling());
+            }
+            NodeKind::Leaf => {
+                let node = LeafNodeRef::new(&page);
+                if node.covers(key) {
+                    return node.get(key);
+                }
+                cur = RemotePtr::from_page_ptr(node.right_sibling());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fg::FgConfig;
+    use blink::PageLayout;
+    use rdma_sim::{Cluster, ClusterSpec};
+    use simnet::Sim;
+    use std::rc::Rc;
+
+    #[test]
+    fn cached_lookups_skip_network() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let cfg = FgConfig {
+            layout: PageLayout::new(200),
+            fill: 0.7,
+            head_stride: 0,
+        };
+        let idx = FineGrained::build(&cluster, cfg, (0..5000u64).map(|i| (i * 8, i)));
+        let ep = Endpoint::new(&cluster);
+        let cache = Rc::new(ClientCache::new(0));
+        {
+            let idx = idx.clone();
+            let cache = cache.clone();
+            sim.spawn(async move {
+                // Repeated lookups of nearby keys reuse cached inners.
+                for rep in 0..10u64 {
+                    for i in 0..20u64 {
+                        let k = (1000 + i) * 8;
+                        assert_eq!(
+                            fg_lookup_cached(&idx, &ep, &cache, k).await,
+                            Some(1000 + i),
+                            "rep {rep}"
+                        );
+                    }
+                }
+            });
+        }
+        sim.run();
+        assert!(cache.hits() > cache.misses() * 3, "cache must mostly hit");
+        let reads: u64 = (0..4).map(|s| cluster.server_stats(s).onesided_ops).sum();
+        // 200 lookups; without caching each costs height (~4-5) READs.
+        assert!(
+            reads < 400,
+            "caching must cut READs well below uncached (~900): {reads}"
+        );
+    }
+
+    #[test]
+    fn capacity_bound_respected() {
+        let cache = ClientCache::new(2);
+        cache.put(RemotePtr::new(0, 8), vec![0]);
+        cache.put(RemotePtr::new(0, 16), vec![1]);
+        cache.put(RemotePtr::new(0, 24), vec![2]);
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let cache = ClientCache::new(0);
+        cache.put(RemotePtr::new(0, 8), vec![0]);
+        assert!(!cache.is_empty());
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stale_cache_corrected_by_sibling_chase() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let cfg = FgConfig {
+            layout: PageLayout::new(200),
+            fill: 0.7,
+            head_stride: 0,
+        };
+        let idx = FineGrained::build(&cluster, cfg, (0..200u64).map(|i| (i * 8, i)));
+        let ep = Endpoint::new(&cluster);
+        let cache = Rc::new(ClientCache::new(0));
+        {
+            let idx = idx.clone();
+            let cache = cache.clone();
+            sim.spawn(async move {
+                // Warm the cache.
+                for i in 0..200u64 {
+                    fg_lookup_cached(&idx, &ep, &cache, i * 8).await;
+                }
+                // Mutate the tree: many inserts cause splits the cache
+                // does not see.
+                for i in 0..200u64 {
+                    idx.insert(&ep, i * 8 + 1, 7_000 + i).await;
+                }
+                // Stale cached inners still route correctly via chases.
+                for i in 0..200u64 {
+                    assert_eq!(
+                        fg_lookup_cached(&idx, &ep, &cache, i * 8 + 1).await,
+                        Some(7_000 + i)
+                    );
+                }
+            });
+        }
+        sim.run();
+    }
+}

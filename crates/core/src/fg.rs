@@ -1,0 +1,958 @@
+//! Design 2 (§4): fine-grained distribution, one-sided access.
+//!
+//! One *global* B-link tree whose nodes (inner and leaf) are scattered
+//! round-robin across all memory servers and connected by 8-byte remote
+//! pointers. Compute servers traverse the tree with one-sided READs and
+//! update it with CAS / WRITE / FETCH_AND_ADD — memory-server CPUs are
+//! never involved (Listing 2 + Listing 4).
+//!
+//! Range scans use the §4.3 optimisation: *head nodes* interposed in the
+//! leaf chain every `head_stride` leaves redundantly store the remote
+//! pointers of their group, letting a scan prefetch a whole group of
+//! leaves with selectively signalled READs. Head nodes are only an
+//! optimisation: direct sibling pointers are kept, and a scan that meets
+//! a leaf absent from the prefetched group (a concurrent split) simply
+//! issues one extra READ.
+//!
+//! Cost profile (Table 2): every level costs a round trip, so point
+//! lookups move `H·P` bytes; but the aggregated bandwidth of *all*
+//! memory servers is available regardless of skew — the design's
+//! throughput scales with memory servers for every workload (Fig. 3,
+//! Fig. 11).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use blink::layout::KEY_MAX;
+use blink::node::{
+    kind_of, HeadNodeMut, HeadNodeRef, InnerNodeMut, InnerNodeRef, LeafNodeMut, LeafNodeRef,
+    NodeKind,
+};
+use blink::{Key, PageLayout, Ptr, Value};
+use rdma_sim::{Cluster, Endpoint, RemotePtr};
+
+use crate::onesided::{lock_node, read_unlocked, unlock_only, write_unlock};
+
+/// Construction parameters for the fine-grained (and hybrid leaf-level)
+/// structure.
+#[derive(Clone, Copy, Debug)]
+pub struct FgConfig {
+    /// Page geometry.
+    pub layout: PageLayout,
+    /// Bulk-load fill factor in `(0, 1]`.
+    pub fill: f64,
+    /// Install a head node before every `head_stride` leaves; `0`
+    /// disables head nodes.
+    pub head_stride: usize,
+}
+
+impl Default for FgConfig {
+    fn default() -> Self {
+        FgConfig {
+            layout: PageLayout::default(),
+            fill: 0.7,
+            head_stride: 8,
+        }
+    }
+}
+
+/// The fine-grained / one-sided index.
+pub struct FineGrained {
+    cluster: Cluster,
+    layout: PageLayout,
+    /// Global root remote pointer — conceptually the catalog entry
+    /// compute servers resolve (§4.2); updated on root splits.
+    root: Cell<RemotePtr>,
+    /// Start of the leaf chain (a head node, if enabled, else the
+    /// leftmost leaf).
+    first: Cell<RemotePtr>,
+    /// Round-robin cursor for new-page placement.
+    alloc_rr: Cell<usize>,
+    head_stride: usize,
+}
+
+/// Result of building a remote leaf level (shared with the hybrid design).
+pub(crate) struct LeafLevel {
+    /// `(high_key, ptr)` of every real leaf, in key order.
+    pub leaves: Vec<(Key, RemotePtr)>,
+    /// Chain start (first head node or leftmost leaf).
+    pub first: RemotePtr,
+}
+
+fn rp(p: Ptr) -> RemotePtr {
+    RemotePtr::from_page_ptr(p)
+}
+
+/// Round-robin allocation of one page (setup path, untimed).
+fn alloc_rr(cluster: &Cluster, layout: PageLayout, rr: &Cell<usize>) -> RemotePtr {
+    let s = rr.get();
+    rr.set((s + 1) % cluster.num_servers());
+    cluster.setup_alloc(s, layout.page_size() as u64)
+}
+
+/// Build the remote leaf chain: leaves filled to `fill`, scattered
+/// round-robin, linked by remote pointers, with optional head nodes
+/// interposed every `head_stride` leaves. Setup path (untimed).
+pub(crate) fn build_leaf_level(
+    cluster: &Cluster,
+    cfg: &FgConfig,
+    items: impl Iterator<Item = (Key, Value)>,
+    rr: &Cell<usize>,
+) -> LeafLevel {
+    let per_leaf = ((cfg.layout.entry_capacity() as f64 * cfg.fill) as usize).max(2);
+
+    // Chunk items into leaves, never splitting one key across leaves.
+    let mut chunks: Vec<Vec<(Key, Value)>> = Vec::new();
+    let mut prev: Option<Key> = None;
+    for (k, v) in items {
+        debug_assert!(prev.is_none_or(|p| p <= k), "leaf-level input unsorted");
+        let need_new = match chunks.last() {
+            None => true,
+            Some(c) => c.len() >= per_leaf && prev != Some(k),
+        };
+        if need_new {
+            chunks.push(Vec::with_capacity(per_leaf));
+        }
+        chunks.last_mut().expect("chunk exists").push((k, v));
+        prev = Some(k);
+    }
+    if chunks.is_empty() {
+        chunks.push(Vec::new()); // empty index: one empty leaf
+    }
+
+    // Allocate pages: leaves round-robin, plus one head per group.
+    let n = chunks.len();
+    let leaf_ptrs: Vec<RemotePtr> = (0..n).map(|_| alloc_rr(cluster, cfg.layout, rr)).collect();
+    let groups: usize = if cfg.head_stride > 0 {
+        n.div_ceil(cfg.head_stride)
+    } else {
+        0
+    };
+    let head_ptrs: Vec<RemotePtr> = (0..groups)
+        .map(|_| alloc_rr(cluster, cfg.layout, rr))
+        .collect();
+
+    // Write leaves with chain links. A leaf's right sibling is the next
+    // leaf, except the last leaf of a group, which points at the next
+    // group's head.
+    let mut leaves = Vec::with_capacity(n);
+    for (i, chunk) in chunks.iter().enumerate() {
+        let high = if i + 1 == n {
+            KEY_MAX
+        } else {
+            chunk.last().expect("non-last leaves are non-empty").0
+        };
+        let right = if i + 1 == n {
+            RemotePtr::NULL
+        } else if cfg.head_stride > 0 && (i + 1) % cfg.head_stride == 0 {
+            head_ptrs[(i + 1) / cfg.head_stride]
+        } else {
+            leaf_ptrs[i + 1]
+        };
+        let left = if i == 0 {
+            RemotePtr::NULL
+        } else {
+            leaf_ptrs[i - 1]
+        };
+        let mut page = cfg.layout.alloc_page();
+        let mut leaf = LeafNodeMut::init(&mut page, high, left.as_page_ptr(), right.as_page_ptr());
+        for &(k, v) in chunk {
+            leaf.push(k, v)
+                .expect("fill factor keeps leaves under capacity");
+        }
+        cluster.setup_write(leaf_ptrs[i], &page);
+        leaves.push((high, leaf_ptrs[i]));
+    }
+
+    // Write head nodes: each lists its group's leaves and chains to the
+    // group's first leaf.
+    for (g, &head_ptr) in head_ptrs.iter().enumerate() {
+        let lo = g * cfg.head_stride;
+        let hi = (lo + cfg.head_stride).min(n);
+        let ptrs: Vec<Ptr> = leaf_ptrs[lo..hi].iter().map(|p| p.as_page_ptr()).collect();
+        let mut page = cfg.layout.alloc_page();
+        HeadNodeMut::init(&mut page, &ptrs, leaf_ptrs[lo].as_page_ptr());
+        cluster.setup_write(head_ptr, &page);
+    }
+
+    let first = if groups > 0 {
+        head_ptrs[0]
+    } else {
+        leaf_ptrs[0]
+    };
+    LeafLevel { leaves, first }
+}
+
+/// Build inner levels bottom-up over `(high_key, child)` pairs; returns
+/// the root pointer. Setup path (untimed).
+fn build_inner_levels(
+    cluster: &Cluster,
+    cfg: &FgConfig,
+    rr: &Cell<usize>,
+    mut level: Vec<(Key, RemotePtr)>,
+) -> RemotePtr {
+    let per_inner = ((cfg.layout.entry_capacity() as f64 * cfg.fill) as usize).max(2);
+    let mut level_no: u8 = 0;
+    while level.len() > 1 {
+        level_no += 1;
+        let mut next = Vec::new();
+        // Pre-compute node extents (rebalancing a trailing 1-entry node).
+        let mut starts = Vec::new();
+        let mut i = 0;
+        while i < level.len() {
+            let mut take = per_inner.min(level.len() - i);
+            if level.len() - i - take == 1 {
+                take -= 1;
+            }
+            starts.push((i, take));
+            i += take;
+        }
+        let ptrs: Vec<RemotePtr> = starts
+            .iter()
+            .map(|_| alloc_rr(cluster, cfg.layout, rr))
+            .collect();
+        for (j, &(start, take)) in starts.iter().enumerate() {
+            let right = if j + 1 == ptrs.len() {
+                RemotePtr::NULL
+            } else {
+                ptrs[j + 1]
+            };
+            let high = level[start + take - 1].0;
+            let mut page = cfg.layout.alloc_page();
+            let mut node = InnerNodeMut::init(&mut page, level_no, high, right.as_page_ptr());
+            for &(sep, child) in &level[start..start + take] {
+                node.push(sep, child.as_page_ptr()).expect("under capacity");
+            }
+            cluster.setup_write(ptrs[j], &page);
+            next.push((high, ptrs[j]));
+        }
+        level = next;
+    }
+    level[0].1
+}
+
+impl FineGrained {
+    /// Build the global tree from `items` (sorted by key), scattering
+    /// nodes round-robin over all memory servers.
+    pub fn build(
+        cluster: &Cluster,
+        cfg: FgConfig,
+        items: impl Iterator<Item = (Key, Value)>,
+    ) -> Rc<Self> {
+        let rr = Cell::new(0);
+        let leaf_level = build_leaf_level(cluster, &cfg, items, &rr);
+        let root = build_inner_levels(cluster, &cfg, &rr, leaf_level.leaves);
+        Rc::new(FineGrained {
+            cluster: cluster.clone(),
+            layout: cfg.layout,
+            root: Cell::new(root),
+            first: Cell::new(leaf_level.first),
+            alloc_rr: rr,
+            head_stride: cfg.head_stride,
+        })
+    }
+
+    /// Current root remote pointer (the catalog entry).
+    pub fn root(&self) -> RemotePtr {
+        self.root.get()
+    }
+
+    /// Start of the leaf chain.
+    pub fn first(&self) -> RemotePtr {
+        self.first.get()
+    }
+
+    /// Page geometry.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    /// The cluster this index lives on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn ps(&self) -> usize {
+        self.layout.page_size()
+    }
+
+    /// Timed round-robin page allocation (`RDMA_ALLOC`, Listing 4).
+    async fn alloc_timed(&self, ep: &Endpoint) -> RemotePtr {
+        let s = self.alloc_rr.get();
+        self.alloc_rr.set((s + 1) % self.cluster.num_servers());
+        ep.alloc(s, self.ps() as u64).await
+    }
+
+    /// `remote_lookup` (Listing 2): descend with one-sided READs,
+    /// chasing siblings past in-flight splits.
+    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Option<Value> {
+        let mut cur = self.root.get();
+        loop {
+            let page = read_unlocked(ep, cur, self.ps()).await;
+            match kind_of(&page) {
+                NodeKind::Inner => {
+                    let node = InnerNodeRef::new(&page);
+                    cur = match node.find_child(key) {
+                        Some(c) => rp(c),
+                        None => rp(node.right_sibling()),
+                    };
+                }
+                NodeKind::Head => {
+                    cur = rp(HeadNodeRef::new(&page).right_sibling());
+                }
+                NodeKind::Leaf => {
+                    let node = LeafNodeRef::new(&page);
+                    if node.covers(key) {
+                        return node.get(key);
+                    }
+                    cur = rp(node.right_sibling());
+                }
+            }
+            assert!(!cur.is_null(), "fell off the B-link chain");
+        }
+    }
+
+    /// Descend to the leaf covering `key` for a scan start.
+    async fn find_leaf(&self, ep: &Endpoint, key: Key) -> (RemotePtr, Vec<u8>) {
+        let mut cur = self.root.get();
+        loop {
+            let page = read_unlocked(ep, cur, self.ps()).await;
+            match kind_of(&page) {
+                NodeKind::Inner => {
+                    let node = InnerNodeRef::new(&page);
+                    cur = match node.find_child(key) {
+                        Some(c) => rp(c),
+                        None => rp(node.right_sibling()),
+                    };
+                }
+                NodeKind::Head => cur = rp(HeadNodeRef::new(&page).right_sibling()),
+                NodeKind::Leaf => {
+                    let node = LeafNodeRef::new(&page);
+                    if node.covers(key) {
+                        return (cur, page);
+                    }
+                    cur = rp(node.right_sibling());
+                }
+            }
+        }
+    }
+
+    /// Range query over `[lo, hi]` with head-node prefetch.
+    pub async fn range(&self, ep: &Endpoint, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let (start, page) = self.find_leaf(ep, lo).await;
+        let mut out = Vec::new();
+        scan_chain(ep, self.layout, start, Some(page), lo, hi, &mut out).await;
+        out
+    }
+
+    /// `remote_insert` (Listing 2): descend recording the inner path,
+    /// lock the covering leaf with RDMA_CAS, install the key, write back
+    /// and FAA-unlock; splits allocate a remote page and propagate
+    /// upward.
+    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) {
+        let (mut cur, mut page, path) = self.descend_with_path(ep, key).await;
+        // Lock the leaf, re-validating coverage after each acquisition.
+        loop {
+            lock_node(ep, cur, &mut page).await;
+            let leaf = LeafNodeRef::new(&page);
+            if leaf.covers(key) {
+                break;
+            }
+            let next = rp(leaf.right_sibling());
+            unlock_only(ep, cur).await;
+            let (c, p) = self.skip_heads(ep, next).await;
+            cur = c;
+            page = p;
+        }
+
+        let full = LeafNodeMut::new(&mut page).insert(key, value).is_err();
+        if !full {
+            write_unlock(ep, cur, &page, None).await;
+            return;
+        }
+
+        // Split: allocate remotely, split the local copy, write both
+        // halves (right first, Listing 4), unlock, propagate.
+        let right_ptr = self.alloc_timed(ep).await;
+        let mut right_page = self.layout.alloc_page();
+        let sep = LeafNodeMut::new(&mut page).split_into(
+            &mut right_page,
+            cur.as_page_ptr(),
+            right_ptr.as_page_ptr(),
+        );
+        {
+            let target = if key <= sep {
+                &mut page
+            } else {
+                &mut *right_page
+            };
+            LeafNodeMut::new(target)
+                .insert(key, value)
+                .expect("half-full after split");
+        }
+        write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
+        self.propagate_split(ep, path, sep, cur, right_ptr, 1).await;
+    }
+
+    /// Tombstone-delete `key`; returns whether an entry was deleted.
+    pub async fn delete(&self, ep: &Endpoint, key: Key) -> bool {
+        let (mut cur, mut page, _path) = self.descend_with_path(ep, key).await;
+        loop {
+            lock_node(ep, cur, &mut page).await;
+            let leaf = LeafNodeRef::new(&page);
+            if leaf.covers(key) {
+                break;
+            }
+            let next = rp(leaf.right_sibling());
+            unlock_only(ep, cur).await;
+            let (c, p) = self.skip_heads(ep, next).await;
+            cur = c;
+            page = p;
+        }
+        let deleted = LeafNodeMut::new(&mut page).mark_deleted(key);
+        if deleted {
+            write_unlock(ep, cur, &page, None).await;
+        } else {
+            unlock_only(ep, cur).await;
+        }
+        deleted
+    }
+
+    /// Descend to the leaf covering `key`, recording inner nodes visited.
+    async fn descend_with_path(
+        &self,
+        ep: &Endpoint,
+        key: Key,
+    ) -> (RemotePtr, Vec<u8>, Vec<RemotePtr>) {
+        let mut path = Vec::new();
+        let mut cur = self.root.get();
+        loop {
+            let page = read_unlocked(ep, cur, self.ps()).await;
+            match kind_of(&page) {
+                NodeKind::Inner => {
+                    let node = InnerNodeRef::new(&page);
+                    match node.find_child(key) {
+                        Some(c) => {
+                            path.push(cur);
+                            cur = rp(c);
+                        }
+                        None => cur = rp(node.right_sibling()),
+                    }
+                }
+                NodeKind::Head => cur = rp(HeadNodeRef::new(&page).right_sibling()),
+                NodeKind::Leaf => {
+                    let node = LeafNodeRef::new(&page);
+                    if node.covers(key) {
+                        return (cur, page, path);
+                    }
+                    cur = rp(node.right_sibling());
+                }
+            }
+        }
+    }
+
+    /// Follow the chain from `ptr`, skipping head nodes; returns the
+    /// first leaf and its page.
+    async fn skip_heads(&self, ep: &Endpoint, mut ptr: RemotePtr) -> (RemotePtr, Vec<u8>) {
+        loop {
+            let page = read_unlocked(ep, ptr, self.ps()).await;
+            if kind_of(&page) == NodeKind::Head {
+                ptr = rp(HeadNodeRef::new(&page).right_sibling());
+            } else {
+                return (ptr, page);
+            }
+        }
+    }
+
+    /// Install `(sep, right)` into the parent level, splitting parents as
+    /// needed; grows a new root when the split reaches the top.
+    async fn propagate_split(
+        &self,
+        ep: &Endpoint,
+        mut path: Vec<RemotePtr>,
+        mut sep: Key,
+        mut left: RemotePtr,
+        mut right: RemotePtr,
+        mut level: u8,
+    ) {
+        loop {
+            let mut cur = match path.pop() {
+                Some(p) => p,
+                None => {
+                    if self.try_grow_root(ep, sep, left, right, level).await {
+                        return;
+                    }
+                    // The tree grew concurrently: locate the parent level
+                    // under the new root and continue there.
+                    path = self.path_to_level(ep, sep, level).await;
+                    path.pop().expect("path to an existing level is non-empty")
+                }
+            };
+
+            // Lock the covering inner node (move right as needed).
+            let mut page;
+            loop {
+                page = read_unlocked(ep, cur, self.ps()).await;
+                let node = InnerNodeRef::new(&page);
+                if !node.covers(sep) {
+                    cur = rp(node.right_sibling());
+                    continue;
+                }
+                lock_node(ep, cur, &mut page).await;
+                let node = InnerNodeRef::new(&page);
+                if node.covers(sep) {
+                    break;
+                }
+                let next = rp(node.right_sibling());
+                unlock_only(ep, cur).await;
+                cur = next;
+            }
+
+            let full = InnerNodeMut::new(&mut page)
+                .install_split(sep, right.as_page_ptr())
+                .is_err();
+            if !full {
+                write_unlock(ep, cur, &page, None).await;
+                return;
+            }
+
+            // Parent full: split it (holding its lock), install into the
+            // covering half, and carry the parent split upward.
+            let parent_right = self.alloc_timed(ep).await;
+            let mut pright_page = self.layout.alloc_page();
+            let psep = InnerNodeMut::new(&mut page).split_into(
+                &mut pright_page,
+                cur.as_page_ptr(),
+                parent_right.as_page_ptr(),
+            );
+            {
+                let target = if sep <= psep {
+                    &mut page
+                } else {
+                    &mut *pright_page
+                };
+                InnerNodeMut::new(target)
+                    .install_split(sep, right.as_page_ptr())
+                    .expect("half-full after split");
+            }
+            write_unlock(ep, cur, &page, Some((parent_right, &pright_page))).await;
+            sep = psep;
+            left = cur;
+            right = parent_right;
+            level += 1;
+        }
+    }
+
+    /// Attempt to install a new root above a split of the current root.
+    /// Returns false if the root changed concurrently.
+    async fn try_grow_root(
+        &self,
+        ep: &Endpoint,
+        sep: Key,
+        left: RemotePtr,
+        right: RemotePtr,
+        level: u8,
+    ) -> bool {
+        if self.root.get() != left {
+            return false;
+        }
+        let new_root = self.alloc_timed(ep).await;
+        let mut page = self.layout.alloc_page();
+        InnerNodeMut::init_root(
+            &mut page,
+            level,
+            sep,
+            left.as_page_ptr(),
+            right.as_page_ptr(),
+        );
+        ep.write(new_root, &page).await;
+        // Catalog check-and-set: no await between check and set, so the
+        // update is atomic with respect to other clients.
+        if self.root.get() == left {
+            self.root.set(new_root);
+            true
+        } else {
+            false // new root page is leaked; harmless
+        }
+    }
+
+    /// Fresh descent from the current root down to (and including) an
+    /// inner node at `level` covering `key`.
+    async fn path_to_level(&self, ep: &Endpoint, key: Key, level: u8) -> Vec<RemotePtr> {
+        let mut path = Vec::new();
+        let mut cur = self.root.get();
+        loop {
+            let page = read_unlocked(ep, cur, self.ps()).await;
+            debug_assert_eq!(kind_of(&page), NodeKind::Inner, "levels > 0 are inner");
+            let node = InnerNodeRef::new(&page);
+            if !node.covers(key) {
+                cur = rp(node.right_sibling());
+                continue;
+            }
+            if node.level() == level {
+                path.push(cur);
+                return path;
+            }
+            match node.find_child(key) {
+                Some(c) => {
+                    path.push(cur);
+                    cur = rp(c);
+                }
+                None => cur = rp(node.right_sibling()),
+            }
+        }
+    }
+
+    /// Epoch head-node maintenance (§4.3): rebuild the head nodes' group
+    /// pointer lists from the current leaf chain, folding in leaves added
+    /// by splits. Runs on the control path (the paper runs it in a
+    /// background thread in regular intervals).
+    pub fn maintain_heads(&self) {
+        if self.head_stride == 0 {
+            return;
+        }
+        // Collect the real leaves in chain order.
+        let mut leaves = Vec::new();
+        let mut cur = self.first.get();
+        while !cur.is_null() {
+            let page = self.cluster.setup_read(cur, self.ps());
+            match kind_of(&page) {
+                NodeKind::Head => {
+                    cur = rp(HeadNodeRef::new(&page).right_sibling());
+                }
+                NodeKind::Leaf => {
+                    leaves.push(cur);
+                    cur = rp(LeafNodeRef::new(&page).right_sibling());
+                }
+                NodeKind::Inner => unreachable!("inner node in the leaf chain"),
+            }
+        }
+        // Rebuild groups of head_stride leaves with fresh head nodes.
+        let rrc = &self.alloc_rr;
+        let groups: Vec<&[RemotePtr]> = leaves.chunks(self.head_stride).collect();
+        let head_ptrs: Vec<RemotePtr> = groups
+            .iter()
+            .map(|_| alloc_rr(&self.cluster, self.layout, rrc))
+            .collect();
+        for (g, group) in groups.iter().enumerate() {
+            let ptrs: Vec<Ptr> = group.iter().map(|p| p.as_page_ptr()).collect();
+            let mut page = self.layout.alloc_page();
+            HeadNodeMut::init(&mut page, &ptrs, group[0].as_page_ptr());
+            self.cluster.setup_write(head_ptrs[g], &page);
+            // Link the previous group's last leaf to this head.
+            let prev_last = if g == 0 {
+                None
+            } else {
+                groups[g - 1].last().copied()
+            };
+            if let Some(last) = prev_last {
+                let mut lp = self.cluster.setup_read(last, self.ps());
+                // Last leaf of a group points at the next group's head,
+                // whose sibling routes on to the group's first leaf.
+                LeafNodeMut::new(&mut lp).set_right_sibling(head_ptrs[g].as_page_ptr());
+                self.cluster.setup_write(last, &lp);
+            }
+        }
+        if let Some(&h) = head_ptrs.first() {
+            self.first.set(h);
+        }
+    }
+}
+
+/// Scan the leaf chain from `start` collecting live entries in
+/// `[lo, hi]`, prefetching whole groups when head nodes are met.
+/// `start_page`, when given, is an already-fetched copy of `start`.
+pub(crate) async fn scan_chain(
+    ep: &Endpoint,
+    layout: PageLayout,
+    start: RemotePtr,
+    start_page: Option<Vec<u8>>,
+    lo: Key,
+    hi: Key,
+    out: &mut Vec<(Key, Value)>,
+) {
+    let ps = layout.page_size();
+    let mut prefetched: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut cur = start;
+    let mut pending = start_page;
+    loop {
+        if cur.is_null() {
+            return;
+        }
+        let page = match pending.take() {
+            Some(p) => p,
+            None => match prefetched.remove(&cur.raw()) {
+                Some(p)
+                    if !blink::layout::lock_word::is_locked(blink::node::version_lock_of(&p)) =>
+                {
+                    p
+                }
+                _ => read_unlocked(ep, cur, ps).await,
+            },
+        };
+        match kind_of(&page) {
+            NodeKind::Head => {
+                // Prefetch the whole group with selectively signalled
+                // READs (§4.3) — one latency for the group.
+                let head = HeadNodeRef::new(&page);
+                let reqs: Vec<(RemotePtr, usize)> = head
+                    .ptrs()
+                    .iter()
+                    .map(|p| (RemotePtr::from_page_ptr(*p), ps))
+                    .collect();
+                if !reqs.is_empty() {
+                    let pages = ep.read_many(&reqs).await;
+                    for ((p, _), bytes) in reqs.iter().zip(pages) {
+                        prefetched.insert(p.raw(), bytes);
+                    }
+                }
+                cur = rp(head.right_sibling());
+            }
+            NodeKind::Leaf => {
+                let leaf = LeafNodeRef::new(&page);
+                leaf.collect_range(lo, hi, out);
+                if leaf.high_key() >= hi {
+                    return;
+                }
+                cur = rp(leaf.right_sibling());
+            }
+            NodeKind::Inner => unreachable!("inner node in the leaf chain"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::ClusterSpec;
+    use simnet::Sim;
+    use std::cell::RefCell;
+
+    fn small_cfg() -> FgConfig {
+        FgConfig {
+            layout: PageLayout::new(200), // 10 entries per node
+            fill: 0.7,
+            head_stride: 4,
+        }
+    }
+
+    fn build(sim: &Sim, n: u64, cfg: FgConfig) -> (Cluster, Rc<FineGrained>) {
+        let cluster = Cluster::new(sim, ClusterSpec::default());
+        let idx = FineGrained::build(&cluster, cfg, (0..n).map(|i| (i * 8, i)));
+        (cluster, idx)
+    }
+
+    #[test]
+    fn nodes_scatter_across_all_servers() {
+        let sim = Sim::new();
+        let (cluster, _idx) = build(&sim, 5000, small_cfg());
+        // Round-robin placement: every server received pages.
+        for s in 0..cluster.num_servers() {
+            let allocated = cluster.with_pool(s, |p| p.allocated());
+            assert!(allocated > 100 * 200, "server {s} got {allocated} bytes");
+        }
+    }
+
+    #[test]
+    fn lookup_found_and_missing() {
+        let sim = Sim::new();
+        let (cluster, idx) = build(&sim, 5000, small_cfg());
+        let ep = Endpoint::new(&cluster);
+        let results = Rc::new(RefCell::new(Vec::new()));
+        {
+            let results = results.clone();
+            sim.spawn(async move {
+                for i in [0u64, 1, 2499, 4999] {
+                    let got = idx.lookup(&ep, i * 8).await;
+                    results.borrow_mut().push(got);
+                }
+                let got = idx.lookup(&ep, 5).await;
+                results.borrow_mut().push(got);
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *results.borrow(),
+            vec![Some(0), Some(1), Some(2499), Some(4999), None]
+        );
+    }
+
+    #[test]
+    fn lookup_costs_height_round_trips() {
+        let sim = Sim::new();
+        let (cluster, idx) = build(&sim, 5000, small_cfg());
+        let ep = Endpoint::new(&cluster);
+        sim.spawn(async move {
+            idx.lookup(&ep, 2400 * 8).await;
+        });
+        sim.run();
+        let total_reads: u64 = (0..4).map(|s| cluster.server_stats(s).onesided_ops).sum();
+        // 5000 keys / 7 per leaf ≈ 715 leaves; fanout 7 → height 4-5.
+        assert!(
+            (4..=6).contains(&total_reads),
+            "expected height-many READs, got {total_reads}"
+        );
+    }
+
+    #[test]
+    fn range_with_head_prefetch() {
+        let sim = Sim::new();
+        let (cluster, idx) = build(&sim, 5000, small_cfg());
+        let ep = Endpoint::new(&cluster);
+        let out = Rc::new(RefCell::new(Vec::new()));
+        {
+            let out = out.clone();
+            sim.spawn(async move {
+                let rows = idx.range(&ep, 1000 * 8, 1499 * 8).await;
+                out.borrow_mut().extend(rows);
+            });
+        }
+        sim.run();
+        let rows = out.borrow();
+        assert_eq!(rows.len(), 500);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(rows[0], (8000, 1000));
+    }
+
+    #[test]
+    fn range_without_heads_matches() {
+        let sim = Sim::new();
+        let cfg = FgConfig {
+            head_stride: 0,
+            ..small_cfg()
+        };
+        let (cluster, idx) = build(&sim, 2000, cfg);
+        let ep = Endpoint::new(&cluster);
+        let out = Rc::new(RefCell::new(Vec::new()));
+        {
+            let out = out.clone();
+            sim.spawn(async move {
+                let rows = idx.range(&ep, 0, 1999 * 8).await;
+                out.borrow_mut().extend(rows);
+            });
+        }
+        sim.run();
+        assert_eq!(out.borrow().len(), 2000);
+    }
+
+    #[test]
+    fn insert_and_split_propagation() {
+        let sim = Sim::new();
+        let (cluster, idx) = build(&sim, 500, small_cfg());
+        let ep = Endpoint::new(&cluster);
+        let idx2 = idx.clone();
+        sim.spawn(async move {
+            // Dense odd-key inserts force many leaf and inner splits.
+            for i in 0..500u64 {
+                idx2.insert(&ep, i * 8 + 1, 10_000 + i).await;
+            }
+            for i in 0..500u64 {
+                assert_eq!(idx2.lookup(&ep, i * 8 + 1).await, Some(10_000 + i));
+                assert_eq!(idx2.lookup(&ep, i * 8).await, Some(i), "old key {i}");
+            }
+        });
+        sim.run();
+        drop(cluster);
+    }
+
+    #[test]
+    fn concurrent_inserts_all_survive() {
+        let sim = Sim::new();
+        let (cluster, idx) = build(&sim, 1000, small_cfg());
+        for c in 0..8u64 {
+            let idx = idx.clone();
+            let ep = Endpoint::new(&cluster);
+            sim.spawn(async move {
+                for i in 0..60u64 {
+                    idx.insert(&ep, (i * 1000 + c) * 16 + 1, c * 100 + i).await;
+                }
+            });
+        }
+        sim.run();
+        let idx2 = idx.clone();
+        let ep = Endpoint::new(&cluster);
+        let ok = Rc::new(Cell::new(0u32));
+        {
+            let ok = ok.clone();
+            sim.spawn(async move {
+                for c in 0..8u64 {
+                    for i in 0..60u64 {
+                        if idx2.lookup(&ep, (i * 1000 + c) * 16 + 1).await == Some(c * 100 + i) {
+                            ok.set(ok.get() + 1);
+                        }
+                    }
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(ok.get(), 480, "every concurrent insert must be found");
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let sim = Sim::new();
+        let (cluster, idx) = build(&sim, 200, small_cfg());
+        let ep = Endpoint::new(&cluster);
+        sim.spawn(async move {
+            assert!(idx.delete(&ep, 40 * 8).await);
+            assert_eq!(idx.lookup(&ep, 40 * 8).await, None);
+            assert!(!idx.delete(&ep, 40 * 8).await);
+            // Neighbours unaffected.
+            assert_eq!(idx.lookup(&ep, 39 * 8).await, Some(39));
+            assert_eq!(idx.lookup(&ep, 41 * 8).await, Some(41));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn root_growth_under_append_pressure() {
+        let sim = Sim::new();
+        // Tiny index: root is a leaf; appends must grow it multiple
+        // levels.
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let idx = FineGrained::build(&cluster, small_cfg(), (0..5u64).map(|i| (i * 8, i)));
+        let ep = Endpoint::new(&cluster);
+        let idx2 = idx.clone();
+        sim.spawn(async move {
+            for i in 5..400u64 {
+                idx2.insert(&ep, i * 8, i).await;
+            }
+            for i in 0..400u64 {
+                assert_eq!(idx2.lookup(&ep, i * 8).await, Some(i), "key {i}");
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn maintain_heads_after_splits() {
+        let sim = Sim::new();
+        let (cluster, idx) = build(&sim, 300, small_cfg());
+        let ep = Endpoint::new(&cluster);
+        {
+            let idx = idx.clone();
+            sim.spawn(async move {
+                for i in 0..300u64 {
+                    idx.insert(&ep, i * 8 + 3, i).await;
+                }
+            });
+        }
+        sim.run();
+        idx.maintain_heads();
+        // Scans still see everything after head rebuild.
+        let ep = Endpoint::new(&cluster);
+        let n = Rc::new(Cell::new(0usize));
+        {
+            let idx = idx.clone();
+            let n = n.clone();
+            sim.spawn(async move {
+                n.set(idx.range(&ep, 0, KEY_MAX - 1).await.len());
+            });
+        }
+        sim.run();
+        assert_eq!(n.get(), 600);
+    }
+
+    use std::cell::Cell;
+}

@@ -1,0 +1,478 @@
+//! Design 3 (§5): hybrid scheme.
+//!
+//! Upper levels (root + inner nodes) are partitioned coarse-grained —
+//! each memory server holds a local tree over the leaf high keys in its
+//! key range, mapping them to leaf remote pointers. The leaf level is
+//! distributed fine-grained: leaves are scattered round-robin over *all*
+//! servers (with optional head nodes), so even under attribute-value
+//! skew leaf traffic spreads across the aggregated bandwidth.
+//!
+//! Access combines both protocols: a two-sided RPC traverses the upper
+//! levels and returns only the covering leaf's remote pointer (§5.2);
+//! the compute server then reads/updates the leaf with the one-sided
+//! protocol of §4. Leaf splits are reported back over a second RPC that
+//! installs the new separator into the upper levels.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use blink::node::{HeadNodeRef, LeafNodeMut, LeafNodeRef, NodeKind};
+use blink::{Key, LocalTree, PageLayout, Value};
+use nam::{handler_cpu_time, msg, NamCluster, PartitionMap, ServerNode};
+use rdma_sim::{Cluster, Endpoint, RemotePtr, RpcReply};
+use simnet::Sim;
+
+use crate::fg::{build_leaf_level, scan_chain, FgConfig};
+use crate::onesided::{lock_node, read_unlocked, unlock_only, write_unlock};
+
+/// The hybrid index.
+pub struct Hybrid {
+    cluster: Cluster,
+    sim: Sim,
+    nodes: Vec<Rc<ServerNode>>,
+    partition: PartitionMap,
+    layout: PageLayout,
+    /// Start of the fine-grained leaf chain.
+    first: Cell<RemotePtr>,
+    /// Round-robin cursor for new leaf placement.
+    alloc_rr: Cell<usize>,
+}
+
+fn rp(p: blink::Ptr) -> RemotePtr {
+    RemotePtr::from_page_ptr(p)
+}
+
+impl Hybrid {
+    /// Build the index: a fine-grained leaf chain over all servers, plus
+    /// per-server upper-level trees mapping leaf high keys (within the
+    /// server's partition) to leaf remote pointers.
+    pub fn build(
+        nam: &NamCluster,
+        cfg: FgConfig,
+        partition: PartitionMap,
+        items: impl Iterator<Item = (Key, Value)>,
+    ) -> Rc<Self> {
+        let n = nam.num_servers();
+        assert_eq!(partition.num_servers(), n, "partition map mismatch");
+        assert!(
+            matches!(partition, PartitionMap::Range { .. }),
+            "hybrid upper levels require range partitioning (high keys \
+             must be routable)"
+        );
+        let rr = Cell::new(0);
+        let leaf_level = build_leaf_level(&nam.rdma, &cfg, items, &rr);
+
+        // Partition (high_key -> leaf ptr) pairs by the high key.
+        let mut per_server: Vec<Vec<(Key, Value)>> = vec![Vec::new(); n];
+        for &(high, ptr) in &leaf_level.leaves {
+            per_server[partition.server_of(high)].push((high, ptr.raw()));
+        }
+        // Each index owns its per-server upper-level state.
+        let nodes: Vec<Rc<ServerNode>> = (0..n).map(|_| Rc::new(ServerNode::new())).collect();
+        for (s, pairs) in per_server.into_iter().enumerate() {
+            nodes[s].install_tree(LocalTree::bulk_load(cfg.layout, pairs, cfg.fill));
+        }
+
+        Rc::new(Hybrid {
+            cluster: nam.rdma.clone(),
+            sim: nam.rdma.sim().clone(),
+            nodes,
+            partition,
+            layout: cfg.layout,
+            first: Cell::new(leaf_level.first),
+            alloc_rr: rr,
+        })
+    }
+
+    fn ps(&self) -> usize {
+        self.layout.page_size()
+    }
+
+    /// The partition map of the upper levels.
+    pub fn partition(&self) -> &PartitionMap {
+        &self.partition
+    }
+
+    /// Start of the leaf chain.
+    pub fn first(&self) -> RemotePtr {
+        self.first.get()
+    }
+
+    /// Page geometry.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    /// The cluster this index lives on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Per-server upper-level state (for the GC driver).
+    pub fn nodes(&self) -> &[Rc<ServerNode>] {
+        &self.nodes
+    }
+
+    /// RPC the upper levels for the leaf covering `key` (§5.2: the RPC
+    /// returns only the remote pointer). Falls back to successive
+    /// servers when the covering leaf's high key lives in a later
+    /// partition.
+    async fn leaf_ptr_for(&self, ep: &Endpoint, key: Key, req_bytes: usize) -> RemotePtr {
+        let mut s = self.partition.server_of(key);
+        loop {
+            let node = self.nodes[s].clone();
+            let spec = self.cluster.spec().clone();
+            let found: Option<u64> = if ep.is_local(s) {
+                // Co-located fast path (Appendix A.3).
+                let (res, work) = node.with_tree(|t| t.ceiling(key));
+                ep.local_work(s, handler_cpu_time(&spec, work), msg::leaf_ptr_resp())
+                    .await;
+                res.map(|(_, ptr_raw)| ptr_raw)
+            } else {
+                ep.rpc(s, req_bytes, move || {
+                    let (res, work) = node.with_tree(|t| t.ceiling(key));
+                    RpcReply {
+                        value: res.map(|(_, ptr_raw)| ptr_raw),
+                        cpu: handler_cpu_time(&spec, work),
+                        resp_bytes: msg::leaf_ptr_resp(),
+                    }
+                })
+                .await
+            };
+            if let Some(raw) = found {
+                return RemotePtr::from_raw(raw);
+            }
+            s += 1;
+            assert!(
+                s < self.nodes.len(),
+                "rightmost leaf (high key = +inf) must be registered"
+            );
+        }
+    }
+
+    /// Point lookup: RPC for the leaf pointer, then one-sided leaf READ.
+    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Option<Value> {
+        let mut cur = self.leaf_ptr_for(ep, key, msg::lookup_req()).await;
+        loop {
+            let page = read_unlocked(ep, cur, self.ps()).await;
+            match blink::node::kind_of(&page) {
+                NodeKind::Leaf => {
+                    let leaf = LeafNodeRef::new(&page);
+                    if leaf.covers(key) {
+                        return leaf.get(key);
+                    }
+                    cur = rp(leaf.right_sibling());
+                }
+                NodeKind::Head => cur = rp(HeadNodeRef::new(&page).right_sibling()),
+                NodeKind::Inner => unreachable!("upper levels are server-local"),
+            }
+            assert!(!cur.is_null(), "fell off the leaf chain");
+        }
+    }
+
+    /// Range query: RPC for the starting leaf, then a fine-grained chain
+    /// scan with head-node prefetch.
+    pub async fn range(&self, ep: &Endpoint, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let start = self.leaf_ptr_for(ep, lo, msg::range_req()).await;
+        let mut out = Vec::new();
+        scan_chain(ep, self.layout, start, None, lo, hi, &mut out).await;
+        // A concurrent split may route us to a leaf left of `lo`'s final
+        // position; scan_chain handles that by starting at the covering
+        // leaf and skipping non-matching keys.
+        out
+    }
+
+    /// Insert: RPC for the leaf pointer, one-sided leaf install (§4
+    /// protocol); on a split, report the new leaf back over RPC so the
+    /// memory server installs it into the upper levels (§5.2).
+    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) {
+        let mut cur = self.leaf_ptr_for(ep, key, msg::insert_req()).await;
+        let mut page;
+        // Find and lock the covering leaf.
+        loop {
+            page = read_unlocked(ep, cur, self.ps()).await;
+            if blink::node::kind_of(&page) == NodeKind::Head {
+                cur = rp(HeadNodeRef::new(&page).right_sibling());
+                continue;
+            }
+            lock_node(ep, cur, &mut page).await;
+            let leaf = LeafNodeRef::new(&page);
+            if leaf.covers(key) {
+                break;
+            }
+            let next = rp(leaf.right_sibling());
+            unlock_only(ep, cur).await;
+            cur = next;
+        }
+
+        let full = LeafNodeMut::new(&mut page).insert(key, value).is_err();
+        if !full {
+            write_unlock(ep, cur, &page, None).await;
+            return;
+        }
+
+        // Split the leaf (one-sided), then register the new separator
+        // with the upper levels.
+        let s = self.alloc_rr.get();
+        self.alloc_rr.set((s + 1) % self.cluster.num_servers());
+        let right_ptr = ep.alloc(s, self.ps() as u64).await;
+        let mut right_page = self.layout.alloc_page();
+        let sep = LeafNodeMut::new(&mut page).split_into(
+            &mut right_page,
+            cur.as_page_ptr(),
+            right_ptr.as_page_ptr(),
+        );
+        let old_high = LeafNodeRef::new(&right_page).high_key();
+        {
+            let target = if key <= sep {
+                &mut page
+            } else {
+                &mut *right_page
+            };
+            LeafNodeMut::new(target)
+                .insert(key, value)
+                .expect("half-full after split");
+        }
+        write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
+
+        // Upper-level registration. Order matters: first map sep -> left
+        // (new entry), then repoint old_high -> right; in the interim,
+        // stale routing is corrected by B-link sibling chases.
+        let s_new = self.partition.server_of(sep);
+        let s_old = self.partition.server_of(old_high);
+        if s_new == s_old {
+            let node = self.nodes[s_new].clone();
+            let spec = self.cluster.spec().clone();
+            let sim = self.sim.clone();
+            let (left_raw, right_raw) = (cur.raw(), right_ptr.raw());
+            ep.rpc(s_new, msg::install_leaf_req(), move || {
+                let (leaf_page, mut work) = node.with_tree(|t| {
+                    let (leaf, w) = t.insert_at_leaf(sep, left_raw);
+                    let (_, w2) = t.update_value(old_high, right_raw);
+                    let mut w = w;
+                    w.absorb(w2);
+                    (leaf, w)
+                });
+                work.entries_scanned += 1;
+                let wait = node
+                    .locks
+                    .acquire(leaf_page.raw(), sim.now(), spec.leaf_lock_hold);
+                // Upper levels carry only their share of write overhead:
+                // leaf writes and leaf GC are client-side in the hybrid.
+                RpcReply {
+                    value: (),
+                    cpu: handler_cpu_time(&spec, work) + spec.cpu_insert_extra / 4 + wait,
+                    resp_bytes: msg::ack(),
+                }
+            })
+            .await;
+        } else {
+            // Cross-partition: two RPCs, new entry first.
+            let node = self.nodes[s_new].clone();
+            let spec = self.cluster.spec().clone();
+            let sim = self.sim.clone();
+            let left_raw = cur.raw();
+            ep.rpc(s_new, msg::install_leaf_req(), move || {
+                let (leaf_page, work) = node.with_tree(|t| t.insert_at_leaf(sep, left_raw));
+                let wait = node
+                    .locks
+                    .acquire(leaf_page.raw(), sim.now(), spec.leaf_lock_hold);
+                RpcReply {
+                    value: (),
+                    cpu: handler_cpu_time(&spec, work) + spec.cpu_insert_extra / 4 + wait,
+                    resp_bytes: msg::ack(),
+                }
+            })
+            .await;
+            let node = self.nodes[s_old].clone();
+            let spec = self.cluster.spec().clone();
+            let right_raw = right_ptr.raw();
+            ep.rpc(s_old, msg::install_leaf_req(), move || {
+                let (_, work) = node.with_tree(|t| t.update_value(old_high, right_raw));
+                RpcReply {
+                    value: (),
+                    cpu: handler_cpu_time(&spec, work),
+                    resp_bytes: msg::ack(),
+                }
+            })
+            .await;
+        }
+    }
+
+    /// Tombstone-delete `key` with the one-sided leaf protocol.
+    pub async fn delete(&self, ep: &Endpoint, key: Key) -> bool {
+        let mut cur = self.leaf_ptr_for(ep, key, msg::delete_req()).await;
+        let mut page;
+        loop {
+            page = read_unlocked(ep, cur, self.ps()).await;
+            if blink::node::kind_of(&page) == NodeKind::Head {
+                cur = rp(HeadNodeRef::new(&page).right_sibling());
+                continue;
+            }
+            lock_node(ep, cur, &mut page).await;
+            let leaf = LeafNodeRef::new(&page);
+            if leaf.covers(key) {
+                break;
+            }
+            let next = rp(leaf.right_sibling());
+            unlock_only(ep, cur).await;
+            cur = next;
+        }
+        let deleted = LeafNodeMut::new(&mut page).mark_deleted(key);
+        if deleted {
+            write_unlock(ep, cur, &page, None).await;
+        } else {
+            unlock_only(ep, cur).await;
+        }
+        deleted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::ClusterSpec;
+    use simnet::Sim;
+    use std::cell::{Cell, RefCell};
+
+    fn small_cfg() -> FgConfig {
+        FgConfig {
+            layout: PageLayout::new(200),
+            fill: 0.7,
+            head_stride: 4,
+        }
+    }
+
+    fn build(sim: &Sim, n: u64) -> (NamCluster, Rc<Hybrid>) {
+        let nam = NamCluster::new(sim, ClusterSpec::default());
+        let partition = PartitionMap::range_uniform(nam.num_servers(), n * 8);
+        let idx = Hybrid::build(&nam, small_cfg(), partition, (0..n).map(|i| (i * 8, i)));
+        (nam, idx)
+    }
+
+    #[test]
+    fn lookup_via_rpc_plus_one_read() {
+        let sim = Sim::new();
+        let (nam, idx) = build(&sim, 5000);
+        let ep = Endpoint::new(&nam.rdma);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        {
+            let got = got.clone();
+            sim.spawn(async move {
+                for i in [0u64, 1234, 4999] {
+                    let v = idx.lookup(&ep, i * 8).await;
+                    got.borrow_mut().push(v);
+                }
+                let v = idx.lookup(&ep, 9).await;
+                got.borrow_mut().push(v);
+            });
+        }
+        sim.run();
+        assert_eq!(*got.borrow(), vec![Some(0), Some(1234), Some(4999), None]);
+        // One RPC + one one-sided READ per lookup (modulo chain steps).
+        let rpcs: u64 = (0..4).map(|s| nam.rdma.server_stats(s).rpcs).sum();
+        let reads: u64 = (0..4).map(|s| nam.rdma.server_stats(s).onesided_ops).sum();
+        assert_eq!(rpcs, 4);
+        assert!((4..=8).contains(&reads), "got {reads} READs");
+    }
+
+    #[test]
+    fn leaves_scatter_under_skewed_partition() {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::default());
+        let n = 5000u64;
+        let partition = PartitionMap::range_fractions(&[0.80, 0.12, 0.05, 0.03], n * 8);
+        let idx = Hybrid::build(&nam, small_cfg(), partition, (0..n).map(|i| (i * 8, i)));
+        // Leaf pages are spread round-robin despite the skewed partition.
+        for s in 0..4 {
+            let bytes = nam.rdma.with_pool(s, |p| p.allocated());
+            assert!(bytes > 50 * 200, "server {s} must hold leaves: {bytes}");
+        }
+        drop(idx);
+    }
+
+    #[test]
+    fn range_spans_partitions() {
+        let sim = Sim::new();
+        let (nam, idx) = build(&sim, 5000);
+        let ep = Endpoint::new(&nam.rdma);
+        let out = Rc::new(RefCell::new(Vec::new()));
+        {
+            let out = out.clone();
+            sim.spawn(async move {
+                let rows = idx.range(&ep, 1200 * 8, 1399 * 8).await;
+                out.borrow_mut().extend(rows);
+            });
+        }
+        sim.run();
+        let rows = out.borrow();
+        assert_eq!(rows.len(), 200);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn insert_with_splits_and_upper_registration() {
+        let sim = Sim::new();
+        let (nam, idx) = build(&sim, 500);
+        let ep = Endpoint::new(&nam.rdma);
+        let idx2 = idx.clone();
+        sim.spawn(async move {
+            for i in 0..500u64 {
+                idx2.insert(&ep, i * 8 + 1, 90_000 + i).await;
+            }
+            for i in 0..500u64 {
+                assert_eq!(idx2.lookup(&ep, i * 8 + 1).await, Some(90_000 + i));
+                assert_eq!(idx2.lookup(&ep, i * 8).await, Some(i));
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn concurrent_inserts_all_survive() {
+        let sim = Sim::new();
+        let (nam, idx) = build(&sim, 1000);
+        for c in 0..6u64 {
+            let idx = idx.clone();
+            let ep = Endpoint::new(&nam.rdma);
+            sim.spawn(async move {
+                for i in 0..40u64 {
+                    idx.insert(&ep, (i * 6 + c) * 8 + 3, c * 1000 + i).await;
+                }
+            });
+        }
+        sim.run();
+        let ep = Endpoint::new(&nam.rdma);
+        let ok = Rc::new(Cell::new(0u32));
+        {
+            let idx = idx.clone();
+            let ok = ok.clone();
+            sim.spawn(async move {
+                for c in 0..6u64 {
+                    for i in 0..40u64 {
+                        if idx.lookup(&ep, (i * 6 + c) * 8 + 3).await == Some(c * 1000 + i) {
+                            ok.set(ok.get() + 1);
+                        }
+                    }
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(ok.get(), 240);
+    }
+
+    #[test]
+    fn delete_round_trip() {
+        let sim = Sim::new();
+        let (nam, idx) = build(&sim, 300);
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            assert!(idx.delete(&ep, 100 * 8).await);
+            assert_eq!(idx.lookup(&ep, 100 * 8).await, None);
+            assert!(!idx.delete(&ep, 100 * 8).await);
+            let rows = idx.range(&ep, 99 * 8, 101 * 8).await;
+            assert_eq!(rows.len(), 2, "tombstoned entry must not scan");
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,230 @@
+//! The one-sided access protocol of §4.2 (Listing 4), shared by the
+//! fine-grained design and the hybrid design's leaf level.
+//!
+//! * `remote_readLockOrRestart` → [`read_unlocked`]: READ the node; if
+//!   its lock bit is set, spin by re-reading (a *remote* spinlock — each
+//!   retry costs a round trip on the wire, not server CPU).
+//! * `remote_upgradeToWriteLockOrRestart` → [`lock_node`]: CAS the
+//!   `(version, lock-bit)` word from the observed unlocked value to its
+//!   locked form; on CAS failure, re-read and retry.
+//! * `remote_writeUnlock` → [`write_unlock`]: install the (optional)
+//!   split sibling with a WRITE, write the modified node back, then
+//!   FETCH_AND_ADD(+1) the lock word — clearing the lock bit and bumping
+//!   the version in one atomic step.
+
+use blink::layout::lock_word;
+use blink::node::version_lock_of;
+use rdma_sim::{Endpoint, RemotePtr};
+use simnet::SimDur;
+
+/// Remote-spin backoff: doubling from 1 µs, capped at 32 µs. Without
+/// backoff, spinning clients flood the lock holder's NIC with re-READs
+/// and collapse the server under contention.
+fn backoff(attempt: u32) -> SimDur {
+    SimDur::from_micros(1 << attempt.min(5))
+}
+
+/// READ `ptr` until the copy observed is unlocked (remote spin with
+/// exponential backoff; each retry is a fresh READ). Returns the page
+/// bytes.
+pub(crate) async fn read_unlocked(ep: &Endpoint, ptr: RemotePtr, page_size: usize) -> Vec<u8> {
+    let mut attempt = 0u32;
+    loop {
+        let page = ep.read(ptr, page_size).await;
+        if !lock_word::is_locked(version_lock_of(&page)) {
+            return page;
+        }
+        ep.cluster().sim().clone().sleep(backoff(attempt)).await;
+        attempt += 1;
+    }
+}
+
+/// Acquire the node lock: CAS the lock word from the version observed in
+/// `page` to its locked form; on failure re-read and retry. On success,
+/// `page` holds a fresh unlocked copy whose lock word has been updated to
+/// the locked value (mirroring the remote state we just installed).
+pub(crate) async fn lock_node(ep: &Endpoint, ptr: RemotePtr, page: &mut Vec<u8>) -> u64 {
+    let mut attempt = 0u32;
+    loop {
+        let v = version_lock_of(page);
+        if !lock_word::is_locked(v) {
+            let locked = lock_word::locked(v);
+            let old = ep.cas(ptr, v, locked).await;
+            if old == v {
+                blink::node::set_version_lock(page, locked);
+                return locked;
+            }
+        }
+        // Lost the race (locked, or version moved): back off, refresh,
+        // retry.
+        ep.cluster().sim().clone().sleep(backoff(attempt)).await;
+        attempt += 1;
+        *page = ep.read(ptr, page.len()).await;
+    }
+}
+
+/// Release the node lock *without* writing the page back (used when an
+/// operation locked a node and then discovered it must move right).
+pub(crate) async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) {
+    ep.fetch_add(ptr, 1).await;
+}
+
+/// `remote_writeUnlock` (Listing 4): if the node was split, WRITE the new
+/// right sibling first; WRITE the modified node in place; FETCH_AND_ADD
+/// the lock word to unlock-and-version-bump.
+///
+/// `page` must carry the *locked* lock word (as left by [`lock_node`]) so
+/// that the in-place WRITE does not transiently unlock the node; the
+/// final FAA performs the unlock.
+pub(crate) async fn write_unlock(
+    ep: &Endpoint,
+    ptr: RemotePtr,
+    page: &[u8],
+    split: Option<(RemotePtr, &[u8])>,
+) {
+    debug_assert!(
+        lock_word::is_locked(version_lock_of(page)),
+        "write_unlock requires the locked lock word in the page image"
+    );
+    if let Some((right_ptr, right_page)) = split {
+        ep.write(right_ptr, right_page).await;
+    }
+    ep.write(ptr, page).await;
+    ep.fetch_add(ptr, 1).await;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink::layout::{PageLayout, Ptr, KEY_MAX};
+    use blink::node::LeafNodeMut;
+    use rdma_sim::{Cluster, ClusterSpec};
+    use simnet::{Sim, SimDur};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn setup_leaf(cluster: &Cluster) -> RemotePtr {
+        let layout = PageLayout::default();
+        let mut page = layout.alloc_page();
+        let mut leaf = LeafNodeMut::init(&mut page, KEY_MAX, Ptr::NULL, Ptr::NULL);
+        leaf.insert(5, 50).unwrap();
+        let ptr = cluster.setup_alloc(0, layout.page_size() as u64);
+        cluster.setup_write(ptr, &page);
+        ptr
+    }
+
+    #[test]
+    fn read_unlocked_spins_until_released() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ptr = setup_leaf(&cluster);
+        // Lock the node out-of-band.
+        cluster.with_pool(0, |p| {
+            p.write_u64(ptr.offset(), 1);
+        });
+        let reads_done = Rc::new(Cell::new(0u64));
+        {
+            let ep = Endpoint::new(&cluster);
+            let r = reads_done.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                let page = read_unlocked(&ep, ptr, 1024).await;
+                assert!(!lock_word::is_locked(version_lock_of(&page)));
+                r.set(s.now().as_nanos());
+            });
+        }
+        // Unlock after 50us.
+        {
+            let cluster2 = cluster.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDur::from_micros(50)).await;
+                cluster2.with_pool(0, |p| {
+                    p.fetch_add(ptr.offset(), 1);
+                });
+            });
+        }
+        sim.run();
+        assert!(
+            reads_done.get() >= 50_000,
+            "reader must spin until unlock (done at {}ns)",
+            reads_done.get()
+        );
+        // Remote spinning cost wire traffic: several full-page reads.
+        assert!(cluster.server_stats(0).onesided_ops > 5);
+    }
+
+    #[test]
+    fn lock_contention_has_single_winner_at_a_time() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ptr = setup_leaf(&cluster);
+        let in_cs = Rc::new(Cell::new(0i32));
+        let max_in_cs = Rc::new(Cell::new(0i32));
+        for _ in 0..8 {
+            let ep = Endpoint::new(&cluster);
+            let in_cs = in_cs.clone();
+            let max_in_cs = max_in_cs.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                let mut page = ep.read(ptr, 1024).await;
+                lock_node(&ep, ptr, &mut page).await;
+                in_cs.set(in_cs.get() + 1);
+                max_in_cs.set(max_in_cs.get().max(in_cs.get()));
+                s.sleep(SimDur::from_micros(3)).await; // critical section
+                in_cs.set(in_cs.get() - 1);
+                write_unlock(&ep, ptr, &page, None).await;
+            });
+        }
+        sim.run();
+        assert_eq!(max_in_cs.get(), 1, "mutual exclusion violated");
+        // Version advanced once per holder.
+        let word = cluster.with_pool(0, |p| p.read_u64(ptr.offset()));
+        assert_eq!(word, 2 * 8, "8 lock/unlock cycles bump version by 2 each");
+        assert!(!lock_word::is_locked(word));
+    }
+
+    #[test]
+    fn write_unlock_installs_split_sibling_first() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ptr = setup_leaf(&cluster);
+        let right_ptr = cluster.setup_alloc(1, 1024);
+        let ep = Endpoint::new(&cluster);
+        sim.spawn(async move {
+            let mut page = ep.read(ptr, 1024).await;
+            lock_node(&ep, ptr, &mut page).await;
+            let layout = PageLayout::default();
+            let mut right = layout.alloc_page();
+            LeafNodeMut::init(&mut right, KEY_MAX, Ptr::NULL, Ptr::NULL);
+            write_unlock(&ep, ptr, &page, Some((right_ptr, &right))).await;
+        });
+        sim.run();
+        // Right page exists remotely and left is unlocked.
+        let right = cluster.setup_read(right_ptr, 1024);
+        assert_eq!(blink::node::kind_of(&right), blink::node::NodeKind::Leaf);
+        let word = cluster.with_pool(0, |p| p.read_u64(ptr.offset()));
+        assert!(!lock_word::is_locked(word));
+    }
+
+    #[test]
+    fn unlock_only_releases() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ptr = setup_leaf(&cluster);
+        let ep = Endpoint::new(&cluster);
+        sim.spawn(async move {
+            let mut page = ep.read(ptr, 1024).await;
+            lock_node(&ep, ptr, &mut page).await;
+            unlock_only(&ep, ptr).await;
+            // Lock again to prove it is free.
+            let mut page = ep.read(ptr, 1024).await;
+            lock_node(&ep, ptr, &mut page).await;
+            write_unlock(&ep, ptr, &page, None).await;
+        });
+        sim.run();
+        let word = cluster.with_pool(0, |p| p.read_u64(ptr.offset()));
+        assert!(!lock_word::is_locked(word));
+        assert_eq!(word, 4);
+    }
+}

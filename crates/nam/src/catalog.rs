@@ -1,0 +1,101 @@
+//! The catalog service.
+//!
+//! §4.2: "compute servers need to know the remote pointer for the root
+//! node. This can be implemented as part of a catalog service that is
+//! anyway used during query compilation and optimization." The catalog
+//! maps index names to the metadata a compute server needs before its
+//! first access: the design kind, the global root (fine-grained), and/or
+//! the partition map (coarse-grained, hybrid).
+
+use std::collections::HashMap;
+
+use rdma_sim::RemotePtr;
+
+use crate::partition::PartitionMap;
+
+/// Which of the paper's three designs an index uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexKind {
+    /// Design 1 (§3): coarse-grained distribution, two-sided access.
+    CoarseGrained,
+    /// Design 2 (§4): fine-grained distribution, one-sided access.
+    FineGrained,
+    /// Design 3 (§5): hybrid.
+    Hybrid,
+}
+
+/// Everything a compute server must know to access an index.
+#[derive(Clone, Debug)]
+pub struct IndexDescriptor {
+    /// The design this index uses.
+    pub kind: IndexKind,
+    /// Root remote pointer (fine-grained only; NULL otherwise).
+    pub root: RemotePtr,
+    /// Partition map (coarse-grained and hybrid; `None` for fine-grained).
+    pub partition: Option<PartitionMap>,
+}
+
+/// Name → descriptor registry.
+#[derive(Default)]
+pub struct Catalog {
+    entries: HashMap<String, IndexDescriptor>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) an index.
+    pub fn register(&mut self, name: impl Into<String>, desc: IndexDescriptor) {
+        self.entries.insert(name.into(), desc);
+    }
+
+    /// Look up an index by name.
+    pub fn lookup(&self, name: &str) -> Option<&IndexDescriptor> {
+        self.entries.get(name)
+    }
+
+    /// Registered index names (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register(
+            "orders_idx",
+            IndexDescriptor {
+                kind: IndexKind::FineGrained,
+                root: RemotePtr::new(0, 64),
+                partition: None,
+            },
+        );
+        let d = cat.lookup("orders_idx").expect("registered");
+        assert_eq!(d.kind, IndexKind::FineGrained);
+        assert_eq!(d.root.server(), 0);
+        assert!(cat.lookup("missing").is_none());
+        assert_eq!(cat.names().count(), 1);
+    }
+
+    #[test]
+    fn replace_updates() {
+        let mut cat = Catalog::new();
+        let mk = |server| IndexDescriptor {
+            kind: IndexKind::CoarseGrained,
+            root: RemotePtr::NULL,
+            partition: Some(PartitionMap::range_uniform(server, 100)),
+        };
+        cat.register("t", mk(2));
+        cat.register("t", mk(4));
+        let d = cat.lookup("t").unwrap();
+        assert_eq!(d.partition.as_ref().unwrap().num_servers(), 4);
+    }
+}

@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+
+//! # nam — the Network-Attached-Memory architecture assembly
+//!
+//! The NAM architecture (Figure 1 of the paper) logically separates
+//! *compute servers*, which run query/transaction logic, from *memory
+//! servers*, which expose a shared RDMA-accessible memory pool. This
+//! crate provides everything the three index designs (in `namdex-core`)
+//! need from that architecture:
+//!
+//! * [`partition`] — key-space partitioning for the coarse-grained and
+//!   hybrid designs: range (uniform or with explicit fractions, used to
+//!   induce the paper's 80/12/5/3 attribute-value skew) and hash.
+//! * [`node`] — per-memory-server state: the server's local B-link tree
+//!   (a CG partition or the hybrid design's upper levels) and the
+//!   work→CPU-time cost model for RPC handlers.
+//! * [`lock`] — a virtual-time lock table modelling handler spin-waits on
+//!   contended page locks; wait time occupies the handler core, which is
+//!   the degradation mechanism of Fig. 12.
+//! * [`msg`] — RPC wire-format sizes (requests/responses) so two-sided
+//!   traffic is charged byte-accurately.
+//! * [`catalog`] — the catalog service compute servers consult for index
+//!   roots and partition maps (§4.2: "part of a catalog service that is
+//!   anyway used during query compilation").
+//! * [`NamCluster`] — the assembled deployment.
+
+pub mod catalog;
+pub mod lock;
+pub mod msg;
+pub mod node;
+pub mod partition;
+
+pub use catalog::{Catalog, IndexDescriptor, IndexKind};
+pub use lock::LockTable;
+pub use node::{handler_cpu_time, ServerNode};
+pub use partition::PartitionMap;
+
+use rdma_sim::{Cluster, ClusterSpec};
+use simnet::Sim;
+
+/// An assembled NAM deployment: the simulated RDMA cluster plus the
+/// catalog service. Per-index server-side state ([`ServerNode`]) is
+/// owned by each index, since a memory server hosts one local tree per
+/// index it serves.
+pub struct NamCluster {
+    /// The underlying simulated RDMA cluster.
+    pub rdma: Cluster,
+    /// The catalog service.
+    pub catalog: Catalog,
+}
+
+impl NamCluster {
+    /// Deploy a NAM cluster on `sim` with the given spec.
+    pub fn new(sim: &Sim, spec: ClusterSpec) -> Self {
+        NamCluster {
+            rdma: Cluster::new(sim, spec),
+            catalog: Catalog::new(),
+        }
+    }
+
+    /// Number of memory servers.
+    pub fn num_servers(&self) -> usize {
+        self.rdma.num_servers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_matches_spec() {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::with_memory_servers(6));
+        assert_eq!(nam.num_servers(), 6);
+    }
+}

@@ -1,0 +1,242 @@
+//! The simulated cluster: memory servers, their NIC ports, RPC cores,
+//! registered memory, and traffic counters.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::resource::{CpuPool, FifoLink};
+use simnet::stats::Counter;
+use simnet::{Sim, SimDur};
+
+use crate::pool::MemPool;
+use crate::ptr::RemotePtr;
+use crate::spec::ClusterSpec;
+
+/// One memory server's simulated hardware and state.
+pub(crate) struct MemServer {
+    /// The server's NIC port (wire-time FIFO).
+    pub nic: FifoLink,
+    /// RPC handler cores.
+    pub cpu: CpuPool,
+    /// RDMA-registered memory.
+    pub pool: RefCell<MemPool>,
+    /// Bytes received over the wire (writes, RPC requests).
+    pub bytes_in: Counter,
+    /// Bytes sent over the wire (reads, RPC responses).
+    pub bytes_out: Counter,
+    /// Bytes moved over the local path (co-located accesses).
+    pub local_bytes: Counter,
+    /// One-sided verbs served.
+    pub onesided_ops: Counter,
+    /// Two-sided RPCs served.
+    pub rpcs: Counter,
+}
+
+struct Inner {
+    sim: Sim,
+    spec: ClusterSpec,
+    servers: Vec<MemServer>,
+    /// Connected compute clients (drives per-RPC RC state overhead).
+    active_clients: std::cell::Cell<usize>,
+}
+
+/// Handle to the simulated cluster; cheap to clone.
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Rc<Inner>,
+}
+
+/// Snapshot of one memory server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Bytes received over the wire.
+    pub bytes_in: u64,
+    /// Bytes sent over the wire.
+    pub bytes_out: u64,
+    /// Bytes moved over the local (co-located) path.
+    pub local_bytes: u64,
+    /// One-sided verbs served.
+    pub onesided_ops: u64,
+    /// Two-sided RPCs served.
+    pub rpcs: u64,
+    /// Cumulative NIC wire occupancy, nanoseconds.
+    pub nic_busy_nanos: u64,
+    /// Cumulative RPC core occupancy, nanoseconds.
+    pub cpu_busy_nanos: u64,
+}
+
+impl Cluster {
+    /// Build a cluster per `spec` on the given simulation.
+    pub fn new(sim: &Sim, spec: ClusterSpec) -> Self {
+        assert!(
+            spec.num_servers() <= RemotePtr::MAX_SERVERS,
+            "remote pointers address at most 128 servers"
+        );
+        let servers = (0..spec.num_servers())
+            .map(|_| MemServer {
+                nic: FifoLink::new(),
+                cpu: CpuPool::new(spec.rpc_cores_per_server),
+                pool: RefCell::new(MemPool::new()),
+                bytes_in: Counter::new(),
+                bytes_out: Counter::new(),
+                local_bytes: Counter::new(),
+                onesided_ops: Counter::new(),
+                rpcs: Counter::new(),
+            })
+            .collect();
+        Cluster {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                spec,
+                servers,
+                active_clients: std::cell::Cell::new(0),
+            }),
+        }
+    }
+
+    /// Declare how many compute clients are connected; RPC handler
+    /// service time grows by `rpc_client_penalty` per client (RC QP
+    /// state pressure, see [`ClusterSpec::rpc_client_penalty`]).
+    pub fn set_active_clients(&self, n: usize) {
+        self.inner.active_clients.set(n);
+    }
+
+    /// Currently declared compute client count.
+    pub fn active_clients(&self) -> usize {
+        self.inner.active_clients.get()
+    }
+
+    /// The simulation this cluster runs on.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// Cluster configuration.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.inner.spec
+    }
+
+    /// Number of memory servers.
+    pub fn num_servers(&self) -> usize {
+        self.inner.servers.len()
+    }
+
+    pub(crate) fn server(&self, s: usize) -> &MemServer {
+        &self.inner.servers[s]
+    }
+
+    // ---- control path (untimed; for loading / setup, not measurement) ----
+
+    /// Allocate `size` bytes on server `s` without charging simulated
+    /// time. Loading-phase only.
+    pub fn setup_alloc(&self, s: usize, size: u64) -> RemotePtr {
+        let off = self.server(s).pool.borrow_mut().alloc(size);
+        RemotePtr::new(s, off)
+    }
+
+    /// Write bytes without charging simulated time. Loading-phase only.
+    pub fn setup_write(&self, ptr: RemotePtr, data: &[u8]) {
+        self.server(ptr.server())
+            .pool
+            .borrow_mut()
+            .copy_in(ptr.offset(), data);
+    }
+
+    /// Read bytes without charging simulated time. Loading-phase only.
+    pub fn setup_read(&self, ptr: RemotePtr, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.server(ptr.server())
+            .pool
+            .borrow()
+            .copy_out(ptr.offset(), &mut buf);
+        buf
+    }
+
+    /// Run `f` with mutable access to server `s`'s memory pool, untimed.
+    /// Loading-phase and GC bookkeeping only.
+    pub fn with_pool<R>(&self, s: usize, f: impl FnOnce(&mut MemPool) -> R) -> R {
+        f(&mut self.server(s).pool.borrow_mut())
+    }
+
+    // ---- statistics ----
+
+    /// Snapshot one server's counters.
+    pub fn server_stats(&self, s: usize) -> ServerStats {
+        let sv = self.server(s);
+        ServerStats {
+            bytes_in: sv.bytes_in.get(),
+            bytes_out: sv.bytes_out.get(),
+            local_bytes: sv.local_bytes.get(),
+            onesided_ops: sv.onesided_ops.get(),
+            rpcs: sv.rpcs.get(),
+            nic_busy_nanos: sv.nic.busy_time().as_nanos(),
+            cpu_busy_nanos: sv.cpu.busy_time().as_nanos(),
+        }
+    }
+
+    /// Snapshot all servers' counters.
+    pub fn all_stats(&self) -> Vec<ServerStats> {
+        (0..self.num_servers())
+            .map(|s| self.server_stats(s))
+            .collect()
+    }
+
+    /// Total bytes moved over the wire (both directions, all servers).
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.inner
+            .servers
+            .iter()
+            .map(|s| s.bytes_in.get() + s.bytes_out.get())
+            .sum()
+    }
+
+    /// Aggregate theoretical wire capacity of all servers in bytes/second
+    /// (the "Max. Bandwidth" line in Fig. 9).
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        (0..self.num_servers())
+            .map(|s| self.inner.spec.effective_bandwidth(s))
+            .sum()
+    }
+
+    /// Convenience: effective wire time for `bytes` on server `s`.
+    pub(crate) fn wire_time(&self, s: usize, bytes: usize) -> SimDur {
+        self.inner.spec.wire_time(s, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_round_trip() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        assert_eq!(cluster.num_servers(), 4);
+        let ptr = cluster.setup_alloc(2, 64);
+        assert_eq!(ptr.server(), 2);
+        cluster.setup_write(ptr, &[9, 8, 7]);
+        assert_eq!(cluster.setup_read(ptr, 3), vec![9, 8, 7]);
+        // Untimed: the clock did not move.
+        assert_eq!(sim.now().as_nanos(), 0);
+    }
+
+    #[test]
+    fn stats_start_zero() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let stats = cluster.server_stats(0);
+        assert_eq!(stats, ServerStats::default());
+        assert_eq!(cluster.total_wire_bytes(), 0);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_counts_qpi() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let spec = ClusterSpec::default();
+        let expect =
+            2.0 * spec.nic_bandwidth + 2.0 * spec.nic_bandwidth * spec.qpi_bandwidth_factor;
+        assert!((cluster.aggregate_bandwidth() - expect).abs() < 1.0);
+    }
+}

@@ -1,0 +1,556 @@
+//! Client-side verb API.
+//!
+//! An [`Endpoint`] is one compute thread's connection into the cluster
+//! (conceptually its set of reliable-connection queue pairs). Verbs charge
+//! simulated time through the target server's NIC link (and CPU pool for
+//! RPCs) and apply their memory effects atomically at completion.
+//!
+//! If the endpoint's machine hosts the target memory server (co-location,
+//! Appendix A.3), one-sided verbs take the local-memory path: no NIC
+//! occupancy, local latency/bandwidth, counted separately.
+
+use simnet::{Sim, SimDur};
+
+use crate::cluster::Cluster;
+use crate::ptr::RemotePtr;
+
+/// What an RPC handler returns: the caller-visible value plus the costs
+/// the simulator must charge.
+pub struct RpcReply<R> {
+    /// Value delivered to the caller.
+    pub value: R,
+    /// CPU service time the handler consumed (before any QPI factor).
+    pub cpu: SimDur,
+    /// Size of the response message in bytes.
+    pub resp_bytes: usize,
+}
+
+/// A compute thread's connection into the cluster.
+#[derive(Clone)]
+pub struct Endpoint {
+    cluster: Cluster,
+    /// The physical machine this endpoint runs on; `None` = a dedicated
+    /// compute machine (never local to any memory server).
+    machine: Option<usize>,
+}
+
+impl Endpoint {
+    /// Endpoint on a dedicated compute machine.
+    pub fn new(cluster: &Cluster) -> Self {
+        Endpoint {
+            cluster: cluster.clone(),
+            machine: None,
+        }
+    }
+
+    /// Endpoint co-located on physical machine `machine` (Appendix A.3).
+    pub fn colocated(cluster: &Cluster, machine: usize) -> Self {
+        Endpoint {
+            cluster: cluster.clone(),
+            machine: Some(machine),
+        }
+    }
+
+    /// The cluster this endpoint talks to.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn sim(&self) -> Sim {
+        self.cluster.sim().clone()
+    }
+
+    /// Whether accesses to server `s` take the local path.
+    pub fn is_local(&self, s: usize) -> bool {
+        self.machine == Some(self.cluster.spec().machine_of(s))
+    }
+
+    // ------------------------------------------------- one-sided verbs ----
+
+    /// One-sided `RDMA_READ` of `len` bytes.
+    pub async fn read(&self, ptr: RemotePtr, len: usize) -> Vec<u8> {
+        let sim = self.sim();
+        let s = ptr.server();
+        let server = self.cluster.server(s);
+        server.onesided_ops.inc();
+        if self.is_local(s) {
+            server.local_bytes.add(len as u64);
+            sim.sleep(self.cluster.spec().local_time(len)).await;
+        } else {
+            server.bytes_out.add(len as u64);
+            let wire = self.cluster.wire_time(s, len);
+            server.nic.acquire(&sim, wire).await;
+            sim.sleep(self.cluster.spec().rt_latency).await;
+        }
+        // Effect at completion: copy the bytes as they are *now*.
+        let mut buf = vec![0u8; len];
+        server.pool.borrow().copy_out(ptr.offset(), &mut buf);
+        buf
+    }
+
+    /// Fan out one-sided READs (selectively signalled, §4.3): all wires
+    /// are reserved immediately and the caller waits for the last
+    /// completion, so transfers to different servers overlap.
+    pub async fn read_many(&self, reqs: &[(RemotePtr, usize)]) -> Vec<Vec<u8>> {
+        let sim = self.sim();
+        let mut latest = sim.now();
+        let mut any_remote = false;
+        for &(ptr, len) in reqs {
+            let s = ptr.server();
+            let server = self.cluster.server(s);
+            server.onesided_ops.inc();
+            if self.is_local(s) {
+                server.local_bytes.add(len as u64);
+                latest = latest.max(sim.now() + self.cluster.spec().local_time(len));
+            } else {
+                any_remote = true;
+                server.bytes_out.add(len as u64);
+                let wire = self.cluster.spec().batched_wire_time(s, len);
+                latest = latest.max(server.nic.reserve(sim.now(), wire));
+            }
+        }
+        sim.sleep_until(latest).await;
+        if any_remote {
+            sim.sleep(self.cluster.spec().rt_latency).await;
+        }
+        reqs.iter()
+            .map(|&(ptr, len)| {
+                let mut buf = vec![0u8; len];
+                self.cluster
+                    .server(ptr.server())
+                    .pool
+                    .borrow()
+                    .copy_out(ptr.offset(), &mut buf);
+                buf
+            })
+            .collect()
+    }
+
+    /// One-sided `RDMA_WRITE` of `data`.
+    pub async fn write(&self, ptr: RemotePtr, data: &[u8]) {
+        let sim = self.sim();
+        let s = ptr.server();
+        let server = self.cluster.server(s);
+        server.onesided_ops.inc();
+        if self.is_local(s) {
+            server.local_bytes.add(data.len() as u64);
+            sim.sleep(self.cluster.spec().local_time(data.len())).await;
+        } else {
+            server.bytes_in.add(data.len() as u64);
+            let wire = self.cluster.wire_time(s, data.len());
+            server.nic.acquire(&sim, wire).await;
+            sim.sleep(self.cluster.spec().rt_latency).await;
+        }
+        server.pool.borrow_mut().copy_in(ptr.offset(), data);
+    }
+
+    async fn atomic_cost(&self, s: usize) {
+        let sim = self.sim();
+        let server = self.cluster.server(s);
+        server.onesided_ops.inc();
+        if self.is_local(s) {
+            server.local_bytes.add(8);
+            sim.sleep(self.cluster.spec().local_time(8)).await;
+        } else {
+            server.bytes_in.add(8);
+            server.bytes_out.add(8);
+            let spec = self.cluster.spec();
+            let wire = spec.atomic_wire_overhead
+                + SimDur::from_secs_f64(8.0 / spec.effective_bandwidth(s));
+            server.nic.acquire(&sim, wire).await;
+            sim.sleep(spec.rt_latency).await;
+        }
+    }
+
+    /// One-sided `RDMA_CAS` on an 8-byte word. Returns the previous
+    /// value; the swap happened iff it equals `expected`.
+    pub async fn cas(&self, ptr: RemotePtr, expected: u64, new: u64) -> u64 {
+        let s = ptr.server();
+        self.atomic_cost(s).await;
+        self.cluster
+            .server(s)
+            .pool
+            .borrow_mut()
+            .cas(ptr.offset(), expected, new)
+    }
+
+    /// One-sided `RDMA_FETCH_AND_ADD` on an 8-byte word; returns the
+    /// previous value.
+    pub async fn fetch_add(&self, ptr: RemotePtr, add: u64) -> u64 {
+        let s = ptr.server();
+        self.atomic_cost(s).await;
+        self.cluster
+            .server(s)
+            .pool
+            .borrow_mut()
+            .fetch_add(ptr.offset(), add)
+    }
+
+    /// `RDMA_ALLOC` (Listing 4): reserve `size` bytes on server `s`.
+    /// Costs one round trip.
+    pub async fn alloc(&self, s: usize, size: u64) -> RemotePtr {
+        let sim = self.sim();
+        let ptr = self.cluster.setup_alloc(s, size);
+        if self.is_local(s) {
+            sim.sleep(self.cluster.spec().local_latency).await;
+        } else {
+            sim.sleep(self.cluster.spec().rt_latency).await;
+        }
+        ptr
+    }
+
+    /// Co-located fast path (Appendix A.3): the compute thread executes
+    /// work against a local memory server directly — `busy` of its own
+    /// CPU plus the local-path transfer of `bytes`; no NIC, no handler
+    /// core. Panics if the server is not local to this endpoint.
+    pub async fn local_work(&self, s: usize, busy: SimDur, bytes: usize) {
+        assert!(self.is_local(s), "local_work on a remote server");
+        let sim = self.sim();
+        let server = self.cluster.server(s);
+        server.local_bytes.add(bytes as u64);
+        sim.sleep(busy + self.cluster.spec().local_time(bytes))
+            .await;
+    }
+
+    // ------------------------------------------------- two-sided RPC ----
+
+    /// Two-sided RPC (SEND/RECV over a reliable connection, served from a
+    /// shared receive queue): ships `req_bytes`, queues for a handler
+    /// core, runs `handler` at grant time, holds the core for the
+    /// handler-reported CPU time (scaled by the server's QPI factor), and
+    /// ships the handler-reported response.
+    pub async fn rpc<R>(
+        &self,
+        s: usize,
+        req_bytes: usize,
+        handler: impl FnOnce() -> RpcReply<R>,
+    ) -> R {
+        let sim = self.sim();
+        let spec = self.cluster.spec().clone();
+        let server = self.cluster.server(s);
+        server.rpcs.inc();
+        let local = self.is_local(s);
+
+        // Request leg.
+        if local {
+            server.local_bytes.add(req_bytes as u64);
+            sim.sleep(spec.local_time(req_bytes)).await;
+        } else {
+            server.bytes_in.add(req_bytes as u64);
+            let wire = self.cluster.wire_time(s, req_bytes);
+            server.nic.acquire(&sim, wire).await;
+            sim.sleep(spec.rt_latency / 2).await;
+        }
+
+        // Handler: queue for a core, run, hold the core for the work done.
+        // RC connection state adds per-client pressure (see
+        // `ClusterSpec::rpc_client_penalty`).
+        let grant = server.cpu.acquire(&sim).await;
+        let reply = handler();
+        let state_penalty = spec.rpc_client_penalty * self.cluster.active_clients() as u64;
+        let service =
+            SimDur::from_secs_f64((reply.cpu + state_penalty).as_secs_f64() * spec.cpu_factor(s));
+        grant.complete(&sim, service).await;
+
+        // Response leg.
+        if local {
+            server.local_bytes.add(reply.resp_bytes as u64);
+            sim.sleep(spec.local_time(reply.resp_bytes)).await;
+        } else {
+            server.bytes_out.add(reply.resp_bytes as u64);
+            let wire = self.cluster.wire_time(s, reply.resp_bytes);
+            server.nic.acquire(&sim, wire).await;
+            sim.sleep(spec.rt_latency / 2).await;
+        }
+        reply.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClusterSpec;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn harness() -> (Sim, Cluster) {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        (sim, cluster)
+    }
+
+    #[test]
+    fn read_returns_written_bytes_and_costs_time() {
+        let (sim, cluster) = harness();
+        let ptr = cluster.setup_alloc(0, 64);
+        cluster.setup_write(ptr, &[42; 64]);
+        let ep = Endpoint::new(&cluster);
+        let done = Rc::new(Cell::new(0u64));
+        let d = done.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let data = ep.read(ptr, 64).await;
+            assert_eq!(data, vec![42; 64]);
+            d.set(s.now().as_nanos());
+        });
+        sim.run();
+        // At least the round-trip latency passed.
+        assert!(done.get() >= 2_500, "took {}ns", done.get());
+        assert_eq!(cluster.server_stats(0).bytes_out, 64);
+        assert_eq!(cluster.server_stats(0).onesided_ops, 1);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let (sim, cluster) = harness();
+        let ptr = cluster.setup_alloc(1, 16);
+        let ep = Endpoint::new(&cluster);
+        sim.spawn({
+            let ep = ep.clone();
+            async move {
+                ep.write(ptr, &[7; 16]).await;
+                let data = ep.read(ptr, 16).await;
+                assert_eq!(data, vec![7; 16]);
+            }
+        });
+        sim.run();
+        let stats = cluster.server_stats(1);
+        assert_eq!(stats.bytes_in, 16);
+        assert_eq!(stats.bytes_out, 16);
+    }
+
+    #[test]
+    fn cas_success_and_failure_race() {
+        let (sim, cluster) = harness();
+        let ptr = cluster.setup_alloc(0, 8);
+        // Two clients CAS 0 -> themselves; exactly one must win.
+        let wins = Rc::new(Cell::new(0u32));
+        for id in 1..=2u64 {
+            let ep = Endpoint::new(&cluster);
+            let w = wins.clone();
+            sim.spawn(async move {
+                let old = ep.cas(ptr, 0, id).await;
+                if old == 0 {
+                    w.set(w.get() + 1);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(wins.get(), 1, "exactly one CAS winner");
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let (sim, cluster) = harness();
+        let ptr = cluster.setup_alloc(0, 8);
+        for _ in 0..10 {
+            let ep = Endpoint::new(&cluster);
+            sim.spawn(async move {
+                ep.fetch_add(ptr, 2).await;
+            });
+        }
+        sim.run();
+        assert_eq!(cluster.setup_read(ptr, 8), 20u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn rpc_runs_handler_and_charges_cpu() {
+        let (sim, cluster) = harness();
+        let ep = Endpoint::new(&cluster);
+        let got = Rc::new(Cell::new(0u64));
+        let g = got.clone();
+        sim.spawn(async move {
+            let v = ep
+                .rpc(0, 32, || RpcReply {
+                    value: 99u64,
+                    cpu: SimDur::from_micros(5),
+                    resp_bytes: 128,
+                })
+                .await;
+            g.set(v);
+        });
+        let end = sim.run();
+        assert_eq!(got.get(), 99);
+        let stats = cluster.server_stats(0);
+        assert_eq!(stats.rpcs, 1);
+        assert_eq!(stats.bytes_in, 32);
+        assert_eq!(stats.bytes_out, 128);
+        assert_eq!(stats.cpu_busy_nanos, 5_000);
+        assert!(end.as_nanos() >= 5_000 + 2_500);
+    }
+
+    #[test]
+    fn rpc_cpu_saturates_with_cores() {
+        let (sim, cluster) = harness();
+        // 30 concurrent RPCs of 10us on a 10-core server: three waves.
+        let last = Rc::new(Cell::new(0u64));
+        for _ in 0..30 {
+            let ep = Endpoint::new(&cluster);
+            let l = last.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                ep.rpc(0, 16, || RpcReply {
+                    value: (),
+                    cpu: SimDur::from_micros(10),
+                    resp_bytes: 16,
+                })
+                .await;
+                l.set(l.get().max(s.now().as_micros()));
+            });
+        }
+        sim.run();
+        assert!(last.get() >= 30, "three service waves of 10us each");
+    }
+
+    #[test]
+    fn qpi_server_slower() {
+        let (sim, cluster) = harness();
+        let p0 = cluster.setup_alloc(0, 1024);
+        let p1 = cluster.setup_alloc(1, 1024); // server 1 crosses QPI
+        let t0 = Rc::new(Cell::new(0u64));
+        let t1 = Rc::new(Cell::new(0u64));
+        for (ptr, cell) in [(p0, t0.clone()), (p1, t1.clone())] {
+            let ep = Endpoint::new(&cluster);
+            let s = sim.clone();
+            sim.spawn(async move {
+                let begin = s.now();
+                // Many large reads so wire time dominates latency.
+                for _ in 0..100 {
+                    ep.read(ptr, 1024).await;
+                }
+                cell.set((s.now() - begin).as_nanos());
+            });
+        }
+        sim.run();
+        assert!(t1.get() > t0.get(), "QPI-crossing server must be slower");
+    }
+
+    #[test]
+    fn read_many_overlaps_servers() {
+        let (sim, cluster) = harness();
+        let ptrs: Vec<_> = (0..4)
+            .map(|s| (cluster.setup_alloc(s, 1024), 1024usize))
+            .collect();
+        let seq = Rc::new(Cell::new(0u64));
+        let par = Rc::new(Cell::new(0u64));
+        {
+            let ep = Endpoint::new(&cluster);
+            let ptrs = ptrs.clone();
+            let par = par.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                let begin = s.now();
+                let bufs = ep.read_many(&ptrs).await;
+                assert_eq!(bufs.len(), 4);
+                par.set((s.now() - begin).as_nanos());
+            });
+        }
+        sim.run();
+        {
+            let sim2 = Sim::new();
+            let cluster2 = Cluster::new(&sim2, ClusterSpec::default());
+            let ptrs2: Vec<_> = (0..4)
+                .map(|s| (cluster2.setup_alloc(s, 1024), 1024usize))
+                .collect();
+            let ep = Endpoint::new(&cluster2);
+            let seq = seq.clone();
+            let s = sim2.clone();
+            sim2.spawn(async move {
+                let begin = s.now();
+                for &(p, l) in &ptrs2 {
+                    ep.read(p, l).await;
+                }
+                seq.set((s.now() - begin).as_nanos());
+            });
+            sim2.run();
+        }
+        assert!(
+            par.get() < seq.get(),
+            "fanned-out reads ({}) must beat sequential ({})",
+            par.get(),
+            seq.get()
+        );
+    }
+
+    #[test]
+    fn local_work_counts_bytes_and_time() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ep = Endpoint::colocated(&cluster, 0);
+        let s = sim.clone();
+        sim.spawn(async move {
+            ep.local_work(0, SimDur::from_micros(7), 64).await;
+            assert!(s.now().as_nanos() >= 7_000);
+        });
+        sim.run();
+        let stats = cluster.server_stats(0);
+        assert_eq!(stats.local_bytes, 64);
+        assert_eq!(stats.cpu_busy_nanos, 0, "local work uses compute cores");
+        assert_eq!(stats.nic_busy_nanos, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "local_work on a remote server")]
+    fn local_work_rejects_remote() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ep = Endpoint::new(&cluster);
+        sim.spawn(async move {
+            ep.local_work(0, SimDur::ZERO, 0).await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn rpc_client_state_penalty_applies() {
+        let run = |clients: usize| {
+            let sim = Sim::new();
+            let cluster = Cluster::new(&sim, ClusterSpec::default());
+            cluster.set_active_clients(clients);
+            let ep = Endpoint::new(&cluster);
+            sim.spawn(async move {
+                ep.rpc(0, 16, || RpcReply {
+                    value: (),
+                    cpu: SimDur::from_micros(5),
+                    resp_bytes: 16,
+                })
+                .await;
+            });
+            sim.run();
+            cluster.server_stats(0).cpu_busy_nanos
+        };
+        let lone = run(1);
+        let crowded = run(240);
+        assert!(
+            crowded > lone + 2_000,
+            "240 clients must add RC state pressure: {lone} vs {crowded}"
+        );
+    }
+
+    #[test]
+    fn batched_reads_cheaper_per_message() {
+        let spec = ClusterSpec::default();
+        assert!(spec.batched_wire_time(0, 1024) < spec.wire_time(0, 1024));
+    }
+
+    #[test]
+    fn colocated_read_skips_nic() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ptr = cluster.setup_alloc(0, 64); // server 0 lives on machine 0
+        cluster.setup_write(ptr, &[5; 64]);
+        let ep = Endpoint::colocated(&cluster, 0);
+        assert!(ep.is_local(0));
+        assert!(ep.is_local(1), "both servers of machine 0 are local");
+        assert!(!ep.is_local(2));
+        sim.spawn(async move {
+            let data = ep.read(ptr, 64).await;
+            assert_eq!(data[0], 5);
+        });
+        sim.run();
+        let stats = cluster.server_stats(0);
+        assert_eq!(stats.bytes_out, 0, "local path must not touch the wire");
+        assert_eq!(stats.local_bytes, 64);
+        assert_eq!(stats.nic_busy_nanos, 0);
+    }
+}

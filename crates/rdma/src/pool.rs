@@ -1,0 +1,164 @@
+//! A memory server's RDMA-registered memory region.
+//!
+//! Backed by one flat byte vector with a bump allocator (`RDMA_ALLOC` in
+//! the paper's Listing 4). Offsets start at 8 so that offset 0 never
+//! names a live object and the all-zero [`crate::RemotePtr`] stays NULL.
+
+/// Registered memory of one memory server.
+pub struct MemPool {
+    mem: Vec<u8>,
+    next: u64,
+}
+
+impl MemPool {
+    /// Alignment of every allocation (atomics operate on 8-byte words).
+    pub const ALIGN: u64 = 8;
+
+    /// Create a pool; memory grows on demand.
+    pub fn new() -> Self {
+        MemPool {
+            mem: Vec::new(),
+            next: Self::ALIGN, // offset 0 reserved for NULL
+        }
+    }
+
+    /// Bump-allocate `size` bytes; returns the offset.
+    pub fn alloc(&mut self, size: u64) -> u64 {
+        let off = self.next;
+        self.next = (off + size).div_ceil(Self::ALIGN) * Self::ALIGN;
+        let need = self.next as usize;
+        if self.mem.len() < need {
+            // Grow geometrically to amortise.
+            let new_len = need.next_power_of_two().max(64 * 1024);
+            self.mem.resize(new_len, 0);
+        }
+        off
+    }
+
+    /// Bytes currently allocated (high-water mark).
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+
+    fn check(&self, off: u64, len: usize) {
+        assert!(
+            off + len as u64 <= self.next,
+            "access [{off}, {off}+{len}) beyond allocated {}",
+            self.next
+        );
+    }
+
+    /// Copy `dst.len()` bytes out of the region at `off`.
+    pub fn copy_out(&self, off: u64, dst: &mut [u8]) {
+        self.check(off, dst.len());
+        dst.copy_from_slice(&self.mem[off as usize..off as usize + dst.len()]);
+    }
+
+    /// Copy `src` into the region at `off`.
+    pub fn copy_in(&mut self, off: u64, src: &[u8]) {
+        self.check(off, src.len());
+        self.mem[off as usize..off as usize + src.len()].copy_from_slice(src);
+    }
+
+    /// Read one aligned 8-byte word.
+    pub fn read_u64(&self, off: u64) -> u64 {
+        debug_assert_eq!(off % 8, 0, "atomics require 8-byte alignment");
+        self.check(off, 8);
+        u64::from_le_bytes(
+            self.mem[off as usize..off as usize + 8]
+                .try_into()
+                .expect("8 bytes"),
+        )
+    }
+
+    /// Write one aligned 8-byte word.
+    pub fn write_u64(&mut self, off: u64, v: u64) {
+        debug_assert_eq!(off % 8, 0, "atomics require 8-byte alignment");
+        self.check(off, 8);
+        self.mem[off as usize..off as usize + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Atomic compare-and-swap on one word; returns the previous value
+    /// (the swap happened iff it equals `expected`).
+    pub fn cas(&mut self, off: u64, expected: u64, new: u64) -> u64 {
+        let old = self.read_u64(off);
+        if old == expected {
+            self.write_u64(off, new);
+        }
+        old
+    }
+
+    /// Atomic fetch-and-add on one word; returns the previous value.
+    pub fn fetch_add(&mut self, off: u64, add: u64) -> u64 {
+        let old = self.read_u64(off);
+        self.write_u64(off, old.wrapping_add(add));
+        old
+    }
+}
+
+impl Default for MemPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_never_returns_zero_and_aligns() {
+        let mut p = MemPool::new();
+        let a = p.alloc(10);
+        let b = p.alloc(1);
+        let c = p.alloc(8);
+        assert_ne!(a, 0);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert_eq!(c % 8, 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn copy_round_trip() {
+        let mut p = MemPool::new();
+        let off = p.alloc(16);
+        p.copy_in(off, &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        p.copy_out(off, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn word_ops() {
+        let mut p = MemPool::new();
+        let off = p.alloc(8);
+        p.write_u64(off, 7);
+        assert_eq!(p.read_u64(off), 7);
+        assert_eq!(p.cas(off, 7, 9), 7);
+        assert_eq!(p.read_u64(off), 9);
+        assert_eq!(p.cas(off, 7, 11), 9, "failed CAS leaves value");
+        assert_eq!(p.read_u64(off), 9);
+        assert_eq!(p.fetch_add(off, 1), 9);
+        assert_eq!(p.read_u64(off), 10);
+    }
+
+    #[test]
+    fn growth_preserves_content() {
+        let mut p = MemPool::new();
+        let off = p.alloc(8);
+        p.write_u64(off, 0xabcd);
+        for _ in 0..100 {
+            p.alloc(1 << 16);
+        }
+        assert_eq!(p.read_u64(off), 0xabcd);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond allocated")]
+    fn oob_read_panics() {
+        let p = MemPool::new();
+        let mut buf = [0u8; 8];
+        p.copy_out(1 << 20, &mut buf);
+    }
+}

@@ -1,0 +1,149 @@
+//! The paper's 8-byte remote pointer (§4.1).
+//!
+//! > "a remote pointer is a 8-byte field which stores `(nullbit, node-ID,
+//! > offset)`. The nullbit indicates whether a remote pointer is a
+//! > NULL-pointer or not and the node-ID encodes the address of the remote
+//! > memory server (using 7 Bit). The remaining 7 Byte encode an offset
+//! > into the remote memory."
+//!
+//! Bit layout here: bit 63 is the nullbit (always 0 for valid pointers),
+//! bits 56–62 the server id, bits 0–55 the offset. Allocators never hand
+//! out offset 0, so the all-zero word is the NULL pointer — zeroed pages
+//! decode as null links, and every valid pointer fits in 63 bits, which
+//! lets remote pointers double as B-link tree values (`blink::MAX_VALUE`).
+
+use blink::Ptr;
+use std::fmt;
+
+/// An RDMA-addressable location: `(server id, byte offset)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct RemotePtr(u64);
+
+impl RemotePtr {
+    /// Maximum addressable servers (7-bit node id).
+    pub const MAX_SERVERS: usize = 128;
+    /// Maximum encodable offset (7 bytes).
+    pub const MAX_OFFSET: u64 = (1 << 56) - 1;
+    /// The NULL pointer (all zeros).
+    pub const NULL: RemotePtr = RemotePtr(0);
+
+    /// Build a pointer. `offset` must be nonzero (offset 0 is reserved so
+    /// the zero word can mean NULL) and fit in 56 bits; `server < 128`.
+    pub fn new(server: usize, offset: u64) -> Self {
+        assert!(
+            server < Self::MAX_SERVERS,
+            "server id {server} exceeds 7 bits"
+        );
+        assert!(offset != 0, "offset 0 is reserved for NULL");
+        assert!(offset <= Self::MAX_OFFSET, "offset exceeds 7 bytes");
+        RemotePtr(((server as u64) << 56) | offset)
+    }
+
+    /// Reconstruct from raw bits (e.g. bits read out of a page).
+    pub fn from_raw(raw: u64) -> Self {
+        debug_assert_eq!(raw >> 63, 0, "nullbit set on a non-null decode");
+        RemotePtr(raw)
+    }
+
+    /// Reconstruct from a B-link page pointer word.
+    pub fn from_page_ptr(p: Ptr) -> Self {
+        Self::from_raw(p.raw())
+    }
+
+    /// Raw 8-byte encoding.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// As a B-link page pointer word (for storing in index nodes).
+    pub fn as_page_ptr(self) -> Ptr {
+        Ptr(self.0)
+    }
+
+    /// Whether this is the NULL pointer.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Memory server holding the target (panics on NULL).
+    pub fn server(self) -> usize {
+        debug_assert!(!self.is_null(), "dereferencing NULL remote pointer");
+        ((self.0 >> 56) & 0x7f) as usize
+    }
+
+    /// Byte offset within the server's registered region.
+    pub fn offset(self) -> u64 {
+        self.0 & Self::MAX_OFFSET
+    }
+
+    /// A pointer `delta` bytes further into the same region.
+    pub fn offset_by(self, delta: u64) -> Self {
+        Self::new(self.server(), self.offset() + delta)
+    }
+}
+
+impl fmt::Debug for RemotePtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "RemotePtr(NULL)")
+        } else {
+            write!(f, "RemotePtr(s{}+{:#x})", self.server(), self.offset())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let p = RemotePtr::new(5, 0x1234);
+        assert_eq!(p.server(), 5);
+        assert_eq!(p.offset(), 0x1234);
+        assert_eq!(RemotePtr::from_raw(p.raw()), p);
+        assert!(!p.is_null());
+    }
+
+    #[test]
+    fn null_is_zero() {
+        assert_eq!(RemotePtr::NULL.raw(), 0);
+        assert!(RemotePtr::NULL.is_null());
+        assert!(RemotePtr::from_raw(0).is_null());
+    }
+
+    #[test]
+    fn fits_blink_value_space() {
+        let p = RemotePtr::new(127, RemotePtr::MAX_OFFSET);
+        assert!(
+            p.raw() <= blink::MAX_VALUE,
+            "pointer must be storable as a value"
+        );
+    }
+
+    #[test]
+    fn page_ptr_round_trip() {
+        let p = RemotePtr::new(3, 4096);
+        let page_ptr = p.as_page_ptr();
+        assert_eq!(RemotePtr::from_page_ptr(page_ptr), p);
+    }
+
+    #[test]
+    fn offset_by_advances() {
+        let p = RemotePtr::new(2, 100);
+        assert_eq!(p.offset_by(24).offset(), 124);
+        assert_eq!(p.offset_by(24).server(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for NULL")]
+    fn zero_offset_rejected() {
+        let _ = RemotePtr::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "7 bits")]
+    fn large_server_rejected() {
+        let _ = RemotePtr::new(128, 1);
+    }
+}

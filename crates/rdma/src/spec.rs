@@ -1,0 +1,225 @@
+//! Cluster configuration and cost model.
+//!
+//! One struct gathers every calibration constant of the simulation, with
+//! defaults matched to the paper's testbed (§6: dual-port Mellanox
+//! Connect-IB on InfiniBand FDR 4×, two Xeon E5-2660 v2 sockets per
+//! machine, two memory servers per machine each on its own NIC port, the
+//! NIC attached to one socket so the second server crosses QPI).
+//!
+//! Absolute magnitudes are modelled, not measured; what the defaults are
+//! calibrated for is the *ordering of bottlenecks* the paper reports:
+//! two-sided designs saturate memory-server CPU first, one-sided designs
+//! saturate NIC bandwidth first, and the QPI-crossing server saturates
+//! before its sibling.
+
+use simnet::SimDur;
+
+/// All tunable parameters of the simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Physical machines hosting memory servers.
+    pub machines: usize,
+    /// Memory servers per machine (the paper deploys 2, one per NIC port).
+    pub servers_per_machine: usize,
+    /// RPC handler cores per memory server (one socket's worth).
+    pub rpc_cores_per_server: usize,
+
+    /// NIC port bandwidth per memory server, bytes/second (FDR 4× ≈ 6.8 GB/s).
+    pub nic_bandwidth: f64,
+    /// Per-message wire/NIC processing overhead for synchronous verbs
+    /// (each READ in a descent pays full request processing).
+    pub op_wire_overhead: SimDur,
+    /// Per-message overhead for *batched* (selectively signalled, §4.3)
+    /// verbs: pipelined request processing overlaps the wire, so a batch
+    /// approaches line rate — this is what lets range scans saturate the
+    /// aggregated bandwidth in Fig. 9.
+    pub batched_wire_overhead: SimDur,
+    /// Extra wire overhead for remote atomics (CAS / FETCH_AND_ADD).
+    pub atomic_wire_overhead: SimDur,
+    /// One-sided verb round-trip latency (uncontended).
+    pub rt_latency: SimDur,
+
+    /// Bandwidth factor for the memory server that must cross QPI
+    /// (the one not co-located with the NIC socket). Mild: QPI capacity
+    /// exceeds one FDR port, so wire flows lose little.
+    pub qpi_bandwidth_factor: f64,
+    /// CPU service-time multiplier for the QPI-crossing server. This is
+    /// where crossing QPI really hurts — every RPC's memory traffic
+    /// crosses the socket interconnect, which is §6.1's explanation for
+    /// the coarse-grained design saturating at ~20 clients/machine.
+    pub qpi_cpu_factor: f64,
+
+    /// Whether compute servers are co-located with memory servers
+    /// (Appendix A.3); when true, accesses to a memory server on the
+    /// client's machine take the local path.
+    pub colocated_compute: bool,
+    /// Local-path latency (local memory access instead of the wire).
+    pub local_latency: SimDur,
+    /// Local-path bandwidth, bytes/second (one socket's memory bus).
+    pub local_bandwidth: f64,
+
+    // --- CPU cost model for two-sided RPC handlers ---
+    /// Fixed per-RPC handling cost (receive, dispatch, send).
+    pub rpc_fixed_cpu: SimDur,
+    /// Cost per index node visited by a handler.
+    pub cpu_per_node: SimDur,
+    /// Cost per leaf entry scanned/copied by a handler.
+    pub cpu_per_entry: SimDur,
+    /// Cost per node split performed by a handler.
+    pub cpu_per_split: SimDur,
+    /// Extra CPU a server-side *write* (insert/delete) costs beyond the
+    /// traversal: amortised page allocation, split bookkeeping, and the
+    /// per-server epoch GC / rebalancing the paper runs on memory servers
+    /// (§3.2). The fine-grained design pays none of this on servers — its
+    /// writes and GC run from compute servers (§4.2), which is why it
+    /// overtakes the two-sided designs under insert-heavy load (Fig. 12).
+    pub cpu_insert_extra: SimDur,
+    /// Virtual lock hold time for a leaf update: the handler's whole
+    /// critical section (modify + response prep) holds the page lock, and
+    /// waiters *spin on a core* — the degradation mechanism §6.3 names
+    /// for the two-sided designs under insert-heavy load (Fig. 12).
+    pub leaf_lock_hold: SimDur,
+    /// Extra CPU per RPC per connected client: reliable-connection QP
+    /// state thrashes CPU/NIC caches as clients scale (the effect FaSST
+    /// FaSST documents for RC; the paper's design uses RC + SRQs, §3.2).
+    /// This is what makes two-sided designs *decline* — not just plateau —
+    /// under high load (Fig. 7a, Fig. 12).
+    pub rpc_client_penalty: SimDur,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            machines: 2,
+            servers_per_machine: 2,
+            rpc_cores_per_server: 10,
+            nic_bandwidth: 6.8e9,
+            op_wire_overhead: SimDur::from_nanos(500),
+            batched_wire_overhead: SimDur::from_nanos(60),
+            atomic_wire_overhead: SimDur::from_nanos(500),
+            rt_latency: SimDur::from_nanos(2_500),
+            qpi_bandwidth_factor: 0.9,
+            qpi_cpu_factor: 2.0,
+            colocated_compute: false,
+            local_latency: SimDur::from_nanos(300),
+            local_bandwidth: 40e9,
+            rpc_fixed_cpu: SimDur::from_nanos(6_000),
+            cpu_per_node: SimDur::from_nanos(250),
+            cpu_per_entry: SimDur::from_nanos(15),
+            cpu_per_split: SimDur::from_nanos(2_000),
+            cpu_insert_extra: SimDur::from_nanos(30_000),
+            leaf_lock_hold: SimDur::from_nanos(6_000),
+            rpc_client_penalty: SimDur::from_nanos(25),
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Default spec with `n` memory servers (packed two per machine as in
+    /// the paper's deployment).
+    pub fn with_memory_servers(n: usize) -> Self {
+        assert!(n > 0);
+        let servers_per_machine = 2.min(n);
+        ClusterSpec {
+            machines: n.div_ceil(servers_per_machine),
+            servers_per_machine,
+            ..ClusterSpec::default()
+        }
+    }
+
+    /// Total memory servers in the cluster.
+    pub fn num_servers(&self) -> usize {
+        self.machines * self.servers_per_machine
+    }
+
+    /// Machine hosting memory server `s`.
+    pub fn machine_of(&self, s: usize) -> usize {
+        s / self.servers_per_machine
+    }
+
+    /// Whether server `s` must cross QPI to reach its NIC port
+    /// (every server on a machine except the first).
+    pub fn crosses_qpi(&self, s: usize) -> bool {
+        !s.is_multiple_of(self.servers_per_machine)
+    }
+
+    /// Effective NIC bandwidth of server `s` in bytes/second.
+    pub fn effective_bandwidth(&self, s: usize) -> f64 {
+        if self.crosses_qpi(s) {
+            self.nic_bandwidth * self.qpi_bandwidth_factor
+        } else {
+            self.nic_bandwidth
+        }
+    }
+
+    /// CPU service multiplier of server `s`.
+    pub fn cpu_factor(&self, s: usize) -> f64 {
+        if self.crosses_qpi(s) {
+            self.qpi_cpu_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Wire occupancy of a `bytes`-sized message on server `s`'s port.
+    pub fn wire_time(&self, s: usize, bytes: usize) -> SimDur {
+        self.op_wire_overhead + SimDur::from_secs_f64(bytes as f64 / self.effective_bandwidth(s))
+    }
+
+    /// Wire occupancy of one message within a pipelined batch.
+    pub fn batched_wire_time(&self, s: usize, bytes: usize) -> SimDur {
+        self.batched_wire_overhead
+            + SimDur::from_secs_f64(bytes as f64 / self.effective_bandwidth(s))
+    }
+
+    /// Local-path transfer time for `bytes`.
+    pub fn local_time(&self, bytes: usize) -> SimDur {
+        self.local_latency + SimDur::from_secs_f64(bytes as f64 / self.local_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_deployment() {
+        let spec = ClusterSpec::default();
+        assert_eq!(spec.num_servers(), 4);
+        assert_eq!(spec.machine_of(0), 0);
+        assert_eq!(spec.machine_of(1), 0);
+        assert_eq!(spec.machine_of(2), 1);
+        assert!(!spec.crosses_qpi(0));
+        assert!(spec.crosses_qpi(1));
+        assert!(!spec.crosses_qpi(2));
+    }
+
+    #[test]
+    fn with_memory_servers_counts() {
+        for n in 1..=8 {
+            let spec = ClusterSpec::with_memory_servers(n);
+            assert!(spec.num_servers() >= n, "n={n}");
+            assert!(spec.num_servers() - n < 2);
+        }
+        assert_eq!(ClusterSpec::with_memory_servers(1).num_servers(), 1);
+        assert_eq!(ClusterSpec::with_memory_servers(8).machines, 4);
+    }
+
+    #[test]
+    fn qpi_penalises_second_server() {
+        let spec = ClusterSpec::default();
+        assert!(spec.effective_bandwidth(1) < spec.effective_bandwidth(0));
+        assert!(spec.cpu_factor(1) > spec.cpu_factor(0));
+        assert!(spec.wire_time(1, 1024) > spec.wire_time(0, 1024));
+    }
+
+    #[test]
+    fn wire_time_scales_with_bytes() {
+        let spec = ClusterSpec::default();
+        let small = spec.wire_time(0, 64);
+        let large = spec.wire_time(0, 1024 * 1024);
+        assert!(large > small * 10);
+        // 1 MiB at 6.8 GB/s ≈ 154 µs.
+        assert!(large.as_micros() > 100 && large.as_micros() < 300);
+    }
+}

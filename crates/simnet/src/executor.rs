@@ -1,0 +1,413 @@
+//! Single-threaded async executor driven by a virtual clock.
+//!
+//! Tasks are ordinary Rust futures. The only primitive suspension point is a
+//! timer ([`Sim::sleep_until`]); all higher-level constructs (NIC links, CPU
+//! pools, spinlocks) are built on timers plus shared state, which keeps the
+//! event loop tiny and every run deterministic: events fire in
+//! `(virtual time, sequence number)` order.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDur, SimTime};
+
+/// Identifier of a spawned task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(u64);
+
+type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// A timer registration: wake `waker` at instant `at`.
+struct TimerEvent {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEvent {}
+impl PartialOrd for TimerEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Wakes a task by pushing its id onto the shared ready queue.
+///
+/// The queue is behind a `std::sync::Mutex` only because `std::task::Wake`
+/// requires `Send + Sync`; the executor itself is strictly single-threaded,
+/// so the lock is never contended.
+struct TaskWaker {
+    task: TaskId,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.task);
+    }
+}
+
+struct SimInner {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    next_task: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEvent>>>,
+    tasks: RefCell<HashMap<TaskId, BoxedFuture>>,
+    /// Tasks spawned while the executor is mid-poll; merged before each poll.
+    incoming: RefCell<Vec<(TaskId, BoxedFuture)>>,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    live_tasks: Cell<usize>,
+}
+
+/// Handle to the simulation: clock, spawner, and event loop.
+///
+/// Cheap to clone; all clones share the same world.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<SimInner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at `t = 0`.
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(SimInner {
+                now: Cell::new(SimTime::ZERO),
+                seq: Cell::new(0),
+                next_task: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                tasks: RefCell::new(HashMap::new()),
+                incoming: RefCell::new(Vec::new()),
+                ready: Arc::new(Mutex::new(VecDeque::new())),
+                live_tasks: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Number of tasks that have been spawned and not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live_tasks.get()
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.inner.seq.get();
+        self.inner.seq.set(s + 1);
+        s
+    }
+
+    /// Spawn a task. It is polled for the first time when the event loop
+    /// next runs (immediately at the current virtual time).
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        let id = TaskId(self.inner.next_task.get());
+        self.inner.next_task.set(id.0 + 1);
+        self.inner.incoming.borrow_mut().push((id, Box::pin(fut)));
+        self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
+        self.inner
+            .ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+        id
+    }
+
+    /// Future resolving at virtual instant `deadline` (immediately if the
+    /// deadline has passed).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Future resolving after `dur` of virtual time.
+    pub fn sleep(&self, dur: SimDur) -> Sleep {
+        self.sleep_until(self.now() + dur)
+    }
+
+    /// Run until no timers or runnable tasks remain.
+    ///
+    /// Returns the final virtual time.
+    pub fn run(&self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the event queue is exhausted or the next timer lies
+    /// strictly after `horizon`. The clock never exceeds `horizon`.
+    ///
+    /// Returns the virtual time at which execution stopped.
+    pub fn run_until(&self, horizon: SimTime) -> SimTime {
+        loop {
+            self.drain_ready();
+            // All tasks quiescent: advance the clock to the next timer.
+            let next = {
+                let timers = self.inner.timers.borrow();
+                match timers.peek() {
+                    Some(Reverse(ev)) => ev.at,
+                    None => break,
+                }
+            };
+            if next > horizon {
+                break;
+            }
+            self.inner.now.set(next);
+            // Fire every timer scheduled for this instant before polling, so
+            // same-instant wakeups are processed in seq order.
+            loop {
+                let fire = {
+                    let timers = self.inner.timers.borrow();
+                    matches!(timers.peek(), Some(Reverse(ev)) if ev.at == next)
+                };
+                if !fire {
+                    break;
+                }
+                let ev = self
+                    .inner
+                    .timers
+                    .borrow_mut()
+                    .pop()
+                    .expect("peeked timer vanished")
+                    .0;
+                ev.waker.wake();
+            }
+        }
+        if horizon != SimTime::MAX && self.inner.now.get() < horizon {
+            self.inner.now.set(horizon);
+        }
+        self.inner.now.get()
+    }
+
+    /// Poll every ready task until the ready queue is empty.
+    fn drain_ready(&self) {
+        loop {
+            // Merge tasks spawned during the previous polls.
+            {
+                let mut incoming = self.inner.incoming.borrow_mut();
+                if !incoming.is_empty() {
+                    let mut tasks = self.inner.tasks.borrow_mut();
+                    for (id, fut) in incoming.drain(..) {
+                        tasks.insert(id, fut);
+                    }
+                }
+            }
+            let id = {
+                let mut ready = self.inner.ready.lock().expect("ready queue poisoned");
+                match ready.pop_front() {
+                    Some(id) => id,
+                    None => return,
+                }
+            };
+            // The task may have completed already (spurious wake) — skip.
+            let Some(mut fut) = self.inner.tasks.borrow_mut().remove(&id) else {
+                continue;
+            };
+            let waker = Waker::from(Arc::new(TaskWaker {
+                task: id,
+                ready: Arc::clone(&self.inner.ready),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    self.inner.live_tasks.set(self.inner.live_tasks.get() - 1);
+                }
+                Poll::Pending => {
+                    self.inner.tasks.borrow_mut().insert(id, fut);
+                }
+            }
+        }
+    }
+}
+
+/// Timer future created by [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.sim.now() >= this.deadline {
+            return Poll::Ready(());
+        }
+        if !this.registered {
+            this.registered = true;
+            let seq = this.sim.next_seq();
+            this.sim.inner.timers.borrow_mut().push(Reverse(TimerEvent {
+                at: this.deadline,
+                seq,
+                waker: cx.waker().clone(),
+            }));
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let hit = Rc::new(Cell::new(false));
+        let h = hit.clone();
+        sim.spawn(async move {
+            s.sleep(SimDur::from_micros(10)).await;
+            assert_eq!(s.now().as_micros(), 10);
+            h.set(true);
+        });
+        let end = sim.run();
+        assert!(hit.get());
+        assert_eq!(end.as_micros(), 10);
+    }
+
+    #[test]
+    fn tasks_interleave_in_time_order() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("b", 20u64), ("a", 10), ("c", 30)] {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(async move {
+                s.sleep(SimDur::from_micros(delay)).await;
+                l.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_fires_in_spawn_order() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["x", "y", "z"] {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(async move {
+                s.sleep(SimDur::from_micros(5)).await;
+                l.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let hits = Rc::new(Cell::new(0));
+        let h = hits.clone();
+        sim.spawn(async move {
+            for _ in 0..10 {
+                s.sleep(SimDur::from_micros(10)).await;
+                h.set(h.get() + 1);
+            }
+        });
+        let end = sim.run_until(SimTime::from_micros(35));
+        assert_eq!(hits.get(), 3); // 10, 20, 30 fired; 40 lies past horizon
+        assert_eq!(end.as_micros(), 35);
+        assert_eq!(sim.live_tasks(), 1);
+    }
+
+    #[test]
+    fn spawn_from_within_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let hit = Rc::new(Cell::new(false));
+        let h = hit.clone();
+        sim.spawn(async move {
+            let s2 = s.clone();
+            s.sleep(SimDur::from_micros(1)).await;
+            s.spawn(async move {
+                s2.sleep(SimDur::from_micros(1)).await;
+                h.set(true);
+            });
+        });
+        sim.run();
+        assert!(hit.get());
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_immediate() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o = order.clone();
+        sim.spawn(async move {
+            s.sleep(SimDur::from_micros(10)).await;
+            o.borrow_mut().push("slept");
+            s.sleep_until(SimTime::from_micros(5)).await; // already passed
+            o.borrow_mut().push("immediate");
+            assert_eq!(s.now().as_micros(), 10);
+        });
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["slept", "immediate"]);
+    }
+
+    #[test]
+    fn many_tasks_deterministic() {
+        let run = || {
+            let sim = Sim::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..100u64 {
+                let s = sim.clone();
+                let l = log.clone();
+                sim.spawn(async move {
+                    s.sleep(SimDur::from_nanos(i % 7 * 100)).await;
+                    s.sleep(SimDur::from_nanos(i % 3 * 50)).await;
+                    l.borrow_mut().push(i);
+                });
+            }
+            sim.run();
+            let result = log.borrow().clone();
+            result
+        };
+        assert_eq!(run(), run());
+    }
+}

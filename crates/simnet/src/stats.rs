@@ -1,0 +1,287 @@
+//! Streaming measurement statistics.
+//!
+//! [`Histogram`] is a log-bucketed latency histogram (HDR-style: power-of-two
+//! major buckets, linear sub-buckets; ≤ ~3% relative error) suitable for
+//! recording millions of samples with constant memory. [`Counter`] is a
+//! plain monotone event counter.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Sub-buckets per power-of-two range. 32 gives ≈3% value resolution.
+const SUB_BUCKETS: usize = 32;
+const SUB_SHIFT: u32 = 5; // log2(SUB_BUCKETS)
+const MAJOR_BUCKETS: usize = 64;
+
+/// Log-bucketed histogram of nonnegative `u64` samples (typically
+/// nanoseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; MAJOR_BUCKETS * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        let v = value.max(1);
+        let exp = 63 - v.leading_zeros();
+        let sub = if exp >= SUB_SHIFT {
+            ((v - (1u64 << exp)) >> (exp - SUB_SHIFT)) as usize
+        } else {
+            // Small values: each sub-bucket spans less than one unit; map
+            // proportionally within the power-of-two range.
+            (((v - (1u64 << exp)) as usize) << (SUB_SHIFT - exp)) & (SUB_BUCKETS - 1)
+        };
+        exp as usize * SUB_BUCKETS + sub
+    }
+
+    fn value_of(index: usize) -> u64 {
+        let exp = (index / SUB_BUCKETS) as u32;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let base = 1u64 << exp;
+        if exp >= SUB_SHIFT {
+            // Midpoint of the sub-bucket.
+            base + (sub << (exp - SUB_SHIFT)) + (1u64 << (exp - SUB_SHIFT)) / 2
+        } else {
+            base + (sub >> (SUB_SHIFT - exp))
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]` (e.g. 0.99 for p99).
+    /// Returns 0 if empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> u64 {
+        self.percentile(0.5)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.median())
+            .field("p99", &self.percentile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// A monotone event/byte counter with interior mutability, so it can be
+/// shared by `Rc` between simulation tasks.
+#[derive(Default)]
+pub struct Counter {
+    value: Cell<u64>,
+}
+
+impl Counter {
+    /// Create a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        self.value.replace(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 1000.0);
+        let p = h.percentile(0.5);
+        assert!((p as f64 - 1000.0).abs() / 1000.0 < 0.05, "p50={p}");
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.percentile(q) as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.05,
+                "q={q}: got {got}, want ~{expect}"
+            );
+        }
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100_000);
+        assert!((h.mean() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn wide_dynamic_range() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1_000_000_000_000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1_000_000_000_000);
+        // p100 lands in the top bucket and is clamped to max.
+        assert_eq!(h.percentile(1.0), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn zero_sample_is_accepted() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=50u64 {
+            a.record(v);
+        }
+        for v in 51..=100u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+        let p50 = a.percentile(0.5) as f64;
+        assert!((p50 - 50.0).abs() / 50.0 < 0.1, "p50={p50}");
+    }
+
+    #[test]
+    fn counter_ops() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        assert_eq!(c.take(), 42);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn index_value_round_trip_error_bounded() {
+        for v in [1u64, 2, 3, 10, 100, 1000, 12_345, 999_999, 1 << 40] {
+            let rebuilt = Histogram::value_of(Histogram::index_of(v));
+            let err = (rebuilt as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.05, "v={v} rebuilt={rebuilt} err={err}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Virtual time types.
+//!
+//! Simulated time is an integer number of nanoseconds since simulation
+//! start. Integer time keeps event ordering exact and runs reproducible;
+//! floating-point clocks accumulate rounding that can reorder events.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the virtual clock (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDur(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Whole microseconds since start.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// Seconds since start as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDur {
+    /// Zero-length span.
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDur(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDur(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDur(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDur(s * 1_000_000_000)
+    }
+    /// Construct from fractional seconds (rounded to whole nanoseconds).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDur((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// Seconds as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDur;
+    fn sub(self, rhs: SimTime) -> SimDur {
+        SimDur(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDur {
+    fn add_assign(&mut self, rhs: SimDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    fn sub(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    fn mul(self, rhs: u64) -> SimDur {
+        SimDur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    fn div(self, rhs: u64) -> SimDur {
+        SimDur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimDur::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDur::from_secs(1).as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(10) + SimDur::from_micros(5);
+        assert_eq!(t.as_micros(), 15);
+        let d = t - SimTime::from_micros(5);
+        assert_eq!(d.as_micros(), 10);
+        assert_eq!((SimDur::from_nanos(10) * 3).as_nanos(), 30);
+        assert_eq!((SimDur::from_nanos(10) / 2).as_nanos(), 5);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_nanos(5);
+        let late = SimTime::from_nanos(9);
+        assert_eq!(late.since(early).as_nanos(), 4);
+        assert_eq!(early.since(late).as_nanos(), 0);
+    }
+
+    #[test]
+    fn secs_f64_round_trip() {
+        let d = SimDur::from_secs_f64(0.000_001_5);
+        assert_eq!(d.as_nanos(), 1_500);
+        assert!((d.as_secs_f64() - 1.5e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDur::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDur::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDur::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDur::from_secs(12)), "12.000s");
+    }
+}

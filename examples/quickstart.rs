@@ -1,0 +1,79 @@
+//! Quickstart: deploy a simulated NAM cluster, build each of the three
+//! index designs, and run a few operations against them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use namdex::prelude::*;
+
+fn main() {
+    // One deterministic simulation; everything below runs in virtual
+    // time.
+    let sim = Sim::new();
+
+    // The paper's deployment: 4 memory servers on 2 dual-port machines.
+    let nam = NamCluster::new(&sim, ClusterSpec::default());
+    println!(
+        "deployed NAM cluster: {} memory servers, {:.1} GB/s aggregate",
+        nam.num_servers(),
+        nam.rdma.aggregate_bandwidth() / 1e9
+    );
+
+    // 100k records with stride-8 keys, like the paper's datasets.
+    let data = Dataset::new(100_000);
+    let partition = PartitionMap::range_uniform(nam.num_servers(), data.domain());
+
+    // Design 1: coarse-grained / two-sided.
+    let cg = CoarseGrained::build(
+        &nam,
+        PageLayout::default(),
+        partition.clone(),
+        data.iter(),
+        0.7,
+    );
+    // Design 2: fine-grained / one-sided.
+    let fg = FineGrained::build(&nam.rdma, FgConfig::default(), data.iter());
+    // Design 3: hybrid.
+    let hy = Hybrid::build(&nam, FgConfig::default(), partition, data.iter());
+
+    for (index, name) in [
+        (Design::Cg(cg), "coarse-grained"),
+        (Design::Fg(fg), "fine-grained"),
+        (Design::Hybrid(hy), "hybrid"),
+    ] {
+        let ep = Endpoint::new(&nam.rdma);
+        let sim_c = sim.clone();
+        sim.spawn(async move {
+            let t0 = sim_c.now();
+
+            // Point query.
+            let v = index.lookup(&ep, 42 * 8).await;
+            assert_eq!(v, Some(42));
+
+            // Range query: 50 records.
+            let rows = index.range(&ep, 1_000 * 8, 1_049 * 8).await;
+            assert_eq!(rows.len(), 50);
+
+            // Insert a fresh key and read it back.
+            index.insert(&ep, 42 * 8 + 1, 777_777).await;
+            assert_eq!(index.lookup(&ep, 42 * 8 + 1).await, Some(777_777));
+
+            // Tombstone-delete it again.
+            assert!(index.delete(&ep, 42 * 8 + 1).await);
+            assert_eq!(index.lookup(&ep, 42 * 8 + 1).await, None);
+
+            println!(
+                "{name:>15}: lookup+range(50)+insert+delete in {} of virtual time",
+                sim_c.now() - t0
+            );
+        });
+        sim.run();
+    }
+
+    println!(
+        "total wire traffic: {:.2} MB across {} virtual time",
+        nam.rdma.total_wire_bytes() as f64 / 1e6,
+        sim.now()
+    );
+}

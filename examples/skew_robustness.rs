@@ -1,0 +1,101 @@
+//! Skew robustness: the paper's headline result, live.
+//!
+//! Builds all three designs over the same data twice — once with keys
+//! spread evenly over the memory servers, once with the paper's
+//! 80/12/5/3 attribute-value skew — and drives identical uniform
+//! request streams against both. The coarse-grained design collapses to
+//! roughly one server's resources under skew; the fine-grained and
+//! hybrid designs are unaffected because their (leaf) nodes stay
+//! scattered round-robin (§2.3, Figures 7/8/11).
+//!
+//! ```sh
+//! cargo run --release --example skew_robustness
+//! ```
+
+use namdex::prelude::*;
+use namdex::sim::rng::DetRng;
+use std::cell::Cell;
+use std::rc::Rc;
+
+const KEYS: u64 = 100_000;
+const CLIENTS: usize = 80;
+
+fn throughput(design_name: &str, skewed: bool) -> f64 {
+    let sim = Sim::new();
+    let nam = NamCluster::new(&sim, ClusterSpec::default());
+    nam.rdma.set_active_clients(CLIENTS);
+    let data = Dataset::new(KEYS);
+
+    let partition = if skewed {
+        PartitionMap::range_fractions(&[0.80, 0.12, 0.05, 0.03], data.domain())
+    } else {
+        PartitionMap::range_uniform(nam.num_servers(), data.domain())
+    };
+
+    let index = match design_name {
+        "coarse-grained" => Design::Cg(CoarseGrained::build(
+            &nam,
+            PageLayout::default(),
+            partition,
+            data.iter(),
+            0.7,
+        )),
+        "fine-grained" => Design::Fg(FineGrained::build(
+            &nam.rdma,
+            FgConfig::default(),
+            data.iter(),
+        )),
+        "hybrid" => Design::Hybrid(Hybrid::build(
+            &nam,
+            FgConfig::default(),
+            partition,
+            data.iter(),
+        )),
+        other => unreachable!("unknown design {other}"),
+    };
+
+    let warmup = SimTime::from_millis(2);
+    let end = warmup + SimDur::from_millis(20);
+    let ops = Rc::new(Cell::new(0u64));
+    for c in 0..CLIENTS as u64 {
+        let index = index.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        let ops = ops.clone();
+        let sim_c = sim.clone();
+        let mut rng = DetRng::seed_from_u64(c);
+        sim.spawn(async move {
+            loop {
+                // Uniform requests over the complete key space (§6.1).
+                let key = rng.next_u64_below(KEYS) * 8;
+                let t0 = sim_c.now();
+                index.lookup(&ep, key).await;
+                if t0 >= warmup && sim_c.now() <= end {
+                    ops.set(ops.get() + 1);
+                }
+            }
+        });
+    }
+    sim.run_until(end);
+    ops.get() as f64 / 0.020
+}
+
+fn main() {
+    println!("point-query throughput, {CLIENTS} clients, {KEYS} keys, 4 memory servers\n");
+    println!(
+        "{:>16} {:>14} {:>14} {:>12}",
+        "design", "uniform", "80/12/5/3 skew", "retained"
+    );
+    for name in ["coarse-grained", "fine-grained", "hybrid"] {
+        let unif = throughput(name, false);
+        let skew = throughput(name, true);
+        println!(
+            "{name:>16} {unif:>14.0} {skew:>14.0} {:>11.0}%",
+            skew / unif * 100.0
+        );
+    }
+    println!(
+        "\nThe fine-grained design retains its full throughput under \
+         attribute-value skew\nbecause index nodes are distributed per-node \
+         round-robin — the paper's core claim."
+    );
+}

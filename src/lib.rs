@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # namdex — distributed tree-based index structures for fast
+//! RDMA-capable networks
+//!
+//! A production-quality Rust reproduction of *Ziegler, Tumkur Vani,
+//! Binnig, Fonseca, Kraska: "Designing Distributed Tree-based Index
+//! Structures for Fast RDMA-capable Networks", SIGMOD 2019* — the three
+//! distributed B-link tree designs for the Network-Attached-Memory (NAM)
+//! architecture, complete with the simulated RDMA substrate the
+//! evaluation runs on.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`sim`] | `simnet` | deterministic virtual-time engine (executor, fluid resources, RNG, stats) |
+//! | [`rdma`] | `rdma-sim` | simulated RDMA verbs: memory pools, remote pointers, one-/two-sided ops, NIC/QPI model |
+//! | [`tree`] | `blink` | B-link tree pages and local trees with optimistic lock coupling |
+//! | [`cluster`] | `nam` | the NAM assembly: partitioning, per-server state, catalog, RPC sizing |
+//! | [`index`] | `namdex-core` | **the paper's contribution**: coarse-grained, fine-grained, and hybrid designs |
+//! | [`workload`] | `ycsb` | the paper's modified YCSB (Table 3) |
+//! | [`model`] | `analysis` | the §2.3 analytical scalability model |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use namdex::prelude::*;
+//!
+//! // A simulated 4-memory-server NAM cluster.
+//! let sim = Sim::new();
+//! let nam = NamCluster::new(&sim, ClusterSpec::default());
+//!
+//! // Build the hybrid index (Design 3) over 10k records.
+//! let partition = PartitionMap::range_uniform(nam.num_servers(), 10_000 * 8);
+//! let index = Hybrid::build(
+//!     &nam,
+//!     FgConfig::default(),
+//!     partition,
+//!     (0..10_000u64).map(|i| (i * 8, i)),
+//! );
+//!
+//! // A compute-server client issues index operations over (simulated)
+//! // RDMA verbs.
+//! let ep = Endpoint::new(&nam.rdma);
+//! sim.spawn(async move {
+//!     assert_eq!(index.lookup(&ep, 4_200 * 8).await, Some(4_200));
+//!     index.insert(&ep, 33, 999).await;
+//!     let rows = index.range(&ep, 0, 100).await;
+//!     assert!(rows.len() >= 13);
+//! });
+//! sim.run();
+//! ```
+
+pub use analysis as model;
+pub use blink as tree;
+pub use nam as cluster;
+pub use namdex_core as index;
+pub use rdma_sim as rdma;
+pub use simnet as sim;
+pub use ycsb as workload;
+
+/// Everything needed to build and query an index on a simulated NAM
+/// cluster.
+pub mod prelude {
+    pub use blink::{Key, LocalTree, PageLayout, Value};
+    pub use nam::{Catalog, IndexDescriptor, IndexKind, NamCluster, PartitionMap};
+    pub use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
+    pub use rdma_sim::{Cluster, ClusterSpec, Endpoint, RemotePtr};
+    pub use simnet::{Sim, SimDur, SimTime};
+    pub use ycsb::{Dataset, InsertPattern, Op, OpGen, RequestDist, Workload};
+}

@@ -1,0 +1,183 @@
+//! Edge cases every design must handle: empty indexes, single entries,
+//! boundary keys, duplicate keys, and degenerate clusters.
+
+use namdex::prelude::*;
+
+fn with_designs(
+    items: Vec<(u64, u64)>,
+    domain: u64,
+    check: impl Fn(Design, Endpoint, Sim) + Clone + 'static,
+) {
+    for kind in 0..3u8 {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::default());
+        let partition = PartitionMap::range_uniform(nam.num_servers(), domain.max(4));
+        let design = match kind {
+            0 => Design::Cg(CoarseGrained::build(
+                &nam,
+                PageLayout::default(),
+                partition,
+                items.clone().into_iter(),
+                0.7,
+            )),
+            1 => Design::Fg(FineGrained::build(
+                &nam.rdma,
+                FgConfig::default(),
+                items.clone().into_iter(),
+            )),
+            _ => Design::Hybrid(Hybrid::build(
+                &nam,
+                FgConfig::default(),
+                partition,
+                items.clone().into_iter(),
+            )),
+        };
+        let ep = Endpoint::new(&nam.rdma);
+        check.clone()(design, ep, sim.clone());
+        sim.run();
+    }
+}
+
+#[test]
+fn empty_index_supports_all_ops() {
+    with_designs(vec![], 1000, |design, ep, sim| {
+        sim.spawn(async move {
+            assert_eq!(design.lookup(&ep, 42).await, None);
+            assert!(design.range(&ep, 0, 999).await.is_empty());
+            assert!(!design.delete(&ep, 42).await);
+            // First insert into an empty index.
+            design.insert(&ep, 7, 70).await;
+            assert_eq!(design.lookup(&ep, 7).await, Some(70));
+            assert_eq!(design.range(&ep, 0, 999).await, vec![(7, 70)]);
+        });
+    });
+}
+
+#[test]
+fn single_entry_index() {
+    with_designs(vec![(500, 5)], 1000, |design, ep, sim| {
+        sim.spawn(async move {
+            assert_eq!(design.lookup(&ep, 500).await, Some(5));
+            assert_eq!(design.lookup(&ep, 499).await, None);
+            assert_eq!(design.lookup(&ep, 501).await, None);
+            assert_eq!(design.range(&ep, 0, 1000).await.len(), 1);
+            assert!(design.delete(&ep, 500).await);
+            assert!(design.range(&ep, 0, 1000).await.is_empty());
+        });
+    });
+}
+
+#[test]
+fn boundary_keys() {
+    // Key 0 and very large keys (below the KEY_MAX sentinel).
+    const BIG: u64 = u64::MAX - 2;
+    with_designs(vec![(0, 100), (BIG, 200)], 1 << 20, |design, ep, sim| {
+        sim.spawn(async move {
+            assert_eq!(design.lookup(&ep, 0).await, Some(100));
+            assert_eq!(design.lookup(&ep, BIG).await, Some(200));
+            let all = design.range(&ep, 0, u64::MAX - 1).await;
+            assert_eq!(all, vec![(0, 100), (BIG, 200)]);
+        });
+    });
+}
+
+#[test]
+fn duplicate_keys_within_leaf_capacity() {
+    // The index is non-unique: several entries under one key, bounded by
+    // one leaf's capacity (see blink's split documentation).
+    let mut items = vec![(10u64, 1u64)];
+    for v in 0..20u64 {
+        items.push((50, 1000 + v));
+    }
+    items.push((90, 9));
+    with_designs(items, 1000, |design, ep, sim| {
+        sim.spawn(async move {
+            // Point lookup returns the first live duplicate.
+            assert_eq!(design.lookup(&ep, 50).await, Some(1000));
+            // Range returns all of them, in order.
+            let dups = design.range(&ep, 50, 50).await;
+            assert_eq!(dups.len(), 20);
+            assert!(dups.iter().all(|&(k, _)| k == 50));
+            // Deleting consumes one duplicate at a time.
+            assert!(design.delete(&ep, 50).await);
+            assert_eq!(design.lookup(&ep, 50).await, Some(1001));
+            assert_eq!(design.range(&ep, 50, 50).await.len(), 19);
+        });
+    });
+}
+
+#[test]
+fn inverted_and_degenerate_ranges() {
+    let items: Vec<(u64, u64)> = (0..100).map(|i| (i * 10, i)).collect();
+    with_designs(items, 1000, |design, ep, sim| {
+        sim.spawn(async move {
+            // Point-sized range.
+            assert_eq!(design.range(&ep, 500, 500).await, vec![(500, 50)]);
+            // Range between keys.
+            assert!(design.range(&ep, 501, 509).await.is_empty());
+            // Range past the data.
+            assert!(design.range(&ep, 5000, 6000).await.is_empty());
+        });
+    });
+}
+
+#[test]
+fn single_memory_server_cluster() {
+    // A 1-server "cluster" must still work for all designs (FG's
+    // round-robin degenerates to one pool; CG/hybrid to one partition).
+    let sim = Sim::new();
+    let nam = NamCluster::new(&sim, ClusterSpec::with_memory_servers(1));
+    assert_eq!(nam.num_servers(), 1);
+    let items: Vec<(u64, u64)> = (0..5_000).map(|i| (i * 2, i)).collect();
+    let partition = PartitionMap::range_uniform(1, 10_000);
+    for design in [
+        Design::Cg(CoarseGrained::build(
+            &nam,
+            PageLayout::default(),
+            partition.clone(),
+            items.clone().into_iter(),
+            0.7,
+        )),
+        Design::Fg(FineGrained::build(
+            &nam.rdma,
+            FgConfig::default(),
+            items.clone().into_iter(),
+        )),
+        Design::Hybrid(Hybrid::build(
+            &nam,
+            FgConfig::default(),
+            partition.clone(),
+            items.clone().into_iter(),
+        )),
+    ] {
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            assert_eq!(design.lookup(&ep, 2_468).await, Some(1_234));
+            design.insert(&ep, 2_469, 7).await;
+            assert_eq!(design.lookup(&ep, 2_469).await, Some(7));
+        });
+        sim.run();
+    }
+}
+
+#[test]
+fn growth_from_empty_to_multilevel() {
+    // An index born empty must grow through every level transition.
+    with_designs(vec![], 1 << 30, |design, ep, sim| {
+        let name = design.name();
+        sim.spawn(async move {
+            for i in 0..3_000u64 {
+                design.insert(&ep, i * 16 + 1, i).await;
+            }
+            for i in (0..3_000u64).step_by(111) {
+                assert_eq!(
+                    design.lookup(&ep, i * 16 + 1).await,
+                    Some(i),
+                    "{name}: key {i} lost during growth"
+                );
+            }
+            let rows = design.range(&ep, 0, u64::MAX - 1).await;
+            assert_eq!(rows.len(), 3_000, "{name}: full scan after growth");
+        });
+    });
+}
