@@ -295,7 +295,7 @@ mod tests {
     fn figure3_shapes() {
         let servers = [2u64, 4, 8, 16, 32, 64];
         let series = figure3(ModelParams::default(), &servers);
-        let by_name: std::collections::HashMap<_, _> = series.into_iter().collect();
+        let by_name: std::collections::BTreeMap<_, _> = series.into_iter().collect();
         let fg = &by_name["Fine-Grained (Unif./Skew)"];
         let cg_skew = &by_name["Coarse-Grained Range/Hash (Skew)"];
         let cg_range = &by_name["Coarse-Grained Range (Unif.)"];

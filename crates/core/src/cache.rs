@@ -11,7 +11,7 @@
 //! chases, and entries are refreshed on every miss.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use blink::node::{kind_of, HeadNodeRef, InnerNodeRef, LeafNodeRef, NodeKind};
 use blink::{Key, Value};
@@ -24,7 +24,7 @@ use crate::onesided::read_unlocked;
 /// A per-compute-server cache of inner index nodes.
 #[derive(Default)]
 pub struct ClientCache {
-    pages: RefCell<HashMap<u64, Vec<u8>>>,
+    pages: RefCell<BTreeMap<u64, Vec<u8>>>,
     capacity: usize,
     hits: Counter,
     misses: Counter,
@@ -34,7 +34,7 @@ impl ClientCache {
     /// Cache holding at most `capacity` pages (0 = unbounded).
     pub fn new(capacity: usize) -> Self {
         ClientCache {
-            pages: RefCell::new(HashMap::new()),
+            pages: RefCell::new(BTreeMap::new()),
             capacity,
             hits: Counter::new(),
             misses: Counter::new(),

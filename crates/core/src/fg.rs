@@ -21,7 +21,7 @@
 //! Fig. 11).
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use blink::layout::KEY_MAX;
@@ -612,13 +612,16 @@ impl FineGrained {
         if self.head_stride == 0 {
             return;
         }
-        // Collect the real leaves in chain order.
+        // Collect the real leaves in chain order; the head pages passed
+        // on the way are about to be abandoned (epoch-retired).
         let mut leaves = Vec::new();
+        let mut old_heads = Vec::new();
         let mut cur = self.first.get();
         while !cur.is_null() {
             let page = self.cluster.setup_read(cur, self.ps());
             match kind_of(&page) {
                 NodeKind::Head => {
+                    old_heads.push(cur);
                     cur = rp(HeadNodeRef::new(&page).right_sibling());
                 }
                 NodeKind::Leaf => {
@@ -657,6 +660,11 @@ impl FineGrained {
         if let Some(&h) = head_ptrs.first() {
             self.first.set(h);
         }
+        // The replaced heads are unreachable from the new chain: retire
+        // them so the sanitizer can flag any straggler access.
+        for h in old_heads {
+            crate::gc::note_freed(&self.cluster, h, self.ps());
+        }
     }
 }
 
@@ -673,7 +681,7 @@ pub(crate) async fn scan_chain(
     out: &mut Vec<(Key, Value)>,
 ) {
     let ps = layout.page_size();
-    let mut prefetched: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut prefetched: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut cur = start;
     let mut pending = start_page;
     loop {

@@ -26,6 +26,18 @@ use crate::fg::FineGrained;
 use crate::hybrid::Hybrid;
 use crate::onesided::{lock_node, read_unlocked, write_unlock};
 
+/// Report to the installed verb observer that an epoch pass retired
+/// `[ptr, ptr + len)` — any later verb touching the region is a
+/// use-after-free. No-op unless built with the `sanitizer` feature (the
+/// simulator itself never reuses retired regions: the pools are bump
+/// allocators, so reclamation is purely a protocol-level event).
+pub fn note_freed(cluster: &rdma_sim::Cluster, ptr: RemotePtr, len: usize) {
+    #[cfg(feature = "sanitizer")]
+    cluster.note_freed(ptr.server(), ptr.offset(), len);
+    #[cfg(not(feature = "sanitizer"))]
+    let _ = (cluster, ptr, len);
+}
+
 /// One CG epoch: compact every server's local tree. Returns entries
 /// reclaimed.
 pub async fn cg_gc_pass(idx: &CoarseGrained, ep: &Endpoint) -> usize {

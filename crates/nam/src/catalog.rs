@@ -7,7 +7,7 @@
 //! first access: the design kind, the global root (fine-grained), and/or
 //! the partition map (coarse-grained, hybrid).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rdma_sim::RemotePtr;
 
@@ -38,7 +38,7 @@ pub struct IndexDescriptor {
 /// Name → descriptor registry.
 #[derive(Default)]
 pub struct Catalog {
-    entries: HashMap<String, IndexDescriptor>,
+    entries: BTreeMap<String, IndexDescriptor>,
 }
 
 impl Catalog {

@@ -11,14 +11,14 @@
 //! the coarse-grained and hybrid schemes under insert-heavy load.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{SimDur, SimTime};
 
 /// Tracks, per page, the virtual instant its lock is released.
 #[derive(Default)]
 pub struct LockTable {
-    held_until: RefCell<HashMap<u64, SimTime>>,
+    held_until: RefCell<BTreeMap<u64, SimTime>>,
 }
 
 impl LockTable {

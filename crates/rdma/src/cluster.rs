@@ -38,6 +38,11 @@ struct Inner {
     servers: Vec<MemServer>,
     /// Connected compute clients (drives per-RPC RC state overhead).
     active_clients: std::cell::Cell<usize>,
+    /// Endpoint id allocator (stable, creation-ordered).
+    next_client: std::cell::Cell<u64>,
+    /// Installed verb observer (protocol sanitizer), if any.
+    #[cfg(feature = "sanitizer")]
+    observer: RefCell<Option<Rc<dyn crate::observer::VerbObserver>>>,
 }
 
 /// Handle to the simulated cluster; cheap to clone.
@@ -90,6 +95,9 @@ impl Cluster {
                 spec,
                 servers,
                 active_clients: std::cell::Cell::new(0),
+                next_client: std::cell::Cell::new(0),
+                #[cfg(feature = "sanitizer")]
+                observer: RefCell::new(None),
             }),
         }
     }
@@ -123,6 +131,49 @@ impl Cluster {
 
     pub(crate) fn server(&self, s: usize) -> &MemServer {
         &self.inner.servers[s]
+    }
+
+    /// Allocate a fresh endpoint (client) id.
+    pub(crate) fn next_client_id(&self) -> u64 {
+        let id = self.inner.next_client.get();
+        self.inner.next_client.set(id + 1);
+        id
+    }
+
+    // ---- verb observation (the `sanitizer` feature) ----
+
+    /// Install `observer` to receive every completed verb (see
+    /// [`crate::observer`]). Replaces any previous observer.
+    #[cfg(feature = "sanitizer")]
+    pub fn set_observer(&self, observer: Rc<dyn crate::observer::VerbObserver>) {
+        *self.inner.observer.borrow_mut() = Some(observer);
+    }
+
+    /// Remove the installed observer, if any.
+    #[cfg(feature = "sanitizer")]
+    pub fn clear_observer(&self) {
+        *self.inner.observer.borrow_mut() = None;
+    }
+
+    /// Report a completed verb to the installed observer.
+    #[cfg(feature = "sanitizer")]
+    pub(crate) fn observe(&self, ev: crate::observer::VerbEvent) {
+        // Clone the handle out so the observer may re-install/clear.
+        let obs = self.inner.observer.borrow().clone();
+        if let Some(obs) = obs {
+            obs.on_verb(&ev);
+        }
+    }
+
+    /// Report that epoch GC retired `[offset, offset + len)` on `server`;
+    /// later verbs touching it are use-after-free (see
+    /// [`crate::observer::VerbObserver::on_free`]).
+    #[cfg(feature = "sanitizer")]
+    pub fn note_freed(&self, server: usize, offset: u64, len: usize) {
+        let obs = self.inner.observer.borrow().clone();
+        if let Some(obs) = obs {
+            obs.on_free(server, offset, len, self.inner.sim.now());
+        }
     }
 
     // ---- control path (untimed; for loading / setup, not measurement) ----

@@ -12,6 +12,8 @@
 use simnet::{Sim, SimDur};
 
 use crate::cluster::Cluster;
+#[cfg(feature = "sanitizer")]
+use crate::observer::{VerbEvent, VerbKind};
 use crate::ptr::RemotePtr;
 
 /// What an RPC handler returns: the caller-visible value plus the costs
@@ -32,6 +34,9 @@ pub struct Endpoint {
     /// The physical machine this endpoint runs on; `None` = a dedicated
     /// compute machine (never local to any memory server).
     machine: Option<usize>,
+    /// Stable client id (creation-ordered); clones share the id, as they
+    /// represent the same logical compute thread.
+    client: u64,
 }
 
 impl Endpoint {
@@ -40,6 +45,7 @@ impl Endpoint {
         Endpoint {
             cluster: cluster.clone(),
             machine: None,
+            client: cluster.next_client_id(),
         }
     }
 
@@ -48,12 +54,18 @@ impl Endpoint {
         Endpoint {
             cluster: cluster.clone(),
             machine: Some(machine),
+            client: cluster.next_client_id(),
         }
     }
 
     /// The cluster this endpoint talks to.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// This endpoint's stable client id.
+    pub fn client_id(&self) -> u64 {
+        self.client
     }
 
     fn sim(&self) -> Sim {
@@ -65,11 +77,34 @@ impl Endpoint {
         self.machine == Some(self.cluster.spec().machine_of(s))
     }
 
+    /// Report a completed verb to the cluster's observer.
+    #[cfg(feature = "sanitizer")]
+    fn emit(
+        &self,
+        server: usize,
+        offset: u64,
+        len: usize,
+        kind: VerbKind,
+        issued: simnet::SimTime,
+    ) {
+        self.cluster.observe(VerbEvent {
+            server,
+            offset,
+            len,
+            kind,
+            issued,
+            time: self.cluster.sim().now(),
+            client: self.client,
+        });
+    }
+
     // ------------------------------------------------- one-sided verbs ----
 
     /// One-sided `RDMA_READ` of `len` bytes.
     pub async fn read(&self, ptr: RemotePtr, len: usize) -> Vec<u8> {
         let sim = self.sim();
+        #[cfg(feature = "sanitizer")]
+        let issued = sim.now();
         let s = ptr.server();
         let server = self.cluster.server(s);
         server.onesided_ops.inc();
@@ -85,6 +120,8 @@ impl Endpoint {
         // Effect at completion: copy the bytes as they are *now*.
         let mut buf = vec![0u8; len];
         server.pool.borrow().copy_out(ptr.offset(), &mut buf);
+        #[cfg(feature = "sanitizer")]
+        self.emit(s, ptr.offset(), len, VerbKind::Read, issued);
         buf
     }
 
@@ -93,6 +130,8 @@ impl Endpoint {
     /// completion, so transfers to different servers overlap.
     pub async fn read_many(&self, reqs: &[(RemotePtr, usize)]) -> Vec<Vec<u8>> {
         let sim = self.sim();
+        #[cfg(feature = "sanitizer")]
+        let issued = sim.now();
         let mut latest = sim.now();
         let mut any_remote = false;
         for &(ptr, len) in reqs {
@@ -113,7 +152,8 @@ impl Endpoint {
         if any_remote {
             sim.sleep(self.cluster.spec().rt_latency).await;
         }
-        reqs.iter()
+        let bufs: Vec<Vec<u8>> = reqs
+            .iter()
             .map(|&(ptr, len)| {
                 let mut buf = vec![0u8; len];
                 self.cluster
@@ -123,12 +163,19 @@ impl Endpoint {
                     .copy_out(ptr.offset(), &mut buf);
                 buf
             })
-            .collect()
+            .collect();
+        #[cfg(feature = "sanitizer")]
+        for &(ptr, len) in reqs {
+            self.emit(ptr.server(), ptr.offset(), len, VerbKind::Read, issued);
+        }
+        bufs
     }
 
     /// One-sided `RDMA_WRITE` of `data`.
     pub async fn write(&self, ptr: RemotePtr, data: &[u8]) {
         let sim = self.sim();
+        #[cfg(feature = "sanitizer")]
+        let issued = sim.now();
         let s = ptr.server();
         let server = self.cluster.server(s);
         server.onesided_ops.inc();
@@ -142,6 +189,8 @@ impl Endpoint {
             sim.sleep(self.cluster.spec().rt_latency).await;
         }
         server.pool.borrow_mut().copy_in(ptr.offset(), data);
+        #[cfg(feature = "sanitizer")]
+        self.emit(s, ptr.offset(), data.len(), VerbKind::Write, issued);
     }
 
     async fn atomic_cost(&self, s: usize) {
@@ -166,36 +215,62 @@ impl Endpoint {
     /// value; the swap happened iff it equals `expected`.
     pub async fn cas(&self, ptr: RemotePtr, expected: u64, new: u64) -> u64 {
         let s = ptr.server();
+        #[cfg(feature = "sanitizer")]
+        let issued = self.sim().now();
         self.atomic_cost(s).await;
-        self.cluster
+        let prev = self
+            .cluster
             .server(s)
             .pool
             .borrow_mut()
-            .cas(ptr.offset(), expected, new)
+            .cas(ptr.offset(), expected, new);
+        #[cfg(feature = "sanitizer")]
+        self.emit(
+            s,
+            ptr.offset(),
+            8,
+            VerbKind::Cas {
+                expected,
+                new,
+                prev,
+            },
+            issued,
+        );
+        prev
     }
 
     /// One-sided `RDMA_FETCH_AND_ADD` on an 8-byte word; returns the
     /// previous value.
     pub async fn fetch_add(&self, ptr: RemotePtr, add: u64) -> u64 {
         let s = ptr.server();
+        #[cfg(feature = "sanitizer")]
+        let issued = self.sim().now();
         self.atomic_cost(s).await;
-        self.cluster
+        let prev = self
+            .cluster
             .server(s)
             .pool
             .borrow_mut()
-            .fetch_add(ptr.offset(), add)
+            .fetch_add(ptr.offset(), add);
+        #[cfg(feature = "sanitizer")]
+        self.emit(s, ptr.offset(), 8, VerbKind::Faa { add, prev }, issued);
+        prev
     }
 
     /// `RDMA_ALLOC` (Listing 4): reserve `size` bytes on server `s`.
     /// Costs one round trip.
     pub async fn alloc(&self, s: usize, size: u64) -> RemotePtr {
         let sim = self.sim();
+        #[cfg(feature = "sanitizer")]
+        let issued = sim.now();
         let ptr = self.cluster.setup_alloc(s, size);
         if self.is_local(s) {
             sim.sleep(self.cluster.spec().local_latency).await;
         } else {
             sim.sleep(self.cluster.spec().rt_latency).await;
         }
+        #[cfg(feature = "sanitizer")]
+        self.emit(s, ptr.offset(), size as usize, VerbKind::Alloc, issued);
         ptr
     }
 

@@ -33,6 +33,8 @@
 
 pub mod cluster;
 pub mod endpoint;
+#[cfg(feature = "sanitizer")]
+pub mod observer;
 pub mod pool;
 pub mod ptr;
 pub mod spec;

@@ -1,0 +1,73 @@
+//! Verb-level observation hooks (the `sanitizer` feature).
+//!
+//! When the `sanitizer` feature is enabled, every one-sided verb an
+//! [`crate::Endpoint`] completes — READ, WRITE, CAS, FETCH_AND_ADD, ALLOC
+//! — reports `(server, byte-range, kind, virtual time, issuing client)` to
+//! an installed [`VerbObserver`] at the instant its memory effect applies.
+//! The protocol sanitizer crate implements the observer to enforce the
+//! optimistic-lock-coupling invariants; this module only defines the
+//! reporting surface so the verb layer stays free of checking policy.
+//!
+//! Observers run synchronously on the simulated completion path and must
+//! not charge simulated time or re-enter the verb layer; they may inspect
+//! server memory through the untimed control path
+//! ([`crate::Cluster::setup_read`]) — all pool borrows are released before
+//! an event fires.
+
+use simnet::SimTime;
+
+/// The operation a [`VerbEvent`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerbKind {
+    /// One-sided `RDMA_READ` of `len` bytes.
+    Read,
+    /// One-sided `RDMA_WRITE` of `len` bytes.
+    Write,
+    /// One-sided `RDMA_CAS`: the swap happened iff `prev == expected`.
+    Cas {
+        /// Comparand.
+        expected: u64,
+        /// Value installed on success.
+        new: u64,
+        /// Word value before the operation.
+        prev: u64,
+    },
+    /// One-sided `RDMA_FETCH_AND_ADD`.
+    Faa {
+        /// Addend.
+        add: u64,
+        /// Word value before the operation.
+        prev: u64,
+    },
+    /// `RDMA_ALLOC` of a fresh region.
+    Alloc,
+}
+
+/// One completed verb, reported at its completion instant.
+#[derive(Clone, Copy, Debug)]
+pub struct VerbEvent {
+    /// Memory server the verb targeted.
+    pub server: usize,
+    /// Start offset of the affected byte range within the server's pool.
+    pub offset: u64,
+    /// Length of the affected byte range (8 for atomics).
+    pub len: usize,
+    /// Operation and its operands/result.
+    pub kind: VerbKind,
+    /// Virtual time the verb was issued by the client.
+    pub issued: SimTime,
+    /// Virtual time the verb completed (= when its effect applied).
+    pub time: SimTime,
+    /// The issuing client (endpoint id).
+    pub client: u64,
+}
+
+/// Receiver for verb events and reclamation notices.
+pub trait VerbObserver {
+    /// A verb completed and its memory effect has been applied.
+    fn on_verb(&self, ev: &VerbEvent);
+
+    /// Epoch GC retired `[offset, offset + len)` on `server`; any later
+    /// verb touching the region is a use-after-free.
+    fn on_free(&self, server: usize, offset: u64, len: usize, time: SimTime);
+}

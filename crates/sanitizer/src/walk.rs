@@ -1,0 +1,431 @@
+//! End-of-run structural walk over B-link pages.
+//!
+//! Complements the online verb checker: after a workload quiesces, the
+//! index must be a well-formed B-link structure — high keys ordered along
+//! the sibling chain, every tree-referenced leaf reachable from the
+//! chain, key counts within page capacity, no lock left held. The walk
+//! runs on the untimed control path (no simulated cost) and covers all
+//! three designs:
+//!
+//! * **fine-grained** — leaf-chain walk plus a top-down walk from the
+//!   root over the distributed inner levels;
+//! * **hybrid** — leaf-chain walk plus each server's local upper tree
+//!   (via [`blink`]'s own `check_invariants`);
+//! * **coarse-grained** — each server's complete local tree.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use blink::layout::{lock_word, PageLayout};
+use blink::node::{
+    kind_of, level_of, version_lock_of, HeadNodeRef, InnerNodeRef, LeafNodeRef, NodeKind,
+};
+use blink::Key;
+use namdex_core::{CoarseGrained, Design, FineGrained, Hybrid};
+use rdma_sim::{Cluster, RemotePtr};
+use simnet::SimTime;
+
+use crate::{Sanitizer, Violation, ViolationKind};
+
+/// Safety cap on chain/tree traversal (a cycle shows up long before).
+const MAX_PAGES: usize = 1_000_000;
+
+fn sv(ptr: RemotePtr, len: usize, time: SimTime, detail: String) -> Violation {
+    Violation {
+        kind: ViolationKind::Structural,
+        server: ptr.server(),
+        offset: ptr.offset(),
+        len,
+        time,
+        client: None,
+        detail,
+    }
+}
+
+fn rp(p: blink::layout::Ptr) -> RemotePtr {
+    RemotePtr::from_page_ptr(p)
+}
+
+/// Walk the leaf chain from `first`: returns findings plus the set of
+/// leaf pages seen (raw remote-pointer form) for reachability checks.
+fn walk_chain(
+    cluster: &Cluster,
+    layout: PageLayout,
+    first: RemotePtr,
+    out: &mut Vec<Violation>,
+) -> BTreeSet<u64> {
+    let ps = layout.page_size();
+    let now = cluster.sim().now();
+    let mut leaves = BTreeSet::new();
+    let mut head_targets: Vec<(RemotePtr, u64)> = Vec::new();
+    let mut visited = BTreeSet::new();
+    let mut prev_high: Option<Key> = None;
+    let mut cur = first;
+    let mut steps = 0usize;
+    while !cur.is_null() {
+        if !visited.insert(cur.raw()) {
+            out.push(sv(cur, ps, now, "cycle in the leaf chain".into()));
+            break;
+        }
+        steps += 1;
+        if steps > MAX_PAGES {
+            out.push(sv(cur, ps, now, "leaf chain exceeds page cap".into()));
+            break;
+        }
+        let page = cluster.setup_read(cur, ps);
+        if lock_word::is_locked(version_lock_of(&page)) {
+            out.push(sv(cur, ps, now, "page left locked after quiescence".into()));
+        }
+        match kind_of(&page) {
+            NodeKind::Head => {
+                let head = HeadNodeRef::new(&page);
+                if head.count() > layout.head_capacity() {
+                    out.push(sv(
+                        cur,
+                        ps,
+                        now,
+                        format!(
+                            "head count {} exceeds capacity {}",
+                            head.count(),
+                            layout.head_capacity()
+                        ),
+                    ));
+                }
+                for p in head.ptrs() {
+                    head_targets.push((cur, rp(p).raw()));
+                }
+                cur = rp(head.right_sibling());
+            }
+            NodeKind::Leaf => {
+                let leaf = LeafNodeRef::new(&page);
+                if level_of(&page) != 0 {
+                    out.push(sv(cur, ps, now, "leaf with non-zero level".into()));
+                }
+                if leaf.count() > layout.entry_capacity() {
+                    out.push(sv(
+                        cur,
+                        ps,
+                        now,
+                        format!(
+                            "leaf count {} exceeds capacity {}",
+                            leaf.count(),
+                            layout.entry_capacity()
+                        ),
+                    ));
+                }
+                let mut last: Option<Key> = None;
+                for i in 0..leaf.count().min(layout.entry_capacity()) {
+                    let (k, _, _) = leaf.entry(i);
+                    if last.is_some_and(|l| l > k) {
+                        out.push(sv(cur, ps, now, format!("leaf keys unsorted at slot {i}")));
+                        break;
+                    }
+                    if k > leaf.high_key() {
+                        out.push(sv(
+                            cur,
+                            ps,
+                            now,
+                            format!("key {k} above leaf high fence {}", leaf.high_key()),
+                        ));
+                        break;
+                    }
+                    if let Some(ph) = prev_high {
+                        if k <= ph {
+                            out.push(sv(
+                                cur,
+                                ps,
+                                now,
+                                format!("key {k} at or below previous high fence {ph}"),
+                            ));
+                            break;
+                        }
+                    }
+                    last = Some(k);
+                }
+                if let Some(ph) = prev_high {
+                    if leaf.high_key() < ph {
+                        out.push(sv(
+                            cur,
+                            ps,
+                            now,
+                            format!(
+                                "high keys not ascending along the chain: {} after {ph}",
+                                leaf.high_key()
+                            ),
+                        ));
+                    }
+                }
+                prev_high = Some(leaf.high_key());
+                leaves.insert(cur.raw());
+                cur = rp(leaf.right_sibling());
+            }
+            NodeKind::Inner => {
+                out.push(sv(cur, ps, now, "inner node in the leaf chain".into()));
+                break;
+            }
+        }
+    }
+    if prev_high != Some(blink::layout::KEY_MAX) {
+        out.push(sv(
+            first,
+            ps,
+            now,
+            format!(
+                "rightmost leaf high fence is {:?}, must cover +inf",
+                prev_high
+            ),
+        ));
+    }
+    // Head prefetch lists must only reference leaves on the chain.
+    for (head, target) in head_targets {
+        if !leaves.contains(&target) {
+            out.push(sv(
+                head,
+                ps,
+                now,
+                format!(
+                    "head references page {} which is not a chain leaf",
+                    RemotePtr::from_raw(target).offset()
+                ),
+            ));
+        }
+    }
+    leaves
+}
+
+/// High key of an arbitrary node page.
+fn high_key_of(page: &[u8]) -> Key {
+    match kind_of(page) {
+        NodeKind::Leaf => LeafNodeRef::new(page).high_key(),
+        NodeKind::Inner => InnerNodeRef::new(page).high_key(),
+        NodeKind::Head => blink::layout::KEY_MAX,
+    }
+}
+
+/// Check the fine-grained design: leaf chain plus the distributed inner
+/// levels from the root, including tree→chain reachability.
+pub fn check_fg(idx: &FineGrained) -> Vec<Violation> {
+    let cluster = idx.cluster();
+    let layout = idx.layout();
+    let ps = layout.page_size();
+    let now = cluster.sim().now();
+    let mut out = Vec::new();
+    let chain = walk_chain(cluster, layout, idx.first(), &mut out);
+
+    let mut stack = vec![idx.root()];
+    let mut visited = BTreeSet::new();
+    while let Some(cur) = stack.pop() {
+        if cur.is_null() || !visited.insert(cur.raw()) {
+            continue;
+        }
+        if visited.len() > MAX_PAGES {
+            out.push(sv(cur, ps, now, "inner walk exceeds page cap".into()));
+            break;
+        }
+        let page = cluster.setup_read(cur, ps);
+        match kind_of(&page) {
+            NodeKind::Leaf => {
+                if !chain.contains(&cur.raw()) {
+                    out.push(sv(
+                        cur,
+                        ps,
+                        now,
+                        "leaf referenced by the tree is unreachable from the chain".into(),
+                    ));
+                }
+            }
+            NodeKind::Head => {
+                out.push(sv(
+                    cur,
+                    ps,
+                    now,
+                    "head node referenced by inner level".into(),
+                ));
+            }
+            NodeKind::Inner => {
+                if lock_word::is_locked(version_lock_of(&page)) {
+                    out.push(sv(cur, ps, now, "page left locked after quiescence".into()));
+                }
+                let node = InnerNodeRef::new(&page);
+                if node.count() == 0 || node.count() > layout.entry_capacity() {
+                    out.push(sv(
+                        cur,
+                        ps,
+                        now,
+                        format!(
+                            "inner count {} outside [1, {}]",
+                            node.count(),
+                            layout.entry_capacity()
+                        ),
+                    ));
+                    continue;
+                }
+                let mut prev: Option<Key> = None;
+                for i in 0..node.count() {
+                    let (sep, child) = node.entry(i);
+                    if prev.is_some_and(|p| p >= sep) {
+                        out.push(sv(
+                            cur,
+                            ps,
+                            now,
+                            format!("inner separators unsorted at slot {i}"),
+                        ));
+                    }
+                    prev = Some(sep);
+                    let cp = rp(child);
+                    let child_page = cluster.setup_read(cp, ps);
+                    let child_level = level_of(&child_page);
+                    if child_level + 1 != level_of(&page) {
+                        out.push(sv(
+                            cur,
+                            ps,
+                            now,
+                            format!(
+                                "child level {child_level} under inner level {}",
+                                level_of(&page)
+                            ),
+                        ));
+                    }
+                    let ch = high_key_of(&child_page);
+                    if ch != sep {
+                        out.push(sv(
+                            cur,
+                            ps,
+                            now,
+                            format!("child high fence {ch} != separator {sep} at slot {i}"),
+                        ));
+                    }
+                    stack.push(cp);
+                }
+                if node.entry(node.count() - 1).0 != node.high_key() {
+                    out.push(sv(cur, ps, now, "last separator != high key".into()));
+                }
+                stack.push(rp(node.right_sibling()));
+            }
+        }
+    }
+    out
+}
+
+/// Check one server's local tree via blink's own invariant checker,
+/// converting a panic into a structural finding.
+fn check_local_tree(
+    node: &std::rc::Rc<nam::ServerNode>,
+    server: usize,
+    now: SimTime,
+    out: &mut Vec<Violation>,
+) {
+    if !node.has_tree() {
+        return;
+    }
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        node.with_tree(|t| t.check_invariants())
+    }));
+    if let Err(e) = res {
+        let msg = e
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| e.downcast_ref::<&str>().copied())
+            .unwrap_or("local tree invariant panic");
+        out.push(Violation {
+            kind: ViolationKind::Structural,
+            server,
+            offset: 0,
+            len: 0,
+            time: now,
+            client: None,
+            detail: format!("local tree on server {server}: {msg}"),
+        });
+    }
+}
+
+/// Check the hybrid design: one-sided leaf chain plus each server's
+/// local upper tree.
+pub fn check_hybrid(idx: &Hybrid) -> Vec<Violation> {
+    let mut out = Vec::new();
+    walk_chain(idx.cluster(), idx.layout(), idx.first(), &mut out);
+    let now = idx.cluster().sim().now();
+    for (s, node) in idx.nodes().iter().enumerate() {
+        check_local_tree(node, s, now, &mut out);
+    }
+    out
+}
+
+/// Check the coarse-grained design: each server's complete local tree.
+pub fn check_cg(idx: &CoarseGrained) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let now = idx.cluster().sim().now();
+    for (s, node) in idx.nodes().iter().enumerate() {
+        check_local_tree(node, s, now, &mut out);
+    }
+    out
+}
+
+/// Structural check for any design.
+pub fn check_design(design: &Design) -> Vec<Violation> {
+    match design {
+        Design::Cg(d) => check_cg(d),
+        Design::Fg(d) => check_fg(d),
+        Design::Hybrid(d) => check_hybrid(d),
+    }
+}
+
+/// Eagerly register every page reachable in `idx` (chain and inner
+/// levels) with the checker — pages built on the untimed setup path emit
+/// no Alloc events, so the checker would otherwise only adopt them
+/// lazily at their first lock CAS.
+pub fn register_fg(san: &Sanitizer, idx: &FineGrained) {
+    let cluster = idx.cluster();
+    let ps = idx.layout().page_size();
+    let mut stack = vec![idx.root(), idx.first()];
+    let mut visited = BTreeSet::new();
+    while let Some(cur) = stack.pop() {
+        if cur.is_null() || !visited.insert(cur.raw()) || visited.len() > MAX_PAGES {
+            continue;
+        }
+        san.register_page(cur);
+        let page = cluster.setup_read(cur, ps);
+        match kind_of(&page) {
+            NodeKind::Leaf => stack.push(rp(LeafNodeRef::new(&page).right_sibling())),
+            NodeKind::Head => {
+                let head = HeadNodeRef::new(&page);
+                stack.push(rp(head.right_sibling()));
+            }
+            NodeKind::Inner => {
+                let node = InnerNodeRef::new(&page);
+                for i in 0..node.count() {
+                    stack.push(rp(node.entry(i).1));
+                }
+                stack.push(rp(node.right_sibling()));
+            }
+        }
+    }
+}
+
+/// Eagerly register the hybrid design's one-sided leaf chain.
+pub fn register_hybrid(san: &Sanitizer, idx: &Hybrid) {
+    let cluster = idx.cluster();
+    let ps = idx.layout().page_size();
+    let mut cur = idx.first();
+    let mut visited = BTreeSet::new();
+    while !cur.is_null() && visited.insert(cur.raw()) && visited.len() <= MAX_PAGES {
+        san.register_page(cur);
+        let page = cluster.setup_read(cur, ps);
+        cur = match kind_of(&page) {
+            NodeKind::Head => rp(HeadNodeRef::new(&page).right_sibling()),
+            NodeKind::Leaf => rp(LeafNodeRef::new(&page).right_sibling()),
+            NodeKind::Inner => RemotePtr::NULL,
+        };
+    }
+}
+
+/// Eagerly register whatever `design` keeps in one-sided memory (nothing
+/// for the coarse-grained design: its pages live behind RPC handlers and
+/// are covered by [`check_cg`]).
+pub fn register_design(san: &Sanitizer, design: &Design) {
+    match design {
+        Design::Cg(_) => {}
+        Design::Fg(d) => register_fg(san, d),
+        Design::Hybrid(d) => register_hybrid(san, d),
+    }
+}

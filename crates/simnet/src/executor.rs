@@ -8,7 +8,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -18,7 +18,7 @@ use std::task::{Context, Poll, Wake, Waker};
 use crate::time::{SimDur, SimTime};
 
 /// Identifier of a spawned task.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TaskId(u64);
 
 type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
@@ -71,7 +71,7 @@ struct SimInner {
     seq: Cell<u64>,
     next_task: Cell<u64>,
     timers: RefCell<BinaryHeap<Reverse<TimerEvent>>>,
-    tasks: RefCell<HashMap<TaskId, BoxedFuture>>,
+    tasks: RefCell<BTreeMap<TaskId, BoxedFuture>>,
     /// Tasks spawned while the executor is mid-poll; merged before each poll.
     incoming: RefCell<Vec<(TaskId, BoxedFuture)>>,
     ready: Arc<Mutex<VecDeque<TaskId>>>,
@@ -101,7 +101,7 @@ impl Sim {
                 seq: Cell::new(0),
                 next_task: Cell::new(0),
                 timers: RefCell::new(BinaryHeap::new()),
-                tasks: RefCell::new(HashMap::new()),
+                tasks: RefCell::new(BTreeMap::new()),
                 incoming: RefCell::new(Vec::new()),
                 ready: Arc::new(Mutex::new(VecDeque::new())),
                 live_tasks: Cell::new(0),

@@ -1,0 +1,340 @@
+//! `cargo xtask` — repo automation, chiefly the **determinism lint**.
+//!
+//! The whole value of the simulator rests on runs being a pure function
+//! of the seed: the executor is single-threaded over virtual time, the
+//! RNG is seeded, and every container the simulation iterates has a
+//! deterministic order. One stray wall-clock read, OS-entropy draw,
+//! spawned thread, or hash-order iteration silently breaks replayability
+//! — and usually only shows up later as an unreproducible CI failure.
+//!
+//! `cargo xtask lint` scans every simulation-relevant source file for
+//! nondeterminism escapes and fails the build if one appears. It is a
+//! deliberately dumb, dependency-free line scanner: the point is a fast
+//! gate that cannot itself rot, not a type-aware analysis — the
+//! `clippy.toml` `disallowed-methods` / `disallowed-types` lists (driven
+//! through `[workspace.lints]`) provide the type-aware second layer.
+//!
+//! A finding can be suppressed for one line with a trailing
+//! `// xtask: allow(<rule-id>)` comment — grep-able, reviewable, loud.
+//!
+//! `cargo xtask lint --self-test` runs the scanner over embedded seeded
+//! violations and fails unless every rule fires (and the allow marker
+//! suppresses), so the gate is itself gated.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint rule: a substring that must not appear in simulation code.
+struct Rule {
+    /// Stable identifier, used in `// xtask: allow(<id>)`.
+    id: &'static str,
+    /// Substring matched against comment-stripped source lines.
+    needle: &'static str,
+    /// Why the pattern is banned / what to use instead.
+    why: &'static str,
+}
+
+/// The banned patterns. Substrings are matched after stripping `//`
+/// comments, so prose mentioning a pattern is fine.
+const RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock-instant",
+        needle: "Instant::now",
+        why: "wall-clock time; use the simulation clock (`Sim::now`)",
+    },
+    Rule {
+        id: "wall-clock-system-time",
+        needle: "SystemTime",
+        why: "wall-clock time; use the simulation clock (`Sim::now`)",
+    },
+    Rule {
+        id: "os-entropy-thread-rng",
+        needle: "thread_rng",
+        why: "OS-seeded RNG; use `simnet::rng::DetRng::seed_from_u64`",
+    },
+    Rule {
+        id: "os-entropy-osrng",
+        needle: "OsRng",
+        why: "OS entropy; use `simnet::rng::DetRng::seed_from_u64`",
+    },
+    Rule {
+        id: "os-entropy-from-entropy",
+        needle: "from_entropy",
+        why: "OS entropy; use `simnet::rng::DetRng::seed_from_u64`",
+    },
+    Rule {
+        id: "thread-spawn",
+        needle: "thread::spawn",
+        why: "real threads race; simulation tasks go through `Sim::spawn`",
+    },
+    Rule {
+        id: "hash-order-map",
+        needle: "HashMap",
+        why: "iteration order is randomized per process; use `BTreeMap`",
+    },
+    Rule {
+        id: "hash-order-set",
+        needle: "HashSet",
+        why: "iteration order is randomized per process; use `BTreeSet`",
+    },
+];
+
+/// Directory names never descended into, anywhere in the tree.
+const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "xtask", "results"];
+
+/// One lint hit.
+struct Finding {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    needle: &'static str,
+    why: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] `{}` — {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.needle,
+            self.why
+        )
+    }
+}
+
+/// Strip a line-comment, unless it carries the allow marker (then the
+/// caller has already bailed). Naive about `//` inside string literals,
+/// which is fine for a deny-list gate: it can only under-report on lines
+/// that embed the pattern in a *string*, and over-reporting is handled by
+/// the allow marker.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Scan one file's contents; `path` is only used for reporting.
+fn scan_source(path: &Path, contents: &str, out: &mut Vec<Finding>) {
+    for (no, raw) in contents.lines().enumerate() {
+        for rule in RULES {
+            if !strip_comment(raw).contains(rule.needle) {
+                continue;
+            }
+            let allow = format!("xtask: allow({})", rule.id);
+            if raw.contains(&allow) {
+                continue;
+            }
+            out.push(Finding {
+                path: path.to_path_buf(),
+                line: no + 1,
+                rule: rule.id,
+                needle: rule.needle,
+                why: rule.why,
+            });
+        }
+    }
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort(); // deterministic report order, naturally
+    for p in paths {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                walk(&p, files);
+            }
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            files.push(p);
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask/ -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels under the repo root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut files = Vec::new();
+    walk(&root, &mut files);
+    let mut findings = Vec::new();
+    for f in &files {
+        match fs::read_to_string(f) {
+            Ok(s) => scan_source(f.strip_prefix(&root).unwrap_or(f), &s, &mut findings),
+            Err(e) => eprintln!("warning: skipping unreadable {}: {e}", f.display()),
+        }
+    }
+    if findings.is_empty() {
+        println!(
+            "determinism lint: {} files scanned, {} rules, clean",
+            files.len(),
+            RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("determinism lint: {} violation(s):", findings.len());
+        for f in &findings {
+            eprintln!("  {f}");
+        }
+        eprintln!("suppress a deliberate use with a trailing `// xtask: allow(<rule-id>)` comment");
+        ExitCode::FAILURE
+    }
+}
+
+/// Seeded violations: each pair is (source snippet, rule-id that must
+/// fire). The scanner runs over these in-memory, proving the gate trips.
+const SEEDED: &[(&str, &str)] = &[
+    ("let t0 = std::time::Instant::now();", "wall-clock-instant"),
+    (
+        "let epoch = SystemTime::now().duration_since(UNIX_EPOCH);",
+        "wall-clock-system-time",
+    ),
+    ("let mut rng = rand::thread_rng();", "os-entropy-thread-rng"),
+    ("let mut rng = OsRng;", "os-entropy-osrng"),
+    (
+        "let rng = SmallRng::from_entropy();",
+        "os-entropy-from-entropy",
+    ),
+    ("std::thread::spawn(move || loop {});", "thread-spawn"),
+    (
+        "let mut m: HashMap<u64, u64> = HashMap::new();",
+        "hash-order-map",
+    ),
+    ("let mut s = HashSet::new();", "hash-order-set"),
+];
+
+fn self_test() -> ExitCode {
+    let mut failures = 0;
+    for (snippet, want) in SEEDED {
+        let mut out = Vec::new();
+        scan_source(Path::new("<seeded>"), snippet, &mut out);
+        if out.iter().any(|f| f.rule == *want) {
+            println!("self-test: rule `{want}` fires on seeded violation ... ok");
+        } else {
+            eprintln!("self-test: rule `{want}` MISSED seeded violation: {snippet}");
+            failures += 1;
+        }
+    }
+    // The allow marker must suppress, and comment prose must not trip.
+    let mut out = Vec::new();
+    scan_source(
+        Path::new("<seeded>"),
+        "let m = HashMap::new(); // xtask: allow(hash-order-map)\n\
+         // a comment talking about Instant::now is fine\n",
+        &mut out,
+    );
+    if out.is_empty() {
+        println!("self-test: allow marker suppresses, comments ignored ... ok");
+    } else {
+        eprintln!("self-test: suppression failed: {}", out[0]);
+        failures += 1;
+    }
+    if failures == 0 {
+        println!("self-test: all {} rules verified", RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("self-test: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") if args.len() == 1 => lint(),
+        Some("lint") if args[1] == "--self-test" => self_test(),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--self-test]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_fires_on_its_seeded_violation() {
+        for (snippet, want) in SEEDED {
+            let mut out = Vec::new();
+            scan_source(Path::new("t.rs"), snippet, &mut out);
+            assert!(
+                out.iter().any(|f| f.rule == *want),
+                "rule {want} missed: {snippet}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_rule_has_a_seeded_violation() {
+        for rule in RULES {
+            assert!(
+                SEEDED.iter().any(|(_, want)| want == &rule.id),
+                "rule {} lacks a self-test seed",
+                rule.id
+            );
+        }
+    }
+
+    #[test]
+    fn allow_marker_suppresses_only_its_rule() {
+        let mut out = Vec::new();
+        scan_source(
+            Path::new("t.rs"),
+            "let m = HashMap::new(); // xtask: allow(hash-order-map)",
+            &mut out,
+        );
+        assert!(out.is_empty());
+        // Wrong id does not suppress.
+        let mut out = Vec::new();
+        scan_source(
+            Path::new("t.rs"),
+            "let m = HashMap::new(); // xtask: allow(wall-clock-instant)",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_clean_code_pass() {
+        let mut out = Vec::new();
+        scan_source(
+            Path::new("t.rs"),
+            "// HashMap would be wrong here; BTreeMap keeps iteration stable\n\
+             let m: std::collections::BTreeMap<u64, u64> = Default::default();\n\
+             let now = sim.now();\n",
+            &mut out,
+        );
+        assert!(out.is_empty(), "{:?}", out.first().map(|f| f.to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_exact() {
+        let mut out = Vec::new();
+        scan_source(
+            Path::new("t.rs"),
+            "fn ok() {}\nlet t = Instant::now();\n",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[0].rule, "wall-clock-instant");
+    }
+}

@@ -427,7 +427,7 @@ mod tests {
     fn clustered_inserts_form_hot_regions() {
         let d = Dataset::new(100);
         let w = Workload::d().with_insert_pattern(InsertPattern::Clustered { regions: 4 });
-        let mut per_region = std::collections::HashMap::new();
+        let mut per_region = std::collections::BTreeMap::new();
         let mut all_keys = Vec::new();
         for c in 0..8u64 {
             let mut g = OpGen::new(w, d, c, 8, 5);
@@ -464,7 +464,7 @@ mod tests {
         let d = Dataset::new(10_000);
         let w = Workload::a().with_dist(RequestDist::Zipfian(0.99));
         let mut g = OpGen::new(w, d, 0, 1, 5);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..20_000 {
             if let Op::Point(k) = g.next_op() {
                 *counts.entry(k).or_insert(0u32) += 1;

@@ -57,6 +57,8 @@ pub use blink as tree;
 pub use nam as cluster;
 pub use namdex_core as index;
 pub use rdma_sim as rdma;
+#[cfg(feature = "sanitizer")]
+pub use sanitizer;
 pub use simnet as sim;
 pub use ycsb as workload;
 

@@ -14,6 +14,35 @@ fn cluster() -> (Sim, NamCluster) {
     (sim, nam)
 }
 
+/// With `--features sanitizer`, arm the protocol checker over the torture
+/// run; [`finish_sanitized`] then requires a clean verdict. Both are
+/// no-ops in default builds.
+#[cfg(feature = "sanitizer")]
+fn arm_sanitized(nam: &NamCluster, design: &Design) -> Rc<namdex::sanitizer::Sanitizer> {
+    let page_size = match design {
+        Design::Cg(_) => PageLayout::default().page_size(),
+        Design::Fg(d) => d.layout().page_size(),
+        Design::Hybrid(d) => d.layout().page_size(),
+    };
+    let san = namdex::sanitizer::Sanitizer::install(&nam.rdma, page_size);
+    namdex::sanitizer::walk::register_design(&san, design);
+    san
+}
+#[cfg(not(feature = "sanitizer"))]
+struct NoSanitizer;
+#[cfg(not(feature = "sanitizer"))]
+fn arm_sanitized(_nam: &NamCluster, _design: &Design) -> NoSanitizer {
+    NoSanitizer
+}
+
+#[cfg(feature = "sanitizer")]
+fn finish_sanitized(san: &namdex::sanitizer::Sanitizer, design: &Design) {
+    assert_eq!(san.check_structure(design), 0, "structural walk");
+    san.assert_clean();
+}
+#[cfg(not(feature = "sanitizer"))]
+fn finish_sanitized(_san: &NoSanitizer, _design: &Design) {}
+
 fn small_fg_cfg() -> FgConfig {
     FgConfig {
         layout: PageLayout::new(256), // 13 entries/node: deep trees, many splits
@@ -26,6 +55,8 @@ fn small_fg_cfg() -> FgConfig {
 fn fg_concurrent_writers_and_readers() {
     let (sim, nam) = cluster();
     let idx = FineGrained::build(&nam.rdma, small_fg_cfg(), (0..2_000u64).map(|i| (i * 8, i)));
+    let design = Design::Fg(idx.clone());
+    let san = arm_sanitized(&nam, &design);
     const WRITERS: u64 = 10;
     const PER: u64 = 80;
 
@@ -89,6 +120,7 @@ fn fg_concurrent_writers_and_readers() {
     }
     sim.run();
     assert_eq!(ok.get(), WRITERS * PER);
+    finish_sanitized(&san, &design);
 }
 
 #[test]
@@ -101,6 +133,8 @@ fn hybrid_concurrent_writers_and_readers() {
         partition,
         (0..2_000u64).map(|i| (i * 8, i)),
     );
+    let design = Design::Hybrid(idx.clone());
+    let san = arm_sanitized(&nam, &design);
     const WRITERS: u64 = 8;
     const PER: u64 = 60;
     for w in 0..WRITERS {
@@ -131,12 +165,15 @@ fn hybrid_concurrent_writers_and_readers() {
         assert_eq!(rows.len() as u64, 2_000 + WRITERS * PER);
     });
     sim.run();
+    finish_sanitized(&san, &design);
 }
 
 #[test]
 fn gc_concurrent_with_readers() {
     let (sim, nam) = cluster();
     let idx = FineGrained::build(&nam.rdma, small_fg_cfg(), (0..3_000u64).map(|i| (i * 8, i)));
+    let design = Design::Fg(idx.clone());
+    let san = arm_sanitized(&nam, &design);
 
     // Delete a third of the keys.
     {
@@ -177,6 +214,7 @@ fn gc_concurrent_with_readers() {
     }
     sim.run();
     assert_eq!(freed.get(), 1_000);
+    finish_sanitized(&san, &design);
 }
 
 #[test]
@@ -193,6 +231,8 @@ fn cg_insert_contention_burns_handler_cores() {
         (0..1_000u64).map(|i| (i * 8, i)),
         0.7,
     );
+    let design = Design::Cg(idx.clone());
+    let san = arm_sanitized(&nam, &design);
     // 30 clients append into one tiny key neighbourhood -> one hot leaf.
     for c in 0..30u64 {
         let idx = idx.clone();
@@ -212,4 +252,5 @@ fn cg_insert_contention_burns_handler_cores() {
         busy > 600 * 40_000,
         "spin waits must occupy handler cores: busy={busy}ns"
     );
+    finish_sanitized(&san, &design);
 }

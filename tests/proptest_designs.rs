@@ -53,6 +53,17 @@ fn run_script(design_kind: u8, page_size: usize, loaded: u64, script: Vec<Script
         )),
     };
 
+    // Under `--features sanitizer`, every scripted run also executes with
+    // the protocol checker active and must stay violation-free.
+    #[cfg(feature = "sanitizer")]
+    let san = {
+        let san = namdex::sanitizer::Sanitizer::install(&nam.rdma, page_size);
+        namdex::sanitizer::walk::register_design(&san, &design);
+        san
+    };
+    #[cfg(feature = "sanitizer")]
+    let design_for_walk = design.clone();
+
     let ep = Endpoint::new(&nam.rdma);
     sim.spawn(async move {
         let mut oracle: BTreeMap<u64, u64> = (0..loaded).map(|i| (i * 4, i)).collect();
@@ -88,6 +99,11 @@ fn run_script(design_kind: u8, page_size: usize, loaded: u64, script: Vec<Script
         }
     });
     sim.run();
+    #[cfg(feature = "sanitizer")]
+    {
+        assert_eq!(san.check_structure(&design_for_walk), 0, "structural walk");
+        san.assert_clean();
+    }
 }
 
 proptest! {

@@ -1,0 +1,331 @@
+//! Protocol sanitizer tests (run with `--features sanitizer`).
+//!
+//! Positive half: the three designs' torture workloads must run *clean*
+//! under the verb-level checker and pass the end-of-run structural walk.
+//! Negative half: deliberately injected protocol violations — an
+//! unlocked WRITE, a version rollback, an unlock without a lock, a read
+//! of an epoch-retired region — must each be detected and reported with
+//! server / byte-range / virtual-time / client context.
+
+#![cfg(feature = "sanitizer")]
+
+use namdex::index::gc;
+use namdex::prelude::*;
+use namdex::sanitizer::{walk, Sanitizer, ViolationKind};
+use std::rc::Rc;
+
+fn cluster() -> (Sim, NamCluster) {
+    let sim = Sim::new();
+    let nam = NamCluster::new(&sim, ClusterSpec::default());
+    (sim, nam)
+}
+
+fn small_fg_cfg() -> FgConfig {
+    FgConfig {
+        layout: PageLayout::new(256),
+        fill: 0.7,
+        head_stride: 4,
+    }
+}
+
+// ---- positive: real workloads are clean -------------------------------
+
+#[test]
+fn fg_torture_is_clean_under_sanitizer() {
+    let (sim, nam) = cluster();
+    let idx = FineGrained::build(&nam.rdma, small_fg_cfg(), (0..2_000u64).map(|i| (i * 8, i)));
+    let san = Sanitizer::install(&nam.rdma, 256);
+    walk::register_fg(&san, &idx);
+
+    const WRITERS: u64 = 10;
+    const PER: u64 = 60;
+    for w in 0..WRITERS {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            for i in 0..PER {
+                idx.insert(&ep, (i * WRITERS + w) * 16 + 1, w * 1_000 + i)
+                    .await;
+            }
+        });
+    }
+    for r in 0..6u64 {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            for i in 0..50u64 {
+                let key = ((i * 37 + r * 11) % 2_000) * 8;
+                assert_eq!(idx.lookup(&ep, key).await, Some(key / 8));
+                if i % 10 == 0 {
+                    idx.range(&ep, key, key + 50 * 8).await;
+                }
+            }
+        });
+    }
+    sim.run();
+
+    assert!(
+        san.verbs_seen() > 1_000,
+        "the checker must actually observe the workload"
+    );
+    assert_eq!(san.check_structure(&Design::Fg(idx.clone())), 0);
+    san.assert_clean();
+}
+
+#[test]
+fn hybrid_torture_is_clean_under_sanitizer() {
+    let (sim, nam) = cluster();
+    let partition = PartitionMap::range_uniform(nam.num_servers(), 2_000 * 8);
+    let idx = Hybrid::build(
+        &nam,
+        small_fg_cfg(),
+        partition,
+        (0..2_000u64).map(|i| (i * 8, i)),
+    );
+    let san = Sanitizer::install(&nam.rdma, 256);
+    walk::register_hybrid(&san, &idx);
+
+    const WRITERS: u64 = 8;
+    const PER: u64 = 50;
+    for w in 0..WRITERS {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            for i in 0..PER {
+                idx.insert(&ep, (i * WRITERS + w) * 16 + 3, w * 1_000 + i)
+                    .await;
+            }
+        });
+    }
+    for r in 0..4u64 {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            for i in 0..40u64 {
+                let key = ((i * 41 + r * 13) % 2_000) * 8;
+                assert_eq!(idx.lookup(&ep, key).await, Some(key / 8));
+            }
+        });
+    }
+    sim.run();
+
+    assert!(san.verbs_seen() > 500);
+    assert_eq!(san.check_structure(&Design::Hybrid(idx.clone())), 0);
+    san.assert_clean();
+}
+
+#[test]
+fn cg_workload_passes_structural_walk() {
+    let (sim, nam) = cluster();
+    let partition = PartitionMap::range_uniform(nam.num_servers(), 1_000 * 8);
+    let idx = CoarseGrained::build(
+        &nam,
+        PageLayout::default(),
+        partition,
+        (0..1_000u64).map(|i| (i * 8, i)),
+        0.7,
+    );
+    let san = Sanitizer::install(&nam.rdma, PageLayout::DEFAULT_PAGE_SIZE);
+    for c in 0..8u64 {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            for i in 0..40u64 {
+                idx.insert(&ep, 4_001 + (i * 8 + c) * 2, c).await;
+                assert_eq!(
+                    idx.lookup(&ep, ((i + c) % 1_000) * 8).await,
+                    Some((i + c) % 1_000)
+                );
+            }
+        });
+    }
+    sim.run();
+    assert_eq!(san.check_structure(&Design::Cg(idx.clone())), 0);
+    san.assert_clean();
+}
+
+#[test]
+fn gc_with_readers_is_clean_under_sanitizer() {
+    let (sim, nam) = cluster();
+    let idx = FineGrained::build(&nam.rdma, small_fg_cfg(), (0..3_000u64).map(|i| (i * 8, i)));
+    let san = Sanitizer::install(&nam.rdma, 256);
+    walk::register_fg(&san, &idx);
+
+    {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            for i in (0..3_000u64).step_by(3) {
+                assert!(idx.delete(&ep, i * 8).await);
+            }
+        });
+    }
+    sim.run();
+    {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            gc::fg_gc_pass(&idx, &ep).await;
+        });
+    }
+    for r in 0..4u64 {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            for i in 0..60u64 {
+                let k = ((i * 29 + r * 7) % 3_000) * 8;
+                idx.lookup(&ep, k).await;
+            }
+        });
+    }
+    sim.run();
+    assert_eq!(san.check_structure(&Design::Fg(idx.clone())), 0);
+    san.assert_clean();
+}
+
+// ---- negative: injected violations must be caught ---------------------
+
+/// Build a small fine-grained index with the checker installed and every
+/// page registered; returns the pieces the injection needs.
+fn armed_fg(sim: &Sim, nam: &NamCluster) -> (Rc<FineGrained>, Rc<Sanitizer>) {
+    let _ = sim;
+    let idx = FineGrained::build(&nam.rdma, small_fg_cfg(), (0..500u64).map(|i| (i * 8, i)));
+    let san = Sanitizer::install(&nam.rdma, 256);
+    walk::register_fg(&san, &idx);
+    (idx, san)
+}
+
+#[test]
+fn detects_unlocked_write() {
+    let (sim, nam) = cluster();
+    let (idx, san) = armed_fg(&sim, &nam);
+    let root = idx.root();
+    let ep = Endpoint::new(&nam.rdma);
+    let client = ep.client_id();
+    sim.spawn(async move {
+        // Stomp the root page's payload without taking its lock.
+        let target = RemotePtr::new(root.server(), root.offset() + 40);
+        ep.write(target, &[0xAB; 16]).await;
+    });
+    sim.run();
+
+    let vs = san.violations();
+    let hit = vs
+        .iter()
+        .find(|v| v.kind == ViolationKind::UnlockedWrite)
+        .expect("unlocked WRITE must be flagged");
+    assert_eq!(hit.server, root.server());
+    assert_eq!(hit.offset, root.offset() + 40);
+    assert_eq!(hit.len, 16);
+    assert_eq!(hit.client, Some(client));
+    assert!(hit.time.as_nanos() > 0, "violation carries virtual time");
+    assert!(hit.detail.contains("lock is not held"), "{}", hit.detail);
+}
+
+#[test]
+fn detects_version_rollback() {
+    let (sim, nam) = cluster();
+    let (idx, san) = armed_fg(&sim, &nam);
+    let root = idx.root();
+    let nam2 = nam.rdma.clone();
+    let ep = Endpoint::new(&nam.rdma);
+    sim.spawn(async move {
+        let word = u64::from_le_bytes(nam2.setup_read(root, 8).try_into().unwrap());
+        // Jump the version forward outside the protocol, then roll it
+        // back — both CAS transitions are illegal, the second is a
+        // version rollback.
+        let fwd = ep.cas(root, word, word + 4).await;
+        assert_eq!(fwd, word, "injection CAS must succeed");
+        let back = ep.cas(root, word + 4, word + 2).await;
+        assert_eq!(back, word + 4, "injection CAS must succeed");
+    });
+    sim.run();
+
+    let vs = san.violations();
+    let protocol: Vec<_> = vs
+        .iter()
+        .filter(|v| v.kind == ViolationKind::VersionProtocol)
+        .collect();
+    assert!(
+        protocol.len() >= 2,
+        "both illegal CAS transitions flagged, got: {vs:?}"
+    );
+    let rollback = protocol
+        .iter()
+        .find(|v| v.detail.contains("version rollback"))
+        .expect("rollback must be called out");
+    assert_eq!(rollback.server, root.server());
+    assert_eq!(rollback.offset, root.offset());
+    assert!(rollback.time.as_nanos() > 0);
+}
+
+#[test]
+fn detects_unlock_without_lock() {
+    let (sim, nam) = cluster();
+    let (idx, san) = armed_fg(&sim, &nam);
+    let root = idx.root();
+    let ep = Endpoint::new(&nam.rdma);
+    sim.spawn(async move {
+        // The unlock FAA with no preceding lock CAS.
+        ep.fetch_add(root, 1).await;
+    });
+    sim.run();
+
+    let hit = san
+        .violations()
+        .into_iter()
+        .find(|v| v.kind == ViolationKind::VersionProtocol)
+        .expect("unlock-without-lock must be flagged");
+    assert_eq!(hit.offset, root.offset());
+    assert!(hit.detail.contains("no lock held"), "{}", hit.detail);
+}
+
+#[test]
+fn detects_read_of_gc_freed_region() {
+    let (sim, nam) = cluster();
+    let (idx, san) = armed_fg(&sim, &nam);
+    // The first chain page is a head node (head_stride > 0); epoch head
+    // maintenance rebuilds the heads and retires the old ones.
+    let old_head = idx.first();
+    idx.maintain_heads();
+    assert_ne!(idx.first(), old_head, "maintenance must replace the head");
+
+    let ep = Endpoint::new(&nam.rdma);
+    let client = ep.client_id();
+    sim.spawn(async move {
+        // A straggler still holding the stale head pointer.
+        ep.read(old_head, 256).await;
+    });
+    sim.run();
+
+    let vs = san.violations();
+    let hit = vs
+        .iter()
+        .find(|v| v.kind == ViolationKind::UseAfterFree)
+        .expect("read of retired region must be flagged");
+    assert_eq!(hit.server, old_head.server());
+    assert_eq!(hit.offset, old_head.offset());
+    assert_eq!(hit.client, Some(client));
+    assert!(hit.time.as_nanos() > 0);
+    assert!(hit.detail.contains("retired"), "{}", hit.detail);
+}
+
+#[test]
+fn assert_clean_panics_with_context() {
+    let (sim, nam) = cluster();
+    let (idx, san) = armed_fg(&sim, &nam);
+    let root = idx.root();
+    let ep = Endpoint::new(&nam.rdma);
+    sim.spawn(async move {
+        ep.write(RemotePtr::new(root.server(), root.offset() + 48), &[1])
+            .await;
+    });
+    sim.run();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| san.assert_clean()))
+        .expect_err("assert_clean must panic on a dirty run");
+    let msg = err.downcast_ref::<String>().expect("string panic payload");
+    assert!(
+        msg.contains("unlocked-write") && msg.contains("server"),
+        "{msg}"
+    );
+}
