@@ -39,9 +39,11 @@ fn run(cached: bool, clients: usize, keys: u64) -> f64 {
                 let key = rng.next_u64_below(keys) * 8;
                 let t0 = sim_c.now();
                 if cached {
-                    fg_lookup_cached(&idx, &ep, &cache, key).await;
+                    fg_lookup_cached(&idx, &ep, &cache, key)
+                        .await
+                        .expect("fault-free run");
                 } else {
-                    idx.lookup(&ep, key).await;
+                    idx.lookup(&ep, key).await.expect("fault-free run");
                 }
                 if t0 >= warmup && sim_c.now() <= end {
                     ops.inc();

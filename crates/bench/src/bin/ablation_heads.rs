@@ -29,6 +29,7 @@ fn main() {
                 head_stride: stride,
                 warmup: SimDur::from_millis(3),
                 measure: SimDur::from_millis(60),
+                seed: bench::cli::parse_args().seed_or_default(),
                 ..ExperimentConfig::default()
             };
             let r = run_experiment(&cfg);

@@ -35,6 +35,7 @@ fn main() {
                     page_size,
                     warmup: SimDur::from_millis(3),
                     measure: SimDur::from_millis(measure_ms),
+                    seed: bench::cli::parse_args().seed_or_default(),
                     ..ExperimentConfig::default()
                 };
                 let r = run_experiment(&cfg);

@@ -32,6 +32,7 @@ fn main() {
                     data_dist: dist,
                     warmup: SimDur::from_millis(2),
                     measure: SimDur::from_millis(20),
+                    seed: bench::cli::parse_args().seed_or_default(),
                     ..ExperimentConfig::default()
                 };
                 let r = run_experiment(&cfg);
@@ -56,6 +57,7 @@ fn main() {
                 clients,
                 warmup: SimDur::from_millis(2),
                 measure: SimDur::from_millis(20),
+                seed: bench::cli::parse_args().seed_or_default(),
                 ..ExperimentConfig::default()
             };
             let r = run_experiment(&cfg);
@@ -84,6 +86,7 @@ fn main() {
                 data_dist: dist,
                 warmup: SimDur::from_millis(2),
                 measure: SimDur::from_millis(30),
+                seed: bench::cli::parse_args().seed_or_default(),
                 ..ExperimentConfig::default()
             };
             let r = run_experiment(&cfg);
@@ -108,6 +111,7 @@ fn main() {
                 clients,
                 warmup: SimDur::from_millis(2),
                 measure: SimDur::from_millis(20),
+                seed: bench::cli::parse_args().seed_or_default(),
                 ..ExperimentConfig::default()
             };
             let r = run_experiment(&cfg);

@@ -1,0 +1,179 @@
+//! Extension: behaviour under injected faults.
+//!
+//! The paper assumes a fault-free cluster; this experiment measures how
+//! the three designs ride out a deterministic fault schedule — a client
+//! killed at the worst possible instant (between its lock CAS and its
+//! unlock FAA), a memory-server crash/restart window, a burst of client
+//! kills, and a link-degradation spike — and reports per-millisecond
+//! throughput / abort-rate timelines next to a fault-free baseline of
+//! the same seed.
+//!
+//! `--seed N` changes the workload; `--fault-seed N` replaces the
+//! scripted schedule with a randomized plan drawn from that seed
+//! (`chaos::FaultPlan::randomized`). Same seeds, same timelines — the
+//! whole run is virtual-time deterministic.
+
+use bench::figures::{quick, DESIGNS};
+use bench::plot::{ascii_chart, results_dir, write_csv, Series};
+use bench::{run_experiment, DesignKind, ExperimentConfig, ExperimentResult};
+use chaos::{FaultPlan, LinkDegrade, RandomProfile};
+use simnet::{SimDur, SimTime};
+use ycsb::Workload;
+
+/// The scripted schedule: one fault of every class, spread over the
+/// 30ms run so each recovery is visible as its own timeline dip.
+fn scripted_plan(clients: u64) -> FaultPlan {
+    let ms = |m: u64| SimTime::from_millis(m);
+    FaultPlan::new()
+        // The worst instant for lock-based protocols: the victim dies
+        // holding a leaf lock; a contender must break the lease.
+        .kill_on_lock_acquire(ms(4), 1 % clients)
+        .revive_client(ms(6), 1 % clients)
+        // A full memory-server outage and recovery.
+        .crash_server(ms(8), 1)
+        .restart_server(ms(12), 1)
+        // A burst of client kills.
+        .kill_client(ms(16), 2 % clients)
+        .kill_client(ms(16), 3 % clients)
+        .revive_client(ms(18), 2 % clients)
+        .revive_client(ms(18), 3 % clients)
+        // A lossy, slow, narrow link for 4ms.
+        .degrade_link(
+            ms(22),
+            0,
+            LinkDegrade {
+                drop_chance: 0.05,
+                extra_delay: SimDur::from_micros(5),
+                bandwidth_factor: 0.6,
+            },
+        )
+        .restore_link(ms(26), 0)
+}
+
+fn config(design: DesignKind, seed: u64, plan: Option<FaultPlan>) -> ExperimentConfig {
+    ExperimentConfig {
+        design,
+        workload: Workload::a(),
+        num_keys: if quick() { 50_000 } else { 200_000 },
+        clients: 24,
+        warmup: SimDur::from_millis(2),
+        measure: SimDur::from_millis(28),
+        seed,
+        fault_plan: plan,
+        timeline_window: SimDur::from_millis(1),
+        ..ExperimentConfig::default()
+    }
+}
+
+fn timeline_fingerprint(r: &ExperimentResult) -> Vec<(u64, u64)> {
+    r.timeline.iter().map(|p| (p.ops, p.aborts)).collect()
+}
+
+fn main() {
+    let args = bench::parse_args();
+    let seed = args.seed_or_default();
+    let clients = 24u64;
+    let plan = match args.fault_seed {
+        Some(fs) => FaultPlan::randomized(
+            fs,
+            4,
+            clients,
+            RandomProfile {
+                horizon: SimDur::from_millis(30),
+                ..RandomProfile::default()
+            },
+        ),
+        None => scripted_plan(clients),
+    };
+    println!(
+        "Extension: fault tolerance (workload A, seed {seed}, {} fault events)\n",
+        plan.events().len()
+    );
+
+    println!(
+        "{:>16} {:>14} {:>14} {:>8} {:>8} {:>12} {:>10}",
+        "design", "ops/s (clean)", "ops/s (fault)", "aborts", "abort%", "unreachable", "cancelled"
+    );
+    let mut csv = Vec::new();
+    let mut tput_series: Vec<Series> = Vec::new();
+    let mut abort_series: Vec<Series> = Vec::new();
+    for design in DESIGNS {
+        let clean = run_experiment(&config(design, seed, None));
+        let faulted = run_experiment(&config(design, seed, Some(plan.clone())));
+        // Same seed, same plan => byte-identical run (the determinism
+        // gate's promise, restated here as a cheap self-check).
+        let again = run_experiment(&config(design, seed, Some(plan.clone())));
+        assert_eq!(
+            timeline_fingerprint(&faulted),
+            timeline_fingerprint(&again),
+            "{design:?}: same seed + same plan must replay identically"
+        );
+
+        let total = faulted.ops + faulted.aborts;
+        println!(
+            "{:>16} {:>14.0} {:>14.0} {:>8} {:>7.2}% {:>12} {:>10}",
+            design.label(),
+            clean.throughput,
+            faulted.throughput,
+            faulted.aborts,
+            faulted.aborts as f64 / total.max(1) as f64 * 100.0,
+            faulted.fault_stats.verbs_unreachable,
+            faulted.fault_stats.verbs_cancelled,
+        );
+        for p in &faulted.timeline {
+            csv.push(vec![
+                design.label().to_string(),
+                format!("{:.1}", p.t_ms),
+                p.ops.to_string(),
+                p.aborts.to_string(),
+                format!("{:.2}", p.mean_lat_ns / 1_000.0),
+            ]);
+        }
+        tput_series.push((
+            design.label().to_string(),
+            faulted
+                .timeline
+                .iter()
+                .map(|p| (p.t_ms, p.ops as f64))
+                .collect(),
+        ));
+        abort_series.push((
+            design.label().to_string(),
+            faulted
+                .timeline
+                .iter()
+                .map(|p| (p.t_ms, p.aborts as f64))
+                .collect(),
+        ));
+    }
+
+    println!(
+        "{}",
+        ascii_chart(
+            "ops completed per 1ms window under the fault schedule",
+            "virtual time (ms)",
+            "ops",
+            &tput_series,
+            false,
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            "ops aborted per 1ms window (retries exhausted / client killed)",
+            "virtual time (ms)",
+            "aborts",
+            &abort_series,
+            false,
+        )
+    );
+
+    let path = results_dir().join("ext_fault_tolerance.csv");
+    write_csv(
+        &path,
+        &["design", "t_ms", "ops", "aborts", "mean_lat_us"],
+        &csv,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -25,7 +25,7 @@ struct GcRun {
     reads_baseline: f64,
 }
 
-fn run(design_name: &'static str, keys: u64, delete_frac: f64) -> GcRun {
+fn run(design_name: &'static str, keys: u64, delete_frac: f64, seed: u64) -> GcRun {
     let measure = |with_gc: bool| -> (usize, u64, f64) {
         let sim = Sim::new();
         let nam = NamCluster::new(&sim, ClusterSpec::default());
@@ -59,7 +59,7 @@ fn run(design_name: &'static str, keys: u64, delete_frac: f64) -> GcRun {
             let ep = Endpoint::new(&nam.rdma);
             sim.spawn(async move {
                 for i in (0..keys).step_by(step as usize) {
-                    design.delete(&ep, i * 8).await;
+                    design.delete(&ep, i * 8).await.expect("fault-free run");
                 }
             });
         }
@@ -74,11 +74,11 @@ fn run(design_name: &'static str, keys: u64, delete_frac: f64) -> GcRun {
             let ep = Endpoint::new(&nam.rdma);
             let reads = reads.clone();
             let sim_c = sim.clone();
-            let mut rng = DetRng::seed_from_u64(c);
+            let mut rng = DetRng::seed_from_u64(seed ^ c);
             sim.spawn(async move {
                 loop {
                     let k = rng.next_u64_below(keys) * 8;
-                    design.lookup(&ep, k).await;
+                    design.lookup(&ep, k).await.expect("fault-free run");
                     if sim_c.now() <= end {
                         reads.inc();
                     }
@@ -99,7 +99,7 @@ fn run(design_name: &'static str, keys: u64, delete_frac: f64) -> GcRun {
                     Design::Fg(d) => gc::fg_gc_pass(d, &ep).await,
                     Design::Hybrid(d) => gc::hybrid_gc_pass(d, &ep).await,
                 };
-                reclaimed.set(freed);
+                reclaimed.set(freed.expect("fault-free run"));
                 gc_end.set(sim_c.now());
             });
         }
@@ -129,6 +129,7 @@ fn run(design_name: &'static str, keys: u64, delete_frac: f64) -> GcRun {
 }
 
 fn main() {
+    let seed = bench::cli::parse_args().seed_or_default();
     let keys = num_keys().min(200_000); // GC walks the whole leaf chain
     println!(
         "Extension: epoch GC under load ({} keys, 10% deleted, 40 readers)\n",
@@ -140,7 +141,7 @@ fn main() {
     );
     let mut csv = Vec::new();
     for design in ["coarse-grained", "fine-grained", "hybrid"] {
-        let r = run(design, keys, 0.1);
+        let r = run(design, keys, 0.1, seed);
         println!(
             "{design:>16} {:>10} {:>9}us {:>16.0} {:>16.0} {:>7.0}%",
             r.reclaimed,

@@ -42,6 +42,7 @@ fn main() {
                     clients,
                     warmup: SimDur::from_millis(3),
                     measure,
+                    seed: bench::cli::parse_args().seed_or_default(),
                     ..ExperimentConfig::default()
                 };
                 let r = run_experiment(&cfg);

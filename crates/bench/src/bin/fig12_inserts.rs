@@ -21,6 +21,7 @@ fn main() {
                     clients,
                     warmup: SimDur::from_millis(3),
                     measure: SimDur::from_millis(25),
+                    seed: bench::cli::parse_args().seed_or_default(),
                     ..ExperimentConfig::default()
                 };
                 let r = run_experiment(&cfg);

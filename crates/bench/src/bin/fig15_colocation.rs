@@ -24,6 +24,7 @@ fn main() {
                     colocated,
                     warmup: SimDur::from_millis(3),
                     measure: SimDur::from_millis(25),
+                    seed: bench::cli::parse_args().seed_or_default(),
                     ..ExperimentConfig::default()
                 };
                 let r = run_experiment(&cfg);

@@ -23,6 +23,7 @@ fn main() {
         "ablation_partitioning",
         "ext_request_skew",
         "ext_gc",
+        "ext_fault_tolerance",
     ];
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");

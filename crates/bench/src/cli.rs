@@ -1,0 +1,93 @@
+//! Minimal flag parsing shared by the experiment binaries.
+//!
+//! Every binary accepts `--seed N` (workload seed, default 42) and
+//! `--fault-seed N` (seed for a randomized fault plan where the binary
+//! supports fault injection). Both `--flag N` and `--flag=N` forms
+//! work; flags the binaries do not know are ignored so wrappers can
+//! pass extra arguments through.
+
+/// Seeds recognised by the experiment binaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--seed`: workload generation seed.
+    pub seed: Option<u64>,
+    /// `--fault-seed`: randomized fault-plan seed.
+    pub fault_seed: Option<u64>,
+}
+
+impl BenchArgs {
+    /// The workload seed, defaulting to the repo-wide 42.
+    pub fn seed_or_default(&self) -> u64 {
+        self.seed.unwrap_or(42)
+    }
+}
+
+/// Parse the process arguments.
+pub fn parse_args() -> BenchArgs {
+    parse_from(std::env::args().skip(1))
+}
+
+/// Parse an explicit argument list (testable core of [`parse_args`]).
+pub fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
+    let mut out = BenchArgs::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let target = match flag.as_str() {
+            "--seed" => &mut out.seed,
+            "--fault-seed" => &mut out.fault_seed,
+            _ => continue,
+        };
+        let value = inline.or_else(|| args.next());
+        let value = value.unwrap_or_else(|| panic!("{flag} needs a value"));
+        *target = Some(
+            value
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} expects an unsigned integer, got {value:?}")),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_both_flag_forms() {
+        assert_eq!(
+            parse(&["--seed", "7", "--fault-seed=9"]),
+            BenchArgs {
+                seed: Some(7),
+                fault_seed: Some(9),
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let got = parse(&["--verbose", "--seed=3", "positional"]);
+        assert_eq!(got.seed, Some(3));
+        assert_eq!(got.fault_seed, None);
+    }
+
+    #[test]
+    fn defaults_when_absent() {
+        let got = parse(&[]);
+        assert_eq!(got, BenchArgs::default());
+        assert_eq!(got.seed_or_default(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an unsigned integer")]
+    fn rejects_malformed_values() {
+        parse(&["--seed", "many"]);
+    }
+}

@@ -13,9 +13,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use blink::PageLayout;
+use chaos::{ChaosController, FaultPlan};
 use nam::{NamCluster, PartitionMap};
 use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
-use rdma_sim::{ClusterSpec, Endpoint, ServerStats};
+use rdma_sim::{ClusterSpec, Endpoint, FaultStats, ServerStats};
 use simnet::rng::Zipf;
 use simnet::stats::{Counter, Histogram};
 use simnet::{Sim, SimDur};
@@ -107,6 +108,13 @@ pub struct ExperimentConfig {
     pub head_stride: usize,
     /// Cluster spec override (defaults to the calibrated spec).
     pub spec: Option<ClusterSpec>,
+    /// Fault schedule to install (None = fault-free run).
+    pub fault_plan: Option<FaultPlan>,
+    /// Timeline sampling window; `SimDur::ZERO` disables the timeline.
+    /// When set, every operation completion (warmup included) lands in
+    /// the window of its completion instant, giving the
+    /// throughput/abort-rate timelines of the fault-tolerance report.
+    pub timeline_window: SimDur,
 }
 
 impl Default for ExperimentConfig {
@@ -126,8 +134,25 @@ impl Default for ExperimentConfig {
             page_size: PageLayout::DEFAULT_PAGE_SIZE,
             head_stride: 8,
             spec: None,
+            fault_plan: None,
+            timeline_window: SimDur::ZERO,
         }
     }
+}
+
+/// One timeline window's worth of completions (see
+/// [`ExperimentConfig::timeline_window`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimelinePoint {
+    /// Window start, milliseconds of virtual time.
+    pub t_ms: f64,
+    /// Operations completed in the window.
+    pub ops: u64,
+    /// Operations aborted in the window (retries exhausted or client
+    /// killed mid-operation).
+    pub aborts: u64,
+    /// Mean latency of the window's completions, nanoseconds.
+    pub mean_lat_ns: f64,
 }
 
 /// Measurements from one run.
@@ -149,6 +174,13 @@ pub struct ExperimentResult {
     pub max_bandwidth_gbps: f64,
     /// Per-server counter deltas over the window.
     pub per_server: Vec<ServerStats>,
+    /// Operations aborted inside the measurement window.
+    pub aborts: u64,
+    /// Cluster-wide fault/injection counters for the whole run.
+    pub fault_stats: FaultStats,
+    /// Per-window throughput/abort timeline (empty unless
+    /// [`ExperimentConfig::timeline_window`] is set).
+    pub timeline: Vec<TimelinePoint>,
 }
 
 fn delta(end: &ServerStats, start: &ServerStats) -> ServerStats {
@@ -225,9 +257,24 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let warmup_end = sim.now() + cfg.warmup;
     let end = warmup_end + cfg.measure;
 
+    // Fault schedule (installed before any client issues a verb, so the
+    // drop-roll RNG is seeded identically for every same-plan run).
+    if let Some(plan) = &cfg.fault_plan {
+        ChaosController::install_nam(&sim, &nam, plan.clone());
+    }
+
     // Shared measurement state.
     let ops = Rc::new(Counter::new());
+    let aborts = Rc::new(Counter::new());
     let latency = Rc::new(RefCell::new(Histogram::new()));
+    let win = cfg.timeline_window;
+    let n_windows = if win == SimDur::ZERO {
+        0
+    } else {
+        (end.as_nanos()).div_ceil(win.as_nanos()) as usize
+    };
+    // (ops, aborts, latency sum) per window.
+    let windows = Rc::new(RefCell::new(vec![(0u64, 0u64, 0u64); n_windows]));
 
     // One Zipf table shared by all clients (it is O(num_keys) to build).
     let zipf = match cfg.workload.dist {
@@ -243,8 +290,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         };
         let design = design.clone();
         let sim_c = sim.clone();
+        let cluster = nam.rdma.clone();
         let ops = ops.clone();
+        let aborts = aborts.clone();
         let latency = latency.clone();
+        let windows = windows.clone();
         // Per-client zipf sampling goes through a shared table; OpGen
         // needs its own copy handle, so rebuild tiny per-client
         // generators around the shared table.
@@ -260,24 +310,50 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             loop {
                 let op = gen.next_op();
                 let t0 = sim_c.now();
-                match op {
-                    Op::Point(k) => {
-                        design.lookup(&ep, k).await;
-                    }
-                    Op::Range(lo, hi) => {
-                        design.range(&ep, lo, hi).await;
-                    }
-                    Op::Insert(k, v) => {
-                        design.insert(&ep, k, v).await;
-                    }
-                }
+                let outcome = match op {
+                    Op::Point(k) => design.lookup(&ep, k).await.map(|_| ()),
+                    Op::Range(lo, hi) => design.range(&ep, lo, hi).await.map(|_| ()),
+                    Op::Insert(k, v) => design.insert(&ep, k, v).await.map(|_| ()),
+                };
                 let t1 = sim_c.now();
                 // Completion-based counting: an operation belongs to the
                 // window it completes in (long scans can outlive the
                 // warmup or span window fractions).
-                if t1 > warmup_end && t1 <= end {
-                    ops.inc();
-                    latency.borrow_mut().record((t1 - t0).as_nanos());
+                let measured = t1 > warmup_end && t1 <= end;
+                let lat = (t1 - t0).as_nanos();
+                match outcome {
+                    Ok(()) => {
+                        if measured {
+                            ops.inc();
+                            latency.borrow_mut().record(lat);
+                        }
+                        if win != SimDur::ZERO {
+                            let i = (t1.as_nanos() / win.as_nanos()) as usize;
+                            if let Some(w) = windows.borrow_mut().get_mut(i) {
+                                w.0 += 1;
+                                w.2 += lat;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if measured {
+                            aborts.inc();
+                        }
+                        if win != SimDur::ZERO {
+                            let i = (t1.as_nanos() / win.as_nanos()) as usize;
+                            if let Some(w) = windows.borrow_mut().get_mut(i) {
+                                w.1 += 1;
+                            }
+                        }
+                        // A killed client parks until its revival instead
+                        // of spinning on `Cancelled` at a frozen virtual
+                        // instant.
+                        if e.is_cancelled() {
+                            while cluster.client_dead(ep.client_id()) {
+                                sim_c.sleep(SimDur::from_micros(10)).await;
+                            }
+                        }
+                    }
                 }
             }
         });
@@ -313,6 +389,22 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let count = ops.get();
     let hist = latency.borrow().clone();
 
+    let timeline = windows
+        .borrow()
+        .iter()
+        .enumerate()
+        .map(|(i, &(w_ops, w_aborts, lat_sum))| TimelinePoint {
+            t_ms: i as f64 * win.as_nanos() as f64 / 1e6,
+            ops: w_ops,
+            aborts: w_aborts,
+            mean_lat_ns: if w_ops > 0 {
+                lat_sum as f64 / w_ops as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+
     ExperimentResult {
         ops: count,
         throughput: count as f64 / secs,
@@ -321,6 +413,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         wire_gbps: wire_bytes as f64 / secs / 1e9,
         max_bandwidth_gbps: nam.rdma.aggregate_bandwidth() / 1e9,
         per_server,
+        aborts: aborts.get(),
+        fault_stats: nam.rdma.fault_stats(),
+        timeline,
     }
 }
 

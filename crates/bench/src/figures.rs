@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use simnet::SimDur;
 use ycsb::Workload;
 
+use crate::cli;
 use crate::driver::{run_experiment, DataDist, DesignKind, ExperimentConfig};
 use crate::plot::{results_dir, write_csv};
 
@@ -177,6 +178,7 @@ pub fn full_sweep(dist: DataDist) -> Vec<SweepRow> {
                     data_dist: dist,
                     warmup: SimDur::from_millis(3),
                     measure,
+                    seed: cli::parse_args().seed_or_default(),
                     ..ExperimentConfig::default()
                 };
                 let r = run_experiment(&cfg);

@@ -9,10 +9,13 @@
 //! binaries sweep configurations to regenerate each figure's series.
 //! [`plot`] renders ASCII charts and CSV files.
 
+pub mod cli;
 pub mod driver;
 pub mod figures;
 pub mod plot;
 
+pub use cli::{parse_args, BenchArgs};
 pub use driver::{
     run_experiment, CgPartition, DataDist, DesignKind, ExperimentConfig, ExperimentResult,
+    TimelinePoint,
 };

@@ -130,15 +130,65 @@ impl Default for PageLayout {
 }
 
 /// Helpers for the `(version, lock-bit)` word.
+///
+/// Layout of the 8-byte word at page offset 0:
+///
+/// ```text
+/// bit  0      : lock bit
+/// bits 1..=47 : version counter (bumped by every unlock / lease break)
+/// bits 48..=55: owner id of the current/last lock holder (client id & 0xff)
+/// bits 56..=63: lease epoch, bumped every time an orphaned lock is broken
+/// ```
+///
+/// The classic OLC cycle `v --CAS--> locked_by(v, me) --FAA(+1)--> v'`
+/// still works: the FAA of 1 clears the lock bit and carries into the
+/// version counter, leaving the (now stale) owner bits untouched. Stale
+/// owner bits in an *unlocked* word are harmless — the protocol always
+/// compares full words, and the next acquire CAS overwrites the owner
+/// field. The lease epoch lets recovery distinguish "holder unlocked and
+/// someone re-locked" from "contender broke my orphaned lease".
 pub mod lock_word {
+    /// Bits holding the version counter and the lock bit.
+    pub const VERSION_LOCK_MASK: u64 = (1 << OWNER_SHIFT) - 1;
+    /// Shift of the owner-id field.
+    pub const OWNER_SHIFT: u32 = 48;
+    /// Bits holding the owner id.
+    pub const OWNER_MASK: u64 = 0xff << OWNER_SHIFT;
+    /// Shift of the lease-epoch field.
+    pub const EPOCH_SHIFT: u32 = 56;
+    /// Bits holding the lease epoch.
+    pub const EPOCH_MASK: u64 = 0xff << EPOCH_SHIFT;
+
     /// Whether the lock bit is set.
     pub fn is_locked(word: u64) -> bool {
         word & 1 == 1
     }
 
-    /// The word with the lock bit set (the CAS target when locking).
+    /// The word with the lock bit set (the CAS target when locking
+    /// without recording an owner — legacy shape, owner field untouched).
     pub fn locked(word: u64) -> u64 {
         word | 1
+    }
+
+    /// The word with the lock bit set and `owner` recorded (the CAS
+    /// target when locking with lease support).
+    pub fn locked_by(word: u64, owner: u64) -> u64 {
+        (word & !OWNER_MASK) | ((owner & 0xff) << OWNER_SHIFT) | 1
+    }
+
+    /// The owner-id field (only meaningful while the word is locked).
+    pub fn owner_of(word: u64) -> u64 {
+        (word & OWNER_MASK) >> OWNER_SHIFT
+    }
+
+    /// The lease-epoch field.
+    pub fn epoch_of(word: u64) -> u64 {
+        (word & EPOCH_MASK) >> EPOCH_SHIFT
+    }
+
+    /// The version counter (bits 1..=47).
+    pub fn version_of(word: u64) -> u64 {
+        (word & VERSION_LOCK_MASK) >> 1
     }
 
     /// The word after the unlocking fetch-and-add of 1: the lock bit is
@@ -146,6 +196,30 @@ pub mod lock_word {
     pub fn unlocked_next(word: u64) -> u64 {
         debug_assert!(is_locked(word), "unlocking an unlocked word");
         word + 1
+    }
+
+    /// The word after a contender breaks an expired lease via CAS:
+    /// lock bit cleared, version bumped (so optimistic readers restart),
+    /// owner cleared, lease epoch bumped.
+    pub fn break_lease(word: u64) -> u64 {
+        debug_assert!(is_locked(word), "breaking an unlocked word");
+        let version_lock = ((word & VERSION_LOCK_MASK) + 1) & VERSION_LOCK_MASK;
+        let epoch = (epoch_of(word) + 1) & 0xff;
+        version_lock | (epoch << EPOCH_SHIFT)
+    }
+
+    /// Whether a CAS `expected -> new` has the shape of a lock acquire:
+    /// unlocked to locked, version and epoch unchanged, any owner.
+    pub fn is_acquire(expected: u64, new: u64) -> bool {
+        !is_locked(expected)
+            && is_locked(new)
+            && (new & VERSION_LOCK_MASK) == (expected & VERSION_LOCK_MASK) | 1
+            && (new & EPOCH_MASK) == expected & EPOCH_MASK
+    }
+
+    /// Whether a CAS `expected -> new` has the shape of a lease break.
+    pub fn is_lease_break(expected: u64, new: u64) -> bool {
+        is_locked(expected) && new == break_lease(expected)
     }
 }
 
@@ -196,6 +270,44 @@ mod tests {
         let v1 = lock_word::unlocked_next(locked);
         assert!(!lock_word::is_locked(v1));
         assert!(v1 > v0, "version must advance across a lock cycle");
+    }
+
+    #[test]
+    fn lock_word_owner_encoding() {
+        let v0 = 6u64; // version 3, unlocked
+        let locked = lock_word::locked_by(v0, 0x2a);
+        assert!(lock_word::is_locked(locked));
+        assert_eq!(lock_word::owner_of(locked), 0x2a);
+        assert_eq!(lock_word::version_of(locked), 3);
+        assert!(lock_word::is_acquire(v0, locked));
+        // The FAA(+1) unlock clears the lock bit, bumps the version and
+        // leaves the stale owner bits behind.
+        let v1 = lock_word::unlocked_next(locked);
+        assert!(!lock_word::is_locked(v1));
+        assert_eq!(lock_word::version_of(v1), 4);
+        assert_eq!(lock_word::owner_of(v1), 0x2a);
+        // Re-acquiring overwrites the stale owner.
+        let relocked = lock_word::locked_by(v1, 0x07);
+        assert_eq!(lock_word::owner_of(relocked), 0x07);
+        assert!(lock_word::is_acquire(v1, relocked));
+    }
+
+    #[test]
+    fn lock_word_lease_break() {
+        let locked = lock_word::locked_by(2, 0x11);
+        let broken = lock_word::break_lease(locked);
+        assert!(!lock_word::is_locked(broken));
+        assert_eq!(lock_word::version_of(broken), 2, "version bumped");
+        assert_eq!(lock_word::owner_of(broken), 0, "owner cleared");
+        assert_eq!(lock_word::epoch_of(broken), 1, "epoch bumped");
+        assert!(lock_word::is_lease_break(locked, broken));
+        assert!(!lock_word::is_lease_break(locked, locked));
+        assert!(!lock_word::is_acquire(locked, broken));
+        // A plain unlock is not a lease break.
+        assert!(!lock_word::is_lease_break(
+            locked,
+            lock_word::unlocked_next(locked)
+        ));
     }
 
     #[test]

@@ -1,0 +1,524 @@
+#![warn(missing_docs)]
+
+//! # chaos — deterministic fault injection for the simulated NAM cluster
+//!
+//! A [`FaultPlan`] is a seed-deterministic schedule of fault events —
+//! client kills/revivals, memory-server crashes/restarts, link
+//! degradation windows, and armed kill-on-lock-acquire triggers. Plans
+//! are either *scripted* (explicit `(time, event)` pairs) or
+//! *randomized* (a [`RandomProfile`] materialized up-front from a seed
+//! via [`simnet::rng::DetRng`]); either way the schedule is fully
+//! decided before the simulation runs, so the same seed always produces
+//! the same fault sequence at the same virtual instants — no wall clock
+//! anywhere.
+//!
+//! [`ChaosController::install`] arms the plan on a cluster: a driver
+//! task sleeps to each event's instant and applies it through the
+//! cluster's fault API (`kill_client`, `fail_server`, `degrade_link`,
+//! ...). [`ChaosController::install_nam`] additionally bumps the NAM
+//! catalog generation on every memory-server restart, so compute
+//! servers holding cached descriptors know to re-resolve (§4.2's
+//! catalog service is the natural recovery coordination point).
+//!
+//! Recovery *policy* lives elsewhere: the verb layer surfaces failures
+//! as `rdma_sim::VerbError`, `namdex-core::Design` retries with bounded
+//! backoff, and the lease encoding in `blink::layout::lock_word` lets a
+//! contender break locks orphaned by killed clients.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use nam::NamCluster;
+use rdma_sim::Cluster;
+pub use rdma_sim::LinkDegrade;
+use simnet::rng::DetRng;
+use simnet::{Sim, SimDur, SimTime};
+
+/// One fault to apply at a scheduled virtual instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Kill compute client `0`'s endpoint: every verb it issues from now
+    /// on fails with `VerbError::Cancelled`. Verbs already in flight
+    /// still take effect remotely (the NIC does not recall messages) —
+    /// which is exactly how a client dies between its lock CAS and its
+    /// unlock FAA.
+    KillClient(u64),
+    /// Revive a killed client; its worker may resume issuing verbs.
+    ReviveClient(u64),
+    /// Crash a memory server: its registered regions are unreachable
+    /// (verbs fail with `VerbError::ServerUnreachable`) until restart.
+    CrashServer(usize),
+    /// Restart a crashed server. Memory contents survive (the NAM pool
+    /// is durable from the protocol's point of view); the restart bumps
+    /// the server's restart counter and, under [`ChaosController::install_nam`],
+    /// the catalog generation.
+    RestartServer(usize),
+    /// Begin a degradation window on one server's link: probabilistic
+    /// verb drops, added delay, and/or reduced NIC bandwidth.
+    DegradeLink(usize, LinkDegrade),
+    /// End the degradation window on a server's link.
+    RestoreLink(usize),
+    /// Arm a one-shot trigger: the client dies at the exact instant its
+    /// next lock-acquire CAS succeeds — *between* the CAS and the unlock
+    /// FAA, the worst instant for lock-based protocols.
+    KillOnNextLockAcquire(u64),
+}
+
+/// Profile for randomized plan generation: how many faults of each
+/// class to scatter over the horizon.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomProfile {
+    /// Events are scheduled in `[0, horizon)` (recovery counterparts may
+    /// land past the horizon).
+    pub horizon: SimDur,
+    /// Crash/restart pairs to schedule on random servers.
+    pub server_crashes: u32,
+    /// Downtime between each crash and its restart.
+    pub server_downtime: SimDur,
+    /// Kill/revive pairs to schedule on random clients.
+    pub client_kills: u32,
+    /// Downtime between each kill and its revival.
+    pub client_downtime: SimDur,
+    /// Degrade/restore pairs to schedule on random links.
+    pub degrade_spikes: u32,
+    /// Degradation applied during each spike.
+    pub degrade: LinkDegrade,
+    /// Length of each degradation window.
+    pub degrade_duration: SimDur,
+}
+
+impl Default for RandomProfile {
+    fn default() -> Self {
+        RandomProfile {
+            horizon: SimDur::from_millis(20),
+            server_crashes: 1,
+            server_downtime: SimDur::from_millis(2),
+            client_kills: 2,
+            client_downtime: SimDur::from_millis(1),
+            degrade_spikes: 1,
+            degrade: LinkDegrade {
+                drop_chance: 0.05,
+                extra_delay: SimDur::from_micros(10),
+                bandwidth_factor: 0.5,
+            },
+            degrade_duration: SimDur::from_millis(2),
+        }
+    }
+}
+
+/// A seed-deterministic schedule of fault events.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Empty plan (no faults). Installing it still seeds the cluster's
+    /// fault RNG with `seed` 0 for drop rolls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty plan whose link-degradation drop rolls draw from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Schedule `event` at virtual instant `at`.
+    pub fn at(mut self, at: SimTime, event: FaultEvent) -> Self {
+        self.events.push((at, event));
+        self
+    }
+
+    /// Schedule a client kill.
+    pub fn kill_client(self, at: SimTime, client: u64) -> Self {
+        self.at(at, FaultEvent::KillClient(client))
+    }
+
+    /// Schedule a client revival.
+    pub fn revive_client(self, at: SimTime, client: u64) -> Self {
+        self.at(at, FaultEvent::ReviveClient(client))
+    }
+
+    /// Schedule a memory-server crash.
+    pub fn crash_server(self, at: SimTime, server: usize) -> Self {
+        self.at(at, FaultEvent::CrashServer(server))
+    }
+
+    /// Schedule a memory-server restart.
+    pub fn restart_server(self, at: SimTime, server: usize) -> Self {
+        self.at(at, FaultEvent::RestartServer(server))
+    }
+
+    /// Schedule the start of a link-degradation window.
+    pub fn degrade_link(self, at: SimTime, server: usize, degrade: LinkDegrade) -> Self {
+        self.at(at, FaultEvent::DegradeLink(server, degrade))
+    }
+
+    /// Schedule the end of a link-degradation window.
+    pub fn restore_link(self, at: SimTime, server: usize) -> Self {
+        self.at(at, FaultEvent::RestoreLink(server))
+    }
+
+    /// Arm the kill-on-next-lock-acquire trigger for `client` at `at`.
+    pub fn kill_on_lock_acquire(self, at: SimTime, client: u64) -> Self {
+        self.at(at, FaultEvent::KillOnNextLockAcquire(client))
+    }
+
+    /// Generate a randomized plan: fault times and targets are drawn
+    /// from a [`DetRng`] seeded with `seed`, so the schedule is a pure
+    /// function of `(seed, servers, clients, profile)`. The whole
+    /// schedule is materialized here, before any simulation runs.
+    pub fn randomized(seed: u64, servers: usize, clients: u64, profile: RandomProfile) -> Self {
+        assert!(servers > 0, "randomized plan needs at least one server");
+        let mut rng = DetRng::seed_from_u64(seed);
+        let horizon = profile.horizon.as_nanos().max(1);
+        let mut plan = FaultPlan::with_seed(seed);
+        for _ in 0..profile.server_crashes {
+            let t = SimTime::from_nanos(rng.next_u64_below(horizon));
+            let s = rng.next_u64_below(servers as u64) as usize;
+            plan = plan
+                .crash_server(t, s)
+                .restart_server(t + profile.server_downtime, s);
+        }
+        if clients > 0 {
+            for _ in 0..profile.client_kills {
+                let t = SimTime::from_nanos(rng.next_u64_below(horizon));
+                let c = rng.next_u64_below(clients);
+                plan = plan
+                    .kill_client(t, c)
+                    .revive_client(t + profile.client_downtime, c);
+            }
+        }
+        for _ in 0..profile.degrade_spikes {
+            let t = SimTime::from_nanos(rng.next_u64_below(horizon));
+            let s = rng.next_u64_below(servers as u64) as usize;
+            plan = plan
+                .degrade_link(t, s, profile.degrade)
+                .restore_link(t + profile.degrade_duration, s);
+        }
+        plan
+    }
+
+    /// The scheduled events, unsorted (installation sorts them stably by
+    /// time, preserving insertion order within an instant).
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// The seed the cluster's fault RNG (drop rolls) is set to.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the plan schedules no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Counters of plan execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Events applied so far.
+    pub events_applied: u64,
+    /// Recovery events (restarts + revivals) among them.
+    pub recoveries: u64,
+}
+
+type EventHook = Box<dyn Fn(&FaultEvent)>;
+
+struct ControllerState {
+    stats: Cell<ChaosStats>,
+    done: Cell<bool>,
+    hooks: RefCell<Vec<EventHook>>,
+    generation: Option<Rc<Cell<u64>>>,
+}
+
+/// Drives a [`FaultPlan`] against a cluster from inside the simulation.
+#[derive(Clone)]
+pub struct ChaosController {
+    cluster: Cluster,
+    state: Rc<ControllerState>,
+}
+
+impl ChaosController {
+    /// Install `plan` on `cluster`: seed the fault RNG and spawn the
+    /// driver task that applies each event at its instant.
+    pub fn install(sim: &Sim, cluster: &Cluster, plan: FaultPlan) -> Self {
+        Self::install_inner(sim, cluster, plan, None)
+    }
+
+    /// Install `plan` on a NAM deployment. Memory-server restarts
+    /// additionally bump the catalog generation, signalling compute
+    /// servers to re-resolve cached descriptors.
+    pub fn install_nam(sim: &Sim, nam: &NamCluster, plan: FaultPlan) -> Self {
+        Self::install_inner(sim, &nam.rdma, plan, Some(nam.catalog.generation_handle()))
+    }
+
+    fn install_inner(
+        sim: &Sim,
+        cluster: &Cluster,
+        plan: FaultPlan,
+        generation: Option<Rc<Cell<u64>>>,
+    ) -> Self {
+        cluster.set_fault_seed(plan.seed);
+        let state = Rc::new(ControllerState {
+            stats: Cell::new(ChaosStats::default()),
+            done: Cell::new(plan.events.is_empty()),
+            hooks: RefCell::new(Vec::new()),
+            generation,
+        });
+        let controller = ChaosController {
+            cluster: cluster.clone(),
+            state,
+        };
+        let mut events = plan.events;
+        events.sort_by_key(|&(t, _)| t);
+        if !events.is_empty() {
+            let driver = controller.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                for (t, ev) in events {
+                    sim2.sleep_until(t).await;
+                    driver.apply(&ev);
+                }
+                driver.state.done.set(true);
+            });
+        }
+        controller
+    }
+
+    /// Register a hook called after every applied event (restart hooks
+    /// typically trigger a sanitizer re-walk of the tree structure).
+    pub fn on_event(&self, hook: impl Fn(&FaultEvent) + 'static) {
+        self.state.hooks.borrow_mut().push(Box::new(hook));
+    }
+
+    /// Register a hook called only for recovery events
+    /// ([`FaultEvent::RestartServer`] and [`FaultEvent::ReviveClient`]).
+    pub fn on_recovery(&self, hook: impl Fn(&FaultEvent) + 'static) {
+        self.on_event(move |ev| {
+            if matches!(
+                ev,
+                FaultEvent::RestartServer(_) | FaultEvent::ReviveClient(_)
+            ) {
+                hook(ev);
+            }
+        });
+    }
+
+    fn apply(&self, ev: &FaultEvent) {
+        let mut stats = self.state.stats.get();
+        match *ev {
+            FaultEvent::KillClient(c) => self.cluster.kill_client(c),
+            FaultEvent::ReviveClient(c) => {
+                self.cluster.revive_client(c);
+                stats.recoveries += 1;
+            }
+            FaultEvent::CrashServer(s) => self.cluster.fail_server(s),
+            FaultEvent::RestartServer(s) => {
+                self.cluster.restart_server(s);
+                stats.recoveries += 1;
+                if let Some(generation) = &self.state.generation {
+                    generation.set(generation.get() + 1);
+                }
+            }
+            FaultEvent::DegradeLink(s, d) => self.cluster.degrade_link(s, d),
+            FaultEvent::RestoreLink(s) => self.cluster.restore_link(s),
+            FaultEvent::KillOnNextLockAcquire(c) => self.cluster.arm_kill_on_lock_acquire(c),
+        }
+        stats.events_applied += 1;
+        self.state.stats.set(stats);
+        for hook in self.state.hooks.borrow().iter() {
+            hook(ev);
+        }
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> ChaosStats {
+        self.state.stats.get()
+    }
+
+    /// Whether every scheduled event has been applied.
+    pub fn done(&self) -> bool {
+        self.state.done.get()
+    }
+
+    /// The cluster this controller drives.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::{ClusterSpec, Endpoint, VerbError};
+
+    #[test]
+    fn scripted_plan_applies_in_order() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let plan = FaultPlan::new()
+            .crash_server(SimTime::from_micros(10), 1)
+            .restart_server(SimTime::from_micros(30), 1)
+            .kill_client(SimTime::from_micros(20), 0);
+        let ctrl = ChaosController::install(&sim, &cluster, plan);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        {
+            let seen = seen.clone();
+            let sim2 = sim.clone();
+            ctrl.on_event(move |ev| seen.borrow_mut().push((sim2.now().as_nanos(), *ev)));
+        }
+        sim.run();
+        assert_eq!(
+            *seen.borrow(),
+            vec![
+                (10_000, FaultEvent::CrashServer(1)),
+                (20_000, FaultEvent::KillClient(0)),
+                (30_000, FaultEvent::RestartServer(1)),
+            ]
+        );
+        assert!(ctrl.done());
+        assert_eq!(ctrl.stats().events_applied, 3);
+        assert_eq!(ctrl.stats().recoveries, 1);
+        assert!(cluster.server_up(1));
+        assert_eq!(cluster.server_restarts(1), 1);
+    }
+
+    #[test]
+    fn crash_window_makes_verbs_fail() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ptr = cluster.setup_alloc(0, 64);
+        cluster.setup_write(ptr, &[7u8; 64]);
+        let plan = FaultPlan::new()
+            .crash_server(SimTime::from_micros(5), 0)
+            .restart_server(SimTime::from_micros(50), 0);
+        ChaosController::install(&sim, &cluster, plan);
+        let ep = Endpoint::new(&cluster);
+        let outcomes = Rc::new(RefCell::new(Vec::new()));
+        {
+            let outcomes = outcomes.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                sim2.sleep(SimDur::from_micros(10)).await; // inside the window
+                let during = ep.read(ptr, 64).await.is_err();
+                outcomes.borrow_mut().push(during);
+                sim2.sleep(SimDur::from_micros(60)).await; // after restart
+                let after = ep.read(ptr, 64).await.is_err();
+                outcomes.borrow_mut().push(after);
+            });
+        }
+        sim.run();
+        assert_eq!(*outcomes.borrow(), vec![true, false]);
+    }
+
+    #[test]
+    fn randomized_plans_are_seed_deterministic() {
+        let make = |seed| {
+            FaultPlan::randomized(seed, 4, 8, RandomProfile::default())
+                .events()
+                .to_vec()
+        };
+        assert_eq!(make(7), make(7), "same seed, same schedule");
+        assert_ne!(make(7), make(8), "different seed, different schedule");
+        let plan = FaultPlan::randomized(7, 4, 8, RandomProfile::default());
+        // Default profile: 1 crash + 2 kills + 1 spike, each paired with
+        // its recovery.
+        assert_eq!(plan.events().len(), 8);
+    }
+
+    #[test]
+    fn nam_restart_bumps_catalog_generation() {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::default());
+        let plan = FaultPlan::new()
+            .crash_server(SimTime::from_micros(5), 2)
+            .restart_server(SimTime::from_micros(15), 2);
+        let ctrl = ChaosController::install_nam(&sim, &nam, plan);
+        let recoveries = Rc::new(Cell::new(0u32));
+        {
+            let recoveries = recoveries.clone();
+            ctrl.on_recovery(move |_| recoveries.set(recoveries.get() + 1));
+        }
+        assert_eq!(nam.catalog.generation(), 0);
+        sim.run();
+        assert_eq!(
+            nam.catalog.generation(),
+            1,
+            "restart invalidates descriptors"
+        );
+        assert_eq!(recoveries.get(), 1);
+    }
+
+    #[test]
+    fn kill_on_lock_acquire_arms_the_trigger() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ptr = cluster.setup_alloc(0, 64);
+        let plan = FaultPlan::new().kill_on_lock_acquire(SimTime::from_nanos(0), 0);
+        ChaosController::install(&sim, &cluster, plan);
+        let ep = Endpoint::new(&cluster);
+        let cluster2 = cluster.clone();
+        sim.spawn(async move {
+            // An acquire-shaped CAS (0 -> locked) fires the trigger.
+            let locked = blink_lock_word_locked_by(0, ep.client_id());
+            assert_eq!(ep.cas(ptr, 0, locked).await.unwrap(), 0);
+            assert!(cluster2.client_dead(ep.client_id()));
+            assert!(matches!(
+                ep.fetch_add(ptr, 1).await,
+                Err(VerbError::Cancelled)
+            ));
+        });
+        sim.run();
+        assert_eq!(cluster.fault_stats().lock_kills_fired, 1);
+    }
+
+    // chaos does not depend on blink; reproduce the acquire encoding
+    // (bit 0 lock, bits 48..=55 owner) for the trigger test.
+    fn blink_lock_word_locked_by(word: u64, owner: u64) -> u64 {
+        (word & !(0xff << 48)) | ((owner & 0xff) << 48) | 1
+    }
+
+    #[test]
+    fn degrade_window_drops_deterministically() {
+        let run = |seed| {
+            let sim = Sim::new();
+            let cluster = Cluster::new(&sim, ClusterSpec::default());
+            let ptr = cluster.setup_alloc(0, 64);
+            let plan = FaultPlan::with_seed(seed).degrade_link(
+                SimTime::from_nanos(0),
+                0,
+                LinkDegrade {
+                    drop_chance: 0.5,
+                    extra_delay: SimDur::ZERO,
+                    bandwidth_factor: 1.0,
+                },
+            );
+            ChaosController::install(&sim, &cluster, plan);
+            let ep = Endpoint::new(&cluster);
+            let fails = Rc::new(Cell::new(0u32));
+            {
+                let fails = fails.clone();
+                sim.spawn(async move {
+                    for _ in 0..40 {
+                        if ep.read(ptr, 64).await.is_err() {
+                            fails.set(fails.get() + 1);
+                        }
+                    }
+                });
+            }
+            sim.run();
+            fails.get()
+        };
+        let a = run(3);
+        assert_eq!(a, run(3), "drop pattern is a function of the seed");
+        assert!(a > 5 && a < 35, "~50% drop rate, got {a}/40");
+    }
+}

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use blink::node::{kind_of, HeadNodeRef, InnerNodeRef, LeafNodeRef, NodeKind};
 use blink::{Key, Value};
-use rdma_sim::{Endpoint, RemotePtr};
+use rdma_sim::{Endpoint, RemotePtr, VerbError};
 use simnet::stats::Counter;
 
 use crate::fg::FineGrained;
@@ -98,7 +98,7 @@ pub async fn fg_lookup_cached(
     ep: &Endpoint,
     cache: &ClientCache,
     key: Key,
-) -> Option<Value> {
+) -> Result<Option<Value>, VerbError> {
     let ps = idx.layout().page_size();
     let mut cur = idx.root();
     loop {
@@ -107,7 +107,7 @@ pub async fn fg_lookup_cached(
         let page = match cache.get(cur) {
             Some(p) => p,
             None => {
-                let p = read_unlocked(ep, cur, ps).await;
+                let p = read_unlocked(ep, cur, ps).await?;
                 if kind_of(&p) == NodeKind::Inner {
                     cache.put(cur, p.clone());
                 }
@@ -128,7 +128,7 @@ pub async fn fg_lookup_cached(
             NodeKind::Leaf => {
                 let node = LeafNodeRef::new(&page);
                 if node.covers(key) {
-                    return node.get(key);
+                    return Ok(node.get(key));
                 }
                 cur = RemotePtr::from_page_ptr(node.right_sibling());
             }
@@ -166,7 +166,7 @@ mod tests {
                     for i in 0..20u64 {
                         let k = (1000 + i) * 8;
                         assert_eq!(
-                            fg_lookup_cached(&idx, &ep, &cache, k).await,
+                            fg_lookup_cached(&idx, &ep, &cache, k).await.unwrap(),
                             Some(1000 + i),
                             "rep {rep}"
                         );
@@ -220,17 +220,19 @@ mod tests {
             sim.spawn(async move {
                 // Warm the cache.
                 for i in 0..200u64 {
-                    fg_lookup_cached(&idx, &ep, &cache, i * 8).await;
+                    fg_lookup_cached(&idx, &ep, &cache, i * 8).await.unwrap();
                 }
                 // Mutate the tree: many inserts cause splits the cache
                 // does not see.
                 for i in 0..200u64 {
-                    idx.insert(&ep, i * 8 + 1, 7_000 + i).await;
+                    idx.insert(&ep, i * 8 + 1, 7_000 + i).await.unwrap();
                 }
                 // Stale cached inners still route correctly via chases.
                 for i in 0..200u64 {
                     assert_eq!(
-                        fg_lookup_cached(&idx, &ep, &cache, i * 8 + 1).await,
+                        fg_lookup_cached(&idx, &ep, &cache, i * 8 + 1)
+                            .await
+                            .unwrap(),
                         Some(7_000 + i)
                     );
                 }

@@ -12,12 +12,15 @@
 //! CPU, so the design saturates on handler cores; under attribute-value
 //! skew most requests hit one server, capping throughput at a single
 //! server's resources.
+//!
+//! Every operation surfaces verb failures (`VerbError`) to the caller;
+//! retry policy lives one level up, in [`crate::Design`].
 
 use std::rc::Rc;
 
 use blink::{Key, LocalTree, PageLayout, Value};
 use nam::{handler_cpu_time, msg, NamCluster, PartitionMap, ServerNode};
-use rdma_sim::{Cluster, Endpoint, RpcReply};
+use rdma_sim::{Cluster, Endpoint, RpcReply, VerbError};
 use simnet::Sim;
 
 /// The coarse-grained / two-sided index.
@@ -71,15 +74,15 @@ impl CoarseGrained {
 
     /// Point lookup via one RPC to the owning server; co-located compute
     /// servers traverse the local tree directly (Appendix A.3).
-    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Option<Value> {
+    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Result<Option<Value>, VerbError> {
         let s = self.partition.server_of(key);
         let node = self.nodes[s].clone();
         let spec = self.cluster.spec().clone();
         if ep.is_local(s) {
             let (value, work) = node.with_tree(|t| t.get(key));
             ep.local_work(s, handler_cpu_time(&spec, work), msg::lookup_resp())
-                .await;
-            return value;
+                .await?;
+            return Ok(value);
         }
         ep.rpc(s, msg::lookup_req(), move || {
             let (value, work) = node.with_tree(|t| t.get(key));
@@ -95,7 +98,12 @@ impl CoarseGrained {
     /// Range query: one RPC per server whose partition intersects
     /// `[lo, hi]` (hash partitioning broadcasts to all servers — the
     /// `H·P·S` term of Table 2). Results are merged in key order.
-    pub async fn range(&self, ep: &Endpoint, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+    pub async fn range(
+        &self,
+        ep: &Endpoint,
+        lo: Key,
+        hi: Key,
+    ) -> Result<Vec<(Key, Value)>, VerbError> {
         let mut out: Vec<(Key, Value)> = Vec::new();
         let servers = self.partition.servers_for_range(lo, hi);
         let broadcast = matches!(self.partition, PartitionMap::Hash { .. });
@@ -107,7 +115,8 @@ impl CoarseGrained {
                 let (work, page_size) =
                     node.with_tree(|t| (t.range(lo, hi, &mut rows), t.layout().page_size()));
                 let bytes = msg::range_resp_pages(work.leaves_scanned as usize, page_size);
-                ep.local_work(s, handler_cpu_time(&spec, work), bytes).await;
+                ep.local_work(s, handler_cpu_time(&spec, work), bytes)
+                    .await?;
                 out.extend(rows);
                 continue;
             }
@@ -124,19 +133,19 @@ impl CoarseGrained {
                         resp_bytes: resp,
                     }
                 })
-                .await;
+                .await?;
             out.extend(part);
         }
         if broadcast {
             // Hash partitions interleave in key space.
             out.sort_unstable();
         }
-        out
+        Ok(out)
     }
 
     /// Insert via one RPC; the handler takes the leaf page lock (local
     /// CAS) and its spin-wait occupies the handler core.
-    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) {
+    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), VerbError> {
         let s = self.partition.server_of(key);
         let node = self.nodes[s].clone();
         let spec = self.cluster.spec().clone();
@@ -147,8 +156,8 @@ impl CoarseGrained {
                 .locks
                 .acquire(leaf.raw(), sim.now(), spec.leaf_lock_hold);
             let busy = handler_cpu_time(&spec, work) + spec.cpu_insert_extra + wait;
-            ep.local_work(s, busy, msg::ack()).await;
-            return;
+            ep.local_work(s, busy, msg::ack()).await?;
+            return Ok(());
         }
         ep.rpc(s, msg::insert_req(), move || {
             let (leaf, work) = node.with_tree(|t| t.insert_at_leaf(key, value));
@@ -166,7 +175,7 @@ impl CoarseGrained {
 
     /// Tombstone delete via one RPC (delete bit per entry, §3.2); space
     /// is reclaimed by the per-server epoch GC.
-    pub async fn delete(&self, ep: &Endpoint, key: Key) -> bool {
+    pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, VerbError> {
         let s = self.partition.server_of(key);
         let node = self.nodes[s].clone();
         let spec = self.cluster.spec().clone();
@@ -177,8 +186,8 @@ impl CoarseGrained {
                 .locks
                 .acquire(leaf.raw(), sim.now(), spec.leaf_lock_hold);
             let busy = handler_cpu_time(&spec, work) + spec.cpu_insert_extra + wait;
-            ep.local_work(s, busy, msg::ack()).await;
-            return deleted;
+            ep.local_work(s, busy, msg::ack()).await?;
+            return Ok(deleted);
         }
         ep.rpc(s, msg::delete_req(), move || {
             let (deleted, leaf, work) = node.with_tree(|t| t.delete_at_leaf(key));
@@ -230,10 +239,10 @@ mod tests {
             let results = results.clone();
             sim.spawn(async move {
                 for i in [0u64, 17, 2_500, 5_000, 9_999] {
-                    let got = idx.lookup(&ep, i * 8).await;
+                    let got = idx.lookup(&ep, i * 8).await.unwrap();
                     results.borrow_mut().push(got);
                 }
-                let got = idx.lookup(&ep, 3).await;
+                let got = idx.lookup(&ep, 3).await.unwrap();
                 results.borrow_mut().push(got); // absent
             });
         }
@@ -266,7 +275,7 @@ mod tests {
             sim.spawn(async move {
                 // Keys 2400*8 .. 2599*8 straddle the server 0/1 boundary
                 // (boundary at 2500*8).
-                let rows = idx.range(&ep, 2400 * 8, 2599 * 8).await;
+                let rows = idx.range(&ep, 2400 * 8, 2599 * 8).await.unwrap();
                 out.borrow_mut().extend(rows);
             });
         }
@@ -290,7 +299,7 @@ mod tests {
         {
             let out = out.clone();
             sim.spawn(async move {
-                let rows = idx.range(&ep, 80, 160).await;
+                let rows = idx.range(&ep, 80, 160).await.unwrap();
                 out.borrow_mut().extend(rows);
             });
         }
@@ -310,11 +319,11 @@ mod tests {
         let (nam, idx) = build_index(&sim, 1000);
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
-            idx.insert(&ep, 41, 999).await; // odd key: fresh
-            assert_eq!(idx.lookup(&ep, 41).await, Some(999));
-            assert!(idx.delete(&ep, 41).await);
-            assert_eq!(idx.lookup(&ep, 41).await, None);
-            assert!(!idx.delete(&ep, 41).await, "already deleted");
+            idx.insert(&ep, 41, 999).await.unwrap(); // odd key: fresh
+            assert_eq!(idx.lookup(&ep, 41).await.unwrap(), Some(999));
+            assert!(idx.delete(&ep, 41).await.unwrap());
+            assert_eq!(idx.lookup(&ep, 41).await.unwrap(), None);
+            assert!(!idx.delete(&ep, 41).await.unwrap(), "already deleted");
         });
         sim.run();
     }
@@ -333,7 +342,7 @@ mod tests {
             let mut rng = simnet::rng::DetRng::seed_from_u64(1);
             for _ in 0..400 {
                 let k = rng.next_u64_below(n_keys) * 8;
-                idx.lookup(&ep, k).await;
+                idx.lookup(&ep, k).await.unwrap();
             }
         });
         sim.run();
@@ -355,7 +364,7 @@ mod tests {
             sim.spawn(async move {
                 for i in 0..50u64 {
                     // Odd keys, unique per client.
-                    idx.insert(&ep, (c * 50 + i) * 16 + 1, c).await;
+                    idx.insert(&ep, (c * 50 + i) * 16 + 1, c).await.unwrap();
                 }
             });
         }
@@ -369,7 +378,7 @@ mod tests {
             sim.spawn(async move {
                 for c in 0..10u64 {
                     for i in 0..50u64 {
-                        if idx2.lookup(&ep, (c * 50 + i) * 16 + 1).await == Some(c) {
+                        if idx2.lookup(&ep, (c * 50 + i) * 16 + 1).await.unwrap() == Some(c) {
                             count.set(count.get() + 1);
                         }
                     }

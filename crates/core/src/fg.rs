@@ -19,6 +19,9 @@
 //! memory servers is available regardless of skew — the design's
 //! throughput scales with memory servers for every workload (Fig. 3,
 //! Fig. 11).
+//!
+//! Every operation surfaces verb failures (`VerbError`) to the caller;
+//! retry policy lives one level up, in [`crate::Design`].
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -30,7 +33,7 @@ use blink::node::{
     NodeKind,
 };
 use blink::{Key, PageLayout, Ptr, Value};
-use rdma_sim::{Cluster, Endpoint, RemotePtr};
+use rdma_sim::{Cluster, Endpoint, RemotePtr, VerbError};
 
 use crate::onesided::{lock_node, read_unlocked, unlock_only, write_unlock};
 
@@ -278,7 +281,7 @@ impl FineGrained {
     }
 
     /// Timed round-robin page allocation (`RDMA_ALLOC`, Listing 4).
-    async fn alloc_timed(&self, ep: &Endpoint) -> RemotePtr {
+    async fn alloc_timed(&self, ep: &Endpoint) -> Result<RemotePtr, VerbError> {
         let s = self.alloc_rr.get();
         self.alloc_rr.set((s + 1) % self.cluster.num_servers());
         ep.alloc(s, self.ps() as u64).await
@@ -286,10 +289,10 @@ impl FineGrained {
 
     /// `remote_lookup` (Listing 2): descend with one-sided READs,
     /// chasing siblings past in-flight splits.
-    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Option<Value> {
+    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Result<Option<Value>, VerbError> {
         let mut cur = self.root.get();
         loop {
-            let page = read_unlocked(ep, cur, self.ps()).await;
+            let page = read_unlocked(ep, cur, self.ps()).await?;
             match kind_of(&page) {
                 NodeKind::Inner => {
                     let node = InnerNodeRef::new(&page);
@@ -304,7 +307,7 @@ impl FineGrained {
                 NodeKind::Leaf => {
                     let node = LeafNodeRef::new(&page);
                     if node.covers(key) {
-                        return node.get(key);
+                        return Ok(node.get(key));
                     }
                     cur = rp(node.right_sibling());
                 }
@@ -314,10 +317,10 @@ impl FineGrained {
     }
 
     /// Descend to the leaf covering `key` for a scan start.
-    async fn find_leaf(&self, ep: &Endpoint, key: Key) -> (RemotePtr, Vec<u8>) {
+    async fn find_leaf(&self, ep: &Endpoint, key: Key) -> Result<(RemotePtr, Vec<u8>), VerbError> {
         let mut cur = self.root.get();
         loop {
-            let page = read_unlocked(ep, cur, self.ps()).await;
+            let page = read_unlocked(ep, cur, self.ps()).await?;
             match kind_of(&page) {
                 NodeKind::Inner => {
                     let node = InnerNodeRef::new(&page);
@@ -330,7 +333,7 @@ impl FineGrained {
                 NodeKind::Leaf => {
                     let node = LeafNodeRef::new(&page);
                     if node.covers(key) {
-                        return (cur, page);
+                        return Ok((cur, page));
                     }
                     cur = rp(node.right_sibling());
                 }
@@ -339,42 +342,47 @@ impl FineGrained {
     }
 
     /// Range query over `[lo, hi]` with head-node prefetch.
-    pub async fn range(&self, ep: &Endpoint, lo: Key, hi: Key) -> Vec<(Key, Value)> {
-        let (start, page) = self.find_leaf(ep, lo).await;
+    pub async fn range(
+        &self,
+        ep: &Endpoint,
+        lo: Key,
+        hi: Key,
+    ) -> Result<Vec<(Key, Value)>, VerbError> {
+        let (start, page) = self.find_leaf(ep, lo).await?;
         let mut out = Vec::new();
-        scan_chain(ep, self.layout, start, Some(page), lo, hi, &mut out).await;
-        out
+        scan_chain(ep, self.layout, start, Some(page), lo, hi, &mut out).await?;
+        Ok(out)
     }
 
     /// `remote_insert` (Listing 2): descend recording the inner path,
     /// lock the covering leaf with RDMA_CAS, install the key, write back
     /// and FAA-unlock; splits allocate a remote page and propagate
     /// upward.
-    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) {
-        let (mut cur, mut page, path) = self.descend_with_path(ep, key).await;
+    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), VerbError> {
+        let (mut cur, mut page, path) = self.descend_with_path(ep, key).await?;
         // Lock the leaf, re-validating coverage after each acquisition.
         loop {
-            lock_node(ep, cur, &mut page).await;
+            lock_node(ep, cur, &mut page).await?;
             let leaf = LeafNodeRef::new(&page);
             if leaf.covers(key) {
                 break;
             }
             let next = rp(leaf.right_sibling());
-            unlock_only(ep, cur).await;
-            let (c, p) = self.skip_heads(ep, next).await;
+            unlock_only(ep, cur).await?;
+            let (c, p) = self.skip_heads(ep, next).await?;
             cur = c;
             page = p;
         }
 
         let full = LeafNodeMut::new(&mut page).insert(key, value).is_err();
         if !full {
-            write_unlock(ep, cur, &page, None).await;
-            return;
+            write_unlock(ep, cur, &page, None).await?;
+            return Ok(());
         }
 
         // Split: allocate remotely, split the local copy, write both
         // halves (right first, Listing 4), unlock, propagate.
-        let right_ptr = self.alloc_timed(ep).await;
+        let right_ptr = self.alloc_timed(ep).await?;
         let mut right_page = self.layout.alloc_page();
         let sep = LeafNodeMut::new(&mut page).split_into(
             &mut right_page,
@@ -391,32 +399,32 @@ impl FineGrained {
                 .insert(key, value)
                 .expect("half-full after split");
         }
-        write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
-        self.propagate_split(ep, path, sep, cur, right_ptr, 1).await;
+        write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await?;
+        self.propagate_split(ep, path, sep, cur, right_ptr, 1).await
     }
 
     /// Tombstone-delete `key`; returns whether an entry was deleted.
-    pub async fn delete(&self, ep: &Endpoint, key: Key) -> bool {
-        let (mut cur, mut page, _path) = self.descend_with_path(ep, key).await;
+    pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, VerbError> {
+        let (mut cur, mut page, _path) = self.descend_with_path(ep, key).await?;
         loop {
-            lock_node(ep, cur, &mut page).await;
+            lock_node(ep, cur, &mut page).await?;
             let leaf = LeafNodeRef::new(&page);
             if leaf.covers(key) {
                 break;
             }
             let next = rp(leaf.right_sibling());
-            unlock_only(ep, cur).await;
-            let (c, p) = self.skip_heads(ep, next).await;
+            unlock_only(ep, cur).await?;
+            let (c, p) = self.skip_heads(ep, next).await?;
             cur = c;
             page = p;
         }
         let deleted = LeafNodeMut::new(&mut page).mark_deleted(key);
         if deleted {
-            write_unlock(ep, cur, &page, None).await;
+            write_unlock(ep, cur, &page, None).await?;
         } else {
-            unlock_only(ep, cur).await;
+            unlock_only(ep, cur).await?;
         }
-        deleted
+        Ok(deleted)
     }
 
     /// Descend to the leaf covering `key`, recording inner nodes visited.
@@ -424,11 +432,11 @@ impl FineGrained {
         &self,
         ep: &Endpoint,
         key: Key,
-    ) -> (RemotePtr, Vec<u8>, Vec<RemotePtr>) {
+    ) -> Result<(RemotePtr, Vec<u8>, Vec<RemotePtr>), VerbError> {
         let mut path = Vec::new();
         let mut cur = self.root.get();
         loop {
-            let page = read_unlocked(ep, cur, self.ps()).await;
+            let page = read_unlocked(ep, cur, self.ps()).await?;
             match kind_of(&page) {
                 NodeKind::Inner => {
                     let node = InnerNodeRef::new(&page);
@@ -444,7 +452,7 @@ impl FineGrained {
                 NodeKind::Leaf => {
                     let node = LeafNodeRef::new(&page);
                     if node.covers(key) {
-                        return (cur, page, path);
+                        return Ok((cur, page, path));
                     }
                     cur = rp(node.right_sibling());
                 }
@@ -454,13 +462,17 @@ impl FineGrained {
 
     /// Follow the chain from `ptr`, skipping head nodes; returns the
     /// first leaf and its page.
-    async fn skip_heads(&self, ep: &Endpoint, mut ptr: RemotePtr) -> (RemotePtr, Vec<u8>) {
+    async fn skip_heads(
+        &self,
+        ep: &Endpoint,
+        mut ptr: RemotePtr,
+    ) -> Result<(RemotePtr, Vec<u8>), VerbError> {
         loop {
-            let page = read_unlocked(ep, ptr, self.ps()).await;
+            let page = read_unlocked(ep, ptr, self.ps()).await?;
             if kind_of(&page) == NodeKind::Head {
                 ptr = rp(HeadNodeRef::new(&page).right_sibling());
             } else {
-                return (ptr, page);
+                return Ok((ptr, page));
             }
         }
     }
@@ -475,17 +487,17 @@ impl FineGrained {
         mut left: RemotePtr,
         mut right: RemotePtr,
         mut level: u8,
-    ) {
+    ) -> Result<(), VerbError> {
         loop {
             let mut cur = match path.pop() {
                 Some(p) => p,
                 None => {
-                    if self.try_grow_root(ep, sep, left, right, level).await {
-                        return;
+                    if self.try_grow_root(ep, sep, left, right, level).await? {
+                        return Ok(());
                     }
                     // The tree grew concurrently: locate the parent level
                     // under the new root and continue there.
-                    path = self.path_to_level(ep, sep, level).await;
+                    path = self.path_to_level(ep, sep, level).await?;
                     path.pop().expect("path to an existing level is non-empty")
                 }
             };
@@ -493,19 +505,19 @@ impl FineGrained {
             // Lock the covering inner node (move right as needed).
             let mut page;
             loop {
-                page = read_unlocked(ep, cur, self.ps()).await;
+                page = read_unlocked(ep, cur, self.ps()).await?;
                 let node = InnerNodeRef::new(&page);
                 if !node.covers(sep) {
                     cur = rp(node.right_sibling());
                     continue;
                 }
-                lock_node(ep, cur, &mut page).await;
+                lock_node(ep, cur, &mut page).await?;
                 let node = InnerNodeRef::new(&page);
                 if node.covers(sep) {
                     break;
                 }
                 let next = rp(node.right_sibling());
-                unlock_only(ep, cur).await;
+                unlock_only(ep, cur).await?;
                 cur = next;
             }
 
@@ -513,13 +525,13 @@ impl FineGrained {
                 .install_split(sep, right.as_page_ptr())
                 .is_err();
             if !full {
-                write_unlock(ep, cur, &page, None).await;
-                return;
+                write_unlock(ep, cur, &page, None).await?;
+                return Ok(());
             }
 
             // Parent full: split it (holding its lock), install into the
             // covering half, and carry the parent split upward.
-            let parent_right = self.alloc_timed(ep).await;
+            let parent_right = self.alloc_timed(ep).await?;
             let mut pright_page = self.layout.alloc_page();
             let psep = InnerNodeMut::new(&mut page).split_into(
                 &mut pright_page,
@@ -536,7 +548,7 @@ impl FineGrained {
                     .install_split(sep, right.as_page_ptr())
                     .expect("half-full after split");
             }
-            write_unlock(ep, cur, &page, Some((parent_right, &pright_page))).await;
+            write_unlock(ep, cur, &page, Some((parent_right, &pright_page))).await?;
             sep = psep;
             left = cur;
             right = parent_right;
@@ -553,11 +565,11 @@ impl FineGrained {
         left: RemotePtr,
         right: RemotePtr,
         level: u8,
-    ) -> bool {
+    ) -> Result<bool, VerbError> {
         if self.root.get() != left {
-            return false;
+            return Ok(false);
         }
-        let new_root = self.alloc_timed(ep).await;
+        let new_root = self.alloc_timed(ep).await?;
         let mut page = self.layout.alloc_page();
         InnerNodeMut::init_root(
             &mut page,
@@ -566,24 +578,29 @@ impl FineGrained {
             left.as_page_ptr(),
             right.as_page_ptr(),
         );
-        ep.write(new_root, &page).await;
+        ep.write(new_root, &page).await?;
         // Catalog check-and-set: no await between check and set, so the
         // update is atomic with respect to other clients.
         if self.root.get() == left {
             self.root.set(new_root);
-            true
+            Ok(true)
         } else {
-            false // new root page is leaked; harmless
+            Ok(false) // new root page is leaked; harmless
         }
     }
 
     /// Fresh descent from the current root down to (and including) an
     /// inner node at `level` covering `key`.
-    async fn path_to_level(&self, ep: &Endpoint, key: Key, level: u8) -> Vec<RemotePtr> {
+    async fn path_to_level(
+        &self,
+        ep: &Endpoint,
+        key: Key,
+        level: u8,
+    ) -> Result<Vec<RemotePtr>, VerbError> {
         let mut path = Vec::new();
         let mut cur = self.root.get();
         loop {
-            let page = read_unlocked(ep, cur, self.ps()).await;
+            let page = read_unlocked(ep, cur, self.ps()).await?;
             debug_assert_eq!(kind_of(&page), NodeKind::Inner, "levels > 0 are inner");
             let node = InnerNodeRef::new(&page);
             if !node.covers(key) {
@@ -592,7 +609,7 @@ impl FineGrained {
             }
             if node.level() == level {
                 path.push(cur);
-                return path;
+                return Ok(path);
             }
             match node.find_child(key) {
                 Some(c) => {
@@ -679,14 +696,14 @@ pub(crate) async fn scan_chain(
     lo: Key,
     hi: Key,
     out: &mut Vec<(Key, Value)>,
-) {
+) -> Result<(), VerbError> {
     let ps = layout.page_size();
     let mut prefetched: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut cur = start;
     let mut pending = start_page;
     loop {
         if cur.is_null() {
-            return;
+            return Ok(());
         }
         let page = match pending.take() {
             Some(p) => p,
@@ -696,7 +713,7 @@ pub(crate) async fn scan_chain(
                 {
                     p
                 }
-                _ => read_unlocked(ep, cur, ps).await,
+                _ => read_unlocked(ep, cur, ps).await?,
             },
         };
         match kind_of(&page) {
@@ -710,7 +727,7 @@ pub(crate) async fn scan_chain(
                     .map(|p| (RemotePtr::from_page_ptr(*p), ps))
                     .collect();
                 if !reqs.is_empty() {
-                    let pages = ep.read_many(&reqs).await;
+                    let pages = ep.read_many(&reqs).await?;
                     for ((p, _), bytes) in reqs.iter().zip(pages) {
                         prefetched.insert(p.raw(), bytes);
                     }
@@ -721,7 +738,7 @@ pub(crate) async fn scan_chain(
                 let leaf = LeafNodeRef::new(&page);
                 leaf.collect_range(lo, hi, out);
                 if leaf.high_key() >= hi {
-                    return;
+                    return Ok(());
                 }
                 cur = rp(leaf.right_sibling());
             }
@@ -772,10 +789,10 @@ mod tests {
             let results = results.clone();
             sim.spawn(async move {
                 for i in [0u64, 1, 2499, 4999] {
-                    let got = idx.lookup(&ep, i * 8).await;
+                    let got = idx.lookup(&ep, i * 8).await.unwrap();
                     results.borrow_mut().push(got);
                 }
-                let got = idx.lookup(&ep, 5).await;
+                let got = idx.lookup(&ep, 5).await.unwrap();
                 results.borrow_mut().push(got);
             });
         }
@@ -792,7 +809,7 @@ mod tests {
         let (cluster, idx) = build(&sim, 5000, small_cfg());
         let ep = Endpoint::new(&cluster);
         sim.spawn(async move {
-            idx.lookup(&ep, 2400 * 8).await;
+            idx.lookup(&ep, 2400 * 8).await.unwrap();
         });
         sim.run();
         let total_reads: u64 = (0..4).map(|s| cluster.server_stats(s).onesided_ops).sum();
@@ -812,7 +829,7 @@ mod tests {
         {
             let out = out.clone();
             sim.spawn(async move {
-                let rows = idx.range(&ep, 1000 * 8, 1499 * 8).await;
+                let rows = idx.range(&ep, 1000 * 8, 1499 * 8).await.unwrap();
                 out.borrow_mut().extend(rows);
             });
         }
@@ -836,7 +853,7 @@ mod tests {
         {
             let out = out.clone();
             sim.spawn(async move {
-                let rows = idx.range(&ep, 0, 1999 * 8).await;
+                let rows = idx.range(&ep, 0, 1999 * 8).await.unwrap();
                 out.borrow_mut().extend(rows);
             });
         }
@@ -853,11 +870,15 @@ mod tests {
         sim.spawn(async move {
             // Dense odd-key inserts force many leaf and inner splits.
             for i in 0..500u64 {
-                idx2.insert(&ep, i * 8 + 1, 10_000 + i).await;
+                idx2.insert(&ep, i * 8 + 1, 10_000 + i).await.unwrap();
             }
             for i in 0..500u64 {
-                assert_eq!(idx2.lookup(&ep, i * 8 + 1).await, Some(10_000 + i));
-                assert_eq!(idx2.lookup(&ep, i * 8).await, Some(i), "old key {i}");
+                assert_eq!(idx2.lookup(&ep, i * 8 + 1).await.unwrap(), Some(10_000 + i));
+                assert_eq!(
+                    idx2.lookup(&ep, i * 8).await.unwrap(),
+                    Some(i),
+                    "old key {i}"
+                );
             }
         });
         sim.run();
@@ -873,7 +894,9 @@ mod tests {
             let ep = Endpoint::new(&cluster);
             sim.spawn(async move {
                 for i in 0..60u64 {
-                    idx.insert(&ep, (i * 1000 + c) * 16 + 1, c * 100 + i).await;
+                    idx.insert(&ep, (i * 1000 + c) * 16 + 1, c * 100 + i)
+                        .await
+                        .unwrap();
                 }
             });
         }
@@ -886,7 +909,9 @@ mod tests {
             sim.spawn(async move {
                 for c in 0..8u64 {
                     for i in 0..60u64 {
-                        if idx2.lookup(&ep, (i * 1000 + c) * 16 + 1).await == Some(c * 100 + i) {
+                        if idx2.lookup(&ep, (i * 1000 + c) * 16 + 1).await.unwrap()
+                            == Some(c * 100 + i)
+                        {
                             ok.set(ok.get() + 1);
                         }
                     }
@@ -903,12 +928,12 @@ mod tests {
         let (cluster, idx) = build(&sim, 200, small_cfg());
         let ep = Endpoint::new(&cluster);
         sim.spawn(async move {
-            assert!(idx.delete(&ep, 40 * 8).await);
-            assert_eq!(idx.lookup(&ep, 40 * 8).await, None);
-            assert!(!idx.delete(&ep, 40 * 8).await);
+            assert!(idx.delete(&ep, 40 * 8).await.unwrap());
+            assert_eq!(idx.lookup(&ep, 40 * 8).await.unwrap(), None);
+            assert!(!idx.delete(&ep, 40 * 8).await.unwrap());
             // Neighbours unaffected.
-            assert_eq!(idx.lookup(&ep, 39 * 8).await, Some(39));
-            assert_eq!(idx.lookup(&ep, 41 * 8).await, Some(41));
+            assert_eq!(idx.lookup(&ep, 39 * 8).await.unwrap(), Some(39));
+            assert_eq!(idx.lookup(&ep, 41 * 8).await.unwrap(), Some(41));
         });
         sim.run();
     }
@@ -924,10 +949,10 @@ mod tests {
         let idx2 = idx.clone();
         sim.spawn(async move {
             for i in 5..400u64 {
-                idx2.insert(&ep, i * 8, i).await;
+                idx2.insert(&ep, i * 8, i).await.unwrap();
             }
             for i in 0..400u64 {
-                assert_eq!(idx2.lookup(&ep, i * 8).await, Some(i), "key {i}");
+                assert_eq!(idx2.lookup(&ep, i * 8).await.unwrap(), Some(i), "key {i}");
             }
         });
         sim.run();
@@ -942,7 +967,7 @@ mod tests {
             let idx = idx.clone();
             sim.spawn(async move {
                 for i in 0..300u64 {
-                    idx.insert(&ep, i * 8 + 3, i).await;
+                    idx.insert(&ep, i * 8 + 3, i).await.unwrap();
                 }
             });
         }
@@ -955,7 +980,7 @@ mod tests {
             let idx = idx.clone();
             let n = n.clone();
             sim.spawn(async move {
-                n.set(idx.range(&ep, 0, KEY_MAX - 1).await.len());
+                n.set(idx.range(&ep, 0, KEY_MAX - 1).await.unwrap().len());
             });
         }
         sim.run();

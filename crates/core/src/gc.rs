@@ -19,7 +19,7 @@
 
 use blink::node::{kind_of, HeadNodeRef, LeafNodeMut, LeafNodeRef, NodeKind};
 use nam::{handler_cpu_time, msg};
-use rdma_sim::{Endpoint, RemotePtr, RpcReply};
+use rdma_sim::{Endpoint, RemotePtr, RpcReply, VerbError};
 
 use crate::cg::CoarseGrained;
 use crate::fg::FineGrained;
@@ -40,7 +40,7 @@ pub fn note_freed(cluster: &rdma_sim::Cluster, ptr: RemotePtr, len: usize) {
 
 /// One CG epoch: compact every server's local tree. Returns entries
 /// reclaimed.
-pub async fn cg_gc_pass(idx: &CoarseGrained, ep: &Endpoint) -> usize {
+pub async fn cg_gc_pass(idx: &CoarseGrained, ep: &Endpoint) -> Result<usize, VerbError> {
     let mut reclaimed = 0;
     for (s, node) in idx.nodes().iter().enumerate() {
         let node = node.clone();
@@ -59,18 +59,22 @@ pub async fn cg_gc_pass(idx: &CoarseGrained, ep: &Endpoint) -> usize {
                     resp_bytes: msg::ack(),
                 }
             })
-            .await;
+            .await?;
     }
-    reclaimed
+    Ok(reclaimed)
 }
 
 /// Walk a fine-grained leaf chain from `first`, compacting tombstoned
 /// leaves with the one-sided protocol. Returns entries reclaimed.
-async fn onesided_chain_gc(ep: &Endpoint, first: RemotePtr, page_size: usize) -> usize {
+async fn onesided_chain_gc(
+    ep: &Endpoint,
+    first: RemotePtr,
+    page_size: usize,
+) -> Result<usize, VerbError> {
     let mut reclaimed = 0;
     let mut cur = first;
     while !cur.is_null() {
-        let page = read_unlocked(ep, cur, page_size).await;
+        let page = read_unlocked(ep, cur, page_size).await?;
         match kind_of(&page) {
             NodeKind::Head => {
                 cur = RemotePtr::from_page_ptr(HeadNodeRef::new(&page).right_sibling());
@@ -82,28 +86,28 @@ async fn onesided_chain_gc(ep: &Endpoint, first: RemotePtr, page_size: usize) ->
                 if has_tombstones {
                     // Lock, compact a fresh copy, write back.
                     let mut locked_page = page;
-                    lock_node(ep, cur, &mut locked_page).await;
+                    lock_node(ep, cur, &mut locked_page).await?;
                     reclaimed += LeafNodeMut::new(&mut locked_page).compact();
-                    write_unlock(ep, cur, &locked_page, None).await;
+                    write_unlock(ep, cur, &locked_page, None).await?;
                 }
                 cur = next;
             }
             NodeKind::Inner => unreachable!("inner node in the leaf chain"),
         }
     }
-    reclaimed
+    Ok(reclaimed)
 }
 
 /// One FG epoch: the global compute-server collector walks the leaf
 /// chain. Returns entries reclaimed.
-pub async fn fg_gc_pass(idx: &FineGrained, ep: &Endpoint) -> usize {
+pub async fn fg_gc_pass(idx: &FineGrained, ep: &Endpoint) -> Result<usize, VerbError> {
     onesided_chain_gc(ep, idx.first(), idx.layout().page_size()).await
 }
 
 /// One hybrid epoch: one-sided leaf-chain collection plus per-server
 /// upper-level compaction. Returns leaf entries reclaimed.
-pub async fn hybrid_gc_pass(idx: &Hybrid, ep: &Endpoint) -> usize {
-    let reclaimed = onesided_chain_gc(ep, idx.first(), idx.layout().page_size()).await;
+pub async fn hybrid_gc_pass(idx: &Hybrid, ep: &Endpoint) -> Result<usize, VerbError> {
+    let reclaimed = onesided_chain_gc(ep, idx.first(), idx.layout().page_size()).await?;
     // Upper levels: local GC per memory server (stale leaf-pointer
     // entries are repointed, not tombstoned, so this is usually a no-op;
     // still charged as a pass).
@@ -123,9 +127,9 @@ pub async fn hybrid_gc_pass(idx: &Hybrid, ep: &Endpoint) -> usize {
                 resp_bytes: msg::ack(),
             }
         })
-        .await;
+        .await?;
     }
-    reclaimed
+    Ok(reclaimed)
 }
 
 #[cfg(test)]
@@ -158,12 +162,12 @@ mod tests {
             let freed = freed.clone();
             sim.spawn(async move {
                 for i in (0..1000u64).step_by(2) {
-                    idx.delete(&ep, i * 8).await;
+                    idx.delete(&ep, i * 8).await.unwrap();
                 }
-                freed.set(cg_gc_pass(&idx, &ep).await);
+                freed.set(cg_gc_pass(&idx, &ep).await.unwrap());
                 // Survivors intact after compaction.
-                assert_eq!(idx.lookup(&ep, 8).await, Some(1));
-                assert_eq!(idx.lookup(&ep, 0).await, None);
+                assert_eq!(idx.lookup(&ep, 8).await.unwrap(), Some(1));
+                assert_eq!(idx.lookup(&ep, 0).await.unwrap(), None);
             });
         }
         sim.run();
@@ -187,13 +191,13 @@ mod tests {
             let freed = freed.clone();
             sim.spawn(async move {
                 for i in (0..500u64).step_by(5) {
-                    assert!(idx.delete(&ep, i * 8).await);
+                    assert!(idx.delete(&ep, i * 8).await.unwrap());
                 }
-                freed.set(fg_gc_pass(&idx, &ep).await);
-                assert_eq!(idx.lookup(&ep, 0).await, None);
-                assert_eq!(idx.lookup(&ep, 8).await, Some(1));
+                freed.set(fg_gc_pass(&idx, &ep).await.unwrap());
+                assert_eq!(idx.lookup(&ep, 0).await.unwrap(), None);
+                assert_eq!(idx.lookup(&ep, 8).await.unwrap(), Some(1));
                 // Full scan sees exactly the survivors.
-                let rows = idx.range(&ep, 0, u64::MAX - 1).await;
+                let rows = idx.range(&ep, 0, u64::MAX - 1).await.unwrap();
                 assert_eq!(rows.len(), 400);
             });
         }
@@ -219,10 +223,10 @@ mod tests {
             let freed = freed.clone();
             sim.spawn(async move {
                 for i in 0..50u64 {
-                    idx.delete(&ep, i * 8).await;
+                    idx.delete(&ep, i * 8).await.unwrap();
                 }
-                freed.set(hybrid_gc_pass(&idx, &ep).await);
-                let rows = idx.range(&ep, 0, u64::MAX - 1).await;
+                freed.set(hybrid_gc_pass(&idx, &ep).await.unwrap());
+                let rows = idx.range(&ep, 0, u64::MAX - 1).await.unwrap();
                 assert_eq!(rows.len(), 350);
             });
         }

@@ -12,6 +12,9 @@
 //! the compute server then reads/updates the leaf with the one-sided
 //! protocol of §4. Leaf splits are reported back over a second RPC that
 //! installs the new separator into the upper levels.
+//!
+//! Every operation surfaces verb failures (`VerbError`) to the caller;
+//! retry policy lives one level up, in [`crate::Design`].
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -19,7 +22,7 @@ use std::rc::Rc;
 use blink::node::{HeadNodeRef, LeafNodeMut, LeafNodeRef, NodeKind};
 use blink::{Key, LocalTree, PageLayout, Value};
 use nam::{handler_cpu_time, msg, NamCluster, PartitionMap, ServerNode};
-use rdma_sim::{Cluster, Endpoint, RemotePtr, RpcReply};
+use rdma_sim::{Cluster, Endpoint, RemotePtr, RpcReply, VerbError};
 use simnet::Sim;
 
 use crate::fg::{build_leaf_level, scan_chain, FgConfig};
@@ -117,7 +120,12 @@ impl Hybrid {
     /// returns only the remote pointer). Falls back to successive
     /// servers when the covering leaf's high key lives in a later
     /// partition.
-    async fn leaf_ptr_for(&self, ep: &Endpoint, key: Key, req_bytes: usize) -> RemotePtr {
+    async fn leaf_ptr_for(
+        &self,
+        ep: &Endpoint,
+        key: Key,
+        req_bytes: usize,
+    ) -> Result<RemotePtr, VerbError> {
         let mut s = self.partition.server_of(key);
         loop {
             let node = self.nodes[s].clone();
@@ -126,7 +134,7 @@ impl Hybrid {
                 // Co-located fast path (Appendix A.3).
                 let (res, work) = node.with_tree(|t| t.ceiling(key));
                 ep.local_work(s, handler_cpu_time(&spec, work), msg::leaf_ptr_resp())
-                    .await;
+                    .await?;
                 res.map(|(_, ptr_raw)| ptr_raw)
             } else {
                 ep.rpc(s, req_bytes, move || {
@@ -137,10 +145,10 @@ impl Hybrid {
                         resp_bytes: msg::leaf_ptr_resp(),
                     }
                 })
-                .await
+                .await?
             };
             if let Some(raw) = found {
-                return RemotePtr::from_raw(raw);
+                return Ok(RemotePtr::from_raw(raw));
             }
             s += 1;
             assert!(
@@ -151,15 +159,15 @@ impl Hybrid {
     }
 
     /// Point lookup: RPC for the leaf pointer, then one-sided leaf READ.
-    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Option<Value> {
-        let mut cur = self.leaf_ptr_for(ep, key, msg::lookup_req()).await;
+    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Result<Option<Value>, VerbError> {
+        let mut cur = self.leaf_ptr_for(ep, key, msg::lookup_req()).await?;
         loop {
-            let page = read_unlocked(ep, cur, self.ps()).await;
+            let page = read_unlocked(ep, cur, self.ps()).await?;
             match blink::node::kind_of(&page) {
                 NodeKind::Leaf => {
                     let leaf = LeafNodeRef::new(&page);
                     if leaf.covers(key) {
-                        return leaf.get(key);
+                        return Ok(leaf.get(key));
                     }
                     cur = rp(leaf.right_sibling());
                 }
@@ -172,50 +180,55 @@ impl Hybrid {
 
     /// Range query: RPC for the starting leaf, then a fine-grained chain
     /// scan with head-node prefetch.
-    pub async fn range(&self, ep: &Endpoint, lo: Key, hi: Key) -> Vec<(Key, Value)> {
-        let start = self.leaf_ptr_for(ep, lo, msg::range_req()).await;
+    pub async fn range(
+        &self,
+        ep: &Endpoint,
+        lo: Key,
+        hi: Key,
+    ) -> Result<Vec<(Key, Value)>, VerbError> {
+        let start = self.leaf_ptr_for(ep, lo, msg::range_req()).await?;
         let mut out = Vec::new();
-        scan_chain(ep, self.layout, start, None, lo, hi, &mut out).await;
+        scan_chain(ep, self.layout, start, None, lo, hi, &mut out).await?;
         // A concurrent split may route us to a leaf left of `lo`'s final
         // position; scan_chain handles that by starting at the covering
         // leaf and skipping non-matching keys.
-        out
+        Ok(out)
     }
 
     /// Insert: RPC for the leaf pointer, one-sided leaf install (§4
     /// protocol); on a split, report the new leaf back over RPC so the
     /// memory server installs it into the upper levels (§5.2).
-    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) {
-        let mut cur = self.leaf_ptr_for(ep, key, msg::insert_req()).await;
+    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), VerbError> {
+        let mut cur = self.leaf_ptr_for(ep, key, msg::insert_req()).await?;
         let mut page;
         // Find and lock the covering leaf.
         loop {
-            page = read_unlocked(ep, cur, self.ps()).await;
+            page = read_unlocked(ep, cur, self.ps()).await?;
             if blink::node::kind_of(&page) == NodeKind::Head {
                 cur = rp(HeadNodeRef::new(&page).right_sibling());
                 continue;
             }
-            lock_node(ep, cur, &mut page).await;
+            lock_node(ep, cur, &mut page).await?;
             let leaf = LeafNodeRef::new(&page);
             if leaf.covers(key) {
                 break;
             }
             let next = rp(leaf.right_sibling());
-            unlock_only(ep, cur).await;
+            unlock_only(ep, cur).await?;
             cur = next;
         }
 
         let full = LeafNodeMut::new(&mut page).insert(key, value).is_err();
         if !full {
-            write_unlock(ep, cur, &page, None).await;
-            return;
+            write_unlock(ep, cur, &page, None).await?;
+            return Ok(());
         }
 
         // Split the leaf (one-sided), then register the new separator
         // with the upper levels.
         let s = self.alloc_rr.get();
         self.alloc_rr.set((s + 1) % self.cluster.num_servers());
-        let right_ptr = ep.alloc(s, self.ps() as u64).await;
+        let right_ptr = ep.alloc(s, self.ps() as u64).await?;
         let mut right_page = self.layout.alloc_page();
         let sep = LeafNodeMut::new(&mut page).split_into(
             &mut right_page,
@@ -233,7 +246,7 @@ impl Hybrid {
                 .insert(key, value)
                 .expect("half-full after split");
         }
-        write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
+        write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await?;
 
         // Upper-level registration. Order matters: first map sep -> left
         // (new entry), then repoint old_high -> right; in the interim,
@@ -265,7 +278,7 @@ impl Hybrid {
                     resp_bytes: msg::ack(),
                 }
             })
-            .await;
+            .await?;
         } else {
             // Cross-partition: two RPCs, new entry first.
             let node = self.nodes[s_new].clone();
@@ -283,7 +296,7 @@ impl Hybrid {
                     resp_bytes: msg::ack(),
                 }
             })
-            .await;
+            .await?;
             let node = self.nodes[s_old].clone();
             let spec = self.cluster.spec().clone();
             let right_raw = right_ptr.raw();
@@ -295,36 +308,37 @@ impl Hybrid {
                     resp_bytes: msg::ack(),
                 }
             })
-            .await;
+            .await?;
         }
+        Ok(())
     }
 
     /// Tombstone-delete `key` with the one-sided leaf protocol.
-    pub async fn delete(&self, ep: &Endpoint, key: Key) -> bool {
-        let mut cur = self.leaf_ptr_for(ep, key, msg::delete_req()).await;
+    pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, VerbError> {
+        let mut cur = self.leaf_ptr_for(ep, key, msg::delete_req()).await?;
         let mut page;
         loop {
-            page = read_unlocked(ep, cur, self.ps()).await;
+            page = read_unlocked(ep, cur, self.ps()).await?;
             if blink::node::kind_of(&page) == NodeKind::Head {
                 cur = rp(HeadNodeRef::new(&page).right_sibling());
                 continue;
             }
-            lock_node(ep, cur, &mut page).await;
+            lock_node(ep, cur, &mut page).await?;
             let leaf = LeafNodeRef::new(&page);
             if leaf.covers(key) {
                 break;
             }
             let next = rp(leaf.right_sibling());
-            unlock_only(ep, cur).await;
+            unlock_only(ep, cur).await?;
             cur = next;
         }
         let deleted = LeafNodeMut::new(&mut page).mark_deleted(key);
         if deleted {
-            write_unlock(ep, cur, &page, None).await;
+            write_unlock(ep, cur, &page, None).await?;
         } else {
-            unlock_only(ep, cur).await;
+            unlock_only(ep, cur).await?;
         }
-        deleted
+        Ok(deleted)
     }
 }
 
@@ -360,10 +374,10 @@ mod tests {
             let got = got.clone();
             sim.spawn(async move {
                 for i in [0u64, 1234, 4999] {
-                    let v = idx.lookup(&ep, i * 8).await;
+                    let v = idx.lookup(&ep, i * 8).await.unwrap();
                     got.borrow_mut().push(v);
                 }
-                let v = idx.lookup(&ep, 9).await;
+                let v = idx.lookup(&ep, 9).await.unwrap();
                 got.borrow_mut().push(v);
             });
         }
@@ -400,7 +414,7 @@ mod tests {
         {
             let out = out.clone();
             sim.spawn(async move {
-                let rows = idx.range(&ep, 1200 * 8, 1399 * 8).await;
+                let rows = idx.range(&ep, 1200 * 8, 1399 * 8).await.unwrap();
                 out.borrow_mut().extend(rows);
             });
         }
@@ -418,11 +432,11 @@ mod tests {
         let idx2 = idx.clone();
         sim.spawn(async move {
             for i in 0..500u64 {
-                idx2.insert(&ep, i * 8 + 1, 90_000 + i).await;
+                idx2.insert(&ep, i * 8 + 1, 90_000 + i).await.unwrap();
             }
             for i in 0..500u64 {
-                assert_eq!(idx2.lookup(&ep, i * 8 + 1).await, Some(90_000 + i));
-                assert_eq!(idx2.lookup(&ep, i * 8).await, Some(i));
+                assert_eq!(idx2.lookup(&ep, i * 8 + 1).await.unwrap(), Some(90_000 + i));
+                assert_eq!(idx2.lookup(&ep, i * 8).await.unwrap(), Some(i));
             }
         });
         sim.run();
@@ -437,7 +451,9 @@ mod tests {
             let ep = Endpoint::new(&nam.rdma);
             sim.spawn(async move {
                 for i in 0..40u64 {
-                    idx.insert(&ep, (i * 6 + c) * 8 + 3, c * 1000 + i).await;
+                    idx.insert(&ep, (i * 6 + c) * 8 + 3, c * 1000 + i)
+                        .await
+                        .unwrap();
                 }
             });
         }
@@ -450,7 +466,8 @@ mod tests {
             sim.spawn(async move {
                 for c in 0..6u64 {
                     for i in 0..40u64 {
-                        if idx.lookup(&ep, (i * 6 + c) * 8 + 3).await == Some(c * 1000 + i) {
+                        if idx.lookup(&ep, (i * 6 + c) * 8 + 3).await.unwrap() == Some(c * 1000 + i)
+                        {
                             ok.set(ok.get() + 1);
                         }
                     }
@@ -467,10 +484,10 @@ mod tests {
         let (nam, idx) = build(&sim, 300);
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
-            assert!(idx.delete(&ep, 100 * 8).await);
-            assert_eq!(idx.lookup(&ep, 100 * 8).await, None);
-            assert!(!idx.delete(&ep, 100 * 8).await);
-            let rows = idx.range(&ep, 99 * 8, 101 * 8).await;
+            assert!(idx.delete(&ep, 100 * 8).await.unwrap());
+            assert_eq!(idx.lookup(&ep, 100 * 8).await.unwrap(), None);
+            assert!(!idx.delete(&ep, 100 * 8).await.unwrap());
+            let rows = idx.range(&ep, 99 * 8, 101 * 8).await.unwrap();
             assert_eq!(rows.len(), 2, "tombstoned entry must not scan");
         });
         sim.run();

@@ -20,7 +20,10 @@
 //! optional client-side cache of upper levels ([`cache`], Appendix A.4).
 //!
 //! [`Design`] wraps the three behind one dispatchable interface for
-//! benchmarks and examples.
+//! benchmarks and examples, and adds the *recovery* layer: transient verb
+//! failures (timeouts, unreachable servers) are retried from the root
+//! with bounded exponential backoff and deterministic jitter; permanent
+//! conditions surface as [`OpError`].
 
 pub mod cache;
 pub mod cg;
@@ -36,10 +39,105 @@ pub use hybrid::Hybrid;
 
 use blink::{Key, Value};
 use nam::{IndexDescriptor, IndexKind};
-use rdma_sim::{Endpoint, RemotePtr};
+use rdma_sim::{Endpoint, RemotePtr, VerbError};
+use simnet::SimDur;
+use std::fmt;
 use std::rc::Rc;
 
+/// Why an index operation failed after the retry layer gave up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpError {
+    /// The issuing client was killed; the operation cannot make progress
+    /// and must not be retried (its worker is gone).
+    Cancelled,
+    /// Every retry of a transient fault failed;
+    /// [`rdma_sim::ClusterSpec::retry_limit`] attempts were made.
+    RetriesExhausted {
+        /// Attempts performed (initial try + retries).
+        attempts: u32,
+        /// The verb error of the final attempt.
+        last: VerbError,
+    },
+    /// A non-retryable verb failure (e.g. a corrupt remote pointer).
+    Fatal(VerbError),
+}
+
+impl OpError {
+    /// Whether the operation was aborted because the client died.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, OpError::Cancelled)
+    }
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::Cancelled => write!(f, "operation cancelled: client killed"),
+            OpError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            OpError::Fatal(e) => write!(f, "fatal verb failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+/// Sleep the bounded exponential backoff before retry number `attempt`
+/// (1-based): `retry_backoff_base << (attempt - 1)`, capped at
+/// `retry_backoff_cap`, plus a deterministic jitter in `[0, delay)`
+/// derived from the client id, the attempt number, and the current
+/// virtual time — so concurrent retriers decorrelate without any
+/// wall-clock randomness.
+async fn backoff_before_retry(ep: &Endpoint, attempt: u32) {
+    let spec = ep.cluster().spec().clone();
+    let base = spec.retry_backoff_base.as_nanos();
+    let cap = spec.retry_backoff_cap.as_nanos().max(base);
+    let delay = base.saturating_mul(1u64 << (attempt - 1).min(20)).min(cap);
+    let now = ep.cluster().sim().now().as_nanos();
+    let jitter = simnet::rng::mix3(ep.client_id(), attempt as u64, now) % delay.max(1);
+    ep.cluster()
+        .sim()
+        .clone()
+        .sleep(SimDur::from_nanos(delay + jitter))
+        .await;
+}
+
+/// Run `$op` (an expression producing a fresh future each evaluation —
+/// the whole operation restarts from the root) until it succeeds, the
+/// client dies, a fatal error occurs, or `retry_limit` retries of
+/// transient faults are spent.
+macro_rules! with_retry {
+    ($ep:expr, $op:expr) => {{
+        let limit = $ep.cluster().spec().retry_limit;
+        let mut attempt: u32 = 0;
+        loop {
+            match $op.await {
+                Ok(v) => break Ok(v),
+                Err(VerbError::Cancelled) => break Err(OpError::Cancelled),
+                Err(e) if e.is_retryable() && attempt < limit => {
+                    attempt += 1;
+                    backoff_before_retry($ep, attempt).await;
+                }
+                Err(e) if e.is_retryable() => {
+                    break Err(OpError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        last: e,
+                    })
+                }
+                Err(e) => break Err(OpError::Fatal(e)),
+            }
+        }
+    }};
+}
+
 /// Any of the three index designs, dispatchable at runtime.
+///
+/// All operations go through the retry layer: a [`VerbError::Timeout`]
+/// or [`VerbError::ServerUnreachable`] aborts the attempt, backs off,
+/// and restarts the whole operation from the root (every design's
+/// per-attempt protocol is restartable: optimistic descents re-validate,
+/// and leaf installs are idempotent under the B-link invariants).
 #[derive(Clone)]
 pub enum Design {
     /// Design 1: coarse-grained / two-sided.
@@ -52,40 +150,45 @@ pub enum Design {
 
 impl Design {
     /// Point lookup: first live value under `key`.
-    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Option<Value> {
+    pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Result<Option<Value>, OpError> {
         match self {
-            Design::Cg(d) => d.lookup(ep, key).await,
-            Design::Fg(d) => d.lookup(ep, key).await,
-            Design::Hybrid(d) => d.lookup(ep, key).await,
+            Design::Cg(d) => with_retry!(ep, d.lookup(ep, key)),
+            Design::Fg(d) => with_retry!(ep, d.lookup(ep, key)),
+            Design::Hybrid(d) => with_retry!(ep, d.lookup(ep, key)),
         }
     }
 
     /// Range query over `[lo, hi]` (inclusive); returns live entries in
     /// key order.
-    pub async fn range(&self, ep: &Endpoint, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+    pub async fn range(
+        &self,
+        ep: &Endpoint,
+        lo: Key,
+        hi: Key,
+    ) -> Result<Vec<(Key, Value)>, OpError> {
         match self {
-            Design::Cg(d) => d.range(ep, lo, hi).await,
-            Design::Fg(d) => d.range(ep, lo, hi).await,
-            Design::Hybrid(d) => d.range(ep, lo, hi).await,
+            Design::Cg(d) => with_retry!(ep, d.range(ep, lo, hi)),
+            Design::Fg(d) => with_retry!(ep, d.range(ep, lo, hi)),
+            Design::Hybrid(d) => with_retry!(ep, d.range(ep, lo, hi)),
         }
     }
 
     /// Insert `(key, value)`; duplicates are allowed (non-unique index).
-    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) {
+    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), OpError> {
         match self {
-            Design::Cg(d) => d.insert(ep, key, value).await,
-            Design::Fg(d) => d.insert(ep, key, value).await,
-            Design::Hybrid(d) => d.insert(ep, key, value).await,
+            Design::Cg(d) => with_retry!(ep, d.insert(ep, key, value)),
+            Design::Fg(d) => with_retry!(ep, d.insert(ep, key, value)),
+            Design::Hybrid(d) => with_retry!(ep, d.insert(ep, key, value)),
         }
     }
 
     /// Tombstone-delete the first live entry under `key`; returns whether
     /// an entry was deleted. Space is reclaimed by epoch GC ([`gc`]).
-    pub async fn delete(&self, ep: &Endpoint, key: Key) -> bool {
+    pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, OpError> {
         match self {
-            Design::Cg(d) => d.delete(ep, key).await,
-            Design::Fg(d) => d.delete(ep, key).await,
-            Design::Hybrid(d) => d.delete(ep, key).await,
+            Design::Cg(d) => with_retry!(ep, d.delete(ep, key)),
+            Design::Fg(d) => with_retry!(ep, d.delete(ep, key)),
+            Design::Hybrid(d) => with_retry!(ep, d.delete(ep, key)),
         }
     }
 
@@ -128,6 +231,7 @@ mod tests {
     use nam::{NamCluster, PartitionMap};
     use rdma_sim::ClusterSpec;
     use simnet::Sim;
+    use std::cell::Cell;
 
     #[test]
     fn descriptors_register_in_catalog() {
@@ -155,5 +259,109 @@ mod tests {
         let cg = nam.catalog.lookup("coarse-grained").expect("registered");
         assert_eq!(cg.partition.as_ref().unwrap().num_servers(), 4);
         assert_eq!(nam.catalog.names().count(), 3);
+    }
+
+    #[test]
+    fn retries_ride_out_a_server_restart() {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::default());
+        let partition = PartitionMap::range_uniform(nam.num_servers(), 1000 * 8);
+        let idx = Design::Cg(CoarseGrained::build(
+            &nam,
+            PageLayout::default(),
+            partition,
+            (0..1000u64).map(|i| (i * 8, i)),
+            0.7,
+        ));
+        let cluster = nam.rdma.clone();
+        let ep = Endpoint::new(&cluster);
+        // Key 10 lives on server 0; crash it now, restart it later.
+        cluster.fail_server(0);
+        {
+            let cluster = cluster.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDur::from_micros(100)).await;
+                cluster.restart_server(0);
+            });
+        }
+        let got = Rc::new(Cell::new(None));
+        {
+            let got = got.clone();
+            sim.spawn(async move {
+                got.set(Some(idx.lookup(&ep, 10 * 8).await));
+            });
+        }
+        sim.run();
+        assert_eq!(got.get(), Some(Ok(Some(10))));
+        assert!(
+            cluster.fault_stats().verbs_unreachable >= 1,
+            "at least one attempt must have hit the dead server"
+        );
+    }
+
+    #[test]
+    fn retries_exhaust_when_the_server_stays_dead() {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::default());
+        let partition = PartitionMap::range_uniform(nam.num_servers(), 1000 * 8);
+        let idx = Design::Cg(CoarseGrained::build(
+            &nam,
+            PageLayout::default(),
+            partition,
+            (0..1000u64).map(|i| (i * 8, i)),
+            0.7,
+        ));
+        let cluster = nam.rdma.clone();
+        let ep = Endpoint::new(&cluster);
+        cluster.fail_server(0);
+        let got = Rc::new(Cell::new(None));
+        {
+            let got = got.clone();
+            sim.spawn(async move {
+                got.set(Some(idx.lookup(&ep, 10 * 8).await));
+            });
+        }
+        sim.run();
+        let limit = ClusterSpec::default().retry_limit;
+        assert_eq!(
+            got.get(),
+            Some(Err(OpError::RetriesExhausted {
+                attempts: limit + 1,
+                last: VerbError::ServerUnreachable { server: 0 },
+            }))
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        // Two identical runs of the exhaust scenario end at the same
+        // virtual instant: jitter comes from the DES state only.
+        let end_time = |_: u32| {
+            let sim = Sim::new();
+            let nam = NamCluster::new(&sim, ClusterSpec::default());
+            let partition = PartitionMap::range_uniform(nam.num_servers(), 100 * 8);
+            let idx = Design::Cg(CoarseGrained::build(
+                &nam,
+                PageLayout::default(),
+                partition,
+                (0..100u64).map(|i| (i * 8, i)),
+                0.7,
+            ));
+            let cluster = nam.rdma.clone();
+            let ep = Endpoint::new(&cluster);
+            cluster.fail_server(0);
+            sim.spawn(async move {
+                let _ = idx.lookup(&ep, 8).await;
+            });
+            sim.run();
+            sim.now().as_nanos()
+        };
+        let a = end_time(0);
+        let b = end_time(1);
+        assert_eq!(a, b, "retry schedule must be deterministic");
+        // Bounded: 16 retries capped at 256us each (plus jitter <= delay)
+        // cannot exceed ~10ms.
+        assert!(a < 10_000_000, "backoff ran away: {a}ns");
     }
 }

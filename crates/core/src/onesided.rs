@@ -11,11 +11,25 @@
 //!   split sibling with a WRITE, write the modified node back, then
 //!   FETCH_AND_ADD(+1) the lock word — clearing the lock bit and bumping
 //!   the version in one atomic step.
+//!
+//! ## Lease-based lock recovery
+//!
+//! A client that dies between its lock CAS and its unlock FAA orphans
+//! the node forever under the plain protocol. The lock word therefore
+//! carries the holder's owner id and a lease epoch (see
+//! [`blink::layout::lock_word`]): a contender that observes the *same*
+//! locked word for [`rdma_sim::ClusterSpec::lease_duration`] of virtual
+//! time concludes the holder is dead and breaks the lock with a CAS to
+//! [`lock_word::break_lease`] — clearing the lock bit, bumping the
+//! version (so optimistic readers restart) and the lease epoch. Because
+//! every legitimate unlock changes the word, a live holder can never be
+//! broken: observing an unchanged locked word for a full lease is proof
+//! the unlock FAA never arrived.
 
 use blink::layout::lock_word;
 use blink::node::version_lock_of;
-use rdma_sim::{Endpoint, RemotePtr};
-use simnet::SimDur;
+use rdma_sim::{Endpoint, RemotePtr, VerbError};
+use simnet::{SimDur, SimTime};
 
 /// Remote-spin backoff: doubling from 1 µs, capped at 32 µs. Without
 /// backoff, spinning clients flood the lock holder's NIC with re-READs
@@ -24,49 +38,104 @@ fn backoff(attempt: u32) -> SimDur {
     SimDur::from_micros(1 << attempt.min(5))
 }
 
+/// Lease bookkeeping for one spin loop: tracks how long the *same*
+/// locked word has been observed and breaks it once the lease expires.
+struct LeaseWatch {
+    held: Option<(u64, SimTime)>,
+}
+
+impl LeaseWatch {
+    fn new() -> Self {
+        LeaseWatch { held: None }
+    }
+
+    /// Observe the locked word `w` at time `now`; if it has stayed
+    /// unchanged past the lease, attempt the break CAS. The version bump
+    /// in the broken word makes any stale copy restart, so the caller
+    /// simply re-reads regardless of who wins the break race.
+    async fn observe(
+        &mut self,
+        ep: &Endpoint,
+        ptr: RemotePtr,
+        w: u64,
+        now: SimTime,
+    ) -> Result<(), VerbError> {
+        let lease = ep.cluster().spec().lease_duration;
+        match self.held {
+            Some((prev, since)) if prev == w => {
+                if now - since >= lease {
+                    // Versions only move forward, so an unchanged word
+                    // means no unlock happened: the holder is dead.
+                    ep.cas(ptr, w, lock_word::break_lease(w)).await?;
+                    self.held = None;
+                }
+            }
+            _ => self.held = Some((w, now)),
+        }
+        Ok(())
+    }
+}
+
 /// READ `ptr` until the copy observed is unlocked (remote spin with
 /// exponential backoff; each retry is a fresh READ). Returns the page
-/// bytes.
-pub(crate) async fn read_unlocked(ep: &Endpoint, ptr: RemotePtr, page_size: usize) -> Vec<u8> {
+/// bytes. Breaks an orphaned lock after the lease expires.
+pub(crate) async fn read_unlocked(
+    ep: &Endpoint,
+    ptr: RemotePtr,
+    page_size: usize,
+) -> Result<Vec<u8>, VerbError> {
     let mut attempt = 0u32;
+    let mut watch = LeaseWatch::new();
     loop {
-        let page = ep.read(ptr, page_size).await;
-        if !lock_word::is_locked(version_lock_of(&page)) {
-            return page;
+        let page = ep.read(ptr, page_size).await?;
+        let w = version_lock_of(&page);
+        if !lock_word::is_locked(w) {
+            return Ok(page);
         }
+        watch.observe(ep, ptr, w, ep.cluster().sim().now()).await?;
         ep.cluster().sim().clone().sleep(backoff(attempt)).await;
         attempt += 1;
     }
 }
 
 /// Acquire the node lock: CAS the lock word from the version observed in
-/// `page` to its locked form; on failure re-read and retry. On success,
-/// `page` holds a fresh unlocked copy whose lock word has been updated to
-/// the locked value (mirroring the remote state we just installed).
-pub(crate) async fn lock_node(ep: &Endpoint, ptr: RemotePtr, page: &mut Vec<u8>) -> u64 {
+/// `page` to its locked form (carrying this client's owner id); on
+/// failure re-read and retry. On success, `page` holds a fresh unlocked
+/// copy whose lock word has been updated to the locked value (mirroring
+/// the remote state we just installed). Breaks an orphaned lock after
+/// the lease expires.
+pub(crate) async fn lock_node(
+    ep: &Endpoint,
+    ptr: RemotePtr,
+    page: &mut Vec<u8>,
+) -> Result<u64, VerbError> {
     let mut attempt = 0u32;
+    let mut watch = LeaseWatch::new();
     loop {
         let v = version_lock_of(page);
         if !lock_word::is_locked(v) {
-            let locked = lock_word::locked(v);
-            let old = ep.cas(ptr, v, locked).await;
+            let locked = lock_word::locked_by(v, ep.client_id());
+            let old = ep.cas(ptr, v, locked).await?;
             if old == v {
                 blink::node::set_version_lock(page, locked);
-                return locked;
+                return Ok(locked);
             }
+        } else {
+            watch.observe(ep, ptr, v, ep.cluster().sim().now()).await?;
         }
         // Lost the race (locked, or version moved): back off, refresh,
         // retry.
         ep.cluster().sim().clone().sleep(backoff(attempt)).await;
         attempt += 1;
-        *page = ep.read(ptr, page.len()).await;
+        *page = ep.read(ptr, page.len()).await?;
     }
 }
 
 /// Release the node lock *without* writing the page back (used when an
 /// operation locked a node and then discovered it must move right).
-pub(crate) async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) {
-    ep.fetch_add(ptr, 1).await;
+pub(crate) async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await?;
+    Ok(())
 }
 
 /// `remote_writeUnlock` (Listing 4): if the node was split, WRITE the new
@@ -81,16 +150,17 @@ pub(crate) async fn write_unlock(
     ptr: RemotePtr,
     page: &[u8],
     split: Option<(RemotePtr, &[u8])>,
-) {
+) -> Result<(), VerbError> {
     debug_assert!(
         lock_word::is_locked(version_lock_of(page)),
         "write_unlock requires the locked lock word in the page image"
     );
     if let Some((right_ptr, right_page)) = split {
-        ep.write(right_ptr, right_page).await;
+        ep.write(right_ptr, right_page).await?;
     }
-    ep.write(ptr, page).await;
-    ep.fetch_add(ptr, 1).await;
+    ep.write(ptr, page).await?;
+    ep.fetch_add(ptr, 1).await?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -128,7 +198,7 @@ mod tests {
             let r = reads_done.clone();
             let s = sim.clone();
             sim.spawn(async move {
-                let page = read_unlocked(&ep, ptr, 1024).await;
+                let page = read_unlocked(&ep, ptr, 1024).await.unwrap();
                 assert!(!lock_word::is_locked(version_lock_of(&page)));
                 r.set(s.now().as_nanos());
             });
@@ -167,21 +237,27 @@ mod tests {
             let max_in_cs = max_in_cs.clone();
             let s = sim.clone();
             sim.spawn(async move {
-                let mut page = ep.read(ptr, 1024).await;
-                lock_node(&ep, ptr, &mut page).await;
+                let mut page = ep.read(ptr, 1024).await.unwrap();
+                lock_node(&ep, ptr, &mut page).await.unwrap();
                 in_cs.set(in_cs.get() + 1);
                 max_in_cs.set(max_in_cs.get().max(in_cs.get()));
                 s.sleep(SimDur::from_micros(3)).await; // critical section
                 in_cs.set(in_cs.get() - 1);
-                write_unlock(&ep, ptr, &page, None).await;
+                write_unlock(&ep, ptr, &page, None).await.unwrap();
             });
         }
         sim.run();
         assert_eq!(max_in_cs.get(), 1, "mutual exclusion violated");
-        // Version advanced once per holder.
+        // Version advanced once per holder (owner bits of the last
+        // unlocker linger above the version field).
         let word = cluster.with_pool(0, |p| p.read_u64(ptr.offset()));
-        assert_eq!(word, 2 * 8, "8 lock/unlock cycles bump version by 2 each");
+        assert_eq!(
+            lock_word::version_of(word),
+            8,
+            "8 lock/unlock cycles bump the version once each"
+        );
         assert!(!lock_word::is_locked(word));
+        assert_eq!(lock_word::epoch_of(word), 0, "no lease was ever broken");
     }
 
     #[test]
@@ -192,12 +268,14 @@ mod tests {
         let right_ptr = cluster.setup_alloc(1, 1024);
         let ep = Endpoint::new(&cluster);
         sim.spawn(async move {
-            let mut page = ep.read(ptr, 1024).await;
-            lock_node(&ep, ptr, &mut page).await;
+            let mut page = ep.read(ptr, 1024).await.unwrap();
+            lock_node(&ep, ptr, &mut page).await.unwrap();
             let layout = PageLayout::default();
             let mut right = layout.alloc_page();
             LeafNodeMut::init(&mut right, KEY_MAX, Ptr::NULL, Ptr::NULL);
-            write_unlock(&ep, ptr, &page, Some((right_ptr, &right))).await;
+            write_unlock(&ep, ptr, &page, Some((right_ptr, &right)))
+                .await
+                .unwrap();
         });
         sim.run();
         // Right page exists remotely and left is unlocked.
@@ -214,17 +292,58 @@ mod tests {
         let ptr = setup_leaf(&cluster);
         let ep = Endpoint::new(&cluster);
         sim.spawn(async move {
-            let mut page = ep.read(ptr, 1024).await;
-            lock_node(&ep, ptr, &mut page).await;
-            unlock_only(&ep, ptr).await;
+            let mut page = ep.read(ptr, 1024).await.unwrap();
+            lock_node(&ep, ptr, &mut page).await.unwrap();
+            unlock_only(&ep, ptr).await.unwrap();
             // Lock again to prove it is free.
-            let mut page = ep.read(ptr, 1024).await;
-            lock_node(&ep, ptr, &mut page).await;
-            write_unlock(&ep, ptr, &page, None).await;
+            let mut page = ep.read(ptr, 1024).await.unwrap();
+            lock_node(&ep, ptr, &mut page).await.unwrap();
+            write_unlock(&ep, ptr, &page, None).await.unwrap();
         });
         sim.run();
         let word = cluster.with_pool(0, |p| p.read_u64(ptr.offset()));
         assert!(!lock_word::is_locked(word));
-        assert_eq!(word, 4);
+        assert_eq!(lock_word::version_of(word), 2);
+    }
+
+    #[test]
+    fn orphaned_lock_is_broken_after_lease_expiry() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let ptr = setup_leaf(&cluster);
+        let victim = Endpoint::new(&cluster);
+        let contender = Endpoint::new(&cluster);
+        cluster.arm_kill_on_lock_acquire(victim.client_id());
+        let done = Rc::new(Cell::new(0u64));
+        {
+            let d = done.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                // The victim wins the lock and dies holding it.
+                let mut page = victim.read(ptr, 1024).await.unwrap();
+                lock_node(&victim, ptr, &mut page).await.unwrap();
+                assert!(matches!(
+                    write_unlock(&victim, ptr, &page, None).await,
+                    Err(VerbError::Cancelled)
+                ));
+                // The contender must still get through.
+                let mut page = contender.read(ptr, 1024).await.unwrap();
+                lock_node(&contender, ptr, &mut page).await.unwrap();
+                write_unlock(&contender, ptr, &page, None).await.unwrap();
+                d.set(s.now().as_nanos());
+            });
+        }
+        sim.run();
+        let lease = ClusterSpec::default().lease_duration.as_nanos();
+        assert!(
+            done.get() >= lease,
+            "the contender must wait out the lease ({}ns < {lease}ns)",
+            done.get()
+        );
+        let word = cluster.with_pool(0, |p| p.read_u64(ptr.offset()));
+        assert!(!lock_word::is_locked(word));
+        assert_eq!(lock_word::epoch_of(word), 1, "one lease break happened");
+        // Break bumped the version once, the contender's cycle once more.
+        assert_eq!(lock_word::version_of(word), 2);
     }
 }

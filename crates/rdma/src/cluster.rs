@@ -2,12 +2,15 @@
 //! registered memory, and traffic counters.
 
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use simnet::resource::{CpuPool, FifoLink};
+use simnet::rng::DetRng;
 use simnet::stats::Counter;
-use simnet::{Sim, SimDur};
+use simnet::Sim;
 
+use crate::fault::{FaultStats, LinkDegrade};
 use crate::pool::MemPool;
 use crate::ptr::RemotePtr;
 use crate::spec::ClusterSpec;
@@ -40,9 +43,47 @@ struct Inner {
     active_clients: std::cell::Cell<usize>,
     /// Endpoint id allocator (stable, creation-ordered).
     next_client: std::cell::Cell<u64>,
+    /// Injected-fault state (all servers up, no faults, by default).
+    faults: RefCell<FaultState>,
     /// Installed verb observer (protocol sanitizer), if any.
     #[cfg(feature = "sanitizer")]
     observer: RefCell<Option<Rc<dyn crate::observer::VerbObserver>>>,
+}
+
+/// Mutable fault-injection state; see [`crate::fault`].
+struct FaultState {
+    /// Per-server liveness (a crashed server keeps its memory — the NAM
+    /// architecture assumes durable/remote-recoverable regions — but is
+    /// unreachable until restarted).
+    server_up: Vec<bool>,
+    /// Restart counter per server (catalog re-resolution keys off this).
+    server_restarts: Vec<u64>,
+    /// Killed compute clients; their verbs fail with `Cancelled`.
+    dead_clients: BTreeSet<u64>,
+    /// Clients to kill immediately after their next successful
+    /// lock-acquire CAS (realises "die between lock CAS and unlock FAA"
+    /// deterministically).
+    kill_on_lock_acquire: BTreeSet<u64>,
+    /// Per-server link degradation, if any.
+    degrade: Vec<Option<LinkDegrade>>,
+    /// Drop-roll RNG; only consulted when a degraded link has a nonzero
+    /// drop chance, so fault-free runs draw nothing from it.
+    rng: DetRng,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    fn new(n: usize) -> Self {
+        FaultState {
+            server_up: vec![true; n],
+            server_restarts: vec![0; n],
+            dead_clients: BTreeSet::new(),
+            kill_on_lock_acquire: BTreeSet::new(),
+            degrade: vec![None; n],
+            rng: DetRng::seed_from_u64(0),
+            stats: FaultStats::default(),
+        }
+    }
 }
 
 /// Handle to the simulated cluster; cheap to clone.
@@ -77,7 +118,8 @@ impl Cluster {
             spec.num_servers() <= RemotePtr::MAX_SERVERS,
             "remote pointers address at most 128 servers"
         );
-        let servers = (0..spec.num_servers())
+        let spec_servers = spec.num_servers();
+        let servers = (0..spec_servers)
             .map(|_| MemServer {
                 nic: FifoLink::new(),
                 cpu: CpuPool::new(spec.rpc_cores_per_server),
@@ -96,6 +138,7 @@ impl Cluster {
                 servers,
                 active_clients: std::cell::Cell::new(0),
                 next_client: std::cell::Cell::new(0),
+                faults: RefCell::new(FaultState::new(spec_servers)),
                 #[cfg(feature = "sanitizer")]
                 observer: RefCell::new(None),
             }),
@@ -140,6 +183,146 @@ impl Cluster {
         id
     }
 
+    // ---- fault injection (mechanism; schedules live in `chaos`) ----
+
+    /// Seed the drop-roll RNG used by degraded links. Call before the
+    /// run for reproducible probabilistic drops.
+    pub fn set_fault_seed(&self, seed: u64) {
+        self.inner.faults.borrow_mut().rng = DetRng::seed_from_u64(seed);
+    }
+
+    /// Crash memory server `s`: its regions become unreachable (verbs
+    /// fail with `ServerUnreachable`) until [`Cluster::restart_server`].
+    /// Registered memory survives the crash.
+    pub fn fail_server(&self, s: usize) {
+        self.inner.faults.borrow_mut().server_up[s] = false;
+    }
+
+    /// Restart a crashed memory server and bump its restart counter.
+    /// In-flight RPC core queues are not drained retroactively; requests
+    /// granted a core after the crash fail at the grant.
+    pub fn restart_server(&self, s: usize) {
+        let mut f = self.inner.faults.borrow_mut();
+        if !f.server_up[s] {
+            f.server_up[s] = true;
+            f.server_restarts[s] += 1;
+        }
+    }
+
+    /// Whether memory server `s` is up.
+    pub fn server_up(&self, s: usize) -> bool {
+        self.inner.faults.borrow().server_up[s]
+    }
+
+    /// How many times server `s` has been restarted.
+    pub fn server_restarts(&self, s: usize) -> u64 {
+        self.inner.faults.borrow().server_restarts[s]
+    }
+
+    /// Kill compute client `client`: every verb it issues from now on
+    /// fails with `Cancelled`. Verbs already past their issue point
+    /// complete normally (their remote effects apply — the client just
+    /// never sees the completion).
+    pub fn kill_client(&self, client: u64) {
+        self.inner.faults.borrow_mut().dead_clients.insert(client);
+    }
+
+    /// Revive a killed client (models a replacement process adopting the
+    /// same client id).
+    pub fn revive_client(&self, client: u64) {
+        let mut f = self.inner.faults.borrow_mut();
+        f.dead_clients.remove(&client);
+        f.kill_on_lock_acquire.remove(&client);
+    }
+
+    /// Whether `client` is currently killed.
+    pub fn client_dead(&self, client: u64) -> bool {
+        self.inner.faults.borrow().dead_clients.contains(&client)
+    }
+
+    /// Arm a one-shot trigger: the next time `client` wins a
+    /// lock-acquire CAS, kill it immediately after the CAS's remote
+    /// effect applies — deterministically realising "client dies between
+    /// its lock CAS and its unlock FAA".
+    pub fn arm_kill_on_lock_acquire(&self, client: u64) {
+        self.inner
+            .faults
+            .borrow_mut()
+            .kill_on_lock_acquire
+            .insert(client);
+    }
+
+    /// Fire the armed lock-kill trigger for `client`, if armed.
+    /// Returns whether the client was just killed.
+    pub(crate) fn fire_lock_kill(&self, client: u64) -> bool {
+        let mut f = self.inner.faults.borrow_mut();
+        if f.kill_on_lock_acquire.remove(&client) {
+            f.dead_clients.insert(client);
+            f.stats.lock_kills_fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Degrade server `s`'s link (drops, delay spikes, reduced
+    /// bandwidth) until [`Cluster::restore_link`].
+    pub fn degrade_link(&self, s: usize, degrade: LinkDegrade) {
+        assert!(
+            degrade.bandwidth_factor > 0.0 && degrade.bandwidth_factor <= 1.0,
+            "bandwidth_factor must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&degrade.drop_chance),
+            "drop_chance must be a probability"
+        );
+        self.inner.faults.borrow_mut().degrade[s] = Some(degrade);
+    }
+
+    /// Remove any degradation from server `s`'s link.
+    pub fn restore_link(&self, s: usize) {
+        self.inner.faults.borrow_mut().degrade[s] = None;
+    }
+
+    /// Current degradation of server `s`'s link, if any.
+    pub fn link_degrade(&self, s: usize) -> Option<LinkDegrade> {
+        self.inner.faults.borrow().degrade[s]
+    }
+
+    /// Roll the drop die for one remote verb against server `s`. Only
+    /// consumes randomness when a nonzero drop chance is configured, so
+    /// fault-free runs stay byte-identical to pre-fault builds.
+    pub(crate) fn roll_drop(&self, s: usize) -> bool {
+        let mut f = self.inner.faults.borrow_mut();
+        match f.degrade[s] {
+            Some(d) if d.drop_chance > 0.0 => {
+                let dropped = f.rng.chance(d.drop_chance);
+                if dropped {
+                    f.stats.verbs_dropped += 1;
+                }
+                dropped
+            }
+            _ => false,
+        }
+    }
+
+    /// Fault-effect counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.faults.borrow().stats
+    }
+
+    pub(crate) fn note_cancelled(&self) {
+        self.inner.faults.borrow_mut().stats.verbs_cancelled += 1;
+    }
+
+    pub(crate) fn note_unreachable(&self) {
+        self.inner.faults.borrow_mut().stats.verbs_unreachable += 1;
+    }
+
+    pub(crate) fn note_timeout(&self) {
+        self.inner.faults.borrow_mut().stats.verbs_timed_out += 1;
+    }
+
     // ---- verb observation (the `sanitizer` feature) ----
 
     /// Install `observer` to receive every completed verb (see
@@ -162,6 +345,20 @@ impl Cluster {
         let obs = self.inner.observer.borrow().clone();
         if let Some(obs) = obs {
             obs.on_verb(&ev);
+        }
+    }
+
+    /// Report a verb attempt against a crashed server to the observer.
+    #[cfg(feature = "sanitizer")]
+    pub(crate) fn observe_unreachable(
+        &self,
+        client: u64,
+        server: usize,
+        kind: crate::fault::AttemptKind,
+    ) {
+        let obs = self.inner.observer.borrow().clone();
+        if let Some(obs) = obs {
+            obs.on_unreachable(client, server, kind, self.inner.sim.now());
         }
     }
 
@@ -247,11 +444,6 @@ impl Cluster {
         (0..self.num_servers())
             .map(|s| self.inner.spec.effective_bandwidth(s))
             .sum()
-    }
-
-    /// Convenience: effective wire time for `bytes` on server `s`.
-    pub(crate) fn wire_time(&self, s: usize, bytes: usize) -> SimDur {
-        self.inner.spec.wire_time(s, bytes)
     }
 }
 

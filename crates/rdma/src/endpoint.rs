@@ -8,10 +8,33 @@
 //! If the endpoint's machine hosts the target memory server (co-location,
 //! Appendix A.3), one-sided verbs take the local-memory path: no NIC
 //! occupancy, local latency/bandwidth, counted separately.
+//!
+//! ## Completion status
+//!
+//! Every verb returns `Result<_, VerbError>`, mirroring real RDMA work
+//! completions:
+//!
+//! * a verb issued by a killed client fails immediately with
+//!   [`VerbError::Cancelled`] and has no remote effect — but a verb
+//!   *already in flight* when its client dies completes normally (its
+//!   remote effect applies; only the completion is never consumed),
+//!   which is how a client can die between its lock CAS and its unlock
+//!   FAA, orphaning a remote lock;
+//! * a verb against a crashed memory server fails with
+//!   [`VerbError::ServerUnreachable`] after a round-trip's detection
+//!   delay (both at issue and, for crashes that land mid-flight, at
+//!   completion — the effect is then *not* applied);
+//! * a verb whose completion would miss `issue + verb_timeout` — link
+//!   degradation, a dropped message, or NIC queueing — parks until the
+//!   deadline and fails with [`VerbError::Timeout`]. Dropped and
+//!   deadline-refused messages never apply their effect. The deadline is
+//!   computed analytically against the FIFO NIC model, so a refused verb
+//!   does not occupy the wire.
 
-use simnet::{Sim, SimDur};
+use simnet::{Sim, SimDur, SimTime};
 
 use crate::cluster::Cluster;
+use crate::fault::{AttemptKind, VerbError};
 #[cfg(feature = "sanitizer")]
 use crate::observer::{VerbEvent, VerbKind};
 use crate::ptr::RemotePtr;
@@ -98,14 +121,93 @@ impl Endpoint {
         });
     }
 
+    // ------------------------------------------------- failure paths ----
+
+    /// Refuse the verb at issue if this client has been killed.
+    fn check_alive(&self) -> Result<(), VerbError> {
+        if self.cluster.client_dead(self.client) {
+            self.cluster.note_cancelled();
+            return Err(VerbError::Cancelled);
+        }
+        Ok(())
+    }
+
+    /// Defensively decode `ptr` against this cluster.
+    fn decode(&self, ptr: RemotePtr) -> Result<usize, VerbError> {
+        ptr.checked_server(self.cluster.num_servers())
+            .map_err(|e| VerbError::InvalidPointer { raw: e.raw })
+    }
+
+    /// Fail against a crashed server: detection costs one round trip
+    /// (the NIC reports a retry-exhausted / receiver-not-ready error).
+    async fn fail_unreachable(&self, s: usize, kind: AttemptKind) -> VerbError {
+        self.cluster.note_unreachable();
+        #[cfg(feature = "sanitizer")]
+        self.cluster.observe_unreachable(self.client, s, kind);
+        #[cfg(not(feature = "sanitizer"))]
+        let _ = kind;
+        self.sim().sleep(self.cluster.spec().rt_latency).await;
+        VerbError::ServerUnreachable { server: s }
+    }
+
+    /// Park until the verb's deadline fires, then report the timeout.
+    async fn fail_timeout(&self, s: usize, deadline: SimTime) -> VerbError {
+        self.cluster.note_timeout();
+        self.sim().sleep_until(deadline).await;
+        VerbError::Timeout { server: s }
+    }
+
+    /// Charge the remote wire path of a one-sided verb: drop roll,
+    /// analytic deadline check against the NIC FIFO, wire occupancy, and
+    /// the round trip (plus any degradation delay). Returns at the
+    /// verb's completion instant; applies no memory effect.
+    async fn charge_remote(
+        &self,
+        s: usize,
+        overhead: SimDur,
+        payload: usize,
+        deadline: SimTime,
+    ) -> Result<(), VerbError> {
+        let sim = self.sim();
+        let spec = self.cluster.spec();
+        let mut bw = spec.effective_bandwidth(s);
+        let mut extra = SimDur::ZERO;
+        if let Some(d) = self.cluster.link_degrade(s) {
+            bw *= d.bandwidth_factor;
+            extra = d.extra_delay;
+        }
+        if self.cluster.roll_drop(s) {
+            return Err(self.fail_timeout(s, deadline).await);
+        }
+        let wire = overhead + SimDur::from_secs_f64(payload as f64 / bw);
+        let server = self.cluster.server(s);
+        let projected = server.nic.busy_until().max(sim.now()) + wire + spec.rt_latency + extra;
+        if projected > deadline {
+            return Err(self.fail_timeout(s, deadline).await);
+        }
+        server.nic.acquire(&sim, wire).await;
+        sim.sleep(spec.rt_latency + extra).await;
+        Ok(())
+    }
+
+    /// This verb's completion deadline.
+    fn deadline(&self) -> SimTime {
+        self.cluster.sim().now() + self.cluster.spec().verb_timeout
+    }
+
     // ------------------------------------------------- one-sided verbs ----
 
     /// One-sided `RDMA_READ` of `len` bytes.
-    pub async fn read(&self, ptr: RemotePtr, len: usize) -> Vec<u8> {
+    pub async fn read(&self, ptr: RemotePtr, len: usize) -> Result<Vec<u8>, VerbError> {
         let sim = self.sim();
         #[cfg(feature = "sanitizer")]
         let issued = sim.now();
-        let s = ptr.server();
+        self.check_alive()?;
+        let s = self.decode(ptr)?;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Read).await);
+        }
+        let deadline = self.deadline();
         let server = self.cluster.server(s);
         server.onesided_ops.inc();
         if self.is_local(s) {
@@ -113,29 +215,42 @@ impl Endpoint {
             sim.sleep(self.cluster.spec().local_time(len)).await;
         } else {
             server.bytes_out.add(len as u64);
-            let wire = self.cluster.wire_time(s, len);
-            server.nic.acquire(&sim, wire).await;
-            sim.sleep(self.cluster.spec().rt_latency).await;
+            self.charge_remote(s, self.cluster.spec().op_wire_overhead, len, deadline)
+                .await?;
+        }
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Read).await);
         }
         // Effect at completion: copy the bytes as they are *now*.
         let mut buf = vec![0u8; len];
         server.pool.borrow().copy_out(ptr.offset(), &mut buf);
         #[cfg(feature = "sanitizer")]
         self.emit(s, ptr.offset(), len, VerbKind::Read, issued);
-        buf
+        Ok(buf)
     }
 
     /// Fan out one-sided READs (selectively signalled, §4.3): all wires
     /// are reserved immediately and the caller waits for the last
     /// completion, so transfers to different servers overlap.
-    pub async fn read_many(&self, reqs: &[(RemotePtr, usize)]) -> Vec<Vec<u8>> {
+    pub async fn read_many(&self, reqs: &[(RemotePtr, usize)]) -> Result<Vec<Vec<u8>>, VerbError> {
         let sim = self.sim();
         #[cfg(feature = "sanitizer")]
         let issued = sim.now();
+        self.check_alive()?;
+        let mut servers = Vec::with_capacity(reqs.len());
+        for &(ptr, _) in reqs {
+            servers.push(self.decode(ptr)?);
+        }
+        for &s in &servers {
+            if !self.cluster.server_up(s) {
+                return Err(self.fail_unreachable(s, AttemptKind::Read).await);
+            }
+        }
+        let deadline = self.deadline();
         let mut latest = sim.now();
         let mut any_remote = false;
-        for &(ptr, len) in reqs {
-            let s = ptr.server();
+        let mut dropped = None;
+        for (&(_, len), &s) in reqs.iter().zip(&servers) {
             let server = self.cluster.server(s);
             server.onesided_ops.inc();
             if self.is_local(s) {
@@ -143,14 +258,43 @@ impl Endpoint {
                 latest = latest.max(sim.now() + self.cluster.spec().local_time(len));
             } else {
                 any_remote = true;
+                if self.cluster.roll_drop(s) {
+                    dropped = Some(s);
+                    continue;
+                }
+                let spec = self.cluster.spec();
+                let mut bw = spec.effective_bandwidth(s);
+                let mut extra = SimDur::ZERO;
+                if let Some(d) = self.cluster.link_degrade(s) {
+                    bw *= d.bandwidth_factor;
+                    extra = d.extra_delay;
+                }
+                let wire = spec.batched_wire_overhead + SimDur::from_secs_f64(len as f64 / bw);
                 server.bytes_out.add(len as u64);
-                let wire = self.cluster.spec().batched_wire_time(s, len);
-                latest = latest.max(server.nic.reserve(sim.now(), wire));
+                latest = latest.max(server.nic.reserve(sim.now(), wire) + extra);
             }
+        }
+        // One dropped message stalls the whole selectively-signalled
+        // batch: the final completion never arrives.
+        if let Some(s) = dropped {
+            return Err(self.fail_timeout(s, deadline).await);
+        }
+        let completion = if any_remote {
+            latest + self.cluster.spec().rt_latency
+        } else {
+            latest
+        };
+        if completion > deadline {
+            return Err(self.fail_timeout(servers[0], deadline).await);
         }
         sim.sleep_until(latest).await;
         if any_remote {
             sim.sleep(self.cluster.spec().rt_latency).await;
+        }
+        for &s in &servers {
+            if !self.cluster.server_up(s) {
+                return Err(self.fail_unreachable(s, AttemptKind::Read).await);
+            }
         }
         let bufs: Vec<Vec<u8>> = reqs
             .iter()
@@ -168,15 +312,20 @@ impl Endpoint {
         for &(ptr, len) in reqs {
             self.emit(ptr.server(), ptr.offset(), len, VerbKind::Read, issued);
         }
-        bufs
+        Ok(bufs)
     }
 
     /// One-sided `RDMA_WRITE` of `data`.
-    pub async fn write(&self, ptr: RemotePtr, data: &[u8]) {
+    pub async fn write(&self, ptr: RemotePtr, data: &[u8]) -> Result<(), VerbError> {
         let sim = self.sim();
         #[cfg(feature = "sanitizer")]
         let issued = sim.now();
-        let s = ptr.server();
+        self.check_alive()?;
+        let s = self.decode(ptr)?;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Write).await);
+        }
+        let deadline = self.deadline();
         let server = self.cluster.server(s);
         server.onesided_ops.inc();
         if self.is_local(s) {
@@ -184,40 +333,55 @@ impl Endpoint {
             sim.sleep(self.cluster.spec().local_time(data.len())).await;
         } else {
             server.bytes_in.add(data.len() as u64);
-            let wire = self.cluster.wire_time(s, data.len());
-            server.nic.acquire(&sim, wire).await;
-            sim.sleep(self.cluster.spec().rt_latency).await;
+            self.charge_remote(
+                s,
+                self.cluster.spec().op_wire_overhead,
+                data.len(),
+                deadline,
+            )
+            .await?;
+        }
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Write).await);
         }
         server.pool.borrow_mut().copy_in(ptr.offset(), data);
         #[cfg(feature = "sanitizer")]
         self.emit(s, ptr.offset(), data.len(), VerbKind::Write, issued);
+        Ok(())
     }
 
-    async fn atomic_cost(&self, s: usize) {
+    /// Charge the cost of a remote atomic (8 bytes each way).
+    async fn atomic_cost(&self, s: usize, deadline: SimTime) -> Result<(), VerbError> {
         let sim = self.sim();
         let server = self.cluster.server(s);
         server.onesided_ops.inc();
         if self.is_local(s) {
             server.local_bytes.add(8);
             sim.sleep(self.cluster.spec().local_time(8)).await;
+            Ok(())
         } else {
             server.bytes_in.add(8);
             server.bytes_out.add(8);
-            let spec = self.cluster.spec();
-            let wire = spec.atomic_wire_overhead
-                + SimDur::from_secs_f64(8.0 / spec.effective_bandwidth(s));
-            server.nic.acquire(&sim, wire).await;
-            sim.sleep(spec.rt_latency).await;
+            self.charge_remote(s, self.cluster.spec().atomic_wire_overhead, 8, deadline)
+                .await
         }
     }
 
     /// One-sided `RDMA_CAS` on an 8-byte word. Returns the previous
     /// value; the swap happened iff it equals `expected`.
-    pub async fn cas(&self, ptr: RemotePtr, expected: u64, new: u64) -> u64 {
-        let s = ptr.server();
+    pub async fn cas(&self, ptr: RemotePtr, expected: u64, new: u64) -> Result<u64, VerbError> {
         #[cfg(feature = "sanitizer")]
         let issued = self.sim().now();
-        self.atomic_cost(s).await;
+        self.check_alive()?;
+        let s = self.decode(ptr)?;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Cas).await);
+        }
+        let deadline = self.deadline();
+        self.atomic_cost(s, deadline).await?;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Cas).await);
+        }
         let prev = self
             .cluster
             .server(s)
@@ -236,16 +400,30 @@ impl Endpoint {
             },
             issued,
         );
-        prev
+        // Fault-injection hook: a client armed with kill-on-lock-acquire
+        // dies the instant its acquire CAS lands — after the remote
+        // effect, before any later verb — orphaning the lock it just won.
+        if prev == expected && blink::layout::lock_word::is_acquire(expected, new) {
+            self.cluster.fire_lock_kill(self.client);
+        }
+        Ok(prev)
     }
 
     /// One-sided `RDMA_FETCH_AND_ADD` on an 8-byte word; returns the
     /// previous value.
-    pub async fn fetch_add(&self, ptr: RemotePtr, add: u64) -> u64 {
-        let s = ptr.server();
+    pub async fn fetch_add(&self, ptr: RemotePtr, add: u64) -> Result<u64, VerbError> {
         #[cfg(feature = "sanitizer")]
         let issued = self.sim().now();
-        self.atomic_cost(s).await;
+        self.check_alive()?;
+        let s = self.decode(ptr)?;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Faa).await);
+        }
+        let deadline = self.deadline();
+        self.atomic_cost(s, deadline).await?;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Faa).await);
+        }
         let prev = self
             .cluster
             .server(s)
@@ -254,15 +432,19 @@ impl Endpoint {
             .fetch_add(ptr.offset(), add);
         #[cfg(feature = "sanitizer")]
         self.emit(s, ptr.offset(), 8, VerbKind::Faa { add, prev }, issued);
-        prev
+        Ok(prev)
     }
 
     /// `RDMA_ALLOC` (Listing 4): reserve `size` bytes on server `s`.
     /// Costs one round trip.
-    pub async fn alloc(&self, s: usize, size: u64) -> RemotePtr {
+    pub async fn alloc(&self, s: usize, size: u64) -> Result<RemotePtr, VerbError> {
         let sim = self.sim();
         #[cfg(feature = "sanitizer")]
         let issued = sim.now();
+        self.check_alive()?;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Alloc).await);
+        }
         let ptr = self.cluster.setup_alloc(s, size);
         if self.is_local(s) {
             sim.sleep(self.cluster.spec().local_latency).await;
@@ -271,20 +453,25 @@ impl Endpoint {
         }
         #[cfg(feature = "sanitizer")]
         self.emit(s, ptr.offset(), size as usize, VerbKind::Alloc, issued);
-        ptr
+        Ok(ptr)
     }
 
     /// Co-located fast path (Appendix A.3): the compute thread executes
     /// work against a local memory server directly — `busy` of its own
     /// CPU plus the local-path transfer of `bytes`; no NIC, no handler
     /// core. Panics if the server is not local to this endpoint.
-    pub async fn local_work(&self, s: usize, busy: SimDur, bytes: usize) {
+    pub async fn local_work(&self, s: usize, busy: SimDur, bytes: usize) -> Result<(), VerbError> {
         assert!(self.is_local(s), "local_work on a remote server");
+        self.check_alive()?;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Read).await);
+        }
         let sim = self.sim();
         let server = self.cluster.server(s);
         server.local_bytes.add(bytes as u64);
         sim.sleep(busy + self.cluster.spec().local_time(bytes))
             .await;
+        Ok(())
     }
 
     // ------------------------------------------------- two-sided RPC ----
@@ -294,13 +481,23 @@ impl Endpoint {
     /// core, runs `handler` at grant time, holds the core for the
     /// handler-reported CPU time (scaled by the server's QPI factor), and
     /// ships the handler-reported response.
+    ///
+    /// Failure semantics are at-least-once: once the request leg lands,
+    /// the handler runs (and its server-side effects stick) even if the
+    /// response is lost to a crash or deadline — the caller then sees an
+    /// error and cannot tell whether the handler executed.
     pub async fn rpc<R>(
         &self,
         s: usize,
         req_bytes: usize,
         handler: impl FnOnce() -> RpcReply<R>,
-    ) -> R {
+    ) -> Result<R, VerbError> {
         let sim = self.sim();
+        self.check_alive()?;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Rpc).await);
+        }
+        let deadline = self.deadline();
         let spec = self.cluster.spec().clone();
         let server = self.cluster.server(s);
         server.rpcs.inc();
@@ -311,39 +508,81 @@ impl Endpoint {
             server.local_bytes.add(req_bytes as u64);
             sim.sleep(spec.local_time(req_bytes)).await;
         } else {
+            let mut bw = spec.effective_bandwidth(s);
+            let mut extra = SimDur::ZERO;
+            if let Some(d) = self.cluster.link_degrade(s) {
+                bw *= d.bandwidth_factor;
+                extra = d.extra_delay;
+            }
+            if self.cluster.roll_drop(s) {
+                return Err(self.fail_timeout(s, deadline).await);
+            }
+            let wire = spec.op_wire_overhead + SimDur::from_secs_f64(req_bytes as f64 / bw);
+            let projected = server.nic.busy_until().max(sim.now()) + wire + spec.rt_latency / 2;
+            if projected + extra > deadline {
+                return Err(self.fail_timeout(s, deadline).await);
+            }
             server.bytes_in.add(req_bytes as u64);
-            let wire = self.cluster.wire_time(s, req_bytes);
             server.nic.acquire(&sim, wire).await;
-            sim.sleep(spec.rt_latency / 2).await;
+            sim.sleep(spec.rt_latency / 2 + extra).await;
+        }
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Rpc).await);
         }
 
         // Handler: queue for a core, run, hold the core for the work done.
         // RC connection state adds per-client pressure (see
         // `ClusterSpec::rpc_client_penalty`).
         let grant = server.cpu.acquire(&sim).await;
+        if !self.cluster.server_up(s) {
+            // The server crashed while the request sat in its queue.
+            grant.complete(&sim, SimDur::ZERO).await;
+            return Err(self.fail_unreachable(s, AttemptKind::Rpc).await);
+        }
+        if sim.now() > deadline {
+            grant.complete(&sim, SimDur::ZERO).await;
+            return Err(self.fail_timeout(s, deadline).await);
+        }
         let reply = handler();
         let state_penalty = spec.rpc_client_penalty * self.cluster.active_clients() as u64;
         let service =
             SimDur::from_secs_f64((reply.cpu + state_penalty).as_secs_f64() * spec.cpu_factor(s));
         grant.complete(&sim, service).await;
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Rpc).await);
+        }
 
         // Response leg.
         if local {
             server.local_bytes.add(reply.resp_bytes as u64);
             sim.sleep(spec.local_time(reply.resp_bytes)).await;
         } else {
+            let mut bw = spec.effective_bandwidth(s);
+            let mut extra = SimDur::ZERO;
+            if let Some(d) = self.cluster.link_degrade(s) {
+                bw *= d.bandwidth_factor;
+                extra = d.extra_delay;
+            }
+            if self.cluster.roll_drop(s) {
+                return Err(self.fail_timeout(s, deadline).await);
+            }
+            let wire = spec.op_wire_overhead + SimDur::from_secs_f64(reply.resp_bytes as f64 / bw);
+            let projected = server.nic.busy_until().max(sim.now()) + wire + spec.rt_latency / 2;
+            if projected + extra > deadline {
+                return Err(self.fail_timeout(s, deadline).await);
+            }
             server.bytes_out.add(reply.resp_bytes as u64);
-            let wire = self.cluster.wire_time(s, reply.resp_bytes);
             server.nic.acquire(&sim, wire).await;
-            sim.sleep(spec.rt_latency / 2).await;
+            sim.sleep(spec.rt_latency / 2 + extra).await;
         }
-        reply.value
+        Ok(reply.value)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::LinkDegrade;
     use crate::spec::ClusterSpec;
     use std::cell::Cell;
     use std::rc::Rc;
@@ -364,7 +603,7 @@ mod tests {
         let d = done.clone();
         let s = sim.clone();
         sim.spawn(async move {
-            let data = ep.read(ptr, 64).await;
+            let data = ep.read(ptr, 64).await.unwrap();
             assert_eq!(data, vec![42; 64]);
             d.set(s.now().as_nanos());
         });
@@ -383,8 +622,8 @@ mod tests {
         sim.spawn({
             let ep = ep.clone();
             async move {
-                ep.write(ptr, &[7; 16]).await;
-                let data = ep.read(ptr, 16).await;
+                ep.write(ptr, &[7; 16]).await.unwrap();
+                let data = ep.read(ptr, 16).await.unwrap();
                 assert_eq!(data, vec![7; 16]);
             }
         });
@@ -404,7 +643,7 @@ mod tests {
             let ep = Endpoint::new(&cluster);
             let w = wins.clone();
             sim.spawn(async move {
-                let old = ep.cas(ptr, 0, id).await;
+                let old = ep.cas(ptr, 0, id).await.unwrap();
                 if old == 0 {
                     w.set(w.get() + 1);
                 }
@@ -421,7 +660,7 @@ mod tests {
         for _ in 0..10 {
             let ep = Endpoint::new(&cluster);
             sim.spawn(async move {
-                ep.fetch_add(ptr, 2).await;
+                ep.fetch_add(ptr, 2).await.unwrap();
             });
         }
         sim.run();
@@ -441,7 +680,8 @@ mod tests {
                     cpu: SimDur::from_micros(5),
                     resp_bytes: 128,
                 })
-                .await;
+                .await
+                .unwrap();
             g.set(v);
         });
         let end = sim.run();
@@ -469,7 +709,8 @@ mod tests {
                     cpu: SimDur::from_micros(10),
                     resp_bytes: 16,
                 })
-                .await;
+                .await
+                .unwrap();
                 l.set(l.get().max(s.now().as_micros()));
             });
         }
@@ -491,7 +732,7 @@ mod tests {
                 let begin = s.now();
                 // Many large reads so wire time dominates latency.
                 for _ in 0..100 {
-                    ep.read(ptr, 1024).await;
+                    ep.read(ptr, 1024).await.unwrap();
                 }
                 cell.set((s.now() - begin).as_nanos());
             });
@@ -515,7 +756,7 @@ mod tests {
             let s = sim.clone();
             sim.spawn(async move {
                 let begin = s.now();
-                let bufs = ep.read_many(&ptrs).await;
+                let bufs = ep.read_many(&ptrs).await.unwrap();
                 assert_eq!(bufs.len(), 4);
                 par.set((s.now() - begin).as_nanos());
             });
@@ -533,7 +774,7 @@ mod tests {
             sim2.spawn(async move {
                 let begin = s.now();
                 for &(p, l) in &ptrs2 {
-                    ep.read(p, l).await;
+                    ep.read(p, l).await.unwrap();
                 }
                 seq.set((s.now() - begin).as_nanos());
             });
@@ -554,7 +795,7 @@ mod tests {
         let ep = Endpoint::colocated(&cluster, 0);
         let s = sim.clone();
         sim.spawn(async move {
-            ep.local_work(0, SimDur::from_micros(7), 64).await;
+            ep.local_work(0, SimDur::from_micros(7), 64).await.unwrap();
             assert!(s.now().as_nanos() >= 7_000);
         });
         sim.run();
@@ -571,7 +812,7 @@ mod tests {
         let cluster = Cluster::new(&sim, ClusterSpec::default());
         let ep = Endpoint::new(&cluster);
         sim.spawn(async move {
-            ep.local_work(0, SimDur::ZERO, 0).await;
+            ep.local_work(0, SimDur::ZERO, 0).await.unwrap();
         });
         sim.run();
     }
@@ -589,7 +830,8 @@ mod tests {
                     cpu: SimDur::from_micros(5),
                     resp_bytes: 16,
                 })
-                .await;
+                .await
+                .unwrap();
             });
             sim.run();
             cluster.server_stats(0).cpu_busy_nanos
@@ -619,7 +861,7 @@ mod tests {
         assert!(ep.is_local(1), "both servers of machine 0 are local");
         assert!(!ep.is_local(2));
         sim.spawn(async move {
-            let data = ep.read(ptr, 64).await;
+            let data = ep.read(ptr, 64).await.unwrap();
             assert_eq!(data[0], 5);
         });
         sim.run();
@@ -627,5 +869,175 @@ mod tests {
         assert_eq!(stats.bytes_out, 0, "local path must not touch the wire");
         assert_eq!(stats.local_bytes, 64);
         assert_eq!(stats.nic_busy_nanos, 0);
+    }
+
+    // ---- failure surface ----
+
+    #[test]
+    fn crashed_server_is_unreachable_until_restart() {
+        let (sim, cluster) = harness();
+        let ptr = cluster.setup_alloc(2, 64);
+        cluster.setup_write(ptr, &[3; 64]);
+        cluster.fail_server(2);
+        let ep = Endpoint::new(&cluster);
+        let c = cluster.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let begin = s.now();
+            let err = ep.read(ptr, 64).await.unwrap_err();
+            assert_eq!(err, VerbError::ServerUnreachable { server: 2 });
+            assert!(err.is_retryable());
+            // Detection charged a round trip.
+            assert!((s.now() - begin).as_nanos() >= 2_500);
+            c.restart_server(2);
+            assert_eq!(c.server_restarts(2), 1);
+            // Memory survived the crash.
+            let data = ep.read(ptr, 64).await.unwrap();
+            assert_eq!(data, vec![3; 64]);
+        });
+        sim.run();
+        assert_eq!(cluster.fault_stats().verbs_unreachable, 1);
+    }
+
+    #[test]
+    fn crash_mid_flight_voids_the_effect() {
+        let (sim, cluster) = harness();
+        let ptr = cluster.setup_alloc(0, 8);
+        let ep = Endpoint::new(&cluster);
+        {
+            let cluster = cluster.clone();
+            let sim_c = sim.clone();
+            sim.spawn(async move {
+                // Crash the server while the write is on the wire.
+                sim_c.sleep(SimDur::from_nanos(100)).await;
+                cluster.fail_server(0);
+            });
+        }
+        sim.spawn(async move {
+            let err = ep.write(ptr, &7u64.to_le_bytes()).await.unwrap_err();
+            assert_eq!(err, VerbError::ServerUnreachable { server: 0 });
+        });
+        sim.run();
+        assert_eq!(cluster.setup_read(ptr, 8), vec![0; 8], "no effect applied");
+    }
+
+    #[test]
+    fn killed_client_gets_cancelled() {
+        let (sim, cluster) = harness();
+        let ptr = cluster.setup_alloc(0, 8);
+        let ep = Endpoint::new(&cluster);
+        cluster.kill_client(ep.client_id());
+        sim.spawn(async move {
+            let err = ep.cas(ptr, 0, 1).await.unwrap_err();
+            assert_eq!(err, VerbError::Cancelled);
+            assert!(!err.is_retryable());
+        });
+        sim.run();
+        assert_eq!(cluster.setup_read(ptr, 8), vec![0; 8], "no effect applied");
+        assert_eq!(cluster.fault_stats().verbs_cancelled, 1);
+    }
+
+    #[test]
+    fn kill_on_lock_acquire_fires_between_cas_and_faa() {
+        let (sim, cluster) = harness();
+        let ptr = cluster.setup_alloc(0, 8);
+        let ep = Endpoint::new(&cluster);
+        cluster.arm_kill_on_lock_acquire(ep.client_id());
+        let c = cluster.clone();
+        sim.spawn(async move {
+            // The acquire CAS itself succeeds...
+            let word = blink::layout::lock_word::locked_by(0, ep.client_id());
+            let prev = ep.cas(ptr, 0, word).await.unwrap();
+            assert_eq!(prev, 0);
+            assert!(c.client_dead(ep.client_id()), "trigger fired");
+            // ...and the unlock FAA never happens.
+            let err = ep.fetch_add(ptr, 1).await.unwrap_err();
+            assert_eq!(err, VerbError::Cancelled);
+        });
+        sim.run();
+        // The lock word is orphaned in the locked state.
+        let word = u64::from_le_bytes(cluster.setup_read(ptr, 8).try_into().unwrap());
+        assert!(blink::layout::lock_word::is_locked(word));
+        assert_eq!(cluster.fault_stats().lock_kills_fired, 1);
+    }
+
+    #[test]
+    fn dropped_verbs_time_out_at_the_deadline() {
+        let (sim, cluster) = harness();
+        let ptr = cluster.setup_alloc(0, 64);
+        cluster.set_fault_seed(7);
+        cluster.degrade_link(
+            0,
+            LinkDegrade {
+                drop_chance: 1.0,
+                ..LinkDegrade::default()
+            },
+        );
+        let ep = Endpoint::new(&cluster);
+        let s = sim.clone();
+        sim.spawn(async move {
+            let begin = s.now();
+            let err = ep.read(ptr, 64).await.unwrap_err();
+            assert_eq!(err, VerbError::Timeout { server: 0 });
+            let spec = ep.cluster().spec().clone();
+            assert_eq!((s.now() - begin).as_nanos(), spec.verb_timeout.as_nanos());
+        });
+        sim.run();
+        let fs = cluster.fault_stats();
+        assert_eq!(fs.verbs_dropped, 1);
+        assert_eq!(fs.verbs_timed_out, 1);
+        assert_eq!(
+            cluster.server_stats(0).nic_busy_nanos,
+            0,
+            "never on the wire"
+        );
+    }
+
+    #[test]
+    fn degraded_bandwidth_slows_reads() {
+        let elapsed = |degrade: Option<LinkDegrade>| {
+            let sim = Sim::new();
+            let cluster = Cluster::new(&sim, ClusterSpec::default());
+            let ptr = cluster.setup_alloc(0, 4096);
+            if let Some(d) = degrade {
+                cluster.degrade_link(0, d);
+            }
+            let ep = Endpoint::new(&cluster);
+            let s = sim.clone();
+            let t = Rc::new(Cell::new(0u64));
+            let t2 = t.clone();
+            sim.spawn(async move {
+                for _ in 0..50 {
+                    ep.read(ptr, 4096).await.unwrap();
+                }
+                t2.set(s.now().as_nanos());
+            });
+            sim.run();
+            t.get()
+        };
+        let clean = elapsed(None);
+        let slow = elapsed(Some(LinkDegrade {
+            bandwidth_factor: 0.25,
+            extra_delay: SimDur::from_nanos(400),
+            ..LinkDegrade::default()
+        }));
+        assert!(
+            slow > clean,
+            "degraded link must be slower: {clean} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn invalid_pointer_is_a_typed_error() {
+        let (sim, cluster) = harness();
+        // Server id 9 does not exist in a 4-server cluster.
+        let bogus = RemotePtr::new(9, 4096);
+        let ep = Endpoint::new(&cluster);
+        sim.spawn(async move {
+            let err = ep.read(bogus, 8).await.unwrap_err();
+            assert_eq!(err, VerbError::InvalidPointer { raw: bogus.raw() });
+            assert!(!err.is_retryable());
+        });
+        sim.run();
     }
 }

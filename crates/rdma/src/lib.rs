@@ -33,6 +33,7 @@
 
 pub mod cluster;
 pub mod endpoint;
+pub mod fault;
 #[cfg(feature = "sanitizer")]
 pub mod observer;
 pub mod pool;
@@ -41,6 +42,7 @@ pub mod spec;
 
 pub use cluster::{Cluster, ServerStats};
 pub use endpoint::{Endpoint, RpcReply};
+pub use fault::{AttemptKind, FaultStats, LinkDegrade, VerbError};
 pub use pool::MemPool;
-pub use ptr::RemotePtr;
+pub use ptr::{PtrDecodeError, RemotePtr};
 pub use spec::ClusterSpec;

@@ -62,6 +62,8 @@ pub struct VerbEvent {
     pub client: u64,
 }
 
+pub use crate::fault::AttemptKind;
+
 /// Receiver for verb events and reclamation notices.
 pub trait VerbObserver {
     /// A verb completed and its memory effect has been applied.
@@ -70,4 +72,10 @@ pub trait VerbObserver {
     /// Epoch GC retired `[offset, offset + len)` on `server`; any later
     /// verb touching the region is a use-after-free.
     fn on_free(&self, server: usize, offset: u64, len: usize, time: SimTime);
+
+    /// `client` attempted a verb against a crashed `server` and received
+    /// `ServerUnreachable`. The verb had no remote effect. Default: ignore.
+    fn on_unreachable(&self, client: u64, server: usize, kind: AttemptKind, time: SimTime) {
+        let _ = (client, server, kind, time);
+    }
 }

@@ -71,6 +71,23 @@ impl RemotePtr {
         ((self.0 >> 56) & 0x7f) as usize
     }
 
+    /// Defensive decode of the server id against a cluster of
+    /// `num_servers`. NULL, a set nullbit, or an out-of-range server id
+    /// (a corrupt or stale pointer — e.g. read from a page mid-recovery)
+    /// return a typed error instead of panicking downstream when used to
+    /// index the server table.
+    pub fn checked_server(self, num_servers: usize) -> Result<usize, PtrDecodeError> {
+        if self.0 == 0 || self.0 >> 63 != 0 {
+            return Err(PtrDecodeError { raw: self.0 });
+        }
+        let s = ((self.0 >> 56) & 0x7f) as usize;
+        if s >= num_servers {
+            Err(PtrDecodeError { raw: self.0 })
+        } else {
+            Ok(s)
+        }
+    }
+
     /// Byte offset within the server's registered region.
     pub fn offset(self) -> u64 {
         self.0 & Self::MAX_OFFSET
@@ -81,6 +98,21 @@ impl RemotePtr {
         Self::new(self.server(), self.offset() + delta)
     }
 }
+
+/// A remote pointer that does not name a server of this cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PtrDecodeError {
+    /// The raw pointer bits that failed to decode.
+    pub raw: u64,
+}
+
+impl fmt::Display for PtrDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "remote pointer {:#018x} does not decode", self.raw)
+    }
+}
+
+impl std::error::Error for PtrDecodeError {}
 
 impl fmt::Debug for RemotePtr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -133,6 +165,21 @@ mod tests {
         let p = RemotePtr::new(2, 100);
         assert_eq!(p.offset_by(24).offset(), 124);
         assert_eq!(p.offset_by(24).server(), 2);
+    }
+
+    #[test]
+    fn checked_server_accepts_in_range() {
+        let p = RemotePtr::new(3, 4096);
+        assert_eq!(p.checked_server(4), Ok(3));
+    }
+
+    #[test]
+    fn checked_server_rejects_out_of_range_null_and_nullbit() {
+        let p = RemotePtr::new(5, 4096);
+        assert_eq!(p.checked_server(4), Err(PtrDecodeError { raw: p.raw() }));
+        assert!(RemotePtr::NULL.checked_server(4).is_err());
+        let tagged = RemotePtr(1 << 63 | 42);
+        assert!(tagged.checked_server(4).is_err());
     }
 
     #[test]

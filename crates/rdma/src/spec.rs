@@ -85,6 +85,24 @@ pub struct ClusterSpec {
     /// This is what makes two-sided designs *decline* — not just plateau —
     /// under high load (Fig. 7a, Fig. 12).
     pub rpc_client_penalty: SimDur,
+
+    // --- failure model (fault injection + recovery) ---
+    /// Completion deadline for a single verb: if a verb cannot complete
+    /// by `issue + verb_timeout` (queueing, degradation, or a dropped
+    /// message), it fails with `VerbError::Timeout` at the deadline.
+    /// Generous by default so fault-free RPC queueing never trips it.
+    pub verb_timeout: SimDur,
+    /// First retry backoff step for retryable verb failures.
+    pub retry_backoff_base: SimDur,
+    /// Retry backoff ceiling (exponential growth is clamped here).
+    pub retry_backoff_cap: SimDur,
+    /// Retries before an operation gives up with `OpError`.
+    pub retry_limit: u32,
+    /// Virtual-time lease on a held page lock: a contender observing the
+    /// *same* locked word for this long may break the lock via CAS
+    /// (see `blink::layout::lock_word::break_lease`). Must comfortably
+    /// exceed the longest legitimate hold (lock + write-back + unlock).
+    pub lease_duration: SimDur,
 }
 
 impl Default for ClusterSpec {
@@ -110,6 +128,11 @@ impl Default for ClusterSpec {
             cpu_insert_extra: SimDur::from_nanos(30_000),
             leaf_lock_hold: SimDur::from_nanos(6_000),
             rpc_client_penalty: SimDur::from_nanos(25),
+            verb_timeout: SimDur::from_millis(1),
+            retry_backoff_base: SimDur::from_micros(2),
+            retry_backoff_cap: SimDur::from_micros(256),
+            retry_limit: 16,
+            lease_duration: SimDur::from_micros(500),
         }
     }
 }

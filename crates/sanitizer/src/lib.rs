@@ -54,7 +54,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use blink::layout::lock_word;
-use rdma_sim::observer::{VerbEvent, VerbKind, VerbObserver};
+use rdma_sim::observer::{AttemptKind, VerbEvent, VerbKind, VerbObserver};
 use rdma_sim::{Cluster, RemotePtr};
 use simnet::SimTime;
 
@@ -75,6 +75,13 @@ pub enum ViolationKind {
     AtomicRace,
     /// Verb touched a region retired by epoch GC.
     UseAfterFree,
+    /// A lease-break CAS fired before the holder's lease expired: the
+    /// breaker cannot have proof the holder is dead.
+    LeaseBreak,
+    /// A mutating verb succeeded against a server the client had seen as
+    /// unreachable, without an intervening re-validating READ — the
+    /// client may be acting on pre-crash cached state.
+    UnreachableWrite,
     /// End-of-run structural walk found a malformed page or chain.
     Structural,
 }
@@ -88,6 +95,8 @@ impl fmt::Display for ViolationKind {
             ViolationKind::MisalignedAtomic => "misaligned-atomic",
             ViolationKind::AtomicRace => "atomic-race",
             ViolationKind::UseAfterFree => "use-after-free",
+            ViolationKind::LeaseBreak => "lease-break",
+            ViolationKind::UnreachableWrite => "unreachable-write",
             ViolationKind::Structural => "structural",
         };
         f.write_str(s)
@@ -152,6 +161,9 @@ struct NodeState {
     holder: Holder,
     /// `Some(owner)` while the page is still private to its allocator.
     private_to: Option<u64>,
+    /// When the current locked word was first observed (drives the
+    /// lease-break legality check; meaningless while unlocked).
+    locked_since: SimTime,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -189,6 +201,9 @@ struct State {
     violations: Vec<Violation>,
     dropped: usize,
     verbs_seen: u64,
+    /// `(client, server)` pairs that saw `ServerUnreachable` and have not
+    /// re-validated with a successful READ since.
+    unreachable: BTreeMap<(u64, usize), SimTime>,
 }
 
 /// The online protocol checker. Install it on a cluster with
@@ -235,6 +250,7 @@ impl Sanitizer {
                 word,
                 holder,
                 private_to: None,
+                locked_since: self.cluster.sim().now(),
             },
         );
     }
@@ -332,7 +348,7 @@ impl Sanitizer {
     }
 
     /// Flip a node from private to published, seeding the shadow word.
-    fn publish(st: &mut State, server: usize, start: u64, word: u64) {
+    fn publish(st: &mut State, server: usize, start: u64, word: u64, time: SimTime) {
         if let Some(n) = st.nodes.get_mut(&(server, start)) {
             n.private_to = None;
             n.word = word;
@@ -341,6 +357,7 @@ impl Sanitizer {
             } else {
                 Holder::Unlocked
             };
+            n.locked_since = time;
         }
     }
 
@@ -455,7 +472,7 @@ impl Sanitizer {
                     // taken from memory (post-effect), so this write
                     // itself is not judged against pre-publication state.
                     let word = self.read_word(ev.server, start);
-                    Self::publish(st, ev.server, start, word);
+                    Self::publish(st, ev.server, start, word, ev.time);
                     continue;
                 }
                 None => {}
@@ -498,6 +515,7 @@ impl Sanitizer {
                         } else {
                             Holder::Unlocked
                         };
+                        n.locked_since = ev.time;
                     }
                 }
             }
@@ -526,8 +544,8 @@ impl Sanitizer {
                 prev,
             } => {
                 let success = prev == expected;
-                let acquire_shape =
-                    !lock_word::is_locked(expected) && new == lock_word::locked(expected);
+                let acquire_shape = lock_word::is_acquire(expected, new);
+                let break_shape = lock_word::is_lease_break(expected, new);
                 match start {
                     None => {
                         // Unregistered: a successful acquire-shaped CAS is
@@ -542,6 +560,7 @@ impl Sanitizer {
                                     word: new,
                                     holder: Holder::LockedBy(ev.client),
                                     private_to: None,
+                                    locked_since: ev.time,
                                 },
                             );
                         }
@@ -550,7 +569,7 @@ impl Sanitizer {
                         let node = st.nodes[&(ev.server, start)];
                         if node.private_to.is_some() {
                             // Any lock-word CAS publishes a private page.
-                            Self::publish(st, ev.server, start, prev);
+                            Self::publish(st, ev.server, start, prev, ev.time);
                         }
                         let node = st.nodes[&(ev.server, start)];
                         if success {
@@ -570,6 +589,29 @@ impl Sanitizer {
                                 if let Some(n) = st.nodes.get_mut(&(ev.server, start)) {
                                     n.word = new;
                                     n.holder = Holder::LockedBy(ev.client);
+                                    n.locked_since = ev.time;
+                                }
+                            } else if break_shape {
+                                // Lease break: legal only after the same
+                                // locked word has been held a full lease.
+                                let lease = self.cluster.spec().lease_duration;
+                                let held = ev.time.since(node.locked_since);
+                                if held < lease {
+                                    self.violation(
+                                        st,
+                                        ViolationKind::LeaseBreak,
+                                        ev,
+                                        format!(
+                                            "lease break of word {prev:#x} after only \
+                                             {}ns held (lease is {}ns)",
+                                            held.as_nanos(),
+                                            lease.as_nanos()
+                                        ),
+                                    );
+                                }
+                                if let Some(n) = st.nodes.get_mut(&(ev.server, start)) {
+                                    n.word = new;
+                                    n.holder = Holder::Unlocked;
                                 }
                             } else {
                                 let mut what = format!(
@@ -587,6 +629,7 @@ impl Sanitizer {
                                     } else {
                                         Holder::Unlocked
                                     };
+                                    n.locked_since = ev.time;
                                 }
                             }
                         } else if node.word != prev && node.private_to.is_none() {
@@ -607,6 +650,7 @@ impl Sanitizer {
                                 } else {
                                     Holder::Unlocked
                                 };
+                                n.locked_since = ev.time;
                             }
                         }
                     }
@@ -621,7 +665,7 @@ impl Sanitizer {
                     if start == ev.offset {
                         let node = st.nodes[&(ev.server, start)];
                         if node.private_to.is_some() {
-                            Self::publish(st, ev.server, start, prev);
+                            Self::publish(st, ev.server, start, prev, ev.time);
                         }
                         let node = st.nodes[&(ev.server, start)];
                         let new = prev.wrapping_add(add);
@@ -662,6 +706,7 @@ impl Sanitizer {
                             } else {
                                 Holder::Unlocked
                             };
+                            n.locked_since = ev.time;
                         }
                     }
                 }
@@ -669,6 +714,27 @@ impl Sanitizer {
             _ => unreachable!("on_atomic only sees Cas/Faa"),
         }
         self.check_inflight(st, ev, true);
+    }
+}
+
+impl Sanitizer {
+    /// A mutating verb from a client whose last contact with this server
+    /// ended in `ServerUnreachable` (no re-validating READ since) may be
+    /// applying pre-crash cached state. Reported once per episode.
+    fn check_unreachable_mutation(&self, st: &mut State, ev: &VerbEvent) {
+        if let Some(seen) = st.unreachable.remove(&(ev.client, ev.server)) {
+            self.violation(
+                st,
+                ViolationKind::UnreachableWrite,
+                ev,
+                format!(
+                    "{:?} without re-validating READ after server was \
+                     unreachable at t={}ns",
+                    ev.kind,
+                    seen.as_nanos()
+                ),
+            );
+        }
     }
 }
 
@@ -696,11 +762,15 @@ impl VerbObserver for Sanitizer {
                             word: 0,
                             holder: Holder::Unlocked,
                             private_to: Some(ev.client),
+                            locked_since: ev.time,
                         },
                     );
                 }
             }
             VerbKind::Read => {
+                // A successful READ re-validates the client's view of
+                // this server after an unreachable episode.
+                st.unreachable.remove(&(ev.client, ev.server));
                 self.check_freed(&mut st, ev);
                 // A read by a non-owner publishes private pages it covers.
                 let ps = self.page_size;
@@ -709,19 +779,27 @@ impl VerbObserver for Sanitizer {
                     let node = st.nodes[&(ev.server, start)];
                     if matches!(node.private_to, Some(owner) if owner != ev.client) {
                         let word = self.read_word(ev.server, start);
-                        Self::publish(&mut st, ev.server, start, word);
+                        Self::publish(&mut st, ev.server, start, word, ev.time);
                     }
                 }
             }
             VerbKind::Write => {
+                self.check_unreachable_mutation(&mut st, ev);
                 self.check_freed(&mut st, ev);
                 self.on_write(&mut st, ev);
             }
             VerbKind::Cas { .. } | VerbKind::Faa { .. } => {
+                self.check_unreachable_mutation(&mut st, ev);
                 self.check_freed(&mut st, ev);
                 self.on_atomic(&mut st, ev);
             }
         }
+    }
+
+    fn on_unreachable(&self, client: u64, server: usize, kind: AttemptKind, time: SimTime) {
+        let _ = kind;
+        let mut st = self.state.borrow_mut();
+        st.unreachable.entry((client, server)).or_insert(time);
     }
 
     fn on_free(&self, server: usize, offset: u64, len: usize, time: SimTime) {

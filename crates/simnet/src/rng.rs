@@ -122,6 +122,15 @@ pub fn fnv1a(mut v: u64) -> u64 {
     hash
 }
 
+/// Deterministically mix three words into one (chained FNV-1a).
+///
+/// Used for stateless, replayable jitter: hashing `(client, attempt,
+/// virtual-now)` decorrelates concurrent retry loops without any shared
+/// RNG state or wall-clock input.
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    fnv1a(fnv1a(a).wrapping_add(b).rotate_left(17) ^ fnv1a(c))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,7 +38,11 @@ fn scan_time(head_stride: usize, sel: f64) -> (f64, usize) {
             for i in 0..10u64 {
                 let lo = i * (KEYS / 16) * 8;
                 let hi = lo + (span - 1) * 8;
-                total += index.range(&ep, lo, hi).await.len();
+                total += index
+                    .range(&ep, lo, hi)
+                    .await
+                    .expect("fault-free run")
+                    .len();
             }
             micros.set((sim_c.now() - t0).as_micros() / 10);
             rows_out.set(total / 10);

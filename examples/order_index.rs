@@ -90,13 +90,14 @@ fn main() {
                     // All orders of one customer: a range over its band.
                     let lo = composite(customer, 0);
                     let hi = composite(customer + 1, 0) - 1;
-                    let orders = index.range(&ep, lo, hi).await;
+                    let orders = index.range(&ep, lo, hi).await.expect("fault-free run");
                     found.set(found.get() + orders.len() as u64);
                     lookups.set(lookups.get() + 1);
                 } else {
                     index
                         .insert(&ep, composite(customer, next_seq), next_order)
-                        .await;
+                        .await
+                        .expect("fault-free run");
                     next_seq += CLIENTS as u64;
                     next_order += CLIENTS as u64;
                     inserts.set(inserts.get() + 1);
@@ -131,11 +132,17 @@ fn main() {
         sim.spawn(async move {
             let mut cancelled = 0;
             for customer in 0..500u64 {
-                if index2.delete(&ep, composite(customer, 0)).await {
+                if index2
+                    .delete(&ep, composite(customer, 0))
+                    .await
+                    .expect("fault-free run")
+                {
                     cancelled += 1;
                 }
             }
-            let freed = gc::hybrid_gc_pass(&index2, &ep).await;
+            let freed = gc::hybrid_gc_pass(&index2, &ep)
+                .await
+                .expect("fault-free run");
             assert!(
                 freed >= cancelled,
                 "GC must reclaim at least what we cancelled"

@@ -48,20 +48,26 @@ fn main() {
             let t0 = sim_c.now();
 
             // Point query.
-            let v = index.lookup(&ep, 42 * 8).await;
+            let v = index.lookup(&ep, 42 * 8).await.expect("fault-free run");
             assert_eq!(v, Some(42));
 
             // Range query: 50 records.
-            let rows = index.range(&ep, 1_000 * 8, 1_049 * 8).await;
+            let rows = index
+                .range(&ep, 1_000 * 8, 1_049 * 8)
+                .await
+                .expect("fault-free run");
             assert_eq!(rows.len(), 50);
 
             // Insert a fresh key and read it back.
-            index.insert(&ep, 42 * 8 + 1, 777_777).await;
-            assert_eq!(index.lookup(&ep, 42 * 8 + 1).await, Some(777_777));
+            index
+                .insert(&ep, 42 * 8 + 1, 777_777)
+                .await
+                .expect("fault-free run");
+            assert_eq!(index.lookup(&ep, 42 * 8 + 1).await.unwrap(), Some(777_777));
 
             // Tombstone-delete it again.
-            assert!(index.delete(&ep, 42 * 8 + 1).await);
-            assert_eq!(index.lookup(&ep, 42 * 8 + 1).await, None);
+            assert!(index.delete(&ep, 42 * 8 + 1).await.unwrap());
+            assert_eq!(index.lookup(&ep, 42 * 8 + 1).await.unwrap(), None);
 
             println!(
                 "{name:>15}: lookup+range(50)+insert+delete in {} of virtual time",

@@ -70,7 +70,10 @@ fn throughput(local_frac: f64) -> f64 {
                         rng.next_u64_below(KEYS)
                     };
                     let t0 = sim_c.now();
-                    index.lookup(&ep, key_idx * 8).await;
+                    index
+                        .lookup(&ep, key_idx * 8)
+                        .await
+                        .expect("fault-free run");
                     if t0 >= warmup && sim_c.now() <= end {
                         ops.set(ops.get() + 1);
                     }

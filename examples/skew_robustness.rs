@@ -68,7 +68,7 @@ fn throughput(design_name: &str, skewed: bool) -> f64 {
                 // Uniform requests over the complete key space (§6.1).
                 let key = rng.next_u64_below(KEYS) * 8;
                 let t0 = sim_c.now();
-                index.lookup(&ep, key).await;
+                index.lookup(&ep, key).await.expect("fault-free run");
                 if t0 >= warmup && sim_c.now() <= end {
                     ops.set(ops.get() + 1);
                 }

@@ -21,6 +21,7 @@
 //! | [`index`] | `namdex-core` | **the paper's contribution**: coarse-grained, fine-grained, and hybrid designs |
 //! | [`workload`] | `ycsb` | the paper's modified YCSB (Table 3) |
 //! | [`model`] | `analysis` | the §2.3 analytical scalability model |
+//! | [`chaos`] | `chaos` | deterministic fault injection: fault plans, client kills, server crashes, link degradation |
 //!
 //! ## Quickstart
 //!
@@ -41,12 +42,15 @@
 //! );
 //!
 //! // A compute-server client issues index operations over (simulated)
-//! // RDMA verbs.
+//! // RDMA verbs. Every operation is fallible: under fault injection
+//! // (see [`chaos`]) a verb can time out, hit a crashed server, or be
+//! // cancelled by a client kill; on this fault-free cluster the
+//! // results are simply unwrapped.
 //! let ep = Endpoint::new(&nam.rdma);
 //! sim.spawn(async move {
-//!     assert_eq!(index.lookup(&ep, 4_200 * 8).await, Some(4_200));
-//!     index.insert(&ep, 33, 999).await;
-//!     let rows = index.range(&ep, 0, 100).await;
+//!     assert_eq!(index.lookup(&ep, 4_200 * 8).await.unwrap(), Some(4_200));
+//!     index.insert(&ep, 33, 999).await.unwrap();
+//!     let rows = index.range(&ep, 0, 100).await.unwrap();
 //!     assert!(rows.len() >= 13);
 //! });
 //! sim.run();
@@ -54,6 +58,7 @@
 
 pub use analysis as model;
 pub use blink as tree;
+pub use chaos;
 pub use nam as cluster;
 pub use namdex_core as index;
 pub use rdma_sim as rdma;
@@ -66,9 +71,10 @@ pub use ycsb as workload;
 /// cluster.
 pub mod prelude {
     pub use blink::{Key, LocalTree, PageLayout, Value};
+    pub use chaos::{ChaosController, FaultEvent, FaultPlan, RandomProfile};
     pub use nam::{Catalog, IndexDescriptor, IndexKind, NamCluster, PartitionMap};
-    pub use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
-    pub use rdma_sim::{Cluster, ClusterSpec, Endpoint, RemotePtr};
+    pub use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid, OpError};
+    pub use rdma_sim::{Cluster, ClusterSpec, Endpoint, LinkDegrade, RemotePtr, VerbError};
     pub use simnet::{Sim, SimDur, SimTime};
     pub use ycsb::{Dataset, InsertPattern, Op, OpGen, RequestDist, Workload};
 }

@@ -67,7 +67,8 @@ fn fg_concurrent_writers_and_readers() {
         sim.spawn(async move {
             for i in 0..PER {
                 idx.insert(&ep, (i * WRITERS + w) * 16 + 1, w * 1_000 + i)
-                    .await;
+                    .await
+                    .unwrap();
             }
         });
     }
@@ -80,11 +81,11 @@ fn fg_concurrent_writers_and_readers() {
         sim.spawn(async move {
             for i in 0..60u64 {
                 let key = ((i * 37 + r * 11) % 2_000) * 8;
-                if idx.lookup(&ep, key).await != Some(key / 8) {
+                if idx.lookup(&ep, key).await.unwrap() != Some(key / 8) {
                     errs.set(errs.get() + 1);
                 }
                 if i % 10 == 0 {
-                    let rows = idx.range(&ep, key, key + 50 * 8).await;
+                    let rows = idx.range(&ep, key, key + 50 * 8).await.unwrap();
                     if rows.is_empty() {
                         errs.set(errs.get() + 1);
                     }
@@ -108,13 +109,15 @@ fn fg_concurrent_writers_and_readers() {
         sim.spawn(async move {
             for w in 0..WRITERS {
                 for i in 0..PER {
-                    if idx.lookup(&ep, (i * WRITERS + w) * 16 + 1).await == Some(w * 1_000 + i) {
+                    if idx.lookup(&ep, (i * WRITERS + w) * 16 + 1).await.unwrap()
+                        == Some(w * 1_000 + i)
+                    {
                         ok.set(ok.get() + 1);
                     }
                 }
             }
             // Full scan sees loaded + inserted entries exactly once.
-            let rows = idx.range(&ep, 0, u64::MAX - 1).await;
+            let rows = idx.range(&ep, 0, u64::MAX - 1).await.unwrap();
             assert_eq!(rows.len() as u64, 2_000 + WRITERS * PER);
         });
     }
@@ -143,7 +146,8 @@ fn hybrid_concurrent_writers_and_readers() {
         sim.spawn(async move {
             for i in 0..PER {
                 idx.insert(&ep, (i * WRITERS + w) * 16 + 3, w * 1_000 + i)
-                    .await;
+                    .await
+                    .unwrap();
             }
         });
     }
@@ -153,7 +157,7 @@ fn hybrid_concurrent_writers_and_readers() {
         sim.spawn(async move {
             for i in 0..50u64 {
                 let key = ((i * 41 + r * 13) % 2_000) * 8;
-                assert_eq!(idx.lookup(&ep, key).await, Some(key / 8));
+                assert_eq!(idx.lookup(&ep, key).await.unwrap(), Some(key / 8));
             }
         });
     }
@@ -161,7 +165,7 @@ fn hybrid_concurrent_writers_and_readers() {
     let ep = Endpoint::new(&nam.rdma);
     let idx2 = idx.clone();
     sim.spawn(async move {
-        let rows = idx2.range(&ep, 0, u64::MAX - 1).await;
+        let rows = idx2.range(&ep, 0, u64::MAX - 1).await.unwrap();
         assert_eq!(rows.len() as u64, 2_000 + WRITERS * PER);
     });
     sim.run();
@@ -181,7 +185,7 @@ fn gc_concurrent_with_readers() {
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
             for i in (0..3_000u64).step_by(3) {
-                assert!(idx.delete(&ep, i * 8).await);
+                assert!(idx.delete(&ep, i * 8).await.unwrap());
             }
         });
     }
@@ -194,7 +198,7 @@ fn gc_concurrent_with_readers() {
         let ep = Endpoint::new(&nam.rdma);
         let freed = freed.clone();
         sim.spawn(async move {
-            freed.set(gc::fg_gc_pass(&idx, &ep).await);
+            freed.set(gc::fg_gc_pass(&idx, &ep).await.unwrap());
         });
     }
     for r in 0..5u64 {
@@ -203,7 +207,7 @@ fn gc_concurrent_with_readers() {
         sim.spawn(async move {
             for i in 0..80u64 {
                 let k = ((i * 29 + r * 7) % 3_000) * 8;
-                let got = idx.lookup(&ep, k).await;
+                let got = idx.lookup(&ep, k).await.unwrap();
                 if (k / 8) % 3 == 0 {
                     assert_eq!(got, None, "deleted key {k} resurfaced");
                 } else {
@@ -239,7 +243,7 @@ fn cg_insert_contention_burns_handler_cores() {
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
             for i in 0..20u64 {
-                idx.insert(&ep, 4_001 + (i * 30 + c) % 97, c).await;
+                idx.insert(&ep, 4_001 + (i * 30 + c) % 97, c).await.unwrap();
             }
         });
     }

@@ -50,7 +50,7 @@ fn lookups_agree_across_designs() {
         sim.spawn(async move {
             for i in 0..500u64 {
                 let key = (i * 97) % (50_000 * 8); // mix of hits and misses
-                let got = design.lookup(&ep, key).await;
+                let got = design.lookup(&ep, key).await.unwrap();
                 out.borrow_mut().push(got);
             }
         });
@@ -80,7 +80,7 @@ fn ranges_agree_across_designs() {
             for i in 0..40u64 {
                 let lo = i * 400 * 8;
                 let hi = lo + 199 * 8;
-                let rows = design.range(&ep, lo, hi).await;
+                let rows = design.range(&ep, lo, hi).await.unwrap();
                 out.borrow_mut().push(rows);
             }
         });
@@ -143,16 +143,16 @@ fn mixed_mutations_agree_with_oracle() {
                         // so the first-live-match lookup is predictable.
                         if let std::collections::btree_map::Entry::Vacant(e) = local.entry(key) {
                             e.insert(val);
-                            design.insert(&ep, key, val).await;
+                            design.insert(&ep, key, val).await.unwrap();
                         }
                     }
                     1 => {
                         let existed = local.remove(&key).is_some();
-                        let deleted = design.delete(&ep, key).await;
+                        let deleted = design.delete(&ep, key).await.unwrap();
                         assert_eq!(deleted, existed, "{name}: delete {key}");
                     }
                     _ => {
-                        let got = design.lookup(&ep, key).await;
+                        let got = design.lookup(&ep, key).await.unwrap();
                         assert_eq!(got, local.get(&key).copied(), "{name}: lookup {key}");
                     }
                 }

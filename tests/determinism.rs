@@ -5,6 +5,7 @@
 //! (`cargo xtask lint`) protects: one stray wall-clock read or hash-order
 //! iteration anywhere in the simulation stack breaks it.
 
+use namdex::index::OpError;
 use namdex::prelude::*;
 use namdex::sim::stats::Histogram;
 use std::cell::RefCell;
@@ -71,11 +72,11 @@ fn run_digest(kind: u8, seed: u64) -> u64 {
                 let t0 = sim_c.now();
                 match op {
                     Op::Point(k) => {
-                        let got = design.lookup(&ep, k).await;
+                        let got = design.lookup(&ep, k).await.unwrap();
                         results.borrow_mut().push(got.map_or(u64::MAX, |v| v));
                     }
                     Op::Range(lo, hi) => {
-                        let rows = design.range(&ep, lo, hi).await;
+                        let rows = design.range(&ep, lo, hi).await.unwrap();
                         let mut d = results.borrow_mut();
                         d.push(rows.len() as u64);
                         for (k, v) in rows {
@@ -84,7 +85,7 @@ fn run_digest(kind: u8, seed: u64) -> u64 {
                         }
                     }
                     Op::Insert(k, v) => {
-                        design.insert(&ep, k, v).await;
+                        design.insert(&ep, k, v).await.unwrap();
                         results.borrow_mut().push(k ^ v);
                     }
                 }
@@ -119,6 +120,152 @@ fn run_digest(kind: u8, seed: u64) -> u64 {
         d.push(s.cpu_busy_nanos);
     }
     d.0
+}
+
+/// Fold an operation outcome into the digest: success pushes the
+/// payload, failure pushes a small error code (so aborted and completed
+/// runs can never collide).
+fn push_outcome<T>(d: &mut Digest, r: Result<T, OpError>, payload: impl FnOnce(T) -> u64) {
+    match r {
+        Ok(v) => d.push(payload(v)),
+        Err(OpError::Cancelled) => d.push(u64::MAX - 1),
+        Err(OpError::RetriesExhausted { attempts, .. }) => d.push(u64::MAX - 2 - attempts as u64),
+        Err(OpError::Fatal(_)) => d.push(u64::MAX - 200),
+    }
+}
+
+/// The faulted twin of [`run_digest`]: the same YCSB workload with a
+/// seed-deterministic [`FaultPlan`] installed — a scripted server
+/// outage, a kill-on-lock-acquire trigger, a client-kill window, and a
+/// randomized tail drawn from `fault_seed`. Two runs with the same
+/// `(seed, fault_seed)` must still be byte-identical.
+fn run_fault_digest(kind: u8, seed: u64, fault_seed: u64) -> u64 {
+    let us = SimTime::from_micros;
+    let plan_base = FaultPlan::new()
+        .kill_on_lock_acquire(us(150), 0)
+        .revive_client(us(400), 0)
+        .crash_server(us(300), 1)
+        .restart_server(us(600), 1)
+        .kill_client(us(450), 2)
+        .revive_client(us(700), 2)
+        .degrade_link(
+            us(800),
+            0,
+            LinkDegrade {
+                drop_chance: 0.2,
+                extra_delay: SimDur::from_micros(2),
+                bandwidth_factor: 0.7,
+            },
+        )
+        .restore_link(us(1_100), 0);
+    let mut plan = FaultPlan::with_seed(fault_seed);
+    for &(t, ev) in plan_base.events() {
+        plan = plan.at(t, ev);
+    }
+    for &(t, ev) in FaultPlan::randomized(
+        fault_seed,
+        4,
+        CLIENTS,
+        RandomProfile {
+            horizon: SimDur::from_millis(1),
+            server_downtime: SimDur::from_micros(200),
+            client_downtime: SimDur::from_micros(150),
+            degrade_duration: SimDur::from_micros(300),
+            ..RandomProfile::default()
+        },
+    )
+    .events()
+    {
+        plan = plan.at(t, ev);
+    }
+
+    let sim = Sim::new();
+    let nam = NamCluster::new(&sim, ClusterSpec::default());
+    let design = build(kind, &nam);
+    nam.rdma.set_active_clients(CLIENTS as usize);
+    ChaosController::install_nam(&sim, &nam, plan);
+
+    let results = Rc::new(RefCell::new(Digest::new()));
+    let workload = Workload::a().with_dist(RequestDist::Zipfian(0.99));
+    for c in 0..CLIENTS {
+        let design = design.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        let cluster = nam.rdma.clone();
+        let sim_c = sim.clone();
+        let results = results.clone();
+        let mut gen = OpGen::new(workload, Dataset::new(KEYS), c, CLIENTS, seed);
+        sim.spawn(async move {
+            for _ in 0..OPS_PER_CLIENT {
+                let op = gen.next_op();
+                match op {
+                    Op::Point(k) => {
+                        let got = design.lookup(&ep, k).await;
+                        push_outcome(&mut results.borrow_mut(), got, |v| {
+                            v.map_or(u64::MAX, |x| x)
+                        });
+                    }
+                    Op::Range(lo, hi) => {
+                        let rows = design.range(&ep, lo, hi).await;
+                        push_outcome(&mut results.borrow_mut(), rows, |rows| {
+                            let mut h = Digest::new();
+                            h.push(rows.len() as u64);
+                            for (k, v) in rows {
+                                h.push(k);
+                                h.push(v);
+                            }
+                            h.0
+                        });
+                    }
+                    Op::Insert(k, v) => {
+                        let got = design.insert(&ep, k, v).await;
+                        push_outcome(&mut results.borrow_mut(), got, |()| k ^ v);
+                    }
+                }
+                // A killed client parks until its scheduled revival
+                // (every kill in the plan has one).
+                while cluster.client_dead(ep.client_id()) {
+                    sim_c.sleep(SimDur::from_micros(10)).await;
+                }
+            }
+        });
+    }
+    sim.run();
+
+    let mut d = Digest::new();
+    d.push(results.borrow().0);
+    d.push(sim.now().as_nanos());
+    d.push(nam.rdma.total_wire_bytes());
+    let fs = nam.rdma.fault_stats();
+    d.push(fs.verbs_cancelled);
+    d.push(fs.verbs_unreachable);
+    d.push(fs.verbs_timed_out);
+    d.push(fs.verbs_dropped);
+    d.push(fs.lock_kills_fired);
+    for s in nam.rdma.all_stats() {
+        d.push(s.bytes_in);
+        d.push(s.bytes_out);
+        d.push(s.onesided_ops);
+        d.push(s.rpcs);
+    }
+    d.0
+}
+
+#[test]
+fn faulted_runs_same_seed_same_plan_are_byte_identical() {
+    for kind in 0..3u8 {
+        assert_eq!(
+            run_fault_digest(kind, 42, 7),
+            run_fault_digest(kind, 42, 7),
+            "design kind {kind} diverged under an identical fault plan"
+        );
+    }
+}
+
+#[test]
+fn different_fault_seeds_differ() {
+    // The randomized tail of the plan (and the drop-roll RNG) must
+    // actually depend on the fault seed.
+    assert_ne!(run_fault_digest(1, 42, 7), run_fault_digest(1, 42, 8));
 }
 
 #[test]

@@ -42,13 +42,13 @@ fn with_designs(
 fn empty_index_supports_all_ops() {
     with_designs(vec![], 1000, |design, ep, sim| {
         sim.spawn(async move {
-            assert_eq!(design.lookup(&ep, 42).await, None);
-            assert!(design.range(&ep, 0, 999).await.is_empty());
-            assert!(!design.delete(&ep, 42).await);
+            assert_eq!(design.lookup(&ep, 42).await.unwrap(), None);
+            assert!(design.range(&ep, 0, 999).await.unwrap().is_empty());
+            assert!(!design.delete(&ep, 42).await.unwrap());
             // First insert into an empty index.
-            design.insert(&ep, 7, 70).await;
-            assert_eq!(design.lookup(&ep, 7).await, Some(70));
-            assert_eq!(design.range(&ep, 0, 999).await, vec![(7, 70)]);
+            design.insert(&ep, 7, 70).await.unwrap();
+            assert_eq!(design.lookup(&ep, 7).await.unwrap(), Some(70));
+            assert_eq!(design.range(&ep, 0, 999).await.unwrap(), vec![(7, 70)]);
         });
     });
 }
@@ -57,12 +57,12 @@ fn empty_index_supports_all_ops() {
 fn single_entry_index() {
     with_designs(vec![(500, 5)], 1000, |design, ep, sim| {
         sim.spawn(async move {
-            assert_eq!(design.lookup(&ep, 500).await, Some(5));
-            assert_eq!(design.lookup(&ep, 499).await, None);
-            assert_eq!(design.lookup(&ep, 501).await, None);
-            assert_eq!(design.range(&ep, 0, 1000).await.len(), 1);
-            assert!(design.delete(&ep, 500).await);
-            assert!(design.range(&ep, 0, 1000).await.is_empty());
+            assert_eq!(design.lookup(&ep, 500).await.unwrap(), Some(5));
+            assert_eq!(design.lookup(&ep, 499).await.unwrap(), None);
+            assert_eq!(design.lookup(&ep, 501).await.unwrap(), None);
+            assert_eq!(design.range(&ep, 0, 1000).await.unwrap().len(), 1);
+            assert!(design.delete(&ep, 500).await.unwrap());
+            assert!(design.range(&ep, 0, 1000).await.unwrap().is_empty());
         });
     });
 }
@@ -73,9 +73,9 @@ fn boundary_keys() {
     const BIG: u64 = u64::MAX - 2;
     with_designs(vec![(0, 100), (BIG, 200)], 1 << 20, |design, ep, sim| {
         sim.spawn(async move {
-            assert_eq!(design.lookup(&ep, 0).await, Some(100));
-            assert_eq!(design.lookup(&ep, BIG).await, Some(200));
-            let all = design.range(&ep, 0, u64::MAX - 1).await;
+            assert_eq!(design.lookup(&ep, 0).await.unwrap(), Some(100));
+            assert_eq!(design.lookup(&ep, BIG).await.unwrap(), Some(200));
+            let all = design.range(&ep, 0, u64::MAX - 1).await.unwrap();
             assert_eq!(all, vec![(0, 100), (BIG, 200)]);
         });
     });
@@ -93,15 +93,15 @@ fn duplicate_keys_within_leaf_capacity() {
     with_designs(items, 1000, |design, ep, sim| {
         sim.spawn(async move {
             // Point lookup returns the first live duplicate.
-            assert_eq!(design.lookup(&ep, 50).await, Some(1000));
+            assert_eq!(design.lookup(&ep, 50).await.unwrap(), Some(1000));
             // Range returns all of them, in order.
-            let dups = design.range(&ep, 50, 50).await;
+            let dups = design.range(&ep, 50, 50).await.unwrap();
             assert_eq!(dups.len(), 20);
             assert!(dups.iter().all(|&(k, _)| k == 50));
             // Deleting consumes one duplicate at a time.
-            assert!(design.delete(&ep, 50).await);
-            assert_eq!(design.lookup(&ep, 50).await, Some(1001));
-            assert_eq!(design.range(&ep, 50, 50).await.len(), 19);
+            assert!(design.delete(&ep, 50).await.unwrap());
+            assert_eq!(design.lookup(&ep, 50).await.unwrap(), Some(1001));
+            assert_eq!(design.range(&ep, 50, 50).await.unwrap().len(), 19);
         });
     });
 }
@@ -112,11 +112,11 @@ fn inverted_and_degenerate_ranges() {
     with_designs(items, 1000, |design, ep, sim| {
         sim.spawn(async move {
             // Point-sized range.
-            assert_eq!(design.range(&ep, 500, 500).await, vec![(500, 50)]);
+            assert_eq!(design.range(&ep, 500, 500).await.unwrap(), vec![(500, 50)]);
             // Range between keys.
-            assert!(design.range(&ep, 501, 509).await.is_empty());
+            assert!(design.range(&ep, 501, 509).await.unwrap().is_empty());
             // Range past the data.
-            assert!(design.range(&ep, 5000, 6000).await.is_empty());
+            assert!(design.range(&ep, 5000, 6000).await.unwrap().is_empty());
         });
     });
 }
@@ -152,9 +152,9 @@ fn single_memory_server_cluster() {
     ] {
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
-            assert_eq!(design.lookup(&ep, 2_468).await, Some(1_234));
-            design.insert(&ep, 2_469, 7).await;
-            assert_eq!(design.lookup(&ep, 2_469).await, Some(7));
+            assert_eq!(design.lookup(&ep, 2_468).await.unwrap(), Some(1_234));
+            design.insert(&ep, 2_469, 7).await.unwrap();
+            assert_eq!(design.lookup(&ep, 2_469).await.unwrap(), Some(7));
         });
         sim.run();
     }
@@ -167,16 +167,16 @@ fn growth_from_empty_to_multilevel() {
         let name = design.name();
         sim.spawn(async move {
             for i in 0..3_000u64 {
-                design.insert(&ep, i * 16 + 1, i).await;
+                design.insert(&ep, i * 16 + 1, i).await.unwrap();
             }
             for i in (0..3_000u64).step_by(111) {
                 assert_eq!(
-                    design.lookup(&ep, i * 16 + 1).await,
+                    design.lookup(&ep, i * 16 + 1).await.unwrap(),
                     Some(i),
                     "{name}: key {i} lost during growth"
                 );
             }
-            let rows = design.range(&ep, 0, u64::MAX - 1).await;
+            let rows = design.range(&ep, 0, u64::MAX - 1).await.unwrap();
             assert_eq!(rows.len(), 3_000, "{name}: full scan after growth");
         });
     });

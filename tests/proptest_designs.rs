@@ -74,23 +74,23 @@ fn run_script(design_kind: u8, page_size: usize, loaded: u64, script: Vec<Script
                     // of point lookups stay oracle-comparable.
                     if let std::collections::btree_map::Entry::Vacant(e) = oracle.entry(k) {
                         e.insert(v);
-                        design.insert(&ep, k, v).await;
+                        design.insert(&ep, k, v).await.unwrap();
                     }
                 }
                 ScriptOp::Delete(k) => {
                     let expected = oracle.remove(&k).is_some();
-                    let got = design.delete(&ep, k).await;
+                    let got = design.delete(&ep, k).await.unwrap();
                     assert_eq!(got, expected, "delete({k})");
                 }
                 ScriptOp::Lookup(k) => {
                     assert_eq!(
-                        design.lookup(&ep, k).await,
+                        design.lookup(&ep, k).await.unwrap(),
                         oracle.get(&k).copied(),
                         "lookup({k})"
                     );
                 }
                 ScriptOp::Range(lo, hi) => {
-                    let got = design.range(&ep, lo, hi).await;
+                    let got = design.range(&ep, lo, hi).await.unwrap();
                     let want: Vec<(u64, u64)> =
                         oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
                     assert_eq!(got, want, "range({lo}, {hi})");

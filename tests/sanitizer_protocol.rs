@@ -12,6 +12,7 @@
 use namdex::index::gc;
 use namdex::prelude::*;
 use namdex::sanitizer::{walk, Sanitizer, ViolationKind};
+use namdex::tree::layout::lock_word;
 use std::rc::Rc;
 
 fn cluster() -> (Sim, NamCluster) {
@@ -45,7 +46,8 @@ fn fg_torture_is_clean_under_sanitizer() {
         sim.spawn(async move {
             for i in 0..PER {
                 idx.insert(&ep, (i * WRITERS + w) * 16 + 1, w * 1_000 + i)
-                    .await;
+                    .await
+                    .unwrap();
             }
         });
     }
@@ -55,9 +57,9 @@ fn fg_torture_is_clean_under_sanitizer() {
         sim.spawn(async move {
             for i in 0..50u64 {
                 let key = ((i * 37 + r * 11) % 2_000) * 8;
-                assert_eq!(idx.lookup(&ep, key).await, Some(key / 8));
+                assert_eq!(idx.lookup(&ep, key).await.unwrap(), Some(key / 8));
                 if i % 10 == 0 {
-                    idx.range(&ep, key, key + 50 * 8).await;
+                    idx.range(&ep, key, key + 50 * 8).await.unwrap();
                 }
             }
         });
@@ -93,7 +95,8 @@ fn hybrid_torture_is_clean_under_sanitizer() {
         sim.spawn(async move {
             for i in 0..PER {
                 idx.insert(&ep, (i * WRITERS + w) * 16 + 3, w * 1_000 + i)
-                    .await;
+                    .await
+                    .unwrap();
             }
         });
     }
@@ -103,7 +106,7 @@ fn hybrid_torture_is_clean_under_sanitizer() {
         sim.spawn(async move {
             for i in 0..40u64 {
                 let key = ((i * 41 + r * 13) % 2_000) * 8;
-                assert_eq!(idx.lookup(&ep, key).await, Some(key / 8));
+                assert_eq!(idx.lookup(&ep, key).await.unwrap(), Some(key / 8));
             }
         });
     }
@@ -131,9 +134,9 @@ fn cg_workload_passes_structural_walk() {
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
             for i in 0..40u64 {
-                idx.insert(&ep, 4_001 + (i * 8 + c) * 2, c).await;
+                idx.insert(&ep, 4_001 + (i * 8 + c) * 2, c).await.unwrap();
                 assert_eq!(
-                    idx.lookup(&ep, ((i + c) % 1_000) * 8).await,
+                    idx.lookup(&ep, ((i + c) % 1_000) * 8).await.unwrap(),
                     Some((i + c) % 1_000)
                 );
             }
@@ -156,7 +159,7 @@ fn gc_with_readers_is_clean_under_sanitizer() {
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
             for i in (0..3_000u64).step_by(3) {
-                assert!(idx.delete(&ep, i * 8).await);
+                assert!(idx.delete(&ep, i * 8).await.unwrap());
             }
         });
     }
@@ -165,7 +168,7 @@ fn gc_with_readers_is_clean_under_sanitizer() {
         let idx = idx.clone();
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
-            gc::fg_gc_pass(&idx, &ep).await;
+            gc::fg_gc_pass(&idx, &ep).await.unwrap();
         });
     }
     for r in 0..4u64 {
@@ -174,7 +177,7 @@ fn gc_with_readers_is_clean_under_sanitizer() {
         sim.spawn(async move {
             for i in 0..60u64 {
                 let k = ((i * 29 + r * 7) % 3_000) * 8;
-                idx.lookup(&ep, k).await;
+                idx.lookup(&ep, k).await.unwrap();
             }
         });
     }
@@ -205,7 +208,7 @@ fn detects_unlocked_write() {
     sim.spawn(async move {
         // Stomp the root page's payload without taking its lock.
         let target = RemotePtr::new(root.server(), root.offset() + 40);
-        ep.write(target, &[0xAB; 16]).await;
+        ep.write(target, &[0xAB; 16]).await.unwrap();
     });
     sim.run();
 
@@ -234,9 +237,9 @@ fn detects_version_rollback() {
         // Jump the version forward outside the protocol, then roll it
         // back — both CAS transitions are illegal, the second is a
         // version rollback.
-        let fwd = ep.cas(root, word, word + 4).await;
+        let fwd = ep.cas(root, word, word + 4).await.unwrap();
         assert_eq!(fwd, word, "injection CAS must succeed");
-        let back = ep.cas(root, word + 4, word + 2).await;
+        let back = ep.cas(root, word + 4, word + 2).await.unwrap();
         assert_eq!(back, word + 4, "injection CAS must succeed");
     });
     sim.run();
@@ -267,7 +270,7 @@ fn detects_unlock_without_lock() {
     let ep = Endpoint::new(&nam.rdma);
     sim.spawn(async move {
         // The unlock FAA with no preceding lock CAS.
-        ep.fetch_add(root, 1).await;
+        ep.fetch_add(root, 1).await.unwrap();
     });
     sim.run();
 
@@ -294,7 +297,7 @@ fn detects_read_of_gc_freed_region() {
     let client = ep.client_id();
     sim.spawn(async move {
         // A straggler still holding the stale head pointer.
-        ep.read(old_head, 256).await;
+        ep.read(old_head, 256).await.unwrap();
     });
     sim.run();
 
@@ -318,7 +321,8 @@ fn assert_clean_panics_with_context() {
     let ep = Endpoint::new(&nam.rdma);
     sim.spawn(async move {
         ep.write(RemotePtr::new(root.server(), root.offset() + 48), &[1])
-            .await;
+            .await
+            .unwrap();
     });
     sim.run();
     let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| san.assert_clean()))
@@ -327,5 +331,132 @@ fn assert_clean_panics_with_context() {
     assert!(
         msg.contains("unlocked-write") && msg.contains("server"),
         "{msg}"
+    );
+}
+
+// ---- lease-break legality ---------------------------------------------
+
+#[test]
+fn lease_break_after_expiry_is_clean() {
+    let (sim, nam) = cluster();
+    let (idx, san) = armed_fg(&sim, &nam);
+    let root = idx.root();
+    let lease = nam.rdma.spec().lease_duration;
+    let nam2 = nam.rdma.clone();
+    let victim = Endpoint::new(&nam.rdma);
+    let contender = Endpoint::new(&nam.rdma);
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        // The victim takes the lock and goes silent (killed elsewhere).
+        let w = u64::from_le_bytes(nam2.setup_read(root, 8).try_into().unwrap());
+        let locked = lock_word::locked_by(w, victim.client_id());
+        assert_eq!(victim.cas(root, w, locked).await.unwrap(), w);
+        // The contender waits out the full lease before breaking.
+        sim2.sleep(lease).await;
+        let broken = lock_word::break_lease(locked);
+        assert_eq!(contender.cas(root, locked, broken).await.unwrap(), locked);
+        assert!(!lock_word::is_locked(broken));
+    });
+    sim.run();
+    assert!(
+        !san.violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::LeaseBreak),
+        "a break after lease expiry is the legal recovery transition: {:?}",
+        san.violations()
+    );
+}
+
+#[test]
+fn detects_early_lease_break() {
+    let (sim, nam) = cluster();
+    let (idx, san) = armed_fg(&sim, &nam);
+    let root = idx.root();
+    let nam2 = nam.rdma.clone();
+    let victim = Endpoint::new(&nam.rdma);
+    let contender = Endpoint::new(&nam.rdma);
+    sim.spawn(async move {
+        let w = u64::from_le_bytes(nam2.setup_read(root, 8).try_into().unwrap());
+        let locked = lock_word::locked_by(w, victim.client_id());
+        assert_eq!(victim.cas(root, w, locked).await.unwrap(), w);
+        // Impatient contender: breaks immediately, long before expiry —
+        // the holder may be alive and mid-write.
+        let broken = lock_word::break_lease(locked);
+        assert_eq!(contender.cas(root, locked, broken).await.unwrap(), locked);
+    });
+    sim.run();
+
+    let vs = san.violations();
+    let hit = vs
+        .iter()
+        .find(|v| v.kind == ViolationKind::LeaseBreak)
+        .expect("premature lease break must be flagged");
+    assert_eq!(hit.server, root.server());
+    assert_eq!(hit.offset, root.offset());
+    assert!(hit.detail.contains("lease"), "{}", hit.detail);
+}
+
+// ---- writes after ServerUnreachable -----------------------------------
+
+#[test]
+fn detects_write_after_unreachable_without_revalidation() {
+    let (sim, nam) = cluster();
+    let (idx, san) = armed_fg(&sim, &nam);
+    let root = idx.root();
+    let cluster = nam.rdma.clone();
+    let ep = Endpoint::new(&nam.rdma);
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        cluster.fail_server(root.server());
+        // The client observes the outage...
+        assert!(ep.write(root, &[0u8; 8]).await.is_err());
+        cluster.restart_server(root.server());
+        sim2.sleep(SimDur::from_micros(5)).await;
+        // ...then mutates the same server with no re-validating READ:
+        // it may be acting on pre-crash cached state.
+        ep.write(RemotePtr::new(root.server(), root.offset() + 40), &[9u8; 8])
+            .await
+            .unwrap();
+    });
+    sim.run();
+
+    let vs = san.violations();
+    let hit = vs
+        .iter()
+        .find(|v| v.kind == ViolationKind::UnreachableWrite)
+        .expect("blind write after an unreachable episode must be flagged");
+    assert_eq!(hit.server, root.server());
+    assert!(hit.detail.contains("unreachable"), "{}", hit.detail);
+}
+
+#[test]
+fn read_revalidation_clears_the_unreachable_flag() {
+    let (sim, nam) = cluster();
+    let (idx, san) = armed_fg(&sim, &nam);
+    let root = idx.root();
+    let cluster = nam.rdma.clone();
+    let nam2 = nam.rdma.clone();
+    let ep = Endpoint::new(&nam.rdma);
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        cluster.fail_server(root.server());
+        assert!(ep.read(root, 8).await.is_err());
+        cluster.restart_server(root.server());
+        sim2.sleep(SimDur::from_micros(5)).await;
+        // Proper recovery: re-read first, then mutate (a legal lock
+        // acquisition on the freshly observed word).
+        assert_eq!(ep.read(root, 8).await.unwrap().len(), 8);
+        let w = u64::from_le_bytes(nam2.setup_read(root, 8).try_into().unwrap());
+        let locked = lock_word::locked_by(w, ep.client_id());
+        assert_eq!(ep.cas(root, w, locked).await.unwrap(), w);
+        assert_eq!(ep.fetch_add(root, 1).await.unwrap(), locked);
+    });
+    sim.run();
+    assert!(
+        !san.violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::UnreachableWrite),
+        "a re-validating READ legalises later writes: {:?}",
+        san.violations()
     );
 }
