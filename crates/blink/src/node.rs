@@ -300,6 +300,24 @@ impl<'a> LeafNodeRef<'a> {
         None
     }
 
+    /// Whether a live (non-deleted) entry `(key, value)` exists. Used by
+    /// the retry layer to recognise its own committed install from a
+    /// previous attempt (exactly-once insert under retries).
+    pub fn contains(&self, key: Key, value: Value) -> bool {
+        let mut i = self.lower_bound(key);
+        while i < self.count() {
+            let (k, v, deleted) = self.entry(i);
+            if k != key {
+                return false;
+            }
+            if !deleted && v == value {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+
     /// Append live entries with keys in `[lo, hi]` to `out`. Returns the
     /// number of entries examined (for CPU-cost accounting).
     pub fn collect_range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) -> usize {

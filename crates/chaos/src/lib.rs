@@ -462,6 +462,9 @@ mod tests {
         let sim = Sim::new();
         let cluster = Cluster::new(&sim, ClusterSpec::default());
         let ptr = cluster.setup_alloc(0, 64);
+        // Bare cluster (no index build ran): inject a minimal acquire
+        // shape — unlocked word -> locked word — before the plan arms.
+        cluster.set_lock_acquire_shape(|expected, new| expected & 1 == 0 && new & 1 == 1);
         let plan = FaultPlan::new().kill_on_lock_acquire(SimTime::from_nanos(0), 0);
         ChaosController::install(&sim, &cluster, plan);
         let ep = Endpoint::new(&cluster);

@@ -48,6 +48,12 @@ impl CoarseGrained {
             n,
             "partition map does not match the cluster"
         );
+        // CG takes no one-sided locks itself, but fault plans are shared
+        // across designs: install the acquire shape so a
+        // KillOnNextLockAcquire event arms cleanly here too (it simply
+        // never fires — CG issues no lock CAS).
+        nam.rdma
+            .set_lock_acquire_shape(blink::layout::lock_word::is_acquire);
         // Partition, preserving key order within each server.
         let mut per_server: Vec<Vec<(Key, Value)>> = vec![Vec::new(); n];
         for (k, v) in items {

@@ -27,7 +27,7 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use blink::layout::KEY_MAX;
+use blink::layout::{lock_word, KEY_MAX};
 use blink::node::{
     kind_of, HeadNodeMut, HeadNodeRef, InnerNodeMut, InnerNodeRef, LeafNodeMut, LeafNodeRef,
     NodeKind,
@@ -35,7 +35,7 @@ use blink::node::{
 use blink::{Key, PageLayout, Ptr, Value};
 use rdma_sim::{Cluster, Endpoint, RemotePtr, VerbError};
 
-use crate::onesided::{lock_node, read_unlocked, unlock_only, write_unlock};
+use crate::onesided::{lock_node, read_unlocked, release_on_error, unlock_only, write_unlock};
 
 /// Construction parameters for the fine-grained (and hybrid leaf-level)
 /// structure.
@@ -243,6 +243,9 @@ impl FineGrained {
         cfg: FgConfig,
         items: impl Iterator<Item = (Key, Value)>,
     ) -> Rc<Self> {
+        // The index layer owns the lock-word encoding; teach the
+        // transport's fault injector what an acquire CAS looks like.
+        cluster.set_lock_acquire_shape(lock_word::is_acquire);
         let rr = Cell::new(0);
         let leaf_level = build_leaf_level(cluster, &cfg, items, &rr);
         let root = build_inner_levels(cluster, &cfg, &rr, leaf_level.leaves);
@@ -359,6 +362,27 @@ impl FineGrained {
     /// and FAA-unlock; splits allocate a remote page and propagate
     /// upward.
     pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), VerbError> {
+        self.insert_attempt(ep, key, value, false).await
+    }
+
+    /// One attempt of [`FineGrained::insert`], for use under a retry
+    /// layer. The attempt commits at the leaf's unlock FAA, so a later
+    /// failure (split propagation, a refused unlock) leaves the install
+    /// in place; pass `retrying = true` on re-attempts and the covering
+    /// leaf is first checked for a live `(key, value)` pair — if the
+    /// previous attempt already committed, the retry is absorbed instead
+    /// of installing a duplicate. (Non-unique-index caveat: a pair some
+    /// concurrent operation installed independently is indistinguishable
+    /// from our own committed install and is absorbed too.) Any lock the
+    /// attempt holds when it fails is best-effort released so the retry
+    /// does not stall on it until the lease break.
+    pub async fn insert_attempt(
+        &self,
+        ep: &Endpoint,
+        key: Key,
+        value: Value,
+        retrying: bool,
+    ) -> Result<(), VerbError> {
         let (mut cur, mut page, path) = self.descend_with_path(ep, key).await?;
         // Lock the leaf, re-validating coverage after each acquisition.
         loop {
@@ -374,15 +398,24 @@ impl FineGrained {
             page = p;
         }
 
+        if retrying && LeafNodeRef::new(&page).contains(key, value) {
+            // The previous attempt committed before its post-commit verb
+            // failed. (If it had also split, the new leaf stays reachable
+            // via the B-link sibling chain even when its parent entry is
+            // missing; a later split re-propagates.)
+            return unlock_only(ep, cur).await;
+        }
+
         let full = LeafNodeMut::new(&mut page).insert(key, value).is_err();
         if !full {
-            write_unlock(ep, cur, &page, None).await?;
-            return Ok(());
+            let res = write_unlock(ep, cur, &page, None).await;
+            return release_on_error(ep, cur, res).await;
         }
 
         // Split: allocate remotely, split the local copy, write both
         // halves (right first, Listing 4), unlock, propagate.
-        let right_ptr = self.alloc_timed(ep).await?;
+        let res = self.alloc_timed(ep).await;
+        let right_ptr = release_on_error(ep, cur, res).await?;
         let mut right_page = self.layout.alloc_page();
         let sep = LeafNodeMut::new(&mut page).split_into(
             &mut right_page,
@@ -399,7 +432,8 @@ impl FineGrained {
                 .insert(key, value)
                 .expect("half-full after split");
         }
-        write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await?;
+        let res = write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
+        release_on_error(ep, cur, res).await?;
         self.propagate_split(ep, path, sep, cur, right_ptr, 1).await
     }
 
@@ -420,7 +454,8 @@ impl FineGrained {
         }
         let deleted = LeafNodeMut::new(&mut page).mark_deleted(key);
         if deleted {
-            write_unlock(ep, cur, &page, None).await?;
+            let res = write_unlock(ep, cur, &page, None).await;
+            release_on_error(ep, cur, res).await?;
         } else {
             unlock_only(ep, cur).await?;
         }
@@ -525,13 +560,15 @@ impl FineGrained {
                 .install_split(sep, right.as_page_ptr())
                 .is_err();
             if !full {
-                write_unlock(ep, cur, &page, None).await?;
+                let res = write_unlock(ep, cur, &page, None).await;
+                release_on_error(ep, cur, res).await?;
                 return Ok(());
             }
 
             // Parent full: split it (holding its lock), install into the
             // covering half, and carry the parent split upward.
-            let parent_right = self.alloc_timed(ep).await?;
+            let res = self.alloc_timed(ep).await;
+            let parent_right = release_on_error(ep, cur, res).await?;
             let mut pright_page = self.layout.alloc_page();
             let psep = InnerNodeMut::new(&mut page).split_into(
                 &mut pright_page,
@@ -548,7 +585,8 @@ impl FineGrained {
                     .install_split(sep, right.as_page_ptr())
                     .expect("half-full after split");
             }
-            write_unlock(ep, cur, &page, Some((parent_right, &pright_page))).await?;
+            let res = write_unlock(ep, cur, &page, Some((parent_right, &pright_page))).await;
+            release_on_error(ep, cur, res).await?;
             sep = psep;
             left = cur;
             right = parent_right;
@@ -801,6 +839,28 @@ mod tests {
             *results.borrow(),
             vec![Some(0), Some(1), Some(2499), Some(4999), None]
         );
+    }
+
+    #[test]
+    fn retried_insert_is_absorbed_not_duplicated() {
+        let sim = Sim::new();
+        let (cluster, idx) = build(&sim, 100, small_cfg());
+        let ep = Endpoint::new(&cluster);
+        sim.spawn(async move {
+            // First attempt commits at the leaf unlock...
+            idx.insert(&ep, 41, 999).await.unwrap();
+            // ...then a post-commit verb "fails"; the retry layer re-runs
+            // with `retrying = true`, which must absorb the install.
+            idx.insert_attempt(&ep, 41, 999, true).await.unwrap();
+            assert_eq!(idx.range(&ep, 41, 41).await.unwrap(), vec![(41, 999)]);
+            // A genuinely fresh duplicate still installs (non-unique
+            // index), and retrying with a different value installs too.
+            idx.insert(&ep, 41, 999).await.unwrap();
+            idx.insert_attempt(&ep, 41, 777, true).await.unwrap();
+            let rows = idx.range(&ep, 41, 41).await.unwrap();
+            assert_eq!(rows.len(), 3, "absorption is exact-pair only: {rows:?}");
+        });
+        sim.run();
     }
 
     #[test]

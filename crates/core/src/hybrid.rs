@@ -26,7 +26,7 @@ use rdma_sim::{Cluster, Endpoint, RemotePtr, RpcReply, VerbError};
 use simnet::Sim;
 
 use crate::fg::{build_leaf_level, scan_chain, FgConfig};
-use crate::onesided::{lock_node, read_unlocked, unlock_only, write_unlock};
+use crate::onesided::{lock_node, read_unlocked, release_on_error, unlock_only, write_unlock};
 
 /// The hybrid index.
 pub struct Hybrid {
@@ -62,6 +62,10 @@ impl Hybrid {
             "hybrid upper levels require range partitioning (high keys \
              must be routable)"
         );
+        // The leaf level uses blink's one-sided lock protocol; teach the
+        // transport's fault injector what an acquire CAS looks like.
+        nam.rdma
+            .set_lock_acquire_shape(blink::layout::lock_word::is_acquire);
         let rr = Cell::new(0);
         let leaf_level = build_leaf_level(&nam.rdma, &cfg, items, &rr);
 
@@ -199,6 +203,24 @@ impl Hybrid {
     /// protocol); on a split, report the new leaf back over RPC so the
     /// memory server installs it into the upper levels (§5.2).
     pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), VerbError> {
+        self.insert_attempt(ep, key, value, false).await
+    }
+
+    /// One attempt of [`Hybrid::insert`], for use under a retry layer.
+    /// Same contract as [`crate::FineGrained::insert_attempt`]: the
+    /// attempt commits at the leaf's unlock FAA, `retrying = true` makes
+    /// a re-attempt absorb a previously committed install instead of
+    /// duplicating it, and a lock held at the point of failure is
+    /// best-effort released. (A committed split whose upper-level
+    /// registration RPC then failed stays reachable: routing lands on a
+    /// leaf to its left and B-link sibling chases correct it.)
+    pub async fn insert_attempt(
+        &self,
+        ep: &Endpoint,
+        key: Key,
+        value: Value,
+        retrying: bool,
+    ) -> Result<(), VerbError> {
         let mut cur = self.leaf_ptr_for(ep, key, msg::insert_req()).await?;
         let mut page;
         // Find and lock the covering leaf.
@@ -218,17 +240,24 @@ impl Hybrid {
             cur = next;
         }
 
+        if retrying && LeafNodeRef::new(&page).contains(key, value) {
+            // The previous attempt committed before its post-commit verb
+            // failed; absorb the retry.
+            return unlock_only(ep, cur).await;
+        }
+
         let full = LeafNodeMut::new(&mut page).insert(key, value).is_err();
         if !full {
-            write_unlock(ep, cur, &page, None).await?;
-            return Ok(());
+            let res = write_unlock(ep, cur, &page, None).await;
+            return release_on_error(ep, cur, res).await;
         }
 
         // Split the leaf (one-sided), then register the new separator
         // with the upper levels.
         let s = self.alloc_rr.get();
         self.alloc_rr.set((s + 1) % self.cluster.num_servers());
-        let right_ptr = ep.alloc(s, self.ps() as u64).await?;
+        let res = ep.alloc(s, self.ps() as u64).await;
+        let right_ptr = release_on_error(ep, cur, res).await?;
         let mut right_page = self.layout.alloc_page();
         let sep = LeafNodeMut::new(&mut page).split_into(
             &mut right_page,
@@ -246,7 +275,8 @@ impl Hybrid {
                 .insert(key, value)
                 .expect("half-full after split");
         }
-        write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await?;
+        let res = write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
+        release_on_error(ep, cur, res).await?;
 
         // Upper-level registration. Order matters: first map sep -> left
         // (new entry), then repoint old_high -> right; in the interim,
@@ -334,7 +364,8 @@ impl Hybrid {
         }
         let deleted = LeafNodeMut::new(&mut page).mark_deleted(key);
         if deleted {
-            write_unlock(ep, cur, &page, None).await?;
+            let res = write_unlock(ep, cur, &page, None).await;
+            release_on_error(ep, cur, res).await?;
         } else {
             unlock_only(ep, cur).await?;
         }

@@ -107,11 +107,23 @@ async fn backoff_before_retry(ep: &Endpoint, attempt: u32) {
 /// the whole operation restarts from the root) until it succeeds, the
 /// client dies, a fatal error occurs, or `retry_limit` retries of
 /// transient faults are spent.
+///
+/// The three-argument form additionally binds `$retrying` (a `bool`,
+/// false on the first attempt) in scope of `$op`, so a non-idempotent
+/// operation can tell a fresh run from a re-run whose previous attempt
+/// may already have committed (see [`FineGrained::insert_attempt`]).
 macro_rules! with_retry {
     ($ep:expr, $op:expr) => {{
+        #[allow(unused_variables)]
+        {
+            with_retry!($ep, retrying, $op)
+        }
+    }};
+    ($ep:expr, $retrying:ident, $op:expr) => {{
         let limit = $ep.cluster().spec().retry_limit;
         let mut attempt: u32 = 0;
         loop {
+            let $retrying = attempt > 0;
             match $op.await {
                 Ok(v) => break Ok(v),
                 Err(VerbError::Cancelled) => break Err(OpError::Cancelled),
@@ -174,11 +186,24 @@ impl Design {
     }
 
     /// Insert `(key, value)`; duplicates are allowed (non-unique index).
+    ///
+    /// Exactly-once under retries for the one-sided designs: an attempt
+    /// commits at the leaf's unlock, so a *re*-attempt first checks the
+    /// covering leaf for a live `(key, value)` pair and absorbs the
+    /// retry if its predecessor already committed (the one ambiguity:
+    /// a retried insert of a pair that some concurrent operation
+    /// installed independently is also absorbed — indistinguishable
+    /// cases in a non-unique index). The CG design keeps its documented
+    /// at-least-once RPC semantics.
     pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), OpError> {
         match self {
             Design::Cg(d) => with_retry!(ep, d.insert(ep, key, value)),
-            Design::Fg(d) => with_retry!(ep, d.insert(ep, key, value)),
-            Design::Hybrid(d) => with_retry!(ep, d.insert(ep, key, value)),
+            Design::Fg(d) => {
+                with_retry!(ep, retrying, d.insert_attempt(ep, key, value, retrying))
+            }
+            Design::Hybrid(d) => {
+                with_retry!(ep, retrying, d.insert_attempt(ep, key, value, retrying))
+            }
         }
     }
 

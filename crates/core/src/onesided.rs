@@ -24,7 +24,12 @@
 //! version (so optimistic readers restart) and the lease epoch. Because
 //! every legitimate unlock changes the word, a live holder can never be
 //! broken: observing an unchanged locked word for a full lease is proof
-//! the unlock FAA never arrived.
+//! the unlock FAA never arrived. This argument needs the lease to
+//! outlast every effect a live holder may still have in flight — at most
+//! [`rdma_sim::MAX_LOCK_HOLD_VERBS`] verbs, each of which applies or is
+//! refused by `issue + verb_timeout` — which `ClusterSpec::validate`
+//! (run by `Cluster::new`) enforces as
+//! `lease_duration > MAX_LOCK_HOLD_VERBS * verb_timeout`.
 
 use blink::layout::lock_word;
 use blink::node::version_lock_of;
@@ -136,6 +141,34 @@ pub(crate) async fn lock_node(
 pub(crate) async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
     ep.fetch_add(ptr, 1).await?;
     Ok(())
+}
+
+/// Pass through `res`, but on failure best-effort FAA-release the lock at
+/// `ptr`, which the caller *knows is still held*: every verb inside the
+/// critical section either applied its effect (then there is no error) or
+/// was refused with no effect (then the unlock FAA never landed), so an
+/// error from the section leaves the lock bit set. Releasing here keeps a
+/// retrying client from stalling a full lease on its own abandoned lock
+/// (and keeps the node available to everyone else).
+///
+/// Only sound *inside* the critical section — after a successful unlock,
+/// a stray FAA(+1) would set the lock bit on the unlocked word and create
+/// an ownerless ghost lock.
+///
+/// A `Cancelled` client skips the attempt (its verbs are refused anyway;
+/// lease-based recovery is what cleans up after the dead): the release
+/// failing is always tolerable, since lease expiry remains the backstop.
+pub(crate) async fn release_on_error<T>(
+    ep: &Endpoint,
+    ptr: RemotePtr,
+    res: Result<T, VerbError>,
+) -> Result<T, VerbError> {
+    if let Err(e) = &res {
+        if *e != VerbError::Cancelled {
+            let _ = unlock_only(ep, ptr).await;
+        }
+    }
+    res
 }
 
 /// `remote_writeUnlock` (Listing 4): if the node was split, WRITE the new
@@ -313,6 +346,9 @@ mod tests {
         let ptr = setup_leaf(&cluster);
         let victim = Endpoint::new(&cluster);
         let contender = Endpoint::new(&cluster);
+        // Bare cluster (no index build ran): install the acquire shape
+        // the builds would normally inject before arming the trigger.
+        cluster.set_lock_acquire_shape(lock_word::is_acquire);
         cluster.arm_kill_on_lock_acquire(victim.client_id());
         let done = Rc::new(Cell::new(0u64));
         {

@@ -64,6 +64,11 @@ struct FaultState {
     /// lock-acquire CAS (realises "die between lock CAS and unlock FAA"
     /// deterministically).
     kill_on_lock_acquire: BTreeSet<u64>,
+    /// Predicate deciding whether a CAS `(expected, new)` has the shape
+    /// of a lock acquire. Injected by the index layer that owns the
+    /// lock-word encoding (the transport knows nothing about it); the
+    /// kill-on-lock-acquire trigger cannot fire until one is installed.
+    acquire_shape: Option<fn(u64, u64) -> bool>,
     /// Per-server link degradation, if any.
     degrade: Vec<Option<LinkDegrade>>,
     /// Drop-roll RNG; only consulted when a degraded link has a nonzero
@@ -79,6 +84,7 @@ impl FaultState {
             server_restarts: vec![0; n],
             dead_clients: BTreeSet::new(),
             kill_on_lock_acquire: BTreeSet::new(),
+            acquire_shape: None,
             degrade: vec![None; n],
             rng: DetRng::seed_from_u64(0),
             stats: FaultStats::default(),
@@ -118,6 +124,7 @@ impl Cluster {
             spec.num_servers() <= RemotePtr::MAX_SERVERS,
             "remote pointers address at most 128 servers"
         );
+        spec.validate();
         let spec_servers = spec.num_servers();
         let servers = (0..spec_servers)
             .map(|_| MemServer {
@@ -240,28 +247,50 @@ impl Cluster {
         self.inner.faults.borrow().dead_clients.contains(&client)
     }
 
+    /// Install the predicate that recognises a lock-acquire CAS shape
+    /// `(expected, new)`. The transport is agnostic to any index's
+    /// lock-word encoding; the layer that owns the encoding (e.g.
+    /// `namdex-core`, which installs `blink::layout::lock_word::is_acquire`
+    /// when building an index) injects it here so the
+    /// kill-on-lock-acquire trigger can recognise acquisitions.
+    /// Replaces any previously installed shape.
+    pub fn set_lock_acquire_shape(&self, shape: fn(u64, u64) -> bool) {
+        self.inner.faults.borrow_mut().acquire_shape = Some(shape);
+    }
+
     /// Arm a one-shot trigger: the next time `client` wins a
     /// lock-acquire CAS, kill it immediately after the CAS's remote
     /// effect applies — deterministically realising "client dies between
-    /// its lock CAS and its unlock FAA".
+    /// its lock CAS and its unlock FAA". Requires a lock-acquire shape
+    /// ([`Cluster::set_lock_acquire_shape`]) so the trigger cannot
+    /// silently never fire.
     pub fn arm_kill_on_lock_acquire(&self, client: u64) {
-        self.inner
-            .faults
-            .borrow_mut()
-            .kill_on_lock_acquire
-            .insert(client);
+        let mut f = self.inner.faults.borrow_mut();
+        assert!(
+            f.acquire_shape.is_some(),
+            "arm_kill_on_lock_acquire needs a lock-acquire shape; install \
+             one with Cluster::set_lock_acquire_shape (index builds in \
+             namdex-core do this automatically)"
+        );
+        f.kill_on_lock_acquire.insert(client);
     }
 
-    /// Fire the armed lock-kill trigger for `client`, if armed.
-    /// Returns whether the client was just killed.
-    pub(crate) fn fire_lock_kill(&self, client: u64) -> bool {
+    /// Fire the lock-kill trigger for `client` if it is armed and the
+    /// successful CAS `expected -> new` matches the installed
+    /// acquire shape. Returns whether the client was just killed.
+    pub(crate) fn maybe_fire_lock_kill(&self, client: u64, expected: u64, new: u64) -> bool {
         let mut f = self.inner.faults.borrow_mut();
-        if f.kill_on_lock_acquire.remove(&client) {
-            f.dead_clients.insert(client);
-            f.stats.lock_kills_fired += 1;
-            true
-        } else {
-            false
+        if !f.kill_on_lock_acquire.contains(&client) {
+            return false;
+        }
+        match f.acquire_shape {
+            Some(shape) if shape(expected, new) => {
+                f.kill_on_lock_acquire.remove(&client);
+                f.dead_clients.insert(client);
+                f.stats.lock_kills_fired += 1;
+                true
+            }
+            _ => false,
         }
     }
 

@@ -247,21 +247,40 @@ impl Endpoint {
             }
         }
         let deadline = self.deadline();
-        let mut latest = sim.now();
-        let mut any_remote = false;
+        // Roll every drop die up front, before any wire time is reserved:
+        // one dropped message stalls the whole selectively-signalled batch
+        // (the final completion never arrives), and a refused batch must
+        // not occupy the wire — FIFO reservations cannot be rolled back.
         let mut dropped = None;
+        for &s in &servers {
+            if !self.is_local(s) && self.cluster.roll_drop(s) {
+                dropped = Some(s);
+            }
+        }
+        if let Some(s) = dropped {
+            for &t in &servers {
+                self.cluster.server(t).onesided_ops.inc();
+            }
+            return Err(self.fail_timeout(s, deadline).await);
+        }
+        // Project every completion against the FIFO NIC model without
+        // reserving, so a batch that would miss its deadline never touches
+        // the wire either. `projected` tracks per-server queue depth as
+        // this batch's own requests stack up behind one another.
+        let mut projected: Vec<(usize, SimTime)> = Vec::new();
+        let mut wires: Vec<Option<SimDur>> = Vec::with_capacity(reqs.len());
+        let mut latest = sim.now();
+        let mut slowest = servers[0];
+        let mut any_remote = false;
         for (&(_, len), &s) in reqs.iter().zip(&servers) {
             let server = self.cluster.server(s);
             server.onesided_ops.inc();
+            let done;
             if self.is_local(s) {
-                server.local_bytes.add(len as u64);
-                latest = latest.max(sim.now() + self.cluster.spec().local_time(len));
+                done = sim.now() + self.cluster.spec().local_time(len);
+                wires.push(None);
             } else {
                 any_remote = true;
-                if self.cluster.roll_drop(s) {
-                    dropped = Some(s);
-                    continue;
-                }
                 let spec = self.cluster.spec();
                 let mut bw = spec.effective_bandwidth(s);
                 let mut extra = SimDur::ZERO;
@@ -270,14 +289,21 @@ impl Endpoint {
                     extra = d.extra_delay;
                 }
                 let wire = spec.batched_wire_overhead + SimDur::from_secs_f64(len as f64 / bw);
-                server.bytes_out.add(len as u64);
-                latest = latest.max(server.nic.reserve(sim.now(), wire) + extra);
+                let i = match projected.iter().position(|&(ps, _)| ps == s) {
+                    Some(i) => i,
+                    None => {
+                        projected.push((s, server.nic.busy_until().max(sim.now())));
+                        projected.len() - 1
+                    }
+                };
+                projected[i].1 = projected[i].1 + wire;
+                done = projected[i].1 + extra;
+                wires.push(Some(wire));
             }
-        }
-        // One dropped message stalls the whole selectively-signalled
-        // batch: the final completion never arrives.
-        if let Some(s) = dropped {
-            return Err(self.fail_timeout(s, deadline).await);
+            if done > latest {
+                latest = done;
+                slowest = s;
+            }
         }
         let completion = if any_remote {
             latest + self.cluster.spec().rt_latency
@@ -285,7 +311,21 @@ impl Endpoint {
             latest
         };
         if completion > deadline {
-            return Err(self.fail_timeout(servers[0], deadline).await);
+            // Attribute the timeout to the server whose projected
+            // completion pushed the batch past its deadline.
+            return Err(self.fail_timeout(slowest, deadline).await);
+        }
+        // The batch is admitted: commit reservations and byte counters.
+        // No await separates projection from reservation, so the
+        // reserved times equal the projected ones exactly.
+        for (&(_, len), (&s, wire)) in reqs.iter().zip(servers.iter().zip(&wires)) {
+            let server = self.cluster.server(s);
+            if let Some(wire) = wire {
+                server.bytes_out.add(len as u64);
+                server.nic.reserve(sim.now(), *wire);
+            } else {
+                server.local_bytes.add(len as u64);
+            }
         }
         sim.sleep_until(latest).await;
         if any_remote {
@@ -403,8 +443,11 @@ impl Endpoint {
         // Fault-injection hook: a client armed with kill-on-lock-acquire
         // dies the instant its acquire CAS lands — after the remote
         // effect, before any later verb — orphaning the lock it just won.
-        if prev == expected && blink::layout::lock_word::is_acquire(expected, new) {
-            self.cluster.fire_lock_kill(self.client);
+        // What counts as an acquire is a predicate injected by the index
+        // layer (`Cluster::set_lock_acquire_shape`); the transport knows
+        // nothing about any particular lock-word encoding.
+        if prev == expected {
+            self.cluster.maybe_fire_lock_kill(self.client, expected, new);
         }
         Ok(prev)
     }
@@ -436,7 +479,10 @@ impl Endpoint {
     }
 
     /// `RDMA_ALLOC` (Listing 4): reserve `size` bytes on server `s`.
-    /// Costs one round trip.
+    /// Costs one round trip (a tiny control message on the wire), and
+    /// fails like every other verb: drop and deadline refusals, link
+    /// degradation, and a crash that lands mid-flight all void the
+    /// reservation — the allocation effect applies only at completion.
     pub async fn alloc(&self, s: usize, size: u64) -> Result<RemotePtr, VerbError> {
         let sim = self.sim();
         #[cfg(feature = "sanitizer")]
@@ -445,12 +491,19 @@ impl Endpoint {
         if !self.cluster.server_up(s) {
             return Err(self.fail_unreachable(s, AttemptKind::Alloc).await);
         }
-        let ptr = self.cluster.setup_alloc(s, size);
+        let deadline = self.deadline();
         if self.is_local(s) {
             sim.sleep(self.cluster.spec().local_latency).await;
         } else {
-            sim.sleep(self.cluster.spec().rt_latency).await;
+            self.charge_remote(s, self.cluster.spec().op_wire_overhead, 0, deadline)
+                .await?;
         }
+        if !self.cluster.server_up(s) {
+            return Err(self.fail_unreachable(s, AttemptKind::Alloc).await);
+        }
+        // Effect at completion: the bump reservation happens only once
+        // the request has survived the wire and the server is still up.
+        let ptr = self.cluster.setup_alloc(s, size);
         #[cfg(feature = "sanitizer")]
         self.emit(s, ptr.offset(), size as usize, VerbKind::Alloc, issued);
         Ok(ptr)
@@ -942,6 +995,9 @@ mod tests {
         let (sim, cluster) = harness();
         let ptr = cluster.setup_alloc(0, 8);
         let ep = Endpoint::new(&cluster);
+        // The transport is encoding-agnostic: the index layer injects
+        // what an acquire CAS looks like before arming the trigger.
+        cluster.set_lock_acquire_shape(blink::layout::lock_word::is_acquire);
         cluster.arm_kill_on_lock_acquire(ep.client_id());
         let c = cluster.clone();
         sim.spawn(async move {
@@ -959,6 +1015,82 @@ mod tests {
         let word = u64::from_le_bytes(cluster.setup_read(ptr, 8).try_into().unwrap());
         assert!(blink::layout::lock_word::is_locked(word));
         assert_eq!(cluster.fault_stats().lock_kills_fired, 1);
+    }
+
+    #[test]
+    fn crash_mid_flight_voids_an_alloc() {
+        let (sim, cluster) = harness();
+        let before = cluster.server(0).pool.borrow().allocated();
+        let ep = Endpoint::new(&cluster);
+        {
+            let cluster = cluster.clone();
+            let sim_c = sim.clone();
+            sim.spawn(async move {
+                // Crash the server while the alloc request is on the wire.
+                sim_c.sleep(SimDur::from_nanos(100)).await;
+                cluster.fail_server(0);
+            });
+        }
+        sim.spawn(async move {
+            let err = ep.alloc(0, 256).await.unwrap_err();
+            assert_eq!(err, VerbError::ServerUnreachable { server: 0 });
+        });
+        sim.run();
+        assert_eq!(
+            cluster.server(0).pool.borrow().allocated(),
+            before,
+            "a failed alloc must not leak its reservation"
+        );
+    }
+
+    #[test]
+    fn dropped_alloc_times_out_without_reserving() {
+        let (sim, cluster) = harness();
+        let before = cluster.server(0).pool.borrow().allocated();
+        cluster.set_fault_seed(7);
+        cluster.degrade_link(
+            0,
+            LinkDegrade {
+                drop_chance: 1.0,
+                ..LinkDegrade::default()
+            },
+        );
+        let ep = Endpoint::new(&cluster);
+        sim.spawn(async move {
+            let err = ep.alloc(0, 256).await.unwrap_err();
+            assert_eq!(err, VerbError::Timeout { server: 0 });
+        });
+        sim.run();
+        assert_eq!(cluster.server(0).pool.borrow().allocated(), before);
+    }
+
+    #[test]
+    fn refused_read_many_batch_never_touches_the_wire() {
+        let (sim, cluster) = harness();
+        cluster.set_fault_seed(7);
+        // Only server 2's link drops; servers 0 and 1 are clean, yet the
+        // refused batch must not occupy their NICs either.
+        cluster.degrade_link(
+            2,
+            LinkDegrade {
+                drop_chance: 1.0,
+                ..LinkDegrade::default()
+            },
+        );
+        let reqs: Vec<_> = (0..3)
+            .map(|s| (cluster.setup_alloc(s, 512), 512usize))
+            .collect();
+        let ep = Endpoint::new(&cluster);
+        sim.spawn(async move {
+            let err = ep.read_many(&reqs).await.unwrap_err();
+            assert_eq!(err, VerbError::Timeout { server: 2 });
+        });
+        sim.run();
+        for s in 0..3 {
+            let stats = cluster.server_stats(s);
+            assert_eq!(stats.nic_busy_nanos, 0, "server {s} wire stayed idle");
+            assert_eq!(stats.bytes_out, 0, "server {s} shipped no bytes");
+        }
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub use endpoint::{Endpoint, RpcReply};
 pub use fault::{AttemptKind, FaultStats, LinkDegrade, VerbError};
 pub use pool::MemPool;
 pub use ptr::{PtrDecodeError, RemotePtr};
-pub use spec::ClusterSpec;
+pub use spec::{ClusterSpec, MAX_LOCK_HOLD_VERBS};

@@ -100,10 +100,25 @@ pub struct ClusterSpec {
     pub retry_limit: u32,
     /// Virtual-time lease on a held page lock: a contender observing the
     /// *same* locked word for this long may break the lock via CAS
-    /// (see `blink::layout::lock_word::break_lease`). Must comfortably
-    /// exceed the longest legitimate hold (lock + write-back + unlock).
+    /// (see `blink::layout::lock_word::break_lease`).
+    ///
+    /// Safety invariant (checked by [`ClusterSpec::validate`]): the lease
+    /// must exceed the longest *legitimate* hold. A live holder's
+    /// critical section issues at most [`MAX_LOCK_HOLD_VERBS`] verbs
+    /// after its acquire CAS (page alloc, split-sibling WRITE, in-place
+    /// WRITE-back, unlock FAA), and every verb either applies its effect
+    /// or fails with no effect by `issue + verb_timeout`. So after
+    /// `MAX_LOCK_HOLD_VERBS * verb_timeout` of an unchanged locked word,
+    /// no effect of a live holder can still land — only then is the
+    /// break CAS safe, and "a live holder can never be broken" holds.
     pub lease_duration: SimDur,
 }
+
+/// Upper bound on the verbs a holder issues while a page lock is held:
+/// remote page alloc + split-sibling WRITE + in-place WRITE-back +
+/// unlock FAA. Used by [`ClusterSpec::validate`] to lower-bound
+/// `lease_duration` against `verb_timeout`.
+pub const MAX_LOCK_HOLD_VERBS: u32 = 4;
 
 impl Default for ClusterSpec {
     fn default() -> Self {
@@ -132,7 +147,7 @@ impl Default for ClusterSpec {
             retry_backoff_base: SimDur::from_micros(2),
             retry_backoff_cap: SimDur::from_micros(256),
             retry_limit: 16,
-            lease_duration: SimDur::from_micros(500),
+            lease_duration: SimDur::from_millis(5),
         }
     }
 }
@@ -199,6 +214,24 @@ impl ClusterSpec {
     pub fn local_time(&self, bytes: usize) -> SimDur {
         self.local_latency + SimDur::from_secs_f64(bytes as f64 / self.local_bandwidth)
     }
+
+    /// Panic if the failure-model parameters violate the lease-break
+    /// safety invariant (see [`ClusterSpec::lease_duration`]). Called by
+    /// `Cluster::new`, so an unsafe configuration fails loudly at setup
+    /// instead of silently permitting lost updates.
+    pub fn validate(&self) {
+        let max_hold = self.verb_timeout * MAX_LOCK_HOLD_VERBS as u64;
+        assert!(
+            self.lease_duration > max_hold,
+            "lease_duration ({}ns) must exceed the longest legitimate lock \
+             hold, {MAX_LOCK_HOLD_VERBS} verbs x verb_timeout = {}ns; a \
+             shorter lease lets a contender break a *live* holder whose \
+             write-back or unlock is still in flight (lost update / ghost \
+             lock)",
+            self.lease_duration.as_nanos(),
+            max_hold.as_nanos(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +267,25 @@ mod tests {
         assert!(spec.effective_bandwidth(1) < spec.effective_bandwidth(0));
         assert!(spec.cpu_factor(1) > spec.cpu_factor(0));
         assert!(spec.wire_time(1, 1024) > spec.wire_time(0, 1024));
+    }
+
+    #[test]
+    fn default_spec_upholds_lease_invariant() {
+        let spec = ClusterSpec::default();
+        spec.validate();
+        assert!(spec.lease_duration > spec.verb_timeout * MAX_LOCK_HOLD_VERBS as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "lease_duration")]
+    fn short_lease_is_rejected() {
+        let spec = ClusterSpec {
+            // One verb_timeout short of the safe bound: a holder's late
+            // unlock FAA could land after a contender's break.
+            lease_duration: SimDur::from_millis(3),
+            ..ClusterSpec::default()
+        };
+        spec.validate();
     }
 
     #[test]

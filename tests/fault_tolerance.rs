@@ -221,6 +221,87 @@ fn cg_completes_after_timed_kill_between_rpcs() {
     finish_sanitized(&san, &design);
 }
 
+/// Lossy links drop verbs at arbitrary points inside an insert —
+/// including *after* the leaf's unlock FAA committed the install (a
+/// refused split propagation, a refused unlock). The retry layer must
+/// then re-run without duplicating the committed key: re-attempts check
+/// the covering leaf for their own install and absorb it. Exactly-once
+/// for the one-sided designs, under deterministic packet loss.
+#[test]
+fn lossy_links_never_lose_or_duplicate_inserts() {
+    for kind in 1..3u8 {
+        let (sim, nam) = cluster();
+        let design = build(kind, &nam);
+        let san = arm_sanitized(&nam, &design);
+        // A bounded lossy window: every link drops a quarter of its
+        // messages for the first 3ms of virtual time, then heals. (The
+        // window must end: a client whose own unlock FAA was dropped can
+        // only reclaim its lock by lease-breaking it, and the lease spin
+        // itself needs the wire to carry READs again eventually.)
+        //
+        // Seed 3 is load-bearing: it drops a verb *after* a leaf commit,
+        // so without re-attempt absorption this scan finds a duplicate.
+        nam.rdma.set_fault_seed(3);
+        for s in 0..nam.num_servers() {
+            nam.rdma.degrade_link(
+                s,
+                LinkDegrade {
+                    drop_chance: 0.25,
+                    ..LinkDegrade::default()
+                },
+            );
+        }
+        {
+            let rdma = nam.rdma.clone();
+            let sim_c = sim.clone();
+            let n = nam.num_servers();
+            sim.spawn(async move {
+                sim_c.sleep(SimDur::from_millis(3)).await;
+                for s in 0..n {
+                    rdma.restore_link(s);
+                }
+            });
+        }
+
+        let ep = Endpoint::new(&nam.rdma);
+        let keys: Vec<u64> = (0..40u64).map(|i| 2_001 + 2 * i).collect();
+        {
+            let design = design.clone();
+            let keys = keys.clone();
+            sim.spawn(async move {
+                for &k in &keys {
+                    design
+                        .insert(&ep, k, k * 10)
+                        .await
+                        .expect("retries must ride out the lossy window");
+                }
+            });
+        }
+        sim.run();
+        assert!(
+            nam.rdma.fault_stats().verbs_dropped > 0,
+            "kind {kind}: the lossy window must actually drop verbs"
+        );
+
+        let ep = Endpoint::new(&nam.rdma);
+        let design2 = design.clone();
+        sim.spawn(async move {
+            let rows = design2.range(&ep, 0, u64::MAX - 1).await.unwrap();
+            let mut expect: Vec<(u64, u64)> = (0..KEYS).map(|i| (i * 8, i)).collect();
+            expect.extend(keys.iter().map(|&k| (k, k * 10)));
+            expect.sort_unstable();
+            assert_eq!(
+                rows.len(),
+                expect.len(),
+                "kind {kind}: a key was lost or duplicated"
+            );
+            assert_eq!(rows, expect, "kind {kind}: contents after lossy inserts");
+        });
+        sim.run();
+        finish_sanitized(&san, &design);
+    }
+}
+
 /// A memory-server outage in the middle of a read stream: retries ride
 /// it out, the catalog generation bump marks cached descriptors stale,
 /// and no operation returns a wrong answer.
