@@ -1,6 +1,11 @@
 //! Appendix A.4: opportunities of client-side caching — fine-grained
 //! point lookups with and without an inner-node cache (read-only
 //! workload, so no invalidation is needed).
+//!
+//! Per-client `ClientCache` hit/miss counters are surfaced through the
+//! telemetry [`Registry`] (`cache.hits`, `cache.misses`, and the
+//! `cache.hit_ratio` gauge), and the hit ratio lands as a column of
+//! `results/a04_caching.csv`.
 
 use bench::figures::num_keys;
 use bench::plot::{results_dir, write_csv};
@@ -11,8 +16,11 @@ use simnet::rng::DetRng;
 use simnet::stats::Counter;
 use simnet::{Sim, SimDur, SimTime};
 use std::rc::Rc;
+use telemetry::Registry;
 
-fn run(cached: bool, clients: usize, keys: u64) -> f64 {
+/// Throughput of one configuration, plus the run's registry (carrying
+/// the aggregated cache counters).
+fn run(cached: bool, clients: usize, keys: u64) -> (f64, Registry) {
     let sim = Sim::new();
     let cluster = Cluster::new(&sim, ClusterSpec::default());
     let idx = FineGrained::build(
@@ -27,12 +35,14 @@ fn run(cached: bool, clients: usize, keys: u64) -> f64 {
     let warmup = SimTime::from_millis(3);
     let end = warmup + SimDur::from_millis(25);
     let ops = Rc::new(Counter::new());
+    let mut caches = Vec::new();
     for c in 0..clients {
         let idx = idx.clone();
         let ep = Endpoint::new(&cluster);
         let sim_c = sim.clone();
         let ops = ops.clone();
         let cache = Rc::new(ClientCache::new(0));
+        caches.push(cache.clone());
         let mut rng = DetRng::seed_from_u64(42 ^ c as u64);
         sim.spawn(async move {
             loop {
@@ -52,7 +62,22 @@ fn run(cached: bool, clients: usize, keys: u64) -> f64 {
         });
     }
     sim.run_until(end);
-    ops.get() as f64 / 0.025
+    let registry = Registry::new();
+    for cache in &caches {
+        registry.add("cache.hits", cache.hits());
+        registry.add("cache.misses", cache.misses());
+    }
+    let hits = registry.counter("cache.hits").get();
+    let total = hits + registry.counter("cache.misses").get();
+    registry.set_gauge(
+        "cache.hit_ratio",
+        if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        },
+    );
+    (ops.get() as f64 / 0.025, registry)
 }
 
 fn main() {
@@ -60,23 +85,30 @@ fn main() {
     let keys = num_keys();
     let mut csv = Vec::new();
     println!(
-        "{:>8} {:>16} {:>16} {:>8}",
-        "clients", "uncached", "cached", "speedup"
+        "{:>8} {:>16} {:>16} {:>8} {:>10}",
+        "clients", "uncached", "cached", "speedup", "hit ratio"
     );
     for clients in [20usize, 80, 160, 240] {
-        let base = run(false, clients, keys);
-        let fast = run(true, clients, keys);
+        let (base, _) = run(false, clients, keys);
+        let (fast, registry) = run(true, clients, keys);
+        let hit_ratio = registry.gauge("cache.hit_ratio").get();
         println!(
-            "{clients:>8} {base:>16.0} {fast:>16.0} {:>7.1}x",
+            "{clients:>8} {base:>16.0} {fast:>16.0} {:>7.1}x {hit_ratio:>10.4}",
             fast / base.max(1.0)
         );
         csv.push(vec![
             clients.to_string(),
             format!("{base:.1}"),
             format!("{fast:.1}"),
+            format!("{hit_ratio:.4}"),
         ]);
     }
     let path = results_dir().join("a04_caching.csv");
-    write_csv(&path, &["clients", "uncached_tput", "cached_tput"], &csv).expect("csv");
+    write_csv(
+        &path,
+        &["clients", "uncached_tput", "cached_tput", "cache_hit_ratio"],
+        &csv,
+    )
+    .expect("csv");
     println!("\nwrote {}", path.display());
 }

@@ -39,6 +39,7 @@ fn main() {
                 stride.to_string(),
                 format!("{:.1}", r.throughput),
                 r.latency.percentile(0.5).to_string(),
+                r.aborts.to_string(),
             ]);
         }
         println!("{row}");
@@ -46,7 +47,7 @@ fn main() {
     let path = results_dir().join("ablation_heads.csv");
     write_csv(
         &path,
-        &["selectivity", "stride", "throughput", "p50_ns"],
+        &["selectivity", "stride", "throughput", "p50_ns", "aborts"],
         &csv,
     )
     .expect("csv");

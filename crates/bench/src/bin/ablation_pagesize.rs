@@ -45,12 +45,18 @@ fn main() {
                     panel.to_string(),
                     page_size.to_string(),
                     format!("{:.1}", r.throughput),
+                    r.aborts.to_string(),
                 ]);
             }
             println!("{row}");
         }
     }
     let path = results_dir().join("ablation_pagesize.csv");
-    write_csv(&path, &["design", "panel", "page_size", "throughput"], &csv).expect("csv");
+    write_csv(
+        &path,
+        &["design", "panel", "page_size", "throughput", "aborts"],
+        &csv,
+    )
+    .expect("csv");
     println!("\nwrote {}", path.display());
 }

@@ -39,6 +39,7 @@ fn main() {
                 format!("{scheme:?}"),
                 panel.to_string(),
                 format!("{:.1}", r.throughput),
+                r.aborts.to_string(),
             ]);
         }
         println!(
@@ -49,6 +50,6 @@ fn main() {
         );
     }
     let path = results_dir().join("ablation_partitioning.csv");
-    write_csv(&path, &["scheme", "panel", "throughput"], &csv).expect("csv");
+    write_csv(&path, &["scheme", "panel", "throughput", "aborts"], &csv).expect("csv");
     println!("\nwrote {}", path.display());
 }

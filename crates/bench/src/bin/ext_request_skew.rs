@@ -40,6 +40,7 @@ fn main() {
                 design.label().to_string(),
                 format!("{dist:?}"),
                 format!("{:.1}", r.throughput),
+                r.aborts.to_string(),
             ]);
         }
         println!(
@@ -51,6 +52,6 @@ fn main() {
         );
     }
     let path = results_dir().join("ext_request_skew.csv");
-    write_csv(&path, &["design", "dist", "throughput"], &csv).expect("csv");
+    write_csv(&path, &["design", "dist", "throughput", "aborts"], &csv).expect("csv");
     println!("\nwrote {}", path.display());
 }

@@ -29,10 +29,16 @@ fn main() {
                 r.panel.clone(),
                 r.clients.to_string(),
                 format!("{:.1}", r.throughput),
+                r.aborts.to_string(),
             ]
         })
         .collect();
     let path = results_dir().join("fig08_throughput_unif.csv");
-    write_csv(&path, &["design", "panel", "clients", "throughput"], &csv).expect("csv");
+    write_csv(
+        &path,
+        &["design", "panel", "clients", "throughput", "aborts"],
+        &csv,
+    )
+    .expect("csv");
     println!("wrote {}", path.display());
 }

@@ -41,13 +41,21 @@ fn main() {
                 r.clients.to_string(),
                 format!("{:.3}", r.wire_gbps),
                 format!("{:.3}", r.max_bw_gbps),
+                r.aborts.to_string(),
             ]
         })
         .collect();
     let path = results_dir().join("fig09_network.csv");
     write_csv(
         &path,
-        &["design", "panel", "clients", "wire_gbps", "max_bw_gbps"],
+        &[
+            "design",
+            "panel",
+            "clients",
+            "wire_gbps",
+            "max_bw_gbps",
+            "aborts",
+        ],
         &csv,
     )
     .expect("csv");

@@ -57,6 +57,7 @@ fn main() {
                     panel.to_string(),
                     num_keys.to_string(),
                     format!("{:.1}", r.throughput),
+                    r.aborts.to_string(),
                 ]);
             }
             series.push((design.label().to_string(), pts));
@@ -73,6 +74,11 @@ fn main() {
         );
     }
     let path = results_dir().join("fig10_datasize.csv");
-    write_csv(&path, &["design", "panel", "num_keys", "throughput"], &csv).expect("csv");
+    write_csv(
+        &path,
+        &["design", "panel", "num_keys", "throughput", "aborts"],
+        &csv,
+    )
+    .expect("csv");
     println!("wrote {}", path.display());
 }

@@ -50,6 +50,7 @@ fn main() {
                         dist_name.to_string(),
                         n.to_string(),
                         format!("{:.1}", r.throughput),
+                        r.aborts.to_string(),
                     ]);
                 }
                 series.push((design.label().to_string(), pts));
@@ -71,7 +72,7 @@ fn main() {
     let path = results_dir().join("fig11_servers.csv");
     write_csv(
         &path,
-        &["design", "panel", "dist", "servers", "throughput"],
+        &["design", "panel", "dist", "servers", "throughput", "aborts"],
         &csv,
     )
     .expect("csv");

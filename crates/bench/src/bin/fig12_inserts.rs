@@ -36,6 +36,7 @@ fn main() {
                     format!("{} {}", design.label(), mix),
                     clients.to_string(),
                     format!("{:.1}", r.throughput),
+                    r.aborts.to_string(),
                 ]);
             }
             series.push((format!("{} {}", design.label(), mix), pts));
@@ -52,6 +53,6 @@ fn main() {
         )
     );
     let path = results_dir().join("fig12_inserts.csv");
-    write_csv(&path, &["series", "clients", "throughput"], &csv).expect("csv");
+    write_csv(&path, &["series", "clients", "throughput", "aborts"], &csv).expect("csv");
     println!("wrote {}", path.display());
 }

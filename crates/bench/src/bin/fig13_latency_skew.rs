@@ -30,13 +30,16 @@ fn main() {
                 r.p50_ns.to_string(),
                 r.p99_ns.to_string(),
                 format!("{:.1}", r.mean_ns),
+                r.aborts.to_string(),
             ]
         })
         .collect();
     let path = results_dir().join("fig13_latency_skew.csv");
     write_csv(
         &path,
-        &["design", "panel", "clients", "p50_ns", "p99_ns", "mean_ns"],
+        &[
+            "design", "panel", "clients", "p50_ns", "p99_ns", "mean_ns", "aborts",
+        ],
         &csv,
     )
     .expect("csv");

@@ -48,6 +48,7 @@ fn main() {
                     }
                     .to_string(),
                     format!("{:.1}", r.throughput),
+                    r.aborts.to_string(),
                 ]);
             }
             row.push_str(&format!("  (gain {:.2}x)", vals[1] / vals[0].max(1.0)));
@@ -57,7 +58,7 @@ fn main() {
     let path = results_dir().join("fig15_colocation.csv");
     write_csv(
         &path,
-        &["design", "panel", "deployment", "throughput"],
+        &["design", "panel", "deployment", "throughput", "aborts"],
         &csv,
     )
     .expect("csv");

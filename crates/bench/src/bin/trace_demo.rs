@@ -1,0 +1,55 @@
+//! Small seeded experiment that exercises every telemetry surface:
+//! op spans across lookups/ranges/inserts, verb and RPC events, lock
+//! wait and backoff regions, and fault instants from an injected
+//! schedule. Writes a Chrome-trace/Perfetto JSON (open the file at
+//! <https://ui.perfetto.dev>) plus a metrics-registry CSV.
+//!
+//! `--trace PATH` picks the output (default `results/trace_demo.json`);
+//! `--seed N` varies the workload; the same seed always produces a
+//! byte-identical trace — `cargo xtask trace-check` relies on this.
+
+use bench::plot::results_dir;
+use bench::{metrics_csv_path, run_experiment, DesignKind, ExperimentConfig};
+use chaos::FaultPlan;
+use simnet::{SimDur, SimTime};
+use ycsb::Workload;
+
+fn main() {
+    let args = bench::parse_args();
+    let seed = args.seed_or_default();
+    let trace_path = args
+        .trace_path()
+        .unwrap_or_else(|| results_dir().join("trace_demo.json"));
+    if let Some(dir) = trace_path.parent() {
+        std::fs::create_dir_all(dir).expect("create trace directory");
+    }
+
+    // One fault of each flavour inside the 6ms window, so the trace
+    // carries instants, Stall charges, and retry backoff regions.
+    let plan = FaultPlan::with_seed(seed)
+        .crash_server(SimTime::from_millis(2), 1)
+        .restart_server(SimTime::from_millis(3), 1)
+        .kill_client(SimTime::from_millis(4), 2)
+        .revive_client(SimTime::from_micros(4_500), 2);
+
+    let cfg = ExperimentConfig {
+        design: DesignKind::Hybrid,
+        workload: Workload::d(), // 50% inserts: locks, splits, CAS races
+        num_keys: 20_000,
+        clients: 8,
+        warmup: SimDur::from_millis(1),
+        measure: SimDur::from_millis(5),
+        seed,
+        fault_plan: Some(plan),
+        timeline_window: SimDur::from_millis(1),
+        trace_path: Some(trace_path.clone()),
+        ..ExperimentConfig::default()
+    };
+    let r = run_experiment(&cfg);
+
+    println!("trace demo (hybrid, workload D, seed {seed})");
+    println!("  ops: {}  aborts: {}", r.ops, r.aborts);
+    println!("  throughput: {:.0} ops/s", r.throughput);
+    println!("  trace:   {}", trace_path.display());
+    println!("  metrics: {}", metrics_csv_path(&trace_path).display());
+}

@@ -2,23 +2,33 @@
 //!
 //! Every binary accepts `--seed N` (workload seed, default 42) and
 //! `--fault-seed N` (seed for a randomized fault plan where the binary
-//! supports fault injection). Both `--flag N` and `--flag=N` forms
-//! work; flags the binaries do not know are ignored so wrappers can
-//! pass extra arguments through.
+//! supports fault injection). Binaries that run experiments also accept
+//! `--trace PATH`: record a Chrome-trace/Perfetto JSON of the run's
+//! verb/op/fault events (in virtual time) to `PATH`, plus a
+//! `PATH.metrics.csv` metrics-registry snapshot next to it. Both
+//! `--flag N` and `--flag=N` forms work; flags the binaries do not know
+//! are ignored so wrappers can pass extra arguments through.
 
-/// Seeds recognised by the experiment binaries.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Arguments recognised by the experiment binaries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BenchArgs {
     /// `--seed`: workload generation seed.
     pub seed: Option<u64>,
     /// `--fault-seed`: randomized fault-plan seed.
     pub fault_seed: Option<u64>,
+    /// `--trace`: write a Chrome-trace JSON of the run here.
+    pub trace: Option<String>,
 }
 
 impl BenchArgs {
     /// The workload seed, defaulting to the repo-wide 42.
     pub fn seed_or_default(&self) -> u64 {
         self.seed.unwrap_or(42)
+    }
+
+    /// The trace output path, if `--trace` was given.
+    pub fn trace_path(&self) -> Option<std::path::PathBuf> {
+        self.trace.as_ref().map(std::path::PathBuf::from)
     }
 }
 
@@ -36,18 +46,23 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
             Some((f, v)) => (f.to_string(), Some(v.to_string())),
             None => (arg, None),
         };
-        let target = match flag.as_str() {
-            "--seed" => &mut out.seed,
-            "--fault-seed" => &mut out.fault_seed,
-            _ => continue,
-        };
+        if !matches!(flag.as_str(), "--seed" | "--fault-seed" | "--trace") {
+            continue;
+        }
         let value = inline.or_else(|| args.next());
         let value = value.unwrap_or_else(|| panic!("{flag} needs a value"));
-        *target = Some(
-            value
-                .parse()
-                .unwrap_or_else(|_| panic!("{flag} expects an unsigned integer, got {value:?}")),
-        );
+        if flag == "--trace" {
+            out.trace = Some(value);
+            continue;
+        }
+        let parsed = value
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} expects an unsigned integer, got {value:?}"));
+        if flag == "--seed" {
+            out.seed = Some(parsed);
+        } else {
+            out.fault_seed = Some(parsed);
+        }
     }
     out
 }
@@ -67,8 +82,19 @@ mod tests {
             BenchArgs {
                 seed: Some(7),
                 fault_seed: Some(9),
+                trace: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_trace_path() {
+        let got = parse(&["--trace", "out.json", "--seed=3"]);
+        assert_eq!(got.trace.as_deref(), Some("out.json"));
+        assert_eq!(got.trace_path(), Some(std::path::PathBuf::from("out.json")));
+        assert_eq!(got.seed, Some(3));
+        let eq = parse(&["--trace=/tmp/t.json"]);
+        assert_eq!(eq.trace.as_deref(), Some("/tmp/t.json"));
     }
 
     #[test]
@@ -83,6 +109,7 @@ mod tests {
         let got = parse(&[]);
         assert_eq!(got, BenchArgs::default());
         assert_eq!(got.seed_or_default(), 42);
+        assert_eq!(got.trace_path(), None);
     }
 
     #[test]

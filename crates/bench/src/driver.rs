@@ -10,6 +10,7 @@
 //! leaves stay scattered round-robin.
 
 use std::cell::RefCell;
+use std::path::PathBuf;
 use std::rc::Rc;
 
 use blink::PageLayout;
@@ -20,6 +21,7 @@ use rdma_sim::{ClusterSpec, Endpoint, FaultStats, ServerStats};
 use simnet::rng::Zipf;
 use simnet::stats::{Counter, Histogram};
 use simnet::{Sim, SimDur};
+use telemetry::{MetricRow, Registry, Telemetry};
 use ycsb::{Dataset, Op, OpGen, RequestDist, Workload};
 
 /// Which index design to benchmark.
@@ -115,6 +117,11 @@ pub struct ExperimentConfig {
     /// the window of its completion instant, giving the
     /// throughput/abort-rate timelines of the fault-tolerance report.
     pub timeline_window: SimDur,
+    /// Record a Chrome-trace/Perfetto JSON of the run to this path
+    /// (plus a `*.metrics.csv` registry snapshot next to it). `None`
+    /// leaves the run untelemetered — the verb layer's observer hooks
+    /// stay behind their flag check and cost nothing measurable.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for ExperimentConfig {
@@ -136,6 +143,7 @@ impl Default for ExperimentConfig {
             spec: None,
             fault_plan: None,
             timeline_window: SimDur::ZERO,
+            trace_path: None,
         }
     }
 }
@@ -181,6 +189,9 @@ pub struct ExperimentResult {
     /// Per-window throughput/abort timeline (empty unless
     /// [`ExperimentConfig::timeline_window`] is set).
     pub timeline: Vec<TimelinePoint>,
+    /// Telemetry registry snapshot (empty unless
+    /// [`ExperimentConfig::trace_path`] is set).
+    pub metrics: Vec<MetricRow>,
 }
 
 fn delta(end: &ServerStats, start: &ServerStats) -> ServerStats {
@@ -250,6 +261,22 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let machines = spec.machines;
     let nam = NamCluster::new(&sim, spec);
     nam.rdma.set_active_clients(cfg.clients);
+
+    // Telemetry (installed before the build so even setup-phase verbs,
+    // if any, are observed; the run is untelemetered when no trace is
+    // requested and the observer hooks stay behind their flag check).
+    // `--trace` on any bench binary traces every experiment the process
+    // runs: the first to the given path, later ones numbered.
+    let trace_path = cfg.trace_path.clone().or_else(|| {
+        crate::cli::parse_args()
+            .trace_path()
+            .map(next_cli_trace_path)
+    });
+    let tel = trace_path.as_ref().map(|_| {
+        let tel = Telemetry::with_trace(Registry::new());
+        tel.install(&nam.rdma);
+        tel
+    });
 
     let data = Dataset::new(cfg.num_keys);
     let design = build_design(cfg, &nam, data);
@@ -405,6 +432,29 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         })
         .collect();
 
+    let metrics = match (&tel, &trace_path) {
+        (Some(tel), Some(path)) => {
+            assert_eq!(
+                tel.breakdown_mismatches(),
+                0,
+                "span breakdowns must sum exactly to op latency"
+            );
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).expect("create trace directory");
+            }
+            tel.write_chrome_trace(path).expect("write trace JSON");
+            let metrics_path = metrics_csv_path(path);
+            std::fs::write(&metrics_path, tel.registry().to_csv()).expect("write metrics CSV");
+            eprintln!(
+                "[trace] wrote {} and {}",
+                path.display(),
+                metrics_path.display()
+            );
+            tel.registry().snapshot()
+        }
+        _ => Vec::new(),
+    };
+
     ExperimentResult {
         ops: count,
         throughput: count as f64 / secs,
@@ -416,7 +466,47 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         aborts: aborts.get(),
         fault_stats: nam.rdma.fault_stats(),
         timeline,
+        metrics,
     }
+}
+
+/// The metrics-snapshot path written next to a trace: `out.json` →
+/// `out.metrics.csv`.
+pub fn metrics_csv_path(trace_path: &std::path::Path) -> PathBuf {
+    trace_path.with_extension("metrics.csv")
+}
+
+thread_local! {
+    /// Traced-experiment ordinal within this process (sweeps run many
+    /// experiments; each needs its own trace file).
+    static TRACE_SEQ: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Resolve the CLI `--trace PATH` for the next experiment in this
+/// process: the first keeps `PATH` verbatim, later ones number
+/// themselves before the extension (`out.json` → `out.2.json`, …) so a
+/// sweep's traces never overwrite each other. Run order is
+/// deterministic, so the numbering is too.
+fn next_cli_trace_path(path: PathBuf) -> PathBuf {
+    let seq = TRACE_SEQ.with(|c| {
+        let n = c.get() + 1;
+        c.set(n);
+        n
+    });
+    if seq <= 1 {
+        return path;
+    }
+    let ext = path.extension().map(|e| e.to_string_lossy().into_owned());
+    let stem = path
+        .file_stem()
+        .unwrap_or_default()
+        .to_string_lossy()
+        .into_owned();
+    let numbered = match ext {
+        Some(ext) => format!("{stem}.{seq}.{ext}"),
+        None => format!("{stem}.{seq}"),
+    };
+    path.with_file_name(numbered)
 }
 
 #[cfg(test)]
@@ -556,6 +646,35 @@ mod tests {
             big > small * 1.2,
             "FG must scale with servers: {small} -> {big}"
         );
+    }
+
+    #[test]
+    fn traced_runs_are_byte_identical_per_seed() {
+        let dir = std::env::temp_dir().join("namdex_driver_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |name: &str| {
+            let cfg = ExperimentConfig {
+                clients: 4,
+                num_keys: 5_000,
+                warmup: SimDur::from_millis(1),
+                measure: SimDur::from_millis(2),
+                trace_path: Some(dir.join(name)),
+                ..quick(DesignKind::Hybrid)
+            };
+            let r = run_experiment(&cfg);
+            assert!(!r.metrics.is_empty(), "telemetry must produce metrics");
+            let trace = std::fs::read_to_string(dir.join(name)).unwrap();
+            let metrics = std::fs::read_to_string(metrics_csv_path(&dir.join(name))).unwrap();
+            (trace, metrics)
+        };
+        let (trace_a, metrics_a) = run("a.json");
+        let (trace_b, metrics_b) = run("b.json");
+        assert_eq!(trace_a, trace_b, "same seed must give an identical trace");
+        assert_eq!(metrics_a, metrics_b);
+        assert!(trace_a.contains("\"ph\":\"X\""), "verb events present");
+        assert!(trace_a.contains("\"ph\":\"B\""), "op spans present");
+        assert!(metrics_a.contains("op.lookup.count"));
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -79,6 +79,9 @@ pub struct SweepRow {
     pub wire_gbps: f64,
     /// Aggregate wire capacity, GB/s.
     pub max_bw_gbps: f64,
+    /// Operations aborted inside the measurement window (retries
+    /// exhausted or client killed mid-operation; 0 on fault-free runs).
+    pub aborts: u64,
 }
 
 fn cache_path(dist: DataDist) -> PathBuf {
@@ -103,6 +106,7 @@ fn save(path: &Path, rows: &[SweepRow]) {
                 format!("{:.1}", r.mean_ns),
                 format!("{:.4}", r.wire_gbps),
                 format!("{:.4}", r.max_bw_gbps),
+                r.aborts.to_string(),
             ]
         })
         .collect();
@@ -118,6 +122,7 @@ fn save(path: &Path, rows: &[SweepRow]) {
             "mean_ns",
             "wire_gbps",
             "max_bw_gbps",
+            "aborts",
         ],
         &csv_rows,
     )
@@ -129,7 +134,7 @@ fn load(path: &Path) -> Option<Vec<SweepRow>> {
     let mut rows = Vec::new();
     for line in text.lines().skip(1) {
         let f: Vec<&str> = line.split(',').collect();
-        if f.len() != 9 {
+        if f.len() != 10 {
             return None;
         }
         rows.push(SweepRow {
@@ -142,6 +147,7 @@ fn load(path: &Path) -> Option<Vec<SweepRow>> {
             mean_ns: f[6].parse().ok()?,
             wire_gbps: f[7].parse().ok()?,
             max_bw_gbps: f[8].parse().ok()?,
+            aborts: f[9].parse().ok()?,
         });
     }
     if rows.is_empty() {
@@ -197,6 +203,7 @@ pub fn full_sweep(dist: DataDist) -> Vec<SweepRow> {
                     mean_ns: r.latency.mean(),
                     wire_gbps: r.wire_gbps,
                     max_bw_gbps: r.max_bandwidth_gbps,
+                    aborts: r.aborts,
                 });
             }
         }
@@ -240,6 +247,7 @@ mod tests {
             mean_ns: 2_000.0,
             wire_gbps: 1.5,
             max_bw_gbps: 25.8,
+            aborts: 3,
         }
     }
 
@@ -258,6 +266,7 @@ mod tests {
         assert_eq!(loaded[0].clients, 20);
         assert!((loaded[1].throughput - 50_000.5).abs() < 0.01);
         assert_eq!(loaded[1].p99_ns, 9_000);
+        assert_eq!(loaded[1].aborts, 3);
         std::fs::remove_dir_all(dir).ok();
     }
 

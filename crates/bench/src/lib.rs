@@ -16,6 +16,6 @@ pub mod plot;
 
 pub use cli::{parse_args, BenchArgs};
 pub use driver::{
-    run_experiment, CgPartition, DataDist, DesignKind, ExperimentConfig, ExperimentResult,
-    TimelinePoint,
+    metrics_csv_path, run_experiment, CgPartition, DataDist, DesignKind, ExperimentConfig,
+    ExperimentResult, TimelinePoint,
 };

@@ -232,6 +232,19 @@ pub struct ChaosStats {
 
 type EventHook = Box<dyn Fn(&FaultEvent)>;
 
+/// Stable label for a fault event, used for trace instants.
+fn fault_label(ev: &FaultEvent) -> String {
+    match *ev {
+        FaultEvent::KillClient(c) => format!("kill_client({c})"),
+        FaultEvent::ReviveClient(c) => format!("revive_client({c})"),
+        FaultEvent::CrashServer(s) => format!("crash_server({s})"),
+        FaultEvent::RestartServer(s) => format!("restart_server({s})"),
+        FaultEvent::DegradeLink(s, _) => format!("degrade_link({s})"),
+        FaultEvent::RestoreLink(s) => format!("restore_link({s})"),
+        FaultEvent::KillOnNextLockAcquire(c) => format!("arm_lock_kill({c})"),
+    }
+}
+
 struct ControllerState {
     stats: Cell<ChaosStats>,
     done: Cell<bool>,
@@ -334,6 +347,9 @@ impl ChaosController {
         }
         stats.events_applied += 1;
         self.state.stats.set(stats);
+        if self.cluster.has_observers() {
+            self.cluster.note_instant(&fault_label(ev));
+        }
         for hook in self.state.hooks.borrow().iter() {
             hook(ev);
         }

@@ -19,28 +19,33 @@
 
 use blink::node::{kind_of, HeadNodeRef, LeafNodeMut, LeafNodeRef, NodeKind};
 use nam::{handler_cpu_time, msg};
-use rdma_sim::{Endpoint, RemotePtr, RpcReply, VerbError};
+use rdma_sim::{Endpoint, OpKind, RemotePtr, RpcReply, VerbError};
 
 use crate::cg::CoarseGrained;
 use crate::fg::FineGrained;
 use crate::hybrid::Hybrid;
 use crate::onesided::{lock_node, read_unlocked, write_unlock};
 
-/// Report to the installed verb observer that an epoch pass retired
+/// Report to the installed verb observers that an epoch pass retired
 /// `[ptr, ptr + len)` — any later verb touching the region is a
-/// use-after-free. No-op unless built with the `sanitizer` feature (the
+/// use-after-free. A flag check when nothing is listening (the
 /// simulator itself never reuses retired regions: the pools are bump
 /// allocators, so reclamation is purely a protocol-level event).
 pub fn note_freed(cluster: &rdma_sim::Cluster, ptr: RemotePtr, len: usize) {
-    #[cfg(feature = "sanitizer")]
     cluster.note_freed(ptr.server(), ptr.offset(), len);
-    #[cfg(not(feature = "sanitizer"))]
-    let _ = (cluster, ptr, len);
 }
 
 /// One CG epoch: compact every server's local tree. Returns entries
 /// reclaimed.
 pub async fn cg_gc_pass(idx: &CoarseGrained, ep: &Endpoint) -> Result<usize, VerbError> {
+    ep.cluster().note_op_start(ep.client_id(), OpKind::Gc);
+    let res = cg_gc_pass_inner(idx, ep).await;
+    ep.cluster()
+        .note_op_end(ep.client_id(), OpKind::Gc, res.is_ok());
+    res
+}
+
+async fn cg_gc_pass_inner(idx: &CoarseGrained, ep: &Endpoint) -> Result<usize, VerbError> {
     let mut reclaimed = 0;
     for (s, node) in idx.nodes().iter().enumerate() {
         let node = node.clone();
@@ -101,12 +106,24 @@ async fn onesided_chain_gc(
 /// One FG epoch: the global compute-server collector walks the leaf
 /// chain. Returns entries reclaimed.
 pub async fn fg_gc_pass(idx: &FineGrained, ep: &Endpoint) -> Result<usize, VerbError> {
-    onesided_chain_gc(ep, idx.first(), idx.layout().page_size()).await
+    ep.cluster().note_op_start(ep.client_id(), OpKind::Gc);
+    let res = onesided_chain_gc(ep, idx.first(), idx.layout().page_size()).await;
+    ep.cluster()
+        .note_op_end(ep.client_id(), OpKind::Gc, res.is_ok());
+    res
 }
 
 /// One hybrid epoch: one-sided leaf-chain collection plus per-server
 /// upper-level compaction. Returns leaf entries reclaimed.
 pub async fn hybrid_gc_pass(idx: &Hybrid, ep: &Endpoint) -> Result<usize, VerbError> {
+    ep.cluster().note_op_start(ep.client_id(), OpKind::Gc);
+    let res = hybrid_gc_pass_inner(idx, ep).await;
+    ep.cluster()
+        .note_op_end(ep.client_id(), OpKind::Gc, res.is_ok());
+    res
+}
+
+async fn hybrid_gc_pass_inner(idx: &Hybrid, ep: &Endpoint) -> Result<usize, VerbError> {
     let reclaimed = onesided_chain_gc(ep, idx.first(), idx.layout().page_size()).await?;
     // Upper levels: local GC per memory server (stale leaf-pointer
     // entries are repointed, not tombstoned, so this is usually a no-op;

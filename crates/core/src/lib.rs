@@ -39,7 +39,7 @@ pub use hybrid::Hybrid;
 
 use blink::{Key, Value};
 use nam::{IndexDescriptor, IndexKind};
-use rdma_sim::{Endpoint, RemotePtr, VerbError};
+use rdma_sim::{Endpoint, OpKind, RegionKind, RemotePtr, VerbError};
 use simnet::SimDur;
 use std::fmt;
 use std::rc::Rc;
@@ -97,10 +97,14 @@ async fn backoff_before_retry(ep: &Endpoint, attempt: u32) {
     let now = ep.cluster().sim().now().as_nanos();
     let jitter = simnet::rng::mix3(ep.client_id(), attempt as u64, now) % delay.max(1);
     ep.cluster()
+        .note_region(ep.client_id(), RegionKind::Backoff, true);
+    ep.cluster()
         .sim()
         .clone()
         .sleep(SimDur::from_nanos(delay + jitter))
         .await;
+    ep.cluster()
+        .note_region(ep.client_id(), RegionKind::Backoff, false);
 }
 
 /// Run `$op` (an expression producing a fresh future each evaluation —
@@ -163,11 +167,15 @@ pub enum Design {
 impl Design {
     /// Point lookup: first live value under `key`.
     pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Result<Option<Value>, OpError> {
-        match self {
+        ep.cluster().note_op_start(ep.client_id(), OpKind::Lookup);
+        let res = match self {
             Design::Cg(d) => with_retry!(ep, d.lookup(ep, key)),
             Design::Fg(d) => with_retry!(ep, d.lookup(ep, key)),
             Design::Hybrid(d) => with_retry!(ep, d.lookup(ep, key)),
-        }
+        };
+        ep.cluster()
+            .note_op_end(ep.client_id(), OpKind::Lookup, res.is_ok());
+        res
     }
 
     /// Range query over `[lo, hi]` (inclusive); returns live entries in
@@ -178,11 +186,15 @@ impl Design {
         lo: Key,
         hi: Key,
     ) -> Result<Vec<(Key, Value)>, OpError> {
-        match self {
+        ep.cluster().note_op_start(ep.client_id(), OpKind::Range);
+        let res = match self {
             Design::Cg(d) => with_retry!(ep, d.range(ep, lo, hi)),
             Design::Fg(d) => with_retry!(ep, d.range(ep, lo, hi)),
             Design::Hybrid(d) => with_retry!(ep, d.range(ep, lo, hi)),
-        }
+        };
+        ep.cluster()
+            .note_op_end(ep.client_id(), OpKind::Range, res.is_ok());
+        res
     }
 
     /// Insert `(key, value)`; duplicates are allowed (non-unique index).
@@ -196,7 +208,8 @@ impl Design {
     /// cases in a non-unique index). The CG design keeps its documented
     /// at-least-once RPC semantics.
     pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), OpError> {
-        match self {
+        ep.cluster().note_op_start(ep.client_id(), OpKind::Insert);
+        let res = match self {
             Design::Cg(d) => with_retry!(ep, d.insert(ep, key, value)),
             Design::Fg(d) => {
                 with_retry!(ep, retrying, d.insert_attempt(ep, key, value, retrying))
@@ -204,17 +217,24 @@ impl Design {
             Design::Hybrid(d) => {
                 with_retry!(ep, retrying, d.insert_attempt(ep, key, value, retrying))
             }
-        }
+        };
+        ep.cluster()
+            .note_op_end(ep.client_id(), OpKind::Insert, res.is_ok());
+        res
     }
 
     /// Tombstone-delete the first live entry under `key`; returns whether
     /// an entry was deleted. Space is reclaimed by epoch GC ([`gc`]).
     pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, OpError> {
-        match self {
+        ep.cluster().note_op_start(ep.client_id(), OpKind::Delete);
+        let res = match self {
             Design::Cg(d) => with_retry!(ep, d.delete(ep, key)),
             Design::Fg(d) => with_retry!(ep, d.delete(ep, key)),
             Design::Hybrid(d) => with_retry!(ep, d.delete(ep, key)),
-        }
+        };
+        ep.cluster()
+            .note_op_end(ep.client_id(), OpKind::Delete, res.is_ok());
+        res
     }
 
     /// Short design name for reports.

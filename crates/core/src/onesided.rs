@@ -33,7 +33,7 @@
 
 use blink::layout::lock_word;
 use blink::node::version_lock_of;
-use rdma_sim::{Endpoint, RemotePtr, VerbError};
+use rdma_sim::{Endpoint, RegionKind, RemotePtr, VerbError};
 use simnet::{SimDur, SimTime};
 
 /// Remote-spin backoff: doubling from 1 µs, capped at 32 µs. Without
@@ -91,16 +91,35 @@ pub(crate) async fn read_unlocked(
 ) -> Result<Vec<u8>, VerbError> {
     let mut attempt = 0u32;
     let mut watch = LeaseWatch::new();
-    loop {
-        let page = ep.read(ptr, page_size).await?;
+    // Telemetry region state. Opened on the first locked observation and
+    // closed at the single exit below — explicit rather than a Drop guard
+    // so a cancelled future cannot leak a half-open region.
+    let mut waiting = false;
+    let res = loop {
+        let page = match ep.read(ptr, page_size).await {
+            Ok(p) => p,
+            Err(e) => break Err(e),
+        };
         let w = version_lock_of(&page);
         if !lock_word::is_locked(w) {
-            return Ok(page);
+            break Ok(page);
         }
-        watch.observe(ep, ptr, w, ep.cluster().sim().now()).await?;
+        if !waiting {
+            waiting = true;
+            ep.cluster()
+                .note_region(ep.client_id(), RegionKind::LockWait, true);
+        }
+        if let Err(e) = watch.observe(ep, ptr, w, ep.cluster().sim().now()).await {
+            break Err(e);
+        }
         ep.cluster().sim().clone().sleep(backoff(attempt)).await;
         attempt += 1;
+    };
+    if waiting {
+        ep.cluster()
+            .note_region(ep.client_id(), RegionKind::LockWait, false);
     }
+    res
 }
 
 /// Acquire the node lock: CAS the lock word from the version observed in
@@ -116,24 +135,49 @@ pub(crate) async fn lock_node(
 ) -> Result<u64, VerbError> {
     let mut attempt = 0u32;
     let mut watch = LeaseWatch::new();
-    loop {
+    // Telemetry region state. Opened on the first locked/contended
+    // observation and closed at the single exit below — explicit rather
+    // than a Drop guard so a cancelled future cannot leak a half-open
+    // region.
+    let mut waiting = false;
+    let res = loop {
         let v = version_lock_of(page);
-        if !lock_word::is_locked(v) {
+        let observed_locked = lock_word::is_locked(v);
+        if !observed_locked {
             let locked = lock_word::locked_by(v, ep.client_id());
-            let old = ep.cas(ptr, v, locked).await?;
-            if old == v {
-                blink::node::set_version_lock(page, locked);
-                return Ok(locked);
+            match ep.cas(ptr, v, locked).await {
+                Ok(old) if old == v => {
+                    blink::node::set_version_lock(page, locked);
+                    break Ok(locked);
+                }
+                Ok(_) => {}
+                Err(e) => break Err(e),
             }
-        } else {
-            watch.observe(ep, ptr, v, ep.cluster().sim().now()).await?;
         }
         // Lost the race (locked, or version moved): back off, refresh,
         // retry.
+        if !waiting {
+            waiting = true;
+            ep.cluster()
+                .note_region(ep.client_id(), RegionKind::LockWait, true);
+        }
+        if observed_locked {
+            if let Err(e) = watch.observe(ep, ptr, v, ep.cluster().sim().now()).await {
+                break Err(e);
+            }
+        }
         ep.cluster().sim().clone().sleep(backoff(attempt)).await;
         attempt += 1;
-        *page = ep.read(ptr, page.len()).await?;
+        *page = match ep.read(ptr, page.len()).await {
+            Ok(p) => p,
+            Err(e) => break Err(e),
+        };
+    };
+    if waiting {
+        ep.cluster()
+            .note_region(ep.client_id(), RegionKind::LockWait, false);
     }
+    res
 }
 
 /// Release the node lock *without* writing the page back (used when an

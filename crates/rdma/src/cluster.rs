@@ -45,9 +45,12 @@ struct Inner {
     next_client: std::cell::Cell<u64>,
     /// Injected-fault state (all servers up, no faults, by default).
     faults: RefCell<FaultState>,
-    /// Installed verb observer (protocol sanitizer), if any.
-    #[cfg(feature = "sanitizer")]
-    observer: RefCell<Option<Rc<dyn crate::observer::VerbObserver>>>,
+    /// Installed verb observers (sanitizer, telemetry, ...), fired in
+    /// registration order.
+    observers: RefCell<Vec<Rc<dyn crate::observer::VerbObserver>>>,
+    /// Mirror of `!observers.is_empty()`; a plain `Cell` read so the verb
+    /// hot path pays one flag check when nothing is listening.
+    observers_active: std::cell::Cell<bool>,
 }
 
 /// Mutable fault-injection state; see [`crate::fault`].
@@ -146,8 +149,8 @@ impl Cluster {
                 active_clients: std::cell::Cell::new(0),
                 next_client: std::cell::Cell::new(0),
                 faults: RefCell::new(FaultState::new(spec_servers)),
-                #[cfg(feature = "sanitizer")]
-                observer: RefCell::new(None),
+                observers: RefCell::new(Vec::new()),
+                observers_active: std::cell::Cell::new(false),
             }),
         }
     }
@@ -352,54 +355,101 @@ impl Cluster {
         self.inner.faults.borrow_mut().stats.verbs_timed_out += 1;
     }
 
-    // ---- verb observation (the `sanitizer` feature) ----
+    // ---- verb observation ----
 
-    /// Install `observer` to receive every completed verb (see
-    /// [`crate::observer`]). Replaces any previous observer.
-    #[cfg(feature = "sanitizer")]
-    pub fn set_observer(&self, observer: Rc<dyn crate::observer::VerbObserver>) {
-        *self.inner.observer.borrow_mut() = Some(observer);
+    /// Register `observer` to receive every completed verb and the wider
+    /// event surface (see [`crate::observer`]). Observers fire in
+    /// registration order; registering the same observer twice delivers
+    /// its events twice.
+    pub fn add_observer(&self, observer: Rc<dyn crate::observer::VerbObserver>) {
+        self.inner.observers.borrow_mut().push(observer);
+        self.inner.observers_active.set(true);
     }
 
-    /// Remove the installed observer, if any.
-    #[cfg(feature = "sanitizer")]
-    pub fn clear_observer(&self) {
-        *self.inner.observer.borrow_mut() = None;
+    /// Remove all installed observers.
+    pub fn clear_observers(&self) {
+        self.inner.observers.borrow_mut().clear();
+        self.inner.observers_active.set(false);
     }
 
-    /// Report a completed verb to the installed observer.
-    #[cfg(feature = "sanitizer")]
-    pub(crate) fn observe(&self, ev: crate::observer::VerbEvent) {
-        // Clone the handle out so the observer may re-install/clear.
-        let obs = self.inner.observer.borrow().clone();
-        if let Some(obs) = obs {
-            obs.on_verb(&ev);
+    /// Whether any observer is installed. The verb layer checks this
+    /// before assembling event payloads so an unobserved run pays only
+    /// this flag read.
+    #[inline]
+    pub fn has_observers(&self) -> bool {
+        self.inner.observers_active.get()
+    }
+
+    /// Run `f` over each installed observer, in registration order. The
+    /// list is cloned out first so an observer may register/clear
+    /// observers from inside its callback.
+    fn each_observer(&self, f: impl Fn(&dyn crate::observer::VerbObserver)) {
+        if !self.inner.observers_active.get() {
+            return;
+        }
+        let obs = self.inner.observers.borrow().clone();
+        for o in &obs {
+            f(o.as_ref());
         }
     }
 
-    /// Report a verb attempt against a crashed server to the observer.
-    #[cfg(feature = "sanitizer")]
+    /// Report a completed verb to the installed observers.
+    pub(crate) fn observe(&self, ev: crate::observer::VerbEvent) {
+        self.each_observer(|o| o.on_verb(&ev));
+    }
+
+    /// Report a verb attempt against a crashed server to the observers.
     pub(crate) fn observe_unreachable(
         &self,
         client: u64,
         server: usize,
         kind: crate::fault::AttemptKind,
     ) {
-        let obs = self.inner.observer.borrow().clone();
-        if let Some(obs) = obs {
-            obs.on_unreachable(client, server, kind, self.inner.sim.now());
-        }
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_unreachable(client, server, kind, now));
     }
 
     /// Report that epoch GC retired `[offset, offset + len)` on `server`;
     /// later verbs touching it are use-after-free (see
     /// [`crate::observer::VerbObserver::on_free`]).
-    #[cfg(feature = "sanitizer")]
     pub fn note_freed(&self, server: usize, offset: u64, len: usize) {
-        let obs = self.inner.observer.borrow().clone();
-        if let Some(obs) = obs {
-            obs.on_free(server, offset, len, self.inner.sim.now());
-        }
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_free(server, offset, len, now));
+    }
+
+    /// Report a completed two-sided RPC to the installed observers.
+    pub(crate) fn observe_rpc(&self, ev: crate::observer::RpcEvent) {
+        self.each_observer(|o| o.on_rpc(&ev));
+    }
+
+    /// Report a charged verb/RPC failure (timeout or unreachable).
+    pub(crate) fn observe_verb_failed(&self, client: u64, server: usize) {
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_verb_failed(client, server, now));
+    }
+
+    /// Report that `client` began an index-level operation.
+    pub fn note_op_start(&self, client: u64, kind: crate::observer::OpKind) {
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_op_start(client, kind, now));
+    }
+
+    /// Report that `client` finished its current index-level operation.
+    pub fn note_op_end(&self, client: u64, kind: crate::observer::OpKind, ok: bool) {
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_op_end(client, kind, now, ok));
+    }
+
+    /// Report that `client` entered (`enter`) or left a protocol region.
+    pub fn note_region(&self, client: u64, kind: crate::observer::RegionKind, enter: bool) {
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_region(client, kind, enter, now));
+    }
+
+    /// Report a cluster-scoped labelled instant (fault injection etc.).
+    pub fn note_instant(&self, label: &str) {
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_instant(label, now));
     }
 
     // ---- control path (untimed; for loading / setup, not measurement) ----

@@ -35,8 +35,7 @@ use simnet::{Sim, SimDur, SimTime};
 
 use crate::cluster::Cluster;
 use crate::fault::{AttemptKind, VerbError};
-#[cfg(feature = "sanitizer")]
-use crate::observer::{VerbEvent, VerbKind};
+use crate::observer::{RpcEvent, VerbEvent, VerbKind};
 use crate::ptr::RemotePtr;
 
 /// What an RPC handler returns: the caller-visible value plus the costs
@@ -100,8 +99,8 @@ impl Endpoint {
         self.machine == Some(self.cluster.spec().machine_of(s))
     }
 
-    /// Report a completed verb to the cluster's observer.
-    #[cfg(feature = "sanitizer")]
+    /// Report a completed verb to the cluster's observers. With none
+    /// installed this is a flag check and nothing more.
     fn emit(
         &self,
         server: usize,
@@ -109,7 +108,11 @@ impl Endpoint {
         len: usize,
         kind: VerbKind,
         issued: simnet::SimTime,
+        queue_nanos: u64,
     ) {
+        if !self.cluster.has_observers() {
+            return;
+        }
         self.cluster.observe(VerbEvent {
             server,
             offset,
@@ -118,6 +121,7 @@ impl Endpoint {
             issued,
             time: self.cluster.sim().now(),
             client: self.client,
+            queue_nanos,
         });
     }
 
@@ -142,11 +146,9 @@ impl Endpoint {
     /// (the NIC reports a retry-exhausted / receiver-not-ready error).
     async fn fail_unreachable(&self, s: usize, kind: AttemptKind) -> VerbError {
         self.cluster.note_unreachable();
-        #[cfg(feature = "sanitizer")]
         self.cluster.observe_unreachable(self.client, s, kind);
-        #[cfg(not(feature = "sanitizer"))]
-        let _ = kind;
         self.sim().sleep(self.cluster.spec().rt_latency).await;
+        self.cluster.observe_verb_failed(self.client, s);
         VerbError::ServerUnreachable { server: s }
     }
 
@@ -154,20 +156,22 @@ impl Endpoint {
     async fn fail_timeout(&self, s: usize, deadline: SimTime) -> VerbError {
         self.cluster.note_timeout();
         self.sim().sleep_until(deadline).await;
+        self.cluster.observe_verb_failed(self.client, s);
         VerbError::Timeout { server: s }
     }
 
     /// Charge the remote wire path of a one-sided verb: drop roll,
     /// analytic deadline check against the NIC FIFO, wire occupancy, and
     /// the round trip (plus any degradation delay). Returns at the
-    /// verb's completion instant; applies no memory effect.
+    /// verb's completion instant with the nanoseconds the verb waited
+    /// behind earlier NIC traffic; applies no memory effect.
     async fn charge_remote(
         &self,
         s: usize,
         overhead: SimDur,
         payload: usize,
         deadline: SimTime,
-    ) -> Result<(), VerbError> {
+    ) -> Result<u64, VerbError> {
         let sim = self.sim();
         let spec = self.cluster.spec();
         let mut bw = spec.effective_bandwidth(s);
@@ -181,13 +185,14 @@ impl Endpoint {
         }
         let wire = overhead + SimDur::from_secs_f64(payload as f64 / bw);
         let server = self.cluster.server(s);
-        let projected = server.nic.busy_until().max(sim.now()) + wire + spec.rt_latency + extra;
+        let queue = server.nic.queue_delay(sim.now());
+        let projected = sim.now() + queue + wire + spec.rt_latency + extra;
         if projected > deadline {
             return Err(self.fail_timeout(s, deadline).await);
         }
         server.nic.acquire(&sim, wire).await;
         sim.sleep(spec.rt_latency + extra).await;
-        Ok(())
+        Ok(queue.as_nanos())
     }
 
     /// This verb's completion deadline.
@@ -200,7 +205,6 @@ impl Endpoint {
     /// One-sided `RDMA_READ` of `len` bytes.
     pub async fn read(&self, ptr: RemotePtr, len: usize) -> Result<Vec<u8>, VerbError> {
         let sim = self.sim();
-        #[cfg(feature = "sanitizer")]
         let issued = sim.now();
         self.check_alive()?;
         let s = self.decode(ptr)?;
@@ -210,12 +214,15 @@ impl Endpoint {
         let deadline = self.deadline();
         let server = self.cluster.server(s);
         server.onesided_ops.inc();
+        let queue;
         if self.is_local(s) {
             server.local_bytes.add(len as u64);
             sim.sleep(self.cluster.spec().local_time(len)).await;
+            queue = 0;
         } else {
             server.bytes_out.add(len as u64);
-            self.charge_remote(s, self.cluster.spec().op_wire_overhead, len, deadline)
+            queue = self
+                .charge_remote(s, self.cluster.spec().op_wire_overhead, len, deadline)
                 .await?;
         }
         if !self.cluster.server_up(s) {
@@ -224,8 +231,7 @@ impl Endpoint {
         // Effect at completion: copy the bytes as they are *now*.
         let mut buf = vec![0u8; len];
         server.pool.borrow().copy_out(ptr.offset(), &mut buf);
-        #[cfg(feature = "sanitizer")]
-        self.emit(s, ptr.offset(), len, VerbKind::Read, issued);
+        self.emit(s, ptr.offset(), len, VerbKind::Read, issued, queue);
         Ok(buf)
     }
 
@@ -234,7 +240,6 @@ impl Endpoint {
     /// completion, so transfers to different servers overlap.
     pub async fn read_many(&self, reqs: &[(RemotePtr, usize)]) -> Result<Vec<Vec<u8>>, VerbError> {
         let sim = self.sim();
-        #[cfg(feature = "sanitizer")]
         let issued = sim.now();
         self.check_alive()?;
         let mut servers = Vec::with_capacity(reqs.len());
@@ -269,6 +274,9 @@ impl Endpoint {
         // this batch's own requests stack up behind one another.
         let mut projected: Vec<(usize, SimTime)> = Vec::new();
         let mut wires: Vec<Option<SimDur>> = Vec::with_capacity(reqs.len());
+        // Per-request NIC queue wait (behind earlier traffic *and* this
+        // batch's own earlier requests to the same server).
+        let mut queues: Vec<u64> = Vec::with_capacity(reqs.len());
         let mut latest = sim.now();
         let mut slowest = servers[0];
         let mut any_remote = false;
@@ -279,6 +287,7 @@ impl Endpoint {
             if self.is_local(s) {
                 done = sim.now() + self.cluster.spec().local_time(len);
                 wires.push(None);
+                queues.push(0);
             } else {
                 any_remote = true;
                 let spec = self.cluster.spec();
@@ -296,7 +305,8 @@ impl Endpoint {
                         projected.len() - 1
                     }
                 };
-                projected[i].1 = projected[i].1 + wire;
+                queues.push((projected[i].1 - sim.now()).as_nanos());
+                projected[i].1 += wire;
                 done = projected[i].1 + extra;
                 wires.push(Some(wire));
             }
@@ -348,9 +358,15 @@ impl Endpoint {
                 buf
             })
             .collect();
-        #[cfg(feature = "sanitizer")]
-        for &(ptr, len) in reqs {
-            self.emit(ptr.server(), ptr.offset(), len, VerbKind::Read, issued);
+        for (&(ptr, len), &queue) in reqs.iter().zip(&queues) {
+            self.emit(
+                ptr.server(),
+                ptr.offset(),
+                len,
+                VerbKind::Read,
+                issued,
+                queue,
+            );
         }
         Ok(bufs)
     }
@@ -358,7 +374,6 @@ impl Endpoint {
     /// One-sided `RDMA_WRITE` of `data`.
     pub async fn write(&self, ptr: RemotePtr, data: &[u8]) -> Result<(), VerbError> {
         let sim = self.sim();
-        #[cfg(feature = "sanitizer")]
         let issued = sim.now();
         self.check_alive()?;
         let s = self.decode(ptr)?;
@@ -368,37 +383,40 @@ impl Endpoint {
         let deadline = self.deadline();
         let server = self.cluster.server(s);
         server.onesided_ops.inc();
+        let queue;
         if self.is_local(s) {
             server.local_bytes.add(data.len() as u64);
             sim.sleep(self.cluster.spec().local_time(data.len())).await;
+            queue = 0;
         } else {
             server.bytes_in.add(data.len() as u64);
-            self.charge_remote(
-                s,
-                self.cluster.spec().op_wire_overhead,
-                data.len(),
-                deadline,
-            )
-            .await?;
+            queue = self
+                .charge_remote(
+                    s,
+                    self.cluster.spec().op_wire_overhead,
+                    data.len(),
+                    deadline,
+                )
+                .await?;
         }
         if !self.cluster.server_up(s) {
             return Err(self.fail_unreachable(s, AttemptKind::Write).await);
         }
         server.pool.borrow_mut().copy_in(ptr.offset(), data);
-        #[cfg(feature = "sanitizer")]
-        self.emit(s, ptr.offset(), data.len(), VerbKind::Write, issued);
+        self.emit(s, ptr.offset(), data.len(), VerbKind::Write, issued, queue);
         Ok(())
     }
 
-    /// Charge the cost of a remote atomic (8 bytes each way).
-    async fn atomic_cost(&self, s: usize, deadline: SimTime) -> Result<(), VerbError> {
+    /// Charge the cost of a remote atomic (8 bytes each way). Returns
+    /// the NIC queue wait in nanoseconds.
+    async fn atomic_cost(&self, s: usize, deadline: SimTime) -> Result<u64, VerbError> {
         let sim = self.sim();
         let server = self.cluster.server(s);
         server.onesided_ops.inc();
         if self.is_local(s) {
             server.local_bytes.add(8);
             sim.sleep(self.cluster.spec().local_time(8)).await;
-            Ok(())
+            Ok(0)
         } else {
             server.bytes_in.add(8);
             server.bytes_out.add(8);
@@ -410,7 +428,6 @@ impl Endpoint {
     /// One-sided `RDMA_CAS` on an 8-byte word. Returns the previous
     /// value; the swap happened iff it equals `expected`.
     pub async fn cas(&self, ptr: RemotePtr, expected: u64, new: u64) -> Result<u64, VerbError> {
-        #[cfg(feature = "sanitizer")]
         let issued = self.sim().now();
         self.check_alive()?;
         let s = self.decode(ptr)?;
@@ -418,7 +435,7 @@ impl Endpoint {
             return Err(self.fail_unreachable(s, AttemptKind::Cas).await);
         }
         let deadline = self.deadline();
-        self.atomic_cost(s, deadline).await?;
+        let queue = self.atomic_cost(s, deadline).await?;
         if !self.cluster.server_up(s) {
             return Err(self.fail_unreachable(s, AttemptKind::Cas).await);
         }
@@ -428,7 +445,6 @@ impl Endpoint {
             .pool
             .borrow_mut()
             .cas(ptr.offset(), expected, new);
-        #[cfg(feature = "sanitizer")]
         self.emit(
             s,
             ptr.offset(),
@@ -439,6 +455,7 @@ impl Endpoint {
                 prev,
             },
             issued,
+            queue,
         );
         // Fault-injection hook: a client armed with kill-on-lock-acquire
         // dies the instant its acquire CAS lands — after the remote
@@ -447,7 +464,8 @@ impl Endpoint {
         // layer (`Cluster::set_lock_acquire_shape`); the transport knows
         // nothing about any particular lock-word encoding.
         if prev == expected {
-            self.cluster.maybe_fire_lock_kill(self.client, expected, new);
+            self.cluster
+                .maybe_fire_lock_kill(self.client, expected, new);
         }
         Ok(prev)
     }
@@ -455,7 +473,6 @@ impl Endpoint {
     /// One-sided `RDMA_FETCH_AND_ADD` on an 8-byte word; returns the
     /// previous value.
     pub async fn fetch_add(&self, ptr: RemotePtr, add: u64) -> Result<u64, VerbError> {
-        #[cfg(feature = "sanitizer")]
         let issued = self.sim().now();
         self.check_alive()?;
         let s = self.decode(ptr)?;
@@ -463,7 +480,7 @@ impl Endpoint {
             return Err(self.fail_unreachable(s, AttemptKind::Faa).await);
         }
         let deadline = self.deadline();
-        self.atomic_cost(s, deadline).await?;
+        let queue = self.atomic_cost(s, deadline).await?;
         if !self.cluster.server_up(s) {
             return Err(self.fail_unreachable(s, AttemptKind::Faa).await);
         }
@@ -473,8 +490,14 @@ impl Endpoint {
             .pool
             .borrow_mut()
             .fetch_add(ptr.offset(), add);
-        #[cfg(feature = "sanitizer")]
-        self.emit(s, ptr.offset(), 8, VerbKind::Faa { add, prev }, issued);
+        self.emit(
+            s,
+            ptr.offset(),
+            8,
+            VerbKind::Faa { add, prev },
+            issued,
+            queue,
+        );
         Ok(prev)
     }
 
@@ -485,17 +508,19 @@ impl Endpoint {
     /// reservation — the allocation effect applies only at completion.
     pub async fn alloc(&self, s: usize, size: u64) -> Result<RemotePtr, VerbError> {
         let sim = self.sim();
-        #[cfg(feature = "sanitizer")]
         let issued = sim.now();
         self.check_alive()?;
         if !self.cluster.server_up(s) {
             return Err(self.fail_unreachable(s, AttemptKind::Alloc).await);
         }
         let deadline = self.deadline();
+        let queue;
         if self.is_local(s) {
             sim.sleep(self.cluster.spec().local_latency).await;
+            queue = 0;
         } else {
-            self.charge_remote(s, self.cluster.spec().op_wire_overhead, 0, deadline)
+            queue = self
+                .charge_remote(s, self.cluster.spec().op_wire_overhead, 0, deadline)
                 .await?;
         }
         if !self.cluster.server_up(s) {
@@ -504,8 +529,14 @@ impl Endpoint {
         // Effect at completion: the bump reservation happens only once
         // the request has survived the wire and the server is still up.
         let ptr = self.cluster.setup_alloc(s, size);
-        #[cfg(feature = "sanitizer")]
-        self.emit(s, ptr.offset(), size as usize, VerbKind::Alloc, issued);
+        self.emit(
+            s,
+            ptr.offset(),
+            size as usize,
+            VerbKind::Alloc,
+            issued,
+            queue,
+        );
         Ok(ptr)
     }
 
@@ -546,6 +577,7 @@ impl Endpoint {
         handler: impl FnOnce() -> RpcReply<R>,
     ) -> Result<R, VerbError> {
         let sim = self.sim();
+        let issued = sim.now();
         self.check_alive()?;
         if !self.cluster.server_up(s) {
             return Err(self.fail_unreachable(s, AttemptKind::Rpc).await);
@@ -555,6 +587,10 @@ impl Endpoint {
         let server = self.cluster.server(s);
         server.rpcs.inc();
         let local = self.is_local(s);
+        // Time spent queued (NIC FIFO on both legs + waiting for a
+        // handler core) and executing on the handler core, for the
+        // completion event.
+        let mut queue_nanos: u64 = 0;
 
         // Request leg.
         if local {
@@ -571,13 +607,15 @@ impl Endpoint {
                 return Err(self.fail_timeout(s, deadline).await);
             }
             let wire = spec.op_wire_overhead + SimDur::from_secs_f64(req_bytes as f64 / bw);
-            let projected = server.nic.busy_until().max(sim.now()) + wire + spec.rt_latency / 2;
+            let queue = server.nic.queue_delay(sim.now());
+            let projected = sim.now() + queue + wire + spec.rt_latency / 2;
             if projected + extra > deadline {
                 return Err(self.fail_timeout(s, deadline).await);
             }
             server.bytes_in.add(req_bytes as u64);
             server.nic.acquire(&sim, wire).await;
             sim.sleep(spec.rt_latency / 2 + extra).await;
+            queue_nanos += queue.as_nanos();
         }
         if !self.cluster.server_up(s) {
             return Err(self.fail_unreachable(s, AttemptKind::Rpc).await);
@@ -586,7 +624,9 @@ impl Endpoint {
         // Handler: queue for a core, run, hold the core for the work done.
         // RC connection state adds per-client pressure (see
         // `ClusterSpec::rpc_client_penalty`).
+        let cpu_wait_from = sim.now();
         let grant = server.cpu.acquire(&sim).await;
+        queue_nanos += (sim.now() - cpu_wait_from).as_nanos();
         if !self.cluster.server_up(s) {
             // The server crashed while the request sat in its queue.
             grant.complete(&sim, SimDur::ZERO).await;
@@ -601,6 +641,7 @@ impl Endpoint {
         let service =
             SimDur::from_secs_f64((reply.cpu + state_penalty).as_secs_f64() * spec.cpu_factor(s));
         grant.complete(&sim, service).await;
+        let server_nanos = service.as_nanos();
         if !self.cluster.server_up(s) {
             return Err(self.fail_unreachable(s, AttemptKind::Rpc).await);
         }
@@ -620,13 +661,25 @@ impl Endpoint {
                 return Err(self.fail_timeout(s, deadline).await);
             }
             let wire = spec.op_wire_overhead + SimDur::from_secs_f64(reply.resp_bytes as f64 / bw);
-            let projected = server.nic.busy_until().max(sim.now()) + wire + spec.rt_latency / 2;
+            let queue = server.nic.queue_delay(sim.now());
+            let projected = sim.now() + queue + wire + spec.rt_latency / 2;
             if projected + extra > deadline {
                 return Err(self.fail_timeout(s, deadline).await);
             }
             server.bytes_out.add(reply.resp_bytes as u64);
             server.nic.acquire(&sim, wire).await;
             sim.sleep(spec.rt_latency / 2 + extra).await;
+            queue_nanos += queue.as_nanos();
+        }
+        if self.cluster.has_observers() {
+            self.cluster.observe_rpc(RpcEvent {
+                client: self.client,
+                server: s,
+                issued,
+                time: sim.now(),
+                queue_nanos,
+                server_nanos,
+            });
         }
         Ok(reply.value)
     }

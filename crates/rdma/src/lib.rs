@@ -34,7 +34,6 @@
 pub mod cluster;
 pub mod endpoint;
 pub mod fault;
-#[cfg(feature = "sanitizer")]
 pub mod observer;
 pub mod pool;
 pub mod ptr;
@@ -43,6 +42,7 @@ pub mod spec;
 pub use cluster::{Cluster, ServerStats};
 pub use endpoint::{Endpoint, RpcReply};
 pub use fault::{AttemptKind, FaultStats, LinkDegrade, VerbError};
+pub use observer::{OpKind, RegionKind, RpcEvent, VerbEvent, VerbKind, VerbObserver};
 pub use pool::MemPool;
 pub use ptr::{PtrDecodeError, RemotePtr};
 pub use spec::{ClusterSpec, MAX_LOCK_HOLD_VERBS};

@@ -1,12 +1,19 @@
-//! Verb-level observation hooks (the `sanitizer` feature).
+//! Verb-level observation hooks.
 //!
-//! When the `sanitizer` feature is enabled, every one-sided verb an
-//! [`crate::Endpoint`] completes — READ, WRITE, CAS, FETCH_AND_ADD, ALLOC
-//! — reports `(server, byte-range, kind, virtual time, issuing client)` to
-//! an installed [`VerbObserver`] at the instant its memory effect applies.
-//! The protocol sanitizer crate implements the observer to enforce the
-//! optimistic-lock-coupling invariants; this module only defines the
-//! reporting surface so the verb layer stays free of checking policy.
+//! Every one-sided verb an [`crate::Endpoint`] completes — READ, WRITE,
+//! CAS, FETCH_AND_ADD, ALLOC — reports `(server, byte-range, kind,
+//! virtual time, issuing client)` to each installed [`VerbObserver`] at
+//! the instant its memory effect applies. Two-sided RPCs, failed verbs,
+//! index-operation boundaries, protocol regions (lock wait, backoff) and
+//! free-text instants flow through the same hook. The protocol sanitizer
+//! implements the observer to enforce optimistic-lock-coupling
+//! invariants; the telemetry crate implements it to build causal spans
+//! and Perfetto traces. This module only defines the reporting surface
+//! so the verb layer stays free of checking/accounting policy.
+//!
+//! Multiple observers may be registered ([`crate::Cluster::add_observer`]);
+//! they fire in registration order. With none registered the hot path
+//! reduces to a single flag check ([`crate::Cluster::has_observers`]).
 //!
 //! Observers run synchronously on the simulated completion path and must
 //! not charge simulated time or re-enter the verb layer; they may inspect
@@ -60,11 +67,86 @@ pub struct VerbEvent {
     pub time: SimTime,
     /// The issuing client (endpoint id).
     pub client: u64,
+    /// Nanoseconds of `[issued, time)` the verb spent queued behind
+    /// earlier traffic on the target NIC port (zero for local verbs).
+    pub queue_nanos: u64,
+}
+
+/// One completed two-sided RPC, reported at its completion instant.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcEvent {
+    /// The issuing client (endpoint id).
+    pub client: u64,
+    /// Memory server whose handler pool ran the RPC.
+    pub server: usize,
+    /// Virtual time the request was issued by the client.
+    pub issued: SimTime,
+    /// Virtual time the response arrived back at the client.
+    pub time: SimTime,
+    /// Nanoseconds of `[issued, time)` spent queued: NIC FIFO on both
+    /// legs plus waiting for a free handler core.
+    pub queue_nanos: u64,
+    /// Nanoseconds of `[issued, time)` the handler core spent executing
+    /// the request (server occupancy).
+    pub server_nanos: u64,
+}
+
+/// The index-level operation an op span describes (see
+/// [`VerbObserver::on_op_start`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point lookup.
+    Lookup,
+    /// Range scan.
+    Range,
+    /// Insert / update.
+    Insert,
+    /// Delete.
+    Delete,
+    /// Epoch garbage-collection pass.
+    Gc,
+}
+
+impl OpKind {
+    /// Stable lower-case label (used for trace/metric names).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Lookup => "lookup",
+            OpKind::Range => "range",
+            OpKind::Insert => "insert",
+            OpKind::Delete => "delete",
+            OpKind::Gc => "gc",
+        }
+    }
+}
+
+/// A protocol region a client can enter within an op (see
+/// [`VerbObserver::on_region`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Spinning on a locked/contended node (re-reads, CAS retries).
+    LockWait,
+    /// Sleeping in exponential backoff between op attempts.
+    Backoff,
+}
+
+impl RegionKind {
+    /// Stable label (used for trace/metric names).
+    pub fn label(self) -> &'static str {
+        match self {
+            RegionKind::LockWait => "lock_wait",
+            RegionKind::Backoff => "backoff",
+        }
+    }
 }
 
 pub use crate::fault::AttemptKind;
 
 /// Receiver for verb events and reclamation notices.
+///
+/// Only [`on_verb`](Self::on_verb) and [`on_free`](Self::on_free) are
+/// required; every other hook defaults to a no-op so existing observers
+/// (the sanitizer) keep compiling as the reporting surface grows.
 pub trait VerbObserver {
     /// A verb completed and its memory effect has been applied.
     fn on_verb(&self, ev: &VerbEvent);
@@ -74,8 +156,44 @@ pub trait VerbObserver {
     fn on_free(&self, server: usize, offset: u64, len: usize, time: SimTime);
 
     /// `client` attempted a verb against a crashed `server` and received
-    /// `ServerUnreachable`. The verb had no remote effect. Default: ignore.
+    /// `ServerUnreachable`. The verb had no remote effect. Fires at issue
+    /// time, before the failure is charged. Default: ignore.
     fn on_unreachable(&self, client: u64, server: usize, kind: AttemptKind, time: SimTime) {
         let _ = (client, server, kind, time);
+    }
+
+    /// A two-sided RPC completed (response received). Default: ignore.
+    fn on_rpc(&self, ev: &RpcEvent) {
+        let _ = ev;
+    }
+
+    /// A verb or RPC by `client` against `server` failed (timeout or
+    /// unreachable) after its failure latency was charged. Default: ignore.
+    fn on_verb_failed(&self, client: u64, server: usize, time: SimTime) {
+        let _ = (client, server, time);
+    }
+
+    /// `client` began an index-level operation. Default: ignore.
+    fn on_op_start(&self, client: u64, kind: OpKind, time: SimTime) {
+        let _ = (client, kind, time);
+    }
+
+    /// `client` finished the operation started by the matching
+    /// [`on_op_start`](Self::on_op_start); `ok` is false when it returned
+    /// an error. Default: ignore.
+    fn on_op_end(&self, client: u64, kind: OpKind, time: SimTime, ok: bool) {
+        let _ = (client, kind, time, ok);
+    }
+
+    /// `client` entered (`enter == true`) or left a protocol region.
+    /// Regions of different kinds do not nest. Default: ignore.
+    fn on_region(&self, client: u64, kind: RegionKind, enter: bool, time: SimTime) {
+        let _ = (client, kind, enter, time);
+    }
+
+    /// A cluster-scoped event (fault injection, recovery) with a
+    /// human-readable label. Default: ignore.
+    fn on_instant(&self, label: &str, time: SimTime) {
+        let _ = (label, time);
     }
 }

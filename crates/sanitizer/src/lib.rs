@@ -217,7 +217,8 @@ pub struct Sanitizer {
 
 impl Sanitizer {
     /// Build a checker for `cluster` (pages are `page_size` bytes) and
-    /// install it as the cluster's verb observer.
+    /// register it as one of the cluster's verb observers (other
+    /// observers — e.g. telemetry — may coexist).
     pub fn install(cluster: &Cluster, page_size: usize) -> Rc<Sanitizer> {
         assert!(page_size >= 8, "page must at least hold the lock word");
         let san = Rc::new(Sanitizer {
@@ -225,7 +226,7 @@ impl Sanitizer {
             page_size,
             state: RefCell::new(State::default()),
         });
-        cluster.set_observer(san.clone());
+        cluster.add_observer(san.clone());
         san
     }
 

@@ -1,0 +1,97 @@
+//! Property tests for `simnet::stats::Histogram`: percentile
+//! monotonicity, merge/concatenation equivalence, and the documented
+//! ≤3% relative-error bound of the log-bucketed representation.
+
+use proptest::prelude::*;
+use simnet::stats::Histogram;
+
+/// The exact empirical percentile matching the histogram's definition:
+/// the `ceil(q * n)`-th smallest sample (1-based, at least the 1st).
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let target = ((q.clamp(0.0, 1.0) * n).ceil() as usize).max(1);
+    sorted[target - 1]
+}
+
+fn histogram_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// percentile(q) is non-decreasing in q.
+    #[test]
+    fn percentile_is_monotone(
+        values in prop::collection::vec(1u64..1 << 40, 1..200),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = histogram_of(&values);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(
+            h.percentile(lo) <= h.percentile(hi),
+            "p({lo}) = {} > p({hi}) = {}",
+            h.percentile(lo),
+            h.percentile(hi)
+        );
+    }
+
+    /// Merging two histograms is observationally identical to recording
+    /// the concatenation of their samples into one histogram.
+    #[test]
+    fn merge_equals_concatenated_record(
+        a in prop::collection::vec(1u64..1 << 40, 0..120),
+        b in prop::collection::vec(1u64..1 << 40, 1..120),
+    ) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let direct = histogram_of(&concat);
+
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.min(), direct.min());
+        prop_assert_eq!(merged.max(), direct.max());
+        prop_assert_eq!(merged.mean(), direct.mean());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.percentile(q), direct.percentile(q));
+        }
+    }
+
+    /// Every percentile estimate is within 3% (relative) of the exact
+    /// empirical percentile — the bound the log-bucketed layout
+    /// (32 sub-buckets per power of two) documents.
+    #[test]
+    fn percentile_relative_error_within_3_percent(
+        values in prop::collection::vec(1u64..1 << 40, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = histogram_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_percentile(&sorted, q);
+        let approx = h.percentile(q);
+        let err = approx.abs_diff(exact) as f64;
+        prop_assert!(
+            err <= 0.03 * exact as f64,
+            "p({q}): approx {approx} vs exact {exact} (err {err})"
+        );
+    }
+
+    /// min/max/count are exact regardless of bucketing.
+    #[test]
+    fn extremes_and_count_are_exact(
+        values in prop::collection::vec(1u64..1 << 40, 1..200),
+    ) {
+        let h = histogram_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,216 @@
+//! Chrome-trace (Perfetto-loadable) JSON event buffer.
+//!
+//! Events are appended in simulation callback order — which is
+//! deterministic per seed — and rendered one JSON object per line
+//! inside a top-level array, so two same-seed runs produce
+//! byte-identical files and validators can work line-by-line.
+//! Timestamps are virtual time: nanoseconds rendered as fractional
+//! microseconds (the unit Perfetto/chrome://tracing expect).
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+
+/// One trace-event argument value.
+#[derive(Clone, Debug)]
+pub enum ArgValue {
+    /// Unsigned integer argument.
+    U64(u64),
+    /// String argument (escaped at render time).
+    Str(String),
+}
+
+/// One Chrome trace event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Phase: `B`/`E` duration, `X` complete, `i` instant, `M` metadata.
+    pub ph: char,
+    /// Event name.
+    pub name: String,
+    /// Category (`op`, `region`, `verb`, `fault`, `__metadata`).
+    pub cat: &'static str,
+    /// Virtual timestamp, nanoseconds.
+    pub ts_nanos: u64,
+    /// Duration in nanoseconds (`X` events only).
+    pub dur_nanos: Option<u64>,
+    /// Track: the client id (0 for cluster-scoped events).
+    pub tid: u64,
+    /// Instant scope (`i` events): `g` global, `t` thread.
+    pub scope: Option<char>,
+    /// Arguments, rendered in given order.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Append-only buffer of trace events.
+#[derive(Default)]
+pub struct TraceBuf {
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl TraceBuf {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        TraceBuf::default()
+    }
+
+    /// Append one event.
+    pub fn push(&self, ev: TraceEvent) {
+        self.events.borrow_mut().push(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Render the full Chrome-trace JSON array: metadata first (process
+    /// name, one thread name per client in `clients`), then the buffered
+    /// events in append order, one object per line.
+    pub fn render(&self, clients: impl Iterator<Item = u64>) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        lines.push(
+            "{\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0.000,\
+             \"pid\":0,\"tid\":0,\"args\":{\"name\":\"namdex-sim\"}}"
+                .to_string(),
+        );
+        for c in clients {
+            lines.push(format!(
+                "{{\"name\":\"thread_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0.000,\
+                 \"pid\":0,\"tid\":{c},\"args\":{{\"name\":\"client {c}\"}}}}"
+            ));
+        }
+        for ev in self.events.borrow().iter() {
+            lines.push(render_event(ev));
+        }
+        let mut out = String::from("[\n");
+        for (i, line) in lines.iter().enumerate() {
+            out.push_str(line);
+            if i + 1 < lines.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Nanoseconds as a fractional-microsecond JSON number (`123.456`).
+fn fmt_us(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1000, nanos % 1000)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_event(ev: &TraceEvent) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{}",
+        escape(&ev.name),
+        ev.cat,
+        ev.ph,
+        fmt_us(ev.ts_nanos)
+    );
+    if let Some(dur) = ev.dur_nanos {
+        let _ = write!(out, ",\"dur\":{}", fmt_us(dur));
+    }
+    let _ = write!(out, ",\"pid\":0,\"tid\":{}", ev.tid);
+    if let Some(scope) = ev.scope {
+        let _ = write!(out, ",\"s\":\"{scope}\"");
+    }
+    if !ev.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (key, value)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match value {
+                ArgValue::U64(v) => {
+                    let _ = write!(out, "\"{key}\":{v}");
+                }
+                ArgValue::Str(s) => {
+                    let _ = write!(out, "\"{key}\":\"{}\"", escape(s));
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_one_event_per_line() {
+        let buf = TraceBuf::new();
+        buf.push(TraceEvent {
+            ph: 'B',
+            name: "lookup".into(),
+            cat: "op",
+            ts_nanos: 1_234_567,
+            dur_nanos: None,
+            tid: 3,
+            scope: None,
+            args: vec![],
+        });
+        buf.push(TraceEvent {
+            ph: 'E',
+            name: "lookup".into(),
+            cat: "op",
+            ts_nanos: 2_000_001,
+            dur_nanos: None,
+            tid: 3,
+            scope: None,
+            args: vec![("ok", ArgValue::U64(1))],
+        });
+        let json = buf.render([3u64].into_iter());
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.first(), Some(&"["));
+        assert_eq!(lines.last(), Some(&"]"));
+        // metadata (process + thread) + 2 events.
+        assert_eq!(lines.len(), 2 + 4);
+        assert!(lines[3].contains("\"ts\":1234.567"));
+        assert!(lines[4].contains("\"args\":{\"ok\":1}"));
+        assert!(lines[3].ends_with(','));
+        assert!(!lines[4].ends_with(','));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let buf = TraceBuf::new();
+        buf.push(TraceEvent {
+            ph: 'i',
+            name: "a\"b\\c".into(),
+            cat: "fault",
+            ts_nanos: 0,
+            dur_nanos: None,
+            tid: 0,
+            scope: Some('g'),
+            args: vec![],
+        });
+        let json = buf.render(std::iter::empty());
+        assert!(json.contains("a\\\"b\\\\c"));
+        assert!(json.contains("\"s\":\"g\""));
+    }
+}

@@ -20,6 +20,13 @@
 //! `cargo xtask lint --self-test` runs the scanner over embedded seeded
 //! violations and fails unless every rule fires (and the allow marker
 //! suppresses), so the gate is itself gated.
+//!
+//! `cargo xtask trace-check` exercises the telemetry exporter: it runs
+//! the seeded `trace_demo` experiment twice with `--trace`, validates
+//! the Chrome-trace JSON line by line (required fields, matched B/E
+//! stacks per track, non-decreasing duration-event timestamps), and
+//! fails unless the two same-seed traces are byte-identical (FNV-1a
+//! digest) — the telemetry counterpart of the determinism lint.
 
 use std::fmt;
 use std::fs;
@@ -254,13 +261,203 @@ fn self_test() -> ExitCode {
     }
 }
 
+// ---------------------------------------------------------------------
+// trace-check: schema + determinism gate for the telemetry exporter.
+
+/// FNV-1a 64-bit digest (dependency-free, stable across platforms).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pull a JSON string field (`"key":"value"`) out of one event line.
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Pull a JSON number field (`"key":123.456`) out of one event line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validate one Chrome-trace JSON file; returns an error string naming
+/// the first offending line. Open `B` spans at end-of-file are legal
+/// (the simulation stops mid-operation), unmatched `E`s are not.
+fn validate_trace(contents: &str) -> Result<(), String> {
+    let lines: Vec<&str> = contents.lines().collect();
+    if lines.first() != Some(&"[") || lines.last() != Some(&"]") {
+        return Err("trace must be a one-object-per-line JSON array".into());
+    }
+    // Per-(tid, cat) stacks of open B event names.
+    let mut stacks: std::collections::BTreeMap<(u64, String), Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut last_ts = f64::MIN;
+    let mut events = 0usize;
+    for (no, raw) in lines[1..lines.len() - 1].iter().enumerate() {
+        let lineno = no + 2;
+        let line = raw.strip_suffix(',').unwrap_or(raw);
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err(format!("line {lineno}: not a JSON object: {line}"));
+        }
+        let ph =
+            json_str_field(line, "ph").ok_or_else(|| format!("line {lineno}: missing \"ph\""))?;
+        let name = json_str_field(line, "name")
+            .ok_or_else(|| format!("line {lineno}: missing \"name\""))?
+            .to_string();
+        let cat = json_str_field(line, "cat")
+            .ok_or_else(|| format!("line {lineno}: missing \"cat\""))?
+            .to_string();
+        let ts =
+            json_num_field(line, "ts").ok_or_else(|| format!("line {lineno}: missing \"ts\""))?;
+        let tid = json_num_field(line, "tid")
+            .ok_or_else(|| format!("line {lineno}: missing \"tid\""))? as u64;
+        if json_num_field(line, "pid").is_none() {
+            return Err(format!("line {lineno}: missing \"pid\""));
+        }
+        events += 1;
+        match ph {
+            "M" => {}
+            "X" => {
+                let dur = json_num_field(line, "dur")
+                    .ok_or_else(|| format!("line {lineno}: X event missing \"dur\""))?;
+                if dur < 0.0 {
+                    return Err(format!("line {lineno}: negative duration"));
+                }
+            }
+            "i" => {
+                let scope = json_str_field(line, "s")
+                    .ok_or_else(|| format!("line {lineno}: instant missing \"s\""))?;
+                if scope != "g" && scope != "t" {
+                    return Err(format!("line {lineno}: instant scope must be g or t"));
+                }
+            }
+            "B" => {
+                // B/E/i events are appended at their event instant and
+                // virtual time never runs backwards.
+                if ts < last_ts {
+                    return Err(format!("line {lineno}: timestamp went backwards"));
+                }
+                stacks.entry((tid, cat)).or_default().push(name);
+            }
+            "E" => {
+                if ts < last_ts {
+                    return Err(format!("line {lineno}: timestamp went backwards"));
+                }
+                match stacks.entry((tid, cat.clone())).or_default().pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "line {lineno}: E \"{name}\" closes open B \"{open}\" (tid {tid}, cat {cat})"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {lineno}: E \"{name}\" with no open B (tid {tid}, cat {cat})"
+                        ));
+                    }
+                }
+            }
+            other => return Err(format!("line {lineno}: unknown phase {other:?}")),
+        }
+        if matches!(ph, "B" | "E" | "i") {
+            last_ts = ts;
+        }
+    }
+    if events == 0 {
+        return Err("trace contains no events".into());
+    }
+    Ok(())
+}
+
+fn run_trace_demo(root: &Path, out: &Path) -> Result<(), String> {
+    let status = std::process::Command::new("cargo")
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "bench",
+            "--bin",
+            "trace_demo",
+            "--",
+            "--seed",
+            "42",
+            "--trace",
+        ])
+        .arg(out)
+        .status()
+        .map_err(|e| format!("failed to launch cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("trace_demo exited with {status}"));
+    }
+    Ok(())
+}
+
+fn trace_check() -> ExitCode {
+    let root = repo_root();
+    let dir = root.join("target").join("trace-check");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("trace-check: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let runs = [dir.join("run1.json"), dir.join("run2.json")];
+    let mut digests = Vec::new();
+    for out in &runs {
+        if let Err(e) = run_trace_demo(&root, out) {
+            eprintln!("trace-check: {e}");
+            return ExitCode::FAILURE;
+        }
+        let contents = match fs::read_to_string(out) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("trace-check: cannot read {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = validate_trace(&contents) {
+            eprintln!("trace-check: {} is malformed: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        digests.push(fnv1a(contents.as_bytes()));
+        println!(
+            "trace-check: {} valid ({} lines, fnv1a {:016x})",
+            out.display(),
+            contents.lines().count(),
+            digests.last().unwrap()
+        );
+    }
+    if digests[0] != digests[1] {
+        eprintln!(
+            "trace-check: same-seed traces differ ({:016x} vs {:016x}) — telemetry is nondeterministic",
+            digests[0], digests[1]
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("trace-check: same seed, same trace — ok");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") if args.len() == 1 => lint(),
         Some("lint") if args[1] == "--self-test" => self_test(),
+        Some("trace-check") if args.len() == 1 => trace_check(),
         _ => {
-            eprintln!("usage: cargo xtask lint [--self-test]");
+            eprintln!("usage: cargo xtask <lint [--self-test] | trace-check>");
             ExitCode::FAILURE
         }
     }
@@ -323,6 +520,64 @@ mod tests {
             &mut out,
         );
         assert!(out.is_empty(), "{:?}", out.first().map(|f| f.to_string()));
+    }
+
+    #[test]
+    fn trace_validator_accepts_well_formed_trace() {
+        let trace = "[\n\
+            {\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0.000,\"pid\":0,\"tid\":0,\"args\":{\"name\":\"x\"}},\n\
+            {\"name\":\"lookup\",\"cat\":\"op\",\"ph\":\"B\",\"ts\":1.000,\"pid\":0,\"tid\":3},\n\
+            {\"name\":\"read\",\"cat\":\"verb\",\"ph\":\"X\",\"ts\":1.100,\"dur\":0.500,\"pid\":0,\"tid\":3},\n\
+            {\"name\":\"crash_server(1)\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":1.500,\"pid\":0,\"tid\":0,\"s\":\"g\"},\n\
+            {\"name\":\"lookup\",\"cat\":\"op\",\"ph\":\"E\",\"ts\":2.000,\"pid\":0,\"tid\":3},\n\
+            {\"name\":\"insert\",\"cat\":\"op\",\"ph\":\"B\",\"ts\":3.000,\"pid\":0,\"tid\":3}\n\
+            ]";
+        // Trailing open B is legal: the simulation stops mid-operation.
+        assert_eq!(validate_trace(trace), Ok(()));
+    }
+
+    #[test]
+    fn trace_validator_rejects_defects() {
+        let wrap = |events: &str| format!("[\n{events}\n]");
+        // Unmatched E.
+        let bad = wrap(
+            "{\"name\":\"lookup\",\"cat\":\"op\",\"ph\":\"E\",\"ts\":1.000,\"pid\":0,\"tid\":3}",
+        );
+        assert!(validate_trace(&bad).unwrap_err().contains("no open B"));
+        // Mismatched close.
+        let bad = wrap(
+            "{\"name\":\"lookup\",\"cat\":\"op\",\"ph\":\"B\",\"ts\":1.000,\"pid\":0,\"tid\":3},\n\
+             {\"name\":\"insert\",\"cat\":\"op\",\"ph\":\"E\",\"ts\":2.000,\"pid\":0,\"tid\":3}",
+        );
+        assert!(validate_trace(&bad).unwrap_err().contains("closes open B"));
+        // Backwards time on duration events.
+        let bad = wrap(
+            "{\"name\":\"a\",\"cat\":\"op\",\"ph\":\"B\",\"ts\":5.000,\"pid\":0,\"tid\":1},\n\
+             {\"name\":\"b\",\"cat\":\"op\",\"ph\":\"B\",\"ts\":4.000,\"pid\":0,\"tid\":2}",
+        );
+        assert!(validate_trace(&bad).unwrap_err().contains("backwards"));
+        // Missing field.
+        let bad = wrap("{\"name\":\"a\",\"cat\":\"op\",\"ph\":\"B\",\"ts\":1.000,\"tid\":1}");
+        assert!(validate_trace(&bad).unwrap_err().contains("pid"));
+        // Empty array.
+        assert!(validate_trace("[\n]").is_err());
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn json_field_extraction() {
+        let line = "{\"name\":\"rpc\",\"ph\":\"X\",\"ts\":12.345,\"pid\":0,\"tid\":7}";
+        assert_eq!(json_str_field(line, "name"), Some("rpc"));
+        assert_eq!(json_str_field(line, "ph"), Some("X"));
+        assert_eq!(json_num_field(line, "ts"), Some(12.345));
+        assert_eq!(json_num_field(line, "tid"), Some(7.0));
+        assert_eq!(json_num_field(line, "dur"), None);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`workload`] | `ycsb` | the paper's modified YCSB (Table 3) |
 //! | [`model`] | `analysis` | the §2.3 analytical scalability model |
 //! | [`chaos`] | `chaos` | deterministic fault injection: fault plans, client kills, server crashes, link degradation |
+//! | [`telemetry`] | `telemetry` | metrics registry, causal op spans, Chrome-trace/Perfetto export |
 //!
 //! ## Quickstart
 //!
@@ -65,6 +66,7 @@ pub use rdma_sim as rdma;
 #[cfg(feature = "sanitizer")]
 pub use sanitizer;
 pub use simnet as sim;
+pub use telemetry;
 pub use ycsb as workload;
 
 /// Everything needed to build and query an index on a simulated NAM
