@@ -1,60 +1,67 @@
-//! Appendix A.4: opportunities of client-side caching — fine-grained
-//! point lookups with and without an inner-node cache (read-only
-//! workload, so no invalidation is needed).
+//! Appendix A.4: opportunities of client-side caching — point lookups
+//! with and without the engine's cache layer, for both pointer-resolving
+//! designs (read-mostly workload, concurrent splits kept out so the
+//! numbers isolate the cache effect).
 //!
-//! Per-client `ClientCache` hit/miss counters are surfaced through the
-//! telemetry [`Registry`] (`cache.hits`, `cache.misses`, and the
-//! `cache.hit_ratio` gauge), and the hit ratio lands as a column of
+//! Caching runs through the *integrated* operation path: the same
+//! `Design::lookup` every other benchmark uses, with the index built
+//! under `cache_capacity` so the engine's `Cached` node source serves
+//! hits (FG: inner pages; Hybrid: leaf routes). Aggregate hit/miss
+//! counters come from `Design::cache_stats()` and are surfaced through
+//! the telemetry [`Registry`] (`cache.hits`, `cache.misses`, and the
+//! `cache.hit_ratio` gauge); the hit ratio lands as a column of
 //! `results/a04_caching.csv`.
 
 use bench::figures::num_keys;
 use bench::plot::{results_dir, write_csv};
 use blink::PageLayout;
-use namdex_core::{cache::fg_lookup_cached, ClientCache, FgConfig, FineGrained};
-use rdma_sim::{Cluster, ClusterSpec, Endpoint};
+use nam::{NamCluster, PartitionMap};
+use namdex_core::{Design, FgConfig, FineGrained, Hybrid};
+use rdma_sim::{ClusterSpec, Endpoint};
 use simnet::rng::DetRng;
 use simnet::stats::Counter;
 use simnet::{Sim, SimDur, SimTime};
 use std::rc::Rc;
 use telemetry::Registry;
 
+fn build(design: &str, nam: &NamCluster, keys: u64, cached: bool) -> Design {
+    let cfg = FgConfig {
+        layout: PageLayout::default(),
+        fill: 0.7,
+        head_stride: 8,
+        cache_capacity: if cached { Some(0) } else { None },
+    };
+    let items = (0..keys).map(|i| (i * 8, i));
+    match design {
+        "fg" => Design::Fg(FineGrained::build(&nam.rdma, cfg, items)),
+        "hybrid" => {
+            let partition = PartitionMap::range_uniform(nam.num_servers(), keys * 8);
+            Design::Hybrid(Hybrid::build(nam, cfg, partition, items))
+        }
+        _ => unreachable!("designs are fg|hybrid"),
+    }
+}
+
 /// Throughput of one configuration, plus the run's registry (carrying
 /// the aggregated cache counters).
-fn run(cached: bool, clients: usize, keys: u64) -> (f64, Registry) {
+fn run(design: &str, cached: bool, clients: usize, keys: u64) -> (f64, Registry) {
     let sim = Sim::new();
-    let cluster = Cluster::new(&sim, ClusterSpec::default());
-    let idx = FineGrained::build(
-        &cluster,
-        FgConfig {
-            layout: PageLayout::default(),
-            fill: 0.7,
-            head_stride: 8,
-        },
-        (0..keys).map(|i| (i * 8, i)),
-    );
+    let nam = NamCluster::new(&sim, ClusterSpec::default());
+    let idx = build(design, &nam, keys, cached);
     let warmup = SimTime::from_millis(3);
     let end = warmup + SimDur::from_millis(25);
     let ops = Rc::new(Counter::new());
-    let mut caches = Vec::new();
     for c in 0..clients {
         let idx = idx.clone();
-        let ep = Endpoint::new(&cluster);
+        let ep = Endpoint::new(&nam.rdma);
         let sim_c = sim.clone();
         let ops = ops.clone();
-        let cache = Rc::new(ClientCache::new(0));
-        caches.push(cache.clone());
         let mut rng = DetRng::seed_from_u64(42 ^ c as u64);
         sim.spawn(async move {
             loop {
                 let key = rng.next_u64_below(keys) * 8;
                 let t0 = sim_c.now();
-                if cached {
-                    fg_lookup_cached(&idx, &ep, &cache, key)
-                        .await
-                        .expect("fault-free run");
-                } else {
-                    idx.lookup(&ep, key).await.expect("fault-free run");
-                }
+                idx.lookup(&ep, key).await.expect("fault-free run");
                 if t0 >= warmup && sim_c.now() <= end {
                     ops.inc();
                 }
@@ -63,52 +70,52 @@ fn run(cached: bool, clients: usize, keys: u64) -> (f64, Registry) {
     }
     sim.run_until(end);
     let registry = Registry::new();
-    for cache in &caches {
-        registry.add("cache.hits", cache.hits());
-        registry.add("cache.misses", cache.misses());
-    }
-    let hits = registry.counter("cache.hits").get();
-    let total = hits + registry.counter("cache.misses").get();
-    registry.set_gauge(
-        "cache.hit_ratio",
-        if total > 0 {
-            hits as f64 / total as f64
-        } else {
-            0.0
-        },
-    );
+    let stats = idx.cache_stats().unwrap_or_default();
+    registry.counter("cache.hits").add(stats.hits);
+    registry.counter("cache.misses").add(stats.misses);
+    registry.set_gauge("cache.hit_ratio", stats.hit_ratio());
     (ops.get() as f64 / 0.025, registry)
 }
 
 fn main() {
-    println!("Appendix A.4: Client-side caching of upper levels (FG, point queries)\n");
+    println!("Appendix A.4: Client-side caching through the engine (point queries)\n");
     let keys = num_keys();
     let mut csv = Vec::new();
-    println!(
-        "{:>8} {:>16} {:>16} {:>8} {:>10}",
-        "clients", "uncached", "cached", "speedup", "hit ratio"
-    );
-    for clients in [20usize, 80, 160, 240] {
-        let (base, _) = run(false, clients, keys);
-        let (fast, registry) = run(true, clients, keys);
-        let hit_ratio = registry.gauge("cache.hit_ratio").get();
+    for design in ["fg", "hybrid"] {
         println!(
-            "{clients:>8} {base:>16.0} {fast:>16.0} {:>7.1}x {hit_ratio:>10.4}",
-            fast / base.max(1.0)
+            "{design}\n{:>8} {:>16} {:>16} {:>8} {:>10}",
+            "clients", "uncached", "cached", "speedup", "hit ratio"
         );
-        csv.push(vec![
-            clients.to_string(),
-            format!("{base:.1}"),
-            format!("{fast:.1}"),
-            format!("{hit_ratio:.4}"),
-        ]);
+        for clients in [20usize, 80, 160, 240] {
+            let (base, _) = run(design, false, clients, keys);
+            let (fast, registry) = run(design, true, clients, keys);
+            let hit_ratio = registry.gauge("cache.hit_ratio").get();
+            println!(
+                "{clients:>8} {base:>16.0} {fast:>16.0} {:>7.1}x {hit_ratio:>10.4}",
+                fast / base.max(1.0)
+            );
+            csv.push(vec![
+                design.to_string(),
+                clients.to_string(),
+                format!("{base:.1}"),
+                format!("{fast:.1}"),
+                format!("{hit_ratio:.4}"),
+            ]);
+        }
+        println!();
     }
     let path = results_dir().join("a04_caching.csv");
     write_csv(
         &path,
-        &["clients", "uncached_tput", "cached_tput", "cache_hit_ratio"],
+        &[
+            "design",
+            "clients",
+            "uncached_tput",
+            "cached_tput",
+            "cache_hit_ratio",
+        ],
         &csv,
     )
     .expect("csv");
-    println!("\nwrote {}", path.display());
+    println!("wrote {}", path.display());
 }

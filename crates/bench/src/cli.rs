@@ -5,9 +5,12 @@
 //! supports fault injection). Binaries that run experiments also accept
 //! `--trace PATH`: record a Chrome-trace/Perfetto JSON of the run's
 //! verb/op/fault events (in virtual time) to `PATH`, plus a
-//! `PATH.metrics.csv` metrics-registry snapshot next to it. Both
-//! `--flag N` and `--flag=N` forms work; flags the binaries do not know
-//! are ignored so wrappers can pass extra arguments through.
+//! `PATH.metrics.csv` metrics-registry snapshot next to it. The main
+//! sweeps additionally accept `--cache-capacity N`: attach a client-side
+//! cache of `N` entries (`0` = unbounded) to the pointer-resolving
+//! designs' operation path. Both `--flag N` and `--flag=N` forms work;
+//! flags the binaries do not know are ignored so wrappers can pass extra
+//! arguments through.
 
 /// Arguments recognised by the experiment binaries.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -18,6 +21,9 @@ pub struct BenchArgs {
     pub fault_seed: Option<u64>,
     /// `--trace`: write a Chrome-trace JSON of the run here.
     pub trace: Option<String>,
+    /// `--cache-capacity`: client cache capacity in entries (0 =
+    /// unbounded). Absent = caching off.
+    pub cache_capacity: Option<usize>,
 }
 
 impl BenchArgs {
@@ -46,7 +52,10 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
             Some((f, v)) => (f.to_string(), Some(v.to_string())),
             None => (arg, None),
         };
-        if !matches!(flag.as_str(), "--seed" | "--fault-seed" | "--trace") {
+        if !matches!(
+            flag.as_str(),
+            "--seed" | "--fault-seed" | "--trace" | "--cache-capacity"
+        ) {
             continue;
         }
         let value = inline.or_else(|| args.next());
@@ -58,10 +67,10 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
         let parsed = value
             .parse()
             .unwrap_or_else(|_| panic!("{flag} expects an unsigned integer, got {value:?}"));
-        if flag == "--seed" {
-            out.seed = Some(parsed);
-        } else {
-            out.fault_seed = Some(parsed);
+        match flag.as_str() {
+            "--seed" => out.seed = Some(parsed),
+            "--fault-seed" => out.fault_seed = Some(parsed),
+            _ => out.cache_capacity = Some(parsed as usize),
         }
     }
     out
@@ -83,6 +92,7 @@ mod tests {
                 seed: Some(7),
                 fault_seed: Some(9),
                 trace: None,
+                cache_capacity: None,
             }
         );
     }
@@ -95,6 +105,15 @@ mod tests {
         assert_eq!(got.seed, Some(3));
         let eq = parse(&["--trace=/tmp/t.json"]);
         assert_eq!(eq.trace.as_deref(), Some("/tmp/t.json"));
+    }
+
+    #[test]
+    fn parses_cache_capacity() {
+        let got = parse(&["--cache-capacity", "0"]);
+        assert_eq!(got.cache_capacity, Some(0));
+        let eq = parse(&["--cache-capacity=4096"]);
+        assert_eq!(eq.cache_capacity, Some(4096));
+        assert_eq!(parse(&[]).cache_capacity, None);
     }
 
     #[test]

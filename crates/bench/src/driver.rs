@@ -108,6 +108,10 @@ pub struct ExperimentConfig {
     pub page_size: usize,
     /// Head-node stride (FG/hybrid leaf level; 0 disables).
     pub head_stride: usize,
+    /// Client-side cache capacity in entries per client (`Some(0)` =
+    /// unbounded, `None` = caching off). FG caches inner pages, Hybrid
+    /// caches leaf routes; CG ignores it.
+    pub cache_capacity: Option<usize>,
     /// Cluster spec override (defaults to the calibrated spec).
     pub spec: Option<ClusterSpec>,
     /// Fault schedule to install (None = fault-free run).
@@ -140,6 +144,7 @@ impl Default for ExperimentConfig {
             seed: 42,
             page_size: PageLayout::DEFAULT_PAGE_SIZE,
             head_stride: 8,
+            cache_capacity: None,
             spec: None,
             fault_plan: None,
             timeline_window: SimDur::ZERO,
@@ -235,6 +240,7 @@ fn build_design(cfg: &ExperimentConfig, nam: &NamCluster, data: Dataset) -> Desi
                 layout,
                 fill: 0.7,
                 head_stride: cfg.head_stride,
+                cache_capacity: cfg.cache_capacity,
             },
             data.iter(),
         )),
@@ -244,6 +250,7 @@ fn build_design(cfg: &ExperimentConfig, nam: &NamCluster, data: Dataset) -> Desi
                 layout,
                 fill: 0.7,
                 head_stride: cfg.head_stride,
+                cache_capacity: cfg.cache_capacity,
             },
             range_partition,
             data.iter(),

@@ -89,7 +89,13 @@ fn cache_path(dist: DataDist) -> PathBuf {
         DataDist::Uniform => "uniform",
         DataDist::Skewed => "skew",
     };
-    results_dir().join(format!("sweep_{tag}_{}keys.csv", num_keys()))
+    // Cached sweeps are keyed by the client-cache setting too, so a
+    // `--cache-capacity` run never reuses (or clobbers) uncached rows.
+    let cache_tag = match cli::parse_args().cache_capacity {
+        None => String::new(),
+        Some(cap) => format!("_cache{cap}"),
+    };
+    results_dir().join(format!("sweep_{tag}_{}keys{cache_tag}.csv", num_keys()))
 }
 
 fn save(path: &Path, rows: &[SweepRow]) {
@@ -185,6 +191,7 @@ pub fn full_sweep(dist: DataDist) -> Vec<SweepRow> {
                     warmup: SimDur::from_millis(3),
                     measure,
                     seed: cli::parse_args().seed_or_default(),
+                    cache_capacity: cli::parse_args().cache_capacity,
                     ..ExperimentConfig::default()
                 };
                 let r = run_experiment(&cfg);

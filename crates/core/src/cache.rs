@@ -5,21 +5,30 @@
 //! fine-grained design most (it pays one round trip per level). For
 //! read-only workloads no invalidation is needed; with writes, cache
 //! invalidation becomes the hard problem the appendix defers to future
-//! work. This module implements the read-mostly variant: inner nodes are
-//! cached; leaves are always fetched fresh; a stale cached inner node is
-//! harmless because descents correct themselves through B-link sibling
-//! chases, and entries are refreshed on every miss.
+//! work.
+//!
+//! Caching is wired into the real operation path as a decorator over the
+//! engine's page resolution ([`crate::resolve::Cached`]); this module
+//! holds the state it decorates with:
+//!
+//! * [`ClientCache`] — one compute server's page cache (inner nodes, for
+//!   the fine-grained design);
+//! * [`CacheLayer`] — the per-index layer owning one [`ClientCache`] (or
+//!   route map, for the hybrid) per client, aggregate hit/miss/
+//!   invalidation counters, and the server-restart epoch that flushes
+//!   everything when any memory server restarts.
+//!
+//! A stale entry is harmless: descents correct themselves through B-link
+//! sibling chases, and each detected stale step invalidates the entry
+//! that caused it (the validation rule in [`crate::resolve`]).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
-use blink::node::{kind_of, HeadNodeRef, InnerNodeRef, LeafNodeRef, NodeKind};
-use blink::{Key, Value};
-use rdma_sim::{Endpoint, RemotePtr, VerbError};
+use blink::node::LeafNodeRef;
+use blink::Key;
+use rdma_sim::{Cluster, RemotePtr};
 use simnet::stats::Counter;
-
-use crate::fg::FineGrained;
-use crate::onesided::read_unlocked;
 
 /// A per-compute-server cache of inner index nodes.
 #[derive(Default)]
@@ -52,6 +61,11 @@ impl ClientCache {
         hit
     }
 
+    /// Cached copy of `ptr` without touching the hit/miss counters.
+    fn peek(&self, ptr: RemotePtr) -> Option<Vec<u8>> {
+        self.pages.borrow().get(&ptr.raw()).cloned()
+    }
+
     /// Install a page copy.
     fn put(&self, ptr: RemotePtr, page: Vec<u8>) {
         let mut map = self.pages.borrow_mut();
@@ -63,6 +77,11 @@ impl ClientCache {
             }
         }
         map.insert(ptr.raw(), page);
+    }
+
+    /// Drop the entry for `ptr`; reports whether one was present.
+    fn remove(&self, ptr: RemotePtr) -> bool {
+        self.pages.borrow_mut().remove(&ptr.raw()).is_some()
     }
 
     /// Drop everything (epoch invalidation).
@@ -91,82 +110,241 @@ impl ClientCache {
     }
 }
 
-/// Fine-grained point lookup with inner-node caching: cached levels cost
-/// no network round trips; leaves are always read fresh.
-pub async fn fg_lookup_cached(
-    idx: &FineGrained,
-    ep: &Endpoint,
-    cache: &ClientCache,
-    key: Key,
-) -> Result<Option<Value>, VerbError> {
-    let ps = idx.layout().page_size();
-    let mut cur = idx.root();
-    loop {
-        // Try the cache for inner nodes only; a cached page is used
-        // without touching the network.
-        let page = match cache.get(cur) {
-            Some(p) => p,
-            None => {
-                let p = read_unlocked(ep, cur, ps).await?;
-                if kind_of(&p) == NodeKind::Inner {
-                    cache.put(cur, p.clone());
-                }
-                p
-            }
+/// Aggregate statistics of one index's [`CacheLayer`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Hits served without touching the wire (page or route).
+    pub hits: u64,
+    /// Misses that went to the inner source.
+    pub misses: u64,
+    /// Entries dropped because a descent proved them stale.
+    pub invalidations: u64,
+    /// Whole-cache flushes triggered by a server restart.
+    pub restart_flushes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of cache accesses that hit (0 when never accessed).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Route entry: covering leaf pointer plus a key proven covered (the
+/// leaf's low fence can only move further left of it — leaves are never
+/// merged — so `low_hint <= key <= high_key` guarantees the leaf covered
+/// the whole span at cache time and still reaches `key` by at most
+/// chasing right).
+type Route = (u64, Key);
+
+/// Per-index cache layer: one page cache (or route map) per client,
+/// shared counters, and restart-epoch invalidation.
+///
+/// Per *client*, not per index: real compute servers do not share memory,
+/// so each simulated client keeps its own cache and pays its own warm-up
+/// misses. All determinism-sensitive state is `BTreeMap`-backed.
+pub struct CacheLayer {
+    cluster: Cluster,
+    capacity: usize,
+    pages: RefCell<BTreeMap<u64, ClientCache>>,
+    routes: RefCell<BTreeMap<u64, BTreeMap<Key, Route>>>,
+    hits: Counter,
+    misses: Counter,
+    invalidations: Counter,
+    restart_flushes: Counter,
+    epoch: Cell<u64>,
+}
+
+impl CacheLayer {
+    /// A layer over `cluster` holding at most `capacity` entries per
+    /// client (0 = unbounded).
+    pub fn new(cluster: &Cluster, capacity: usize) -> Self {
+        let layer = CacheLayer {
+            cluster: cluster.clone(),
+            capacity,
+            pages: RefCell::new(BTreeMap::new()),
+            routes: RefCell::new(BTreeMap::new()),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            invalidations: Counter::new(),
+            restart_flushes: Counter::new(),
+            epoch: Cell::new(0),
         };
-        match kind_of(&page) {
-            NodeKind::Inner => {
-                let node = InnerNodeRef::new(&page);
-                cur = match node.find_child(key) {
-                    Some(c) => RemotePtr::from_page_ptr(c),
-                    None => RemotePtr::from_page_ptr(node.right_sibling()),
-                };
-            }
-            NodeKind::Head => {
-                cur = RemotePtr::from_page_ptr(HeadNodeRef::new(&page).right_sibling());
-            }
-            NodeKind::Leaf => {
-                let node = LeafNodeRef::new(&page);
-                if node.covers(key) {
-                    return Ok(node.get(key));
-                }
-                cur = RemotePtr::from_page_ptr(node.right_sibling());
+        layer.epoch.set(layer.current_epoch());
+        layer
+    }
+
+    fn current_epoch(&self) -> u64 {
+        (0..self.cluster.num_servers())
+            .map(|s| self.cluster.server_restarts(s))
+            .sum()
+    }
+
+    /// Flush everything if any memory server restarted since the last
+    /// access: a restarted server's pool content was rebuilt, so cached
+    /// bytes and routes into it can no longer be trusted.
+    pub fn flush_if_restarted(&self) {
+        let now = self.current_epoch();
+        if now != self.epoch.get() {
+            self.epoch.set(now);
+            self.pages.borrow_mut().clear();
+            self.routes.borrow_mut().clear();
+            self.restart_flushes.inc();
+        }
+    }
+
+    /// Cached page for `client`, counting a hit or miss.
+    pub fn page_hit(&self, client: u64, ptr: RemotePtr) -> Option<Vec<u8>> {
+        let hit = self.pages.borrow().get(&client).and_then(|c| c.get(ptr));
+        if hit.is_some() {
+            self.hits.inc();
+        } else {
+            self.misses.inc();
+        }
+        hit
+    }
+
+    /// Cached page for `client` without counting (introspection).
+    pub fn peek_page(&self, client: u64, ptr: RemotePtr) -> Option<Vec<u8>> {
+        self.pages.borrow().get(&client).and_then(|c| c.peek(ptr))
+    }
+
+    /// Install a page copy for `client`.
+    pub fn put_page(&self, client: u64, ptr: RemotePtr, page: Vec<u8>) {
+        self.pages
+            .borrow_mut()
+            .entry(client)
+            .or_insert_with(|| ClientCache::new(self.capacity))
+            .put(ptr, page);
+    }
+
+    /// Drop `client`'s copy of `ptr` (stale-step detection).
+    pub fn drop_page(&self, client: u64, ptr: RemotePtr) {
+        if let Some(c) = self.pages.borrow().get(&client) {
+            if c.remove(ptr) {
+                self.invalidations.inc();
             }
         }
+    }
+
+    /// Cached leaf route covering `key` for `client`, counting a hit or
+    /// miss. Only entries whose `low_hint <= key` qualify (see `Route`).
+    pub fn route_hit(&self, client: u64, key: Key) -> Option<RemotePtr> {
+        let hit = self.routes.borrow().get(&client).and_then(|m| {
+            m.range(key..)
+                .next()
+                .filter(|(_, &(_, low))| low <= key)
+                .map(|(_, &(raw, _))| RemotePtr::from_raw(raw))
+        });
+        if hit.is_some() {
+            self.hits.inc();
+        } else {
+            self.misses.inc();
+        }
+        hit
+    }
+
+    /// Record that the descent for `key` ended at the covering leaf
+    /// `ptr` with bytes `page`.
+    pub fn note_route(&self, client: u64, key: Key, ptr: RemotePtr, page: &[u8]) {
+        let high = LeafNodeRef::new(page).high_key();
+        let mut routes = self.routes.borrow_mut();
+        let map = routes.entry(client).or_default();
+        let low = match map.get(&high) {
+            Some(&(_, l)) => l.min(key),
+            None => {
+                if self.capacity > 0 && map.len() >= self.capacity {
+                    if let Some(&k) = map.keys().next() {
+                        map.remove(&k);
+                    }
+                }
+                key
+            }
+        };
+        map.insert(high, (ptr.raw(), low));
+    }
+
+    /// Drop `client`'s route covering `key` (stale-step detection).
+    pub fn drop_route(&self, client: u64, key: Key) {
+        let mut routes = self.routes.borrow_mut();
+        if let Some(map) = routes.get_mut(&client) {
+            if let Some(high) = map.range(key..).next().map(|(&h, _)| h) {
+                map.remove(&high);
+                self.invalidations.inc();
+            }
+        }
+    }
+
+    /// Fix up `client`'s own routes after it split a leaf: the left half
+    /// keeps its pointer under the new separator, the right half takes
+    /// over the old high key. (Other clients correct lazily through the
+    /// validation rule.)
+    pub fn note_split(&self, client: u64, sep: Key, old_high: Key, left: u64, right: u64) {
+        let mut routes = self.routes.borrow_mut();
+        if let Some(map) = routes.get_mut(&client) {
+            if let Some((_, low)) = map.remove(&old_high) {
+                map.insert(sep, (left, low));
+                map.insert(old_high, (right, sep.saturating_add(1)));
+            }
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
+            restart_flushes: self.restart_flushes.get(),
+        }
+    }
+
+    /// Total entries cached across clients (pages plus routes).
+    pub fn entries(&self) -> usize {
+        let pages: usize = self.pages.borrow().values().map(|c| c.len()).sum();
+        let routes: usize = self.routes.borrow().values().map(|m| m.len()).sum();
+        pages + routes
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fg::FgConfig;
+    use crate::fg::{FgConfig, FineGrained};
     use blink::PageLayout;
-    use rdma_sim::{Cluster, ClusterSpec};
+    use rdma_sim::{Cluster, ClusterSpec, Endpoint};
     use simnet::Sim;
-    use std::rc::Rc;
+
+    fn cached_cfg() -> FgConfig {
+        FgConfig {
+            layout: PageLayout::new(200),
+            fill: 0.7,
+            head_stride: 0,
+            cache_capacity: Some(0),
+        }
+    }
 
     #[test]
     fn cached_lookups_skip_network() {
         let sim = Sim::new();
         let cluster = Cluster::new(&sim, ClusterSpec::default());
-        let cfg = FgConfig {
-            layout: PageLayout::new(200),
-            fill: 0.7,
-            head_stride: 0,
-        };
-        let idx = FineGrained::build(&cluster, cfg, (0..5000u64).map(|i| (i * 8, i)));
+        let idx = FineGrained::build(&cluster, cached_cfg(), (0..5000u64).map(|i| (i * 8, i)));
         let ep = Endpoint::new(&cluster);
-        let cache = Rc::new(ClientCache::new(0));
         {
             let idx = idx.clone();
-            let cache = cache.clone();
             sim.spawn(async move {
-                // Repeated lookups of nearby keys reuse cached inners.
+                // Repeated lookups of nearby keys reuse cached inners —
+                // through the integrated lookup path, not a side door.
                 for rep in 0..10u64 {
                     for i in 0..20u64 {
                         let k = (1000 + i) * 8;
                         assert_eq!(
-                            fg_lookup_cached(&idx, &ep, &cache, k).await.unwrap(),
+                            idx.lookup(&ep, k).await.unwrap(),
                             Some(1000 + i),
                             "rep {rep}"
                         );
@@ -175,7 +353,11 @@ mod tests {
             });
         }
         sim.run();
-        assert!(cache.hits() > cache.misses() * 3, "cache must mostly hit");
+        let stats = idx.cache().expect("cache enabled").stats();
+        assert!(
+            stats.hits > stats.misses * 3,
+            "cache must mostly hit: {stats:?}"
+        );
         let reads: u64 = (0..4).map(|s| cluster.server_stats(s).onesided_ops).sum();
         // 200 lookups; without caching each costs height (~4-5) READs.
         assert!(
@@ -206,38 +388,27 @@ mod tests {
     fn stale_cache_corrected_by_sibling_chase() {
         let sim = Sim::new();
         let cluster = Cluster::new(&sim, ClusterSpec::default());
-        let cfg = FgConfig {
-            layout: PageLayout::new(200),
-            fill: 0.7,
-            head_stride: 0,
-        };
-        let idx = FineGrained::build(&cluster, cfg, (0..200u64).map(|i| (i * 8, i)));
+        let idx = FineGrained::build(&cluster, cached_cfg(), (0..200u64).map(|i| (i * 8, i)));
         let ep = Endpoint::new(&cluster);
-        let cache = Rc::new(ClientCache::new(0));
         {
             let idx = idx.clone();
-            let cache = cache.clone();
             sim.spawn(async move {
                 // Warm the cache.
                 for i in 0..200u64 {
-                    fg_lookup_cached(&idx, &ep, &cache, i * 8).await.unwrap();
+                    idx.lookup(&ep, i * 8).await.unwrap();
                 }
-                // Mutate the tree: many inserts cause splits the cache
-                // does not see.
+                // Mutate the tree: many inserts cause splits the cached
+                // inner copies do not see.
                 for i in 0..200u64 {
                     idx.insert(&ep, i * 8 + 1, 7_000 + i).await.unwrap();
                 }
                 // Stale cached inners still route correctly via chases.
                 for i in 0..200u64 {
-                    assert_eq!(
-                        fg_lookup_cached(&idx, &ep, &cache, i * 8 + 1)
-                            .await
-                            .unwrap(),
-                        Some(7_000 + i)
-                    );
+                    assert_eq!(idx.lookup(&ep, i * 8 + 1).await.unwrap(), Some(7_000 + i));
                 }
             });
         }
         sim.run();
+        drop(idx);
     }
 }

@@ -18,10 +18,12 @@
 
 use std::rc::Rc;
 
-use blink::{Key, LocalTree, PageLayout, Value};
+use blink::{Key, LocalTree, PageLayout, Ptr, Value, WorkStats};
 use nam::{handler_cpu_time, msg, NamCluster, PartitionMap, ServerNode};
 use rdma_sim::{Cluster, Endpoint, RpcReply, VerbError};
-use simnet::Sim;
+use simnet::{Sim, SimDur};
+
+use crate::engine::RangeProgress;
 
 /// The coarse-grained / two-sided index.
 pub struct CoarseGrained {
@@ -110,10 +112,33 @@ impl CoarseGrained {
         lo: Key,
         hi: Key,
     ) -> Result<Vec<(Key, Value)>, VerbError> {
-        let mut out: Vec<(Key, Value)> = Vec::new();
+        let progress = RangeProgress::default();
+        self.range_with(ep, lo, hi, &progress).await
+    }
+
+    /// One attempt of [`CoarseGrained::range`] under a retry layer:
+    /// `progress` (shared across attempts, created per *operation*)
+    /// records which servers already shipped their rows, so a retried
+    /// hash-partition *broadcast* skips them instead of re-RPCing every
+    /// server — partial work survives the failed attempt and telemetry
+    /// counts each server once. Range partitions re-query their (few)
+    /// covering servers per attempt, unchanged.
+    pub async fn range_with(
+        &self,
+        ep: &Endpoint,
+        lo: Key,
+        hi: Key,
+        progress: &RangeProgress,
+    ) -> Result<Vec<(Key, Value)>, VerbError> {
         let servers = self.partition.servers_for_range(lo, hi);
         let broadcast = matches!(self.partition, PartitionMap::Hash { .. });
+        if !broadcast {
+            progress.reset();
+        }
         for s in servers {
+            if progress.is_done(s) {
+                continue;
+            }
             let node = self.nodes[s].clone();
             let spec = self.cluster.spec().clone();
             if ep.is_local(s) {
@@ -123,7 +148,7 @@ impl CoarseGrained {
                 let bytes = msg::range_resp_pages(work.leaves_scanned as usize, page_size);
                 ep.local_work(s, handler_cpu_time(&spec, work), bytes)
                     .await?;
-                out.extend(rows);
+                progress.record(s, rows);
                 continue;
             }
             let part = ep
@@ -140,36 +165,61 @@ impl CoarseGrained {
                     }
                 })
                 .await?;
-            out.extend(part);
+            progress.record(s, part);
         }
-        if broadcast {
-            // Hash partitions interleave in key space.
-            out.sort_unstable();
-        }
-        Ok(out)
+        // Hash partitions interleave in key space: merge re-sorts.
+        Ok(progress.merge(broadcast))
+    }
+
+    /// Handler body of an insert: applies
+    /// [`crate::engine::apply_insert_local`] — the engine's exactly-once
+    /// absorption rule for retried inserts, enforced server-side because
+    /// CG ships whole operations as RPCs. Returns the leaf to lock
+    /// (none when the retry was absorbed) and the CPU work to charge.
+    fn insert_apply(
+        node: &ServerNode,
+        key: Key,
+        value: Value,
+        retrying: bool,
+    ) -> (Option<Ptr>, WorkStats) {
+        node.with_tree(|t| crate::engine::apply_insert_local(t, key, value, retrying))
     }
 
     /// Insert via one RPC; the handler takes the leaf page lock (local
-    /// CAS) and its spin-wait occupies the handler core.
-    pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), VerbError> {
+    /// CAS) and its spin-wait occupies the handler core. `retrying`
+    /// marks attempts after the first so the handler can absorb a
+    /// duplicate from a lost-response retry (see `Self::insert_apply`).
+    pub async fn insert(
+        &self,
+        ep: &Endpoint,
+        key: Key,
+        value: Value,
+        retrying: bool,
+    ) -> Result<(), VerbError> {
         let s = self.partition.server_of(key);
         let node = self.nodes[s].clone();
         let spec = self.cluster.spec().clone();
         let sim = self.sim.clone();
         if ep.is_local(s) {
-            let (leaf, work) = node.with_tree(|t| t.insert_at_leaf(key, value));
-            let wait = node
-                .locks
-                .acquire(leaf.raw(), sim.now(), spec.leaf_lock_hold);
+            let (leaf, work) = Self::insert_apply(&node, key, value, retrying);
+            let wait = match leaf {
+                Some(leaf) => node
+                    .locks
+                    .acquire(leaf.raw(), sim.now(), spec.leaf_lock_hold),
+                None => SimDur::ZERO,
+            };
             let busy = handler_cpu_time(&spec, work) + spec.cpu_insert_extra + wait;
             ep.local_work(s, busy, msg::ack()).await?;
             return Ok(());
         }
         ep.rpc(s, msg::insert_req(), move || {
-            let (leaf, work) = node.with_tree(|t| t.insert_at_leaf(key, value));
-            let wait = node
-                .locks
-                .acquire(leaf.raw(), sim.now(), spec.leaf_lock_hold);
+            let (leaf, work) = Self::insert_apply(&node, key, value, retrying);
+            let wait = match leaf {
+                Some(leaf) => node
+                    .locks
+                    .acquire(leaf.raw(), sim.now(), spec.leaf_lock_hold),
+                None => SimDur::ZERO,
+            };
             RpcReply {
                 value: (),
                 cpu: handler_cpu_time(&spec, work) + spec.cpu_insert_extra + wait,
@@ -325,7 +375,7 @@ mod tests {
         let (nam, idx) = build_index(&sim, 1000);
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
-            idx.insert(&ep, 41, 999).await.unwrap(); // odd key: fresh
+            idx.insert(&ep, 41, 999, false).await.unwrap(); // odd key: fresh
             assert_eq!(idx.lookup(&ep, 41).await.unwrap(), Some(999));
             assert!(idx.delete(&ep, 41).await.unwrap());
             assert_eq!(idx.lookup(&ep, 41).await.unwrap(), None);
@@ -370,7 +420,9 @@ mod tests {
             sim.spawn(async move {
                 for i in 0..50u64 {
                     // Odd keys, unique per client.
-                    idx.insert(&ep, (c * 50 + i) * 16 + 1, c).await.unwrap();
+                    idx.insert(&ep, (c * 50 + i) * 16 + 1, c, false)
+                        .await
+                        .unwrap();
                 }
             });
         }
@@ -393,5 +445,29 @@ mod tests {
         }
         sim.run();
         assert_eq!(count.get(), 500);
+    }
+
+    #[test]
+    fn retried_insert_is_absorbed_not_duplicated() {
+        // A lost-response retry re-sends the insert RPC with
+        // `retrying = true`; the handler must detect the live duplicate
+        // and absorb it instead of inserting a second entry.
+        let sim = Sim::new();
+        let (nam, idx) = build_index(&sim, 100);
+        let ep = Endpoint::new(&nam.rdma);
+        let idx2 = idx.clone();
+        sim.spawn(async move {
+            idx2.insert(&ep, 41, 999, false).await.unwrap();
+            // Simulated retry of the same pair after a lost ack.
+            idx2.insert(&ep, 41, 999, true).await.unwrap();
+            let rows = idx2.range(&ep, 41, 47).await.unwrap();
+            assert_eq!(rows, vec![(41, 999)], "duplicate must be absorbed");
+            // A *fresh* insert under `retrying` (no prior effect) must
+            // still land.
+            idx2.insert(&ep, 43, 7, true).await.unwrap();
+            let rows = idx2.range(&ep, 41, 47).await.unwrap();
+            assert_eq!(rows, vec![(41, 999), (43, 7)]);
+        });
+        sim.run();
     }
 }

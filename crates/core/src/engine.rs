@@ -1,0 +1,1007 @@
+//! The shared traversal/SMO engine: one OLC descent loop, one
+//! lock-coupled write path, one split-propagation routine, and one
+//! retry/backoff layer for all three designs.
+//!
+//! The paper's three index distributions (§3–§5) share a single
+//! concurrency substrate — optimistic lock coupling over an 8-byte
+//! `(version, lock, owner, lease)` word per node, with B-link sibling
+//! chases instead of descent restarts — yet they differ in how a node
+//! reference becomes bytes. That difference lives behind
+//! [`crate::resolve::NodeSource`]; everything protocol-shaped lives
+//! here, exactly once:
+//!
+//! * `descend` — the optimistic read-validate-move-right loop
+//!   (Listing 2's `remote_lookup` shape, shared with the hybrid's
+//!   chain walk);
+//! * `lock_covering_leaf` + `insert`/`delete` — the lock-coupled
+//!   write path (Listing 4), including the **exactly-once retry
+//!   absorption**: a re-attempt (`retrying = true`) first checks the
+//!   covering leaf for the exact `(key, value)` pair and absorbs the
+//!   retry if its predecessor already committed. This hint is handled
+//!   here and nowhere else — the PR-2 fix had to be applied twice
+//!   because FG and Hybrid each had a copy of this path;
+//! * `propagate_split` — upward split propagation over remotely
+//!   stored inner levels (used by sources whose upper levels the client
+//!   descends itself; the hybrid instead reports splits over RPC in its
+//!   `TreeWriter::complete_split`). Runs uncached on purpose: SMOs
+//!   must observe fresh versions to CAS against;
+//! * `scan_chain` — the §4.3 range scan with head-node group
+//!   prefetch;
+//! * `with_retry!` + `backoff_before_retry` — the operation retry
+//!   layer with the single deterministic backoff/jitter source
+//!   ([`expo_delay_nanos`]), shared with the remote-spin backoff of
+//!   the one-sided verb helpers;
+//! * [`RangeProgress`] — per-server completion tracking so a retried
+//!   partitioned range (the coarse-grained design's broadcast) never
+//!   re-ships work a previous attempt already finished.
+//!
+//! The coarse-grained design has no client-side page resolution (whole
+//! operations ship as RPCs), so it plugs into the retry layer and
+//! [`RangeProgress`] only.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+use blink::node::{
+    kind_of, HeadNodeRef, InnerNodeMut, InnerNodeRef, LeafNodeMut, LeafNodeRef, NodeKind,
+};
+use blink::{Key, PageLayout, Ptr, Value};
+use rdma_sim::{Endpoint, OpKind, RegionKind, RemotePtr, VerbError};
+use simnet::SimDur;
+
+use crate::onesided::{lock_node, read_unlocked, release_on_error, unlock_only, write_unlock};
+use crate::resolve::{Cached, NodeSource, OpAccess};
+use crate::{Design, OpError};
+
+fn rp(p: Ptr) -> RemotePtr {
+    RemotePtr::from_page_ptr(p)
+}
+
+// ---------------------------------------------------------------------------
+// Backoff: the single deterministic delay/jitter source.
+// ---------------------------------------------------------------------------
+
+/// Bounded exponential delay in nanoseconds: `base << step`, saturating,
+/// clamped to `cap` (but never below `base`). Both backoff consumers —
+/// the operation retry layer and the one-sided remote-spin loop — derive
+/// their schedules from this one helper.
+pub fn expo_delay_nanos(base: u64, step: u32, cap: u64) -> u64 {
+    base.saturating_mul(1u64 << step.min(20)).min(cap.max(base))
+}
+
+/// Remote-spin backoff (one-sided READ/CAS loops): doubling from 1 µs,
+/// capped at 32 µs. Without backoff, spinning clients flood the lock
+/// holder's NIC with re-READs and collapse the server under contention.
+/// No jitter: the spin loop decorrelates through verb latencies.
+pub(crate) fn spin_backoff(attempt: u32) -> SimDur {
+    SimDur::from_nanos(expo_delay_nanos(1_000, attempt, 32_000))
+}
+
+/// Sleep the bounded exponential backoff before retry number `attempt`
+/// (1-based): `retry_backoff_base << (attempt - 1)`, capped at
+/// `retry_backoff_cap`, plus a deterministic jitter in `[0, delay)`
+/// derived from the client id, the attempt number, and the current
+/// virtual time — so concurrent retriers decorrelate without any
+/// wall-clock randomness.
+pub(crate) async fn backoff_before_retry(ep: &Endpoint, attempt: u32) {
+    let spec = ep.cluster().spec().clone();
+    let delay = expo_delay_nanos(
+        spec.retry_backoff_base.as_nanos(),
+        attempt - 1,
+        spec.retry_backoff_cap.as_nanos(),
+    );
+    let now = ep.cluster().sim().now().as_nanos();
+    let jitter = simnet::rng::mix3(ep.client_id(), attempt as u64, now) % delay.max(1);
+    ep.cluster()
+        .note_region(ep.client_id(), RegionKind::Backoff, true);
+    ep.cluster()
+        .sim()
+        .clone()
+        .sleep(SimDur::from_nanos(delay + jitter))
+        .await;
+    ep.cluster()
+        .note_region(ep.client_id(), RegionKind::Backoff, false);
+}
+
+/// Run `$op` (an expression producing a fresh future each evaluation —
+/// the whole operation restarts from the root) until it succeeds, the
+/// client dies, a fatal error occurs, or `retry_limit` retries of
+/// transient faults are spent.
+///
+/// The three-argument form additionally binds `$retrying` (a `bool`,
+/// false on the first attempt) in scope of `$op`, so a non-idempotent
+/// operation can tell a fresh run from a re-run whose previous attempt
+/// may already have committed (see [`insert`]).
+macro_rules! with_retry {
+    ($ep:expr, $op:expr) => {{
+        #[allow(unused_variables)]
+        {
+            with_retry!($ep, retrying, $op)
+        }
+    }};
+    ($ep:expr, $retrying:ident, $op:expr) => {{
+        let limit = $ep.cluster().spec().retry_limit;
+        let mut attempt: u32 = 0;
+        loop {
+            let $retrying = attempt > 0;
+            match $op.await {
+                Ok(v) => break Ok(v),
+                Err(VerbError::Cancelled) => break Err(OpError::Cancelled),
+                Err(e) if e.is_retryable() && attempt < limit => {
+                    attempt += 1;
+                    backoff_before_retry($ep, attempt).await;
+                }
+                Err(e) if e.is_retryable() => {
+                    break Err(OpError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        last: e,
+                    })
+                }
+                Err(e) => break Err(OpError::Fatal(e)),
+            }
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Per-design operation dispatch under the retry layer.
+// ---------------------------------------------------------------------------
+
+/// Point lookup for any design, under the retry layer.
+pub(crate) async fn lookup_op(
+    design: &Design,
+    ep: &Endpoint,
+    key: Key,
+) -> Result<Option<Value>, OpError> {
+    match design {
+        Design::Cg(d) => with_retry!(ep, d.lookup(ep, key)),
+        Design::Fg(d) => with_retry!(ep, lookup(&d.source(), ep, key)),
+        Design::Hybrid(d) => with_retry!(ep, lookup(&d.source(), ep, key)),
+    }
+}
+
+/// Range query for any design, under the retry layer. For the
+/// coarse-grained design a [`RangeProgress`] shared across attempts
+/// dedupes per-server work, so a retried broadcast never re-ships (or
+/// re-counts in telemetry) partitions that already answered.
+pub(crate) async fn range_op(
+    design: &Design,
+    ep: &Endpoint,
+    lo: Key,
+    hi: Key,
+) -> Result<Vec<(Key, Value)>, OpError> {
+    match design {
+        Design::Cg(d) => {
+            let progress = RangeProgress::default();
+            with_retry!(ep, d.range_with(ep, lo, hi, &progress))
+        }
+        Design::Fg(d) => with_retry!(ep, range(&d.source(), ep, lo, hi)),
+        Design::Hybrid(d) => with_retry!(ep, range(&d.source(), ep, lo, hi)),
+    }
+}
+
+/// Insert for any design, under the retry layer. The `retrying` hint —
+/// handled in [`insert`], the engine's single copy of the lock-coupled
+/// install — gives the one-sided designs exactly-once semantics under
+/// retries; the CG design keeps its documented at-least-once RPC
+/// semantics.
+pub(crate) async fn insert_op(
+    design: &Design,
+    ep: &Endpoint,
+    key: Key,
+    value: Value,
+) -> Result<(), OpError> {
+    match design {
+        Design::Cg(d) => with_retry!(ep, retrying, d.insert(ep, key, value, retrying)),
+        Design::Fg(d) => {
+            with_retry!(ep, retrying, insert(&d.source(), ep, key, value, retrying))
+        }
+        Design::Hybrid(d) => {
+            with_retry!(ep, retrying, insert(&d.source(), ep, key, value, retrying))
+        }
+    }
+}
+
+/// Tombstone delete for any design, under the retry layer.
+pub(crate) async fn delete_op(design: &Design, ep: &Endpoint, key: Key) -> Result<bool, OpError> {
+    match design {
+        Design::Cg(d) => with_retry!(ep, d.delete(ep, key)),
+        Design::Fg(d) => with_retry!(ep, delete(&d.source(), ep, key)),
+        Design::Hybrid(d) => with_retry!(ep, delete(&d.source(), ep, key)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The OLC descent loop.
+// ---------------------------------------------------------------------------
+
+/// Descend from the source's start to the leaf covering `key`: the
+/// optimistic read / fence-validate / move-right loop shared by every
+/// pointer-resolving traversal. When `path` is given, inner nodes
+/// crossed on a *descending* edge are recorded (sibling chases are not
+/// part of the path — Listing 2). Cache feedback: stale routing steps
+/// call [`NodeSource::invalidate`]; the covering leaf is reported via
+/// [`NodeSource::note_leaf`].
+async fn descend<S: NodeSource>(
+    src: &S,
+    ep: &Endpoint,
+    key: Key,
+    access: OpAccess,
+    mut path: Option<&mut Vec<RemotePtr>>,
+) -> Result<(RemotePtr, Vec<u8>), VerbError> {
+    let mut parent = RemotePtr::NULL;
+    let mut cur = src.start(ep, key, access).await?;
+    loop {
+        let page = src.load(ep, cur).await?;
+        match kind_of(&page) {
+            NodeKind::Inner => {
+                let node = InnerNodeRef::new(&page);
+                match node.find_child(key) {
+                    Some(c) => {
+                        if let Some(p) = path.as_deref_mut() {
+                            p.push(cur);
+                        }
+                        parent = cur;
+                        cur = rp(c);
+                    }
+                    None => {
+                        // The inner copy no longer covers the key (a
+                        // concurrent split moved it right): chase.
+                        src.invalidate(ep, key, cur);
+                        cur = rp(node.right_sibling());
+                    }
+                }
+            }
+            NodeKind::Head => cur = rp(HeadNodeRef::new(&page).right_sibling()),
+            NodeKind::Leaf => {
+                let leaf = LeafNodeRef::new(&page);
+                if leaf.covers(key) {
+                    src.note_leaf(ep, key, cur, &page);
+                    return Ok((cur, page));
+                }
+                // Routed too far left (stale parent copy or stale cached
+                // route): invalidate the step that sent us here, chase.
+                src.invalidate(ep, key, parent);
+                cur = rp(leaf.right_sibling());
+            }
+        }
+        assert!(!cur.is_null(), "fell off the B-link chain");
+    }
+}
+
+/// Point lookup: descend, read the covering leaf.
+pub(crate) async fn lookup<S: NodeSource>(
+    src: &S,
+    ep: &Endpoint,
+    key: Key,
+) -> Result<Option<Value>, VerbError> {
+    let (_leaf, page) = descend(src, ep, key, OpAccess::Lookup, None).await?;
+    Ok(LeafNodeRef::new(&page).get(key))
+}
+
+/// Range query over `[lo, hi]` with head-node prefetch. Client-descent
+/// sources reach the covering leaf first (chases before the scan issue
+/// no prefetch, matching Listing 2); leaf-resolving sources hand the
+/// whole chain walk to [`scan_chain`], which prefetches through any head
+/// it meets.
+pub(crate) async fn range<S: NodeSource>(
+    src: &S,
+    ep: &Endpoint,
+    lo: Key,
+    hi: Key,
+) -> Result<Vec<(Key, Value)>, VerbError> {
+    let mut out = Vec::new();
+    if S::CLIENT_DESCENT {
+        let (start, page) = descend(src, ep, lo, OpAccess::Range, None).await?;
+        scan_chain(ep, src.layout(), start, Some(page), lo, hi, &mut out).await?;
+    } else {
+        let start = src.start(ep, lo, OpAccess::Range).await?;
+        scan_chain(ep, src.layout(), start, None, lo, hi, &mut out).await?;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The lock-coupled write path.
+// ---------------------------------------------------------------------------
+
+/// Lock the leaf covering `key`, starting from `cur` (with `pending` as
+/// its already-fetched page, if any): lock, re-validate coverage under
+/// the lock, move right and retry on failure — the
+/// `remote_upgradeToWriteLockOrRestart` + move-right loop of Listing 4.
+async fn lock_covering_leaf<S: NodeSource>(
+    src: &S,
+    ep: &Endpoint,
+    key: Key,
+    mut cur: RemotePtr,
+    mut pending: Option<Vec<u8>>,
+) -> Result<(RemotePtr, Vec<u8>), VerbError> {
+    loop {
+        let mut page = match pending.take() {
+            Some(p) => p,
+            None => src.load(ep, cur).await?,
+        };
+        if kind_of(&page) == NodeKind::Head {
+            cur = rp(HeadNodeRef::new(&page).right_sibling());
+            continue;
+        }
+        lock_node(ep, cur, &mut page).await?;
+        let leaf = LeafNodeRef::new(&page);
+        if leaf.covers(key) {
+            src.note_leaf(ep, key, cur, &page);
+            return Ok((cur, page));
+        }
+        let next = rp(leaf.right_sibling());
+        unlock_only(ep, cur).await?;
+        src.invalidate(ep, key, RemotePtr::NULL);
+        cur = next;
+    }
+}
+
+/// A source the engine can also *write* through: page allocation for
+/// splits and upper-level split registration.
+#[allow(async_fn_in_trait)]
+pub(crate) trait TreeWriter: NodeSource {
+    /// Allocate a fresh remote page for a split (`RDMA_ALLOC`,
+    /// Listing 4).
+    async fn alloc(&self, ep: &Endpoint) -> Result<RemotePtr, VerbError>;
+
+    /// Register a committed leaf split with the upper levels: `left`
+    /// (high key now `sep`) kept its pointer, `right` (high key
+    /// `old_high`) is new. `path` is the descent's inner-node trail for
+    /// client-descent sources (empty otherwise).
+    async fn complete_split(
+        &self,
+        ep: &Endpoint,
+        path: Vec<RemotePtr>,
+        sep: Key,
+        left: RemotePtr,
+        right: RemotePtr,
+        old_high: Key,
+    ) -> Result<(), VerbError>;
+}
+
+impl<S: TreeWriter> TreeWriter for Cached<'_, S> {
+    async fn alloc(&self, ep: &Endpoint) -> Result<RemotePtr, VerbError> {
+        self.inner().alloc(ep).await
+    }
+
+    async fn complete_split(
+        &self,
+        ep: &Endpoint,
+        path: Vec<RemotePtr>,
+        sep: Key,
+        left: RemotePtr,
+        right: RemotePtr,
+        old_high: Key,
+    ) -> Result<(), VerbError> {
+        // The splitting client knows its own cached state is stale: fix
+        // routes eagerly, drop the parent page copy (its remote original
+        // is about to change). Other clients correct lazily through the
+        // validation rule.
+        if let Some(cache) = self.cache_layer() {
+            match self.cache_policy() {
+                crate::resolve::CachePolicy::Routes => {
+                    cache.note_split(ep.client_id(), sep, old_high, left.raw(), right.raw());
+                }
+                crate::resolve::CachePolicy::InnerPages => {
+                    if let Some(&parent) = path.last() {
+                        cache.drop_page(ep.client_id(), parent);
+                    }
+                }
+            }
+        }
+        self.inner()
+            .complete_split(ep, path, sep, left, right, old_high)
+            .await
+    }
+}
+
+/// One insert attempt (`remote_insert`, Listing 2/4): descend (recording
+/// the inner path for client-descent sources), lock the covering leaf,
+/// install the pair, write back and FAA-unlock; splits allocate a remote
+/// page, write right-sibling-first, and register upward through
+/// [`TreeWriter::complete_split`].
+///
+/// **Exactly-once under retries** — the one place the `retrying` hint is
+/// interpreted: the attempt commits at the leaf's unlock FAA, so a later
+/// failure (split registration, a refused unlock) leaves the install in
+/// place; on `retrying = true` the covering leaf is first checked for a
+/// live `(key, value)` pair and the retry is absorbed if its predecessor
+/// already committed. (Non-unique-index caveat: a pair some concurrent
+/// operation installed independently is indistinguishable from our own
+/// committed install and is absorbed too.) Any lock the attempt holds
+/// when it fails is best-effort released so the retry does not stall on
+/// it until the lease break.
+pub(crate) async fn insert<S: TreeWriter>(
+    src: &S,
+    ep: &Endpoint,
+    key: Key,
+    value: Value,
+    retrying: bool,
+) -> Result<(), VerbError> {
+    let mut path = Vec::new();
+    let (start, first_page) = if S::CLIENT_DESCENT {
+        let (c, p) = descend(src, ep, key, OpAccess::Insert, Some(&mut path)).await?;
+        (c, Some(p))
+    } else {
+        (src.start(ep, key, OpAccess::Insert).await?, None)
+    };
+    let (cur, mut page) = lock_covering_leaf(src, ep, key, start, first_page).await?;
+
+    if retrying && LeafNodeRef::new(&page).contains(key, value) {
+        // The previous attempt committed before its post-commit verb
+        // failed. (If it had also split, the new leaf stays reachable
+        // via the B-link sibling chain even when its parent entry is
+        // missing; a later split re-propagates.)
+        return unlock_only(ep, cur).await;
+    }
+
+    let full = LeafNodeMut::new(&mut page).insert(key, value).is_err();
+    if !full {
+        let res = write_unlock(ep, cur, &page, None).await;
+        return release_on_error(ep, cur, res).await;
+    }
+
+    // Split: allocate remotely, split the local copy, write both halves
+    // (right first, Listing 4), unlock, register upward.
+    let res = src.alloc(ep).await;
+    let right_ptr = release_on_error(ep, cur, res).await?;
+    let mut right_page = src.layout().alloc_page();
+    let sep = LeafNodeMut::new(&mut page).split_into(
+        &mut right_page,
+        cur.as_page_ptr(),
+        right_ptr.as_page_ptr(),
+    );
+    let old_high = LeafNodeRef::new(&right_page).high_key();
+    {
+        let target = if key <= sep {
+            &mut page
+        } else {
+            &mut *right_page
+        };
+        LeafNodeMut::new(target)
+            .insert(key, value)
+            .expect("half-full after split");
+    }
+    let res = write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
+    release_on_error(ep, cur, res).await?;
+    src.complete_split(ep, path, sep, cur, right_ptr, old_high)
+        .await
+}
+
+/// The same exactly-once absorption rule, for designs that ship whole
+/// inserts to the owning server as RPCs (the coarse-grained design): a
+/// retried attempt first probes the local tree for a live `(key, value)`
+/// pair and absorbs the duplicate — the previous attempt's RPC may have
+/// applied before its response was lost (server crash, dropped ack), and
+/// re-applying would duplicate the entry. Runs inside the server's RPC
+/// handler; returns the leaf to lock (`None` when the retry was
+/// absorbed) and the CPU work to charge.
+pub(crate) fn apply_insert_local(
+    t: &mut blink::LocalTree,
+    key: Key,
+    value: Value,
+    retrying: bool,
+) -> (Option<Ptr>, blink::WorkStats) {
+    if retrying {
+        let mut dup = Vec::new();
+        let probe = t.range(key, key, &mut dup);
+        if dup.iter().any(|&(_, v)| v == value) {
+            return (None, probe);
+        }
+        let (leaf, mut work) = t.insert_at_leaf(key, value);
+        work.absorb(probe);
+        return (Some(leaf), work);
+    }
+    let (leaf, work) = t.insert_at_leaf(key, value);
+    (Some(leaf), work)
+}
+
+/// One delete attempt: lock the covering leaf, tombstone the first live
+/// entry under `key`; returns whether an entry was deleted. Idempotent,
+/// so no retry hint is needed.
+pub(crate) async fn delete<S: NodeSource>(
+    src: &S,
+    ep: &Endpoint,
+    key: Key,
+) -> Result<bool, VerbError> {
+    let (start, first_page) = if S::CLIENT_DESCENT {
+        let (c, p) = descend(src, ep, key, OpAccess::Delete, None).await?;
+        (c, Some(p))
+    } else {
+        (src.start(ep, key, OpAccess::Delete).await?, None)
+    };
+    let (cur, mut page) = lock_covering_leaf(src, ep, key, start, first_page).await?;
+    let deleted = LeafNodeMut::new(&mut page).mark_deleted(key);
+    if deleted {
+        let res = write_unlock(ep, cur, &page, None).await;
+        release_on_error(ep, cur, res).await?;
+    } else {
+        unlock_only(ep, cur).await?;
+    }
+    Ok(deleted)
+}
+
+// ---------------------------------------------------------------------------
+// Split propagation over remotely stored inner levels.
+// ---------------------------------------------------------------------------
+
+/// Remotely stored upper levels the engine can propagate splits through:
+/// the published root plus split-page allocation. Implemented by the
+/// fine-grained design; the hybrid's upper levels are server-local and
+/// take split registrations over RPC instead.
+#[allow(async_fn_in_trait)]
+pub(crate) trait RemoteUpper {
+    /// Page geometry of the inner levels.
+    fn layout(&self) -> PageLayout;
+    /// Current root pointer (the catalog entry).
+    fn root_ptr(&self) -> RemotePtr;
+    /// Catalog check-and-set: publish `new` as root iff the root is
+    /// still `old`; must not await between check and set.
+    fn install_root(&self, old: RemotePtr, new: RemotePtr) -> bool;
+    /// Allocate a fresh remote page for an inner split or a new root.
+    async fn alloc_node(&self, ep: &Endpoint) -> Result<RemotePtr, VerbError>;
+}
+
+/// Install `(sep, right)` into the parent level, splitting parents as
+/// needed; grows a new root when the split reaches the top. Reads pages
+/// directly (uncached): SMOs must CAS against fresh versions.
+pub(crate) async fn propagate_split<U: RemoteUpper>(
+    up: &U,
+    ep: &Endpoint,
+    mut path: Vec<RemotePtr>,
+    mut sep: Key,
+    mut left: RemotePtr,
+    mut right: RemotePtr,
+    mut level: u8,
+) -> Result<(), VerbError> {
+    let ps = up.layout().page_size();
+    loop {
+        let mut cur = match path.pop() {
+            Some(p) => p,
+            None => {
+                if try_grow_root(up, ep, sep, left, right, level).await? {
+                    return Ok(());
+                }
+                // The tree grew concurrently: locate the parent level
+                // under the new root and continue there.
+                path = path_to_level(up, ep, sep, level).await?;
+                path.pop().expect("path to an existing level is non-empty")
+            }
+        };
+
+        // Lock the covering inner node (move right as needed).
+        let mut page;
+        loop {
+            page = read_unlocked(ep, cur, ps).await?;
+            let node = InnerNodeRef::new(&page);
+            if !node.covers(sep) {
+                cur = rp(node.right_sibling());
+                continue;
+            }
+            lock_node(ep, cur, &mut page).await?;
+            let node = InnerNodeRef::new(&page);
+            if node.covers(sep) {
+                break;
+            }
+            let next = rp(node.right_sibling());
+            unlock_only(ep, cur).await?;
+            cur = next;
+        }
+
+        let full = InnerNodeMut::new(&mut page)
+            .install_split(sep, right.as_page_ptr())
+            .is_err();
+        if !full {
+            let res = write_unlock(ep, cur, &page, None).await;
+            release_on_error(ep, cur, res).await?;
+            return Ok(());
+        }
+
+        // Parent full: split it (holding its lock), install into the
+        // covering half, and carry the parent split upward.
+        let res = up.alloc_node(ep).await;
+        let parent_right = release_on_error(ep, cur, res).await?;
+        let mut pright_page = up.layout().alloc_page();
+        let psep = InnerNodeMut::new(&mut page).split_into(
+            &mut pright_page,
+            cur.as_page_ptr(),
+            parent_right.as_page_ptr(),
+        );
+        {
+            let target = if sep <= psep {
+                &mut page
+            } else {
+                &mut *pright_page
+            };
+            InnerNodeMut::new(target)
+                .install_split(sep, right.as_page_ptr())
+                .expect("half-full after split");
+        }
+        let res = write_unlock(ep, cur, &page, Some((parent_right, &pright_page))).await;
+        release_on_error(ep, cur, res).await?;
+        sep = psep;
+        left = cur;
+        right = parent_right;
+        level += 1;
+    }
+}
+
+/// Attempt to install a new root above a split of the current root.
+/// Returns false if the root changed concurrently (the freshly written
+/// root page is leaked; harmless — pools are bump allocators).
+async fn try_grow_root<U: RemoteUpper>(
+    up: &U,
+    ep: &Endpoint,
+    sep: Key,
+    left: RemotePtr,
+    right: RemotePtr,
+    level: u8,
+) -> Result<bool, VerbError> {
+    if up.root_ptr() != left {
+        return Ok(false);
+    }
+    let new_root = up.alloc_node(ep).await?;
+    let mut page = up.layout().alloc_page();
+    InnerNodeMut::init_root(
+        &mut page,
+        level,
+        sep,
+        left.as_page_ptr(),
+        right.as_page_ptr(),
+    );
+    ep.write(new_root, &page).await?;
+    Ok(up.install_root(left, new_root))
+}
+
+/// Fresh descent from the current root down to (and including) an inner
+/// node at `level` covering `key`.
+async fn path_to_level<U: RemoteUpper>(
+    up: &U,
+    ep: &Endpoint,
+    key: Key,
+    level: u8,
+) -> Result<Vec<RemotePtr>, VerbError> {
+    let ps = up.layout().page_size();
+    let mut path = Vec::new();
+    let mut cur = up.root_ptr();
+    loop {
+        let page = read_unlocked(ep, cur, ps).await?;
+        debug_assert_eq!(kind_of(&page), NodeKind::Inner, "levels > 0 are inner");
+        let node = InnerNodeRef::new(&page);
+        if !node.covers(key) {
+            cur = rp(node.right_sibling());
+            continue;
+        }
+        if node.level() == level {
+            path.push(cur);
+            return Ok(path);
+        }
+        match node.find_child(key) {
+            Some(c) => {
+                path.push(cur);
+                cur = rp(c);
+            }
+            None => cur = rp(node.right_sibling()),
+        }
+    }
+}
+
+/// Timed round-robin page allocation over all memory servers
+/// (`RDMA_ALLOC`, Listing 4) — the placement policy both one-sided
+/// designs share for split pages.
+pub(crate) async fn rr_alloc(
+    ep: &Endpoint,
+    rr: &Cell<usize>,
+    page_size: usize,
+) -> Result<RemotePtr, VerbError> {
+    let s = rr.get();
+    rr.set((s + 1) % ep.cluster().num_servers());
+    ep.alloc(s, page_size as u64).await
+}
+
+// ---------------------------------------------------------------------------
+// Range scan over the leaf chain.
+// ---------------------------------------------------------------------------
+
+/// Scan the leaf chain from `start` collecting live entries in
+/// `[lo, hi]`, prefetching whole groups when head nodes are met.
+/// `start_page`, when given, is an already-fetched copy of `start`.
+pub(crate) async fn scan_chain(
+    ep: &Endpoint,
+    layout: PageLayout,
+    start: RemotePtr,
+    start_page: Option<Vec<u8>>,
+    lo: Key,
+    hi: Key,
+    out: &mut Vec<(Key, Value)>,
+) -> Result<(), VerbError> {
+    let ps = layout.page_size();
+    let mut prefetched: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut cur = start;
+    let mut pending = start_page;
+    loop {
+        if cur.is_null() {
+            return Ok(());
+        }
+        let page = match pending.take() {
+            Some(p) => p,
+            None => match prefetched.remove(&cur.raw()) {
+                Some(p)
+                    if !blink::layout::lock_word::is_locked(blink::node::version_lock_of(&p)) =>
+                {
+                    p
+                }
+                _ => read_unlocked(ep, cur, ps).await?,
+            },
+        };
+        match kind_of(&page) {
+            NodeKind::Head => {
+                // Prefetch the whole group with selectively signalled
+                // READs (§4.3) — one latency for the group.
+                let head = HeadNodeRef::new(&page);
+                let reqs: Vec<(RemotePtr, usize)> = head
+                    .ptrs()
+                    .iter()
+                    .map(|p| (RemotePtr::from_page_ptr(*p), ps))
+                    .collect();
+                if !reqs.is_empty() {
+                    let pages = ep.read_many(&reqs).await?;
+                    for ((p, _), bytes) in reqs.iter().zip(pages) {
+                        prefetched.insert(p.raw(), bytes);
+                    }
+                }
+                cur = rp(head.right_sibling());
+            }
+            NodeKind::Leaf => {
+                let leaf = LeafNodeRef::new(&page);
+                leaf.collect_range(lo, hi, out);
+                if leaf.high_key() >= hi {
+                    return Ok(());
+                }
+                cur = rp(leaf.right_sibling());
+            }
+            NodeKind::Inner => unreachable!("inner node in the leaf chain"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retried partitioned-range dedup.
+// ---------------------------------------------------------------------------
+
+/// Per-server completion tracking for a partitioned range query that may
+/// be retried: servers that already shipped their rows are skipped by
+/// later attempts, so a retried broadcast range (the coarse-grained
+/// design on hash partitions) neither re-ships pages nor double-counts
+/// bytes/RPCs in telemetry. Created once per *operation*, outside the
+/// retry loop.
+#[derive(Default)]
+pub struct RangeProgress {
+    done: RefCell<BTreeMap<usize, Vec<(Key, Value)>>>,
+}
+
+impl RangeProgress {
+    /// Whether server `s` already shipped its rows in a prior attempt.
+    pub fn is_done(&self, s: usize) -> bool {
+        self.done.borrow().contains_key(&s)
+    }
+
+    /// Record server `s`'s rows.
+    pub fn record(&self, s: usize, rows: Vec<(Key, Value)>) {
+        self.done.borrow_mut().insert(s, rows);
+    }
+
+    /// Forget everything recorded so far. Range-partitioned retries call
+    /// this at attempt start: their covering servers are re-queried
+    /// wholesale (each attempt is a consistent fresh pass), while hash
+    /// broadcasts keep progress across attempts and dedupe instead.
+    pub fn reset(&self) {
+        self.done.borrow_mut().clear();
+    }
+
+    /// Drain all recorded rows, concatenated in server order (key order
+    /// for range partitions); `sort` re-sorts for hash partitions, whose
+    /// per-server results interleave in key space.
+    pub fn merge(&self, sort: bool) -> Vec<(Key, Value)> {
+        let map = std::mem::take(&mut *self.done.borrow_mut());
+        let mut out: Vec<(Key, Value)> = map.into_values().flatten().collect();
+        if sort {
+            out.sort_unstable();
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry bracketing for Design-level operations.
+// ---------------------------------------------------------------------------
+
+/// Bracket a design-level operation with op-span telemetry notes.
+pub(crate) async fn with_op_span<T>(
+    ep: &Endpoint,
+    kind: OpKind,
+    fut: impl std::future::Future<Output = Result<T, OpError>>,
+) -> Result<T, OpError> {
+    ep.cluster().note_op_start(ep.client_id(), kind);
+    let res = fut.await;
+    ep.cluster().note_op_end(ep.client_id(), kind, res.is_ok());
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fg::{FgConfig, FineGrained};
+    use crate::hybrid::Hybrid;
+    use crate::CoarseGrained;
+    use blink::PageLayout;
+    use nam::{NamCluster, PartitionMap};
+    use rdma_sim::{Cluster, ClusterSpec};
+    use simnet::Sim;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn small_cfg() -> FgConfig {
+        FgConfig {
+            layout: PageLayout::new(200),
+            fill: 0.7,
+            head_stride: 4,
+            cache_capacity: None,
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Satellite: the merged backoff helper must reproduce both
+    /// pre-merge schedules exactly. The lib.rs retry path is pinned by a
+    /// digest over a (base, cap, attempt, client, now) matrix of
+    /// delay+jitter values computed with the frozen pre-merge formula.
+    #[test]
+    fn merged_backoff_schedule_is_unchanged() {
+        // Frozen copy of the pre-merge lib.rs formula.
+        let old_retry = |base: u64, cap_raw: u64, attempt: u32| -> u64 {
+            let cap = cap_raw.max(base);
+            base.saturating_mul(1u64 << (attempt - 1).min(20)).min(cap)
+        };
+        let mut stream = Vec::new();
+        for &(base, cap) in &[
+            (1_000u64, 256_000u64),
+            (500, 4_000),
+            (1, u64::MAX),
+            (8_000, 1_000), // cap below base: clamps to base
+        ] {
+            for attempt in 1u32..=24 {
+                for &client in &[0u64, 7, 1_000_003] {
+                    for &now in &[0u64, 123_456_789, u64::from(u32::MAX)] {
+                        let old_delay = old_retry(base, cap, attempt);
+                        let new_delay = expo_delay_nanos(base, attempt - 1, cap);
+                        assert_eq!(old_delay, new_delay, "base={base} cap={cap} a={attempt}");
+                        let jitter =
+                            simnet::rng::mix3(client, attempt as u64, now) % old_delay.max(1);
+                        stream.extend_from_slice(&(old_delay + jitter).to_le_bytes());
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            fnv1a(&stream),
+            0x9a99_7462_081f_8a0b,
+            "merged retry-backoff schedule drifted from the pre-merge golden"
+        );
+
+        // Frozen copy of the pre-merge onesided.rs spin formula.
+        for attempt in 0u32..=64 {
+            assert_eq!(
+                spin_backoff(attempt),
+                SimDur::from_micros(1 << attempt.min(5)),
+                "spin schedule drifted at attempt {attempt}"
+            );
+        }
+    }
+
+    #[test]
+    fn fg_retried_insert_is_absorbed_not_duplicated() {
+        let sim = Sim::new();
+        let cluster = Cluster::new(&sim, ClusterSpec::default());
+        let idx = FineGrained::build(&cluster, small_cfg(), (0..100u64).map(|i| (i * 8, i)));
+        let ep = rdma_sim::Endpoint::new(&cluster);
+        sim.spawn(async move {
+            // First attempt commits at the leaf unlock...
+            idx.insert(&ep, 41, 999).await.unwrap();
+            // ...then a post-commit verb "fails"; the retry layer re-runs
+            // with `retrying = true`, which must absorb the install.
+            insert(&idx.source(), &ep, 41, 999, true).await.unwrap();
+            assert_eq!(idx.range(&ep, 41, 41).await.unwrap(), vec![(41, 999)]);
+            // A genuinely fresh duplicate still installs (non-unique
+            // index), and retrying with a different value installs too.
+            idx.insert(&ep, 41, 999).await.unwrap();
+            insert(&idx.source(), &ep, 41, 777, true).await.unwrap();
+            let rows = idx.range(&ep, 41, 41).await.unwrap();
+            assert_eq!(rows.len(), 3, "absorption is exact-pair only: {rows:?}");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn hybrid_retried_insert_is_absorbed_not_duplicated() {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::default());
+        let partition = PartitionMap::range_uniform(nam.num_servers(), 100 * 8);
+        let idx = Hybrid::build(
+            &nam,
+            small_cfg(),
+            partition,
+            (0..100u64).map(|i| (i * 8, i)),
+        );
+        let ep = rdma_sim::Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            idx.insert(&ep, 41, 999).await.unwrap();
+            insert(&idx.source(), &ep, 41, 999, true).await.unwrap();
+            assert_eq!(idx.range(&ep, 41, 41).await.unwrap(), vec![(41, 999)]);
+            idx.insert(&ep, 41, 999).await.unwrap();
+            insert(&idx.source(), &ep, 41, 777, true).await.unwrap();
+            let rows = idx.range(&ep, 41, 41).await.unwrap();
+            assert_eq!(rows.len(), 3, "absorption is exact-pair only: {rows:?}");
+        });
+        sim.run();
+    }
+
+    /// Satellite fix: a retried broadcast range must not re-RPC servers
+    /// that already shipped their rows in a failed attempt.
+    #[test]
+    fn retried_broadcast_range_skips_completed_servers() {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::default());
+        let partition = PartitionMap::hash(nam.num_servers());
+        let idx = Design::Cg(CoarseGrained::build(
+            &nam,
+            PageLayout::default(),
+            partition,
+            (0..1000u64).map(|i| (i * 8, i)),
+            0.7,
+        ));
+        let cluster = nam.rdma.clone();
+        let ep = rdma_sim::Endpoint::new(&cluster);
+        // Servers are visited in order 0,1,2,3; kill 2 so the first
+        // attempt completes 0 and 1, then aborts. Restart it later so a
+        // retry finishes 2 and 3.
+        cluster.fail_server(2);
+        {
+            let cluster = cluster.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDur::from_micros(100)).await;
+                cluster.restart_server(2);
+            });
+        }
+        let got = Rc::new(Cell::new(0usize));
+        {
+            let got = got.clone();
+            sim.spawn(async move {
+                let rows = idx.range(&ep, 80, 160).await.unwrap();
+                assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+                got.set(rows.len());
+            });
+        }
+        sim.run();
+        assert_eq!(got.get(), 11, "keys 80,88,...,160");
+        // The dedup: servers 0 and 1 answered exactly once despite the
+        // retries (before the fix every attempt re-broadcast to them).
+        assert_eq!(cluster.server_stats(0).rpcs, 1, "server 0 re-broadcast");
+        assert_eq!(cluster.server_stats(1).rpcs, 1, "server 1 re-broadcast");
+        assert_eq!(cluster.server_stats(3).rpcs, 1, "server 3 answers once");
+        assert!(
+            cluster.fault_stats().verbs_unreachable >= 1,
+            "at least one attempt must have hit the dead server"
+        );
+    }
+}

@@ -6,6 +6,13 @@
 //! update it with CAS / WRITE / FETCH_AND_ADD — memory-server CPUs are
 //! never involved (Listing 2 + Listing 4).
 //!
+//! The traversal/SMO protocol itself lives in [`crate::engine`]; this
+//! module configures it: the [`NodeSource`] here answers "a node
+//! reference is a remote pointer, bytes come from a one-sided READ", and
+//! the engine's `TreeWriter`/`RemoteUpper` hooks route split pages
+//! through round-robin `RDMA_ALLOC` and split registration through
+//! client-side upward propagation over the remotely stored inner levels.
+//!
 //! Range scans use the §4.3 optimisation: *head nodes* interposed in the
 //! leaf chain every `head_stride` leaves redundantly store the remote
 //! pointers of their group, letting a scan prefetch a whole group of
@@ -13,6 +20,11 @@
 //! optimisation: direct sibling pointers are kept, and a scan that meets
 //! a leaf absent from the prefetched group (a concurrent split) simply
 //! issues one extra READ.
+//!
+//! With `cache_capacity` set, descents go through the engine's
+//! [`Cached`] decorator and inner pages are cached client-side
+//! (Appendix A.4) under the validation rule documented in
+//! [`crate::resolve`].
 //!
 //! Cost profile (Table 2): every level costs a round trip, so point
 //! lookups move `H·P` bytes; but the aggregated bandwidth of *all*
@@ -24,18 +36,19 @@
 //! retry policy lives one level up, in [`crate::Design`].
 
 use std::cell::Cell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use blink::layout::{lock_word, KEY_MAX};
 use blink::node::{
-    kind_of, HeadNodeMut, HeadNodeRef, InnerNodeMut, InnerNodeRef, LeafNodeMut, LeafNodeRef,
-    NodeKind,
+    kind_of, HeadNodeMut, HeadNodeRef, InnerNodeMut, LeafNodeMut, LeafNodeRef, NodeKind,
 };
 use blink::{Key, PageLayout, Ptr, Value};
 use rdma_sim::{Cluster, Endpoint, RemotePtr, VerbError};
 
-use crate::onesided::{lock_node, read_unlocked, release_on_error, unlock_only, write_unlock};
+use crate::cache::CacheLayer;
+use crate::engine::{self, RemoteUpper, TreeWriter};
+use crate::onesided::read_unlocked;
+use crate::resolve::{CachePolicy, Cached, NodeSource, OpAccess, SetupSource};
 
 /// Construction parameters for the fine-grained (and hybrid leaf-level)
 /// structure.
@@ -48,6 +61,10 @@ pub struct FgConfig {
     /// Install a head node before every `head_stride` leaves; `0`
     /// disables head nodes.
     pub head_stride: usize,
+    /// Client-side cache capacity in entries per client (`Some(0)` =
+    /// unbounded); `None` disables caching entirely — the descent is an
+    /// exact pass-through to the wire.
+    pub cache_capacity: Option<usize>,
 }
 
 impl Default for FgConfig {
@@ -56,6 +73,7 @@ impl Default for FgConfig {
             layout: PageLayout::default(),
             fill: 0.7,
             head_stride: 8,
+            cache_capacity: None,
         }
     }
 }
@@ -73,6 +91,7 @@ pub struct FineGrained {
     /// Round-robin cursor for new-page placement.
     alloc_rr: Cell<usize>,
     head_stride: usize,
+    cache: Option<CacheLayer>,
 }
 
 /// Result of building a remote leaf level (shared with the hybrid design).
@@ -256,6 +275,7 @@ impl FineGrained {
             first: Cell::new(leaf_level.first),
             alloc_rr: rr,
             head_stride: cfg.head_stride,
+            cache: cfg.cache_capacity.map(|cap| CacheLayer::new(cluster, cap)),
         })
     }
 
@@ -279,69 +299,31 @@ impl FineGrained {
         &self.cluster
     }
 
-    fn ps(&self) -> usize {
-        self.layout.page_size()
+    /// The client-side cache layer, if `cache_capacity` enabled one.
+    pub fn cache(&self) -> Option<&CacheLayer> {
+        self.cache.as_ref()
     }
 
-    /// Timed round-robin page allocation (`RDMA_ALLOC`, Listing 4).
-    async fn alloc_timed(&self, ep: &Endpoint) -> Result<RemotePtr, VerbError> {
-        let s = self.alloc_rr.get();
-        self.alloc_rr.set((s + 1) % self.cluster.num_servers());
-        ep.alloc(s, self.ps() as u64).await
+    /// The engine's view of this index: a (possibly caching) node
+    /// source over one-sided READs.
+    pub(crate) fn source(&self) -> Cached<'_, FineGrained> {
+        Cached::new(self, self.cache.as_ref())
+    }
+
+    /// Untimed page-resolution view for control-path walks (sanitizer,
+    /// head maintenance).
+    pub fn setup_source(&self) -> SetupSource {
+        SetupSource::new(&self.cluster, self.layout)
+    }
+
+    fn ps(&self) -> usize {
+        self.layout.page_size()
     }
 
     /// `remote_lookup` (Listing 2): descend with one-sided READs,
     /// chasing siblings past in-flight splits.
     pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Result<Option<Value>, VerbError> {
-        let mut cur = self.root.get();
-        loop {
-            let page = read_unlocked(ep, cur, self.ps()).await?;
-            match kind_of(&page) {
-                NodeKind::Inner => {
-                    let node = InnerNodeRef::new(&page);
-                    cur = match node.find_child(key) {
-                        Some(c) => rp(c),
-                        None => rp(node.right_sibling()),
-                    };
-                }
-                NodeKind::Head => {
-                    cur = rp(HeadNodeRef::new(&page).right_sibling());
-                }
-                NodeKind::Leaf => {
-                    let node = LeafNodeRef::new(&page);
-                    if node.covers(key) {
-                        return Ok(node.get(key));
-                    }
-                    cur = rp(node.right_sibling());
-                }
-            }
-            assert!(!cur.is_null(), "fell off the B-link chain");
-        }
-    }
-
-    /// Descend to the leaf covering `key` for a scan start.
-    async fn find_leaf(&self, ep: &Endpoint, key: Key) -> Result<(RemotePtr, Vec<u8>), VerbError> {
-        let mut cur = self.root.get();
-        loop {
-            let page = read_unlocked(ep, cur, self.ps()).await?;
-            match kind_of(&page) {
-                NodeKind::Inner => {
-                    let node = InnerNodeRef::new(&page);
-                    cur = match node.find_child(key) {
-                        Some(c) => rp(c),
-                        None => rp(node.right_sibling()),
-                    };
-                }
-                NodeKind::Head => cur = rp(HeadNodeRef::new(&page).right_sibling()),
-                NodeKind::Leaf => {
-                    let node = LeafNodeRef::new(&page);
-                    if node.covers(key) {
-                        return Ok((cur, page));
-                    }
-                    cur = rp(node.right_sibling());
-                }
-            }
-        }
+        engine::lookup(&self.source(), ep, key).await
     }
 
     /// Range query over `[lo, hi]` with head-node prefetch.
@@ -351,312 +333,19 @@ impl FineGrained {
         lo: Key,
         hi: Key,
     ) -> Result<Vec<(Key, Value)>, VerbError> {
-        let (start, page) = self.find_leaf(ep, lo).await?;
-        let mut out = Vec::new();
-        scan_chain(ep, self.layout, start, Some(page), lo, hi, &mut out).await?;
-        Ok(out)
+        engine::range(&self.source(), ep, lo, hi).await
     }
 
-    /// `remote_insert` (Listing 2): descend recording the inner path,
-    /// lock the covering leaf with RDMA_CAS, install the key, write back
-    /// and FAA-unlock; splits allocate a remote page and propagate
-    /// upward.
+    /// `remote_insert` (Listing 2): one attempt of the engine's
+    /// lock-coupled install (see `engine::insert` for the
+    /// exactly-once retry-absorption contract under [`crate::Design`]).
     pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), VerbError> {
-        self.insert_attempt(ep, key, value, false).await
-    }
-
-    /// One attempt of [`FineGrained::insert`], for use under a retry
-    /// layer. The attempt commits at the leaf's unlock FAA, so a later
-    /// failure (split propagation, a refused unlock) leaves the install
-    /// in place; pass `retrying = true` on re-attempts and the covering
-    /// leaf is first checked for a live `(key, value)` pair — if the
-    /// previous attempt already committed, the retry is absorbed instead
-    /// of installing a duplicate. (Non-unique-index caveat: a pair some
-    /// concurrent operation installed independently is indistinguishable
-    /// from our own committed install and is absorbed too.) Any lock the
-    /// attempt holds when it fails is best-effort released so the retry
-    /// does not stall on it until the lease break.
-    pub async fn insert_attempt(
-        &self,
-        ep: &Endpoint,
-        key: Key,
-        value: Value,
-        retrying: bool,
-    ) -> Result<(), VerbError> {
-        let (mut cur, mut page, path) = self.descend_with_path(ep, key).await?;
-        // Lock the leaf, re-validating coverage after each acquisition.
-        loop {
-            lock_node(ep, cur, &mut page).await?;
-            let leaf = LeafNodeRef::new(&page);
-            if leaf.covers(key) {
-                break;
-            }
-            let next = rp(leaf.right_sibling());
-            unlock_only(ep, cur).await?;
-            let (c, p) = self.skip_heads(ep, next).await?;
-            cur = c;
-            page = p;
-        }
-
-        if retrying && LeafNodeRef::new(&page).contains(key, value) {
-            // The previous attempt committed before its post-commit verb
-            // failed. (If it had also split, the new leaf stays reachable
-            // via the B-link sibling chain even when its parent entry is
-            // missing; a later split re-propagates.)
-            return unlock_only(ep, cur).await;
-        }
-
-        let full = LeafNodeMut::new(&mut page).insert(key, value).is_err();
-        if !full {
-            let res = write_unlock(ep, cur, &page, None).await;
-            return release_on_error(ep, cur, res).await;
-        }
-
-        // Split: allocate remotely, split the local copy, write both
-        // halves (right first, Listing 4), unlock, propagate.
-        let res = self.alloc_timed(ep).await;
-        let right_ptr = release_on_error(ep, cur, res).await?;
-        let mut right_page = self.layout.alloc_page();
-        let sep = LeafNodeMut::new(&mut page).split_into(
-            &mut right_page,
-            cur.as_page_ptr(),
-            right_ptr.as_page_ptr(),
-        );
-        {
-            let target = if key <= sep {
-                &mut page
-            } else {
-                &mut *right_page
-            };
-            LeafNodeMut::new(target)
-                .insert(key, value)
-                .expect("half-full after split");
-        }
-        let res = write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
-        release_on_error(ep, cur, res).await?;
-        self.propagate_split(ep, path, sep, cur, right_ptr, 1).await
+        engine::insert(&self.source(), ep, key, value, false).await
     }
 
     /// Tombstone-delete `key`; returns whether an entry was deleted.
     pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, VerbError> {
-        let (mut cur, mut page, _path) = self.descend_with_path(ep, key).await?;
-        loop {
-            lock_node(ep, cur, &mut page).await?;
-            let leaf = LeafNodeRef::new(&page);
-            if leaf.covers(key) {
-                break;
-            }
-            let next = rp(leaf.right_sibling());
-            unlock_only(ep, cur).await?;
-            let (c, p) = self.skip_heads(ep, next).await?;
-            cur = c;
-            page = p;
-        }
-        let deleted = LeafNodeMut::new(&mut page).mark_deleted(key);
-        if deleted {
-            let res = write_unlock(ep, cur, &page, None).await;
-            release_on_error(ep, cur, res).await?;
-        } else {
-            unlock_only(ep, cur).await?;
-        }
-        Ok(deleted)
-    }
-
-    /// Descend to the leaf covering `key`, recording inner nodes visited.
-    async fn descend_with_path(
-        &self,
-        ep: &Endpoint,
-        key: Key,
-    ) -> Result<(RemotePtr, Vec<u8>, Vec<RemotePtr>), VerbError> {
-        let mut path = Vec::new();
-        let mut cur = self.root.get();
-        loop {
-            let page = read_unlocked(ep, cur, self.ps()).await?;
-            match kind_of(&page) {
-                NodeKind::Inner => {
-                    let node = InnerNodeRef::new(&page);
-                    match node.find_child(key) {
-                        Some(c) => {
-                            path.push(cur);
-                            cur = rp(c);
-                        }
-                        None => cur = rp(node.right_sibling()),
-                    }
-                }
-                NodeKind::Head => cur = rp(HeadNodeRef::new(&page).right_sibling()),
-                NodeKind::Leaf => {
-                    let node = LeafNodeRef::new(&page);
-                    if node.covers(key) {
-                        return Ok((cur, page, path));
-                    }
-                    cur = rp(node.right_sibling());
-                }
-            }
-        }
-    }
-
-    /// Follow the chain from `ptr`, skipping head nodes; returns the
-    /// first leaf and its page.
-    async fn skip_heads(
-        &self,
-        ep: &Endpoint,
-        mut ptr: RemotePtr,
-    ) -> Result<(RemotePtr, Vec<u8>), VerbError> {
-        loop {
-            let page = read_unlocked(ep, ptr, self.ps()).await?;
-            if kind_of(&page) == NodeKind::Head {
-                ptr = rp(HeadNodeRef::new(&page).right_sibling());
-            } else {
-                return Ok((ptr, page));
-            }
-        }
-    }
-
-    /// Install `(sep, right)` into the parent level, splitting parents as
-    /// needed; grows a new root when the split reaches the top.
-    async fn propagate_split(
-        &self,
-        ep: &Endpoint,
-        mut path: Vec<RemotePtr>,
-        mut sep: Key,
-        mut left: RemotePtr,
-        mut right: RemotePtr,
-        mut level: u8,
-    ) -> Result<(), VerbError> {
-        loop {
-            let mut cur = match path.pop() {
-                Some(p) => p,
-                None => {
-                    if self.try_grow_root(ep, sep, left, right, level).await? {
-                        return Ok(());
-                    }
-                    // The tree grew concurrently: locate the parent level
-                    // under the new root and continue there.
-                    path = self.path_to_level(ep, sep, level).await?;
-                    path.pop().expect("path to an existing level is non-empty")
-                }
-            };
-
-            // Lock the covering inner node (move right as needed).
-            let mut page;
-            loop {
-                page = read_unlocked(ep, cur, self.ps()).await?;
-                let node = InnerNodeRef::new(&page);
-                if !node.covers(sep) {
-                    cur = rp(node.right_sibling());
-                    continue;
-                }
-                lock_node(ep, cur, &mut page).await?;
-                let node = InnerNodeRef::new(&page);
-                if node.covers(sep) {
-                    break;
-                }
-                let next = rp(node.right_sibling());
-                unlock_only(ep, cur).await?;
-                cur = next;
-            }
-
-            let full = InnerNodeMut::new(&mut page)
-                .install_split(sep, right.as_page_ptr())
-                .is_err();
-            if !full {
-                let res = write_unlock(ep, cur, &page, None).await;
-                release_on_error(ep, cur, res).await?;
-                return Ok(());
-            }
-
-            // Parent full: split it (holding its lock), install into the
-            // covering half, and carry the parent split upward.
-            let res = self.alloc_timed(ep).await;
-            let parent_right = release_on_error(ep, cur, res).await?;
-            let mut pright_page = self.layout.alloc_page();
-            let psep = InnerNodeMut::new(&mut page).split_into(
-                &mut pright_page,
-                cur.as_page_ptr(),
-                parent_right.as_page_ptr(),
-            );
-            {
-                let target = if sep <= psep {
-                    &mut page
-                } else {
-                    &mut *pright_page
-                };
-                InnerNodeMut::new(target)
-                    .install_split(sep, right.as_page_ptr())
-                    .expect("half-full after split");
-            }
-            let res = write_unlock(ep, cur, &page, Some((parent_right, &pright_page))).await;
-            release_on_error(ep, cur, res).await?;
-            sep = psep;
-            left = cur;
-            right = parent_right;
-            level += 1;
-        }
-    }
-
-    /// Attempt to install a new root above a split of the current root.
-    /// Returns false if the root changed concurrently.
-    async fn try_grow_root(
-        &self,
-        ep: &Endpoint,
-        sep: Key,
-        left: RemotePtr,
-        right: RemotePtr,
-        level: u8,
-    ) -> Result<bool, VerbError> {
-        if self.root.get() != left {
-            return Ok(false);
-        }
-        let new_root = self.alloc_timed(ep).await?;
-        let mut page = self.layout.alloc_page();
-        InnerNodeMut::init_root(
-            &mut page,
-            level,
-            sep,
-            left.as_page_ptr(),
-            right.as_page_ptr(),
-        );
-        ep.write(new_root, &page).await?;
-        // Catalog check-and-set: no await between check and set, so the
-        // update is atomic with respect to other clients.
-        if self.root.get() == left {
-            self.root.set(new_root);
-            Ok(true)
-        } else {
-            Ok(false) // new root page is leaked; harmless
-        }
-    }
-
-    /// Fresh descent from the current root down to (and including) an
-    /// inner node at `level` covering `key`.
-    async fn path_to_level(
-        &self,
-        ep: &Endpoint,
-        key: Key,
-        level: u8,
-    ) -> Result<Vec<RemotePtr>, VerbError> {
-        let mut path = Vec::new();
-        let mut cur = self.root.get();
-        loop {
-            let page = read_unlocked(ep, cur, self.ps()).await?;
-            debug_assert_eq!(kind_of(&page), NodeKind::Inner, "levels > 0 are inner");
-            let node = InnerNodeRef::new(&page);
-            if !node.covers(key) {
-                cur = rp(node.right_sibling());
-                continue;
-            }
-            if node.level() == level {
-                path.push(cur);
-                return Ok(path);
-            }
-            match node.find_child(key) {
-                Some(c) => {
-                    path.push(cur);
-                    cur = rp(c);
-                }
-                None => cur = rp(node.right_sibling()),
-            }
-        }
+        engine::delete(&self.source(), ep, key).await
     }
 
     /// Epoch head-node maintenance (§4.3): rebuild the head nodes' group
@@ -669,11 +358,12 @@ impl FineGrained {
         }
         // Collect the real leaves in chain order; the head pages passed
         // on the way are about to be abandoned (epoch-retired).
+        let src = self.setup_source();
         let mut leaves = Vec::new();
         let mut old_heads = Vec::new();
         let mut cur = self.first.get();
         while !cur.is_null() {
-            let page = self.cluster.setup_read(cur, self.ps());
+            let page = src.load(cur);
             match kind_of(&page) {
                 NodeKind::Head => {
                     old_heads.push(cur);
@@ -705,7 +395,7 @@ impl FineGrained {
                 groups[g - 1].last().copied()
             };
             if let Some(last) = prev_last {
-                let mut lp = self.cluster.setup_read(last, self.ps());
+                let mut lp = src.load(last);
                 // Last leaf of a group points at the next group's head,
                 // whose sibling routes on to the group's first leaf.
                 LeafNodeMut::new(&mut lp).set_right_sibling(head_ptrs[g].as_page_ptr());
@@ -723,65 +413,72 @@ impl FineGrained {
     }
 }
 
-/// Scan the leaf chain from `start` collecting live entries in
-/// `[lo, hi]`, prefetching whole groups when head nodes are met.
-/// `start_page`, when given, is an already-fetched copy of `start`.
-pub(crate) async fn scan_chain(
-    ep: &Endpoint,
-    layout: PageLayout,
-    start: RemotePtr,
-    start_page: Option<Vec<u8>>,
-    lo: Key,
-    hi: Key,
-    out: &mut Vec<(Key, Value)>,
-) -> Result<(), VerbError> {
-    let ps = layout.page_size();
-    let mut prefetched: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
-    let mut cur = start;
-    let mut pending = start_page;
-    loop {
-        if cur.is_null() {
-            return Ok(());
+impl NodeSource for FineGrained {
+    /// The client descends the remotely stored inner levels itself.
+    const CLIENT_DESCENT: bool = true;
+
+    fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    fn cache_policy(&self) -> CachePolicy {
+        CachePolicy::InnerPages
+    }
+
+    async fn start(
+        &self,
+        _ep: &Endpoint,
+        _key: Key,
+        _access: OpAccess,
+    ) -> Result<RemotePtr, VerbError> {
+        Ok(self.root.get())
+    }
+
+    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<Vec<u8>, VerbError> {
+        read_unlocked(ep, ptr, self.ps()).await
+    }
+}
+
+impl TreeWriter for FineGrained {
+    async fn alloc(&self, ep: &Endpoint) -> Result<RemotePtr, VerbError> {
+        engine::rr_alloc(ep, &self.alloc_rr, self.ps()).await
+    }
+
+    async fn complete_split(
+        &self,
+        ep: &Endpoint,
+        path: Vec<RemotePtr>,
+        sep: Key,
+        left: RemotePtr,
+        right: RemotePtr,
+        _old_high: Key,
+    ) -> Result<(), VerbError> {
+        engine::propagate_split(self, ep, path, sep, left, right, 1).await
+    }
+}
+
+impl RemoteUpper for FineGrained {
+    fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    fn root_ptr(&self) -> RemotePtr {
+        self.root.get()
+    }
+
+    fn install_root(&self, old: RemotePtr, new: RemotePtr) -> bool {
+        // Catalog check-and-set: no await between check and set, so the
+        // update is atomic with respect to other clients.
+        if self.root.get() == old {
+            self.root.set(new);
+            true
+        } else {
+            false // new root page is leaked; harmless
         }
-        let page = match pending.take() {
-            Some(p) => p,
-            None => match prefetched.remove(&cur.raw()) {
-                Some(p)
-                    if !blink::layout::lock_word::is_locked(blink::node::version_lock_of(&p)) =>
-                {
-                    p
-                }
-                _ => read_unlocked(ep, cur, ps).await?,
-            },
-        };
-        match kind_of(&page) {
-            NodeKind::Head => {
-                // Prefetch the whole group with selectively signalled
-                // READs (§4.3) — one latency for the group.
-                let head = HeadNodeRef::new(&page);
-                let reqs: Vec<(RemotePtr, usize)> = head
-                    .ptrs()
-                    .iter()
-                    .map(|p| (RemotePtr::from_page_ptr(*p), ps))
-                    .collect();
-                if !reqs.is_empty() {
-                    let pages = ep.read_many(&reqs).await?;
-                    for ((p, _), bytes) in reqs.iter().zip(pages) {
-                        prefetched.insert(p.raw(), bytes);
-                    }
-                }
-                cur = rp(head.right_sibling());
-            }
-            NodeKind::Leaf => {
-                let leaf = LeafNodeRef::new(&page);
-                leaf.collect_range(lo, hi, out);
-                if leaf.high_key() >= hi {
-                    return Ok(());
-                }
-                cur = rp(leaf.right_sibling());
-            }
-            NodeKind::Inner => unreachable!("inner node in the leaf chain"),
-        }
+    }
+
+    async fn alloc_node(&self, ep: &Endpoint) -> Result<RemotePtr, VerbError> {
+        engine::rr_alloc(ep, &self.alloc_rr, self.ps()).await
     }
 }
 
@@ -797,6 +494,7 @@ mod tests {
             layout: PageLayout::new(200), // 10 entries per node
             fill: 0.7,
             head_stride: 4,
+            cache_capacity: None,
         }
     }
 
@@ -839,28 +537,6 @@ mod tests {
             *results.borrow(),
             vec![Some(0), Some(1), Some(2499), Some(4999), None]
         );
-    }
-
-    #[test]
-    fn retried_insert_is_absorbed_not_duplicated() {
-        let sim = Sim::new();
-        let (cluster, idx) = build(&sim, 100, small_cfg());
-        let ep = Endpoint::new(&cluster);
-        sim.spawn(async move {
-            // First attempt commits at the leaf unlock...
-            idx.insert(&ep, 41, 999).await.unwrap();
-            // ...then a post-commit verb "fails"; the retry layer re-runs
-            // with `retrying = true`, which must absorb the install.
-            idx.insert_attempt(&ep, 41, 999, true).await.unwrap();
-            assert_eq!(idx.range(&ep, 41, 41).await.unwrap(), vec![(41, 999)]);
-            // A genuinely fresh duplicate still installs (non-unique
-            // index), and retrying with a different value installs too.
-            idx.insert(&ep, 41, 999).await.unwrap();
-            idx.insert_attempt(&ep, 41, 777, true).await.unwrap();
-            let rows = idx.range(&ep, 41, 41).await.unwrap();
-            assert_eq!(rows.len(), 3, "absorption is exact-pair only: {rows:?}");
-        });
-        sim.run();
     }
 
     #[test]

@@ -199,6 +199,7 @@ mod tests {
             layout: PageLayout::new(200),
             fill: 0.7,
             head_stride: 4,
+            cache_capacity: None,
         };
         let idx = FineGrained::build(&cluster, cfg, (0..500u64).map(|i| (i * 8, i)));
         let ep = Endpoint::new(&cluster);
@@ -230,6 +231,7 @@ mod tests {
             layout: PageLayout::new(200),
             fill: 0.7,
             head_stride: 4,
+            cache_capacity: None,
         };
         let partition = PartitionMap::range_uniform(4, 400 * 8);
         let idx = Hybrid::build(&nam, cfg, partition, (0..400u64).map(|i| (i * 8, i)));

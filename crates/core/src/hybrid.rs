@@ -10,8 +10,16 @@
 //! Access combines both protocols: a two-sided RPC traverses the upper
 //! levels and returns only the covering leaf's remote pointer (§5.2);
 //! the compute server then reads/updates the leaf with the one-sided
-//! protocol of §4. Leaf splits are reported back over a second RPC that
+//! protocol of §4. The one-sided leaf protocol itself lives in
+//! [`crate::engine`]; this module configures it: the [`NodeSource`] here
+//! answers "the descent starts where the upper-level RPC says, bytes
+//! come from one-sided READs of chain pages", and the engine's
+//! `TreeWriter` hook reports leaf splits back over a second RPC that
 //! installs the new separator into the upper levels.
+//!
+//! With `cache_capacity` set, resolved `high_key → leaf pointer` routes
+//! are cached client-side so repeat descents skip the resolution RPC,
+//! under the validation rule documented in [`crate::resolve`].
 //!
 //! Every operation surfaces verb failures (`VerbError`) to the caller;
 //! retry policy lives one level up, in [`crate::Design`].
@@ -19,14 +27,16 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use blink::node::{HeadNodeRef, LeafNodeMut, LeafNodeRef, NodeKind};
 use blink::{Key, LocalTree, PageLayout, Value};
 use nam::{handler_cpu_time, msg, NamCluster, PartitionMap, ServerNode};
 use rdma_sim::{Cluster, Endpoint, RemotePtr, RpcReply, VerbError};
 use simnet::Sim;
 
-use crate::fg::{build_leaf_level, scan_chain, FgConfig};
-use crate::onesided::{lock_node, read_unlocked, release_on_error, unlock_only, write_unlock};
+use crate::cache::CacheLayer;
+use crate::engine::{self, TreeWriter};
+use crate::fg::{build_leaf_level, FgConfig};
+use crate::onesided::read_unlocked;
+use crate::resolve::{CachePolicy, Cached, NodeSource, OpAccess, SetupSource};
 
 /// The hybrid index.
 pub struct Hybrid {
@@ -39,10 +49,7 @@ pub struct Hybrid {
     first: Cell<RemotePtr>,
     /// Round-robin cursor for new leaf placement.
     alloc_rr: Cell<usize>,
-}
-
-fn rp(p: blink::Ptr) -> RemotePtr {
-    RemotePtr::from_page_ptr(p)
+    cache: Option<CacheLayer>,
 }
 
 impl Hybrid {
@@ -88,6 +95,9 @@ impl Hybrid {
             layout: cfg.layout,
             first: Cell::new(leaf_level.first),
             alloc_rr: rr,
+            cache: cfg
+                .cache_capacity
+                .map(|cap| CacheLayer::new(&nam.rdma, cap)),
         })
     }
 
@@ -118,6 +128,22 @@ impl Hybrid {
     /// Per-server upper-level state (for the GC driver).
     pub fn nodes(&self) -> &[Rc<ServerNode>] {
         &self.nodes
+    }
+
+    /// The client-side route cache, if `cache_capacity` enabled one.
+    pub fn cache(&self) -> Option<&CacheLayer> {
+        self.cache.as_ref()
+    }
+
+    /// The engine's view of this index: a (possibly caching) node
+    /// source over the upper-level RPC handoff.
+    pub(crate) fn source(&self) -> Cached<'_, Hybrid> {
+        Cached::new(self, self.cache.as_ref())
+    }
+
+    /// Untimed page-resolution view for control-path walks (sanitizer).
+    pub fn setup_source(&self) -> SetupSource {
+        SetupSource::new(&self.cluster, self.layout)
     }
 
     /// RPC the upper levels for the leaf covering `key` (§5.2: the RPC
@@ -164,130 +190,97 @@ impl Hybrid {
 
     /// Point lookup: RPC for the leaf pointer, then one-sided leaf READ.
     pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Result<Option<Value>, VerbError> {
-        let mut cur = self.leaf_ptr_for(ep, key, msg::lookup_req()).await?;
-        loop {
-            let page = read_unlocked(ep, cur, self.ps()).await?;
-            match blink::node::kind_of(&page) {
-                NodeKind::Leaf => {
-                    let leaf = LeafNodeRef::new(&page);
-                    if leaf.covers(key) {
-                        return Ok(leaf.get(key));
-                    }
-                    cur = rp(leaf.right_sibling());
-                }
-                NodeKind::Head => cur = rp(HeadNodeRef::new(&page).right_sibling()),
-                NodeKind::Inner => unreachable!("upper levels are server-local"),
-            }
-            assert!(!cur.is_null(), "fell off the leaf chain");
-        }
+        engine::lookup(&self.source(), ep, key).await
     }
 
     /// Range query: RPC for the starting leaf, then a fine-grained chain
-    /// scan with head-node prefetch.
+    /// scan with head-node prefetch. A concurrent split may route us to
+    /// a leaf left of `lo`'s final position; the chain scan handles that
+    /// by skipping non-matching keys.
     pub async fn range(
         &self,
         ep: &Endpoint,
         lo: Key,
         hi: Key,
     ) -> Result<Vec<(Key, Value)>, VerbError> {
-        let start = self.leaf_ptr_for(ep, lo, msg::range_req()).await?;
-        let mut out = Vec::new();
-        scan_chain(ep, self.layout, start, None, lo, hi, &mut out).await?;
-        // A concurrent split may route us to a leaf left of `lo`'s final
-        // position; scan_chain handles that by starting at the covering
-        // leaf and skipping non-matching keys.
-        Ok(out)
+        engine::range(&self.source(), ep, lo, hi).await
     }
 
     /// Insert: RPC for the leaf pointer, one-sided leaf install (§4
     /// protocol); on a split, report the new leaf back over RPC so the
-    /// memory server installs it into the upper levels (§5.2).
+    /// memory server installs it into the upper levels (§5.2). See
+    /// `engine::insert` for the exactly-once retry-absorption
+    /// contract under [`crate::Design`].
     pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), VerbError> {
-        self.insert_attempt(ep, key, value, false).await
+        engine::insert(&self.source(), ep, key, value, false).await
     }
 
-    /// One attempt of [`Hybrid::insert`], for use under a retry layer.
-    /// Same contract as [`crate::FineGrained::insert_attempt`]: the
-    /// attempt commits at the leaf's unlock FAA, `retrying = true` makes
-    /// a re-attempt absorb a previously committed install instead of
-    /// duplicating it, and a lock held at the point of failure is
-    /// best-effort released. (A committed split whose upper-level
-    /// registration RPC then failed stays reachable: routing lands on a
-    /// leaf to its left and B-link sibling chases correct it.)
-    pub async fn insert_attempt(
+    /// Tombstone-delete `key` with the one-sided leaf protocol.
+    pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, VerbError> {
+        engine::delete(&self.source(), ep, key).await
+    }
+}
+
+impl NodeSource for Hybrid {
+    /// The upper levels are server-local: `start` already resolves to
+    /// the leaf chain, the client never descends inner levels.
+    const CLIENT_DESCENT: bool = false;
+
+    fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    fn cache_policy(&self) -> CachePolicy {
+        CachePolicy::Routes
+    }
+
+    async fn start(
         &self,
         ep: &Endpoint,
         key: Key,
-        value: Value,
-        retrying: bool,
+        access: OpAccess,
+    ) -> Result<RemotePtr, VerbError> {
+        let req_bytes = match access {
+            OpAccess::Lookup => msg::lookup_req(),
+            OpAccess::Range => msg::range_req(),
+            OpAccess::Insert => msg::insert_req(),
+            OpAccess::Delete => msg::delete_req(),
+        };
+        self.leaf_ptr_for(ep, key, req_bytes).await
+    }
+
+    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<Vec<u8>, VerbError> {
+        read_unlocked(ep, ptr, self.ps()).await
+    }
+}
+
+impl TreeWriter for Hybrid {
+    async fn alloc(&self, ep: &Endpoint) -> Result<RemotePtr, VerbError> {
+        engine::rr_alloc(ep, &self.alloc_rr, self.ps()).await
+    }
+
+    /// Upper-level registration of a committed leaf split. Order
+    /// matters: first map `sep -> left` (new entry), then repoint
+    /// `old_high -> right`; in the interim, stale routing is corrected
+    /// by B-link sibling chases. (A committed split whose registration
+    /// RPC then fails stays reachable the same way: routing lands on a
+    /// leaf to its left and chases correct it.)
+    async fn complete_split(
+        &self,
+        ep: &Endpoint,
+        _path: Vec<RemotePtr>,
+        sep: Key,
+        left: RemotePtr,
+        right: RemotePtr,
+        old_high: Key,
     ) -> Result<(), VerbError> {
-        let mut cur = self.leaf_ptr_for(ep, key, msg::insert_req()).await?;
-        let mut page;
-        // Find and lock the covering leaf.
-        loop {
-            page = read_unlocked(ep, cur, self.ps()).await?;
-            if blink::node::kind_of(&page) == NodeKind::Head {
-                cur = rp(HeadNodeRef::new(&page).right_sibling());
-                continue;
-            }
-            lock_node(ep, cur, &mut page).await?;
-            let leaf = LeafNodeRef::new(&page);
-            if leaf.covers(key) {
-                break;
-            }
-            let next = rp(leaf.right_sibling());
-            unlock_only(ep, cur).await?;
-            cur = next;
-        }
-
-        if retrying && LeafNodeRef::new(&page).contains(key, value) {
-            // The previous attempt committed before its post-commit verb
-            // failed; absorb the retry.
-            return unlock_only(ep, cur).await;
-        }
-
-        let full = LeafNodeMut::new(&mut page).insert(key, value).is_err();
-        if !full {
-            let res = write_unlock(ep, cur, &page, None).await;
-            return release_on_error(ep, cur, res).await;
-        }
-
-        // Split the leaf (one-sided), then register the new separator
-        // with the upper levels.
-        let s = self.alloc_rr.get();
-        self.alloc_rr.set((s + 1) % self.cluster.num_servers());
-        let res = ep.alloc(s, self.ps() as u64).await;
-        let right_ptr = release_on_error(ep, cur, res).await?;
-        let mut right_page = self.layout.alloc_page();
-        let sep = LeafNodeMut::new(&mut page).split_into(
-            &mut right_page,
-            cur.as_page_ptr(),
-            right_ptr.as_page_ptr(),
-        );
-        let old_high = LeafNodeRef::new(&right_page).high_key();
-        {
-            let target = if key <= sep {
-                &mut page
-            } else {
-                &mut *right_page
-            };
-            LeafNodeMut::new(target)
-                .insert(key, value)
-                .expect("half-full after split");
-        }
-        let res = write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
-        release_on_error(ep, cur, res).await?;
-
-        // Upper-level registration. Order matters: first map sep -> left
-        // (new entry), then repoint old_high -> right; in the interim,
-        // stale routing is corrected by B-link sibling chases.
         let s_new = self.partition.server_of(sep);
         let s_old = self.partition.server_of(old_high);
         if s_new == s_old {
             let node = self.nodes[s_new].clone();
             let spec = self.cluster.spec().clone();
             let sim = self.sim.clone();
-            let (left_raw, right_raw) = (cur.raw(), right_ptr.raw());
+            let (left_raw, right_raw) = (left.raw(), right.raw());
             ep.rpc(s_new, msg::install_leaf_req(), move || {
                 let (leaf_page, mut work) = node.with_tree(|t| {
                     let (leaf, w) = t.insert_at_leaf(sep, left_raw);
@@ -314,7 +307,7 @@ impl Hybrid {
             let node = self.nodes[s_new].clone();
             let spec = self.cluster.spec().clone();
             let sim = self.sim.clone();
-            let left_raw = cur.raw();
+            let left_raw = left.raw();
             ep.rpc(s_new, msg::install_leaf_req(), move || {
                 let (leaf_page, work) = node.with_tree(|t| t.insert_at_leaf(sep, left_raw));
                 let wait = node
@@ -329,7 +322,7 @@ impl Hybrid {
             .await?;
             let node = self.nodes[s_old].clone();
             let spec = self.cluster.spec().clone();
-            let right_raw = right_ptr.raw();
+            let right_raw = right.raw();
             ep.rpc(s_old, msg::install_leaf_req(), move || {
                 let (_, work) = node.with_tree(|t| t.update_value(old_high, right_raw));
                 RpcReply {
@@ -341,35 +334,6 @@ impl Hybrid {
             .await?;
         }
         Ok(())
-    }
-
-    /// Tombstone-delete `key` with the one-sided leaf protocol.
-    pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, VerbError> {
-        let mut cur = self.leaf_ptr_for(ep, key, msg::delete_req()).await?;
-        let mut page;
-        loop {
-            page = read_unlocked(ep, cur, self.ps()).await?;
-            if blink::node::kind_of(&page) == NodeKind::Head {
-                cur = rp(HeadNodeRef::new(&page).right_sibling());
-                continue;
-            }
-            lock_node(ep, cur, &mut page).await?;
-            let leaf = LeafNodeRef::new(&page);
-            if leaf.covers(key) {
-                break;
-            }
-            let next = rp(leaf.right_sibling());
-            unlock_only(ep, cur).await?;
-            cur = next;
-        }
-        let deleted = LeafNodeMut::new(&mut page).mark_deleted(key);
-        if deleted {
-            let res = write_unlock(ep, cur, &page, None).await;
-            release_on_error(ep, cur, res).await?;
-        } else {
-            unlock_only(ep, cur).await?;
-        }
-        Ok(deleted)
     }
 }
 
@@ -385,6 +349,7 @@ mod tests {
             layout: PageLayout::new(200),
             fill: 0.7,
             head_stride: 4,
+            cache_capacity: None,
         }
     }
 

@@ -14,10 +14,14 @@
 //! | 3 (§5) | [`hybrid`] | coarse-grained upper levels + fine-grained leaf level | RPC traversal + one-sided leaf access |
 //!
 //! All three use the same concurrency protocol — optimistic lock coupling
-//! over an 8-byte `(version, lock-bit)` word per node — and the same
-//! tombstone-delete / epoch-GC scheme ([`gc`]). The fine-grained design
-//! additionally supports head-node prefetch for range scans (§4.3) and an
-//! optional client-side cache of upper levels ([`cache`], Appendix A.4).
+//! over an 8-byte `(version, lock-bit)` word per node — implemented once
+//! in the shared traversal/SMO [`engine`], parameterized by each design's
+//! [`resolve::NodeSource`] ("how does a node reference become page
+//! bytes"); all three share the same tombstone-delete / epoch-GC scheme
+//! ([`gc`]). Both pointer-resolving designs support an optional
+//! client-side cache ([`cache`], Appendix A.4) as a decorator over their
+//! node source, and the fine-grained leaf chain supports head-node
+//! prefetch for range scans (§4.3).
 //!
 //! [`Design`] wraps the three behind one dispatchable interface for
 //! benchmarks and examples, and adds the *recovery* layer: transient verb
@@ -27,20 +31,23 @@
 
 pub mod cache;
 pub mod cg;
+pub mod engine;
 pub mod fg;
 pub mod gc;
 pub mod hybrid;
 pub(crate) mod onesided;
+pub mod resolve;
 
-pub use cache::ClientCache;
+pub use cache::{CacheLayer, CacheStats, ClientCache};
 pub use cg::CoarseGrained;
+pub use engine::RangeProgress;
 pub use fg::{FgConfig, FineGrained};
 pub use hybrid::Hybrid;
+pub use resolve::{CachePolicy, NodeSource, OpAccess, SetupSource};
 
 use blink::{Key, Value};
 use nam::{IndexDescriptor, IndexKind};
-use rdma_sim::{Endpoint, OpKind, RegionKind, RemotePtr, VerbError};
-use simnet::SimDur;
+use rdma_sim::{Endpoint, OpKind, RemotePtr, VerbError};
 use std::fmt;
 use std::rc::Rc;
 
@@ -83,70 +90,6 @@ impl fmt::Display for OpError {
 
 impl std::error::Error for OpError {}
 
-/// Sleep the bounded exponential backoff before retry number `attempt`
-/// (1-based): `retry_backoff_base << (attempt - 1)`, capped at
-/// `retry_backoff_cap`, plus a deterministic jitter in `[0, delay)`
-/// derived from the client id, the attempt number, and the current
-/// virtual time — so concurrent retriers decorrelate without any
-/// wall-clock randomness.
-async fn backoff_before_retry(ep: &Endpoint, attempt: u32) {
-    let spec = ep.cluster().spec().clone();
-    let base = spec.retry_backoff_base.as_nanos();
-    let cap = spec.retry_backoff_cap.as_nanos().max(base);
-    let delay = base.saturating_mul(1u64 << (attempt - 1).min(20)).min(cap);
-    let now = ep.cluster().sim().now().as_nanos();
-    let jitter = simnet::rng::mix3(ep.client_id(), attempt as u64, now) % delay.max(1);
-    ep.cluster()
-        .note_region(ep.client_id(), RegionKind::Backoff, true);
-    ep.cluster()
-        .sim()
-        .clone()
-        .sleep(SimDur::from_nanos(delay + jitter))
-        .await;
-    ep.cluster()
-        .note_region(ep.client_id(), RegionKind::Backoff, false);
-}
-
-/// Run `$op` (an expression producing a fresh future each evaluation —
-/// the whole operation restarts from the root) until it succeeds, the
-/// client dies, a fatal error occurs, or `retry_limit` retries of
-/// transient faults are spent.
-///
-/// The three-argument form additionally binds `$retrying` (a `bool`,
-/// false on the first attempt) in scope of `$op`, so a non-idempotent
-/// operation can tell a fresh run from a re-run whose previous attempt
-/// may already have committed (see [`FineGrained::insert_attempt`]).
-macro_rules! with_retry {
-    ($ep:expr, $op:expr) => {{
-        #[allow(unused_variables)]
-        {
-            with_retry!($ep, retrying, $op)
-        }
-    }};
-    ($ep:expr, $retrying:ident, $op:expr) => {{
-        let limit = $ep.cluster().spec().retry_limit;
-        let mut attempt: u32 = 0;
-        loop {
-            let $retrying = attempt > 0;
-            match $op.await {
-                Ok(v) => break Ok(v),
-                Err(VerbError::Cancelled) => break Err(OpError::Cancelled),
-                Err(e) if e.is_retryable() && attempt < limit => {
-                    attempt += 1;
-                    backoff_before_retry($ep, attempt).await;
-                }
-                Err(e) if e.is_retryable() => {
-                    break Err(OpError::RetriesExhausted {
-                        attempts: attempt + 1,
-                        last: e,
-                    })
-                }
-                Err(e) => break Err(OpError::Fatal(e)),
-            }
-        }
-    }};
-}
-
 /// Any of the three index designs, dispatchable at runtime.
 ///
 /// All operations go through the retry layer: a [`VerbError::Timeout`]
@@ -167,15 +110,7 @@ pub enum Design {
 impl Design {
     /// Point lookup: first live value under `key`.
     pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Result<Option<Value>, OpError> {
-        ep.cluster().note_op_start(ep.client_id(), OpKind::Lookup);
-        let res = match self {
-            Design::Cg(d) => with_retry!(ep, d.lookup(ep, key)),
-            Design::Fg(d) => with_retry!(ep, d.lookup(ep, key)),
-            Design::Hybrid(d) => with_retry!(ep, d.lookup(ep, key)),
-        };
-        ep.cluster()
-            .note_op_end(ep.client_id(), OpKind::Lookup, res.is_ok());
-        res
+        engine::with_op_span(ep, OpKind::Lookup, engine::lookup_op(self, ep, key)).await
     }
 
     /// Range query over `[lo, hi]` (inclusive); returns live entries in
@@ -186,55 +121,37 @@ impl Design {
         lo: Key,
         hi: Key,
     ) -> Result<Vec<(Key, Value)>, OpError> {
-        ep.cluster().note_op_start(ep.client_id(), OpKind::Range);
-        let res = match self {
-            Design::Cg(d) => with_retry!(ep, d.range(ep, lo, hi)),
-            Design::Fg(d) => with_retry!(ep, d.range(ep, lo, hi)),
-            Design::Hybrid(d) => with_retry!(ep, d.range(ep, lo, hi)),
-        };
-        ep.cluster()
-            .note_op_end(ep.client_id(), OpKind::Range, res.is_ok());
-        res
+        engine::with_op_span(ep, OpKind::Range, engine::range_op(self, ep, lo, hi)).await
     }
 
     /// Insert `(key, value)`; duplicates are allowed (non-unique index).
     ///
-    /// Exactly-once under retries for the one-sided designs: an attempt
-    /// commits at the leaf's unlock, so a *re*-attempt first checks the
-    /// covering leaf for a live `(key, value)` pair and absorbs the
-    /// retry if its predecessor already committed (the one ambiguity:
-    /// a retried insert of a pair that some concurrent operation
-    /// installed independently is also absorbed — indistinguishable
-    /// cases in a non-unique index). The CG design keeps its documented
-    /// at-least-once RPC semantics.
+    /// Exactly-once under retries for every design: a *re*-attempt
+    /// (`retrying = true` under the engine's retry layer) first checks
+    /// the covering leaf for a live `(key, value)` pair and absorbs the
+    /// retry if its predecessor already committed. For the one-sided
+    /// designs the check runs client-side in the lock-coupled install;
+    /// for CG the flag travels with the RPC and the server handler
+    /// absorbs the duplicate. Both paths share the engine's absorption
+    /// logic — it lives in `crate::engine` and nowhere else.
     pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), OpError> {
-        ep.cluster().note_op_start(ep.client_id(), OpKind::Insert);
-        let res = match self {
-            Design::Cg(d) => with_retry!(ep, d.insert(ep, key, value)),
-            Design::Fg(d) => {
-                with_retry!(ep, retrying, d.insert_attempt(ep, key, value, retrying))
-            }
-            Design::Hybrid(d) => {
-                with_retry!(ep, retrying, d.insert_attempt(ep, key, value, retrying))
-            }
-        };
-        ep.cluster()
-            .note_op_end(ep.client_id(), OpKind::Insert, res.is_ok());
-        res
+        engine::with_op_span(ep, OpKind::Insert, engine::insert_op(self, ep, key, value)).await
     }
 
     /// Tombstone-delete the first live entry under `key`; returns whether
     /// an entry was deleted. Space is reclaimed by epoch GC ([`gc`]).
     pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, OpError> {
-        ep.cluster().note_op_start(ep.client_id(), OpKind::Delete);
-        let res = match self {
-            Design::Cg(d) => with_retry!(ep, d.delete(ep, key)),
-            Design::Fg(d) => with_retry!(ep, d.delete(ep, key)),
-            Design::Hybrid(d) => with_retry!(ep, d.delete(ep, key)),
-        };
-        ep.cluster()
-            .note_op_end(ep.client_id(), OpKind::Delete, res.is_ok());
-        res
+        engine::with_op_span(ep, OpKind::Delete, engine::delete_op(self, ep, key)).await
+    }
+
+    /// Aggregate client-cache statistics, if this design was built with
+    /// `cache_capacity` enabled (`None` for CG and uncached builds).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match self {
+            Design::Cg(_) => None,
+            Design::Fg(d) => d.cache().map(|c| c.stats()),
+            Design::Hybrid(d) => d.cache().map(|c| c.stats()),
+        }
     }
 
     /// Short design name for reports.
@@ -275,7 +192,7 @@ mod tests {
     use blink::PageLayout;
     use nam::{NamCluster, PartitionMap};
     use rdma_sim::ClusterSpec;
-    use simnet::Sim;
+    use simnet::{Sim, SimDur};
     use std::cell::Cell;
 
     #[test]

@@ -34,14 +34,9 @@
 use blink::layout::lock_word;
 use blink::node::version_lock_of;
 use rdma_sim::{Endpoint, RegionKind, RemotePtr, VerbError};
-use simnet::{SimDur, SimTime};
+use simnet::SimTime;
 
-/// Remote-spin backoff: doubling from 1 µs, capped at 32 µs. Without
-/// backoff, spinning clients flood the lock holder's NIC with re-READs
-/// and collapse the server under contention.
-fn backoff(attempt: u32) -> SimDur {
-    SimDur::from_micros(1 << attempt.min(5))
-}
+use crate::engine::spin_backoff as backoff;
 
 /// Lease bookkeeping for one spin loop: tracks how long the *same*
 /// locked word has been observed and breaks it once the lease expires.

@@ -4,8 +4,9 @@
 //! index must be a well-formed B-link structure — high keys ordered along
 //! the sibling chain, every tree-referenced leaf reachable from the
 //! chain, key counts within page capacity, no lock left held. The walk
-//! runs on the untimed control path (no simulated cost) and covers all
-//! three designs:
+//! reads pages through the designs' [`SetupSource`] (the untimed control
+//! path — no simulated cost, and page geometry agreed with the engine by
+//! construction) and covers all three designs:
 //!
 //! * **fine-grained** — leaf-chain walk plus a top-down walk from the
 //!   root over the distributed inner levels;
@@ -16,13 +17,13 @@
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use blink::layout::{lock_word, PageLayout};
+use blink::layout::lock_word;
 use blink::node::{
     kind_of, level_of, version_lock_of, HeadNodeRef, InnerNodeRef, LeafNodeRef, NodeKind,
 };
 use blink::Key;
-use namdex_core::{CoarseGrained, Design, FineGrained, Hybrid};
-use rdma_sim::{Cluster, RemotePtr};
+use namdex_core::{CoarseGrained, Design, FineGrained, Hybrid, SetupSource};
+use rdma_sim::RemotePtr;
 use simnet::SimTime;
 
 use crate::{Sanitizer, Violation, ViolationKind};
@@ -48,14 +49,10 @@ fn rp(p: blink::layout::Ptr) -> RemotePtr {
 
 /// Walk the leaf chain from `first`: returns findings plus the set of
 /// leaf pages seen (raw remote-pointer form) for reachability checks.
-fn walk_chain(
-    cluster: &Cluster,
-    layout: PageLayout,
-    first: RemotePtr,
-    out: &mut Vec<Violation>,
-) -> BTreeSet<u64> {
+fn walk_chain(src: &SetupSource, first: RemotePtr, out: &mut Vec<Violation>) -> BTreeSet<u64> {
+    let layout = src.layout();
     let ps = layout.page_size();
-    let now = cluster.sim().now();
+    let now = src.cluster().sim().now();
     let mut leaves = BTreeSet::new();
     let mut head_targets: Vec<(RemotePtr, u64)> = Vec::new();
     let mut visited = BTreeSet::new();
@@ -72,7 +69,7 @@ fn walk_chain(
             out.push(sv(cur, ps, now, "leaf chain exceeds page cap".into()));
             break;
         }
-        let page = cluster.setup_read(cur, ps);
+        let page = src.load(cur);
         if lock_word::is_locked(version_lock_of(&page)) {
             out.push(sv(cur, ps, now, "page left locked after quiescence".into()));
         }
@@ -205,12 +202,12 @@ fn high_key_of(page: &[u8]) -> Key {
 /// Check the fine-grained design: leaf chain plus the distributed inner
 /// levels from the root, including tree→chain reachability.
 pub fn check_fg(idx: &FineGrained) -> Vec<Violation> {
-    let cluster = idx.cluster();
-    let layout = idx.layout();
+    let src = idx.setup_source();
+    let layout = src.layout();
     let ps = layout.page_size();
-    let now = cluster.sim().now();
+    let now = src.cluster().sim().now();
     let mut out = Vec::new();
-    let chain = walk_chain(cluster, layout, idx.first(), &mut out);
+    let chain = walk_chain(&src, idx.first(), &mut out);
 
     let mut stack = vec![idx.root()];
     let mut visited = BTreeSet::new();
@@ -222,7 +219,7 @@ pub fn check_fg(idx: &FineGrained) -> Vec<Violation> {
             out.push(sv(cur, ps, now, "inner walk exceeds page cap".into()));
             break;
         }
-        let page = cluster.setup_read(cur, ps);
+        let page = src.load(cur);
         match kind_of(&page) {
             NodeKind::Leaf => {
                 if !chain.contains(&cur.raw()) {
@@ -273,7 +270,7 @@ pub fn check_fg(idx: &FineGrained) -> Vec<Violation> {
                     }
                     prev = Some(sep);
                     let cp = rp(child);
-                    let child_page = cluster.setup_read(cp, ps);
+                    let child_page = src.load(cp);
                     let child_level = level_of(&child_page);
                     if child_level + 1 != level_of(&page) {
                         out.push(sv(
@@ -343,7 +340,7 @@ fn check_local_tree(
 /// local upper tree.
 pub fn check_hybrid(idx: &Hybrid) -> Vec<Violation> {
     let mut out = Vec::new();
-    walk_chain(idx.cluster(), idx.layout(), idx.first(), &mut out);
+    walk_chain(&idx.setup_source(), idx.first(), &mut out);
     let now = idx.cluster().sim().now();
     for (s, node) in idx.nodes().iter().enumerate() {
         check_local_tree(node, s, now, &mut out);
@@ -375,8 +372,7 @@ pub fn check_design(design: &Design) -> Vec<Violation> {
 /// no Alloc events, so the checker would otherwise only adopt them
 /// lazily at their first lock CAS.
 pub fn register_fg(san: &Sanitizer, idx: &FineGrained) {
-    let cluster = idx.cluster();
-    let ps = idx.layout().page_size();
+    let src = idx.setup_source();
     let mut stack = vec![idx.root(), idx.first()];
     let mut visited = BTreeSet::new();
     while let Some(cur) = stack.pop() {
@@ -384,7 +380,7 @@ pub fn register_fg(san: &Sanitizer, idx: &FineGrained) {
             continue;
         }
         san.register_page(cur);
-        let page = cluster.setup_read(cur, ps);
+        let page = src.load(cur);
         match kind_of(&page) {
             NodeKind::Leaf => stack.push(rp(LeafNodeRef::new(&page).right_sibling())),
             NodeKind::Head => {
@@ -404,13 +400,12 @@ pub fn register_fg(san: &Sanitizer, idx: &FineGrained) {
 
 /// Eagerly register the hybrid design's one-sided leaf chain.
 pub fn register_hybrid(san: &Sanitizer, idx: &Hybrid) {
-    let cluster = idx.cluster();
-    let ps = idx.layout().page_size();
+    let src = idx.setup_source();
     let mut cur = idx.first();
     let mut visited = BTreeSet::new();
     while !cur.is_null() && visited.insert(cur.raw()) && visited.len() <= MAX_PAGES {
         san.register_page(cur);
-        let page = cluster.setup_read(cur, ps);
+        let page = src.load(cur);
         cur = match kind_of(&page) {
             NodeKind::Head => rp(HeadNodeRef::new(&page).right_sibling()),
             NodeKind::Leaf => rp(LeafNodeRef::new(&page).right_sibling()),

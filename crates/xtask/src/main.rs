@@ -450,14 +450,109 @@ fn trace_check() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Committed digest the parity sweep must reproduce. Regenerate (and
+/// review the perf diff!) with `cargo xtask engine-parity --bless`.
+const ENGINE_PARITY_GOLDEN: &str = "crates/xtask/golden/engine_parity.digest";
+
+/// Traversal-engine parity gate: the quick uncached uniform-throughput
+/// sweep (fig. 8, `NAMDEX_QUICK=1`, seed 42) must produce a CSV that is
+/// byte-identical — digest-checked — to the committed golden captured
+/// before the engine refactor. Catches any accidental change to the
+/// verb sequence or timing of the uncached operation path.
+fn engine_parity(bless: bool) -> ExitCode {
+    let root = repo_root();
+    let dir = root.join("target").join("engine-parity");
+    // Fresh scratch results dir every run: the sweep caches its rows as
+    // CSV, and a stale cache would turn the gate into a self-compare.
+    if dir.exists() {
+        if let Err(e) = fs::remove_dir_all(&dir) {
+            eprintln!("engine-parity: cannot clear {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("engine-parity: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let status = std::process::Command::new("cargo")
+        .current_dir(&root)
+        .env("NAMDEX_QUICK", "1")
+        .env("NAMDEX_RESULTS_DIR", &dir)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "bench",
+            "--bin",
+            "fig08_throughput_unif",
+            "--",
+            "--seed",
+            "42",
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("engine-parity: fig08_throughput_unif exited with {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("engine-parity: failed to launch cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let csv = dir.join("fig08_throughput_unif.csv");
+    let contents = match fs::read(&csv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("engine-parity: cannot read {}: {e}", csv.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let digest = format!("{:016x}", fnv1a(&contents));
+    let golden_path = root.join(ENGINE_PARITY_GOLDEN);
+    if bless {
+        if let Err(e) = fs::write(&golden_path, format!("{digest}\n")) {
+            eprintln!("engine-parity: cannot write {}: {e}", golden_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("engine-parity: blessed {digest} -> {ENGINE_PARITY_GOLDEN}");
+        return ExitCode::SUCCESS;
+    }
+    let golden = match fs::read_to_string(&golden_path) {
+        Ok(g) => g.trim().to_string(),
+        Err(e) => {
+            eprintln!(
+                "engine-parity: cannot read {} (run with --bless to create): {e}",
+                golden_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if digest != golden {
+        eprintln!(
+            "engine-parity: digest {digest} != golden {golden} — the uncached \
+             operation path changed behaviour (if intended, re-bless with \
+             `cargo xtask engine-parity --bless` and justify in the PR)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("engine-parity: quick fig08 sweep matches golden {golden} — ok");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") if args.len() == 1 => lint(),
         Some("lint") if args[1] == "--self-test" => self_test(),
         Some("trace-check") if args.len() == 1 => trace_check(),
+        Some("engine-parity") if args.len() == 1 => engine_parity(false),
+        Some("engine-parity") if args[1] == "--bless" => engine_parity(true),
         _ => {
-            eprintln!("usage: cargo xtask <lint [--self-test] | trace-check>");
+            eprintln!(
+                "usage: cargo xtask <lint [--self-test] | trace-check | engine-parity [--bless]>"
+            );
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,184 @@
+//! Cache-coherence tests for the engine's client-side cache layer
+//! (`Cached` over a `NodeSource`): a cached entry made stale by a
+//! concurrent split must be *detected* (the fresh page's fence check
+//! fails) and *invalidated*, never produce a wrong lookup — and a server
+//! restart must flush the whole cache before any hit is served.
+//!
+//! Staleness here is only ever a too-far-LEFT route (splits move keys
+//! right; leaves are never merged or reused), so the B-link sibling
+//! chase corrects every stale hit; these tests pin that contract for
+//! both cache policies: FG's inner-page cache and Hybrid's leaf-route
+//! cache.
+
+use namdex::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+const KEYS: u64 = 4_000;
+
+fn cached_cfg() -> FgConfig {
+    FgConfig {
+        layout: PageLayout::new(256), // small pages: deep tree, easy splits
+        fill: 0.7,
+        head_stride: 4,
+        cache_capacity: Some(0), // unbounded
+    }
+}
+
+fn cluster() -> (Sim, NamCluster) {
+    let sim = Sim::new();
+    let nam = NamCluster::new(&sim, ClusterSpec::default());
+    (sim, nam)
+}
+
+/// Warm `reader`'s cache with lookups, split a band of leaves out from
+/// under it with `writer` inserts, then re-read through the (now stale)
+/// cache. Returns the number of wrong lookups (must be 0).
+fn stale_split_scenario(design: Design, nam: &NamCluster, sim: &Sim) -> u64 {
+    let reader = Endpoint::new(&nam.rdma);
+    let writer = Endpoint::new(&nam.rdma);
+
+    // Phase 1: the reader warms its cache across the key space.
+    {
+        let design = design.clone();
+        let ep = reader.clone();
+        sim.spawn(async move {
+            for i in (0..KEYS).step_by(8) {
+                assert_eq!(design.lookup(&ep, i * 8).await.unwrap(), Some(i));
+            }
+        });
+    }
+    sim.run();
+
+    // Phase 2: a different client splits a band of leaves (fresh keys at
+    // odd offsets). The reader's cached inner pages / routes still
+    // describe the pre-split world.
+    {
+        let design = design.clone();
+        let ep = writer.clone();
+        sim.spawn(async move {
+            for i in 1_000..1_600u64 {
+                design.insert(&ep, i * 8 + 1, i).await.unwrap();
+            }
+        });
+    }
+    sim.run();
+
+    // Phase 3: the reader re-reads the split band through its stale
+    // cache. Every answer must be correct (stale hits self-correct via
+    // the sibling chase) — a wrong result here is cache incoherence.
+    let wrong = Rc::new(Cell::new(0u64));
+    {
+        let design = design.clone();
+        let ep = reader.clone();
+        let wrong = wrong.clone();
+        sim.spawn(async move {
+            for i in 1_000..1_600u64 {
+                if design.lookup(&ep, i * 8 + 1).await.unwrap() != Some(i) {
+                    wrong.set(wrong.get() + 1);
+                }
+                if design.lookup(&ep, i * 8).await.unwrap() != Some(i) {
+                    wrong.set(wrong.get() + 1);
+                }
+            }
+        });
+    }
+    sim.run();
+    wrong.get()
+}
+
+#[test]
+fn fg_stale_inner_page_is_detected_and_invalidated() {
+    let (sim, nam) = cluster();
+    let idx = FineGrained::build(&nam.rdma, cached_cfg(), (0..KEYS).map(|i| (i * 8, i)));
+    let design = Design::Fg(idx);
+    assert_eq!(stale_split_scenario(design.clone(), &nam, &sim), 0);
+    let stats = design.cache_stats().expect("cache is attached");
+    assert!(stats.hits > 0, "warmed cache must serve hits: {stats:?}");
+    assert!(
+        stats.invalidations > 0,
+        "stale inner pages must be invalidated when detected: {stats:?}"
+    );
+}
+
+#[test]
+fn hybrid_stale_route_is_detected_and_invalidated() {
+    let (sim, nam) = cluster();
+    let partition = PartitionMap::range_uniform(nam.num_servers(), KEYS * 8);
+    let idx = Hybrid::build(&nam, cached_cfg(), partition, (0..KEYS).map(|i| (i * 8, i)));
+    let design = Design::Hybrid(idx);
+    assert_eq!(stale_split_scenario(design.clone(), &nam, &sim), 0);
+    let stats = design.cache_stats().expect("cache is attached");
+    assert!(
+        stats.hits > 0,
+        "warmed route cache must serve hits: {stats:?}"
+    );
+    assert!(
+        stats.invalidations > 0,
+        "stale leaf routes must be invalidated when detected: {stats:?}"
+    );
+}
+
+/// Server restart invalidation: a crash/restart bumps the server's
+/// restart epoch; the cache layer must flush *everything* before serving
+/// another hit (remote state may have been rebuilt arbitrarily), and
+/// lookups after the restart must still be correct.
+fn restart_flush_scenario(design: Design, nam: &NamCluster, sim: &Sim) {
+    let ep = Endpoint::new(&nam.rdma);
+
+    // Warm the cache.
+    {
+        let design = design.clone();
+        let ep = ep.clone();
+        sim.spawn(async move {
+            for i in (0..KEYS).step_by(4) {
+                assert_eq!(design.lookup(&ep, i * 8).await.unwrap(), Some(i));
+            }
+        });
+    }
+    sim.run();
+    let warmed = design.cache_stats().expect("cache is attached");
+    assert!(warmed.hits > 0, "cache must be warm before the restart");
+
+    // Crash and immediately restart a server between operations (NAM
+    // memory survives; the restart epoch is what matters to the cache).
+    nam.rdma.fail_server(1);
+    nam.rdma.restart_server(1);
+
+    // Every post-restart answer must be correct, and the first access
+    // must have flushed the cache rather than serve a pre-restart hit.
+    {
+        let design = design.clone();
+        let ep = ep.clone();
+        sim.spawn(async move {
+            for i in (0..KEYS).step_by(4) {
+                assert_eq!(design.lookup(&ep, i * 8).await.unwrap(), Some(i));
+            }
+        });
+    }
+    sim.run();
+    let stats = design.cache_stats().expect("cache is attached");
+    assert!(
+        stats.restart_flushes >= 1,
+        "server restart must flush the client cache: {stats:?}"
+    );
+    assert!(
+        stats.hits > warmed.hits,
+        "cache must re-warm after the flush: {stats:?}"
+    );
+}
+
+#[test]
+fn fg_cache_flushes_on_server_restart() {
+    let (sim, nam) = cluster();
+    let idx = FineGrained::build(&nam.rdma, cached_cfg(), (0..KEYS).map(|i| (i * 8, i)));
+    restart_flush_scenario(Design::Fg(idx), &nam, &sim);
+}
+
+#[test]
+fn hybrid_cache_flushes_on_server_restart() {
+    let (sim, nam) = cluster();
+    let partition = PartitionMap::range_uniform(nam.num_servers(), KEYS * 8);
+    let idx = Hybrid::build(&nam, cached_cfg(), partition, (0..KEYS).map(|i| (i * 8, i)));
+    restart_flush_scenario(Design::Hybrid(idx), &nam, &sim);
+}

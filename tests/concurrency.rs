@@ -48,6 +48,7 @@ fn small_fg_cfg() -> FgConfig {
         layout: PageLayout::new(256), // 13 entries/node: deep trees, many splits
         fill: 0.7,
         head_stride: 4,
+        cache_capacity: None,
     }
 }
 
@@ -243,7 +244,9 @@ fn cg_insert_contention_burns_handler_cores() {
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
             for i in 0..20u64 {
-                idx.insert(&ep, 4_001 + (i * 30 + c) % 97, c).await.unwrap();
+                idx.insert(&ep, 4_001 + (i * 30 + c) % 97, c, false)
+                    .await
+                    .unwrap();
             }
         });
     }

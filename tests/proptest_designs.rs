@@ -38,6 +38,7 @@ fn run_script(design_kind: u8, page_size: usize, loaded: u64, script: Vec<Script
                 layout,
                 fill: 0.75,
                 head_stride: 3,
+                cache_capacity: None,
             },
             items,
         )),
@@ -47,6 +48,7 @@ fn run_script(design_kind: u8, page_size: usize, loaded: u64, script: Vec<Script
                 layout,
                 fill: 0.75,
                 head_stride: 3,
+                cache_capacity: None,
             },
             partition,
             items,

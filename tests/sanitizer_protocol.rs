@@ -26,6 +26,7 @@ fn small_fg_cfg() -> FgConfig {
         layout: PageLayout::new(256),
         fill: 0.7,
         head_stride: 4,
+        cache_capacity: None,
     }
 }
 
