@@ -261,6 +261,13 @@ fn build_design(cfg: &ExperimentConfig, nam: &NamCluster, data: Dataset) -> Desi
 /// Run one experiment to completion and return its measurements.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let sim = Sim::new();
+    // Model-checker parity hook: route every scheduling decision through
+    // the explicit FIFO policy so `cargo xtask mc` can prove the
+    // controlled scheduler is bit-identical to the uncontrolled executor
+    // on the engine-parity golden digest.
+    if std::env::var_os("NAMDEX_MC_FIFO").is_some() {
+        sim.set_schedule_policy(Box::new(simnet::FifoPolicy));
+    }
     let spec = cfg
         .spec
         .clone()

@@ -484,6 +484,11 @@ pub(crate) fn apply_insert_local(
     value: Value,
     retrying: bool,
 ) -> (Option<Ptr>, blink::WorkStats) {
+    // Mutation A (`mutations` builds only): drop the retry flag, so a
+    // retried insert re-applies unconditionally — the historical CG
+    // duplicate-insert-on-lost-response bug, kept re-introducible so the
+    // model checker can prove it detects this class of violation.
+    let retrying = retrying && !cfg!(feature = "mutations");
     if retrying {
         let mut dup = Vec::new();
         let probe = t.range(key, key, &mut dup);

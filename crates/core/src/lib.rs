@@ -47,7 +47,7 @@ pub use resolve::{CachePolicy, NodeSource, OpAccess, SetupSource};
 
 use blink::{Key, Value};
 use nam::{IndexDescriptor, IndexKind};
-use rdma_sim::{Endpoint, OpKind, RemotePtr, VerbError};
+use rdma_sim::{Endpoint, OpArgs, OpKind, OpOutcome, RemotePtr, VerbError};
 use std::fmt;
 use std::rc::Rc;
 
@@ -107,10 +107,41 @@ pub enum Design {
     Hybrid(Rc<Hybrid>),
 }
 
+/// Whether this build re-introduces the known-fixed historical bugs used
+/// to mutation-test the model checker (the `mutations` cargo feature).
+/// Such builds are intentionally incorrect; nothing but the checker's
+/// own validation should run against them.
+pub fn mutations_enabled() -> bool {
+    cfg!(feature = "mutations")
+}
+
+/// Report an index-level invocation to the observer bus (history
+/// recorders, model checker). A flag check with no observers installed.
+fn note_invoke(ep: &Endpoint, args: OpArgs) {
+    if ep.cluster().has_observers() {
+        ep.cluster().note_op_invoke(ep.client_id(), args);
+    }
+}
+
+/// Report the outcome of the invocation reported last by this client.
+/// `outcome` is built lazily so the hot no-observer path never clones
+/// range rows.
+fn note_response(ep: &Endpoint, outcome: impl FnOnce() -> OpOutcome) {
+    if ep.cluster().has_observers() {
+        ep.cluster().note_op_response(ep.client_id(), &outcome());
+    }
+}
+
 impl Design {
     /// Point lookup: first live value under `key`.
     pub async fn lookup(&self, ep: &Endpoint, key: Key) -> Result<Option<Value>, OpError> {
-        engine::with_op_span(ep, OpKind::Lookup, engine::lookup_op(self, ep, key)).await
+        note_invoke(ep, OpArgs::Lookup { key });
+        let r = engine::with_op_span(ep, OpKind::Lookup, engine::lookup_op(self, ep, key)).await;
+        note_response(ep, || match &r {
+            Ok(v) => OpOutcome::Lookup(*v),
+            Err(_) => OpOutcome::Failed,
+        });
+        r
     }
 
     /// Range query over `[lo, hi]` (inclusive); returns live entries in
@@ -121,7 +152,13 @@ impl Design {
         lo: Key,
         hi: Key,
     ) -> Result<Vec<(Key, Value)>, OpError> {
-        engine::with_op_span(ep, OpKind::Range, engine::range_op(self, ep, lo, hi)).await
+        note_invoke(ep, OpArgs::Range { lo, hi });
+        let r = engine::with_op_span(ep, OpKind::Range, engine::range_op(self, ep, lo, hi)).await;
+        note_response(ep, || match &r {
+            Ok(rows) => OpOutcome::Range(rows.clone()),
+            Err(_) => OpOutcome::Failed,
+        });
+        r
     }
 
     /// Insert `(key, value)`; duplicates are allowed (non-unique index).
@@ -135,13 +172,26 @@ impl Design {
     /// absorbs the duplicate. Both paths share the engine's absorption
     /// logic — it lives in `crate::engine` and nowhere else.
     pub async fn insert(&self, ep: &Endpoint, key: Key, value: Value) -> Result<(), OpError> {
-        engine::with_op_span(ep, OpKind::Insert, engine::insert_op(self, ep, key, value)).await
+        note_invoke(ep, OpArgs::Insert { key, value });
+        let r =
+            engine::with_op_span(ep, OpKind::Insert, engine::insert_op(self, ep, key, value)).await;
+        note_response(ep, || match &r {
+            Ok(()) => OpOutcome::Insert,
+            Err(_) => OpOutcome::Failed,
+        });
+        r
     }
 
     /// Tombstone-delete the first live entry under `key`; returns whether
     /// an entry was deleted. Space is reclaimed by epoch GC ([`gc`]).
     pub async fn delete(&self, ep: &Endpoint, key: Key) -> Result<bool, OpError> {
-        engine::with_op_span(ep, OpKind::Delete, engine::delete_op(self, ep, key)).await
+        note_invoke(ep, OpArgs::Delete { key });
+        let r = engine::with_op_span(ep, OpKind::Delete, engine::delete_op(self, ep, key)).await;
+        note_response(ep, || match &r {
+            Ok(found) => OpOutcome::Delete(*found),
+            Err(_) => OpOutcome::Failed,
+        });
+        r
     }
 
     /// Aggregate client-cache statistics, if this design was built with

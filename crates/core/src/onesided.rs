@@ -66,7 +66,14 @@ impl LeaseWatch {
                 if now - since >= lease {
                     // Versions only move forward, so an unchanged word
                     // means no unlock happened: the holder is dead.
-                    ep.cas(ptr, w, lock_word::break_lease(w)).await?;
+                    let mut broken = lock_word::break_lease(w);
+                    // Mutation B (`mutations` builds only): forget the
+                    // lease-epoch bump — the historical recovery bug the
+                    // sanitizer's CAS-shape check must flag.
+                    if cfg!(feature = "mutations") {
+                        broken = (broken & !lock_word::EPOCH_MASK) | (w & lock_word::EPOCH_MASK);
+                    }
+                    ep.cas(ptr, w, broken).await?;
                     self.held = None;
                 }
             }

@@ -1,0 +1,406 @@
+//! Budgeted schedule-space exploration: the policy × fault × design
+//! matrix, bounded-exhaustive DFS cells, and the mutation-testing
+//! harness that proves the checker catches real (historical) bugs.
+
+use crate::counterexample::{classify, minimize, Counterexample, ViolationClass};
+use crate::policy::next_dfs_prefix;
+use crate::scenario::{run_scenario, DesignKind, FaultMode, PolicyKind, RunReport, Scenario};
+use simnet::rng::mix3;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Exploration budget and matrix shape.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Base seed; schedule `i` of a cell uses `mix3(base, cell, i)`.
+    pub seed_base: u64,
+    /// Random-walk schedules per cell.
+    pub walk_schedules: u64,
+    /// PCT schedules per cell.
+    pub pct_schedules: u64,
+    /// PCT bug depth (`d`).
+    pub pct_depth: u32,
+    /// Schedule cap for each bounded-DFS cell (0 disables DFS cells).
+    pub dfs_schedules: u64,
+    /// DFS preemption bound.
+    pub dfs_preemption_bound: u32,
+    /// Restrict the matrix to one design (CLI `--design`).
+    pub only_design: Option<DesignKind>,
+    /// Where counterexample artifacts are written.
+    pub out_dir: PathBuf,
+}
+
+impl ExploreConfig {
+    /// The `--quick` budget: small enough for CI, large enough that
+    /// both mutations are found (pinned by the mutation tests).
+    pub fn quick(out_dir: PathBuf) -> ExploreConfig {
+        ExploreConfig {
+            seed_base: 0xD15C0,
+            walk_schedules: 12,
+            pct_schedules: 12,
+            pct_depth: 3,
+            dfs_schedules: 40,
+            dfs_preemption_bound: 2,
+            only_design: None,
+            out_dir,
+        }
+    }
+
+    /// The full (default) budget.
+    pub fn full(out_dir: PathBuf) -> ExploreConfig {
+        ExploreConfig {
+            walk_schedules: 60,
+            pct_schedules: 60,
+            dfs_schedules: 200,
+            ..ExploreConfig::quick(out_dir)
+        }
+    }
+}
+
+/// Results of one matrix cell.
+#[derive(Clone, Debug)]
+pub struct CellStats {
+    /// Cell label, e.g. `cg/chaos/walk`.
+    pub label: String,
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Distinct decision-trace digests seen (interleaving coverage).
+    pub distinct_schedules: u64,
+    /// Total choice points resolved across the cell.
+    pub choice_points: u64,
+    /// Violating schedules found.
+    pub violations: u64,
+    /// First violation's artifact path, when one was found and saved.
+    pub counterexample: Option<PathBuf>,
+}
+
+/// A finished exploration.
+#[derive(Debug, Default)]
+pub struct ExploreReport {
+    /// Per-cell statistics, in matrix order.
+    pub cells: Vec<CellStats>,
+}
+
+impl ExploreReport {
+    /// Total violations across all cells.
+    pub fn violations(&self) -> u64 {
+        self.cells.iter().map(|c| c.violations).sum()
+    }
+
+    /// Total schedules across all cells.
+    pub fn schedules(&self) -> u64 {
+        self.cells.iter().map(|c| c.schedules).sum()
+    }
+
+    /// Render a compact per-cell table.
+    pub fn table(&self) -> String {
+        let mut s = String::new();
+        s.push_str("cell                     schedules  distinct  choice-pts  violations\n");
+        for c in &self.cells {
+            s.push_str(&format!(
+                "{:<24} {:>9} {:>9} {:>11} {:>11}\n",
+                c.label, c.schedules, c.distinct_schedules, c.choice_points, c.violations
+            ));
+        }
+        s
+    }
+}
+
+fn violation_detail(report: &RunReport) -> String {
+    match classify(report) {
+        Some(ViolationClass::Linearizability) => report
+            .lin
+            .as_ref()
+            .err()
+            .map(|v| v.to_string())
+            .unwrap_or_default(),
+        Some(ViolationClass::Sanitizer) => format!(
+            "{:?} at server {} offset {}",
+            report.san_violations[0].kind,
+            report.san_violations[0].server,
+            report.san_violations[0].offset
+        ),
+        Some(ViolationClass::LockLeak) => format!(
+            "lock held at quiescence by live client {} (server {}, offset {})",
+            report.held_leaks[0].owner, report.held_leaks[0].server, report.held_leaks[0].offset
+        ),
+        Some(ViolationClass::TaskLeak) => {
+            format!("{} tasks still live at quiescence", report.task_leak)
+        }
+        None => String::new(),
+    }
+}
+
+/// Minimize, save and replay-verify the first violation of a cell.
+/// Returns the artifact path; panics if the minimized trace fails to
+/// reproduce (that would mean the sim is nondeterministic — a bug far
+/// worse than the one being reported).
+fn save_counterexample(sc: &Scenario, report: &RunReport, out_dir: &Path, label: &str) -> PathBuf {
+    let class = classify(report).expect("caller found a violation");
+    let minimized = minimize(sc, &report.decisions, class);
+    let cx = Counterexample {
+        scenario: sc.clone(),
+        class,
+        detail: violation_detail(report),
+        decisions: minimized,
+    };
+    assert!(
+        cx.replay().is_some(),
+        "minimized counterexample failed to reproduce ({label}) — sim nondeterminism?"
+    );
+    let path = out_dir.join(format!("{}.trace", label.replace('/', "-")));
+    cx.save(&path).expect("write counterexample");
+    path
+}
+
+struct CellRun {
+    stats: CellStats,
+    first_violation: Option<(Scenario, RunReport)>,
+}
+
+fn run_cell(
+    label: String,
+    schedules: impl Iterator<Item = (Scenario, PolicyKind)>,
+    stop_at_first_violation: bool,
+) -> CellRun {
+    let mut stats = CellStats {
+        label,
+        schedules: 0,
+        distinct_schedules: 0,
+        choice_points: 0,
+        violations: 0,
+        counterexample: None,
+    };
+    let mut digests: BTreeSet<u64> = BTreeSet::new();
+    let mut first = None;
+    for (sc, policy) in schedules {
+        let report = run_scenario(&sc, &policy);
+        stats.schedules += 1;
+        stats.choice_points += report.decisions.len() as u64;
+        digests.insert(report.schedule_digest);
+        if classify(&report).is_some() {
+            stats.violations += 1;
+            if first.is_none() {
+                first = Some((sc, report));
+                if stop_at_first_violation {
+                    break;
+                }
+            }
+        }
+    }
+    stats.distinct_schedules = digests.len() as u64;
+    CellRun {
+        stats,
+        first_violation: first,
+    }
+}
+
+/// Bounded-exhaustive DFS over a tiny scenario: replay FIFO first, then
+/// repeatedly take the next unexplored prefix (preemption-bounded),
+/// until the space is exhausted or the schedule budget runs out.
+fn run_dfs_cell(label: String, sc: Scenario, cfg: &ExploreConfig) -> CellRun {
+    let mut stats = CellStats {
+        label,
+        schedules: 0,
+        distinct_schedules: 0,
+        choice_points: 0,
+        violations: 0,
+        counterexample: None,
+    };
+    let mut digests: BTreeSet<u64> = BTreeSet::new();
+    let mut first = None;
+    let mut prefix: Vec<u32> = Vec::new();
+    loop {
+        if stats.schedules >= cfg.dfs_schedules {
+            break;
+        }
+        let report = run_scenario(
+            &sc,
+            &PolicyKind::Replay {
+                decisions: prefix.clone(),
+            },
+        );
+        stats.schedules += 1;
+        stats.choice_points += report.decisions.len() as u64;
+        digests.insert(report.schedule_digest);
+        // The executed trace (prefix + FIFO tail, with real candidate
+        // counts) drives the next-prefix enumeration.
+        let trace: Vec<(u32, u32)> = report.trace_counts.clone();
+        if classify(&report).is_some() {
+            stats.violations += 1;
+            if first.is_none() {
+                first = Some((sc.clone(), report));
+            }
+        }
+        match next_dfs_prefix(&trace, cfg.dfs_preemption_bound) {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    stats.distinct_schedules = digests.len() as u64;
+    CellRun {
+        stats,
+        first_violation: first,
+    }
+}
+
+fn designs(cfg: &ExploreConfig) -> Vec<DesignKind> {
+    match cfg.only_design {
+        Some(d) => vec![d],
+        None => DesignKind::ALL.to_vec(),
+    }
+}
+
+/// Run the full exploration matrix. Every violation's first occurrence
+/// per cell is minimized, written to `cfg.out_dir` and replay-verified.
+pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    let mut cell_idx: u64 = 0;
+    for design in designs(cfg) {
+        for fault in [FaultMode::None, FaultMode::Chaos] {
+            for (pname, pct) in [("walk", false), ("pct", true)] {
+                let label = format!("{}/{}/{}", design.name(), fault.name(), pname);
+                let idx = cell_idx;
+                cell_idx += 1;
+                let base = cfg.seed_base;
+                let n = if pct {
+                    cfg.pct_schedules
+                } else {
+                    cfg.walk_schedules
+                };
+                let depth = cfg.pct_depth;
+                let schedules = (0..n).map(move |i| {
+                    let sc = Scenario::point_ops(design, fault, mix3(base, idx, 0));
+                    let seed = mix3(base, idx, i + 1);
+                    let policy = if pct {
+                        PolicyKind::Pct { seed, depth }
+                    } else {
+                        PolicyKind::RandomWalk { seed }
+                    };
+                    (sc, policy)
+                });
+                let mut run = run_cell(label.clone(), schedules, false);
+                if let Some((sc, vr)) = &run.first_violation {
+                    run.stats.counterexample =
+                        Some(save_counterexample(sc, vr, &cfg.out_dir, &label));
+                }
+                report.cells.push(run.stats);
+            }
+        }
+        // Bounded-exhaustive DFS on a tiny scan workload (whole-history
+        // linearizability) — exhaustiveness only makes sense when the
+        // schedule space is small, so the scenario is minimal.
+        if cfg.dfs_schedules > 0 {
+            let label = format!("{}/nofault/dfs", design.name());
+            let sc = Scenario {
+                clients: 2,
+                ops_per_client: 2,
+                ..Scenario::with_scans(design, FaultMode::None, mix3(cfg.seed_base, 777, 0))
+            };
+            let mut run = run_dfs_cell(label.clone(), sc, cfg);
+            if let Some((sc, vr)) = &run.first_violation {
+                run.stats.counterexample = Some(save_counterexample(sc, vr, &cfg.out_dir, &label));
+            }
+            report.cells.push(run.stats);
+        }
+    }
+    report
+}
+
+/// Outcome of one mutation hunt.
+#[derive(Debug)]
+pub struct MutationResult {
+    /// Mutation label (`cg-duplicate-insert`, `lease-epoch-elision`).
+    pub label: String,
+    /// Schedules explored before the first detection.
+    pub schedules_to_detect: u64,
+    /// The violation class that caught it.
+    pub class: ViolationClass,
+    /// Minimized, replay-verified artifact path.
+    pub counterexample: PathBuf,
+    /// Length of the minimized decision trace.
+    pub minimized_len: usize,
+}
+
+/// Hunt one re-introduced bug: run schedules from `make` until a
+/// violation of `want` appears, then minimize + save + replay-verify.
+/// Panics if `budget` schedules pass without a detection — the whole
+/// point of the harness is that it *must* find these.
+fn hunt(
+    label: &str,
+    budget: u64,
+    want: ViolationClass,
+    out_dir: &Path,
+    make: impl Fn(u64) -> (Scenario, PolicyKind),
+) -> MutationResult {
+    for i in 0..budget {
+        let (sc, policy) = make(i);
+        let report = run_scenario(&sc, &policy);
+        if classify(&report) == Some(want) {
+            let path = save_counterexample(&sc, &report, out_dir, label);
+            let minimized_len = Counterexample::load(&path)
+                .expect("just saved")
+                .decisions
+                .len();
+            return MutationResult {
+                label: label.to_string(),
+                schedules_to_detect: i + 1,
+                class: want,
+                counterexample: path,
+                minimized_len,
+            };
+        }
+    }
+    panic!("mutation `{label}` not detected within {budget} schedules — checker is blind to it");
+}
+
+/// Mutation-testing mode: with the `mutations` feature on, the index
+/// layer carries two historical bugs; prove the checker finds both.
+///
+/// * **A — CG duplicate insert on lost-response retry**: an insert RPC
+///   lands, the response drops, the client retries and the mutated
+///   engine re-applies instead of absorbing. Caught as a
+///   linearizability violation (the quiescent scan observes two live
+///   entries where the spec admits at most one). Needs message loss,
+///   so it is hunted under [`FaultMode::Chaos`] on CG.
+/// * **B — lease break without epoch bump**: reclaiming an expired
+///   lease preserves the epoch byte, so a reader that raced the break
+///   can validate against a stale epoch. Caught by the sanitizer's
+///   CAS-shape check (`VersionProtocol`). Needs an orphaned lock, so it
+///   is hunted under [`FaultMode::Chaos`] on FG (kill-on-lock-acquire
+///   plus the verifier scan's lease reclaim).
+pub fn run_mutation_hunts(budget: u64, out_dir: &Path) -> Vec<MutationResult> {
+    assert!(
+        namdex_core::mutations_enabled(),
+        "mutation hunts require the `mutations` feature (cargo run -p mc --features mutations)"
+    );
+    let a = hunt(
+        "cg-duplicate-insert",
+        budget,
+        ViolationClass::Linearizability,
+        out_dir,
+        |i| {
+            (
+                Scenario::point_ops(DesignKind::Cg, FaultMode::Chaos, mix3(0xA_B06, i, 0)),
+                PolicyKind::RandomWalk {
+                    seed: mix3(0xA_B06, i, 1),
+                },
+            )
+        },
+    );
+    let b = hunt(
+        "lease-epoch-elision",
+        budget,
+        ViolationClass::Sanitizer,
+        out_dir,
+        |i| {
+            (
+                Scenario::point_ops(DesignKind::Fg, FaultMode::Chaos, mix3(0xB_B06, i, 0)),
+                PolicyKind::RandomWalk {
+                    seed: mix3(0xB_B06, i, 1),
+                },
+            )
+        },
+    );
+    vec![a, b]
+}

@@ -1,0 +1,213 @@
+//! Schedule policies: strategies for resolving executor choice points.
+//!
+//! Every policy records its decisions into a [`SharedTrace`] —
+//! `(candidate count, chosen index)` per choice point, in order — which
+//! is what makes a schedule a *first-class artifact*: the trace can be
+//! digested (coverage counting), replayed ([`Replay`]), minimized and
+//! written to a counterexample file.
+
+use simnet::rng::DetRng;
+use simnet::{SchedulePolicy, SimTime, TaskId};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Shared record of every resolved choice point: `(number of
+/// candidates, chosen index)` per decision. The scenario runner keeps
+/// one handle and hands the other to the policy it installs, so the
+/// trace survives the policy being moved into the executor.
+pub type SharedTrace = Rc<RefCell<Vec<(u32, u32)>>>;
+
+/// Create an empty shared trace.
+pub fn new_trace() -> SharedTrace {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+fn record(trace: &SharedTrace, n: usize, chosen: usize) {
+    trace.borrow_mut().push((n as u32, chosen as u32));
+}
+
+/// Uniform random walk over the schedule space: every choice point
+/// picks a candidate uniformly at random from a seeded [`DetRng`], so a
+/// `(scenario, seed)` pair names one schedule exactly.
+pub struct RandomWalk {
+    rng: DetRng,
+    trace: SharedTrace,
+}
+
+impl RandomWalk {
+    /// Random-walk policy for `seed`, recording into `trace`.
+    pub fn new(seed: u64, trace: SharedTrace) -> Self {
+        RandomWalk {
+            rng: DetRng::seed_from_u64(seed ^ 0x5EED_5C4E_D01E),
+            trace,
+        }
+    }
+}
+
+impl SchedulePolicy for RandomWalk {
+    fn choose(&mut self, _now: SimTime, ready: &[TaskId]) -> usize {
+        let i = self.rng.next_u64_below(ready.len() as u64) as usize;
+        record(&self.trace, ready.len(), i);
+        i
+    }
+}
+
+/// PCT — probabilistic concurrency testing (Burckhardt et al., ASPLOS
+/// '10): each task gets a random high priority on first sight, the
+/// highest-priority ready task always runs, and at `d - 1` random
+/// *priority-change points* (steps of the schedule) the running task is
+/// demoted below every initial priority. For a bug of depth `d`, a
+/// single run finds it with probability ≥ `1 / (n · k^(d-1))` — far
+/// better coverage of rare orderings than a uniform walk of the same
+/// budget.
+pub struct Pct {
+    rng: DetRng,
+    /// Larger value = runs first. Initial priorities start at `depth`
+    /// so every demotion target (`d - 1 - i`, strictly below `depth`)
+    /// outranks nothing.
+    priorities: BTreeMap<TaskId, u64>,
+    /// Step indices (sorted) at which the chosen task is demoted.
+    change_points: Vec<u64>,
+    next_change: usize,
+    step: u64,
+    depth: u32,
+    trace: SharedTrace,
+}
+
+impl Pct {
+    /// PCT policy of depth `depth` (`depth - 1` change points) for a
+    /// schedule of roughly `est_len` choice points.
+    pub fn new(seed: u64, depth: u32, est_len: u64, trace: SharedTrace) -> Self {
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x9C7_0CAFE);
+        let mut change_points: Vec<u64> = (1..depth.max(1))
+            .map(|_| rng.next_u64_below(est_len.max(1)))
+            .collect();
+        change_points.sort_unstable();
+        Pct {
+            rng,
+            priorities: BTreeMap::new(),
+            change_points,
+            next_change: 0,
+            step: 0,
+            depth,
+            trace,
+        }
+    }
+}
+
+impl SchedulePolicy for Pct {
+    fn choose(&mut self, _now: SimTime, ready: &[TaskId]) -> usize {
+        for &t in ready {
+            if !self.priorities.contains_key(&t) {
+                let p = self.depth as u64 + 1 + self.rng.next_u64_below(1 << 30);
+                self.priorities.insert(t, p);
+            }
+        }
+        // Highest priority wins; FIFO order breaks ties deterministically.
+        let mut best = 0usize;
+        for (i, t) in ready.iter().enumerate() {
+            if self.priorities[t] > self.priorities[&ready[best]] {
+                best = i;
+            }
+        }
+        if self.next_change < self.change_points.len()
+            && self.step >= self.change_points[self.next_change]
+        {
+            // Demote the task about to run below all initial priorities;
+            // the j-th change point assigns the j-th-lowest value.
+            self.priorities.insert(ready[best], self.next_change as u64);
+            self.next_change += 1;
+        }
+        self.step += 1;
+        record(&self.trace, ready.len(), best);
+        best
+    }
+}
+
+/// Replay a recorded decision list: the `i`-th choice point takes
+/// `decisions[i]` (clamped to the candidate count, so a truncated or
+/// divergent tail stays legal); past the end it plays FIFO. Used both
+/// to reproduce counterexamples and as the DFS prefix driver.
+pub struct Replay {
+    decisions: Vec<u32>,
+    pos: usize,
+    trace: SharedTrace,
+}
+
+impl Replay {
+    /// Replay `decisions`, recording the actually-taken choices into
+    /// `trace`.
+    pub fn new(decisions: Vec<u32>, trace: SharedTrace) -> Self {
+        Replay {
+            decisions,
+            pos: 0,
+            trace,
+        }
+    }
+}
+
+impl SchedulePolicy for Replay {
+    fn choose(&mut self, _now: SimTime, ready: &[TaskId]) -> usize {
+        let want = self.decisions.get(self.pos).copied().unwrap_or(0) as usize;
+        self.pos += 1;
+        let i = want.min(ready.len() - 1);
+        record(&self.trace, ready.len(), i);
+        i
+    }
+}
+
+/// Next DFS prefix (preorder) after a run that recorded `trace`, under
+/// a preemption bound: a non-zero choice deviates from FIFO and counts
+/// as one preemption; prefixes that would exceed `bound` preemptions
+/// are pruned. Returns `None` when the bounded schedule space is
+/// exhausted.
+///
+/// Soundness rests on determinism: replaying an unchanged prefix
+/// reproduces the same choice points, so incrementing the deepest
+/// incrementable decision enumerates schedules without repetition.
+pub fn next_dfs_prefix(trace: &[(u32, u32)], bound: u32) -> Option<Vec<u32>> {
+    for i in (0..trace.len()).rev() {
+        let (n, c) = trace[i];
+        if c + 1 < n {
+            let used = trace[..i].iter().filter(|&&(_, c)| c != 0).count() as u32;
+            if used < bound {
+                let mut prefix: Vec<u32> = trace[..i].iter().map(|&(_, c)| c).collect();
+                prefix.push(c + 1);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_prefix_enumeration_respects_bound() {
+        // A run with three binary choice points, all FIFO.
+        let trace = vec![(2, 0), (2, 0), (2, 0)];
+        let p = next_dfs_prefix(&trace, 1).expect("has successor");
+        assert_eq!(p, vec![0, 0, 1]);
+        // After taking [0, 0, 1], the deepest incrementable position
+        // under bound 1 is the middle one.
+        let trace2 = vec![(2, 0), (2, 0), (2, 1)];
+        let p2 = next_dfs_prefix(&trace2, 1).expect("has successor");
+        assert_eq!(p2, vec![0, 1]);
+        // Bound 0 admits only the FIFO schedule.
+        assert_eq!(next_dfs_prefix(&trace, 0), None);
+    }
+
+    #[test]
+    fn replay_clamps_out_of_range_choices() {
+        let trace = new_trace();
+        let mut r = Replay::new(vec![5, 0], trace.clone());
+        let a = TaskId::from_u64(0);
+        let b = TaskId::from_u64(1);
+        let i = r.choose(simnet::SimTime::ZERO, &[a, b]);
+        assert_eq!(i, 1); // clamped from 5
+        assert_eq!(*trace.borrow(), vec![(2, 1)]);
+    }
+}

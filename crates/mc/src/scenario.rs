@@ -1,0 +1,484 @@
+//! Model-checking scenarios: tiny, fully deterministic concurrent
+//! workloads over the three index designs, run under a chosen schedule
+//! policy, with every checkable property gathered into a [`RunReport`].
+//!
+//! ## Workload discipline
+//!
+//! The linearizability spec ([`crate::lin`]) models each workload key
+//! as a live-entry counter with one canonical value, which is only
+//! sound if:
+//!
+//! * every insert of `key` carries `value_of(key)` — so scan rows are
+//!   attributable to a key, not a specific insert;
+//! * no client ever re-inserts a key it already inserted, and clients
+//!   insert from **disjoint offset sets** — so at most one insert of
+//!   any `(key, value)` pair is ever issued and the index layer's
+//!   value-probe retry absorption is exact;
+//! * preloaded keys (offset 0 of every unit) are never inserted or
+//!   deleted — they are immutable ballast the scans validate exactly.
+//!
+//! Deletes and lookups intentionally target *any* workload offset, so
+//! clients still contend on the same keys — that cross-client traffic
+//! is where interleaving bugs live. Contention concentrates on
+//! [`HOT_UNITS`] hot units of the loaded tree so schedules actually
+//! collide instead of diffusing over the key space.
+
+use crate::history::HistoryRecorder;
+use crate::lin::{self, CheckStats, LinViolation, Spec};
+use crate::policy::{new_trace, Pct, RandomWalk, Replay, SharedTrace};
+use blink::PageLayout;
+use chaos::{ChaosController, FaultPlan};
+use nam::{NamCluster, PartitionMap};
+use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
+use rdma_sim::{ClusterSpec, Endpoint, LinkDegrade};
+use sanitizer::{HeldLock, Sanitizer, Violation};
+use simnet::rng::DetRng;
+use simnet::{FifoPolicy, Sim, SimDur, SimTime};
+use std::collections::BTreeSet;
+
+/// Loaded units; keys are `unit * 8 + offset`, unit `i` preloaded with
+/// `(i * 8, i)`.
+pub const LOAD_UNITS: u64 = 64;
+/// Units the workload contends on.
+pub const HOT_UNITS: std::ops::Range<u64> = 20..24;
+/// Page size shared by the tree builds and the sanitizer.
+const PAGE_SIZE: usize = 256;
+
+/// Which index design a scenario runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DesignKind {
+    /// Coarse-grained (RPC to the home server, design 1).
+    Cg,
+    /// Fine-grained (one-sided verbs + per-node locks, design 2).
+    Fg,
+    /// Hybrid (one-sided reads, RPC writes, design 3).
+    Hybrid,
+}
+
+impl DesignKind {
+    /// All three designs, in matrix order.
+    pub const ALL: [DesignKind; 3] = [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid];
+
+    /// Stable lowercase name (CLI flags, file format, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::Cg => "cg",
+            DesignKind::Fg => "fg",
+            DesignKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parse [`Self::name`] output.
+    pub fn parse(s: &str) -> Option<DesignKind> {
+        Self::ALL.into_iter().find(|d| d.name() == s)
+    }
+}
+
+/// Fault regime a scenario runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// No faults: every op completes, delete flags are exact.
+    None,
+    /// Message-loss window on every link plus a client killed on its
+    /// next lock acquire. Under loss the op layer retries, so delete
+    /// found-flags become best-effort (see [`crate::lin`]).
+    Chaos,
+}
+
+impl FaultMode {
+    /// Stable lowercase name (file format, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultMode::None => "nofault",
+            FaultMode::Chaos => "chaos",
+        }
+    }
+
+    /// Parse [`Self::name`] output.
+    pub fn parse(s: &str) -> Option<FaultMode> {
+        [FaultMode::None, FaultMode::Chaos]
+            .into_iter()
+            .find(|f| f.name() == s)
+    }
+}
+
+/// A fully pinned workload: `(Scenario, PolicyKind)` names one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Index design under test.
+    pub design: DesignKind,
+    /// Fault regime.
+    pub fault: FaultMode,
+    /// Workload seed (op mix and key choices).
+    pub seed: u64,
+    /// Concurrent clients (at most 3: insert offsets partition 1..=6).
+    pub clients: u64,
+    /// Sequential ops each client issues.
+    pub ops_per_client: u64,
+    /// Issue mid-run range scans (forces whole-history linearizability
+    /// checking — keep the workload tiny).
+    pub with_scans: bool,
+}
+
+impl Scenario {
+    /// Standard point-op scenario (per-key checkable).
+    pub fn point_ops(design: DesignKind, fault: FaultMode, seed: u64) -> Scenario {
+        Scenario {
+            design,
+            fault,
+            seed,
+            clients: 3,
+            ops_per_client: 12,
+            with_scans: false,
+        }
+    }
+
+    /// Tiny scenario with concurrent scans (whole-history checking).
+    pub fn with_scans(design: DesignKind, fault: FaultMode, seed: u64) -> Scenario {
+        Scenario {
+            design,
+            fault,
+            seed,
+            clients: 2,
+            ops_per_client: 5,
+            with_scans: true,
+        }
+    }
+}
+
+/// Schedule policy to install for a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// No policy installed: the executor's raw FIFO path (baseline).
+    Uncontrolled,
+    /// Explicit [`FifoPolicy`] — must be bit-identical to
+    /// [`PolicyKind::Uncontrolled`].
+    Fifo,
+    /// Uniform random walk with its own seed.
+    RandomWalk {
+        /// Schedule seed (independent of the workload seed).
+        seed: u64,
+    },
+    /// PCT priority scheduling.
+    Pct {
+        /// Schedule seed.
+        seed: u64,
+        /// Bug depth `d` (`d - 1` priority change points).
+        depth: u32,
+    },
+    /// Replay a recorded decision list (counterexamples, DFS prefixes).
+    Replay {
+        /// Choice-point decisions, in order.
+        decisions: Vec<u32>,
+    },
+}
+
+/// Everything observed in one run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Linearizability verdict over the recorded history.
+    pub lin: Result<CheckStats, LinViolation>,
+    /// Sanitizer findings (protocol races, version tampering, ...).
+    pub san_violations: Vec<Violation>,
+    /// Locks still held at quiescence by *live* clients (dead owners
+    /// are excused under [`FaultMode::Chaos`] — lease recovery frees
+    /// them lazily on next touch).
+    pub held_leaks: Vec<HeldLock>,
+    /// Tasks still live after the sim drained — must be 0.
+    pub task_leak: usize,
+    /// Virtual end time of the run, nanoseconds.
+    pub end_nanos: u64,
+    /// Order-insensitive-free digest of the completed history (event
+    /// order, args, outcomes, timestamps).
+    pub history_digest: u64,
+    /// Digest of the decision trace.
+    pub schedule_digest: u64,
+    /// The decision trace itself (replayable).
+    pub decisions: Vec<u32>,
+    /// Full `(candidate count, chosen index)` record per choice point —
+    /// what DFS enumeration needs to know where a successor exists.
+    pub trace_counts: Vec<(u32, u32)>,
+    /// Completed + pending events recorded.
+    pub events: usize,
+}
+
+impl RunReport {
+    /// No violation of any checked property.
+    pub fn clean(&self) -> bool {
+        self.lin.is_ok()
+            && self.san_violations.is_empty()
+            && self.held_leaks.is_empty()
+            && self.task_leak == 0
+    }
+}
+
+/// FNV-1a over a stream of u64 words.
+#[derive(Clone, Copy)]
+pub struct Digest(u64);
+
+impl Digest {
+    /// Fresh digest (FNV offset basis).
+    pub fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold one word.
+    pub fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Final value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+fn digest_history(events: &[crate::history::Event]) -> u64 {
+    use rdma_sim::observer::{OpArgs, OpOutcome};
+    let mut d = Digest::new();
+    for ev in events {
+        d.word(ev.client);
+        match ev.args {
+            OpArgs::Lookup { key } => {
+                d.word(1);
+                d.word(key);
+            }
+            OpArgs::Range { lo, hi } => {
+                d.word(2);
+                d.word(lo);
+                d.word(hi);
+            }
+            OpArgs::Insert { key, value } => {
+                d.word(3);
+                d.word(key);
+                d.word(value);
+            }
+            OpArgs::Delete { key } => {
+                d.word(4);
+                d.word(key);
+            }
+        }
+        match &ev.outcome {
+            OpOutcome::Lookup(v) => {
+                d.word(10);
+                d.word(v.map_or(u64::MAX, |v| v));
+            }
+            OpOutcome::Range(rows) => {
+                d.word(11);
+                d.word(rows.len() as u64);
+                for &(k, v) in rows {
+                    d.word(k);
+                    d.word(v);
+                }
+            }
+            OpOutcome::Insert => d.word(12),
+            OpOutcome::Delete(f) => d.word(13 + *f as u64),
+            OpOutcome::Failed => d.word(15),
+        }
+        d.word(ev.invoke.as_nanos());
+        d.word(ev.response.as_nanos());
+    }
+    d.finish()
+}
+
+/// Digest of a decision trace.
+pub fn digest_decisions(decisions: &[u32]) -> u64 {
+    let mut d = Digest::new();
+    for &c in decisions {
+        d.word(c as u64);
+    }
+    d.finish()
+}
+
+/// Canonical value every insert of `key` carries.
+pub fn value_of(key: u64) -> u64 {
+    key ^ 0xABCD
+}
+
+fn build(kind: DesignKind, nam: &NamCluster) -> Design {
+    let items = (0..LOAD_UNITS).map(|i| (i * 8, i));
+    let partition = PartitionMap::range_uniform(nam.num_servers(), LOAD_UNITS * 8);
+    let cfg = FgConfig {
+        layout: PageLayout::new(PAGE_SIZE),
+        fill: 0.7,
+        head_stride: 4,
+        cache_capacity: None,
+    };
+    match kind {
+        DesignKind::Cg => Design::Cg(CoarseGrained::build(
+            nam,
+            PageLayout::new(PAGE_SIZE),
+            partition,
+            items,
+            0.7,
+        )),
+        DesignKind::Fg => Design::Fg(FineGrained::build(&nam.rdma, cfg, items)),
+        DesignKind::Hybrid => Design::Hybrid(Hybrid::build(nam, cfg, partition, items)),
+    }
+}
+
+/// One client's sequential op stream. Insert keys come from the
+/// client's private offsets (`2c + 1`, `2c + 2`); deletes and lookups
+/// hit any workload offset of the hot units, so clients contend.
+async fn client_loop(idx: Design, ep: Endpoint, c: u64, sc: Scenario) {
+    let mut rng = DetRng::seed_from_u64(sc.seed ^ (0x5CE_A127 + c));
+    let my_offsets = [2 * c + 1, 2 * c + 2];
+    let hot_span = HOT_UNITS.end - HOT_UNITS.start;
+    let max_offset = 2 * sc.clients;
+    let mut inserted: BTreeSet<u64> = BTreeSet::new();
+    for _ in 0..sc.ops_per_client {
+        let unit = HOT_UNITS.start + rng.next_u64_below(hot_span);
+        let roll = rng.next_u64_below(100);
+        let scan_cut = if sc.with_scans { 20 } else { 0 };
+        if roll < scan_cut {
+            let lo = HOT_UNITS.start * 8;
+            let hi = HOT_UNITS.end * 8 - 1;
+            let _ = idx.range(&ep, lo, hi).await;
+        } else if roll < scan_cut + 40 {
+            // Insert a fresh key from this client's private offsets.
+            let key = unit * 8 + my_offsets[rng.next_u64_below(2) as usize];
+            if inserted.insert(key) {
+                let _ = idx.insert(&ep, key, value_of(key)).await;
+            } else {
+                // Key already used: read it instead (keeps op count).
+                let _ = idx.lookup(&ep, key).await;
+            }
+        } else if roll < scan_cut + 65 {
+            // Delete any workload key of the hot units — including
+            // other clients' inserts (contention), never offset 0.
+            let key = unit * 8 + 1 + rng.next_u64_below(max_offset);
+            let _ = idx.delete(&ep, key).await;
+        } else {
+            // Lookup any key of the unit, loaded key included.
+            let key = unit * 8 + rng.next_u64_below(max_offset + 1);
+            let _ = idx.lookup(&ep, key).await;
+        }
+    }
+}
+
+fn chaos_plan(victim: u64, servers: usize, seed: u64) -> FaultPlan {
+    // A message-loss window across every link while the workload is in
+    // full flight (drops hit request and response legs alike, so
+    // landed-but-unacknowledged ops retry), then a client killed on its
+    // next lock acquire once links heal. The plan seed drives the
+    // cluster's drop-roll RNG — without it every run would share drop
+    // seed 0 and the matrix would resample one drop pattern forever.
+    let mut plan = FaultPlan::with_seed(seed);
+    for s in 0..servers {
+        plan = plan.degrade_link(
+            SimTime::from_micros(3),
+            s,
+            LinkDegrade {
+                drop_chance: 0.25,
+                extra_delay: SimDur::ZERO,
+                bandwidth_factor: 1.0,
+            },
+        );
+        plan = plan.restore_link(SimTime::from_micros(120), s);
+    }
+    plan.kill_on_lock_acquire(SimTime::from_micros(130), victim)
+}
+
+/// Run `sc` under `policy`, returning the full report.
+pub fn run_scenario(sc: &Scenario, policy: &PolicyKind) -> RunReport {
+    run_scenario_with_history(sc, policy).0
+}
+
+/// [`run_scenario`], additionally returning the recorded history
+/// (diagnostics, tests).
+pub fn run_scenario_with_history(
+    sc: &Scenario,
+    policy: &PolicyKind,
+) -> (RunReport, Vec<crate::history::Event>) {
+    assert!(
+        (1..=3).contains(&sc.clients),
+        "insert-offset partitioning supports 1..=3 clients"
+    );
+    let sim = Sim::new();
+    let trace: SharedTrace = new_trace();
+    match policy {
+        PolicyKind::Uncontrolled => {}
+        PolicyKind::Fifo => sim.set_schedule_policy(Box::new(FifoPolicy)),
+        PolicyKind::RandomWalk { seed } => {
+            sim.set_schedule_policy(Box::new(RandomWalk::new(*seed, trace.clone())))
+        }
+        PolicyKind::Pct { seed, depth } => {
+            // est_len sized to the observed choice-point counts of
+            // these workloads (hundreds), so change points land mid-run.
+            sim.set_schedule_policy(Box::new(Pct::new(*seed, *depth, 400, trace.clone())))
+        }
+        PolicyKind::Replay { decisions } => {
+            sim.set_schedule_policy(Box::new(Replay::new(decisions.clone(), trace.clone())))
+        }
+    }
+
+    let nam = NamCluster::new(&sim, ClusterSpec::default());
+    let idx = build(sc.design, &nam);
+    let recorder = HistoryRecorder::install(&nam.rdma);
+    let san = Sanitizer::install(&nam.rdma, PAGE_SIZE);
+    sanitizer::walk::register_design(&san, &idx);
+
+    let eps: Vec<Endpoint> = (0..sc.clients).map(|_| Endpoint::new(&nam.rdma)).collect();
+    if sc.fault == FaultMode::Chaos {
+        let victim = eps[sc.clients as usize - 1].client_id();
+        ChaosController::install_nam(&sim, &nam, chaos_plan(victim, nam.num_servers(), sc.seed));
+    }
+    for (c, ep) in eps.into_iter().enumerate() {
+        sim.spawn(client_loop(idx.clone(), ep, c as u64, sc.clone()));
+    }
+    sim.run();
+
+    // Quiescent verification scan on a fresh endpoint: its full-range
+    // rows become per-key count observations for the checker, and its
+    // traversal reclaims any lease-expired lock left by a killed client
+    // (which is what lets the sanitizer judge the reclaim CAS).
+    let ep = Endpoint::new(&nam.rdma);
+    let idx2 = idx.clone();
+    sim.spawn(async move {
+        let _ = idx2.range(&ep, 0, u64::MAX - 1).await.expect("final scan");
+    });
+    let end = sim.run();
+
+    // Quiescence leak checks: every task drained, and no tracked lock
+    // still held by a live owner. (A dead owner's lock is legal under
+    // chaos — lease recovery frees it on next touch — but with no
+    // faults every client is live, so any residue is a leak.)
+    let task_leak = sim.live_tasks();
+    let held_leaks: Vec<HeldLock> = san
+        .held_locks()
+        .into_iter()
+        .filter(|l| !nam.rdma.client_dead(l.owner))
+        .collect();
+
+    let events = recorder.history();
+    let spec = Spec {
+        loaded: (0..LOAD_UNITS).map(|i| (i * 8, i)).collect(),
+        value_of,
+        strict_delete_flag: sc.fault == FaultMode::None,
+    };
+    let lin = lin::check(&events, &spec);
+    let trace_counts: Vec<(u32, u32)> = trace.borrow().clone();
+    let decisions: Vec<u32> = trace_counts.iter().map(|&(_, c)| c).collect();
+    let report = RunReport {
+        lin,
+        san_violations: san.violations(),
+        held_leaks,
+        task_leak,
+        end_nanos: end.as_nanos(),
+        history_digest: digest_history(&events),
+        schedule_digest: digest_decisions(&decisions),
+        decisions,
+        trace_counts,
+        events: events.len(),
+    };
+    (report, events)
+}

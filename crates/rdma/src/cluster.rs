@@ -440,6 +440,19 @@ impl Cluster {
         self.each_observer(|o| o.on_op_end(client, kind, now, ok));
     }
 
+    /// Report the arguments of the index-level operation `client` just
+    /// invoked (fires inside the op span, before any remote access).
+    pub fn note_op_invoke(&self, client: u64, args: crate::observer::OpArgs) {
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_op_invoke(client, args, now));
+    }
+
+    /// Report the outcome of the operation `client` invoked last.
+    pub fn note_op_response(&self, client: u64, outcome: &crate::observer::OpOutcome) {
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_op_response(client, outcome, now));
+    }
+
     /// Report that `client` entered (`enter`) or left a protocol region.
     pub fn note_region(&self, client: u64, kind: crate::observer::RegionKind, enter: bool) {
         let now = self.inner.sim.now();

@@ -42,7 +42,9 @@ pub mod spec;
 pub use cluster::{Cluster, ServerStats};
 pub use endpoint::{Endpoint, RpcReply};
 pub use fault::{AttemptKind, FaultStats, LinkDegrade, VerbError};
-pub use observer::{OpKind, RegionKind, RpcEvent, VerbEvent, VerbKind, VerbObserver};
+pub use observer::{
+    OpArgs, OpKind, OpOutcome, RegionKind, RpcEvent, VerbEvent, VerbKind, VerbObserver,
+};
 pub use pool::MemPool;
 pub use ptr::{PtrDecodeError, RemotePtr};
 pub use spec::{ClusterSpec, MAX_LOCK_HOLD_VERBS};

@@ -120,6 +120,54 @@ impl OpKind {
     }
 }
 
+/// Arguments of an index-level operation, reported at invoke time (see
+/// [`VerbObserver::on_op_invoke`]). Keys and values are the plain `u64`s
+/// of the simulated index API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpArgs {
+    /// Point lookup of `key`.
+    Lookup {
+        /// Key probed.
+        key: u64,
+    },
+    /// Range scan over `[lo, hi]` inclusive.
+    Range {
+        /// Low key (inclusive).
+        lo: u64,
+        /// High key (inclusive).
+        hi: u64,
+    },
+    /// Insert of `(key, value)`.
+    Insert {
+        /// Key inserted.
+        key: u64,
+        /// Value inserted.
+        value: u64,
+    },
+    /// Delete of `key`.
+    Delete {
+        /// Key deleted.
+        key: u64,
+    },
+}
+
+/// Result of a completed index-level operation, reported at response
+/// time (see [`VerbObserver::on_op_response`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// Lookup returned the value (or `None` if the key was absent).
+    Lookup(Option<u64>),
+    /// Range scan returned these rows, in key order.
+    Range(Vec<(u64, u64)>),
+    /// Insert succeeded.
+    Insert,
+    /// Delete returned whether a live entry was removed.
+    Delete(bool),
+    /// The operation returned an error; its effects are indeterminate
+    /// (it may or may not have been applied).
+    Failed,
+}
+
 /// A protocol region a client can enter within an op (see
 /// [`VerbObserver::on_region`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -183,6 +231,22 @@ pub trait VerbObserver {
     /// an error. Default: ignore.
     fn on_op_end(&self, client: u64, kind: OpKind, time: SimTime, ok: bool) {
         let _ = (client, kind, time, ok);
+    }
+
+    /// `client` invoked an index-level operation with these arguments.
+    /// Fires inside the matching [`on_op_start`](Self::on_op_start) span,
+    /// before any remote access is issued. History checkers use the
+    /// `[invoke, response]` interval as the operation's concurrency
+    /// window. Default: ignore.
+    fn on_op_invoke(&self, client: u64, args: OpArgs, time: SimTime) {
+        let _ = (client, args, time);
+    }
+
+    /// The operation invoked by the matching
+    /// [`on_op_invoke`](Self::on_op_invoke) returned to the caller with
+    /// `outcome`. Default: ignore.
+    fn on_op_response(&self, client: u64, outcome: &OpOutcome, time: SimTime) {
+        let _ = (client, outcome, time);
     }
 
     /// `client` entered (`enter == true`) or left a protocol region.

@@ -154,6 +154,20 @@ enum Holder {
     LockedUnknown,
 }
 
+/// A node lock found still held by the quiescence scan
+/// ([`Sanitizer::held_locks`]).
+#[derive(Clone, Copy, Debug)]
+pub struct HeldLock {
+    /// Memory server of the node.
+    pub server: usize,
+    /// Page-start offset of the node.
+    pub offset: u64,
+    /// The in-memory lock word at scan time.
+    pub word: u64,
+    /// Owner id recorded in the word ([`lock_word::owner_of`]).
+    pub owner: u64,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct NodeState {
     /// Shadow copy of the 8-byte `(version, lock-bit)` word.
@@ -299,6 +313,29 @@ impl Sanitizer {
         }
         drop(st);
         panic!("{msg}");
+    }
+
+    /// Scan every tracked node's *current in-memory* lock word and
+    /// report those still held — the orphaned-lock detector, meant to
+    /// run at quiescence (`Sim::live_tasks() == 0`). A lock held with no
+    /// task left to release it is a leak: either a client path exited
+    /// without unlocking (a protocol bug) or the holder was killed and
+    /// no contender has broken the lease yet (expected only in runs that
+    /// kill clients). Callers decide which holders are excusable, e.g.
+    /// by checking `Cluster::client_dead(h.owner)`.
+    pub fn held_locks(&self) -> Vec<HeldLock> {
+        let keys: Vec<(usize, u64)> = self.state.borrow().nodes.keys().copied().collect();
+        keys.into_iter()
+            .filter_map(|(server, offset)| {
+                let word = self.read_word(server, offset);
+                lock_word::is_locked(word).then(|| HeldLock {
+                    server,
+                    offset,
+                    word,
+                    owner: lock_word::owner_of(word),
+                })
+            })
+            .collect()
     }
 
     /// Run the end-of-run structural walk for `design` and fold any

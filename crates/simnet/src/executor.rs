@@ -21,6 +21,50 @@ use crate::time::{SimDur, SimTime};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TaskId(u64);
 
+impl TaskId {
+    /// The task's spawn index (stable across runs of the same program).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from a raw spawn index. Ids are plain labels, so this
+    /// is safe; it exists for schedule-policy tests and tooling.
+    pub fn from_u64(v: u64) -> Self {
+        TaskId(v)
+    }
+}
+
+/// A pluggable strategy for resolving scheduler *choice points*.
+///
+/// Whenever more than one distinct live task is ready at the same virtual
+/// instant, the executor asks the installed policy which one to poll next.
+/// `ready` lists the candidates in FIFO wake order (duplicates and
+/// completed tasks already filtered out); the returned index must be
+/// `< ready.len()`. With zero or one candidate the choice is forced and
+/// the policy is *not* consulted, so a policy sees exactly the genuine
+/// schedule decisions.
+///
+/// A policy must not call back into the [`Sim`] that owns it (the
+/// executor holds internal borrows while choosing).
+pub trait SchedulePolicy {
+    /// Pick the index (into `ready`) of the next task to poll.
+    fn choose(&mut self, now: SimTime, ready: &[TaskId]) -> usize;
+}
+
+/// The executor's default tie-break, made explicit: always poll the first
+/// ready task in wake order. Installing it is observationally identical
+/// to running with no policy at all — every poll happens in the same
+/// order — which is what lets golden digests survive under the
+/// controlled scheduler.
+#[derive(Default)]
+pub struct FifoPolicy;
+
+impl SchedulePolicy for FifoPolicy {
+    fn choose(&mut self, _now: SimTime, _ready: &[TaskId]) -> usize {
+        0
+    }
+}
+
 type BoxedFuture = Pin<Box<dyn Future<Output = ()>>>;
 
 /// A timer registration: wake `waker` at instant `at`.
@@ -76,6 +120,8 @@ struct SimInner {
     incoming: RefCell<Vec<(TaskId, BoxedFuture)>>,
     ready: Arc<Mutex<VecDeque<TaskId>>>,
     live_tasks: Cell<usize>,
+    /// Installed schedule policy; `None` keeps the raw FIFO fast path.
+    policy: RefCell<Option<Box<dyn SchedulePolicy>>>,
 }
 
 /// Handle to the simulation: clock, spawner, and event loop.
@@ -105,6 +151,7 @@ impl Sim {
                 incoming: RefCell::new(Vec::new()),
                 ready: Arc::new(Mutex::new(VecDeque::new())),
                 live_tasks: Cell::new(0),
+                policy: RefCell::new(None),
             }),
         }
     }
@@ -117,6 +164,18 @@ impl Sim {
     /// Number of tasks that have been spawned and not yet completed.
     pub fn live_tasks(&self) -> usize {
         self.inner.live_tasks.get()
+    }
+
+    /// Install a [`SchedulePolicy`] that resolves every subsequent choice
+    /// point. Replaces any previously installed policy.
+    pub fn set_schedule_policy(&self, policy: Box<dyn SchedulePolicy>) {
+        *self.inner.policy.borrow_mut() = Some(policy);
+    }
+
+    /// Remove the installed policy (returning it), restoring the raw FIFO
+    /// fast path.
+    pub fn clear_schedule_policy(&self) -> Option<Box<dyn SchedulePolicy>> {
+        self.inner.policy.borrow_mut().take()
     }
 
     fn next_seq(&self) -> u64 {
@@ -220,14 +279,24 @@ impl Sim {
                     }
                 }
             }
-            let id = {
-                let mut ready = self.inner.ready.lock().expect("ready queue poisoned");
-                match ready.pop_front() {
+            let id = if self.inner.policy.borrow().is_some() {
+                match self.next_via_policy() {
+                    Some(id) => id,
+                    None => return,
+                }
+            } else {
+                let popped = {
+                    let mut ready = self.inner.ready.lock().expect("ready queue poisoned");
+                    ready.pop_front()
+                };
+                match popped {
                     Some(id) => id,
                     None => return,
                 }
             };
             // The task may have completed already (spurious wake) — skip.
+            // (With a policy installed the candidate list is pre-filtered,
+            // so this never triggers on that path.)
             let Some(mut fut) = self.inner.tasks.borrow_mut().remove(&id) else {
                 continue;
             };
@@ -245,6 +314,49 @@ impl Sim {
                 }
             }
         }
+    }
+
+    /// Resolve the next task to poll through the installed policy.
+    ///
+    /// Builds the duplicate-free list of *live* ready tasks in wake order.
+    /// Two or more candidates form a choice point and the policy picks;
+    /// one candidate is a forced move; zero means every queued entry was a
+    /// stale wake for a completed task, so the drain is over. The chosen
+    /// task's first queue occurrence is consumed — this yields exactly the
+    /// poll sequence the uncontrolled path produces when the policy always
+    /// answers `0` (see [`FifoPolicy`]).
+    fn next_via_policy(&self) -> Option<TaskId> {
+        let mut ready = self.inner.ready.lock().expect("ready queue poisoned");
+        let candidates: Vec<TaskId> = {
+            let tasks = self.inner.tasks.borrow();
+            let mut seen = Vec::new();
+            for &id in ready.iter() {
+                if tasks.contains_key(&id) && !seen.contains(&id) {
+                    seen.push(id);
+                }
+            }
+            seen
+        };
+        let chosen = match candidates.len() {
+            0 => {
+                ready.clear();
+                return None;
+            }
+            1 => candidates[0],
+            n => {
+                let mut policy = self.inner.policy.borrow_mut();
+                let p = policy.as_mut().expect("policy removed mid-drain");
+                let i = p.choose(self.inner.now.get(), &candidates);
+                assert!(i < n, "SchedulePolicy chose index {i} of {n} candidates");
+                candidates[i]
+            }
+        };
+        let pos = ready
+            .iter()
+            .position(|&id| id == chosen)
+            .expect("chosen task vanished from ready queue");
+        ready.remove(pos);
+        Some(chosen)
     }
 }
 
@@ -388,6 +500,121 @@ mod tests {
         });
         sim.run();
         assert_eq!(*order.borrow(), vec!["slept", "immediate"]);
+    }
+
+    /// Always picks the last candidate — the adversarial mirror of FIFO.
+    struct ReversePolicy;
+    impl SchedulePolicy for ReversePolicy {
+        fn choose(&mut self, _now: SimTime, ready: &[TaskId]) -> usize {
+            ready.len() - 1
+        }
+    }
+
+    /// Records every candidate list it is offered, then plays FIFO.
+    struct ProbePolicy {
+        #[allow(clippy::type_complexity)]
+        seen: Rc<RefCell<Vec<(SimTime, Vec<TaskId>)>>>,
+    }
+    impl SchedulePolicy for ProbePolicy {
+        fn choose(&mut self, now: SimTime, ready: &[TaskId]) -> usize {
+            self.seen.borrow_mut().push((now, ready.to_vec()));
+            0
+        }
+    }
+
+    fn interleave_log(policy: Option<Box<dyn SchedulePolicy>>) -> Vec<u64> {
+        let sim = Sim::new();
+        if let Some(p) = policy {
+            sim.set_schedule_policy(p);
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..40u64 {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(async move {
+                s.sleep(SimDur::from_nanos(i % 5 * 100)).await;
+                s.sleep(SimDur::from_nanos(i % 3 * 50)).await;
+                l.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        let result = log.borrow().clone();
+        result
+    }
+
+    #[test]
+    fn fifo_policy_is_bit_identical_to_uncontrolled() {
+        assert_eq!(
+            interleave_log(None),
+            interleave_log(Some(Box::new(FifoPolicy)))
+        );
+    }
+
+    #[test]
+    fn policy_reorders_same_instant_ties_only() {
+        let fifo = interleave_log(None);
+        let rev = interleave_log(Some(Box::new(ReversePolicy)));
+        // The adversary produces a different interleaving...
+        assert_ne!(fifo, rev);
+        // ...but the same set of completions.
+        let mut a = fifo.clone();
+        let mut b = rev.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    /// Regression pin for same-instant `TimerEvent` wake ordering: two
+    /// timers armed for the same deadline from different tasks wake in
+    /// *registration* (global seq) order, and a task whose timer fires
+    /// later — or that was registered at a later virtual time — can never
+    /// be offered to the policy before its own timer has fired. The
+    /// policy may reorder *polls* among woken tasks, but never the wake
+    /// enqueue order itself.
+    #[test]
+    fn same_instant_timer_wakes_cannot_invert_causally() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let sim = Sim::new();
+        sim.set_schedule_policy(Box::new(ProbePolicy { seen: seen.clone() }));
+        // Task A arms its deadline-100 timer at t=10; task B arms its own
+        // deadline-100 timer at t=20; task C sleeps until 150.
+        let ids: Vec<TaskId> = [(10u64, 100u64), (20, 100), (150, 150)]
+            .into_iter()
+            .map(|(first, last)| {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep_until(SimTime::from_nanos(first)).await;
+                    s.sleep_until(SimTime::from_nanos(last)).await;
+                })
+            })
+            .collect();
+        sim.run();
+        let (a, b, c) = (ids[0], ids[1], ids[2]);
+        let seen = seen.borrow();
+        // The instant-100 choice point offers A before B (A's timer was
+        // registered first) and never contains C (its timer is still
+        // pending).
+        let at_100: Vec<_> = seen.iter().filter(|(t, _)| t.as_nanos() == 100).collect();
+        assert!(!at_100.is_empty(), "no choice point at t=100");
+        for (_, cands) in &at_100 {
+            assert!(!cands.contains(&c), "unwoken task offered to the policy");
+            if let (Some(pa), Some(pb)) = (
+                cands.iter().position(|&x| x == a),
+                cands.iter().position(|&x| x == b),
+            ) {
+                assert!(pa < pb, "same-instant timer wakes inverted: {cands:?}");
+            }
+        }
+        // And while C's timer is pending (registered at its t=0 spawn
+        // poll, fires at 150) no choice point ever offers C.
+        for (t, cands) in seen.iter() {
+            if cands.contains(&c) {
+                assert!(
+                    t.as_nanos() == 0 || t.as_nanos() >= 150,
+                    "task C offered at t={t:?} while its timer was pending"
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! stacks per track, non-decreasing duration-event timestamps), and
 //! fails unless the two same-seed traces are byte-identical (FNV-1a
 //! digest) — the telemetry counterpart of the determinism lint.
+//!
+//! `cargo xtask mc [--quick]` is the model-checking gate (see
+//! `crates/mc`): FIFO-policy engine parity, the clean schedule-
+//! exploration matrix, and the two mutation hunts that prove the
+//! checker catches the re-introduced historical bugs.
 
 use std::fmt;
 use std::fs;
@@ -85,6 +90,20 @@ const RULES: &[Rule] = &[
         id: "hash-order-set",
         needle: "HashSet",
         why: "iteration order is randomized per process; use `BTreeSet`",
+    },
+    // Added with the model checker (crates/mc): a schedule explorer that
+    // quietly drew OS entropy or hashed its state would make decision
+    // traces non-replayable — the exact failure the counterexample
+    // format exists to prevent.
+    Rule {
+        id: "os-entropy-rand-random",
+        needle: "rand::random",
+        why: "OS-seeded convenience RNG; use `simnet::rng::DetRng::seed_from_u64`",
+    },
+    Rule {
+        id: "hash-order-random-state",
+        needle: "RandomState",
+        why: "per-process random hasher; use `BTreeMap`/`BTreeSet` or a fixed hasher",
     },
 ];
 
@@ -224,6 +243,11 @@ const SEEDED: &[(&str, &str)] = &[
         "hash-order-map",
     ),
     ("let mut s = HashSet::new();", "hash-order-set"),
+    ("let x: u64 = rand::random();", "os-entropy-rand-random"),
+    (
+        "let m = HashMap::with_hasher(RandomState::new());",
+        "hash-order-random-state",
+    ),
 ];
 
 fn self_test() -> ExitCode {
@@ -460,6 +484,14 @@ const ENGINE_PARITY_GOLDEN: &str = "crates/xtask/golden/engine_parity.digest";
 /// before the engine refactor. Catches any accidental change to the
 /// verb sequence or timing of the uncached operation path.
 fn engine_parity(bless: bool) -> ExitCode {
+    engine_parity_inner(bless, false)
+}
+
+/// `mc_fifo` additionally sets `NAMDEX_MC_FIFO=1`, routing every
+/// scheduling decision through the explicit FIFO policy — the digest
+/// must STILL match the golden, proving the controlled scheduler is
+/// bit-identical to the uncontrolled executor.
+fn engine_parity_inner(bless: bool, mc_fifo: bool) -> ExitCode {
     let root = repo_root();
     let dir = root.join("target").join("engine-parity");
     // Fresh scratch results dir every run: the sweep caches its rows as
@@ -474,10 +506,14 @@ fn engine_parity(bless: bool) -> ExitCode {
         eprintln!("engine-parity: cannot create {}: {e}", dir.display());
         return ExitCode::FAILURE;
     }
-    let status = std::process::Command::new("cargo")
-        .current_dir(&root)
+    let mut cmd = std::process::Command::new("cargo");
+    cmd.current_dir(&root)
         .env("NAMDEX_QUICK", "1")
-        .env("NAMDEX_RESULTS_DIR", &dir)
+        .env("NAMDEX_RESULTS_DIR", &dir);
+    if mc_fifo {
+        cmd.env("NAMDEX_MC_FIFO", "1");
+    }
+    let status = cmd
         .args([
             "run",
             "--release",
@@ -537,7 +573,78 @@ fn engine_parity(bless: bool) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    println!("engine-parity: quick fig08 sweep matches golden {golden} — ok");
+    println!(
+        "engine-parity{}: quick fig08 sweep matches golden {golden} — ok",
+        if mc_fifo { " (FIFO policy)" } else { "" }
+    );
+    ExitCode::SUCCESS
+}
+
+/// Run `cargo <args...>` from the repo root, failing loudly.
+fn cargo_step(label: &str, args: &[&str]) -> Result<(), ExitCode> {
+    println!("mc: {label}: cargo {}", args.join(" "));
+    match std::process::Command::new("cargo")
+        .current_dir(repo_root())
+        .args(args)
+        .status()
+    {
+        Ok(s) if s.success() => Ok(()),
+        Ok(s) => {
+            eprintln!("mc: {label} failed with {s}");
+            Err(ExitCode::FAILURE)
+        }
+        Err(e) => {
+            eprintln!("mc: {label} failed to launch cargo: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `cargo xtask mc [--quick]` — the model-checking gate, three steps:
+///
+/// 1. **FIFO parity**: the engine-parity sweep re-run with
+///    `NAMDEX_MC_FIFO=1` must still match the committed golden digest —
+///    the controlled scheduler's deterministic-FIFO policy is
+///    bit-identical to the uncontrolled executor.
+/// 2. **Clean matrix**: `mc_explore explore` over 3 designs ×
+///    {no-fault, chaos} × {random-walk, PCT} (+ bounded DFS) must find
+///    zero violations.
+/// 3. **Mutation hunts**: with `--features mutations`, both
+///    re-introduced historical bugs (CG duplicate insert on lost-response
+///    retry; lease break without epoch bump) must be detected within the
+///    budget, each leaving a replayable minimized counterexample.
+fn mc(quick: bool) -> ExitCode {
+    let code = engine_parity_inner(false, true);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    let mut explore = vec!["run", "--release", "-p", "mc", "--bin", "mc_explore", "--"];
+    explore.push("explore");
+    if quick {
+        explore.push("--quick");
+    }
+    if let Err(code) = cargo_step("clean explore matrix", &explore) {
+        return code;
+    }
+    let mut hunt = vec![
+        "run",
+        "--release",
+        "-p",
+        "mc",
+        "--features",
+        "mutations",
+        "--bin",
+        "mc_explore",
+        "--",
+        "mutation",
+    ];
+    if quick {
+        hunt.push("--quick");
+    }
+    if let Err(code) = cargo_step("mutation hunts", &hunt) {
+        return code;
+    }
+    println!("mc: FIFO parity + clean matrix + both mutation hunts — ok");
     ExitCode::SUCCESS
 }
 
@@ -549,9 +656,11 @@ fn main() -> ExitCode {
         Some("trace-check") if args.len() == 1 => trace_check(),
         Some("engine-parity") if args.len() == 1 => engine_parity(false),
         Some("engine-parity") if args[1] == "--bless" => engine_parity(true),
+        Some("mc") if args.len() == 1 => mc(false),
+        Some("mc") if args[1] == "--quick" => mc(true),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--self-test] | trace-check | engine-parity [--bless]>"
+                "usage: cargo xtask <lint [--self-test] | trace-check | engine-parity [--bless] | mc [--quick]>"
             );
             ExitCode::FAILURE
         }

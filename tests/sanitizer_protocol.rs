@@ -135,7 +135,9 @@ fn cg_workload_passes_structural_walk() {
         let ep = Endpoint::new(&nam.rdma);
         sim.spawn(async move {
             for i in 0..40u64 {
-                idx.insert(&ep, 4_001 + (i * 8 + c) * 2, c).await.unwrap();
+                idx.insert(&ep, 4_001 + (i * 8 + c) * 2, c, false)
+                    .await
+                    .unwrap();
                 assert_eq!(
                     idx.lookup(&ep, ((i + c) % 1_000) * 8).await.unwrap(),
                     Some((i + c) % 1_000)
