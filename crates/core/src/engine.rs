@@ -148,6 +148,7 @@ macro_rules! with_retry {
 // ---------------------------------------------------------------------------
 
 /// Point lookup for any design, under the retry layer.
+// protolint: idempotent -- a lookup has no remote effect to duplicate.
 pub(crate) async fn lookup_op(
     design: &Design,
     ep: &Endpoint,
@@ -164,6 +165,7 @@ pub(crate) async fn lookup_op(
 /// coarse-grained design a [`RangeProgress`] shared across attempts
 /// dedupes per-server work, so a retried broadcast never re-ships (or
 /// re-counts in telemetry) partitions that already answered.
+// protolint: idempotent -- reads only; CG retry dedup via RangeProgress.
 pub(crate) async fn range_op(
     design: &Design,
     ep: &Endpoint,
@@ -203,6 +205,7 @@ pub(crate) async fn insert_op(
 }
 
 /// Tombstone delete for any design, under the retry layer.
+// protolint: idempotent -- tombstoning an already-deleted key is a no-op.
 pub(crate) async fn delete_op(design: &Design, ep: &Endpoint, key: Key) -> Result<bool, OpError> {
     match design {
         Design::Cg(d) => with_retry!(ep, d.delete(ep, key)),
@@ -231,6 +234,8 @@ async fn descend<S: NodeSource>(
 ) -> Result<(RemotePtr, Vec<u8>), VerbError> {
     let mut parent = RemotePtr::NULL;
     let mut cur = src.start(ep, key, access).await?;
+    // protolint: loop(levels) -- one load per tree level; sibling chases
+    // only on concurrent splits.
     loop {
         let page = src.load(ep, cur).await?;
         match kind_of(&page) {
@@ -309,6 +314,7 @@ pub(crate) async fn range<S: NodeSource>(
 /// its already-fetched page, if any): lock, re-validate coverage under
 /// the lock, move right and retry on failure — the
 /// `remote_upgradeToWriteLockOrRestart` + move-right loop of Listing 4.
+// protolint: role(acquire) -- returns with the covering leaf locked.
 async fn lock_covering_leaf<S: NodeSource>(
     src: &S,
     ep: &Endpoint,
@@ -316,7 +322,10 @@ async fn lock_covering_leaf<S: NodeSource>(
     mut cur: RemotePtr,
     mut pending: Option<Vec<u8>>,
 ) -> Result<(RemotePtr, Vec<u8>), VerbError> {
+    // protolint: loop(spin) -- move-right retries only under contention.
     loop {
+        // protolint: arm-by(first-page) -- client-descent callers hand
+        // over the descent's leaf copy; leaf-resolving callers load.
         let mut page = match pending.take() {
             Some(p) => p,
             None => src.load(ep, cur).await?,
@@ -460,9 +469,10 @@ pub(crate) async fn insert<S: TreeWriter>(
         } else {
             &mut *right_page
         };
-        LeafNodeMut::new(target)
-            .insert(key, value)
-            .expect("half-full after split");
+        if LeafNodeMut::new(target).insert(key, value).is_err() {
+            let err = Err(VerbError::Invariant("split leaf half refused the insert"));
+            return release_on_error(ep, cur, err).await;
+        }
     }
     let res = write_unlock(ep, cur, &page, Some((right_ptr, &right_page))).await;
     release_on_error(ep, cur, res).await?;
@@ -562,6 +572,7 @@ pub(crate) async fn propagate_split<U: RemoteUpper>(
     mut level: u8,
 ) -> Result<(), VerbError> {
     let ps = up.layout().page_size();
+    // protolint: loop(ascend) -- climbs as far as parents keep splitting.
     loop {
         let mut cur = match path.pop() {
             Some(p) => p,
@@ -572,12 +583,20 @@ pub(crate) async fn propagate_split<U: RemoteUpper>(
                 // The tree grew concurrently: locate the parent level
                 // under the new root and continue there.
                 path = path_to_level(up, ep, sep, level).await?;
-                path.pop().expect("path to an existing level is non-empty")
+                match path.pop() {
+                    Some(p) => p,
+                    None => {
+                        return Err(VerbError::Invariant(
+                            "fresh descent to an existing level returned no path",
+                        ))
+                    }
+                }
             }
         };
 
         // Lock the covering inner node (move right as needed).
         let mut page;
+        // protolint: loop(spin) -- move-right retries only under contention.
         loop {
             page = read_unlocked(ep, cur, ps).await?;
             let node = InnerNodeRef::new(&page);
@@ -620,9 +639,13 @@ pub(crate) async fn propagate_split<U: RemoteUpper>(
             } else {
                 &mut *pright_page
             };
-            InnerNodeMut::new(target)
+            if InnerNodeMut::new(target)
                 .install_split(sep, right.as_page_ptr())
-                .expect("half-full after split");
+                .is_err()
+            {
+                let err = Err(VerbError::Invariant("split parent half refused the entry"));
+                return release_on_error(ep, cur, err).await;
+            }
         }
         let res = write_unlock(ep, cur, &page, Some((parent_right, &pright_page))).await;
         release_on_error(ep, cur, res).await?;
@@ -671,6 +694,7 @@ async fn path_to_level<U: RemoteUpper>(
     let ps = up.layout().page_size();
     let mut path = Vec::new();
     let mut cur = up.root_ptr();
+    // protolint: loop(levels) -- one read per level down to `level`.
     loop {
         let page = read_unlocked(ep, cur, ps).await?;
         debug_assert_eq!(kind_of(&page), NodeKind::Inner, "levels > 0 are inner");
@@ -726,6 +750,8 @@ pub(crate) async fn scan_chain(
     let mut prefetched: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut cur = start;
     let mut pending = start_page;
+    // protolint: loop(chain) -- one read per chained leaf/head; trip
+    // count scales with the range width, not the tree height.
     loop {
         if cur.is_null() {
             return Ok(());
@@ -767,6 +793,9 @@ pub(crate) async fn scan_chain(
                 }
                 cur = rp(leaf.right_sibling());
             }
+            // protolint: allow(hot-panic) -- leaf chains never link to an
+            // inner node; reaching one means corrupted pages, not a state
+            // an operation can recover from.
             NodeKind::Inner => unreachable!("inner node in the leaf chain"),
         }
     }

@@ -30,6 +30,26 @@
 //! refused by `issue + verb_timeout` — which `ClusterSpec::validate`
 //! (run by `Cluster::new`) enforces as
 //! `lease_duration > MAX_LOCK_HOLD_VERBS * verb_timeout`.
+//!
+//! ## Critical-section inventory (generated)
+//!
+//! [protolint:cs-inventory:begin]
+//! Critical sections discovered by `cargo xtask protolint` (verbs issued
+//! between a lock acquire and its happy-path release; the best-effort
+//! rescue FAA on error paths reuses the unlock slot and is not counted):
+//!
+//! - `delete`: in-place WRITE + unlock FAA (2 verbs)
+//! - `delete`: unlock FAA (1 verb)
+//! - `insert`: alloc + sibling WRITE + in-place WRITE + unlock FAA (4 verbs)
+//! - `insert`: in-place WRITE + unlock FAA (2 verbs)
+//! - `insert`: unlock FAA (1 verb)
+//! - `lock_covering_leaf`: unlock FAA (1 verb)
+//! - `propagate_split`: alloc + sibling WRITE + in-place WRITE + unlock FAA (4 verbs)
+//! - `propagate_split`: in-place WRITE + unlock FAA (2 verbs)
+//! - `propagate_split`: unlock FAA (1 verb)
+//!
+//! Widest section: 4 verbs = MAX_LOCK_HOLD_VERBS (4), enforced statically by the `cs-verb-bound` rule.
+//! [protolint:cs-inventory:end]
 
 use blink::layout::lock_word;
 use blink::node::version_lock_of;
@@ -86,6 +106,7 @@ impl LeaseWatch {
 /// READ `ptr` until the copy observed is unlocked (remote spin with
 /// exponential backoff; each retry is a fresh READ). Returns the page
 /// bytes. Breaks an orphaned lock after the lease expires.
+// protolint: role(spin-read), primitive -- one READ per attempt.
 pub(crate) async fn read_unlocked(
     ep: &Endpoint,
     ptr: RemotePtr,
@@ -130,6 +151,7 @@ pub(crate) async fn read_unlocked(
 /// copy whose lock word has been updated to the locked value (mirroring
 /// the remote state we just installed). Breaks an orphaned lock after
 /// the lease expires.
+// protolint: role(acquire), primitive -- the lock CAS of Listing 4.
 pub(crate) async fn lock_node(
     ep: &Endpoint,
     ptr: RemotePtr,
@@ -184,6 +206,7 @@ pub(crate) async fn lock_node(
 
 /// Release the node lock *without* writing the page back (used when an
 /// operation locked a node and then discovered it must move right).
+// protolint: role(release), primitive -- the bare unlock FAA.
 pub(crate) async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
     ep.fetch_add(ptr, 1).await?;
     Ok(())
@@ -204,6 +227,7 @@ pub(crate) async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), Ver
 /// A `Cancelled` client skips the attempt (its verbs are refused anyway;
 /// lease-based recovery is what cleans up after the dead): the release
 /// failing is always tolerable, since lease expiry remains the backstop.
+// protolint: role(rescue), primitive -- discharges the lock on Err.
 pub(crate) async fn release_on_error<T>(
     ep: &Endpoint,
     ptr: RemotePtr,
@@ -224,6 +248,7 @@ pub(crate) async fn release_on_error<T>(
 /// `page` must carry the *locked* lock word (as left by [`lock_node`]) so
 /// that the in-place WRITE does not transiently unlock the node; the
 /// final FAA performs the unlock.
+// protolint: role(commit-release), primitive -- WRITE(s) then unlock FAA.
 pub(crate) async fn write_unlock(
     ep: &Endpoint,
     ptr: RemotePtr,

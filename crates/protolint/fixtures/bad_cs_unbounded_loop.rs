@@ -1,0 +1,29 @@
+//! Negative fixture: an unannotated loop that issues verbs while the
+//! lock is held. The critical section grows with the iteration count
+//! (cs-loop), the verb total cannot be bounded statically
+//! (unmodeled-verb-loop), and the fixpoint blows the hold budget
+//! (cs-verb-bound).
+
+// protolint: role(acquire), primitive -- fixture lock CAS.
+async fn lock_node(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    ep.cas(ptr, 0, 1).await
+}
+
+// protolint: role(release), primitive -- fixture unlock FAA.
+async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await
+}
+
+// protolint: entry, expect(cs-loop), expect(unmodeled-verb-loop), expect(cs-verb-bound)
+async fn scan_while_locked(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    lock_node(ep, ptr).await?;
+    let mut cur = ptr;
+    loop {
+        let _ = ep.read(cur).await; // one verb per iteration, lock held
+        cur = next_ptr(cur);
+        if at_end(cur) {
+            break;
+        }
+    }
+    unlock_only(ep, ptr).await
+}

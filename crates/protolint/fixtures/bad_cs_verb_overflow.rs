@@ -1,0 +1,24 @@
+//! Negative fixture: five WRITEs plus the unlock while holding the lock
+//! — over the MAX_LOCK_HOLD_VERBS = 4 budget the lease-recovery proof
+//! depends on.
+
+// protolint: role(acquire), primitive -- fixture lock CAS.
+async fn lock_node(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    ep.cas(ptr, 0, 1).await
+}
+
+// protolint: role(release), primitive -- fixture unlock FAA.
+async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await
+}
+
+// protolint: entry, expect(cs-verb-bound)
+async fn wide_section(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    lock_node(ep, ptr).await?;
+    let _ = ep.write(ptr, 1).await;
+    let _ = ep.write(ptr, 2).await;
+    let _ = ep.write(ptr, 3).await;
+    let _ = ep.write(ptr, 4).await;
+    let _ = ep.write(ptr, 5).await; // fifth verb breaks the hold bound
+    unlock_only(ep, ptr).await
+}

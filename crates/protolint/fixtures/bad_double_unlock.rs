@@ -1,0 +1,21 @@
+//! Negative fixture: the unlock FAA runs twice — the second bumps the
+//! version word of a lock nobody holds, corrupting optimistic readers'
+//! version checks.
+
+// protolint: role(acquire), primitive -- fixture lock CAS.
+async fn lock_node(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    ep.cas(ptr, 0, 1).await
+}
+
+// protolint: role(release), primitive -- fixture unlock FAA.
+async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await
+}
+
+// protolint: entry, expect(double-release)
+async fn unlock_twice(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    lock_node(ep, ptr).await?;
+    let _ = ep.write(ptr, 7).await;
+    unlock_only(ep, ptr).await?;
+    unlock_only(ep, ptr).await
+}

@@ -1,0 +1,27 @@
+//! Negative fixture: one match arm returns early without releasing the
+//! lock the surrounding protocol acquired.
+
+// protolint: role(acquire), primitive -- fixture lock CAS.
+async fn lock_node(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    ep.cas(ptr, 0, 1).await
+}
+
+// protolint: role(release), primitive -- fixture unlock FAA.
+async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await
+}
+
+// protolint: entry, expect(lock-leak)
+async fn forgetful_delete(ep: &Endpoint, ptr: RemotePtr) -> Result<bool, VerbError> {
+    lock_node(ep, ptr).await?;
+    let page = ep.read(ptr).await?;
+    let hit = decode(page);
+    match hit {
+        Some(v) => {
+            ep.write(ptr, v).await?;
+        }
+        None => return Ok(false), // forgets the unlock on the miss arm
+    }
+    unlock_only(ep, ptr).await?;
+    Ok(true)
+}

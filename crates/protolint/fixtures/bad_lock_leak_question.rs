@@ -1,0 +1,21 @@
+//! Negative fixture: a `?` on a verb issued inside the critical
+//! section returns on the error arm with the leaf lock still held —
+//! the classic leak the lock-discipline rule exists for.
+
+// protolint: role(acquire), primitive -- fixture lock CAS.
+async fn lock_node(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    ep.cas(ptr, 0, 1).await
+}
+
+// protolint: role(release), primitive -- fixture unlock FAA.
+async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await
+}
+
+// protolint: entry, expect(lock-leak)
+async fn leaky_update(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    lock_node(ep, ptr).await?;
+    let page = ep.read(ptr).await?; // Err arm returns still holding the lock
+    ep.write(ptr, page).await?;
+    unlock_only(ep, ptr).await
+}

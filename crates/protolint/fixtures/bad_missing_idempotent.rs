@@ -1,0 +1,13 @@
+//! Negative fixture: a two-argument `with_retry!` re-runs its attempt
+//! with no `retrying` hint, and the enclosing operation is not marked
+//! idempotent — a lost-response retry could duplicate its effect.
+
+async fn attempt_install(ep: &Endpoint, key: u64, value: u64) -> Result<(), VerbError> {
+    let ptr = ptr_of(key);
+    ep.write(ptr, value).await
+}
+
+// protolint: entry, expect(retry-idempotent)
+async fn install_no_hint(ep: &Endpoint, key: u64, value: u64) -> Result<(), VerbError> {
+    with_retry!(ep, attempt_install(ep, key, value))
+}

@@ -1,0 +1,9 @@
+//! Negative fixture: constructs a fresh `Endpoint` inside the
+//! operation instead of taking the deadline-carrying `ep` parameter,
+//! so the operation deadline is not threaded through to its verbs.
+
+// protolint: entry, expect(deadline-thread)
+async fn probe_fresh_endpoint(cluster: &Cluster, ptr: RemotePtr) -> Result<u64, VerbError> {
+    let ep = Endpoint::new(cluster);
+    ep.read(ptr).await
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: `.unwrap()` and unchecked slice indexing on a
+//! protocol hot path — either aborts the client mid-protocol, possibly
+//! while a remote lock is held.
+
+// protolint: entry, expect(hot-panic)
+async fn fetch_unchecked(ep: &Endpoint, ptrs: Vec<RemotePtr>, i: usize) -> Result<u64, VerbError> {
+    let ptr = ptrs[i]; // indexing can panic
+    let v = ep.read(ptr).await.unwrap(); // unwrap can panic
+    Ok(v)
+}

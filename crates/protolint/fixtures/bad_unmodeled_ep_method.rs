@@ -1,0 +1,8 @@
+//! Negative fixture: calls an `Endpoint` method the verb model does not
+//! know — its cost and lock behaviour would be silently dropped from
+//! the analysis.
+
+// protolint: entry, expect(unmodeled-ep-method)
+async fn flush_path(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.flush(ptr).await
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: a pointer-chasing loop that issues a READ per
+//! iteration with no `loop(...)` shape annotation — the analyzer cannot
+//! bound its verb count, so the cost model would silently undercount.
+
+// protolint: entry, expect(unmodeled-verb-loop)
+async fn chase_unannotated(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    let mut cur = ptr;
+    loop {
+        let page = ep.read(cur).await?;
+        if is_leaf(page) {
+            return Ok(head_value(page));
+        }
+        cur = next_ptr(page);
+    }
+}

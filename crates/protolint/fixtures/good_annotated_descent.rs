@@ -1,0 +1,17 @@
+//! False-positive guard: the twin of `bad_unmodeled_verb_loop` — the
+//! same pointer-chasing descent, but carrying the `loop(levels)` shape
+//! annotation that bounds its verb count by the tree height. Must
+//! produce no findings.
+
+// protolint: entry
+async fn chase_annotated(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    let mut cur = ptr;
+    // protolint: loop(levels) -- one READ per tree level.
+    loop {
+        let page = ep.read(cur).await?;
+        if is_leaf(page) {
+            return Ok(head_value(page));
+        }
+        cur = next_ptr(page);
+    }
+}

@@ -1,0 +1,26 @@
+//! False-positive guard: a split-shaped critical section that uses the
+//! entire MAX_LOCK_HOLD_VERBS = 4 budget (alloc + sibling WRITE +
+//! in-place WRITE + unlock FAA) without exceeding it, with an allowed
+//! indexing site carrying its rationale. Must produce no findings.
+
+// protolint: role(acquire), primitive -- fixture lock CAS.
+async fn lock_node(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    ep.cas(ptr, 0, 1).await
+}
+
+// protolint: role(release), primitive -- fixture unlock FAA.
+async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await
+}
+
+// protolint: entry
+async fn split_commit(ep: &Endpoint, ptr: RemotePtr, rights: Vec<RemotePtr>) -> Result<(), VerbError> {
+    lock_node(ep, ptr).await?;
+    let _ = ep.alloc(64).await;
+    // protolint: allow(hot-panic) -- the caller sizes `rights` to the
+    // split arity; index 0 always exists.
+    let sibling = rights[0];
+    let _ = ep.write(sibling, 1).await;
+    let _ = ep.write(ptr, 2).await;
+    unlock_only(ep, ptr).await
+}

@@ -1,0 +1,13 @@
+//! False-positive guard: the twin of `bad_missing_idempotent` — a
+//! two-argument `with_retry!` is fine when the enclosing operation is
+//! declared idempotent. Must produce no findings.
+
+async fn attempt_lookup(ep: &Endpoint, key: u64) -> Result<u64, VerbError> {
+    let ptr = ptr_of(key);
+    ep.read(ptr).await
+}
+
+// protolint: entry, idempotent -- a lookup has no remote effect to duplicate.
+async fn lookup_marked(ep: &Endpoint, key: u64) -> Result<u64, VerbError> {
+    with_retry!(ep, attempt_lookup(ep, key))
+}

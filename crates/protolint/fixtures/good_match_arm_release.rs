@@ -1,0 +1,31 @@
+//! False-positive guard: the twin of `bad_lock_leak_match_arm` — every
+//! match arm releases the lock before the function returns. Must
+//! produce no findings.
+
+// protolint: role(acquire), primitive -- fixture lock CAS.
+async fn lock_node(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    ep.cas(ptr, 0, 1).await
+}
+
+// protolint: role(release), primitive -- fixture unlock FAA.
+async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await
+}
+
+// protolint: entry
+async fn careful_delete(ep: &Endpoint, ptr: RemotePtr) -> Result<bool, VerbError> {
+    let page = ep.read(ptr).await?; // load before locking: no CS leak on Err
+    let hit = decode(page);
+    lock_node(ep, ptr).await?;
+    match hit {
+        Some(v) => {
+            let _ = ep.write(ptr, v).await;
+            unlock_only(ep, ptr).await?;
+            Ok(true)
+        }
+        None => {
+            unlock_only(ep, ptr).await?;
+            Ok(false)
+        }
+    }
+}

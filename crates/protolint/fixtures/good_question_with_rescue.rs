@@ -1,0 +1,34 @@
+//! False-positive guard: the twin of `bad_lock_leak_question` — the
+//! same verbs inside the critical section, but the fallible WRITE is
+//! routed through the rescue primitive, so every error arm discharges
+//! the lock before returning. Must produce no findings.
+
+// protolint: role(acquire), primitive -- fixture lock CAS.
+async fn lock_node(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError> {
+    ep.cas(ptr, 0, 1).await
+}
+
+// protolint: role(release), primitive -- fixture unlock FAA.
+async fn unlock_only(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await
+}
+
+// protolint: role(rescue), primitive -- discharges the lock on Err.
+async fn release_on_error(
+    ep: &Endpoint,
+    ptr: RemotePtr,
+    res: Result<(), VerbError>,
+) -> Result<(), VerbError> {
+    if res.is_err() {
+        let _ = ep.fetch_add(ptr, 1).await;
+    }
+    res
+}
+
+// protolint: entry
+async fn guarded_update(ep: &Endpoint, ptr: RemotePtr) -> Result<(), VerbError> {
+    lock_node(ep, ptr).await?;
+    let wrote = ep.write(ptr, 1).await;
+    release_on_error(ep, ptr, wrote).await?;
+    unlock_only(ep, ptr).await
+}

@@ -1,0 +1,439 @@
+//! Path-sensitive protocol analysis: lock-state tracking, verb
+//! accounting, and the static verbs-per-op cost model.
+//!
+//! The walker (`walk.rs`) inlines calls between the analyzed
+//! functions. Five one-sided primitives are *not* inlined; they carry
+//! `// protolint: role(...)` annotations and are modelled at the call
+//! site (their bodies implement the role with raw verbs and are only
+//! scanned structurally for panic-freedom):
+//!
+//! * `role(acquire)` — lock CAS; `Ok` leaves the lock held with an
+//!   empty critical section, `Err` leaves it free.
+//! * `role(spin-read)` — one READ (per attempt); lock state unchanged.
+//! * `role(release)` — the bare unlock FAA; requires the lock held.
+//! * `role(commit-release)` — WRITE-back (+ optional sibling WRITE)
+//!   then unlock FAA; `Err` leaves the lock held (undischarged).
+//! * `role(rescue)` — `release_on_error`: passes `Ok` through, and on
+//!   `Err` discharges the still-held lock with a best-effort FAA. The
+//!   rescue FAA reuses the unlock slot of the verb budget, so it does
+//!   not count against the critical-section bound.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lex::AnnItem;
+use crate::syntax::{FnItem, Program, Tree};
+
+/// Analysis context: which design's `match design` arm to select and
+/// how to resolve `NodeSource` generics.
+#[derive(Clone, Copy, Debug)]
+pub struct Ctx {
+    pub key: &'static str,
+    /// `Design::<variant>` arm selected for this context.
+    pub variant: &'static str,
+    /// Concrete type bound to `S: NodeSource` generics.
+    pub design_ty: &'static str,
+    pub client_descent: bool,
+    /// Inner levels crossed by an annotated `loop(levels)`; `None`
+    /// keeps the count symbolic (the `L` of the cost table).
+    pub levels: Option<i64>,
+}
+
+pub const CTXS: [Ctx; 3] = [
+    Ctx {
+        key: "cg",
+        variant: "Cg",
+        design_ty: "CoarseGrained",
+        client_descent: false,
+        levels: Some(1),
+    },
+    Ctx {
+        key: "fg",
+        variant: "Fg",
+        design_ty: "FineGrained",
+        client_descent: true,
+        levels: None,
+    },
+    Ctx {
+        key: "hybrid",
+        variant: "Hybrid",
+        design_ty: "Hybrid",
+        client_descent: false,
+        levels: Some(1),
+    },
+];
+
+/// Fixture context: client-descent shape with a concrete level count.
+pub const FIXTURE_CTX: Ctx = Ctx {
+    key: "fixture",
+    variant: "Fg",
+    design_ty: "FineGrained",
+    client_descent: true,
+    levels: Some(2),
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Explore all branches, track lock states, emit findings.
+    Lint,
+    /// Prune error paths, count verbs, keep symbolic level terms.
+    Cost,
+}
+
+/// `k + l·L` verbs, where `L` is the (symbolic) number of tree levels.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Debug)]
+pub struct Poly {
+    pub l: i64,
+    pub k: i64,
+}
+
+impl Poly {
+    pub const fn new(l: i64, k: i64) -> Self {
+        Poly { l, k }
+    }
+
+    pub fn eval(&self, levels: i64) -> i64 {
+        self.l * levels + self.k
+    }
+
+    pub fn render(&self) -> String {
+        match (self.l, self.k) {
+            (0, k) => format!("{k}"),
+            (1, 0) => "L".to_string(),
+            (l, 0) => format!("{l}L"),
+            (1, k) if k > 0 => format!("L+{k}"),
+            (l, k) if k > 0 => format!("{l}L+{k}"),
+            (1, k) => format!("L{k}"),
+            (l, k) => format!("{l}L{k}"),
+        }
+    }
+}
+
+/// Static cost of one path (or one op): RPC round trips plus one-sided
+/// verbs, with an `unbounded` flag for data-dependent loops.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Debug)]
+pub struct Cost {
+    pub rpc: Poly,
+    pub os: Poly,
+    pub unbounded: bool,
+    /// Allocation verbs on this path (splits allocate; the steady-state
+    /// cost rows are the allocation-free paths).
+    pub allocs: i64,
+}
+
+impl Cost {
+    /// Total-order key used for min/max path selection: unbounded last,
+    /// then by level terms, then by constant terms.
+    pub fn key(&self) -> (u8, i64, i64, i64) {
+        (
+            self.unbounded as u8,
+            self.rpc.l + self.os.l,
+            self.rpc.k + self.os.k,
+            self.rpc.k,
+        )
+    }
+
+    pub fn render(&self) -> String {
+        if self.unbounded {
+            return "unbounded".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.rpc != Poly::default() {
+            parts.push(format!("{} RPC", self.rpc.render()));
+        }
+        if self.os != Poly::default() {
+            parts.push(format!("{} os", self.os.render()));
+        }
+        if parts.is_empty() {
+            parts.push("0".to_string());
+        }
+        parts.join(" + ")
+    }
+}
+
+/// Lock state of one path.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum Lock {
+    #[default]
+    Free,
+    Held {
+        /// Source line of the acquiring call.
+        line: u32,
+        /// Verbs issued since the acquire (the critical section).
+        verbs: Vec<String>,
+    },
+}
+
+/// One abstract state on one path.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Default, Debug)]
+pub struct St {
+    pub lock: Lock,
+    /// Verb cost so far (Cost mode only; stays zero in Lint mode so
+    /// state dedup converges).
+    pub cost: Cost,
+    /// Forked `Result` bindings: depth-scoped var name -> is-Ok side.
+    pub vars: BTreeMap<String, bool>,
+    /// Ok/Err tag of the most recent modelled call on this path.
+    pub res: Option<bool>,
+}
+
+/// How a path left a function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EK {
+    Ok,
+    Err,
+    Plain,
+}
+
+/// Control-flow summary of one evaluated region.
+#[derive(Default, Debug)]
+pub struct Flow {
+    pub next: Vec<St>,
+    pub rets: Vec<(St, EK)>,
+    pub brks: Vec<St>,
+    pub conts: Vec<St>,
+}
+
+impl Flow {
+    pub fn absorb_inner(&mut self, o: Flow) -> Vec<St> {
+        self.rets.extend(o.rets);
+        self.brks.extend(o.brks);
+        self.conts.extend(o.conts);
+        o.next
+    }
+}
+
+/// One rule violation.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+/// One critical section observed on a happy-path release.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Section {
+    pub func: String,
+    pub verbs: Vec<String>,
+}
+
+/// One call frame of the inlining walker.
+pub(crate) struct Frame {
+    pub fi: usize,
+    /// Local variable -> concrete type (for method resolution).
+    pub types: BTreeMap<String, String>,
+    /// Enclosing `impl` target, for `Self::` and `self`.
+    pub self_ty: Option<String>,
+}
+
+pub struct Analysis<'p> {
+    pub prog: &'p Program,
+    pub mode: Mode,
+    pub ctx: Ctx,
+    pub max_verbs: usize,
+    pub findings: Vec<Finding>,
+    pub sections: BTreeSet<Section>,
+    pub visited: BTreeSet<usize>,
+    /// Monotone count of verbs issued on any path (loop-progress probe).
+    pub verb_events: u64,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) stack: Vec<usize>,
+    pub(crate) fuel: i64,
+}
+
+pub const STATE_CAP: usize = 64;
+
+impl<'p> Analysis<'p> {
+    pub fn new(prog: &'p Program, mode: Mode, ctx: Ctx, max_verbs: usize) -> Self {
+        Analysis {
+            prog,
+            mode,
+            ctx,
+            max_verbs,
+            findings: Vec::new(),
+            sections: BTreeSet::new(),
+            visited: BTreeSet::new(),
+            verb_events: 0,
+            frames: Vec::new(),
+            stack: Vec::new(),
+            fuel: 4_000_000,
+        }
+    }
+
+    pub(crate) fn frame(&self) -> &Frame {
+        self.frames
+            .last()
+            .expect("walker always runs inside a frame")
+    }
+
+    pub(crate) fn fn_item(&self) -> &FnItem {
+        &self.prog.fns[self.frame().fi]
+    }
+
+    pub(crate) fn depth_key(&self, name: &str) -> String {
+        format!("{}:{name}", self.frames.len())
+    }
+
+    pub(crate) fn emit(&mut self, rule: &'static str, line: u32, msg: String) {
+        let file = self.fn_item().file.clone();
+        if self.prog.allowed(&file, line, rule) {
+            return;
+        }
+        self.findings.push(Finding {
+            rule,
+            file,
+            line,
+            msg,
+        });
+    }
+
+    /// Issue one verb of class `label` on every state: cost accounting,
+    /// critical-section growth, and the verb bound.
+    pub(crate) fn issue_verb(&mut self, states: &mut [St], label: &str, line: u32) {
+        self.verb_events += 1;
+        let mut over: Option<usize> = None;
+        for st in states.iter_mut() {
+            if self.mode == Mode::Cost {
+                if label == "RPC" {
+                    st.cost.rpc.k += 1;
+                } else {
+                    st.cost.os.k += 1;
+                }
+                if label == "alloc" {
+                    st.cost.allocs += 1;
+                }
+            }
+            if let Lock::Held { verbs, .. } = &mut st.lock {
+                verbs.push(label.to_string());
+                if verbs.len() > self.max_verbs {
+                    over = Some(verbs.len());
+                }
+            }
+        }
+        if let Some(n) = over {
+            self.emit(
+                "cs-verb-bound",
+                line,
+                format!(
+                    "critical section issues {n} verbs while holding the lock \
+                     (MAX_LOCK_HOLD_VERBS = {})",
+                    self.max_verbs
+                ),
+            );
+        }
+    }
+
+    /// Close a critical section on a happy-path release.
+    pub(crate) fn close_section(&mut self, st: &St) {
+        if let Lock::Held { verbs, .. } = &st.lock {
+            self.sections.insert(Section {
+                func: self.fn_item().name.clone(),
+                verbs: verbs.clone(),
+            });
+        }
+    }
+
+    /// In Cost mode, drop states tagged as error paths.
+    pub(crate) fn prune(&self, mut states: Vec<St>) -> Vec<St> {
+        if self.mode == Mode::Cost {
+            states.retain(|s| s.res != Some(false));
+        }
+        states
+    }
+
+    /// Dedup and cap a state set.
+    pub(crate) fn squash(&self, states: Vec<St>) -> Vec<St> {
+        let mut set: BTreeSet<St> = states.into_iter().collect();
+        while set.len() > STATE_CAP {
+            let last = set.iter().next_back().cloned();
+            if let Some(l) = last {
+                set.remove(&l);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    pub(crate) fn role_of(&self, fi: usize) -> Option<(String, bool)> {
+        let mut role = None;
+        let mut primitive = false;
+        for a in &self.prog.fns[fi].anns {
+            match a {
+                AnnItem::Role(r) => role = Some(r.clone()),
+                AnnItem::Primitive => primitive = true,
+                _ => {}
+            }
+        }
+        role.map(|r| (r, primitive))
+    }
+
+    /// Loop-kind annotation attached within three lines above `line`.
+    pub(crate) fn loop_kind_at(&self, line: u32) -> Option<String> {
+        let file = &self.fn_item().file;
+        for a in self.prog.anns_in(file, line.saturating_sub(3), line) {
+            if let AnnItem::LoopKind(k) = a {
+                return Some(k.clone());
+            }
+        }
+        None
+    }
+
+    pub(crate) fn ann_at(&self, line: u32, want: &AnnItem) -> bool {
+        let file = &self.fn_item().file;
+        self.prog
+            .anns_in(file, line.saturating_sub(3), line)
+            .contains(&want)
+    }
+
+    /// Syntactic type of a call argument: `&`/`mut`-stripped identifier
+    /// chains, with `.source()`/`.clone()` as type-preserving suffixes.
+    pub(crate) fn arg_type(&self, span: &[Tree]) -> Option<String> {
+        let mut i = 0;
+        while i < span.len() {
+            match &span[i] {
+                Tree::T(t) if t.text == "&" || t.text == "*" => i += 1,
+                Tree::T(t) if t.text == "mut" => i += 1,
+                _ => break,
+            }
+        }
+        let id = span.get(i)?.ident()?;
+        let ty = if id == "self" {
+            self.frame().self_ty.clone()?
+        } else {
+            self.frame().types.get(id)?.clone()
+        };
+        i += 1;
+        // Only type-preserving suffixes may follow; any other projection
+        // (field access, indexing) yields an unknown type.
+        while i < span.len() {
+            if i + 2 < span.len()
+                && span[i].is_punct(".")
+                && matches!(span[i + 1].ident(), Some("source" | "clone"))
+                && span[i + 2].group().map(|g| g.open) == Some('(')
+            {
+                i += 3;
+            } else {
+                return None;
+            }
+        }
+        Some(ty)
+    }
+}
+
+/// Endpoint methods that issue wire verbs, mapped to their verb class.
+pub(crate) fn ep_verb(name: &str) -> Option<&'static str> {
+    match name {
+        "read" | "read_many" => Some("READ"),
+        "write" => Some("WRITE"),
+        "cas" => Some("CAS"),
+        "fetch_add" => Some("FAA"),
+        "alloc" => Some("alloc"),
+        "rpc" => Some("RPC"),
+        _ => None,
+    }
+}
+
+/// Endpoint methods that are pure bookkeeping (no wire verb).
+pub(crate) fn ep_pure(name: &str) -> bool {
+    matches!(name, "cluster" | "client_id" | "is_local" | "local_work")
+}

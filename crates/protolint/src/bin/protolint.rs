@@ -1,0 +1,120 @@
+//! protolint CLI.
+//!
+//! * `protolint check [--emit-docs]` — lint the workspace hot paths,
+//!   verify the generated cs-inventory doc blocks (or rewrite them with
+//!   `--emit-docs`), assert the widest critical section equals
+//!   `MAX_LOCK_HOLD_VERBS`, and run the fixture corpus.
+//! * `protolint table` — print the static verbs-per-op cost table.
+//! * `protolint fixtures` — run only the fixture corpus.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the repo root")
+        .to_path_buf()
+}
+
+fn check(root: &Path, emit: bool) -> Result<(), String> {
+    let prog = protolint::load_workspace(root).map_err(|e| format!("load: {e}"))?;
+    let max = protolint::spec_max_verbs(root).map_err(|e| format!("spec: {e}"))?;
+    let out = protolint::run_lint(&prog, max, false);
+    if !out.findings.is_empty() {
+        for f in &out.findings {
+            eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.msg);
+        }
+        return Err(format!(
+            "{} finding(s) on the protocol hot paths",
+            out.findings.len()
+        ));
+    }
+    let widest = out.max_section_verbs();
+    if widest != max {
+        return Err(format!(
+            "widest discovered critical section is {widest} verbs but \
+             MAX_LOCK_HOLD_VERBS = {max}; the spec bound and the code have \
+             drifted apart"
+        ));
+    }
+    if emit {
+        let updated = protolint::emit_docs(root, &out.sections, max)
+            .map_err(|e| format!("emit-docs: {e}"))?;
+        for f in &updated {
+            println!("updated {f}");
+        }
+    } else {
+        let errs = protolint::check_docs(root, &out.sections, max);
+        if !errs.is_empty() {
+            for e in &errs {
+                eprintln!("{e}");
+            }
+            return Err("generated doc blocks out of date".to_string());
+        }
+    }
+    println!(
+        "protolint: clean — {} critical sections (widest {widest} = \
+         MAX_LOCK_HOLD_VERBS), docs in sync",
+        out.sections.len()
+    );
+    Ok(())
+}
+
+fn table(root: &Path) -> Result<(), String> {
+    let prog = protolint::load_workspace(root).map_err(|e| format!("load: {e}"))?;
+    let max = protolint::spec_max_verbs(root).map_err(|e| format!("spec: {e}"))?;
+    let rows = protolint::cost_table(&prog, max);
+    print!("{}", protolint::render_cost_table(&rows));
+    Ok(())
+}
+
+fn fixtures(root: &Path) -> Result<(), String> {
+    let dir = root.join("crates/protolint/fixtures");
+    let paths = protolint::fixture_paths(&dir).map_err(|e| format!("fixtures: {e}"))?;
+    if paths.is_empty() {
+        return Err(format!("no fixtures found under {}", dir.display()));
+    }
+    let mut failed = 0usize;
+    for p in &paths {
+        let r = protolint::run_fixture(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        if r.pass() {
+            println!("fixture {:<36} ok ({:?})", r.name, r.expected);
+        } else {
+            failed += 1;
+            eprintln!(
+                "fixture {:<36} MISMATCH\n  expected: {:?}\n  found:    {:?}",
+                r.name, r.expected, r.found
+            );
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} fixture(s) mismatched"));
+    }
+    println!("protolint: {} fixtures ok", paths.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("check");
+    let emit = args.iter().any(|a| a == "--emit-docs");
+    let root = repo_root();
+    let res = match cmd {
+        "check" => check(&root, emit).and_then(|()| fixtures(&root)),
+        "table" => table(&root),
+        "fixtures" => fixtures(&root),
+        _ => {
+            eprintln!("usage: protolint [check [--emit-docs] | table | fixtures]");
+            return ExitCode::from(2);
+        }
+    };
+    match res {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("protolint: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Cross-check the protolint static verbs-per-op cost table against
+//! verb counts measured from the simulator's server telemetry.
+//!
+//! For each design a fresh single-client cluster runs four phases —
+//! lookup (present keys), insert (fresh keys, no splits), delete (miss),
+//! delete (hit) — of `K` widely-spaced ops each, and the per-phase delta
+//! of summed `ServerStats { rpcs, onesided_ops }` must equal `K` times
+//! the statically predicted cost. The symbolic level count `L` of the
+//! fine-grained design is derived from its measured lookup phase, not
+//! assumed, so the check also pins the static `L`-polynomials to the
+//! actual tree height.
+
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use blink::PageLayout;
+use nam::{NamCluster, PartitionMap};
+use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
+use rdma_sim::{ClusterSpec, Endpoint};
+use simnet::Sim;
+
+const PAGE_SIZE: usize = 256;
+/// Preloaded keys `0, 8, .., (KEYS-1)*8` (value = key/8).
+const KEYS: u64 = 2_000;
+/// Ops per phase.
+const K: u64 = 32;
+/// Key-unit stride between ops: far enough apart that every op hits its
+/// own leaf, so inserts never split a page another phase op touched.
+const STRIDE: u64 = KEYS / K;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Lookup,
+    Insert,
+    DeleteMiss,
+    DeleteHit,
+}
+
+const PHASES: [Phase; 4] = [
+    Phase::Lookup,
+    Phase::Insert,
+    Phase::DeleteMiss,
+    Phase::DeleteHit,
+];
+
+impl Phase {
+    fn label(self) -> &'static str {
+        match self {
+            Phase::Lookup => "lookup",
+            Phase::Insert => "insert (no split)",
+            Phase::DeleteMiss => "delete (miss)",
+            Phase::DeleteHit => "delete (hit)",
+        }
+    }
+}
+
+fn build(kind: &str, nam: &NamCluster) -> Design {
+    let items = (0..KEYS).map(|i| (i * 8, i));
+    let partition = PartitionMap::range_uniform(nam.num_servers(), KEYS * 8);
+    let cfg = FgConfig {
+        layout: PageLayout::new(PAGE_SIZE),
+        fill: 0.7,
+        head_stride: 4,
+        cache_capacity: None,
+    };
+    match kind {
+        "cg" => Design::Cg(CoarseGrained::build(
+            nam,
+            PageLayout::new(PAGE_SIZE),
+            partition,
+            items,
+            0.7,
+        )),
+        "fg" => Design::Fg(FineGrained::build(&nam.rdma, cfg, items)),
+        _ => Design::Hybrid(Hybrid::build(nam, cfg, partition, items)),
+    }
+}
+
+/// Partition-boundary-safe op index. A key that lives in the leaf
+/// *spanning* a partition boundary resolves through the next partition
+/// (the leaf is registered under its high key), so the hybrid's
+/// leaf-pointer probe pays one extra RPC there. The static model prices
+/// the first probe only — `loop(probe)` fall-throughs are boundary/
+/// contention artifacts — so the sweep samples keys at least one leaf
+/// width away from every boundary. MARGIN (50 indexes) is several leaf
+/// widths at this page size and below the op stride, so shifted indexes
+/// stay distinct.
+fn safe_index(pm: &PartitionMap, i: u64) -> u64 {
+    const MARGIN: u64 = 50;
+    if pm.server_of(i * 8) != pm.server_of((i + MARGIN) * 8) {
+        i + MARGIN
+    } else {
+        i
+    }
+}
+
+/// Summed (rpcs, onesided_ops) across all servers.
+fn totals(nam: &NamCluster) -> (u64, u64) {
+    let mut rpcs = 0;
+    let mut os = 0;
+    for s in 0..nam.num_servers() {
+        let st = nam.rdma.server_stats(s);
+        rpcs += st.rpcs;
+        os += st.onesided_ops;
+    }
+    (rpcs, os)
+}
+
+/// Run one phase of `K` ops and return the (rpc, onesided) verb delta.
+fn run_phase(
+    sim: &Sim,
+    nam: &NamCluster,
+    idx: &Design,
+    phase: Phase,
+    errs: &Rc<RefCell<Vec<String>>>,
+) -> (u64, u64) {
+    let before = totals(nam);
+    let ep = Endpoint::new(&nam.rdma);
+    let idx = idx.clone();
+    let errs = errs.clone();
+    let pm = PartitionMap::range_uniform(nam.num_servers(), KEYS * 8);
+    sim.spawn(async move {
+        for j in 0..K {
+            let base = safe_index(&pm, j * STRIDE);
+            let outcome: Result<(), String> = match phase {
+                Phase::Lookup => {
+                    let key = (base + 3) * 8;
+                    match idx.lookup(&ep, key).await {
+                        Ok(Some(v)) if v == base + 3 => Ok(()),
+                        other => Err(format!("lookup({key}) -> {other:?}")),
+                    }
+                }
+                Phase::Insert => {
+                    let key = (base + 1) * 8 + 4;
+                    match idx.insert(&ep, key, key ^ 1).await {
+                        Ok(()) => Ok(()),
+                        Err(e) => Err(format!("insert({key}) -> {e:?}")),
+                    }
+                }
+                Phase::DeleteMiss => {
+                    let key = (base + 5) * 8 + 2;
+                    match idx.delete(&ep, key).await {
+                        Ok(false) => Ok(()),
+                        other => Err(format!("delete-miss({key}) -> {other:?}")),
+                    }
+                }
+                Phase::DeleteHit => {
+                    let key = (base + 7) * 8;
+                    match idx.delete(&ep, key).await {
+                        Ok(true) => Ok(()),
+                        other => Err(format!("delete-hit({key}) -> {other:?}")),
+                    }
+                }
+            };
+            if let Err(e) = outcome {
+                errs.borrow_mut().push(e);
+            }
+        }
+    });
+    sim.run();
+    let after = totals(nam);
+    (after.0 - before.0, after.1 - before.1)
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the repo root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let prog = match protolint::load_workspace(&root) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("verb_model_check: load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max = match protolint::spec_max_verbs(&root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("verb_model_check: spec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows = protolint::cost_table(&prog, max);
+
+    let errs: Rc<RefCell<Vec<String>>> = Rc::default();
+    let mut measured: Vec<(&'static str, [(u64, u64); 4])> = Vec::new();
+    for kind in ["cg", "fg", "hybrid"] {
+        let sim = Sim::new();
+        let nam = NamCluster::new(&sim, ClusterSpec::default());
+        let idx = build(kind, &nam);
+        let mut per = [(0u64, 0u64); 4];
+        for (i, ph) in PHASES.iter().enumerate() {
+            per[i] = run_phase(&sim, &nam, &idx, *ph, &errs);
+        }
+        measured.push((kind, per));
+    }
+    if !errs.borrow().is_empty() {
+        for e in errs.borrow().iter() {
+            eprintln!("verb_model_check: op failed: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // Derive L from the fine-grained lookup phase: with caching off, a
+    // lookup is exactly one READ per level and nothing else.
+    let Some((_, fg)) = measured.iter().find(|(k, _)| *k == "fg") else {
+        eprintln!("verb_model_check: no fg measurement");
+        return ExitCode::FAILURE;
+    };
+    let (fg_rpc, fg_os) = fg[0];
+    if fg_rpc != 0 || fg_os == 0 || fg_os % K != 0 {
+        eprintln!(
+            "verb_model_check: fg lookup phase is not L reads/op \
+             (rpc delta {fg_rpc}, onesided delta {fg_os} over {K} ops)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let levels = (fg_os / K) as i64;
+    if !(2..=8).contains(&levels) {
+        eprintln!("verb_model_check: implausible derived tree height L = {levels}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("verb model cross-check: K = {K} ops/phase, derived L = {levels}");
+    let mut bad = 0usize;
+    for (kind, per) in &measured {
+        let Some(row) = rows.iter().find(|r| r.design == *kind) else {
+            eprintln!("verb_model_check: no static row for {kind}");
+            return ExitCode::FAILURE;
+        };
+        for (i, ph) in PHASES.iter().enumerate() {
+            let (_, cost) = row.cells[i];
+            let (got_rpc, got_os) = per[i];
+            let want_rpc = cost.rpc.eval(levels) as u64 * K;
+            let want_os = cost.os.eval(levels) as u64 * K;
+            let ok = !cost.unbounded && got_rpc == want_rpc && got_os == want_os;
+            println!(
+                "  {kind:<7} {:<18} static {:<14} -> want {want_rpc:>4} rpc {want_os:>4} os, \
+                 measured {got_rpc:>4} rpc {got_os:>4} os  {}",
+                ph.label(),
+                cost.render(),
+                if ok { "ok" } else { "MISMATCH" },
+            );
+            if !ok {
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("verb_model_check: FAILED: {bad} cell(s) diverge from telemetry");
+        return ExitCode::FAILURE;
+    }
+    println!("verb_model_check: static table matches telemetry for all designs");
+    ExitCode::SUCCESS
+}

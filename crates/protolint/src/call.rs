@@ -1,0 +1,370 @@
+//! Call evaluation: inlining analyzed functions, call-site models for
+//! the annotated one-sided primitives, and the `Endpoint` verb table.
+
+use std::collections::BTreeMap;
+
+use crate::analyze::{ep_pure, ep_verb, Analysis, Finding, Flow, Lock, Mode, St, EK};
+use crate::syntax::{Group, Tree};
+use crate::walk::{first_ident, split_commas};
+
+impl Analysis<'_> {
+    /// Evaluate a call to an analyzed function: role model or inline.
+    pub(crate) fn eval_user_call(
+        &mut self,
+        fi: usize,
+        g: &Group,
+        line: u32,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> Vec<St> {
+        self.visited.insert(fi);
+        let arg_spans = split_commas(&g.items);
+        if let Some((role, primitive)) = self.role_of(fi) {
+            // A non-primitive acquire (`lock_covering_leaf`) is modelled
+            // in Lint mode (its body is checked as a pseudo-root) but
+            // inlined in Cost mode so its verbs are counted.
+            let inline_acquire = role == "acquire" && !primitive && self.mode == Mode::Cost;
+            if !inline_acquire {
+                return self.model_role(&role, &arg_spans, line, flow, states);
+            }
+        }
+        if self.stack.contains(&fi) {
+            // Recursive edge: evaluate arguments, treat the call as pure.
+            let mut states = states;
+            for part in &arg_spans {
+                states = self.eval_expr(part, flow, states);
+            }
+            for st in &mut states {
+                st.res = None;
+            }
+            return states;
+        }
+        self.inline_call(fi, &arg_spans, flow, states)
+    }
+
+    fn inline_call(
+        &mut self,
+        fi: usize,
+        arg_spans: &[&[Tree]],
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> Vec<St> {
+        let prog = self.prog;
+        let f = &prog.fns[fi];
+        let pos_params: Vec<&String> = f.params.iter().filter(|p| *p != "self").collect();
+        let mut types: BTreeMap<String, String> = BTreeMap::new();
+        let mut states = states;
+        for (idx, span) in arg_spans.iter().enumerate() {
+            let ty = self.arg_type(span);
+            states = self.eval_expr(span, flow, states);
+            if let (Some(ty), Some(p)) = (ty, pos_params.get(idx)) {
+                types.insert((*p).clone(), ty);
+            }
+        }
+        for st in &mut states {
+            st.res = None;
+        }
+        let rets = self.inline_states(fi, types, f.impl_ty.clone(), states);
+        let mut out = Vec::new();
+        for (mut st, ek) in rets {
+            st.res = match ek {
+                EK::Ok => Some(true),
+                EK::Err => Some(false),
+                EK::Plain => None,
+            };
+            out.push(st);
+        }
+        self.prune(out)
+    }
+
+    /// Push a frame, evaluate a function body, and collect its exits.
+    pub(crate) fn inline_states(
+        &mut self,
+        fi: usize,
+        types: BTreeMap<String, String>,
+        self_ty: Option<String>,
+        states: Vec<St>,
+    ) -> Vec<(St, EK)> {
+        let prog = self.prog;
+        self.stack.push(fi);
+        self.frames
+            .push(crate::analyze::Frame { fi, types, self_ty });
+        let mut entry = states;
+        for st in &mut entry {
+            st.res = None;
+        }
+        let f = self.eval_block(&prog.fns[fi].body, entry);
+        let mut rets = f.rets;
+        for st in f.next {
+            let ek = match st.res {
+                Some(true) => EK::Ok,
+                Some(false) => EK::Err,
+                None => EK::Plain,
+            };
+            rets.push((st, ek));
+        }
+        self.frames.pop();
+        self.stack.pop();
+        // Forked bindings scoped to the popped frame die with it.
+        let depth_limit = self.frames.len();
+        for (st, _) in &mut rets {
+            st.vars.retain(|k, _| {
+                k.split(':')
+                    .next()
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .map(|n| n <= depth_limit)
+                    .unwrap_or(false)
+            });
+        }
+        rets
+    }
+
+    /// Walk a root function from a clean state with seeded param types.
+    pub fn run_fn(&mut self, fi: usize, seed: &[(&str, &str)]) -> Vec<(St, EK)> {
+        let types = seed
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        self.visited.insert(fi);
+        let self_ty = self.prog.fns[fi].impl_ty.clone();
+        self.inline_states(fi, types, self_ty, vec![St::default()])
+    }
+
+    /// Root-exit discipline: no path may return with the lock held. For
+    /// acquire-role pseudo-roots, `Ok` exits are *expected* to hold it.
+    pub fn check_root_exits(&mut self, fi: usize, rets: &[(St, EK)], acquire_root: bool) {
+        let file = self.prog.fns[fi].file.clone();
+        let name = self.prog.fns[fi].name.clone();
+        for (st, ek) in rets {
+            if let Lock::Held { line, .. } = &st.lock {
+                if acquire_root && *ek == EK::Ok {
+                    continue;
+                }
+                if self.prog.allowed(&file, *line, "lock-leak") {
+                    continue;
+                }
+                self.findings.push(Finding {
+                    rule: "lock-leak",
+                    file: file.clone(),
+                    line: *line,
+                    msg: format!(
+                        "`{name}` can return with the lock acquired at line {line} \
+                         still held"
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Fork every state into an Ok and (Lint only) an Err continuation.
+    fn tag_result(&mut self, states: Vec<St>) -> Vec<St> {
+        let lint = self.mode == Mode::Lint;
+        let mut out = Vec::new();
+        for st in states {
+            let mut ok = st.clone();
+            ok.res = Some(true);
+            out.push(ok);
+            if lint {
+                let mut e = st;
+                e.res = Some(false);
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// Best-effort unlock on the error path. Reuses the unlock slot of
+    /// the verb budget, so it does not count against the CS bound.
+    fn rescue_discharge(&mut self, st: &mut St) {
+        if matches!(st.lock, Lock::Held { .. }) {
+            self.verb_events += 1;
+            st.lock = Lock::Free;
+        }
+    }
+
+    fn model_role(
+        &mut self,
+        role: &str,
+        arg_spans: &[&[Tree]],
+        line: u32,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> Vec<St> {
+        match role {
+            "spin-read" => {
+                let mut states = states;
+                self.issue_verb(&mut states, "READ", line);
+                self.tag_result(states)
+            }
+            "acquire" => {
+                let mut states = states;
+                self.issue_verb(&mut states, "CAS", line);
+                let lint = self.mode == Mode::Lint;
+                let mut out = Vec::new();
+                for st in states {
+                    let mut ok = st.clone();
+                    ok.lock = Lock::Held {
+                        line,
+                        verbs: Vec::new(),
+                    };
+                    ok.res = Some(true);
+                    out.push(ok);
+                    if lint {
+                        let mut e = st;
+                        e.lock = Lock::Free;
+                        e.res = Some(false);
+                        out.push(e);
+                    }
+                }
+                out
+            }
+            "release" => {
+                if states.iter().any(|s| matches!(s.lock, Lock::Free)) {
+                    self.emit(
+                        "double-release",
+                        line,
+                        "unlock of a lock that is not held on some path".to_string(),
+                    );
+                }
+                let mut states = states;
+                self.issue_verb(&mut states, "unlock FAA", line);
+                for st in &states {
+                    self.close_section(st);
+                }
+                for st in &mut states {
+                    st.lock = Lock::Free;
+                }
+                self.tag_result(states)
+            }
+            "commit-release" => {
+                if states.iter().any(|s| matches!(s.lock, Lock::Free)) {
+                    self.emit(
+                        "double-release",
+                        line,
+                        "write-unlock of a lock that is not held on some path".to_string(),
+                    );
+                }
+                let in_place_only = arg_spans.get(3).and_then(|s| first_ident(s)) == Some("None");
+                let labels: &[&str] = if in_place_only {
+                    &["in-place WRITE", "unlock FAA"]
+                } else {
+                    &["sibling WRITE", "in-place WRITE", "unlock FAA"]
+                };
+                let mut states = states;
+                for l in labels {
+                    self.issue_verb(&mut states, l, line);
+                }
+                let lint = self.mode == Mode::Lint;
+                let mut out = Vec::new();
+                for st in states {
+                    let mut ok = st.clone();
+                    self.close_section(&ok);
+                    ok.lock = Lock::Free;
+                    ok.res = Some(true);
+                    out.push(ok);
+                    if lint {
+                        // Err: the WRITE/FAA did not land — still held.
+                        let mut e = st;
+                        e.res = Some(false);
+                        out.push(e);
+                    }
+                }
+                out
+            }
+            "rescue" => {
+                let span: &[Tree] = arg_spans.get(2).copied().unwrap_or(&[]);
+                let mut out = Vec::new();
+                if span.len() == 1 {
+                    if let Some(v) = span[0].ident() {
+                        let key = self.depth_key(v);
+                        if states.iter().any(|s| s.vars.contains_key(&key)) {
+                            for mut st in states {
+                                match st.vars.remove(&key) {
+                                    Some(true) => {
+                                        st.res = Some(true);
+                                        out.push(st);
+                                    }
+                                    Some(false) => {
+                                        self.rescue_discharge(&mut st);
+                                        st.res = Some(false);
+                                        out.push(st);
+                                    }
+                                    None => {
+                                        st.res = None;
+                                        out.push(st);
+                                    }
+                                }
+                            }
+                            return self.prune(out);
+                        }
+                    }
+                }
+                match first_ident(span) {
+                    Some("Err") => {
+                        for mut st in states {
+                            self.rescue_discharge(&mut st);
+                            st.res = Some(false);
+                            out.push(st);
+                        }
+                    }
+                    Some("Ok") => {
+                        for mut st in states {
+                            st.res = Some(true);
+                            out.push(st);
+                        }
+                    }
+                    _ => {
+                        let evaled = self.eval_expr(span, flow, states);
+                        for mut st in evaled {
+                            if st.res == Some(false) {
+                                self.rescue_discharge(&mut st);
+                            }
+                            out.push(st);
+                        }
+                    }
+                }
+                self.prune(out)
+            }
+            _ => {
+                // Unknown role: treat as pure.
+                states
+            }
+        }
+    }
+
+    /// Builtin model for `Endpoint` methods.
+    pub(crate) fn eval_ep_method(
+        &mut self,
+        name: &str,
+        g: &Group,
+        line: u32,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> Vec<St> {
+        let mut states = states;
+        for part in split_commas(&g.items) {
+            states = self.eval_expr(part, flow, states);
+        }
+        for st in &mut states {
+            st.res = None;
+        }
+        if ep_pure(name) {
+            return states;
+        }
+        match ep_verb(name) {
+            Some(label) => {
+                self.issue_verb(&mut states, label, line);
+                let out = self.tag_result(states);
+                self.prune(out)
+            }
+            None => {
+                self.emit(
+                    "unmodeled-ep-method",
+                    line,
+                    format!("call to unmodeled Endpoint method `{name}` on a protocol hot path"),
+                );
+                states
+            }
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Control-flow constructs: `if`, `match`, and the three loop forms.
+//!
+//! Lint mode explores both sides of every branch and runs loops to a
+//! bounded fixpoint; Cost mode selects the design-determined branch
+//! (`CLIENT_DESCENT`, `match design`, `arm-by` annotations) and applies
+//! the annotated loop-shape formula (`levels`, `spin`, `chain`, …).
+
+use std::collections::BTreeSet;
+
+use crate::analyze::{Analysis, Cost, Flow, Lock, Mode, St};
+use crate::lex::{AnnItem, Kind};
+use crate::syntax::Tree;
+use crate::walk::{contains_ident, first_ident, top_assign, top_brace};
+
+/// The sole identifier of a span, looking through `&`, `*` and `mut`.
+fn single_ident(span: &[Tree]) -> Option<&str> {
+    let mut id = None;
+    for t in span {
+        match t {
+            Tree::T(tok) if tok.kind == Kind::Ident && tok.text == "mut" => {}
+            Tree::T(tok) if tok.kind == Kind::Ident => {
+                if id.is_some() {
+                    return None;
+                }
+                id = Some(tok.text.as_str());
+            }
+            Tree::T(tok) if tok.kind == Kind::Punct && matches!(tok.text.as_str(), "&" | "*") => {}
+            _ => return None,
+        }
+    }
+    id
+}
+
+enum ArmBody<'a> {
+    Block(&'a [Tree]),
+    Expr(&'a [Tree]),
+}
+
+impl Analysis<'_> {
+    pub(crate) fn eval_if(
+        &mut self,
+        trees: &[Tree],
+        i: usize,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> (Vec<St>, usize) {
+        let Some(body_at) = top_brace(trees, i + 1) else {
+            return (states, i + 1);
+        };
+        let cond = &trees[i + 1..body_at];
+        let cond_eval: &[Tree] = if cond.first().map(|t| t.is_ident("let")).unwrap_or(false) {
+            match top_assign(trees, i + 2, body_at) {
+                Some(eq) => &trees[eq + 1..body_at],
+                None => cond,
+            }
+        } else {
+            cond
+        };
+        // Branch selection: CLIENT_DESCENT splits are design-determined
+        // in both modes; `retrying`/`is_local` fast paths are skipped in
+        // Cost mode (the static table models the steady remote path).
+        let mut sel: Option<bool> = None;
+        if contains_ident(cond, "CLIENT_DESCENT") {
+            sel = Some(self.ctx.client_descent);
+        } else if self.mode == Mode::Cost
+            && (first_ident(cond) == Some("retrying") || contains_ident(cond, "is_local"))
+        {
+            sel = Some(false);
+        }
+        let mut after = self.eval_expr(cond_eval, flow, states);
+        for st in &mut after {
+            st.res = None;
+        }
+        let after = self.squash(after);
+        let then_items: &[Tree] = match trees[body_at].group() {
+            Some(g) => &g.items,
+            None => &[],
+        };
+        let mut out = Vec::new();
+        let j = body_at + 1;
+        if trees.get(j).map(|t| t.is_ident("else")).unwrap_or(false) {
+            if trees.get(j + 1).map(|t| t.is_ident("if")).unwrap_or(false) {
+                if sel != Some(false) {
+                    let f = self.eval_block(then_items, after.clone());
+                    out.extend(flow.absorb_inner(f));
+                }
+                let take_else = sel != Some(true);
+                let arm_states = if take_else { after } else { Vec::new() };
+                let (eout, end) = self.eval_if(trees, j + 1, flow, arm_states);
+                if take_else {
+                    out.extend(eout);
+                }
+                (out, end)
+            } else if let Some(g) = trees.get(j + 1).and_then(|t| t.group()) {
+                if sel != Some(false) {
+                    let f = self.eval_block(then_items, after.clone());
+                    out.extend(flow.absorb_inner(f));
+                }
+                if sel != Some(true) {
+                    let f = self.eval_block(&g.items, after);
+                    out.extend(flow.absorb_inner(f));
+                }
+                (out, j + 2)
+            } else {
+                // `else` with nothing we recognize; fall through.
+                out.extend(after);
+                (out, j + 1)
+            }
+        } else {
+            if sel != Some(false) {
+                let f = self.eval_block(then_items, after.clone());
+                out.extend(flow.absorb_inner(f));
+            }
+            if sel != Some(true) {
+                out.extend(after); // no else: condition-false fallthrough
+            }
+            (out, j)
+        }
+    }
+
+    pub(crate) fn eval_match(
+        &mut self,
+        trees: &[Tree],
+        i: usize,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> (Vec<St>, usize) {
+        let Some(arms_at) = top_brace(trees, i + 1) else {
+            return (states, i + 1);
+        };
+        let scrut = &trees[i + 1..arms_at];
+        let match_line = trees[i].line();
+        let end = arms_at + 1;
+
+        // Classify the match.
+        enum Sel {
+            /// `match design { Design::Cg(d) => … }` — pick this ctx's arm.
+            Design,
+            /// Scrutinee is a forked `Result` binding — route by side.
+            Fork(String),
+            /// `arm-by(first-page)`: pick Some/None by CLIENT_DESCENT.
+            ArmBy(&'static str),
+            Generic,
+        }
+        let mut sel = Sel::Generic;
+        if let Some(v) = single_ident(scrut) {
+            let key = self.depth_key(v);
+            if self.frame().types.get(v).map(String::as_str) == Some("Design") {
+                sel = Sel::Design;
+            } else if states.iter().any(|s| s.vars.contains_key(&key)) {
+                sel = Sel::Fork(key);
+            }
+        }
+        if matches!(sel, Sel::Generic)
+            && self.mode == Mode::Cost
+            && self.ann_at(match_line, &AnnItem::ArmBy("first-page".to_string()))
+        {
+            sel = Sel::ArmBy(if self.ctx.client_descent {
+                "Some"
+            } else {
+                "None"
+            });
+        }
+
+        // Scrutinee effects (pure for Design/Fork idents, harmless).
+        let mut states = self.eval_expr(scrut, flow, states);
+        if !matches!(sel, Sel::Fork(_)) {
+            for st in &mut states {
+                st.res = None;
+            }
+        }
+        let states = self.squash(states);
+
+        // Parse the arms.
+        let items: &[Tree] = match trees[arms_at].group() {
+            Some(g) => &g.items,
+            None => &[],
+        };
+        let mut arms: Vec<(&[Tree], ArmBody<'_>)> = Vec::new();
+        let mut k = 0;
+        while k < items.len() {
+            let pat_start = k;
+            while k < items.len() && !items[k].is_punct("=>") {
+                k += 1;
+            }
+            if k >= items.len() {
+                break;
+            }
+            let pat = &items[pat_start..k];
+            k += 1;
+            let body = if let Some(g) = items
+                .get(k)
+                .and_then(|t| t.group())
+                .filter(|g| g.open == '{')
+            {
+                k += 1;
+                if items.get(k).map(|t| t.is_punct(",")).unwrap_or(false) {
+                    k += 1;
+                }
+                ArmBody::Block(&g.items)
+            } else {
+                let b_start = k;
+                while k < items.len() && !items[k].is_punct(",") {
+                    k += 1;
+                }
+                let span = &items[b_start..k];
+                k += 1;
+                ArmBody::Expr(span)
+            };
+            arms.push((pat, body));
+        }
+
+        // Route states into arms and evaluate.
+        let mut out = Vec::new();
+        for (pat, body) in arms {
+            let mut arm_states: Vec<St> = Vec::new();
+            let mut bind: Option<(String, String)> = None;
+            match &sel {
+                Sel::Design => {
+                    if contains_ident(pat, self.ctx.variant) {
+                        arm_states = states.clone();
+                        if let Some(name) = pat
+                            .iter()
+                            .find_map(|t| t.group())
+                            .and_then(|g| first_ident(&g.items))
+                        {
+                            bind = Some((name.to_string(), self.ctx.design_ty.to_string()));
+                        }
+                    }
+                }
+                Sel::Fork(key) => {
+                    let want = match first_ident(pat) {
+                        Some("Ok") => Some(true),
+                        Some("Err") => Some(false),
+                        _ => None,
+                    };
+                    for st in &states {
+                        let side = st.vars.get(key).copied();
+                        let take = match want {
+                            Some(w) => side == Some(w),
+                            None => true,
+                        };
+                        if take {
+                            let mut st = st.clone();
+                            st.vars.remove(key);
+                            st.res = None;
+                            arm_states.push(st);
+                        }
+                    }
+                }
+                Sel::ArmBy(want) => {
+                    if first_ident(pat) == Some(want) {
+                        arm_states = states.clone();
+                    }
+                }
+                Sel::Generic => arm_states = states.clone(),
+            }
+            if arm_states.is_empty() {
+                continue;
+            }
+            if let Some((name, ty)) = bind {
+                self.frames
+                    .last_mut()
+                    .expect("walker always runs inside a frame")
+                    .types
+                    .insert(name, ty);
+            }
+            let arm_out = match body {
+                ArmBody::Block(b) => {
+                    let f = self.eval_block(b, arm_states);
+                    flow.absorb_inner(f)
+                }
+                ArmBody::Expr(span) => self.eval_expr(span, flow, arm_states),
+            };
+            out.extend(arm_out);
+        }
+        (self.squash(out), end)
+    }
+
+    pub(crate) fn eval_loop(
+        &mut self,
+        trees: &[Tree],
+        i: usize,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> (Vec<St>, usize) {
+        let kw = trees[i].ident().unwrap_or("loop").to_string();
+        let loop_line = trees[i].line();
+        let Some(body_at) = top_brace(trees, i + 1) else {
+            return (states, i + 1);
+        };
+        let body: &[Tree] = match trees[body_at].group() {
+            Some(g) => &g.items,
+            None => &[],
+        };
+        let end = body_at + 1;
+        // Pre-span evaluated once: while-condition or for-iterable.
+        let head = &trees[i + 1..body_at];
+        let pre: &[Tree] = match kw.as_str() {
+            "while" => {
+                if head.first().map(|t| t.is_ident("let")).unwrap_or(false) {
+                    match top_assign(trees, i + 2, body_at) {
+                        Some(eq) => &trees[eq + 1..body_at],
+                        None => head,
+                    }
+                } else {
+                    head
+                }
+            }
+            "for" => match (i + 1..body_at).find(|&k| trees[k].is_ident("in")) {
+                Some(at) => &trees[at + 1..body_at],
+                None => &[],
+            },
+            _ => &[],
+        };
+        let kind = self.loop_kind_at(loop_line);
+        let mut states = self.eval_expr(pre, flow, states);
+        for st in &mut states {
+            st.res = None;
+        }
+        let states = self.squash(states);
+        let conditional = kw != "loop"; // while/for can run zero times
+
+        match self.mode {
+            Mode::Lint => {
+                let exits = self.lint_fixpoint(body, &states, conditional, loop_line, kind, flow);
+                (exits, end)
+            }
+            Mode::Cost => {
+                let exits = self.cost_loop(body, states, conditional, kind, flow);
+                (exits, end)
+            }
+        }
+    }
+
+    /// Lint mode: run the body to a bounded fixpoint, checking that the
+    /// critical section does not grow along the back edge.
+    fn lint_fixpoint(
+        &mut self,
+        body: &[Tree],
+        entry: &[St],
+        conditional: bool,
+        loop_line: u32,
+        kind: Option<String>,
+        flow: &mut Flow,
+    ) -> Vec<St> {
+        let mut seen: BTreeSet<St> = entry.iter().cloned().collect();
+        let mut frontier: Vec<St> = entry.to_vec();
+        let mut exits: Vec<St> = if conditional {
+            entry.to_vec()
+        } else {
+            Vec::new()
+        };
+        let verbs_before = self.verb_events;
+        let mut cs_loop_hit = false;
+        for _ in 0..6 {
+            if frontier.is_empty() {
+                break;
+            }
+            let f = self.eval_block(body, frontier);
+            flow.rets.extend(f.rets);
+            exits.extend(f.brks);
+            let mut back = f.next;
+            back.extend(f.conts);
+            if !cs_loop_hit && !entry.is_empty() {
+                let grew = back.iter().any(|b| match &b.lock {
+                    Lock::Held { verbs, .. } => entry.iter().all(|e| match &e.lock {
+                        Lock::Held { verbs: ev, .. } => verbs.len() > ev.len(),
+                        Lock::Free => true,
+                    }),
+                    Lock::Free => false,
+                });
+                if grew {
+                    cs_loop_hit = true;
+                    self.emit(
+                        "cs-loop",
+                        loop_line,
+                        "loop re-enters with the lock held and the critical section \
+                         growing; verbs issued while locked scale with the iteration \
+                         count"
+                            .to_string(),
+                    );
+                }
+            }
+            if conditional {
+                exits.extend(back.iter().cloned());
+            }
+            let mut fresh = Vec::new();
+            for b in back {
+                if seen.insert(b.clone()) {
+                    fresh.push(b);
+                }
+            }
+            frontier = self.squash(fresh);
+        }
+        if kind.is_none() && self.verb_events > verbs_before {
+            self.emit(
+                "unmodeled-verb-loop",
+                loop_line,
+                "verb-issuing loop without a `// protolint: loop(...)` shape \
+                 annotation; its verb count cannot be bounded statically"
+                    .to_string(),
+            );
+        }
+        self.squash(exits)
+    }
+
+    /// Cost mode: evaluate the body once and apply the annotated shape.
+    fn cost_loop(
+        &mut self,
+        body: &[Tree],
+        entry: Vec<St>,
+        conditional: bool,
+        kind: Option<String>,
+        flow: &mut Flow,
+    ) -> Vec<St> {
+        let f = self.eval_block(body, entry.clone());
+        let mut back = f.next;
+        back.extend(f.conts);
+        let mut brks = f.brks;
+        let mut rets = f.rets;
+        match kind.as_deref() {
+            Some("levels") => {
+                // One iteration per tree level: exits already paid one
+                // traversal, add (L-1) copies of the back-edge cycle.
+                let base = entry
+                    .iter()
+                    .map(|s| s.cost)
+                    .min_by_key(Cost::key)
+                    .unwrap_or_default();
+                let cyc = back
+                    .iter()
+                    .map(|b| (b.cost.rpc.k - base.rpc.k, b.cost.os.k - base.os.k))
+                    .min_by_key(|&(r, o)| r + o);
+                if let Some((cr, co)) = cyc {
+                    let adjust = |c: &mut Cost| match self.ctx.levels {
+                        None => {
+                            c.rpc.l += cr;
+                            c.rpc.k -= cr;
+                            c.os.l += co;
+                            c.os.k -= co;
+                        }
+                        Some(n) => {
+                            c.rpc.k += (n - 1) * cr;
+                            c.os.k += (n - 1) * co;
+                        }
+                    };
+                    for s in &mut brks {
+                        adjust(&mut s.cost);
+                    }
+                    for (s, _) in &mut rets {
+                        adjust(&mut s.cost);
+                    }
+                }
+                flow.rets.extend(rets);
+                self.squash(brks)
+            }
+            None | Some("spin") | Some("probe") => {
+                // Bounded retry/probe: the steady path succeeds on the
+                // first attempt; the back edge is the retry.
+                flow.rets.extend(rets);
+                let mut exits = brks;
+                if conditional {
+                    exits.extend(entry);
+                }
+                self.squash(exits)
+            }
+            Some(_) => {
+                // chain | partition | ascend: data-dependent trip count.
+                for s in &mut brks {
+                    s.cost.unbounded = true;
+                }
+                for s in &mut back {
+                    s.cost.unbounded = true;
+                }
+                for (s, _) in &mut rets {
+                    s.cost.unbounded = true;
+                }
+                flow.rets.extend(rets);
+                let mut exits = brks;
+                exits.extend(back);
+                if conditional {
+                    exits.extend(entry);
+                }
+                self.squash(exits)
+            }
+        }
+    }
+}

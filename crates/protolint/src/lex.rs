@@ -1,0 +1,324 @@
+//! Tokenizer for the analyzed Rust sources.
+//!
+//! Comments and string contents are stripped (their *positions* are
+//! kept so line numbers in findings stay accurate), and `// protolint:`
+//! marker comments are captured as structured [`AnnItem`]s. The token
+//! stream is deliberately lossless enough for control-flow recovery —
+//! `::`, `->` and `=>` are fused, everything else stays single-char —
+//! and total: unknown input never aborts the lex.
+
+/// Token class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (prefix/suffix kept verbatim).
+    Num,
+    /// Punctuation; `::`, `->` and `=>` arrive fused, all else single.
+    Punct,
+    /// One of `(`, `[`, `{`.
+    Open,
+    /// One of `)`, `]`, `}`.
+    Close,
+    /// String/char/byte literal (content dropped).
+    Str,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Life,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One structured item from a `// protolint: ...` marker comment.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnnItem {
+    /// `role(acquire|release|commit-release|rescue|spin-read)` — the
+    /// hand-modelled protocol role of a function.
+    Role(String),
+    /// `primitive` — the function *implements* its role with raw verbs;
+    /// its body is scanned structurally (panic-freedom) only.
+    Primitive,
+    /// `loop(levels|spin|probe|chain|partition|ascend)` — bounded-shape
+    /// annotation for a verb-issuing loop.
+    LoopKind(String),
+    /// `idempotent` — the operation under `with_retry!` may re-run.
+    Idempotent,
+    /// `allow(<rule-id>)` — suppress a rule in a 3-line window.
+    Allow(String),
+    /// `entry` — fixture analysis root.
+    Entry,
+    /// `arm-by(first-page)` — bind match-arm choice to the design's
+    /// `CLIENT_DESCENT` in cost mode.
+    ArmBy(String),
+    /// `expect(<rule-id>)` — fixture expectation: the rule must fire.
+    Expect(String),
+}
+
+/// Parse the text after `protolint:` into items. Unknown words end the
+/// parse (the rest of the comment is free-form rationale).
+pub fn parse_ann(body: &str) -> Vec<AnnItem> {
+    let mut out = Vec::new();
+    let mut rest = body.trim();
+    loop {
+        let word_end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
+            .unwrap_or(rest.len());
+        let word = &rest[..word_end];
+        let mut after = rest[word_end..].trim_start();
+        let arg = if let Some(stripped) = after.strip_prefix('(') {
+            match stripped.find(')') {
+                Some(end) => {
+                    let a = stripped[..end].trim().to_string();
+                    after = stripped[end + 1..].trim_start();
+                    Some(a)
+                }
+                None => return out,
+            }
+        } else {
+            None
+        };
+        let item = match (word, arg) {
+            ("role", Some(a)) => AnnItem::Role(a),
+            ("primitive", None) => AnnItem::Primitive,
+            ("loop", Some(a)) => AnnItem::LoopKind(a),
+            ("idempotent", None) => AnnItem::Idempotent,
+            ("allow", Some(a)) => AnnItem::Allow(a),
+            ("entry", None) => AnnItem::Entry,
+            ("arm-by", Some(a)) => AnnItem::ArmBy(a),
+            ("expect", Some(a)) => AnnItem::Expect(a),
+            _ => return out,
+        };
+        out.push(item);
+        rest = after;
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None => return out,
+        }
+    }
+}
+
+/// Lex `src`: token stream plus captured annotations keyed by line.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<(u32, Vec<AnnItem>)>) {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut anns = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &src[start..i];
+                let body = comment.trim_start_matches('/').trim_start_matches('!');
+                if let Some(rest) = body.trim_start().strip_prefix("protolint:") {
+                    let items = parse_ann(rest);
+                    if !items.is_empty() {
+                        anns.push((line, items));
+                    }
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i + 1, &mut line);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                // r"...", r#"..."#, b"...", br"..." — find the quote,
+                // count the hashes, then skip to the matching close.
+                let mut j = i;
+                while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                debug_assert!(j < b.len() && b[j] == b'"');
+                j += 1;
+                if hashes == 0 {
+                    i = skip_string(b, j, &mut line);
+                } else {
+                    let close = format!("\"{}", "#".repeat(hashes));
+                    match src[j..].find(&close) {
+                        Some(off) => {
+                            line += src[j..j + off].matches('\n').count() as u32;
+                            i = j + off + close.len();
+                        }
+                        None => i = b.len(),
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime/label vs char literal.
+                let is_life = i + 1 < b.len()
+                    && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    && !(i + 2 < b.len() && b[i + 2] == b'\'');
+                if is_life {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: Kind::Life,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    // Char literal: 'x' or '\..'.
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Tok {
+                        kind: Kind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || (b[i] == b'.'
+                            && i + 1 < b.len()
+                            && b[i + 1].is_ascii_digit()
+                            && !src[start..i].contains('.')))
+                {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'(' | b'[' | b'{' => {
+                toks.push(Tok {
+                    kind: Kind::Open,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                toks.push(Tok {
+                    kind: Kind::Close,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                // Punctuation; fuse `::`, `->`, `=>`.
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                let text = match two {
+                    "::" | "->" | "=>" => {
+                        i += 2;
+                        two.to_string()
+                    }
+                    _ => {
+                        i += 1;
+                        (c as char).to_string()
+                    }
+                };
+                toks.push(Tok {
+                    kind: Kind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    (toks, anns)
+}
+
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r" r#" b" br" rb" — a string opener, not an identifier.
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"' && (j > i)
+}
+
+/// Skip past a (non-raw) string body starting just after the opening
+/// quote; returns the index after the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}

@@ -1,0 +1,509 @@
+//! protolint — build-time protocol-flow analysis for the NAM-tree
+//! designs.
+//!
+//! The analyzer lexes the protocol hot-path sources directly (no
+//! rustc/proc-macro dependency), recovers control flow from the token
+//! tree, and checks four rule families over every path of every
+//! operation root (`lookup_op` / `insert_op` / `delete_op` /
+//! `range_op`), once per design context (CG / FG / Hybrid):
+//!
+//! * **lock discipline** — `lock-leak`, `double-release`, `cs-loop`;
+//! * **verb budget** — `cs-verb-bound` against `MAX_LOCK_HOLD_VERBS`
+//!   (parsed out of `crates/rdma/src/spec.rs`, never duplicated here);
+//! * **retry/deadline discipline** — `retry-idempotent`,
+//!   `deadline-thread`;
+//! * **panic freedom** — `hot-panic` plus the `unmodeled-*` fences that
+//!   keep the model honest when new verbs or loops appear.
+//!
+//! The same walker, run in Cost mode, produces the static verbs-per-op
+//! table that `verb_model_check` cross-checks against simulator
+//! telemetry and that the `cs-inventory` doc blocks are generated from.
+
+pub mod analyze;
+mod call;
+mod ctrl;
+pub mod lex;
+mod scan;
+pub mod syntax;
+mod walk;
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use analyze::EK;
+pub use analyze::{Analysis, Cost, Ctx, Finding, Mode, Section, CTXS, FIXTURE_CTX};
+use lex::AnnItem;
+use syntax::Program;
+
+/// The protocol hot-path files, relative to the repo root.
+pub const HOT_FILES: [&str; 6] = [
+    "crates/core/src/engine.rs",
+    "crates/core/src/onesided.rs",
+    "crates/core/src/resolve.rs",
+    "crates/core/src/cg.rs",
+    "crates/core/src/fg.rs",
+    "crates/core/src/hybrid.rs",
+];
+
+/// The four operation roots in `engine.rs`.
+pub const OP_ROOTS: [&str; 4] = ["lookup_op", "insert_op", "delete_op", "range_op"];
+
+/// Load and parse the hot-path files under `root`.
+pub fn load_workspace(root: &Path) -> io::Result<Program> {
+    let mut prog = Program::default();
+    for rel in HOT_FILES {
+        let src = fs::read_to_string(root.join(rel))?;
+        prog.add_file(rel, &src);
+    }
+    Ok(prog)
+}
+
+/// Parse `MAX_LOCK_HOLD_VERBS` out of the RDMA spec constants so the
+/// analyzer and the runtime assertion share one source of truth.
+pub fn spec_max_verbs(root: &Path) -> io::Result<usize> {
+    let src = fs::read_to_string(root.join("crates/rdma/src/spec.rs"))?;
+    let at = src.find("MAX_LOCK_HOLD_VERBS").ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            "MAX_LOCK_HOLD_VERBS not found in crates/rdma/src/spec.rs",
+        )
+    })?;
+    let rest = &src[at..];
+    let eq = rest.find('=').ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "MAX_LOCK_HOLD_VERBS has no value",
+        )
+    })?;
+    let digits: String = rest[eq + 1..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse::<usize>().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "MAX_LOCK_HOLD_VERBS is not numeric",
+        )
+    })
+}
+
+fn unique_free_fn(prog: &Program, name: &str) -> Option<usize> {
+    match prog.free_global.get(name).map(Vec::as_slice) {
+        Some([only]) => Some(*only),
+        _ => None,
+    }
+}
+
+fn op_roots(prog: &Program) -> Vec<usize> {
+    OP_ROOTS
+        .iter()
+        .filter_map(|n| unique_free_fn(prog, n))
+        .collect()
+}
+
+fn entry_roots(prog: &Program) -> Vec<usize> {
+    prog.fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.anns.contains(&AnnItem::Entry))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Non-primitive acquire-role functions (`lock_covering_leaf`): walked
+/// as pseudo-roots so their bodies satisfy acquire exit expectations.
+fn acquire_roots(prog: &Program) -> Vec<usize> {
+    prog.fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.anns
+                .iter()
+                .any(|a| matches!(a, AnnItem::Role(r) if r == "acquire"))
+                && !f.anns.contains(&AnnItem::Primitive)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+pub struct LintOutcome {
+    pub findings: Vec<Finding>,
+    pub sections: BTreeSet<Section>,
+}
+
+impl LintOutcome {
+    pub fn max_section_verbs(&self) -> usize {
+        self.sections
+            .iter()
+            .map(|s| s.verbs.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Run the Lint-mode analysis. `fixture` selects `entry`-annotated
+/// roots under [`FIXTURE_CTX`] instead of the engine ops under all
+/// three design contexts.
+pub fn run_lint(prog: &Program, max_verbs: usize, fixture: bool) -> LintOutcome {
+    let ctxs: Vec<Ctx> = if fixture {
+        vec![FIXTURE_CTX]
+    } else {
+        CTXS.to_vec()
+    };
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut seen: BTreeSet<(&'static str, String, u32)> = BTreeSet::new();
+    let mut sections: BTreeSet<Section> = BTreeSet::new();
+    for ctx in ctxs {
+        let mut an = Analysis::new(prog, Mode::Lint, ctx, max_verbs);
+        let seed = [
+            ("design", "Design"),
+            ("ep", "Endpoint"),
+            ("src", ctx.design_ty),
+            ("up", ctx.design_ty),
+        ];
+        let roots = if fixture {
+            entry_roots(prog)
+        } else {
+            op_roots(prog)
+        };
+        for fi in roots {
+            let rets = an.run_fn(fi, &seed);
+            an.check_root_exits(fi, &rets, false);
+        }
+        for fi in acquire_roots(prog) {
+            let rets = an.run_fn(fi, &seed);
+            an.check_root_exits(fi, &rets, true);
+        }
+        an.structural_scan();
+        sections.extend(an.sections);
+        for f in an.findings {
+            if seen.insert((f.rule, f.file.clone(), f.line)) {
+                findings.push(f);
+            }
+        }
+    }
+    findings.sort();
+    LintOutcome { findings, sections }
+}
+
+/// One design row of the static cost table.
+pub struct CostRow {
+    pub design: &'static str,
+    /// (op label, cost) in [`COST_OPS`] order.
+    pub cells: Vec<(&'static str, Cost)>,
+}
+
+pub const COST_OPS: [&str; 5] = [
+    "lookup",
+    "insert (no split)",
+    "delete (miss)",
+    "delete (hit)",
+    "range",
+];
+
+fn steady(costs: &[Cost]) -> Vec<Cost> {
+    costs
+        .iter()
+        .copied()
+        .filter(|c| !c.unbounded && c.allocs == 0)
+        .collect()
+}
+
+fn min_cost(costs: &[Cost]) -> Cost {
+    costs
+        .iter()
+        .copied()
+        .min_by_key(Cost::key)
+        .unwrap_or_default()
+}
+
+fn max_cost(costs: &[Cost]) -> Cost {
+    costs
+        .iter()
+        .copied()
+        .max_by_key(Cost::key)
+        .unwrap_or_default()
+}
+
+/// Run the Cost-mode analysis and summarize per-op verb counts.
+pub fn cost_table(prog: &Program, max_verbs: usize) -> Vec<CostRow> {
+    CTXS.iter()
+        .map(|ctx| {
+            let mut an = Analysis::new(prog, Mode::Cost, *ctx, max_verbs);
+            let seed = [
+                ("design", "Design"),
+                ("ep", "Endpoint"),
+                ("src", ctx.design_ty),
+                ("up", ctx.design_ty),
+            ];
+            let mut op_costs = |name: &str| -> Vec<Cost> {
+                match unique_free_fn(prog, name) {
+                    Some(fi) => an
+                        .run_fn(fi, &seed)
+                        .into_iter()
+                        .filter(|(_, ek)| *ek != EK::Err)
+                        .map(|(st, _)| st.cost)
+                        .collect(),
+                    None => Vec::new(),
+                }
+            };
+            let inserts = op_costs("insert_op");
+            let deletes = op_costs("delete_op");
+            let ranges = op_costs("range_op");
+            let lookups = op_costs("lookup_op");
+            let del_steady = steady(&deletes);
+            let range = if ranges.iter().any(|c| c.unbounded) {
+                Cost {
+                    unbounded: true,
+                    ..Default::default()
+                }
+            } else {
+                max_cost(&ranges)
+            };
+            CostRow {
+                design: ctx.key,
+                cells: vec![
+                    (COST_OPS[0], min_cost(&lookups)),
+                    (COST_OPS[1], max_cost(&steady(&inserts))),
+                    (COST_OPS[2], min_cost(&del_steady)),
+                    (COST_OPS[3], max_cost(&del_steady)),
+                    (COST_OPS[4], range),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Render the cost table (ops as rows, designs as columns).
+pub fn render_cost_table(rows: &[CostRow]) -> String {
+    let mut out = String::new();
+    let mut header = format!("{:<20}", "op");
+    for r in rows {
+        let _ = write!(header, " | {:<14}", r.design);
+    }
+    out.push_str(header.trim_end());
+    out.push('\n');
+    for (i, op) in COST_OPS.iter().enumerate() {
+        let mut line = format!("{op:<20}");
+        for r in rows {
+            let cell = r.cells.get(i).map(|(_, c)| c.render()).unwrap_or_default();
+            let _ = write!(line, " | {cell:<14}");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Generated cs-inventory doc blocks.
+
+pub const DESIGN_MD: &str = "DESIGN.md";
+pub const DESIGN_BEGIN: &str = "<!-- protolint:cs-inventory:begin -->";
+pub const DESIGN_END: &str = "<!-- protolint:cs-inventory:end -->";
+pub const ONESIDED_RS: &str = "crates/core/src/onesided.rs";
+pub const ONESIDED_BEGIN: &str = "//! [protolint:cs-inventory:begin]";
+pub const ONESIDED_END: &str = "//! [protolint:cs-inventory:end]";
+
+/// Render the critical-section inventory body (no markers, no prefix).
+pub fn render_inventory(sections: &BTreeSet<Section>, max_verbs: usize) -> Vec<String> {
+    let mut lines = vec![
+        "Critical sections discovered by `cargo xtask protolint` (verbs issued".to_string(),
+        "between a lock acquire and its happy-path release; the best-effort".to_string(),
+        "rescue FAA on error paths reuses the unlock slot and is not counted):".to_string(),
+        String::new(),
+    ];
+    for s in sections {
+        lines.push(format!(
+            "- `{}`: {} ({} verb{})",
+            s.func,
+            s.verbs.join(" + "),
+            s.verbs.len(),
+            if s.verbs.len() == 1 { "" } else { "s" },
+        ));
+    }
+    let widest = sections.iter().map(|s| s.verbs.len()).max().unwrap_or(0);
+    lines.push(String::new());
+    lines.push(format!(
+        "Widest section: {widest} verbs = MAX_LOCK_HOLD_VERBS ({max_verbs}), \
+         enforced statically by the `cs-verb-bound` rule."
+    ));
+    lines
+}
+
+/// Replace the text between `begin` and `end` markers with `body`.
+/// Returns `None` if either marker is missing.
+pub fn splice_block(text: &str, begin: &str, end: &str, body: &str) -> Option<String> {
+    let b = text.find(begin)? + begin.len();
+    let e = text[b..].find(end)? + b;
+    let mut out = String::with_capacity(text.len() + body.len());
+    out.push_str(&text[..b]);
+    out.push('\n');
+    out.push_str(body);
+    out.push_str(&text[e..]);
+    Some(out)
+}
+
+fn design_body(sections: &BTreeSet<Section>, max_verbs: usize) -> String {
+    let mut s = render_inventory(sections, max_verbs).join("\n");
+    s.push('\n');
+    s
+}
+
+fn onesided_body(sections: &BTreeSet<Section>, max_verbs: usize) -> String {
+    let mut s = render_inventory(sections, max_verbs)
+        .iter()
+        .map(|l| {
+            if l.is_empty() {
+                "//!".to_string()
+            } else {
+                format!("//! {l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    s.push('\n');
+    s
+}
+
+/// Check that both generated doc blocks match the analysis. Returns a
+/// list of human-readable errors (empty = up to date).
+pub fn check_docs(root: &Path, sections: &BTreeSet<Section>, max_verbs: usize) -> Vec<String> {
+    let mut errs = Vec::new();
+    let specs = [
+        (
+            DESIGN_MD,
+            DESIGN_BEGIN,
+            DESIGN_END,
+            design_body(sections, max_verbs),
+        ),
+        (
+            ONESIDED_RS,
+            ONESIDED_BEGIN,
+            ONESIDED_END,
+            onesided_body(sections, max_verbs),
+        ),
+    ];
+    for (rel, begin, end, body) in specs {
+        let path = root.join(rel);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                errs.push(format!("{rel}: unreadable: {e}"));
+                continue;
+            }
+        };
+        match splice_block(&text, begin, end, &body) {
+            Some(updated) => {
+                if updated != text {
+                    errs.push(format!(
+                        "{rel}: cs-inventory block is stale; run \
+                         `cargo xtask protolint --emit-docs` to regenerate"
+                    ));
+                }
+            }
+            None => errs.push(format!("{rel}: cs-inventory markers missing")),
+        }
+    }
+    errs
+}
+
+/// Rewrite both generated doc blocks in place. Returns updated files.
+pub fn emit_docs(
+    root: &Path,
+    sections: &BTreeSet<Section>,
+    max_verbs: usize,
+) -> io::Result<Vec<String>> {
+    let mut updated = Vec::new();
+    let specs = [
+        (
+            DESIGN_MD,
+            DESIGN_BEGIN,
+            DESIGN_END,
+            design_body(sections, max_verbs),
+        ),
+        (
+            ONESIDED_RS,
+            ONESIDED_BEGIN,
+            ONESIDED_END,
+            onesided_body(sections, max_verbs),
+        ),
+    ];
+    for (rel, begin, end, body) in specs {
+        let path = root.join(rel);
+        let text = fs::read_to_string(&path)?;
+        let Some(new_text) = splice_block(&text, begin, end, &body) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{rel}: cs-inventory markers missing"),
+            ));
+        };
+        if new_text != text {
+            fs::write(&path, new_text)?;
+            updated.push(rel.to_string());
+        }
+    }
+    Ok(updated)
+}
+
+// ---------------------------------------------------------------------
+// Fixture corpus.
+
+pub struct FixtureResult {
+    pub name: String,
+    pub expected: BTreeSet<String>,
+    pub found: BTreeSet<String>,
+}
+
+impl FixtureResult {
+    pub fn pass(&self) -> bool {
+        self.expected == self.found
+    }
+}
+
+/// Analyze one fixture file: `entry`-annotated roots are walked under
+/// [`FIXTURE_CTX`], and the set of fired rule ids must equal the union
+/// of the file's `expect(...)` annotations.
+pub fn run_fixture(path: &Path) -> io::Result<FixtureResult> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("fixture")
+        .to_string();
+    let src = fs::read_to_string(path)?;
+    let mut prog = Program::default();
+    prog.add_file(&name, &src);
+    let expected: BTreeSet<String> = prog
+        .anns
+        .values()
+        .flatten()
+        .filter_map(|a| match a {
+            AnnItem::Expect(r) => Some(r.clone()),
+            _ => None,
+        })
+        .collect();
+    let out = run_lint(&prog, 4, true);
+    let found: BTreeSet<String> = out.findings.iter().map(|f| f.rule.to_string()).collect();
+    Ok(FixtureResult {
+        name,
+        expected,
+        found,
+    })
+}
+
+/// All `.rs` fixtures under `dir`, sorted.
+pub fn fixture_paths(dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+    out.sort();
+    Ok(out)
+}

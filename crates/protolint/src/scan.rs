@@ -1,0 +1,147 @@
+//! Structural rules over every function reachable from a protocol
+//! root: panic-freedom (`hot-panic`) and deadline threading
+//! (`deadline-thread`). These are token-shape scans — no path
+//! sensitivity needed.
+
+use crate::analyze::{ep_verb, Analysis, Finding};
+use crate::lex::Kind;
+use crate::syntax::Tree;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can legitimately precede a `[` without indexing.
+fn non_indexing_kw(id: &str) -> bool {
+    matches!(
+        id,
+        "return"
+            | "break"
+            | "in"
+            | "as"
+            | "mut"
+            | "ref"
+            | "else"
+            | "move"
+            | "static"
+            | "const"
+            | "let"
+            | "impl"
+            | "dyn"
+            | "where"
+            | "box"
+    )
+}
+
+fn scan_trees(trees: &[Tree], has_ep: bool, out: &mut Vec<(&'static str, u32, String)>) {
+    for (k, t) in trees.iter().enumerate() {
+        match t {
+            Tree::T(tok) if tok.kind == Kind::Ident => {
+                let next_bang = trees.get(k + 1).map(|n| n.is_punct("!")).unwrap_or(false);
+                if next_bang && PANIC_MACROS.contains(&tok.text.as_str()) {
+                    out.push((
+                        "hot-panic",
+                        tok.line,
+                        format!("`{}!` can abort a protocol hot path", tok.text),
+                    ));
+                }
+                let after_dot = k > 0 && trees[k - 1].is_punct(".");
+                let next_call = trees
+                    .get(k + 1)
+                    .and_then(|n| n.group())
+                    .map(|g| g.open == '(')
+                    .unwrap_or(false);
+                if after_dot && next_call && matches!(tok.text.as_str(), "unwrap" | "expect") {
+                    out.push((
+                        "hot-panic",
+                        tok.line,
+                        format!(
+                            "`.{}()` can panic on a protocol hot path; return a typed \
+                             error instead",
+                            tok.text
+                        ),
+                    ));
+                }
+                if tok.text == "ep"
+                    && !has_ep
+                    && trees.get(k + 1).map(|n| n.is_punct(".")).unwrap_or(false)
+                {
+                    if let Some(m) = trees.get(k + 2).and_then(|n| n.ident()) {
+                        if ep_verb(m).is_some() {
+                            out.push((
+                                "deadline-thread",
+                                tok.line,
+                                format!(
+                                    "issues `ep.{m}` without taking the deadline-carrying \
+                                     `ep: &Endpoint` as a parameter"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if tok.text == "Endpoint"
+                    && trees.get(k + 1).map(|n| n.is_punct("::")).unwrap_or(false)
+                    && trees.get(k + 2).map(|n| n.is_ident("new")).unwrap_or(false)
+                {
+                    out.push((
+                        "deadline-thread",
+                        tok.line,
+                        "constructs a fresh `Endpoint` on a hot path; the operation \
+                         deadline is not threaded through"
+                            .to_string(),
+                    ));
+                }
+            }
+            Tree::G(g) => {
+                if g.open == '[' {
+                    let indexing = match k.checked_sub(1).map(|p| &trees[p]) {
+                        Some(Tree::T(pt)) if pt.kind == Kind::Ident => !non_indexing_kw(&pt.text),
+                        Some(Tree::G(pg)) => pg.open == '(' || pg.open == '[',
+                        _ => false, // `#[...]`, `&[...]`, `= [...]`, types
+                    };
+                    if indexing {
+                        out.push((
+                            "hot-panic",
+                            g.line,
+                            "slice/array indexing can panic on a protocol hot path; \
+                             use `.get()` or mark `allow(hot-panic)` with a rationale"
+                                .to_string(),
+                        ));
+                    }
+                }
+                scan_trees(&g.items, has_ep, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Analysis<'_> {
+    /// Run the structural rules over every visited function.
+    pub fn structural_scan(&mut self) {
+        let prog = self.prog;
+        let visited: Vec<usize> = self.visited.iter().copied().collect();
+        for fi in visited {
+            let f = &prog.fns[fi];
+            let has_ep = f.params.iter().any(|p| p == "ep");
+            let mut raw = Vec::new();
+            scan_trees(&f.body, has_ep, &mut raw);
+            let mut deadline_done = false;
+            for (rule, line, msg) in raw {
+                if rule == "deadline-thread" {
+                    if deadline_done {
+                        continue;
+                    }
+                    deadline_done = true;
+                }
+                if prog.allowed(&f.file, line, rule) {
+                    continue;
+                }
+                self.findings.push(Finding {
+                    rule,
+                    file: f.file.clone(),
+                    line,
+                    msg,
+                });
+            }
+        }
+    }
+}

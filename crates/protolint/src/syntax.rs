@@ -1,0 +1,308 @@
+//! Token trees and item extraction.
+//!
+//! The analyzer works on a bracket-matched token *tree* rather than a
+//! full AST: control-flow recovery (if/match/loop/call shapes) happens
+//! in the walker, which keeps this layer total — any valid Rust
+//! tokenizes into a tree, and constructs the walker does not model
+//! degrade to inert token runs instead of parse errors.
+
+use std::collections::BTreeMap;
+
+use crate::lex::{lex, AnnItem, Kind, Tok};
+
+/// A token or a bracketed group.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    T(Tok),
+    G(Group),
+}
+
+/// A bracketed `(...)`, `[...]` or `{...}` group.
+#[derive(Clone, Debug)]
+pub struct Group {
+    pub open: char,
+    pub line: u32,
+    pub items: Vec<Tree>,
+}
+
+impl Tree {
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::T(t) => t.line,
+            Tree::G(g) => g.line,
+        }
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tree::T(t) if t.kind == Kind::Ident && t.text == s)
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        matches!(self, Tree::T(t) if t.kind == Kind::Punct && t.text == s)
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::T(t) if t.kind == Kind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::G(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Build the bracket tree. Tolerates unbalanced input (truncated close).
+pub fn treeify(toks: &[Tok]) -> Vec<Tree> {
+    let mut stack: Vec<(char, u32, Vec<Tree>)> = Vec::new();
+    let mut cur: Vec<Tree> = Vec::new();
+    for t in toks {
+        match t.kind {
+            Kind::Open => {
+                stack.push((
+                    t.text.chars().next().unwrap_or('('),
+                    t.line,
+                    std::mem::take(&mut cur),
+                ));
+            }
+            Kind::Close => {
+                if let Some((open, line, outer)) = stack.pop() {
+                    let items = std::mem::replace(&mut cur, outer);
+                    cur.push(Tree::G(Group { open, line, items }));
+                }
+            }
+            _ => cur.push(Tree::T(t.clone())),
+        }
+    }
+    while let Some((open, line, outer)) = stack.pop() {
+        let items = std::mem::replace(&mut cur, outer);
+        cur.push(Tree::G(Group { open, line, items }));
+    }
+    cur
+}
+
+/// One function item extracted from a source file.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl` target type (or trait name for trait bodies).
+    pub impl_ty: Option<String>,
+    pub file: String,
+    pub line: u32,
+    /// Parameter names (patterns reduced to their first identifier;
+    /// `&self`/`self` recorded as `self`).
+    pub params: Vec<String>,
+    pub body: Vec<Tree>,
+    /// `// protolint:` items attached directly above the declaration.
+    pub anns: Vec<AnnItem>,
+}
+
+/// A fully lexed + extracted source file set.
+#[derive(Default)]
+pub struct Program {
+    pub fns: Vec<FnItem>,
+    /// `(impl_ty, name)` → index into `fns` (methods).
+    pub methods: BTreeMap<(String, String), usize>,
+    /// `(file, name)` → index into `fns` (free functions, per file).
+    pub free_by_file: BTreeMap<(String, String), usize>,
+    /// `name` → all free-function indices (for cross-file resolution).
+    pub free_global: BTreeMap<String, Vec<usize>>,
+    /// `(file, line)` → annotation items (for proximity lookups).
+    pub anns: BTreeMap<(String, u32), Vec<AnnItem>>,
+}
+
+impl Program {
+    /// Parse `src` as file `name` and add its items.
+    pub fn add_file(&mut self, name: &str, src: &str) {
+        let (toks, anns) = lex(src);
+        for (line, items) in anns {
+            self.anns
+                .entry((name.to_string(), line))
+                .or_default()
+                .extend(items);
+        }
+        let trees = treeify(&toks);
+        self.extract(name, &trees, None);
+    }
+
+    /// Annotation items attached to `file` within `[lo, hi]`.
+    pub fn anns_in(&self, file: &str, lo: u32, hi: u32) -> Vec<&AnnItem> {
+        self.anns
+            .range((file.to_string(), lo)..=(file.to_string(), hi))
+            .flat_map(|(_, v)| v.iter())
+            .collect()
+    }
+
+    /// Whether `allow(rule)` covers `line` (3-line window above).
+    pub fn allowed(&self, file: &str, line: u32, rule: &str) -> bool {
+        self.anns_in(file, line.saturating_sub(3), line)
+            .iter()
+            .any(|a| matches!(a, AnnItem::Allow(r) if r == rule))
+    }
+
+    fn extract(&mut self, file: &str, trees: &[Tree], impl_ty: Option<&str>) {
+        let mut i = 0usize;
+        while i < trees.len() {
+            match &trees[i] {
+                Tree::T(t) if t.kind == Kind::Ident && t.text == "impl" => {
+                    // Scan to the body group; target type = ident after
+                    // `for`, else first ident at angle-depth 0.
+                    let mut ty: Option<String> = None;
+                    let mut after_for = false;
+                    let mut angle = 0i32;
+                    let mut j = i + 1;
+                    while j < trees.len() {
+                        match &trees[j] {
+                            Tree::G(g) if g.open == '{' => break,
+                            Tree::T(t) if t.kind == Kind::Punct && t.text == "<" => angle += 1,
+                            Tree::T(t) if t.kind == Kind::Punct && t.text == ">" => angle -= 1,
+                            Tree::T(t) if t.kind == Kind::Ident && t.text == "for" => {
+                                after_for = true;
+                                ty = None;
+                            }
+                            Tree::T(t)
+                                if t.kind == Kind::Ident
+                                    && angle == 0
+                                    && (ty.is_none() || after_for) =>
+                            {
+                                ty = Some(t.text.clone());
+                                after_for = false;
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if let Some(Tree::G(g)) = trees.get(j) {
+                        self.extract(file, &g.items, ty.as_deref());
+                    }
+                    i = j + 1;
+                }
+                Tree::T(t) if t.kind == Kind::Ident && t.text == "macro_rules" => {
+                    // Skip `macro_rules! name { ... }` entirely.
+                    let mut j = i + 1;
+                    while j < trees.len() && trees[j].group().map(|g| g.open) != Some('{') {
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+                Tree::T(t) if t.kind == Kind::Ident && (t.text == "mod" || t.text == "trait") => {
+                    // Recurse into module bodies; skip trait bodies
+                    // (default methods resolve to the concrete impls).
+                    let recurse = t.text == "mod";
+                    let mut j = i + 1;
+                    while j < trees.len() {
+                        if let Tree::G(g) = &trees[j] {
+                            if g.open == '{' {
+                                if recurse {
+                                    self.extract(file, &g.items, impl_ty);
+                                }
+                                break;
+                            }
+                        }
+                        if trees[j].is_punct(";") {
+                            break; // `mod foo;`
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+                Tree::T(t) if t.kind == Kind::Ident && t.text == "fn" => {
+                    let name = trees
+                        .get(i + 1)
+                        .and_then(|t| t.ident())
+                        .unwrap_or("")
+                        .to_string();
+                    let decl_line = t.line;
+                    // Params: first `(` group after the name.
+                    let mut params = Vec::new();
+                    let mut j = i + 1;
+                    let mut param_group: Option<&Group> = None;
+                    while j < trees.len() {
+                        match &trees[j] {
+                            Tree::G(g) if g.open == '(' && param_group.is_none() => {
+                                param_group = Some(g);
+                            }
+                            Tree::G(g) if g.open == '{' => break,
+                            Tree::T(t) if t.kind == Kind::Punct && t.text == ";" => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if let Some(g) = param_group {
+                        params = param_names(g);
+                    }
+                    if let Some(Tree::G(body)) = trees.get(j) {
+                        if body.open == '{' && !name.is_empty() {
+                            let anns = self
+                                .anns_in(file, decl_line.saturating_sub(3), decl_line)
+                                .into_iter()
+                                .cloned()
+                                .collect();
+                            let idx = self.fns.len();
+                            self.fns.push(FnItem {
+                                name: name.clone(),
+                                impl_ty: impl_ty.map(str::to_string),
+                                file: file.to_string(),
+                                line: decl_line,
+                                params,
+                                body: body.items.clone(),
+                                anns,
+                            });
+                            match impl_ty {
+                                Some(ty) => {
+                                    self.methods.insert((ty.to_string(), name), idx);
+                                }
+                                None => {
+                                    self.free_by_file
+                                        .insert((file.to_string(), name.clone()), idx);
+                                    self.free_global.entry(name).or_default().push(idx);
+                                }
+                            }
+                        }
+                    }
+                    i = j + 1;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Resolve a method `name` on impl target `ty`.
+    pub fn method(&self, ty: &str, name: &str) -> Option<usize> {
+        self.methods
+            .get(&(ty.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// Resolve a free function: same file first, then globally unique.
+    pub fn free_fn(&self, file: &str, name: &str) -> Option<usize> {
+        if let Some(&i) = self.free_by_file.get(&(file.to_string(), name.to_string())) {
+            return Some(i);
+        }
+        match self.free_global.get(name).map(Vec::as_slice) {
+            Some([only]) => Some(*only),
+            _ => None,
+        }
+    }
+}
+
+/// Parameter names from a signature `(...)` group: idents directly
+/// followed by `:` at the top level, plus bare/borrowed `self`.
+fn param_names(g: &Group) -> Vec<String> {
+    let mut out = Vec::new();
+    let items = &g.items;
+    for (i, t) in items.iter().enumerate() {
+        if let Some(id) = t.ident() {
+            if id == "self" {
+                out.push("self".to_string());
+            } else if items.get(i + 1).map(|n| n.is_punct(":")).unwrap_or(false) {
+                out.push(id.to_string());
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,553 @@
+//! Statement/expression walking over the token tree.
+//!
+//! The walker recovers control flow (blocks, `if`, `match`, loops,
+//! calls, `?`) from the bracket tree directly. Constructs it does not
+//! model evaluate as inert token runs — total, never a parse error.
+
+use crate::analyze::{Analysis, Flow, St, EK};
+use crate::lex::Kind;
+use crate::syntax::Tree;
+
+/// Index of the first top-level `;` at or after `from`, else `len`.
+pub(crate) fn top_semi(trees: &[Tree], from: usize) -> usize {
+    (from..trees.len())
+        .find(|&i| trees[i].is_punct(";"))
+        .unwrap_or(trees.len())
+}
+
+/// Index of the `let` binder `=` in `[from, to)`. Only called with
+/// `from` pointing just past a `let`, where the pattern and type
+/// ascription cannot contain `=`, so the first `=` that is not half of
+/// `==` is the binder — even when a generic type ascription puts a `>`
+/// right before it (`let x: Option<u64> = …`).
+pub(crate) fn top_assign(trees: &[Tree], from: usize, to: usize) -> Option<usize> {
+    (from..to.min(trees.len())).find(|&i| {
+        if !trees[i].is_punct("=") {
+            return false;
+        }
+        let prev_eq = i > from && trees[i - 1].is_punct("=");
+        let next_eq = trees.get(i + 1).map(|t| t.is_punct("=")).unwrap_or(false);
+        !prev_eq && !next_eq
+    })
+}
+
+/// Index of the first top-level `{` group at or after `from`.
+pub(crate) fn top_brace(trees: &[Tree], from: usize) -> Option<usize> {
+    (from..trees.len()).find(|&i| trees[i].group().map(|g| g.open) == Some('{'))
+}
+
+/// Split a group's items at top-level commas.
+pub(crate) fn split_commas(items: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, t) in items.iter().enumerate() {
+        if t.is_punct(",") {
+            out.push(&items[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < items.len() {
+        out.push(&items[start..]);
+    }
+    out
+}
+
+/// First identifier in a span, looking through leading `&`/`mut`/`*`.
+pub(crate) fn first_ident(span: &[Tree]) -> Option<&str> {
+    span.iter().find_map(|t| t.ident())
+}
+
+pub(crate) fn contains_ident(span: &[Tree], name: &str) -> bool {
+    span.iter().any(|t| match t {
+        Tree::T(tok) => tok.kind == Kind::Ident && tok.text == name,
+        Tree::G(g) => contains_ident(&g.items, name),
+    })
+}
+
+const DIVERGING_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+impl Analysis<'_> {
+    /// Evaluate a block body. Returned `Flow.next` holds fall-through
+    /// states; rets/brks/conts are collected for the caller to route.
+    pub(crate) fn eval_block(&mut self, trees: &[Tree], states: Vec<St>) -> Flow {
+        let mut flow = Flow::default();
+        let mut states = self.squash(states);
+        let mut i = 0;
+        while i < trees.len() && !states.is_empty() {
+            let (next, ni) = self.eval_stmt(trees, i, &mut flow, states);
+            states = self.squash(next);
+            i = ni.max(i + 1);
+        }
+        flow.next = states;
+        flow
+    }
+
+    fn eval_stmt(
+        &mut self,
+        trees: &[Tree],
+        i: usize,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> (Vec<St>, usize) {
+        self.fuel -= 1;
+        if self.fuel < 0 {
+            return (Vec::new(), trees.len());
+        }
+        match &trees[i] {
+            Tree::T(t) if t.kind == Kind::Punct && t.text == ";" => (states, i + 1),
+            Tree::T(t) if t.kind == Kind::Life => (states, i + 1),
+            Tree::T(t) if t.kind == Kind::Punct && t.text == ":" => (states, i + 1),
+            Tree::T(t) if t.kind == Kind::Punct && t.text == "#" => {
+                // Attribute: skip `#[...]`.
+                let skip = if trees.get(i + 1).and_then(|t| t.group()).is_some() {
+                    2
+                } else {
+                    1
+                };
+                (states, i + skip)
+            }
+            Tree::T(t) if t.kind == Kind::Ident => match t.text.as_str() {
+                "let" => self.eval_let(trees, i, flow, states),
+                "return" => {
+                    let semi = top_semi(trees, i + 1);
+                    let out = self.eval_expr(&trees[i + 1..semi], flow, states);
+                    for st in out {
+                        let ek = match st.res {
+                            Some(true) => EK::Ok,
+                            Some(false) => EK::Err,
+                            None => EK::Plain,
+                        };
+                        flow.rets.push((st, ek));
+                    }
+                    (Vec::new(), semi + 1)
+                }
+                "break" => {
+                    let semi = top_semi(trees, i + 1);
+                    let out = self.eval_expr(&trees[i + 1..semi], flow, states);
+                    flow.brks.extend(out);
+                    (Vec::new(), semi + 1)
+                }
+                "continue" => {
+                    flow.conts.extend(states);
+                    (Vec::new(), top_semi(trees, i + 1) + 1)
+                }
+                "if" => self.eval_if(trees, i, flow, states),
+                "match" => self.eval_match(trees, i, flow, states),
+                "loop" | "while" | "for" => self.eval_loop(trees, i, flow, states),
+                "unsafe" => (states, i + 1),
+                _ => {
+                    // Expression statement.
+                    let semi = top_semi(trees, i);
+                    let mut out = self.eval_expr(&trees[i..semi], flow, states);
+                    if semi < trees.len() {
+                        // Result discarded at `;`: clear call tags.
+                        for st in &mut out {
+                            st.res = None;
+                        }
+                    }
+                    (out, semi + 1)
+                }
+            },
+            Tree::G(g) if g.open == '{' => {
+                let inner = self.eval_block(&g.items, states);
+                (flow.absorb_inner(inner), i + 1)
+            }
+            _ => {
+                let semi = top_semi(trees, i);
+                let mut out = self.eval_expr(&trees[i..semi], flow, states);
+                if semi < trees.len() {
+                    for st in &mut out {
+                        st.res = None;
+                    }
+                }
+                (out, semi + 1)
+            }
+        }
+    }
+
+    fn eval_let(
+        &mut self,
+        trees: &[Tree],
+        i: usize,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> (Vec<St>, usize) {
+        let semi = top_semi(trees, i);
+        let Some(eq) = top_assign(trees, i + 1, semi) else {
+            return (states, semi + 1); // `let x;` — no initializer
+        };
+        // Pattern: strip `mut` and a `: Type` ascription.
+        let pat_end = (i + 1..eq).find(|&k| trees[k].is_punct(":")).unwrap_or(eq);
+        let pat: Vec<&Tree> = trees[i + 1..pat_end]
+            .iter()
+            .filter(|t| !t.is_ident("mut") && !t.is_ident("ref"))
+            .collect();
+        let rhs = &trees[eq + 1..semi];
+        let mut out = self.eval_expr(rhs, flow, states);
+        if pat.len() == 1 {
+            if let Some(name) = pat[0].ident() {
+                // Fork binding: remember which Result side each state
+                // carries, then clear the call tag.
+                if out.iter().any(|s| s.res.is_some()) {
+                    let key = self.depth_key(name);
+                    for st in &mut out {
+                        if let Some(ok) = st.res.take() {
+                            st.vars.insert(key.clone(), ok);
+                        }
+                    }
+                }
+                if let Some(ty) = self.arg_type(rhs) {
+                    let name = name.to_string();
+                    self.frames
+                        .last_mut()
+                        .expect("walker always runs inside a frame")
+                        .types
+                        .insert(name, ty);
+                }
+            }
+        } else {
+            for st in &mut out {
+                st.res = None;
+            }
+        }
+        (out, semi + 1)
+    }
+
+    /// Evaluate an expression span left to right.
+    pub(crate) fn eval_expr(&mut self, span: &[Tree], flow: &mut Flow, states: Vec<St>) -> Vec<St> {
+        let mut states = states;
+        let mut recv: Option<String> = None;
+        let mut j = 0;
+        while j < span.len() && !states.is_empty() {
+            self.fuel -= 1;
+            if self.fuel < 0 {
+                return Vec::new();
+            }
+            match &span[j] {
+                Tree::T(t) if t.kind == Kind::Ident => match t.text.as_str() {
+                    "if" => {
+                        let (out, nj) = self.eval_if(span, j, flow, states);
+                        states = self.squash(out);
+                        j = nj;
+                        recv = None;
+                    }
+                    "match" => {
+                        let (out, nj) = self.eval_match(span, j, flow, states);
+                        states = self.squash(out);
+                        j = nj;
+                        recv = None;
+                    }
+                    "loop" | "while" | "for" => {
+                        let (out, nj) = self.eval_loop(span, j, flow, states);
+                        states = self.squash(out);
+                        j = nj;
+                        recv = None;
+                    }
+                    "return" => {
+                        let out = self.eval_expr(&span[j + 1..], flow, states);
+                        for st in out {
+                            let ek = match st.res {
+                                Some(true) => EK::Ok,
+                                Some(false) => EK::Err,
+                                None => EK::Plain,
+                            };
+                            flow.rets.push((st, ek));
+                        }
+                        return Vec::new();
+                    }
+                    "break" => {
+                        let out = self.eval_expr(&span[j + 1..], flow, states);
+                        flow.brks.extend(out);
+                        return Vec::new();
+                    }
+                    "continue" => {
+                        flow.conts.extend(states);
+                        return Vec::new();
+                    }
+                    "move" | "mut" | "ref" | "as" | "in" | "async" | "await" | "unsafe" | "dyn"
+                    | "impl" => {
+                        j += 1;
+                    }
+                    "self" => {
+                        recv = self.frame().self_ty.clone();
+                        j += 1;
+                    }
+                    "Ok" | "Err" | "Some"
+                        if span.get(j + 1).and_then(|t| t.group()).map(|g| g.open) == Some('(') =>
+                    {
+                        let name = t.text.clone();
+                        let g = span[j + 1].group().expect("checked above").items.clone();
+                        for part in split_commas(&g) {
+                            states = self.eval_expr(part, flow, states);
+                        }
+                        match name.as_str() {
+                            "Ok" => states.iter_mut().for_each(|s| s.res = Some(true)),
+                            "Err" => states.iter_mut().for_each(|s| s.res = Some(false)),
+                            _ => {}
+                        }
+                        j += 2;
+                        recv = None;
+                    }
+                    _ if span.get(j + 1).map(|n| n.is_punct("!")).unwrap_or(false) => {
+                        // Macro invocation.
+                        let name = t.text.clone();
+                        let line = t.line;
+                        let has_group = span.get(j + 2).and_then(|t| t.group()).is_some();
+                        if DIVERGING_MACROS.contains(&name.as_str()) {
+                            return Vec::new(); // this path panics
+                        }
+                        if name == "with_retry" && has_group {
+                            let g = span[j + 2].group().expect("checked above").items.clone();
+                            states = self.eval_with_retry(&g, line, flow, states);
+                        }
+                        j += if has_group { 3 } else { 2 };
+                        recv = None;
+                    }
+                    _ => {
+                        let (out, nrecv, nj) = self.eval_chain(span, j, flow, states);
+                        states = out;
+                        recv = nrecv;
+                        j = nj;
+                    }
+                },
+                Tree::T(t) if t.kind == Kind::Punct && t.text == "?" => {
+                    let line = t.line;
+                    let mut keep = Vec::new();
+                    for mut st in states {
+                        match st.res.take() {
+                            Some(true) | None => keep.push(st),
+                            Some(false) => {
+                                if let crate::analyze::Lock::Held { line: al, .. } = &st.lock {
+                                    let al = *al;
+                                    self.emit(
+                                        "lock-leak",
+                                        line,
+                                        format!(
+                                            "`?` propagates an error while the lock taken at \
+                                             line {al} is still held"
+                                        ),
+                                    );
+                                    st.lock = crate::analyze::Lock::Free;
+                                }
+                                flow.rets.push((st, EK::Err));
+                            }
+                        }
+                    }
+                    states = keep;
+                    j += 1;
+                }
+                Tree::T(t) if t.kind == Kind::Punct && t.text == "." => {
+                    let (out, nrecv, nj) = self.eval_postfix(span, j, &recv, flow, states);
+                    states = out;
+                    recv = nrecv;
+                    j = nj;
+                }
+                Tree::G(g) if g.open == '{' => {
+                    let inner = self.eval_block(&g.items, states);
+                    states = flow.absorb_inner(inner);
+                    states = self.squash(states);
+                    j += 1;
+                    recv = None;
+                }
+                Tree::G(g) => {
+                    // Paren/bracket group: evaluate comma parts for their
+                    // effects; a single-part paren keeps the call tag.
+                    let parts = split_commas(&g.items);
+                    let single = parts.len() <= 1 && g.open == '(';
+                    for part in &parts {
+                        states = self.eval_expr(part, flow, states);
+                    }
+                    if !single {
+                        for st in &mut states {
+                            st.res = None;
+                        }
+                    }
+                    j += 1;
+                    recv = None;
+                }
+                _ => {
+                    // Punctuation / literals: inert.
+                    if !span[j].is_punct(".") {
+                        recv = None;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        states
+    }
+
+    /// Evaluate an identifier chain `a::b::c` optionally followed by a
+    /// call group. Returns (states, receiver type, next index).
+    fn eval_chain(
+        &mut self,
+        span: &[Tree],
+        j: usize,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> (Vec<St>, Option<String>, usize) {
+        let mut segs: Vec<String> = Vec::new();
+        let mut k = j;
+        while let Some(id) = span.get(k).and_then(|t| t.ident()) {
+            segs.push(id.to_string());
+            if span.get(k + 1).map(|t| t.is_punct("::")).unwrap_or(false)
+                && span.get(k + 2).and_then(|t| t.ident()).is_some()
+            {
+                k += 2;
+            } else {
+                k += 1;
+                break;
+            }
+        }
+        let call_group = span
+            .get(k)
+            .and_then(|t| t.group())
+            .filter(|g| g.open == '(');
+        let line = span[j].line();
+        if let Some(g) = call_group {
+            let out = match self.resolve_call(&segs) {
+                Some(fi) => self.eval_user_call(fi, g, line, flow, states),
+                None => {
+                    // Unknown callee: evaluate args, treat as pure.
+                    let mut states = states;
+                    for part in split_commas(&g.items) {
+                        states = self.eval_expr(part, flow, states);
+                    }
+                    for st in &mut states {
+                        st.res = None;
+                    }
+                    states
+                }
+            };
+            return (out, None, k + 1);
+        }
+        // Plain variable / path read.
+        let recv = if segs.len() == 1 {
+            self.frame().types.get(&segs[0]).cloned()
+        } else {
+            None
+        };
+        (states, recv, k)
+    }
+
+    /// Resolve a call chain to an analyzed function index.
+    fn resolve_call(&self, segs: &[String]) -> Option<usize> {
+        let name = segs.last()?;
+        if segs.len() == 2 {
+            let ty = if segs[0] == "Self" {
+                self.frame().self_ty.clone()?
+            } else {
+                segs[0].clone()
+            };
+            if let Some(fi) = self.prog.method(&ty, name) {
+                return Some(fi);
+            }
+        }
+        if segs.len() == 1 {
+            let file = self.fn_item().file.clone();
+            return self.prog.free_fn(&file, name);
+        }
+        // Module-qualified free function (`engine::rr_alloc`, …).
+        match self.prog.free_global.get(name.as_str()).map(Vec::as_slice) {
+            Some([only]) => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// Postfix after `.`: method call, field access, or `.await`.
+    fn eval_postfix(
+        &mut self,
+        span: &[Tree],
+        j: usize,
+        recv: &Option<String>,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> (Vec<St>, Option<String>, usize) {
+        let Some(name) = span.get(j + 1).and_then(|t| t.ident()) else {
+            // `.0` tuple index or similar.
+            return (states, None, j + 2);
+        };
+        if name == "await" {
+            return (states, recv.clone(), j + 2);
+        }
+        let name = name.to_string();
+        let line = span[j + 1].line();
+        let call_group = span
+            .get(j + 2)
+            .and_then(|t| t.group())
+            .filter(|g| g.open == '(');
+        let Some(g) = call_group else {
+            return (states, None, j + 2); // field access
+        };
+        if matches!(name.as_str(), "source" | "clone") {
+            return (states, recv.clone(), j + 3);
+        }
+        let out = match recv.as_deref() {
+            Some("Endpoint") => self.eval_ep_method(&name, g, line, flow, states),
+            Some(ty) => {
+                let ty = ty.to_string();
+                match self.prog.method(&ty, &name) {
+                    Some(fi) => self.eval_user_call(fi, g, line, flow, states),
+                    None => {
+                        let mut states = states;
+                        for part in split_commas(&g.items) {
+                            states = self.eval_expr(part, flow, states);
+                        }
+                        for st in &mut states {
+                            st.res = None;
+                        }
+                        states
+                    }
+                }
+            }
+            None => {
+                let mut states = states;
+                for part in split_commas(&g.items) {
+                    states = self.eval_expr(part, flow, states);
+                }
+                for st in &mut states {
+                    st.res = None;
+                }
+                states
+            }
+        };
+        (out, None, j + 3)
+    }
+
+    /// The `with_retry!(ep, [retrying,] op)` macro: check the
+    /// idempotency rule, then evaluate one attempt of `op`.
+    fn eval_with_retry(
+        &mut self,
+        items: &[Tree],
+        line: u32,
+        flow: &mut Flow,
+        states: Vec<St>,
+    ) -> Vec<St> {
+        let parts = split_commas(items);
+        let op = match parts.len() {
+            2 => {
+                let marked = self
+                    .fn_item()
+                    .anns
+                    .contains(&crate::lex::AnnItem::Idempotent)
+                    || self.ann_at(line, &crate::lex::AnnItem::Idempotent);
+                if !marked {
+                    self.emit(
+                        "retry-idempotent",
+                        line,
+                        "two-argument `with_retry!` re-runs its operation without a \
+                         `retrying` hint; mark the enclosing function \
+                         `// protolint: idempotent` or thread the hint"
+                            .to_string(),
+                    );
+                }
+                parts[1]
+            }
+            3 => parts[2],
+            _ => return states,
+        };
+        // One attempt; the retry loop re-runs the same attempt from a
+        // clean state, so a single evaluation covers it.
+        self.eval_expr(op, flow, states)
+    }
+}

@@ -1,0 +1,108 @@
+//! The fixture corpus and the workspace lint as a cargo test, so plain
+//! `cargo test` exercises the analyzer without going through xtask.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the repo root")
+        .to_path_buf()
+}
+
+/// Every negative fixture must fire exactly the rules it declares via
+/// `expect(...)`, and every false-positive guard must stay silent.
+#[test]
+fn fixture_corpus_matches_expectations() {
+    let dir = repo_root().join("crates/protolint/fixtures");
+    let paths = protolint::fixture_paths(&dir).expect("fixtures dir readable");
+    assert!(
+        paths.len() >= 10,
+        "fixture corpus shrank to {} files",
+        paths.len()
+    );
+    let mut bad = Vec::new();
+    for p in &paths {
+        let res = protolint::run_fixture(p).expect("fixture parses");
+        if !res.pass() {
+            bad.push(format!(
+                "{}: expected {:?}, found {:?}",
+                res.name, res.expected, res.found
+            ));
+        }
+    }
+    assert!(bad.is_empty(), "fixture mismatches:\n{}", bad.join("\n"));
+}
+
+/// The rule families the negative corpus covers: at least one fixture
+/// per enforced discipline.
+#[test]
+fn fixture_corpus_covers_all_rule_families() {
+    let dir = repo_root().join("crates/protolint/fixtures");
+    let paths = protolint::fixture_paths(&dir).expect("fixtures dir readable");
+    let mut covered = std::collections::BTreeSet::new();
+    for p in &paths {
+        let res = protolint::run_fixture(p).expect("fixture parses");
+        covered.extend(res.expected);
+    }
+    for rule in [
+        "lock-leak",
+        "double-release",
+        "cs-verb-bound",
+        "cs-loop",
+        "unmodeled-verb-loop",
+        "unmodeled-ep-method",
+        "retry-idempotent",
+        "hot-panic",
+        "deadline-thread",
+    ] {
+        assert!(covered.contains(rule), "no fixture exercises `{rule}`");
+    }
+}
+
+/// The real hot paths lint clean and the widest discovered critical
+/// section equals the spec bound the lease-recovery proof uses.
+#[test]
+fn workspace_hot_paths_lint_clean() {
+    let root = repo_root();
+    let prog = protolint::load_workspace(&root).expect("workspace loads");
+    let max = protolint::spec_max_verbs(&root).expect("spec parses");
+    let out = protolint::run_lint(&prog, max, false);
+    assert!(
+        out.findings.is_empty(),
+        "hot-path findings:\n{}",
+        out.findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.msg))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(out.max_section_verbs(), max);
+}
+
+/// The static cost table keeps the paper's §4–§5 per-op verb counts.
+#[test]
+fn cost_table_matches_paper_protocol() {
+    let root = repo_root();
+    let prog = protolint::load_workspace(&root).expect("workspace loads");
+    let max = protolint::spec_max_verbs(&root).expect("spec parses");
+    let rows = protolint::cost_table(&prog, max);
+    let cell = |design: &str, op: &str| {
+        rows.iter()
+            .find(|r| r.design == design)
+            .and_then(|r| r.cells.iter().find(|(l, _)| *l == op))
+            .map(|(_, c)| c.render())
+            .unwrap_or_else(|| panic!("no cell {design}/{op}"))
+    };
+    assert_eq!(cell("cg", "lookup"), "1 RPC");
+    assert_eq!(cell("cg", "insert (no split)"), "1 RPC");
+    assert_eq!(cell("fg", "lookup"), "L os");
+    assert_eq!(cell("fg", "insert (no split)"), "L+3 os");
+    assert_eq!(cell("fg", "delete (miss)"), "L+2 os");
+    assert_eq!(cell("fg", "delete (hit)"), "L+3 os");
+    assert_eq!(cell("hybrid", "lookup"), "1 RPC + 1 os");
+    assert_eq!(cell("hybrid", "insert (no split)"), "1 RPC + 4 os");
+    assert_eq!(cell("hybrid", "delete (miss)"), "1 RPC + 3 os");
+    assert_eq!(cell("hybrid", "delete (hit)"), "1 RPC + 4 os");
+}

@@ -37,6 +37,11 @@ pub enum VerbError {
         /// The raw pointer bits.
         raw: u64,
     },
+    /// A protocol invariant the caller relies on did not hold (e.g. a
+    /// freshly split half-empty page refusing an insert). Never
+    /// retryable: the state that produced it is deterministic, so the
+    /// operation surfaces it instead of panicking on a hot path.
+    Invariant(&'static str),
 }
 
 impl VerbError {
@@ -71,6 +76,9 @@ impl fmt::Display for VerbError {
             VerbError::Cancelled => write!(f, "issuing client was killed"),
             VerbError::InvalidPointer { raw } => {
                 write!(f, "remote pointer {raw:#018x} does not decode")
+            }
+            VerbError::Invariant(what) => {
+                write!(f, "protocol invariant violated: {what}")
             }
         }
     }

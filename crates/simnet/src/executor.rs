@@ -12,10 +12,16 @@ use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::time::{SimDur, SimTime};
+
+/// The waker-shared ready queue. Behind a `std::sync::Mutex` only
+/// because `std::task::Wake` requires `Send + Sync`; the executor is
+/// strictly single-threaded, so the lock is never contended.
+#[allow(clippy::disallowed_types)]
+type ReadyQueue = Arc<std::sync::Mutex<VecDeque<TaskId>>>;
 
 /// Identifier of a spawned task.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -98,7 +104,7 @@ impl Ord for TimerEvent {
 /// so the lock is never contended.
 struct TaskWaker {
     task: TaskId,
-    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    ready: ReadyQueue,
 }
 
 impl Wake for TaskWaker {
@@ -118,7 +124,7 @@ struct SimInner {
     tasks: RefCell<BTreeMap<TaskId, BoxedFuture>>,
     /// Tasks spawned while the executor is mid-poll; merged before each poll.
     incoming: RefCell<Vec<(TaskId, BoxedFuture)>>,
-    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    ready: ReadyQueue,
     live_tasks: Cell<usize>,
     /// Installed schedule policy; `None` keeps the raw FIFO fast path.
     policy: RefCell<Option<Box<dyn SchedulePolicy>>>,
@@ -149,7 +155,7 @@ impl Sim {
                 timers: RefCell::new(BinaryHeap::new()),
                 tasks: RefCell::new(BTreeMap::new()),
                 incoming: RefCell::new(Vec::new()),
-                ready: Arc::new(Mutex::new(VecDeque::new())),
+                ready: ReadyQueue::default(),
                 live_tasks: Cell::new(0),
                 policy: RefCell::new(None),
             }),

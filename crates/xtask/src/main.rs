@@ -648,6 +648,48 @@ fn mc(quick: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `cargo xtask protolint [--emit-docs]` — the protocol-flow static
+/// analyzer: lock/verb/deadline discipline over the hot paths, the
+/// fixture corpus, and the generated critical-section doc blocks.
+fn protolint_gate(emit_docs: bool) -> ExitCode {
+    let mut run = vec![
+        "run",
+        "-q",
+        "-p",
+        "protolint",
+        "--bin",
+        "protolint",
+        "--",
+        "check",
+    ];
+    if emit_docs {
+        run.push("--emit-docs");
+    }
+    if let Err(code) = cargo_step("protolint", &run) {
+        return code;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `cargo xtask verb-model` — cross-check the static verbs-per-op cost
+/// table against telemetry-measured verb counts from a quick sweep of
+/// all three designs.
+fn verb_model() -> ExitCode {
+    let run = [
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "protolint",
+        "--bin",
+        "verb_model_check",
+    ];
+    if let Err(code) = cargo_step("verb-model", &run) {
+        return code;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -658,9 +700,12 @@ fn main() -> ExitCode {
         Some("engine-parity") if args[1] == "--bless" => engine_parity(true),
         Some("mc") if args.len() == 1 => mc(false),
         Some("mc") if args[1] == "--quick" => mc(true),
+        Some("protolint") if args.len() == 1 => protolint_gate(false),
+        Some("protolint") if args[1] == "--emit-docs" => protolint_gate(true),
+        Some("verb-model") if args.len() == 1 => verb_model(),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--self-test] | trace-check | engine-parity [--bless] | mc [--quick]>"
+                "usage: cargo xtask <lint [--self-test] | trace-check | engine-parity [--bless] | mc [--quick] | protolint [--emit-docs] | verb-model>"
             );
             ExitCode::FAILURE
         }
