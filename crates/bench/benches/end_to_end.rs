@@ -10,7 +10,12 @@ use ycsb::Workload;
 fn bench_experiment(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiment_cell");
     group.sample_size(10);
-    for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+    for design in [
+        DesignKind::Cg,
+        DesignKind::Fg,
+        DesignKind::Hybrid,
+        DesignKind::Learned,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(design.label()),
             &design,

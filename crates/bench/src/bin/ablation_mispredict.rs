@@ -1,0 +1,116 @@
+//! Learned-design ablation: model mispredict rate vs. insert rate.
+//!
+//! The learned design's one-RTT lookups hold only while the model's
+//! leaf table matches the tree; every split made after training turns
+//! the affected prediction into a B-link rightward chase (a mispredict)
+//! until drift-triggered retraining refreshes the model. This sweep
+//! raises the insert fraction from read-only to insert-heavy at several
+//! client counts and records the mispredict rate, retrain count, and
+//! throughput — the data behind the retrain-threshold default.
+
+use bench::plot::{ascii_chart, results_dir, write_csv};
+use bench::{run_experiment, DesignKind, ExperimentConfig};
+use simnet::SimDur;
+use ycsb::{InsertPattern, RequestDist, Workload};
+
+/// Insert fractions swept (x-axis). 0.0 is the control: a static tree
+/// must hold a 0% mispredict rate.
+const INSERT_FRACS: [f64; 5] = [0.0, 0.02, 0.05, 0.2, 0.5];
+
+/// This sweep pins its own tree scale instead of `figures::num_keys()`:
+/// drift is driven by *splits per loaded leaf*, so a measurement window
+/// has to push each leaf toward overflow. Small pages over a 100k-key
+/// tree give ~10 entries of headroom per leaf; at the paper-scale 1M
+/// keys and 1KB pages the same window leaves every leaf unsplit and the
+/// whole figure reads 0%.
+const ABLATION_KEYS: u64 = 100_000;
+const ABLATION_PAGE: usize = 256;
+
+fn mix(insert_frac: f64) -> Workload {
+    Workload {
+        point_frac: 1.0 - insert_frac,
+        range_frac: 0.0,
+        insert_frac,
+        selectivity: 0.0,
+        dist: RequestDist::Uniform,
+        insert_pattern: InsertPattern::Scattered,
+    }
+}
+
+fn main() {
+    let quick = bench::figures::quick();
+    let client_counts: &[usize] = if quick { &[40] } else { &[40, 160] };
+    let mut csv = Vec::new();
+    let mut series = Vec::new();
+    for &clients in client_counts {
+        let mut pts = Vec::new();
+        for frac in INSERT_FRACS {
+            let cfg = ExperimentConfig {
+                design: DesignKind::Learned,
+                workload: mix(frac),
+                num_keys: ABLATION_KEYS,
+                page_size: ABLATION_PAGE,
+                clients,
+                warmup: SimDur::from_millis(3),
+                measure: SimDur::from_millis(25),
+                seed: bench::parse_args().seed_or_default(),
+                ..ExperimentConfig::default()
+            };
+            let r = run_experiment(&cfg);
+            let l = r.learned.expect("learned design reports model stats");
+            let rate = if l.predictions > 0 {
+                l.mispredicts as f64 / l.predictions as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "[ablation_mispredict] insert={frac:.2} clients={clients}: \
+                 {:.2}% mispredict, {} retrains, {:.0} ops/s",
+                rate * 100.0,
+                l.retrains,
+                r.throughput
+            );
+            pts.push((frac * 100.0, rate * 100.0));
+            csv.push(vec![
+                format!("{frac:.2}"),
+                clients.to_string(),
+                format!("{:.1}", r.throughput),
+                l.predictions.to_string(),
+                l.mispredicts.to_string(),
+                format!("{:.5}", rate),
+                l.retrains.to_string(),
+                l.fallbacks.to_string(),
+                l.epoch_flushes.to_string(),
+            ]);
+        }
+        series.push((format!("{clients} clients"), pts));
+    }
+    println!(
+        "{}",
+        ascii_chart(
+            "Ablation: Learned-Index Mispredict Rate vs. Insert Rate",
+            "insert %",
+            "mispredict %",
+            &series,
+            false,
+        )
+    );
+    let path = results_dir().join("ablation_mispredict.csv");
+    write_csv(
+        &path,
+        &[
+            "insert_frac",
+            "clients",
+            "throughput",
+            "predictions",
+            "mispredicts",
+            "mispredict_rate",
+            "retrains",
+            "fallbacks",
+            "epoch_flushes",
+        ],
+        &csv,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

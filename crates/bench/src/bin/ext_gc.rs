@@ -98,6 +98,7 @@ fn run(design_name: &'static str, keys: u64, delete_frac: f64, seed: u64) -> GcR
                     Design::Cg(d) => gc::cg_gc_pass(d, &ep).await,
                     Design::Fg(d) => gc::fg_gc_pass(d, &ep).await,
                     Design::Hybrid(d) => gc::hybrid_gc_pass(d, &ep).await,
+                    Design::Learned(d) => gc::hybrid_gc_pass(d.tree(), &ep).await,
                 };
                 reclaimed.set(freed.expect("fault-free run"));
                 gc_end.set(sim_c.now());

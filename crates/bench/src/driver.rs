@@ -16,7 +16,7 @@ use std::rc::Rc;
 use blink::PageLayout;
 use chaos::{ChaosController, FaultPlan};
 use nam::{NamCluster, PartitionMap};
-use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
+use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid, Learned, LearnedStats};
 use rdma_sim::{ClusterSpec, Endpoint, FaultStats, ServerStats};
 use simnet::rng::Zipf;
 use simnet::stats::{Counter, Histogram};
@@ -33,6 +33,8 @@ pub enum DesignKind {
     Fg,
     /// Design 3: hybrid.
     Hybrid,
+    /// Design 4: learned-index routing over the hybrid tree.
+    Learned,
 }
 
 impl DesignKind {
@@ -42,6 +44,7 @@ impl DesignKind {
             DesignKind::Cg => "Coarse-Grained",
             DesignKind::Fg => "Fine-Grained",
             DesignKind::Hybrid => "Hybrid",
+            DesignKind::Learned => "Learned",
         }
     }
 }
@@ -197,6 +200,12 @@ pub struct ExperimentResult {
     /// Telemetry registry snapshot (empty unless
     /// [`ExperimentConfig::trace_path`] is set).
     pub metrics: Vec<MetricRow>,
+    /// Model routing counters for the whole run (`None` unless the
+    /// design is [`DesignKind::Learned`]).
+    pub learned: Option<LearnedStats>,
+    /// Scheduling events the simulator processed over the whole run
+    /// (deterministic; divide by wall time for a raw-speed figure).
+    pub sim_events: u64,
 }
 
 fn delta(end: &ServerStats, start: &ServerStats) -> ServerStats {
@@ -245,6 +254,17 @@ fn build_design(cfg: &ExperimentConfig, nam: &NamCluster, data: Dataset) -> Desi
             data.iter(),
         )),
         DesignKind::Hybrid => Design::Hybrid(Hybrid::build(
+            nam,
+            FgConfig {
+                layout,
+                fill: 0.7,
+                head_stride: cfg.head_stride,
+                cache_capacity: cfg.cache_capacity,
+            },
+            range_partition,
+            data.iter(),
+        )),
+        DesignKind::Learned => Design::Learned(Learned::build(
             nam,
             FgConfig {
                 layout,
@@ -481,6 +501,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         fault_stats: nam.rdma.fault_stats(),
         timeline,
         metrics,
+        learned: design.learned_stats(),
+        sim_events: sim.events_processed(),
     }
 }
 
@@ -540,12 +562,18 @@ mod tests {
 
     #[test]
     fn all_designs_produce_throughput() {
-        for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+        for design in [
+            DesignKind::Cg,
+            DesignKind::Fg,
+            DesignKind::Hybrid,
+            DesignKind::Learned,
+        ] {
             let r = run_experiment(&quick(design));
             assert!(r.ops > 100, "{design:?} completed only {} ops", r.ops);
             assert!(r.throughput > 0.0);
             assert!(r.latency.count() == r.ops);
             assert!(r.wire_bytes > 0);
+            assert_eq!(r.learned.is_some(), design == DesignKind::Learned);
         }
     }
 
@@ -602,7 +630,12 @@ mod tests {
 
     #[test]
     fn insert_workload_runs_on_all_designs() {
-        for design in [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid] {
+        for design in [
+            DesignKind::Cg,
+            DesignKind::Fg,
+            DesignKind::Hybrid,
+            DesignKind::Learned,
+        ] {
             let cfg = ExperimentConfig {
                 workload: Workload::d(),
                 ..quick(design)
@@ -610,6 +643,19 @@ mod tests {
             let r = run_experiment(&cfg);
             assert!(r.ops > 50, "{design:?}: {}", r.ops);
         }
+    }
+
+    #[test]
+    fn learned_point_lookups_avoid_rpcs() {
+        // Read-only uniform workload (A = 100% point queries): every
+        // lookup routes through the model, so the run carries zero RPCs
+        // and records predictions without a single fallback.
+        let r = run_experiment(&quick(DesignKind::Learned));
+        let rpcs: u64 = r.per_server.iter().map(|s| s.rpcs).sum();
+        assert_eq!(rpcs, 0, "model-routed lookups must not RPC");
+        let l = r.learned.expect("learned stats present");
+        assert!(l.predictions > 0);
+        assert_eq!(l.fallbacks, 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Shared sweep infrastructure for the figure binaries.
 //!
 //! Figures 7, 9 and 13 (and 8, 14) all come from one underlying sweep:
-//! {3 designs} × {client counts} × {workload A + three range
+//! {4 designs} × {client counts} × {workload A + three range
 //! selectivities} under one data distribution. [`full_sweep`] runs it
 //! once and caches the rows as CSV under the results directory; the
 //! figure binaries then render their view of the data. Delete the
@@ -22,8 +22,39 @@ use crate::cli;
 use crate::driver::{run_experiment, DataDist, DesignKind, ExperimentConfig};
 use crate::plot::{results_dir, write_csv};
 
-/// All three designs, in the paper's legend order.
-pub const DESIGNS: [DesignKind; 3] = [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid];
+/// All four designs, in legend order: the paper's three plus the
+/// learned-index routing design.
+pub const DESIGNS: [DesignKind; 4] = [
+    DesignKind::Cg,
+    DesignKind::Fg,
+    DesignKind::Hybrid,
+    DesignKind::Learned,
+];
+
+/// The designs this process sweeps: all four by default, or the comma
+/// list in `NAMDEX_DESIGNS` (`cg,fg,hybrid,learned`). The engine-parity
+/// harness pins the original three so its golden digest predates — and
+/// stays independent of — the learned design.
+pub fn designs() -> Vec<DesignKind> {
+    let Ok(list) = std::env::var("NAMDEX_DESIGNS") else {
+        return DESIGNS.to_vec();
+    };
+    let picked: Vec<DesignKind> = list
+        .split(',')
+        .filter_map(|s| match s.trim() {
+            "cg" => Some(DesignKind::Cg),
+            "fg" => Some(DesignKind::Fg),
+            "hybrid" => Some(DesignKind::Hybrid),
+            "learned" => Some(DesignKind::Learned),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !picked.is_empty(),
+        "NAMDEX_DESIGNS selects no known design: {list:?}"
+    );
+    picked
+}
 
 /// Whether quick mode is on (`NAMDEX_QUICK=1`).
 pub fn quick() -> bool {
@@ -164,11 +195,26 @@ fn load(path: &Path) -> Option<Vec<SweepRow>> {
 }
 
 /// Run (or load from cache) the full sweep for one data distribution.
+/// Only rows for [`designs`] are returned; a cached sweep missing a
+/// requested design is re-measured in full.
 pub fn full_sweep(dist: DataDist) -> Vec<SweepRow> {
+    let want = designs();
     let path = cache_path(dist);
     if let Some(rows) = load(&path) {
-        eprintln!("[sweep] reusing cached {}", path.display());
-        return rows;
+        if want
+            .iter()
+            .all(|d| rows.iter().any(|r| r.design == d.label()))
+        {
+            eprintln!("[sweep] reusing cached {}", path.display());
+            return rows
+                .into_iter()
+                .filter(|r| want.iter().any(|d| r.design == d.label()))
+                .collect();
+        }
+        eprintln!(
+            "[sweep] cached {} lacks a requested design; re-measuring",
+            path.display()
+        );
     }
     let mut rows = Vec::new();
     for (panel, workload) in panels() {
@@ -180,7 +226,7 @@ pub fn full_sweep(dist: DataDist) -> Vec<SweepRow> {
             "range_sel0.01" => SimDur::from_millis(60),
             _ => SimDur::from_millis(25),
         };
-        for design in DESIGNS {
+        for &design in &want {
             for clients in clients_sweep() {
                 let cfg = ExperimentConfig {
                     design,
@@ -228,6 +274,7 @@ pub fn panel_series(
 ) -> Vec<(String, Vec<(f64, f64)>)> {
     DESIGNS
         .iter()
+        .filter(|d| rows.iter().any(|r| r.design == d.label()))
         .map(|d| {
             let pts: Vec<(f64, f64)> = rows
                 .iter()

@@ -13,6 +13,7 @@ pub mod cli;
 pub mod driver;
 pub mod figures;
 pub mod plot;
+pub mod trajectory;
 
 pub use cli::{parse_args, BenchArgs};
 pub use driver::{

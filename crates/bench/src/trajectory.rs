@@ -1,0 +1,148 @@
+//! PR-over-PR performance trajectory: `BENCH_*.json` baselines.
+//!
+//! Each figure binary that participates in the trajectory runs one
+//! small seed-pinned experiment per design and records two numbers:
+//!
+//! * **ops/sec** — virtual-time throughput, fully deterministic for a
+//!   given seed, so regressions in protocol verb counts or simulated
+//!   timing show up as an exact diff;
+//! * **events/sec** — scheduling events the simulator processed per
+//!   wall-clock second, the raw-speed figure ROADMAP item 3 tracks.
+//!   This one is machine-dependent by nature; the trajectory compares
+//!   it across PRs run on the same hardware.
+//!
+//! The JSON is hand-rolled (the workspace carries no serde) and field
+//! order is fixed, so same-machine same-seed reruns diff cleanly.
+
+use std::path::Path;
+
+use crate::driver::{run_experiment, DesignKind, ExperimentConfig};
+use crate::figures;
+use simnet::SimDur;
+
+/// One design's trajectory sample.
+#[derive(Clone, Debug)]
+pub struct TrajectoryPoint {
+    /// Design label (paper legend name).
+    pub design: String,
+    /// Deterministic virtual-time throughput, operations/second.
+    pub ops_per_sec: f64,
+    /// Scheduling events the run processed (deterministic).
+    pub sim_events: u64,
+    /// Simulator raw speed, events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Run the seed-pinned baseline workload once per design in
+/// [`figures::designs`] and collect trajectory points.
+///
+/// `now_secs` is a monotonic wall-clock sampler in seconds — the one
+/// place the bench harness touches real time. Binaries pass an
+/// `Instant`-based timer; tests can pass a stub.
+pub fn sample_designs(seed: u64, now_secs: impl Fn() -> f64) -> Vec<TrajectoryPoint> {
+    figures::designs()
+        .into_iter()
+        .map(|design| {
+            let cfg = baseline_config(design, seed);
+            let t0 = now_secs();
+            let r = run_experiment(&cfg);
+            let secs = now_secs() - t0;
+            eprintln!(
+                "[trajectory] {}: {:.0} ops/s, {} events in {secs:.2}s wall",
+                design.label(),
+                r.throughput,
+                r.sim_events,
+            );
+            TrajectoryPoint {
+                design: design.label().to_string(),
+                ops_per_sec: r.throughput,
+                sim_events: r.sim_events,
+                events_per_sec: if secs > 0.0 {
+                    r.sim_events as f64 / secs
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// The pinned baseline: workload A, 40 clients, 100k keys, uniform
+/// data — small enough to run on every figure invocation, large enough
+/// that events/sec reflects steady-state event-loop cost.
+fn baseline_config(design: DesignKind, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        design,
+        num_keys: 100_000,
+        clients: 40,
+        warmup: SimDur::from_millis(2),
+        measure: SimDur::from_millis(20),
+        seed,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Serialize trajectory points to the fixed-field JSON the ROADMAP's
+/// `BENCH_*.json` tracking consumes, and write it to `path`.
+pub fn write_bench_json(
+    path: &Path,
+    figure: &str,
+    seed: u64,
+    points: &[TrajectoryPoint],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"figure\": \"{figure}\",\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"designs\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"design\": \"{}\", \"ops_per_sec\": {:.1}, \
+             \"sim_events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            p.design,
+            p.ops_per_sec,
+            p.sim_events,
+            p.events_per_sec,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let dir = std::env::temp_dir().join("namdex_trajectory_test");
+        let path = dir.join("BENCH_test.json");
+        let pts = vec![
+            TrajectoryPoint {
+                design: "Hybrid".into(),
+                ops_per_sec: 1234.5,
+                sim_events: 999,
+                events_per_sec: 1e6,
+            },
+            TrajectoryPoint {
+                design: "Learned".into(),
+                ops_per_sec: 2000.0,
+                sim_events: 888,
+                events_per_sec: 2e6,
+            },
+        ];
+        write_bench_json(&path, "test", 42, &pts).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"figure\": \"test\""));
+        assert!(text.contains("\"seed\": 42"));
+        assert!(text.contains("\"design\": \"Learned\""));
+        assert!(text.contains("\"sim_events\": 999"));
+        // Exactly one trailing comma between the two design entries.
+        assert_eq!(text.matches("},").count(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -158,6 +158,7 @@ pub(crate) async fn lookup_op(
         Design::Cg(d) => with_retry!(ep, d.lookup(ep, key)),
         Design::Fg(d) => with_retry!(ep, lookup(&d.source(), ep, key)),
         Design::Hybrid(d) => with_retry!(ep, lookup(&d.source(), ep, key)),
+        Design::Learned(d) => with_retry!(ep, lookup(&d.source(), ep, key)),
     }
 }
 
@@ -179,6 +180,7 @@ pub(crate) async fn range_op(
         }
         Design::Fg(d) => with_retry!(ep, range(&d.source(), ep, lo, hi)),
         Design::Hybrid(d) => with_retry!(ep, range(&d.source(), ep, lo, hi)),
+        Design::Learned(d) => with_retry!(ep, range(&d.source(), ep, lo, hi)),
     }
 }
 
@@ -201,6 +203,9 @@ pub(crate) async fn insert_op(
         Design::Hybrid(d) => {
             with_retry!(ep, retrying, insert(&d.source(), ep, key, value, retrying))
         }
+        Design::Learned(d) => {
+            with_retry!(ep, retrying, insert(&d.source(), ep, key, value, retrying))
+        }
     }
 }
 
@@ -211,6 +216,7 @@ pub(crate) async fn delete_op(design: &Design, ep: &Endpoint, key: Key) -> Resul
         Design::Cg(d) => with_retry!(ep, d.delete(ep, key)),
         Design::Fg(d) => with_retry!(ep, delete(&d.source(), ep, key)),
         Design::Hybrid(d) => with_retry!(ep, delete(&d.source(), ep, key)),
+        Design::Learned(d) => with_retry!(ep, delete(&d.source(), ep, key)),
     }
 }
 

@@ -115,6 +115,12 @@ impl Hybrid {
         self.first.get()
     }
 
+    /// Round-robin placement cursor, shared with wrappers (the learned
+    /// design) that allocate split pages on this tree's behalf.
+    pub(crate) fn alloc_cursor(&self) -> &Cell<usize> {
+        &self.alloc_rr
+    }
+
     /// Page geometry.
     pub fn layout(&self) -> PageLayout {
         self.layout

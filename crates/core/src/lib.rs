@@ -35,6 +35,7 @@ pub mod engine;
 pub mod fg;
 pub mod gc;
 pub mod hybrid;
+pub mod learned;
 pub(crate) mod onesided;
 pub mod resolve;
 
@@ -43,6 +44,7 @@ pub use cg::CoarseGrained;
 pub use engine::RangeProgress;
 pub use fg::{FgConfig, FineGrained};
 pub use hybrid::Hybrid;
+pub use learned::{Learned, LearnedStats};
 pub use resolve::{CachePolicy, NodeSource, OpAccess, SetupSource};
 
 use blink::{Key, Value};
@@ -105,6 +107,8 @@ pub enum Design {
     Fg(Rc<FineGrained>),
     /// Design 3: hybrid.
     Hybrid(Rc<Hybrid>),
+    /// Design 4: learned-index routing over the hybrid layout.
+    Learned(Rc<Learned>),
 }
 
 /// Whether this build re-introduces the known-fixed historical bugs used
@@ -201,6 +205,18 @@ impl Design {
             Design::Cg(_) => None,
             Design::Fg(d) => d.cache().map(|c| c.stats()),
             Design::Hybrid(d) => d.cache().map(|c| c.stats()),
+            // The learned design's client-resident state is the model,
+            // not a page/route cache — see `learned_stats`.
+            Design::Learned(_) => None,
+        }
+    }
+
+    /// Counters of the learned routing layer (`None` for the other
+    /// designs).
+    pub fn learned_stats(&self) -> Option<LearnedStats> {
+        match self {
+            Design::Learned(d) => Some(d.stats()),
+            _ => None,
         }
     }
 
@@ -210,6 +226,7 @@ impl Design {
             Design::Cg(_) => "coarse-grained",
             Design::Fg(_) => "fine-grained",
             Design::Hybrid(_) => "hybrid",
+            Design::Learned(_) => "learned",
         }
     }
 
@@ -221,16 +238,25 @@ impl Design {
                 kind: IndexKind::CoarseGrained,
                 root: RemotePtr::NULL,
                 partition: Some(d.partition().clone()),
+                model: None,
             },
             Design::Fg(d) => IndexDescriptor {
                 kind: IndexKind::FineGrained,
                 root: d.root(),
                 partition: None,
+                model: None,
             },
             Design::Hybrid(d) => IndexDescriptor {
                 kind: IndexKind::Hybrid,
                 root: RemotePtr::NULL,
                 partition: Some(d.partition().clone()),
+                model: None,
+            },
+            Design::Learned(d) => IndexDescriptor {
+                kind: IndexKind::Learned,
+                root: RemotePtr::NULL,
+                partition: Some(d.tree().partition().clone()),
+                model: d.model(),
             },
         }
     }
@@ -260,7 +286,18 @@ mod tests {
                 0.7,
             )),
             Design::Fg(FineGrained::build(&nam.rdma, FgConfig::default(), items())),
-            Design::Hybrid(Hybrid::build(&nam, FgConfig::default(), partition, items())),
+            Design::Hybrid(Hybrid::build(
+                &nam,
+                FgConfig::default(),
+                partition.clone(),
+                items(),
+            )),
+            Design::Learned(Learned::build(
+                &nam,
+                FgConfig::default(),
+                partition,
+                items(),
+            )),
         ];
         for d in &designs {
             nam.catalog.register(d.name(), d.descriptor());
@@ -270,7 +307,11 @@ mod tests {
         assert!(!fg.root.is_null(), "FG publishes its root pointer");
         let cg = nam.catalog.lookup("coarse-grained").expect("registered");
         assert_eq!(cg.partition.as_ref().unwrap().num_servers(), 4);
-        assert_eq!(nam.catalog.names().count(), 3);
+        let learned = nam.catalog.lookup("learned").expect("registered");
+        assert_eq!(learned.kind, IndexKind::Learned);
+        let model = learned.model.as_ref().expect("catalog ships the model");
+        assert!(model.info().leaves > 0);
+        assert_eq!(nam.catalog.names().count(), 4);
     }
 
     #[test]

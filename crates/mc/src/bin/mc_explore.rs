@@ -1,7 +1,7 @@
 //! Command-line front end for the schedule-space model checker.
 //!
 //! ```text
-//! mc_explore explore  [--quick] [--design cg|fg|hybrid] [--out DIR] [--seed N]
+//! mc_explore explore  [--quick] [--design cg|fg|hybrid|learned] [--out DIR] [--seed N]
 //! mc_explore mutation [--quick] [--out DIR]        (needs --features mutations)
 //! mc_explore replay FILE
 //! ```
@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mc_explore explore  [--quick] [--design cg|fg|hybrid] [--out DIR] [--seed N]\n  mc_explore mutation [--quick] [--out DIR]\n  mc_explore replay FILE"
+        "usage:\n  mc_explore explore  [--quick] [--design cg|fg|hybrid|learned] [--out DIR] [--seed N]\n  mc_explore mutation [--quick] [--out DIR]\n  mc_explore replay FILE"
     );
     ExitCode::from(2)
 }

@@ -1,5 +1,5 @@
 //! Model-checking scenarios: tiny, fully deterministic concurrent
-//! workloads over the three index designs, run under a chosen schedule
+//! workloads over the four index designs, run under a chosen schedule
 //! policy, with every checkable property gathered into a [`RunReport`].
 //!
 //! ## Workload discipline
@@ -29,7 +29,7 @@ use crate::policy::{new_trace, Pct, RandomWalk, Replay, SharedTrace};
 use blink::PageLayout;
 use chaos::{ChaosController, FaultPlan};
 use nam::{NamCluster, PartitionMap};
-use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
+use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid, Learned};
 use rdma_sim::{ClusterSpec, Endpoint, LinkDegrade};
 use sanitizer::{HeldLock, Sanitizer, Violation};
 use simnet::rng::DetRng;
@@ -53,11 +53,19 @@ pub enum DesignKind {
     Fg,
     /// Hybrid (one-sided reads, RPC writes, design 3).
     Hybrid,
+    /// Learned (client-side model routing over the hybrid tree,
+    /// design 4).
+    Learned,
 }
 
 impl DesignKind {
-    /// All three designs, in matrix order.
-    pub const ALL: [DesignKind; 3] = [DesignKind::Cg, DesignKind::Fg, DesignKind::Hybrid];
+    /// All four designs, in matrix order.
+    pub const ALL: [DesignKind; 4] = [
+        DesignKind::Cg,
+        DesignKind::Fg,
+        DesignKind::Hybrid,
+        DesignKind::Learned,
+    ];
 
     /// Stable lowercase name (CLI flags, file format, reports).
     pub fn name(self) -> &'static str {
@@ -65,6 +73,7 @@ impl DesignKind {
             DesignKind::Cg => "cg",
             DesignKind::Fg => "fg",
             DesignKind::Hybrid => "hybrid",
+            DesignKind::Learned => "learned",
         }
     }
 
@@ -323,6 +332,7 @@ fn build(kind: DesignKind, nam: &NamCluster) -> Design {
         )),
         DesignKind::Fg => Design::Fg(FineGrained::build(&nam.rdma, cfg, items)),
         DesignKind::Hybrid => Design::Hybrid(Hybrid::build(nam, cfg, partition, items)),
+        DesignKind::Learned => Design::Learned(Learned::build(nam, cfg, partition, items)),
     }
 }
 

@@ -11,11 +11,13 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use learned_index::PgmModel;
 use rdma_sim::RemotePtr;
 
 use crate::partition::PartitionMap;
 
-/// Which of the paper's three designs an index uses.
+/// Which of the four designs an index uses (the paper's three plus the
+/// learned-routing extension).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum IndexKind {
     /// Design 1 (§3): coarse-grained distribution, two-sided access.
@@ -24,6 +26,9 @@ pub enum IndexKind {
     FineGrained,
     /// Design 3 (§5): hybrid.
     Hybrid,
+    /// Design 4: learned-index routing over the hybrid layout — the
+    /// catalog additionally ships the trained model to clients.
+    Learned,
 }
 
 /// Everything a compute server must know to access an index.
@@ -35,6 +40,10 @@ pub struct IndexDescriptor {
     pub root: RemotePtr,
     /// Partition map (coarse-grained and hybrid; `None` for fine-grained).
     pub partition: Option<PartitionMap>,
+    /// Trained routing model (learned design only). Shipped by value
+    /// through the catalog like the root pointer: a client that resolves
+    /// the descriptor can predict leaves with no further communication.
+    pub model: Option<Rc<PgmModel>>,
 }
 
 /// Name → descriptor registry.
@@ -106,6 +115,7 @@ mod tests {
                 kind: IndexKind::FineGrained,
                 root: RemotePtr::new(0, 64),
                 partition: None,
+                model: None,
             },
         );
         let d = cat.lookup("orders_idx").expect("registered");
@@ -122,6 +132,7 @@ mod tests {
             kind: IndexKind::CoarseGrained,
             root: RemotePtr::NULL,
             partition: Some(PartitionMap::range_uniform(server, 100)),
+            model: None,
         };
         cat.register("t", mk(2));
         cat.register("t", mk(4));

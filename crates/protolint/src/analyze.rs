@@ -38,7 +38,7 @@ pub struct Ctx {
     pub levels: Option<i64>,
 }
 
-pub const CTXS: [Ctx; 3] = [
+pub const CTXS: [Ctx; 4] = [
     Ctx {
         key: "cg",
         variant: "Cg",
@@ -57,6 +57,13 @@ pub const CTXS: [Ctx; 3] = [
         key: "hybrid",
         variant: "Hybrid",
         design_ty: "Hybrid",
+        client_descent: false,
+        levels: Some(1),
+    },
+    Ctx {
+        key: "learned",
+        variant: "Learned",
+        design_ty: "Learned",
         client_descent: false,
         levels: Some(1),
     },

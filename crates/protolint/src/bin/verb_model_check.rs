@@ -17,7 +17,7 @@ use std::rc::Rc;
 
 use blink::PageLayout;
 use nam::{NamCluster, PartitionMap};
-use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid};
+use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid, Learned};
 use rdma_sim::{ClusterSpec, Endpoint};
 use simnet::Sim;
 
@@ -74,6 +74,7 @@ fn build(kind: &str, nam: &NamCluster) -> Design {
             0.7,
         )),
         "fg" => Design::Fg(FineGrained::build(&nam.rdma, cfg, items)),
+        "learned" => Design::Learned(Learned::build(nam, cfg, partition, items)),
         _ => Design::Hybrid(Hybrid::build(nam, cfg, partition, items)),
     }
 }
@@ -192,7 +193,7 @@ fn main() -> ExitCode {
 
     let errs: Rc<RefCell<Vec<String>>> = Rc::default();
     let mut measured: Vec<(&'static str, [(u64, u64); 4])> = Vec::new();
-    for kind in ["cg", "fg", "hybrid"] {
+    for kind in ["cg", "fg", "hybrid", "learned"] {
         let sim = Sim::new();
         let nam = NamCluster::new(&sim, ClusterSpec::default());
         let idx = build(kind, &nam);

@@ -39,13 +39,14 @@ use lex::AnnItem;
 use syntax::Program;
 
 /// The protocol hot-path files, relative to the repo root.
-pub const HOT_FILES: [&str; 6] = [
+pub const HOT_FILES: [&str; 7] = [
     "crates/core/src/engine.rs",
     "crates/core/src/onesided.rs",
     "crates/core/src/resolve.rs",
     "crates/core/src/cg.rs",
     "crates/core/src/fg.rs",
     "crates/core/src/hybrid.rs",
+    "crates/core/src/learned.rs",
 ];
 
 /// The four operation roots in `engine.rs`.

@@ -105,4 +105,10 @@ fn cost_table_matches_paper_protocol() {
     assert_eq!(cell("hybrid", "insert (no split)"), "1 RPC + 4 os");
     assert_eq!(cell("hybrid", "delete (miss)"), "1 RPC + 3 os");
     assert_eq!(cell("hybrid", "delete (hit)"), "1 RPC + 4 os");
+    // Design 4: the model resolves the leaf client-side, so a point
+    // lookup is a single one-sided READ and no RPC ever leaves.
+    assert_eq!(cell("learned", "lookup"), "1 os");
+    assert_eq!(cell("learned", "insert (no split)"), "4 os");
+    assert_eq!(cell("learned", "delete (miss)"), "3 os");
+    assert_eq!(cell("learned", "delete (hit)"), "4 os");
 }

@@ -112,6 +112,19 @@ pub struct ClusterSpec {
     /// no effect of a live holder can still land — only then is the
     /// break CAS safe, and "a live holder can never be broken" holds.
     pub lease_duration: SimDur,
+
+    // --- learned-index design (design 4) knobs ---
+    /// Error bound ε of the learned model's linear segments: a predicted
+    /// table position is within ±ε of the true one at training time.
+    /// Must be ≥ 1: a zero ε leaves float rounding nowhere to go.
+    pub learned_epsilon: u32,
+    /// Stale-prediction rate (mispredicts / predictions since the last
+    /// training) at which the learned design retrains its model. Must be
+    /// in (0, 1].
+    pub learned_retrain_threshold: f64,
+    /// Maximum segment count of the model's top level (the recursion
+    /// stops once a level fits). Must be ≥ 2.
+    pub learned_model_fanout: usize,
 }
 
 /// Upper bound on the verbs a holder issues while a page lock is held:
@@ -148,6 +161,9 @@ impl Default for ClusterSpec {
             retry_backoff_cap: SimDur::from_micros(256),
             retry_limit: 16,
             lease_duration: SimDur::from_millis(5),
+            learned_epsilon: 8,
+            learned_retrain_threshold: 0.05,
+            learned_model_fanout: 64,
         }
     }
 }
@@ -231,6 +247,27 @@ impl ClusterSpec {
             self.lease_duration.as_nanos(),
             max_hold.as_nanos(),
         );
+        assert!(
+            self.learned_epsilon >= 1,
+            "learned_epsilon must be >= 1: the model's bounded search \
+             window needs at least one position of slack for float \
+             rounding (got {})",
+            self.learned_epsilon,
+        );
+        assert!(
+            self.learned_retrain_threshold > 0.0 && self.learned_retrain_threshold <= 1.0,
+            "learned_retrain_threshold must be in (0, 1]: it is a \
+             stale-prediction *rate*; 0 would retrain on every mispredict \
+             before the rate is even defined (got {})",
+            self.learned_retrain_threshold,
+        );
+        assert!(
+            self.learned_model_fanout >= 2,
+            "learned_model_fanout must be >= 2: the segment recursion \
+             shrinks by grouping, a top level of < 2 segments per step \
+             cannot terminate meaningfully (got {})",
+            self.learned_model_fanout,
+        );
     }
 }
 
@@ -283,6 +320,46 @@ mod tests {
             // One verb_timeout short of the safe bound: a holder's late
             // unlock FAA could land after a contender's break.
             lease_duration: SimDur::from_millis(3),
+            ..ClusterSpec::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "learned_epsilon")]
+    fn zero_epsilon_is_rejected() {
+        let spec = ClusterSpec {
+            learned_epsilon: 0,
+            ..ClusterSpec::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "learned_retrain_threshold")]
+    fn zero_retrain_threshold_is_rejected() {
+        let spec = ClusterSpec {
+            learned_retrain_threshold: 0.0,
+            ..ClusterSpec::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "learned_retrain_threshold")]
+    fn over_unit_retrain_threshold_is_rejected() {
+        let spec = ClusterSpec {
+            learned_retrain_threshold: 1.5,
+            ..ClusterSpec::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "learned_model_fanout")]
+    fn degenerate_model_fanout_is_rejected() {
+        let spec = ClusterSpec {
+            learned_model_fanout: 1,
             ..ClusterSpec::default()
         };
         spec.validate();

@@ -358,12 +358,63 @@ pub fn check_cg(idx: &CoarseGrained) -> Vec<Violation> {
     out
 }
 
+/// Check the learned design: the hybrid layout underneath it, plus the
+/// model's routing table. A table entry may be *stale* (after a split
+/// the leaf it points at covers less than the recorded high key) but
+/// must never route *right* of the covering leaf: each entry must point
+/// at a live chain page whose current high key is at most the recorded
+/// one, and recorded highs must be strictly ascending — the conditions
+/// under which the engine's sibling chase is guaranteed to correct any
+/// prediction.
+pub fn check_learned(idx: &namdex_core::Learned) -> Vec<Violation> {
+    let mut out = check_hybrid(idx.tree());
+    let Some(model) = idx.model() else {
+        return out; // flushed model: nothing shipped, nothing to audit
+    };
+    let src = idx.tree().setup_source();
+    let now = idx.tree().cluster().sim().now();
+    let mut prev: Option<Key> = None;
+    for &(high, raw) in model.table() {
+        let ptr = RemotePtr::from_raw(raw);
+        if prev.is_some_and(|p| p >= high) {
+            out.push(sv(
+                ptr,
+                0,
+                now,
+                format!("model table highs not strictly ascending at {high}"),
+            ));
+            continue;
+        }
+        prev = Some(high);
+        let page = src.load(ptr);
+        let stale_right = match kind_of(&page) {
+            NodeKind::Leaf => LeafNodeRef::new(&page).high_key() > high,
+            // Heads are legal chain interposers the engine skips.
+            NodeKind::Head => false,
+            NodeKind::Inner => true,
+        };
+        if stale_right {
+            out.push(sv(
+                ptr,
+                0,
+                now,
+                format!(
+                    "model entry {high} routes right of its leaf (or to a \
+                     non-chain page): predictions there cannot self-correct"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Structural check for any design.
 pub fn check_design(design: &Design) -> Vec<Violation> {
     match design {
         Design::Cg(d) => check_cg(d),
         Design::Fg(d) => check_fg(d),
         Design::Hybrid(d) => check_hybrid(d),
+        Design::Learned(d) => check_learned(d),
     }
 }
 
@@ -422,5 +473,8 @@ pub fn register_design(san: &Sanitizer, design: &Design) {
         Design::Cg(_) => {}
         Design::Fg(d) => register_fg(san, d),
         Design::Hybrid(d) => register_hybrid(san, d),
+        // The learned design's one-sided memory is the hybrid leaf
+        // chain; the model itself is client-resident.
+        Design::Learned(d) => register_hybrid(san, d.tree()),
     }
 }

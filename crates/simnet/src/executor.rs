@@ -172,6 +172,14 @@ impl Sim {
         self.inner.live_tasks.get()
     }
 
+    /// Total scheduling events sequenced so far (timers, wakeups,
+    /// spawns). Monotone over the life of the simulation — the raw
+    /// event-loop work metric the bench trajectory divides by wall
+    /// time for its events/sec figure.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.seq.get()
+    }
+
     /// Install a [`SchedulePolicy`] that resolves every subsequent choice
     /// point. Replaces any previously installed policy.
     pub fn set_schedule_policy(&self, policy: Box<dyn SchedulePolicy>) {

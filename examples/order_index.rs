@@ -62,6 +62,7 @@ fn main() {
             kind: IndexKind::Hybrid,
             root: RemotePtr::NULL,
             partition: Some(PartitionMap::range_uniform(nam.num_servers(), domain)),
+            model: None,
         },
     );
     assert!(catalog.lookup("orders_by_customer").is_some());

@@ -1,4 +1,4 @@
-//! Quickstart: deploy a simulated NAM cluster, build each of the three
+//! Quickstart: deploy a simulated NAM cluster, build each of the four
 //! index designs, and run a few operations against them.
 //!
 //! ```sh
@@ -35,12 +35,15 @@ fn main() {
     // Design 2: fine-grained / one-sided.
     let fg = FineGrained::build(&nam.rdma, FgConfig::default(), data.iter());
     // Design 3: hybrid.
-    let hy = Hybrid::build(&nam, FgConfig::default(), partition, data.iter());
+    let hy = Hybrid::build(&nam, FgConfig::default(), partition.clone(), data.iter());
+    // Design 4: learned-index routing over the hybrid layout.
+    let ln = Learned::build(&nam, FgConfig::default(), partition, data.iter());
 
     for (index, name) in [
         (Design::Cg(cg), "coarse-grained"),
         (Design::Fg(fg), "fine-grained"),
         (Design::Hybrid(hy), "hybrid"),
+        (Design::Learned(ln), "learned"),
     ] {
         let ep = Endpoint::new(&nam.rdma);
         let sim_c = sim.clone();

@@ -75,7 +75,9 @@ pub mod prelude {
     pub use blink::{Key, LocalTree, PageLayout, Value};
     pub use chaos::{ChaosController, FaultEvent, FaultPlan, RandomProfile};
     pub use nam::{Catalog, IndexDescriptor, IndexKind, NamCluster, PartitionMap};
-    pub use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid, OpError};
+    pub use namdex_core::{
+        CoarseGrained, Design, FgConfig, FineGrained, Hybrid, Learned, LearnedStats, OpError,
+    };
     pub use rdma_sim::{Cluster, ClusterSpec, Endpoint, LinkDegrade, RemotePtr, VerbError};
     pub use simnet::{Sim, SimDur, SimTime};
     pub use ycsb::{Dataset, InsertPattern, Op, OpGen, RequestDist, Workload};

@@ -7,8 +7,10 @@
 //! Staleness here is only ever a too-far-LEFT route (splits move keys
 //! right; leaves are never merged or reused), so the B-link sibling
 //! chase corrects every stale hit; these tests pin that contract for
-//! both cache policies: FG's inner-page cache and Hybrid's leaf-route
-//! cache.
+//! both cache policies — FG's inner-page cache and Hybrid's leaf-route
+//! cache — and for the learned design's client-resident model, whose
+//! stale predictions obey the same route-left discipline and whose
+//! restart-epoch flush drops the whole model at once.
 
 use namdex::prelude::*;
 use std::cell::Cell;
@@ -165,6 +167,87 @@ fn restart_flush_scenario(design: Design, nam: &NamCluster, sim: &Sim) {
     assert!(
         stats.hits > warmed.hits,
         "cache must re-warm after the flush: {stats:?}"
+    );
+}
+
+/// The learned design's analogue of a stale cache is a stale *model*:
+/// its leaf table predates phase 2's splits, so phase-3 predictions
+/// land at-or-left of the covering leaf and must self-correct through
+/// the B-link chase (counted as mispredicts), never answer wrong. The
+/// accumulated drift must also have triggered at least one retrain
+/// beyond the one at build time.
+#[test]
+fn learned_stale_model_after_split_self_corrects() {
+    let (sim, nam) = cluster();
+    let partition = PartitionMap::range_uniform(nam.num_servers(), KEYS * 8);
+    let idx = Learned::build(&nam, cached_cfg(), partition, (0..KEYS).map(|i| (i * 8, i)));
+    let design = Design::Learned(idx);
+    assert_eq!(stale_split_scenario(design.clone(), &nam, &sim), 0);
+    let stats = design.learned_stats().expect("learned design");
+    assert!(stats.predictions > 0, "lookups must route via the model");
+    assert!(
+        stats.mispredicts > 0,
+        "post-split predictions must be detected as stale: {stats:?}"
+    );
+    assert!(
+        stats.retrains >= 2,
+        "split drift must trigger retraining: {stats:?}"
+    );
+    assert_eq!(stats.fallbacks, 0, "model never vanished: {stats:?}");
+}
+
+/// Restart-epoch coherence for the model: a crash/restart bumps the
+/// summed restart epoch, the next descent must drop the model wholesale
+/// (like the cache layer's restart flush) and retrain it before serving
+/// another prediction — with every post-restart answer correct.
+#[test]
+fn learned_model_flushes_on_server_restart() {
+    let (sim, nam) = cluster();
+    let partition = PartitionMap::range_uniform(nam.num_servers(), KEYS * 8);
+    let idx = Learned::build(&nam, cached_cfg(), partition, (0..KEYS).map(|i| (i * 8, i)));
+    let design = Design::Learned(idx);
+    let ep = Endpoint::new(&nam.rdma);
+
+    // Warm the model's prediction counters.
+    {
+        let design = design.clone();
+        let ep = ep.clone();
+        sim.spawn(async move {
+            for i in (0..KEYS).step_by(4) {
+                assert_eq!(design.lookup(&ep, i * 8).await.unwrap(), Some(i));
+            }
+        });
+    }
+    sim.run();
+    let warmed = design.learned_stats().expect("learned design");
+    assert!(warmed.predictions > 0, "model must be serving predictions");
+    assert_eq!(warmed.epoch_flushes, 0);
+
+    nam.rdma.fail_server(1);
+    nam.rdma.restart_server(1);
+
+    {
+        let design = design.clone();
+        let ep = ep.clone();
+        sim.spawn(async move {
+            for i in (0..KEYS).step_by(4) {
+                assert_eq!(design.lookup(&ep, i * 8).await.unwrap(), Some(i));
+            }
+        });
+    }
+    sim.run();
+    let stats = design.learned_stats().expect("learned design");
+    assert_eq!(
+        stats.epoch_flushes, 1,
+        "server restart must flush the model exactly once: {stats:?}"
+    );
+    assert!(
+        stats.retrains > warmed.retrains,
+        "flushed model must retrain before predicting again: {stats:?}"
+    );
+    assert!(
+        stats.predictions > warmed.predictions,
+        "model must serve predictions again after the flush: {stats:?}"
     );
 }
 

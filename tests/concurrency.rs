@@ -23,6 +23,7 @@ fn arm_sanitized(nam: &NamCluster, design: &Design) -> Rc<namdex::sanitizer::San
         Design::Cg(_) => PageLayout::default().page_size(),
         Design::Fg(d) => d.layout().page_size(),
         Design::Hybrid(d) => d.layout().page_size(),
+        Design::Learned(d) => d.layout().page_size(),
     };
     let san = namdex::sanitizer::Sanitizer::install(&nam.rdma, page_size);
     namdex::sanitizer::walk::register_design(&san, design);
@@ -170,6 +171,57 @@ fn hybrid_concurrent_writers_and_readers() {
         assert_eq!(rows.len() as u64, 2_000 + WRITERS * PER);
     });
     sim.run();
+    finish_sanitized(&san, &design);
+}
+
+/// The learned design under the same torture: concurrent writers split
+/// leaves out from under the model while readers route through stale
+/// predictions — every answer must stay correct (B-link self-repair),
+/// and the structural walk must come back clean.
+#[test]
+fn learned_concurrent_writers_and_readers() {
+    let (sim, nam) = cluster();
+    let partition = PartitionMap::range_uniform(nam.num_servers(), 2_000 * 8);
+    let idx = Learned::build(
+        &nam,
+        small_fg_cfg(),
+        partition,
+        (0..2_000u64).map(|i| (i * 8, i)),
+    );
+    let design = Design::Learned(idx.clone());
+    let san = arm_sanitized(&nam, &design);
+    const WRITERS: u64 = 8;
+    const PER: u64 = 60;
+    for w in 0..WRITERS {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            for i in 0..PER {
+                idx.insert(&ep, (i * WRITERS + w) * 16 + 3, w * 1_000 + i)
+                    .await
+                    .unwrap();
+            }
+        });
+    }
+    for r in 0..4u64 {
+        let idx = idx.clone();
+        let ep = Endpoint::new(&nam.rdma);
+        sim.spawn(async move {
+            for i in 0..50u64 {
+                let key = ((i * 41 + r * 13) % 2_000) * 8;
+                assert_eq!(idx.lookup(&ep, key).await.unwrap(), Some(key / 8));
+            }
+        });
+    }
+    sim.run();
+    let ep = Endpoint::new(&nam.rdma);
+    let idx2 = idx.clone();
+    sim.spawn(async move {
+        let rows = idx2.range(&ep, 0, u64::MAX - 1).await.unwrap();
+        assert_eq!(rows.len() as u64, 2_000 + WRITERS * PER);
+    });
+    sim.run();
+    assert!(idx.stats().predictions > 0, "lookups route via the model");
     finish_sanitized(&san, &design);
 }
 

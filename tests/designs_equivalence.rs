@@ -1,4 +1,4 @@
-//! Cross-design equivalence: the three index designs are different
+//! Cross-design equivalence: the four index designs are different
 //! *distributions* of the same logical B-link tree, so identical
 //! operation sequences must produce identical results — and must agree
 //! with a std::BTreeMap oracle.
@@ -31,6 +31,12 @@ fn deploy(n_keys: u64) -> (Sim, NamCluster, Vec<Design>) {
         Design::Hybrid(Hybrid::build(
             &nam,
             FgConfig::default(),
+            partition.clone(),
+            data.iter(),
+        )),
+        Design::Learned(Learned::build(
+            &nam,
+            FgConfig::default(),
             partition,
             data.iter(),
         )),
@@ -41,8 +47,9 @@ fn deploy(n_keys: u64) -> (Sim, NamCluster, Vec<Design>) {
 #[test]
 fn lookups_agree_across_designs() {
     let (sim, _nam, designs) = deploy(50_000);
-    let results: Vec<Shared<Option<u64>>> =
-        (0..3).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+    let results: Vec<Shared<Option<u64>>> = (0..designs.len())
+        .map(|_| Rc::new(RefCell::new(Vec::new())))
+        .collect();
     for (design, out) in designs.iter().zip(&results) {
         let design = design.clone();
         let out = out.clone();
@@ -59,6 +66,7 @@ fn lookups_agree_across_designs() {
     let a = results[0].borrow();
     assert_eq!(*a, *results[1].borrow(), "CG vs FG disagree");
     assert_eq!(*a, *results[2].borrow(), "CG vs Hybrid disagree");
+    assert_eq!(*a, *results[3].borrow(), "CG vs Learned disagree");
     // And against the oracle.
     for i in 0..500u64 {
         let key = (i * 97) % (50_000 * 8);
@@ -70,8 +78,9 @@ fn lookups_agree_across_designs() {
 #[test]
 fn ranges_agree_across_designs() {
     let (sim, _nam, designs) = deploy(20_000);
-    let results: Vec<Shared<Vec<(u64, u64)>>> =
-        (0..3).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+    let results: Vec<Shared<Vec<(u64, u64)>>> = (0..designs.len())
+        .map(|_| Rc::new(RefCell::new(Vec::new())))
+        .collect();
     for (design, out) in designs.iter().zip(&results) {
         let design = design.clone();
         let out = out.clone();
@@ -89,6 +98,7 @@ fn ranges_agree_across_designs() {
     let a = results[0].borrow();
     assert_eq!(*a, *results[1].borrow());
     assert_eq!(*a, *results[2].borrow());
+    assert_eq!(*a, *results[3].borrow());
     for (i, rows) in a.iter().enumerate() {
         assert_eq!(rows.len(), 200, "scan {i}");
         assert!(
@@ -169,5 +179,6 @@ fn design_cluster(design: &Design) -> &Cluster {
         Design::Cg(d) => d.cluster(),
         Design::Fg(d) => d.cluster(),
         Design::Hybrid(d) => d.cluster(),
+        Design::Learned(d) => d.tree().cluster(),
     }
 }

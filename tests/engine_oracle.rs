@@ -1,8 +1,10 @@
-//! Differential model test for the unified traversal engine: all three
-//! designs (CG, FG, Hybrid) run the *same* randomized concurrent
-//! insert/delete/lookup/range workload — through the one engine core —
-//! against an in-memory `BTreeMap` oracle, under a chaos fault plan
-//! (server crash + restart, plus a client killed mid-run).
+//! Differential model test for the unified traversal engine: all four
+//! designs (CG, FG, Hybrid, Learned) run the *same* randomized
+//! concurrent insert/delete/lookup/range workload — through the one
+//! engine core — against an in-memory `BTreeMap` oracle, under a chaos
+//! fault plan (server crash + restart, plus a client killed mid-run).
+//! For the learned design the crash/restart also exercises the
+//! restart-epoch model flush and post-split drift retraining.
 //!
 //! Bookkeeping discipline: a mutating operation's key is marked
 //! *uncertain* before the op is issued and resolved again only when the
@@ -48,7 +50,8 @@ fn build(kind: u8, nam: &NamCluster) -> Design {
             0.7,
         )),
         1 => Design::Fg(FineGrained::build(&nam.rdma, small_cfg(), items)),
-        _ => Design::Hybrid(Hybrid::build(nam, small_cfg(), partition, items)),
+        2 => Design::Hybrid(Hybrid::build(nam, small_cfg(), partition, items)),
+        _ => Design::Learned(Learned::build(nam, small_cfg(), partition, items)),
     }
 }
 
@@ -249,4 +252,10 @@ fn fg_agrees_with_oracle_under_chaos() {
 fn hybrid_agrees_with_oracle_under_chaos() {
     oracle_scenario(2, 7);
     oracle_scenario(2, 1_001);
+}
+
+#[test]
+fn learned_agrees_with_oracle_under_chaos() {
+    oracle_scenario(3, 7);
+    oracle_scenario(3, 1_001);
 }

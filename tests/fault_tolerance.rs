@@ -26,6 +26,7 @@ fn arm_sanitized(nam: &NamCluster, design: &Design) -> Rc<namdex::sanitizer::San
         Design::Cg(_) => PageLayout::default().page_size(),
         Design::Fg(d) => d.layout().page_size(),
         Design::Hybrid(d) => d.layout().page_size(),
+        Design::Learned(d) => d.layout().page_size(),
     };
     let san = namdex::sanitizer::Sanitizer::install(&nam.rdma, page_size);
     namdex::sanitizer::walk::register_design(&san, design);
@@ -60,7 +61,8 @@ fn build(kind: u8, nam: &NamCluster) -> Design {
             0.7,
         )),
         1 => Design::Fg(FineGrained::build(&nam.rdma, FgConfig::default(), items)),
-        _ => Design::Hybrid(Hybrid::build(nam, FgConfig::default(), partition, items)),
+        2 => Design::Hybrid(Hybrid::build(nam, FgConfig::default(), partition, items)),
+        _ => Design::Learned(Learned::build(nam, FgConfig::default(), partition, items)),
     }
 }
 
@@ -157,6 +159,11 @@ fn hybrid_completes_after_client_dies_holding_a_lock() {
     lock_orphan_scenario(2);
 }
 
+#[test]
+fn learned_completes_after_client_dies_holding_a_lock() {
+    lock_orphan_scenario(3);
+}
+
 /// The coarse-grained design has no client-held one-sided locks (its
 /// latches live inside the server handlers), so "between two verbs" is
 /// a timed kill mid-stream: RPCs already dispatched still apply
@@ -229,7 +236,7 @@ fn cg_completes_after_timed_kill_between_rpcs() {
 /// for the one-sided designs, under deterministic packet loss.
 #[test]
 fn lossy_links_never_lose_or_duplicate_inserts() {
-    for kind in 1..3u8 {
+    for kind in 1..4u8 {
         let (sim, nam) = cluster();
         let design = build(kind, &nam);
         let san = arm_sanitized(&nam, &design);
@@ -307,7 +314,7 @@ fn lossy_links_never_lose_or_duplicate_inserts() {
 /// and no operation returns a wrong answer.
 #[test]
 fn all_designs_ride_out_a_server_restart() {
-    for kind in 0..3u8 {
+    for kind in 0..4u8 {
         let (sim, nam) = cluster();
         let design = build(kind, &nam);
         let san = arm_sanitized(&nam, &design);
