@@ -8,6 +8,12 @@
 //! throughput / abort-rate timelines next to a fault-free baseline of
 //! the same seed.
 //!
+//! Each design additionally runs the same crash schedule under
+//! `Durability::Wal` with a write-bearing workload: the crashed server
+//! truly loses RAM and recovers from checkpoint + log replay, and every
+//! completed cycle's measured RTO lands in
+//! `ext_fault_tolerance_recovery.csv` (`recovery_time_us` per crash).
+//!
 //! `--seed N` changes the workload; `--fault-seed N` replaces the
 //! scripted schedule with a randomized plan drawn from that seed
 //! (`chaos::FaultPlan::randomized`). Same seeds, same timelines — the
@@ -17,6 +23,7 @@ use bench::figures::{quick, DESIGNS};
 use bench::plot::{ascii_chart, results_dir, write_csv, Series};
 use bench::{run_experiment, DesignKind, ExperimentConfig, ExperimentResult};
 use chaos::{FaultPlan, LinkDegrade, RandomProfile};
+use rdma_sim::{ClusterSpec, Durability};
 use simnet::{SimDur, SimTime};
 use ycsb::Workload;
 
@@ -65,6 +72,21 @@ fn config(design: DesignKind, seed: u64, plan: Option<FaultPlan>) -> ExperimentC
     }
 }
 
+/// The durable variant of the same faulted run: `Durability::Wal`, so
+/// the server crash genuinely wipes RAM and the restart pays boot +
+/// checkpoint/log replay — the measured RTO. Workload D (50% inserts)
+/// replaces the read-only A so the log actually accumulates records.
+fn config_wal(design: DesignKind, seed: u64, plan: FaultPlan) -> ExperimentConfig {
+    ExperimentConfig {
+        workload: Workload::d(),
+        spec: Some(ClusterSpec {
+            durability: Durability::Wal,
+            ..ClusterSpec::with_memory_servers(4)
+        }),
+        ..config(design, seed, Some(plan))
+    }
+}
+
 fn timeline_fingerprint(r: &ExperimentResult) -> Vec<(u64, u64)> {
     r.timeline.iter().map(|p| (p.ops, p.aborts)).collect()
 }
@@ -91,15 +113,36 @@ fn main() {
     );
 
     println!(
-        "{:>16} {:>14} {:>14} {:>8} {:>8} {:>12} {:>10}",
-        "design", "ops/s (clean)", "ops/s (fault)", "aborts", "abort%", "unreachable", "cancelled"
+        "{:>16} {:>14} {:>14} {:>8} {:>8} {:>12} {:>10} {:>12}",
+        "design",
+        "ops/s (clean)",
+        "ops/s (fault)",
+        "aborts",
+        "abort%",
+        "unreachable",
+        "cancelled",
+        "RTO (us)"
     );
     let mut csv = Vec::new();
+    let mut recovery_csv = Vec::new();
     let mut tput_series: Vec<Series> = Vec::new();
     let mut abort_series: Vec<Series> = Vec::new();
     for design in DESIGNS {
         let clean = run_experiment(&config(design, seed, None));
         let faulted = run_experiment(&config(design, seed, Some(plan.clone())));
+        // The durable run: same crash schedule, Wal mode, write-bearing
+        // workload. Its recovery records carry the measured RTO.
+        let durable = run_experiment(&config_wal(design, seed, plan.clone()));
+        for (i, r) in durable.recoveries.iter().enumerate() {
+            recovery_csv.push(vec![
+                design.label().to_string(),
+                i.to_string(),
+                r.server.to_string(),
+                format!("{:.1}", r.recovery_time().as_nanos() as f64 / 1_000.0),
+                r.replay_bytes.to_string(),
+                r.records_replayed.to_string(),
+            ]);
+        }
         // Same seed, same plan => byte-identical run (the determinism
         // gate's promise, restated here as a cheap self-check).
         let again = run_experiment(&config(design, seed, Some(plan.clone())));
@@ -110,8 +153,13 @@ fn main() {
         );
 
         let total = faulted.ops + faulted.aborts;
+        let rto_us = durable
+            .recoveries
+            .first()
+            .map(|r| r.recovery_time().as_nanos() as f64 / 1_000.0)
+            .unwrap_or(f64::NAN);
         println!(
-            "{:>16} {:>14.0} {:>14.0} {:>8} {:>7.2}% {:>12} {:>10}",
+            "{:>16} {:>14.0} {:>14.0} {:>8} {:>7.2}% {:>12} {:>10} {:>12.1}",
             design.label(),
             clean.throughput,
             faulted.throughput,
@@ -119,6 +167,7 @@ fn main() {
             faulted.aborts as f64 / total.max(1) as f64 * 100.0,
             faulted.fault_stats.verbs_unreachable,
             faulted.fault_stats.verbs_cancelled,
+            rto_us,
         );
         for p in &faulted.timeline {
             csv.push(vec![
@@ -175,5 +224,23 @@ fn main() {
         &csv,
     )
     .expect("csv");
+    println!("wrote {}", path.display());
+
+    // Per-crash recovery records from the durable (Wal) runs: one row
+    // per completed crash/recovery cycle.
+    let path = results_dir().join("ext_fault_tolerance_recovery.csv");
+    write_csv(
+        &path,
+        &[
+            "design",
+            "crash",
+            "server",
+            "recovery_time_us",
+            "replay_bytes",
+            "records_replayed",
+        ],
+        &recovery_csv,
+    )
+    .expect("recovery csv");
     println!("wrote {}", path.display());
 }

@@ -24,6 +24,7 @@ fn main() {
         "ext_request_skew",
         "ext_gc",
         "ext_fault_tolerance",
+        "ext_recovery",
     ];
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");

@@ -17,7 +17,7 @@ use blink::PageLayout;
 use chaos::{ChaosController, FaultPlan};
 use nam::{NamCluster, PartitionMap};
 use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid, Learned, LearnedStats};
-use rdma_sim::{ClusterSpec, Endpoint, FaultStats, ServerStats};
+use rdma_sim::{ClusterSpec, Endpoint, FaultStats, RecoveryRecord, ServerStats};
 use simnet::rng::Zipf;
 use simnet::stats::{Counter, Histogram};
 use simnet::{Sim, SimDur};
@@ -206,6 +206,10 @@ pub struct ExperimentResult {
     /// Scheduling events the simulator processed over the whole run
     /// (deterministic; divide by wall time for a raw-speed figure).
     pub sim_events: u64,
+    /// Completed crash/recovery cycles, in completion order (empty
+    /// unless the spec runs `Durability::Wal` and the fault plan
+    /// crashes a server).
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 fn delta(end: &ServerStats, start: &ServerStats) -> ServerStats {
@@ -503,6 +507,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         metrics,
         learned: design.learned_stats(),
         sim_events: sim.events_processed(),
+        recoveries: nam.rdma.recovery_records(),
     }
 }
 

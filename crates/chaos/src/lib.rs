@@ -16,9 +16,11 @@
 //! task sleeps to each event's instant and applies it through the
 //! cluster's fault API (`kill_client`, `fail_server`, `degrade_link`,
 //! ...). [`ChaosController::install_nam`] additionally bumps the NAM
-//! catalog generation on every memory-server restart, so compute
-//! servers holding cached descriptors know to re-resolve (§4.2's
-//! catalog service is the natural recovery coordination point).
+//! catalog generation whenever a memory server finishes recovering —
+//! the same instant as the restart under `Durability::Off`, after
+//! checkpoint + log replay under `Durability::Wal` — so compute servers
+//! holding cached descriptors know to re-resolve (§4.2's catalog
+//! service is the natural recovery coordination point).
 //!
 //! Recovery *policy* lives elsewhere: the verb layer surfaces failures
 //! as `rdma_sim::VerbError`, `namdex-core::Design` retries with bounded
@@ -48,10 +50,15 @@ pub enum FaultEvent {
     /// Crash a memory server: its registered regions are unreachable
     /// (verbs fail with `VerbError::ServerUnreachable`) until restart.
     CrashServer(usize),
-    /// Restart a crashed server. Memory contents survive (the NAM pool
-    /// is durable from the protocol's point of view); the restart bumps
-    /// the server's restart counter and, under [`ChaosController::install_nam`],
-    /// the catalog generation.
+    /// Restart a crashed server. What survives depends on the cluster's
+    /// `Durability` mode: under `Off` memory contents magically survive
+    /// and the server is healthy the same instant; under `Wal` the crash
+    /// wiped RAM, so the restart boots, streams the latest checkpoint
+    /// plus log tail from the server's simulated NVMe device, replays,
+    /// and only then reports healthy. Either way the restart bumps the
+    /// server's restart counter and, under
+    /// [`ChaosController::install_nam`], the catalog generation — at
+    /// recovery *completion*, not at the restart command.
     RestartServer(usize),
     /// Begin a degradation window on one server's link: probabilistic
     /// verb drops, added delay, and/or reduced NIC bandwidth.
@@ -249,7 +256,6 @@ struct ControllerState {
     stats: Cell<ChaosStats>,
     done: Cell<bool>,
     hooks: RefCell<Vec<EventHook>>,
-    generation: Option<Rc<Cell<u64>>>,
 }
 
 /// Drives a [`FaultPlan`] against a cluster from inside the simulation.
@@ -263,28 +269,27 @@ impl ChaosController {
     /// Install `plan` on `cluster`: seed the fault RNG and spawn the
     /// driver task that applies each event at its instant.
     pub fn install(sim: &Sim, cluster: &Cluster, plan: FaultPlan) -> Self {
-        Self::install_inner(sim, cluster, plan, None)
+        Self::install_inner(sim, cluster, plan)
     }
 
-    /// Install `plan` on a NAM deployment. Memory-server restarts
-    /// additionally bump the catalog generation, signalling compute
-    /// servers to re-resolve cached descriptors.
+    /// Install `plan` on a NAM deployment. A memory server finishing
+    /// recovery additionally bumps the catalog generation, signalling
+    /// compute servers to re-resolve cached descriptors. The bump rides
+    /// the cluster's recovered hook, so under `Durability::Wal` it fires
+    /// only once replay completes and the server is actually healthy.
     pub fn install_nam(sim: &Sim, nam: &NamCluster, plan: FaultPlan) -> Self {
-        Self::install_inner(sim, &nam.rdma, plan, Some(nam.catalog.generation_handle()))
+        let generation = nam.catalog.generation_handle();
+        nam.rdma
+            .add_recovered_hook(move |_server| generation.set(generation.get() + 1));
+        Self::install_inner(sim, &nam.rdma, plan)
     }
 
-    fn install_inner(
-        sim: &Sim,
-        cluster: &Cluster,
-        plan: FaultPlan,
-        generation: Option<Rc<Cell<u64>>>,
-    ) -> Self {
+    fn install_inner(sim: &Sim, cluster: &Cluster, plan: FaultPlan) -> Self {
         cluster.set_fault_seed(plan.seed);
         let state = Rc::new(ControllerState {
             stats: Cell::new(ChaosStats::default()),
             done: Cell::new(plan.events.is_empty()),
             hooks: RefCell::new(Vec::new()),
-            generation,
         });
         let controller = ChaosController {
             cluster: cluster.clone(),
@@ -337,9 +342,6 @@ impl ChaosController {
             FaultEvent::RestartServer(s) => {
                 self.cluster.restart_server(s);
                 stats.recoveries += 1;
-                if let Some(generation) = &self.state.generation {
-                    generation.set(generation.get() + 1);
-                }
             }
             FaultEvent::DegradeLink(s, d) => self.cluster.degrade_link(s, d),
             FaultEvent::RestoreLink(s) => self.cluster.restore_link(s),
@@ -471,6 +473,35 @@ mod tests {
             "restart invalidates descriptors"
         );
         assert_eq!(recoveries.get(), 1);
+    }
+
+    #[test]
+    fn wal_restart_bumps_generation_only_after_replay() {
+        let sim = Sim::new();
+        let spec = ClusterSpec {
+            durability: rdma_sim::Durability::Wal,
+            ..ClusterSpec::default()
+        };
+        let nam = NamCluster::new(&sim, spec);
+        let plan = FaultPlan::new()
+            .crash_server(SimTime::from_micros(5), 1)
+            .restart_server(SimTime::from_micros(15), 1);
+        ChaosController::install_nam(&sim, &nam, plan);
+        let mid = Rc::new(Cell::new(u64::MAX));
+        {
+            let mid = mid.clone();
+            let generation = nam.catalog.generation_handle();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                // Well inside the boot + replay window (2 ms boot).
+                sim2.sleep(SimDur::from_micros(100)).await;
+                mid.set(generation.get());
+            });
+        }
+        sim.run();
+        assert_eq!(mid.get(), 0, "no bump before recovery completes");
+        assert_eq!(nam.catalog.generation(), 1, "bump after replay");
+        assert!(nam.rdma.server_up(1));
     }
 
     #[test]

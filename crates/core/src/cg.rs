@@ -19,8 +19,8 @@
 use std::rc::Rc;
 
 use blink::{Key, LocalTree, PageLayout, Ptr, Value, WorkStats};
-use nam::{handler_cpu_time, msg, NamCluster, PartitionMap, ServerNode};
-use rdma_sim::{Cluster, Endpoint, RpcReply, VerbError};
+use nam::{handler_cpu_time, msg, DurableTree, NamCluster, PartitionMap, ServerNode};
+use rdma_sim::{Cluster, Endpoint, RpcReply, VerbError, WalRecord};
 use simnet::{Sim, SimDur};
 
 use crate::engine::RangeProgress;
@@ -66,7 +66,17 @@ impl CoarseGrained {
         let nodes: Vec<Rc<ServerNode>> = (0..n).map(|_| Rc::new(ServerNode::new())).collect();
         for (s, data) in per_server.into_iter().enumerate() {
             nodes[s].install_tree(LocalTree::bulk_load(layout, data, fill));
+            // Local trees hold the only copy of this partition's entries:
+            // expose them to the transport's crash-recovery machinery
+            // (wipe on crash, fuzzy-checkpoint snapshots, log replay).
+            nam.rdma.register_durable_state(
+                s,
+                Rc::new(DurableTree::new(nodes[s].clone(), layout, fill)),
+            );
         }
+        // The bulk-loaded image is the recovery baseline; loading it is
+        // setup, not logged work, so seal it as a fiat checkpoint.
+        nam.rdma.seal_setup();
         Rc::new(CoarseGrained {
             cluster: nam.rdma.clone(),
             sim: nam.rdma.sim().clone(),
@@ -210,6 +220,13 @@ impl CoarseGrained {
         let sim = self.sim.clone();
         if ep.is_local(s) {
             let (leaf, work) = Self::insert_apply(&node, key, value, retrying);
+            if leaf.is_some() {
+                // The tree mutated: log it before the ack can form.
+                // Absorbed retries log nothing — the prior attempt's
+                // record went durable before its (lost) response left.
+                self.cluster
+                    .wal_append(s, WalRecord::TreeInsert { key, value });
+            }
             let wait = match leaf {
                 Some(leaf) => node
                     .locks
@@ -218,10 +235,14 @@ impl CoarseGrained {
             };
             let busy = handler_cpu_time(&spec, work) + spec.cpu_insert_extra + wait;
             ep.local_work(s, busy, msg::ack()).await?;
-            return Ok(());
+            return ep.durability_barrier(s).await;
         }
+        let cluster = self.cluster.clone();
         ep.rpc(s, msg::insert_req(), move || {
             let (leaf, work) = Self::insert_apply(&node, key, value, retrying);
+            if leaf.is_some() {
+                cluster.wal_append(s, WalRecord::TreeInsert { key, value });
+            }
             let wait = match leaf {
                 Some(leaf) => node
                     .locks
@@ -248,15 +269,23 @@ impl CoarseGrained {
         let sim = self.sim.clone();
         if ep.is_local(s) {
             let (deleted, leaf, work) = node.with_tree(|t| t.delete_at_leaf(key));
+            if deleted {
+                self.cluster.wal_append(s, WalRecord::TreeDelete { key });
+            }
             let wait = node
                 .locks
                 .acquire(leaf.raw(), sim.now(), spec.leaf_lock_hold);
             let busy = handler_cpu_time(&spec, work) + spec.cpu_insert_extra + wait;
             ep.local_work(s, busy, msg::ack()).await?;
+            ep.durability_barrier(s).await?;
             return Ok(deleted);
         }
+        let cluster = self.cluster.clone();
         ep.rpc(s, msg::delete_req(), move || {
             let (deleted, leaf, work) = node.with_tree(|t| t.delete_at_leaf(key));
+            if deleted {
+                cluster.wal_append(s, WalRecord::TreeDelete { key });
+            }
             // Deletes lock the leaf like inserts do (§3.2).
             let wait = node
                 .locks

@@ -268,6 +268,10 @@ impl FineGrained {
         let rr = Cell::new(0);
         let leaf_level = build_leaf_level(cluster, &cfg, items, &rr);
         let root = build_inner_levels(cluster, &cfg, &rr, leaf_level.leaves);
+        // All index state lives in the memory pools (PoolWrite/PoolAllocTo
+        // records recover it); seal the bulk-loaded image as the fiat
+        // recovery baseline so setup writes are never replayed.
+        cluster.seal_setup();
         Rc::new(FineGrained {
             cluster: cluster.clone(),
             layout: cfg.layout,

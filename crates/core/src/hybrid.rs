@@ -28,8 +28,8 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use blink::{Key, LocalTree, PageLayout, Value};
-use nam::{handler_cpu_time, msg, NamCluster, PartitionMap, ServerNode};
-use rdma_sim::{Cluster, Endpoint, RemotePtr, RpcReply, VerbError};
+use nam::{handler_cpu_time, msg, DurableTree, NamCluster, PartitionMap, ServerNode};
+use rdma_sim::{Cluster, Endpoint, RemotePtr, RpcReply, VerbError, WalRecord};
 use simnet::Sim;
 
 use crate::cache::CacheLayer;
@@ -85,7 +85,17 @@ impl Hybrid {
         let nodes: Vec<Rc<ServerNode>> = (0..n).map(|_| Rc::new(ServerNode::new())).collect();
         for (s, pairs) in per_server.into_iter().enumerate() {
             nodes[s].install_tree(LocalTree::bulk_load(cfg.layout, pairs, cfg.fill));
+            // The upper levels live outside the pool: expose them to the
+            // transport's crash-recovery machinery. (Leaves live *in* the
+            // pool and recover from PoolWrite/PoolAllocTo records.)
+            nam.rdma.register_durable_state(
+                s,
+                Rc::new(DurableTree::new(nodes[s].clone(), cfg.layout, cfg.fill)),
+            );
         }
+        // Seal the bulk-loaded leaves + upper levels as the fiat
+        // recovery baseline; setup writes are never replayed.
+        nam.rdma.seal_setup();
 
         Rc::new(Hybrid {
             cluster: nam.rdma.clone(),
@@ -294,15 +304,33 @@ impl TreeWriter for Hybrid {
             let node = self.nodes[s_new].clone();
             let spec = self.cluster.spec().clone();
             let sim = self.sim.clone();
+            let cluster = self.cluster.clone();
             let (left_raw, right_raw) = (left.raw(), right.raw());
             ep.rpc(s_new, msg::install_leaf_req(), move || {
-                let (leaf_page, mut work) = node.with_tree(|t| {
+                let (leaf_page, repointed, mut work) = node.with_tree(|t| {
                     let (leaf, w) = t.insert_at_leaf(sep, left_raw);
-                    let (_, w2) = t.update_value(old_high, right_raw);
+                    let (repointed, w2) = t.update_value(old_high, right_raw);
                     let mut w = w;
                     w.absorb(w2);
-                    (leaf, w)
+                    (leaf, repointed, w)
                 });
+                // Log the upper-level mutations before the ack can form.
+                cluster.wal_append(
+                    s_new,
+                    WalRecord::TreeInsert {
+                        key: sep,
+                        value: left_raw,
+                    },
+                );
+                if repointed {
+                    cluster.wal_append(
+                        s_new,
+                        WalRecord::TreeUpsert {
+                            key: old_high,
+                            value: right_raw,
+                        },
+                    );
+                }
                 work.entries_scanned += 1;
                 let wait = node
                     .locks
@@ -323,9 +351,17 @@ impl TreeWriter for Hybrid {
             let node = self.nodes[s_new].clone();
             let spec = self.cluster.spec().clone();
             let sim = self.sim.clone();
+            let cluster = self.cluster.clone();
             let left_raw = left.raw();
             ep.rpc(s_new, msg::install_leaf_req(), move || {
                 let (leaf_page, work) = node.with_tree(|t| t.insert_at_leaf(sep, left_raw));
+                cluster.wal_append(
+                    s_new,
+                    WalRecord::TreeInsert {
+                        key: sep,
+                        value: left_raw,
+                    },
+                );
                 let wait = node
                     .locks
                     .acquire(leaf_page.raw(), sim.now(), spec.leaf_lock_hold);
@@ -340,9 +376,19 @@ impl TreeWriter for Hybrid {
             // yields ids below the cluster size it was built with.
             let node = self.nodes[s_old].clone();
             let spec = self.cluster.spec().clone();
+            let cluster = self.cluster.clone();
             let right_raw = right.raw();
             ep.rpc(s_old, msg::install_leaf_req(), move || {
-                let (_, work) = node.with_tree(|t| t.update_value(old_high, right_raw));
+                let (repointed, work) = node.with_tree(|t| t.update_value(old_high, right_raw));
+                if repointed {
+                    cluster.wal_append(
+                        s_old,
+                        WalRecord::TreeUpsert {
+                            key: old_high,
+                            value: right_raw,
+                        },
+                    );
+                }
                 RpcReply {
                     value: (),
                     cpu: handler_cpu_time(&spec, work),

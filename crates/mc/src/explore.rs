@@ -257,7 +257,7 @@ pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
     let mut report = ExploreReport::default();
     let mut cell_idx: u64 = 0;
     for design in designs(cfg) {
-        for fault in [FaultMode::None, FaultMode::Chaos] {
+        for fault in [FaultMode::None, FaultMode::Chaos, FaultMode::CrashRecover] {
             for (pname, pct) in [("walk", false), ("pct", true)] {
                 let label = format!("{}/{}/{}", design.name(), fault.name(), pname);
                 let idx = cell_idx;

@@ -30,7 +30,7 @@ use blink::PageLayout;
 use chaos::{ChaosController, FaultPlan};
 use nam::{NamCluster, PartitionMap};
 use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid, Learned};
-use rdma_sim::{ClusterSpec, Endpoint, LinkDegrade};
+use rdma_sim::{ClusterSpec, Durability, Endpoint, LinkDegrade};
 use sanitizer::{HeldLock, Sanitizer, Violation};
 use simnet::rng::DetRng;
 use simnet::{FifoPolicy, Sim, SimDur, SimTime};
@@ -92,6 +92,14 @@ pub enum FaultMode {
     /// next lock acquire. Under loss the op layer retries, so delete
     /// found-flags become best-effort (see [`crate::lin`]).
     Chaos,
+    /// Crash the hot server mid-run under `Durability::Wal` — RAM is
+    /// genuinely wiped, then recovered from checkpoint + log replay
+    /// while clients retry against it. Every interleaving the schedule
+    /// policy picks moves the crash relative to in-flight appends,
+    /// flushes and acks, so linearizability is checked *across* a
+    /// recovery. Delete found-flags are best-effort (a landed delete's
+    /// response can die with the server).
+    CrashRecover,
 }
 
 impl FaultMode {
@@ -100,12 +108,13 @@ impl FaultMode {
         match self {
             FaultMode::None => "nofault",
             FaultMode::Chaos => "chaos",
+            FaultMode::CrashRecover => "crash",
         }
     }
 
     /// Parse [`Self::name`] output.
     pub fn parse(s: &str) -> Option<FaultMode> {
-        [FaultMode::None, FaultMode::Chaos]
+        [FaultMode::None, FaultMode::Chaos, FaultMode::CrashRecover]
             .into_iter()
             .find(|f| f.name() == s)
     }
@@ -209,6 +218,9 @@ pub struct RunReport {
     pub trace_counts: Vec<(u32, u32)>,
     /// Completed + pending events recorded.
     pub events: usize,
+    /// Completed crash/recovery cycles (non-zero only under
+    /// [`FaultMode::CrashRecover`]).
+    pub recoveries: usize,
 }
 
 impl RunReport {
@@ -398,6 +410,21 @@ fn chaos_plan(victim: u64, servers: usize, seed: u64) -> FaultPlan {
     plan.kill_on_lock_acquire(SimTime::from_micros(130), victim)
 }
 
+/// Hot server under the scenario partition: [`HOT_UNITS`] maps to keys
+/// 160..192, which land on server 1 of the uniform 4-way range split
+/// over `LOAD_UNITS * 8` keys.
+const CRASH_SERVER: usize = 1;
+
+fn crash_plan(seed: u64) -> FaultPlan {
+    // Crash the hot server while every client has ops in flight, bring
+    // it back while they are still retrying. With the 30us boot the
+    // recovery (boot + checkpoint/log stream + replay) completes well
+    // inside the op layer's retry budget, so the workload rides it out.
+    FaultPlan::with_seed(seed)
+        .crash_server(SimTime::from_micros(20), CRASH_SERVER)
+        .restart_server(SimTime::from_micros(45), CRASH_SERVER)
+}
+
 /// Run `sc` under `policy`, returning the full report.
 pub fn run_scenario(sc: &Scenario, policy: &PolicyKind) -> RunReport {
     run_scenario_with_history(sc, policy).0
@@ -431,16 +458,38 @@ pub fn run_scenario_with_history(
         }
     }
 
-    let nam = NamCluster::new(&sim, ClusterSpec::default());
+    let spec = match sc.fault {
+        // Crash/recovery only means anything when RAM loss is real:
+        // under Wal the restarted server replays checkpoint + log
+        // before reporting healthy. The short boot keeps recovery
+        // inside the op layer's bounded retry budget.
+        FaultMode::CrashRecover => ClusterSpec {
+            durability: Durability::Wal,
+            wal_restart_boot_latency: SimDur::from_micros(30),
+            ..ClusterSpec::default()
+        },
+        _ => ClusterSpec::default(),
+    };
+    let nam = NamCluster::new(&sim, spec);
     let idx = build(sc.design, &nam);
     let recorder = HistoryRecorder::install(&nam.rdma);
     let san = Sanitizer::install(&nam.rdma, PAGE_SIZE);
     sanitizer::walk::register_design(&san, &idx);
 
     let eps: Vec<Endpoint> = (0..sc.clients).map(|_| Endpoint::new(&nam.rdma)).collect();
-    if sc.fault == FaultMode::Chaos {
-        let victim = eps[sc.clients as usize - 1].client_id();
-        ChaosController::install_nam(&sim, &nam, chaos_plan(victim, nam.num_servers(), sc.seed));
+    match sc.fault {
+        FaultMode::None => {}
+        FaultMode::Chaos => {
+            let victim = eps[sc.clients as usize - 1].client_id();
+            ChaosController::install_nam(
+                &sim,
+                &nam,
+                chaos_plan(victim, nam.num_servers(), sc.seed),
+            );
+        }
+        FaultMode::CrashRecover => {
+            ChaosController::install_nam(&sim, &nam, crash_plan(sc.seed));
+        }
     }
     for (c, ep) in eps.into_iter().enumerate() {
         sim.spawn(client_loop(idx.clone(), ep, c as u64, sc.clone()));
@@ -489,6 +538,7 @@ pub fn run_scenario_with_history(
         decisions,
         trace_counts,
         events: events.len(),
+        recoveries: nam.rdma.recovery_records().len(),
     };
     (report, events)
 }

@@ -14,6 +14,9 @@
 //! * [`node`] — per-memory-server state: the server's local B-link tree
 //!   (a CG partition or the hybrid design's upper levels) and the
 //!   work→CPU-time cost model for RPC handlers.
+//! * [`durable`] — the adapter that exposes a server's local tree to the
+//!   transport's crash-recovery machinery (`Durability::Wal`): wipe on
+//!   crash, snapshot into fuzzy checkpoints, replay logged mutations.
 //! * [`lock`] — a virtual-time lock table modelling handler spin-waits on
 //!   contended page locks; wait time occupies the handler core, which is
 //!   the degradation mechanism of Fig. 12.
@@ -25,12 +28,14 @@
 //! * [`NamCluster`] — the assembled deployment.
 
 pub mod catalog;
+pub mod durable;
 pub mod lock;
 pub mod msg;
 pub mod node;
 pub mod partition;
 
 pub use catalog::{Catalog, IndexDescriptor, IndexKind};
+pub use durable::DurableTree;
 pub use lock::LockTable;
 pub use node::{handler_cpu_time, ServerNode};
 pub use partition::PartitionMap;

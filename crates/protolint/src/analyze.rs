@@ -440,7 +440,13 @@ pub(crate) fn ep_verb(name: &str) -> Option<&'static str> {
     }
 }
 
-/// Endpoint methods that are pure bookkeeping (no wire verb).
+/// Endpoint methods that issue no wire verb: pure bookkeeping, plus
+/// server-local waits (`local_work` models handler CPU;
+/// `durability_barrier` parks on the co-located server's WAL flush —
+/// both cost virtual time but never touch the verb budget).
 pub(crate) fn ep_pure(name: &str) -> bool {
-    matches!(name, "cluster" | "client_id" | "is_local" | "local_work")
+    matches!(
+        name,
+        "cluster" | "client_id" | "is_local" | "local_work" | "durability_barrier"
+    )
 }

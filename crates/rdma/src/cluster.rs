@@ -3,17 +3,74 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
 use simnet::resource::{CpuPool, FifoLink};
 use simnet::rng::DetRng;
 use simnet::stats::Counter;
-use simnet::Sim;
+use simnet::{Sim, SimTime};
+
+use wal::{CheckpointPayload, CheckpointSource, ServerWal, WalConfig, WalRecord, WalStats};
 
 use crate::fault::{FaultStats, LinkDegrade};
 use crate::pool::MemPool;
 use crate::ptr::RemotePtr;
-use crate::spec::ClusterSpec;
+use crate::spec::{ClusterSpec, Durability};
+
+/// Server-local index state that must survive crashes under
+/// [`Durability::Wal`]. Implemented by the layer that owns the state (the
+/// NAM layer's local trees); the transport only needs wipe / snapshot /
+/// replay, all in terms of the logical `(key, value)` pairs that
+/// [`WalRecord::TreeUpsert`] / [`WalRecord::TreeDelete`] carry.
+pub trait DurableState {
+    /// Drop all in-RAM state, as a crash with volatile DRAM does.
+    fn wipe(&self);
+    /// Snapshot the live `(key, value)` entries for a checkpoint image.
+    fn snapshot(&self) -> Vec<(u64, u64)>;
+    /// Rebuild from a checkpoint's entry snapshot.
+    fn restore(&self, entries: &[(u64, u64)]);
+    /// Replay one logged in-place upsert (update the first live entry
+    /// under `key`, inserting only when none exists).
+    fn upsert(&self, key: u64, value: u64);
+    /// Replay one logged fresh insert verbatim (duplicate keys allowed —
+    /// entry multiplicity must match the pre-crash tree).
+    fn insert(&self, key: u64, value: u64);
+    /// Replay one logged delete (absent key is a no-op).
+    fn delete(&self, key: u64);
+}
+
+/// Callback fired with the server id when that server finishes
+/// recovering (Wal) or restarts (Off).
+type RecoveredHook = Rc<dyn Fn(usize)>;
+
+/// One completed crash-recovery cycle under [`Durability::Wal`], with the
+/// measured recovery time (the RTO numerator: restart command to healthy).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryRecord {
+    /// Which server recovered.
+    pub server: usize,
+    /// When the server crashed (RAM lost).
+    pub crashed_at: SimTime,
+    /// When the restart was commanded (boot + replay start here).
+    pub restarted_at: SimTime,
+    /// When the server reported healthy (verbs succeed again).
+    pub healthy_at: SimTime,
+    /// Checkpoint + log bytes streamed back from the device.
+    pub replay_bytes: u64,
+    /// Log records re-applied.
+    pub records_replayed: u64,
+    /// Torn-tail bytes discarded by the CRC scan.
+    pub torn_bytes: u64,
+}
+
+impl RecoveryRecord {
+    /// Recovery time: restart command to healthy (boot + device read +
+    /// replay CPU). Crash-to-restart detection lag is schedule policy,
+    /// not recovery work, so it is excluded.
+    pub fn recovery_time(&self) -> simnet::SimDur {
+        self.healthy_at - self.restarted_at
+    }
+}
 
 /// One memory server's simulated hardware and state.
 pub(crate) struct MemServer {
@@ -23,6 +80,8 @@ pub(crate) struct MemServer {
     pub cpu: CpuPool,
     /// RDMA-registered memory.
     pub pool: RefCell<MemPool>,
+    /// The server's durability subsystem (`None` under [`Durability::Off`]).
+    pub wal: Option<Rc<ServerWal>>,
     /// Bytes received over the wire (writes, RPC requests).
     pub bytes_in: Counter,
     /// Bytes sent over the wire (reads, RPC responses).
@@ -51,14 +110,29 @@ struct Inner {
     /// Mirror of `!observers.is_empty()`; a plain `Cell` read so the verb
     /// hot path pays one flag check when nothing is listening.
     observers_active: std::cell::Cell<bool>,
+    /// Per-server registered durable index state (checkpoint capture +
+    /// crash wipe + replay target under [`Durability::Wal`]).
+    durable: RefCell<Vec<Option<Rc<dyn DurableState>>>>,
+    /// Servers currently mid-recovery (restart commanded, replay not yet
+    /// complete); guards double restarts.
+    recovering: RefCell<Vec<bool>>,
+    /// Callbacks fired when a server finishes recovering (Wal) or
+    /// restarts (Off) — catalog generation bumps live here.
+    recovered_hooks: RefCell<Vec<RecoveredHook>>,
+    /// Completed crash-recovery cycles, in completion order.
+    recovery_log: RefCell<Vec<RecoveryRecord>>,
 }
 
 /// Mutable fault-injection state; see [`crate::fault`].
 struct FaultState {
-    /// Per-server liveness (a crashed server keeps its memory — the NAM
-    /// architecture assumes durable/remote-recoverable regions — but is
-    /// unreachable until restarted).
+    /// Per-server liveness. What a crash does to the server's memory is
+    /// mode-dependent: under [`Durability::Off`] RAM magically survives
+    /// (the NAM paper's recoverable-region assumption taken on faith);
+    /// under [`Durability::Wal`] RAM is wiped and only the WAL +
+    /// checkpoint on the server's log device persist.
     server_up: Vec<bool>,
+    /// When each currently-down server crashed (None while up).
+    crashed_at: Vec<Option<SimTime>>,
     /// Restart counter per server (catalog re-resolution keys off this).
     server_restarts: Vec<u64>,
     /// Killed compute clients; their verbs fail with `Cancelled`.
@@ -84,6 +158,7 @@ impl FaultState {
     fn new(n: usize) -> Self {
         FaultState {
             server_up: vec![true; n],
+            crashed_at: vec![None; n],
             server_restarts: vec![0; n],
             dead_clients: BTreeSet::new(),
             kill_on_lock_acquire: BTreeSet::new(),
@@ -99,6 +174,33 @@ impl FaultState {
 #[derive(Clone)]
 pub struct Cluster {
     inner: Rc<Inner>,
+}
+
+/// Checkpoint capturer for one server: pool image + allocator watermark +
+/// the registered durable state's entry snapshot. Holds the cluster
+/// weakly so a WAL outliving its cluster captures nothing instead of
+/// leaking a cycle.
+struct ServerSnapshot {
+    inner: Weak<Inner>,
+    server: usize,
+}
+
+impl CheckpointSource for ServerSnapshot {
+    fn capture(&self) -> Option<CheckpointPayload> {
+        let inner = self.inner.upgrade()?;
+        let sv = &inner.servers[self.server];
+        let (pool_image, allocated) = {
+            let pool = sv.pool.borrow();
+            (pool.image(), pool.allocated())
+        };
+        let state = inner.durable.borrow()[self.server].clone();
+        let tree_entries = state.map(|st| st.snapshot()).unwrap_or_default();
+        Some(CheckpointPayload {
+            pool_image,
+            allocated,
+            tree_entries,
+        })
+    }
 }
 
 /// Snapshot of one memory server's counters.
@@ -134,6 +236,20 @@ impl Cluster {
                 nic: FifoLink::new(),
                 cpu: CpuPool::new(spec.rpc_cores_per_server),
                 pool: RefCell::new(MemPool::new()),
+                wal: match spec.durability {
+                    Durability::Off => None,
+                    Durability::Wal => Some(ServerWal::new(
+                        sim,
+                        WalConfig {
+                            write_bandwidth: spec.wal_write_bandwidth,
+                            read_bandwidth: spec.wal_read_bandwidth,
+                            fsync_latency: spec.wal_fsync_latency,
+                            group_commit: spec.wal_group_commit,
+                            checkpoint_every_bytes: spec.wal_checkpoint_every_bytes,
+                            replay_cpu_per_record: spec.wal_replay_cpu_per_record,
+                        },
+                    )),
+                },
                 bytes_in: Counter::new(),
                 bytes_out: Counter::new(),
                 local_bytes: Counter::new(),
@@ -141,7 +257,7 @@ impl Cluster {
                 rpcs: Counter::new(),
             })
             .collect();
-        Cluster {
+        let cluster = Cluster {
             inner: Rc::new(Inner {
                 sim: sim.clone(),
                 spec,
@@ -151,8 +267,21 @@ impl Cluster {
                 faults: RefCell::new(FaultState::new(spec_servers)),
                 observers: RefCell::new(Vec::new()),
                 observers_active: std::cell::Cell::new(false),
+                durable: RefCell::new(vec![None; spec_servers]),
+                recovering: RefCell::new(vec![false; spec_servers]),
+                recovered_hooks: RefCell::new(Vec::new()),
+                recovery_log: RefCell::new(Vec::new()),
             }),
+        };
+        for (s, sv) in cluster.inner.servers.iter().enumerate() {
+            if let Some(w) = &sv.wal {
+                w.set_source(Rc::new(ServerSnapshot {
+                    inner: Rc::downgrade(&cluster.inner),
+                    server: s,
+                }));
+            }
         }
+        cluster
     }
 
     /// Declare how many compute clients are connected; RPC handler
@@ -203,20 +332,170 @@ impl Cluster {
 
     /// Crash memory server `s`: its regions become unreachable (verbs
     /// fail with `ServerUnreachable`) until [`Cluster::restart_server`].
-    /// Registered memory survives the crash.
+    /// Under [`Durability::Off`] registered memory magically survives;
+    /// under [`Durability::Wal`] RAM is *lost* — the pool and any
+    /// registered [`DurableState`] are wiped, the WAL's pending buffer
+    /// vanishes (verbs awaiting durability fail), and a log flush caught
+    /// mid-device-write persists only its torn byte prefix.
     pub fn fail_server(&self, s: usize) {
-        self.inner.faults.borrow_mut().server_up[s] = false;
+        let now = self.inner.sim.now();
+        {
+            let mut f = self.inner.faults.borrow_mut();
+            if !f.server_up[s] {
+                return;
+            }
+            f.server_up[s] = false;
+            f.crashed_at[s] = Some(now);
+        }
+        if let Some(w) = &self.inner.servers[s].wal {
+            w.crash(now);
+            self.inner.servers[s].pool.borrow_mut().wipe();
+            let state = self.inner.durable.borrow()[s].clone();
+            if let Some(state) = state {
+                state.wipe();
+            }
+        }
     }
 
-    /// Restart a crashed memory server and bump its restart counter.
+    /// Restart a crashed memory server.
     /// In-flight RPC core queues are not drained retroactively; requests
     /// granted a core after the crash fail at the grant.
+    ///
+    /// Under [`Durability::Off`] the restart is instant (memory
+    /// survived): the server is up on return, its restart counter bumped,
+    /// recovered hooks fired synchronously. Under [`Durability::Wal`]
+    /// this *commands* a restart: a recovery task boots the process,
+    /// streams checkpoint + log back from the log device, replays, and
+    /// only then marks the server up — until that instant verbs keep
+    /// failing with `ServerUnreachable`. Measured cycles appear in
+    /// [`Cluster::recovery_records`].
     pub fn restart_server(&self, s: usize) {
-        let mut f = self.inner.faults.borrow_mut();
-        if !f.server_up[s] {
+        if self.inner.servers[s].wal.is_none() {
+            let fire = {
+                let mut f = self.inner.faults.borrow_mut();
+                if f.server_up[s] {
+                    false
+                } else {
+                    f.server_up[s] = true;
+                    f.crashed_at[s] = None;
+                    f.server_restarts[s] += 1;
+                    true
+                }
+            };
+            if fire {
+                self.fire_recovered(s);
+            }
+            return;
+        }
+        if self.inner.faults.borrow().server_up[s] || self.inner.recovering.borrow()[s] {
+            return;
+        }
+        self.inner.recovering.borrow_mut()[s] = true;
+        let cluster = self.clone();
+        self.inner
+            .sim
+            .spawn(async move { cluster.recovery_task(s).await });
+    }
+
+    /// The Wal-mode recovery sequence: boot, stream checkpoint + log from
+    /// the device, re-apply, mark healthy.
+    async fn recovery_task(self, s: usize) {
+        let sim = self.inner.sim.clone();
+        let restarted_at = sim.now();
+        sim.sleep(self.inner.spec.wal_restart_boot_latency).await;
+        let w = self.inner.servers[s]
+            .wal
+            .as_ref()
+            .expect("wal-mode server")
+            .clone();
+        let plan = w.recover();
+        w.replay_read(plan.replay_bytes).await;
+        sim.sleep(plan.cpu_duration).await;
+        {
+            let mut pool = self.inner.servers[s].pool.borrow_mut();
+            pool.restore(&plan.pool_image, plan.allocated);
+        }
+        let state = self.inner.durable.borrow()[s].clone();
+        if let Some(st) = &state {
+            st.restore(&plan.tree_entries);
+        }
+        for rec in &plan.records {
+            match rec {
+                WalRecord::PoolWrite { offset, data } => {
+                    self.inner.servers[s]
+                        .pool
+                        .borrow_mut()
+                        .replay_write(*offset, data);
+                }
+                WalRecord::PoolAllocTo { next } => {
+                    self.inner.servers[s]
+                        .pool
+                        .borrow_mut()
+                        .replay_alloc_to(*next);
+                }
+                WalRecord::TreeUpsert { key, value } => {
+                    if let Some(st) = &state {
+                        st.upsert(*key, *value);
+                    }
+                }
+                WalRecord::TreeInsert { key, value } => {
+                    if let Some(st) = &state {
+                        st.insert(*key, *value);
+                    }
+                }
+                WalRecord::TreeDelete { key } => {
+                    if let Some(st) = &state {
+                        st.delete(*key);
+                    }
+                }
+            }
+        }
+        let healthy_at = sim.now();
+        let crashed_at = {
+            let mut f = self.inner.faults.borrow_mut();
             f.server_up[s] = true;
             f.server_restarts[s] += 1;
+            f.crashed_at[s].take().unwrap_or(restarted_at)
+        };
+        self.inner.recovering.borrow_mut()[s] = false;
+        self.inner.recovery_log.borrow_mut().push(RecoveryRecord {
+            server: s,
+            crashed_at,
+            restarted_at,
+            healthy_at,
+            replay_bytes: plan.replay_bytes,
+            records_replayed: plan.records.len() as u64,
+            torn_bytes: plan.torn_bytes,
+        });
+        self.note_instant("server_recovered");
+        let now = sim.now();
+        self.each_observer(|o| o.on_server_recovered(s, now));
+        self.fire_recovered(s);
+    }
+
+    /// Whether server `s` is mid-recovery (restart commanded, replay not
+    /// yet finished). Always `false` under [`Durability::Off`].
+    pub fn server_recovering(&self, s: usize) -> bool {
+        self.inner.recovering.borrow()[s]
+    }
+
+    /// Register `hook` to fire whenever a server finishes recovering
+    /// (Wal) or restarts (Off) — e.g. a catalog generation bump that
+    /// forces clients to re-resolve.
+    pub fn add_recovered_hook(&self, hook: impl Fn(usize) + 'static) {
+        self.inner.recovered_hooks.borrow_mut().push(Rc::new(hook));
+    }
+
+    fn fire_recovered(&self, s: usize) {
+        let hooks: Vec<RecoveredHook> = self.inner.recovered_hooks.borrow().clone();
+        for h in &hooks {
+            h(s);
         }
+    }
+
+    /// Completed crash-recovery cycles (Wal mode), in completion order.
+    pub fn recovery_records(&self) -> Vec<RecoveryRecord> {
+        self.inner.recovery_log.borrow().clone()
     }
 
     /// Whether memory server `s` is up.
@@ -353,6 +632,59 @@ impl Cluster {
 
     pub(crate) fn note_timeout(&self) {
         self.inner.faults.borrow_mut().stats.verbs_timed_out += 1;
+    }
+
+    // ---- durability (per-server WAL; see `crate::spec::Durability`) ----
+
+    /// Whether this cluster runs real durability ([`Durability::Wal`]).
+    pub fn wal_enabled(&self) -> bool {
+        self.inner.spec.durability == Durability::Wal
+    }
+
+    /// Server `s`'s WAL handle, if durability is on.
+    pub(crate) fn server_wal(&self, s: usize) -> Option<Rc<ServerWal>> {
+        self.inner.servers[s].wal.clone()
+    }
+
+    /// Append one WAL record on server `s` (no-op under
+    /// [`Durability::Off`]). Returns the record's LSN. The caller must
+    /// ensure a durability barrier runs before the mutation is
+    /// acknowledged — verb paths do this automatically; RPC handlers are
+    /// covered by the response-leg barrier in `Endpoint::rpc`.
+    pub fn wal_append(&self, s: usize, rec: WalRecord) -> Option<u64> {
+        self.inner.servers[s].wal.as_ref().map(|w| w.append(rec))
+    }
+
+    /// Register the durable index state of server `s` (replaces any
+    /// previous registration). Under [`Durability::Wal`] the state is
+    /// wiped on crash, snapshotted into checkpoints, and replayed into on
+    /// recovery; under [`Durability::Off`] registration is inert.
+    pub fn register_durable_state(&self, s: usize, state: Rc<dyn DurableState>) {
+        self.inner.durable.borrow_mut()[s] = Some(state);
+    }
+
+    /// Declare setup/loading complete: every server's WAL seals its
+    /// setup-time base image (the checkpoint a recovery starts from, at
+    /// no device cost — it models the initial-load image the server was
+    /// provisioned from). Design builds call this once the bulk load and
+    /// state registration are done. No-op under [`Durability::Off`].
+    pub fn seal_setup(&self) {
+        for sv in &self.inner.servers {
+            if let Some(w) = &sv.wal {
+                w.seal_base();
+            }
+        }
+    }
+
+    /// Server `s`'s durability counters (`None` under [`Durability::Off`]).
+    pub fn wal_stats(&self, s: usize) -> Option<WalStats> {
+        self.inner.servers[s].wal.as_ref().map(|w| w.stats())
+    }
+
+    /// Durable log bytes accumulated on server `s` since its last
+    /// checkpoint (`None` under [`Durability::Off`]).
+    pub fn wal_log_bytes(&self, s: usize) -> Option<u64> {
+        self.inner.servers[s].wal.as_ref().map(|w| w.log_bytes())
     }
 
     // ---- verb observation ----

@@ -33,6 +33,8 @@
 
 use simnet::{Sim, SimDur, SimTime};
 
+use wal::{WaitOutcome, WalRecord};
+
 use crate::cluster::Cluster;
 use crate::fault::{AttemptKind, VerbError};
 use crate::observer::{RpcEvent, VerbEvent, VerbKind};
@@ -198,6 +200,47 @@ impl Endpoint {
     /// This verb's completion deadline.
     fn deadline(&self) -> SimTime {
         self.cluster.sim().now() + self.cluster.spec().verb_timeout
+    }
+
+    /// Make a just-applied mutation durable before it is acknowledged:
+    /// append its WAL record on server `s` and park until the group-commit
+    /// flush covering it lands. No-op (and no await) under
+    /// `Durability::Off`. A crash while parked fails the verb like any
+    /// other unreachable-server completion — the effect may or may not
+    /// survive recovery, and the caller must not treat it as acknowledged.
+    async fn make_durable(
+        &self,
+        s: usize,
+        rec: WalRecord,
+        kind: AttemptKind,
+    ) -> Result<(), VerbError> {
+        let Some(w) = self.cluster.server_wal(s) else {
+            return Ok(());
+        };
+        let lsn = w.append(rec);
+        match w.wait_durable(lsn).await {
+            WaitOutcome::Durable => Ok(()),
+            WaitOutcome::Crashed => Err(self.fail_unreachable(s, kind).await),
+        }
+    }
+
+    /// Await durability of everything appended so far on server `s`
+    /// (no-op under `Durability::Off`). Index layers call this after
+    /// mutating server state through paths that log records themselves
+    /// (e.g. a co-located write path) and before acknowledging to the
+    /// application.
+    pub async fn durability_barrier(&self, s: usize) -> Result<(), VerbError> {
+        let Some(w) = self.cluster.server_wal(s) else {
+            return Ok(());
+        };
+        let lsn = w.appended_lsn();
+        if lsn == 0 || w.durable_lsn() >= lsn {
+            return Ok(());
+        }
+        match w.wait_durable(lsn).await {
+            WaitOutcome::Durable => Ok(()),
+            WaitOutcome::Crashed => Err(self.fail_unreachable(s, AttemptKind::Rpc).await),
+        }
     }
 
     // ------------------------------------------------- one-sided verbs ----
@@ -403,7 +446,19 @@ impl Endpoint {
             return Err(self.fail_unreachable(s, AttemptKind::Write).await);
         }
         server.pool.borrow_mut().copy_in(ptr.offset(), data);
+        // Observers (sanitizer, telemetry) see the effect when it
+        // applies — before the durability wait, during which concurrent
+        // verbs can already read the new bytes.
         self.emit(s, ptr.offset(), data.len(), VerbKind::Write, issued, queue);
+        self.make_durable(
+            s,
+            WalRecord::PoolWrite {
+                offset: ptr.offset(),
+                data: data.to_vec(),
+            },
+            AttemptKind::Write,
+        )
+        .await?;
         Ok(())
     }
 
@@ -445,6 +500,8 @@ impl Endpoint {
             .pool
             .borrow_mut()
             .cas(ptr.offset(), expected, new);
+        // Observed at apply time (see `write`): a racing CAS can fail
+        // against the new word while this one still awaits its flush.
         self.emit(
             s,
             ptr.offset(),
@@ -457,6 +514,18 @@ impl Endpoint {
             issued,
             queue,
         );
+        if prev == expected {
+            // Only a successful swap mutates state; log its post-word.
+            self.make_durable(
+                s,
+                WalRecord::PoolWrite {
+                    offset: ptr.offset(),
+                    data: new.to_le_bytes().to_vec(),
+                },
+                AttemptKind::Cas,
+            )
+            .await?;
+        }
         // Fault-injection hook: a client armed with kill-on-lock-acquire
         // dies the instant its acquire CAS lands — after the remote
         // effect, before any later verb — orphaning the lock it just won.
@@ -498,6 +567,15 @@ impl Endpoint {
             issued,
             queue,
         );
+        self.make_durable(
+            s,
+            WalRecord::PoolWrite {
+                offset: ptr.offset(),
+                data: prev.wrapping_add(add).to_le_bytes().to_vec(),
+            },
+            AttemptKind::Faa,
+        )
+        .await?;
         Ok(prev)
     }
 
@@ -529,6 +607,7 @@ impl Endpoint {
         // Effect at completion: the bump reservation happens only once
         // the request has survived the wire and the server is still up.
         let ptr = self.cluster.setup_alloc(s, size);
+        let watermark = self.cluster.server(s).pool.borrow().allocated();
         self.emit(
             s,
             ptr.offset(),
@@ -537,6 +616,12 @@ impl Endpoint {
             issued,
             queue,
         );
+        self.make_durable(
+            s,
+            WalRecord::PoolAllocTo { next: watermark },
+            AttemptKind::Alloc,
+        )
+        .await?;
         Ok(ptr)
     }
 
@@ -636,6 +721,12 @@ impl Endpoint {
             grant.complete(&sim, SimDur::ZERO).await;
             return Err(self.fail_timeout(s, deadline).await);
         }
+        // Snapshot the WAL position so the post-handler barrier covers
+        // exactly the records this handler logs.
+        let wal_pre = self
+            .cluster
+            .server_wal(s)
+            .map(|w| (w.appended_lsn(), w.epoch()));
         let reply = handler();
         let state_penalty = spec.rpc_client_penalty * self.cluster.active_clients() as u64;
         let service =
@@ -644,6 +735,27 @@ impl Endpoint {
         let server_nanos = service.as_nanos();
         if !self.cluster.server_up(s) {
             return Err(self.fail_unreachable(s, AttemptKind::Rpc).await);
+        }
+        // WAL-before-ack: everything the handler logged must be durable
+        // before the response leg releases (group commit coalesces
+        // concurrent handlers' records into shared flushes).
+        if let Some((pre_lsn, pre_epoch)) = wal_pre {
+            let w = self
+                .cluster
+                .server_wal(s)
+                .expect("wal is fixed per cluster");
+            if w.epoch() != pre_epoch {
+                return Err(self.fail_unreachable(s, AttemptKind::Rpc).await);
+            }
+            let post = w.appended_lsn();
+            if post > pre_lsn {
+                match w.wait_durable(post).await {
+                    WaitOutcome::Durable => {}
+                    WaitOutcome::Crashed => {
+                        return Err(self.fail_unreachable(s, AttemptKind::Rpc).await)
+                    }
+                }
+            }
         }
 
         // Response leg.
@@ -1209,6 +1321,85 @@ mod tests {
         assert!(
             slow > clean,
             "degraded link must be slower: {clean} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn wal_crash_wipes_ram_and_recovery_replays_acked_writes() {
+        use crate::spec::Durability;
+        let sim = Sim::new();
+        let cluster = Cluster::new(
+            &sim,
+            ClusterSpec {
+                durability: Durability::Wal,
+                ..ClusterSpec::default()
+            },
+        );
+        let ptr = cluster.setup_alloc(0, 64);
+        cluster.seal_setup();
+        let ep = Endpoint::new(&cluster);
+        let c = cluster.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            // An acknowledged write is durable by definition.
+            ep.write(ptr, &[8; 64]).await.unwrap();
+            c.fail_server(0);
+            // RAM is gone at the crash instant: the pool reset to empty.
+            c.with_pool(0, |p| {
+                assert_eq!(p.allocated(), crate::pool::MemPool::ALIGN)
+            });
+            c.restart_server(0);
+            assert!(!c.server_up(0), "recovery takes measurable time");
+            assert!(c.server_recovering(0));
+            while !c.server_up(0) {
+                s.sleep(SimDur::from_micros(100)).await;
+            }
+            // Replay restored the acknowledged write.
+            let data = ep.read(ptr, 64).await.unwrap();
+            assert_eq!(data, vec![8; 64]);
+        });
+        sim.run();
+        let recs = cluster.recovery_records();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].recovery_time() >= cluster.spec().wal_restart_boot_latency);
+        assert!(recs[0].replay_bytes > 0);
+        assert_eq!(cluster.server_restarts(0), 1);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn wal_mode_charges_log_flushes_on_mutating_verbs() {
+        use crate::spec::Durability;
+        let elapsed = |durability: Durability| {
+            let sim = Sim::new();
+            let cluster = Cluster::new(
+                &sim,
+                ClusterSpec {
+                    durability,
+                    ..ClusterSpec::default()
+                },
+            );
+            let ptr = cluster.setup_alloc(0, 8);
+            cluster.seal_setup();
+            let ep = Endpoint::new(&cluster);
+            let s = sim.clone();
+            let t = Rc::new(Cell::new(0u64));
+            let t2 = t.clone();
+            sim.spawn(async move {
+                for i in 0..10u64 {
+                    ep.fetch_add(ptr, i).await.unwrap();
+                }
+                t2.set(s.now().as_nanos());
+            });
+            sim.run();
+            t.get()
+        };
+        let off = elapsed(Durability::Off);
+        let on = elapsed(Durability::Wal);
+        // Ten sequential FAAs each wait one fsync (10us default).
+        assert!(
+            on >= off + 10 * 10_000,
+            "durable acks must pay the log device: {off}ns vs {on}ns"
         );
     }
 

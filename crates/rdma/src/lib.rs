@@ -39,7 +39,7 @@ pub mod pool;
 pub mod ptr;
 pub mod spec;
 
-pub use cluster::{Cluster, ServerStats};
+pub use cluster::{Cluster, DurableState, RecoveryRecord, ServerStats};
 pub use endpoint::{Endpoint, RpcReply};
 pub use fault::{AttemptKind, FaultStats, LinkDegrade, VerbError};
 pub use observer::{
@@ -47,4 +47,7 @@ pub use observer::{
 };
 pub use pool::MemPool;
 pub use ptr::{PtrDecodeError, RemotePtr};
-pub use spec::{ClusterSpec, MAX_LOCK_HOLD_VERBS};
+pub use spec::{ClusterSpec, Durability, MAX_LOCK_HOLD_VERBS};
+// The durability subsystem's own vocabulary, re-exported so index layers
+// log records and read counters without depending on `wal` directly.
+pub use wal::{WalRecord, WalStats};

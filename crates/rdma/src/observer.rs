@@ -260,4 +260,15 @@ pub trait VerbObserver {
     fn on_instant(&self, label: &str, time: SimTime) {
         let _ = (label, time);
     }
+
+    /// `server` finished crash recovery: its memory now holds the
+    /// replayed durable prefix — mutations that applied before the
+    /// crash but never reached the log have been *undone*. Observers
+    /// holding shadow copies of server state (the sanitizer's lock
+    /// words) must resync from memory. Fires only under
+    /// `Durability::Wal`; Off-mode restarts preserve RAM and change
+    /// nothing. Default: ignore.
+    fn on_server_recovered(&self, server: usize, time: SimTime) {
+        let _ = (server, time);
+    }
 }

@@ -94,6 +94,60 @@ impl MemPool {
         self.write_u64(off, old.wrapping_add(add));
         old
     }
+
+    // ---- durability hooks (checkpoint images + crash recovery) ----
+
+    /// Snapshot the allocated region for a checkpoint image. The backing
+    /// vector may lag the watermark (a fresh pool holds no bytes yet);
+    /// the missing suffix is implicitly zero and stays implicit.
+    pub fn image(&self) -> Vec<u8> {
+        self.mem[..(self.next as usize).min(self.mem.len())].to_vec()
+    }
+
+    /// Lose all contents, as a crash with volatile DRAM does: the region
+    /// empties and the allocator resets.
+    pub fn wipe(&mut self) {
+        self.mem.clear();
+        self.next = Self::ALIGN;
+    }
+
+    /// Restore from a checkpoint image: contents become exactly `image`
+    /// and the allocator watermark becomes `allocated`.
+    pub fn restore(&mut self, image: &[u8], allocated: u64) {
+        debug_assert!(image.len() as u64 <= allocated.max(Self::ALIGN));
+        self.next = allocated.max(Self::ALIGN);
+        let need = (self.next as usize).max(image.len());
+        self.mem.clear();
+        self.mem.resize(need.next_power_of_two().max(64 * 1024), 0);
+        self.mem[..image.len()].copy_from_slice(image);
+    }
+
+    /// Replay-apply a logged write. Unlike [`MemPool::copy_in`] this may
+    /// land beyond the current watermark: the log interleaves writes and
+    /// allocator advances, and a fuzzy checkpoint image can predate the
+    /// alloc record covering a write that follows it.
+    pub fn replay_write(&mut self, off: u64, src: &[u8]) {
+        let end = off as usize + src.len();
+        if self.mem.len() < end {
+            self.mem.resize(end.next_power_of_two().max(64 * 1024), 0);
+        }
+        self.mem[off as usize..end].copy_from_slice(src);
+        self.next = self
+            .next
+            .max((end as u64).div_ceil(Self::ALIGN) * Self::ALIGN);
+    }
+
+    /// Replay-apply a logged allocator advance: the watermark becomes at
+    /// least `next` (max-merge makes re-application idempotent).
+    pub fn replay_alloc_to(&mut self, next: u64) {
+        if next > self.next {
+            self.next = next;
+            let need = next as usize;
+            if self.mem.len() < need {
+                self.mem.resize(need.next_power_of_two().max(64 * 1024), 0);
+            }
+        }
+    }
 }
 
 impl Default for MemPool {
@@ -152,6 +206,36 @@ mod tests {
             p.alloc(1 << 16);
         }
         assert_eq!(p.read_u64(off), 0xabcd);
+    }
+
+    #[test]
+    fn wipe_then_restore_round_trips() {
+        let mut p = MemPool::new();
+        let off = p.alloc(32);
+        p.copy_in(off, &[5; 32]);
+        let image = p.image();
+        let mark = p.allocated();
+        p.wipe();
+        assert_eq!(p.allocated(), MemPool::ALIGN, "crash resets the allocator");
+        p.restore(&image, mark);
+        let mut out = [0u8; 32];
+        p.copy_out(off, &mut out);
+        assert_eq!(out, [5; 32]);
+        assert_eq!(p.allocated(), mark);
+    }
+
+    #[test]
+    fn replay_writes_may_outrun_the_watermark() {
+        let mut p = MemPool::new();
+        // A write whose alloc record the checkpoint image already
+        // absorbed: replay must grow the region rather than panic.
+        p.replay_write(1 << 16, &9u64.to_le_bytes());
+        assert_eq!(p.read_u64(1 << 16), 9);
+        p.replay_alloc_to(1 << 18);
+        assert_eq!(p.allocated(), 1 << 18);
+        // Re-application is idempotent (max-merge).
+        p.replay_alloc_to(1 << 16);
+        assert_eq!(p.allocated(), 1 << 18);
     }
 
     #[test]

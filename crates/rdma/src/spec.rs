@@ -14,6 +14,28 @@
 
 use simnet::SimDur;
 
+/// Durability model of the cluster's memory servers.
+///
+/// The NAM paper assumes recoverable memory regions and leaves the
+/// mechanism open (§3.2 sketches battery-backed DRAM or logging to an
+/// attached NVMe device). `Off` keeps the historical simulator behaviour:
+/// a crashed server's memory magically survives, restart is instant.
+/// `Wal` models the logging mechanism for real: every acknowledged
+/// mutation is first made durable on a per-server simulated NVMe log
+/// device (group-committed), a crash *wipes RAM*, and restart replays
+/// checkpoint + log before the server reports healthy — so recovery time
+/// is measured, not assumed away.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Magic-durable memory: crashes keep RAM, restarts are instant.
+    /// The default, byte-compatible with every pre-durability run.
+    #[default]
+    Off,
+    /// Per-server WAL + fuzzy checkpoints on a simulated NVMe device;
+    /// crashes lose RAM and recovery replays the log.
+    Wal,
+}
+
 /// All tunable parameters of the simulated cluster.
 #[derive(Clone, Debug)]
 pub struct ClusterSpec {
@@ -113,6 +135,33 @@ pub struct ClusterSpec {
     /// break CAS safe, and "a live holder can never be broken" holds.
     pub lease_duration: SimDur,
 
+    // --- durability model (per-server WAL on a simulated NVMe device) ---
+    /// Which durability model memory servers run (see [`Durability`]).
+    pub durability: Durability,
+    /// Log-device sequential write bandwidth, bytes/second (enterprise
+    /// NVMe, ≈2 GB/s sustained with forced-unit-access writes).
+    pub wal_write_bandwidth: f64,
+    /// Log-device sequential read bandwidth, bytes/second (recovery
+    /// replay streams the log back at read speed).
+    pub wal_read_bandwidth: f64,
+    /// Fixed latency of one durable write (flush/FUA round trip into the
+    /// device's power-loss-protected buffer). This is the cost group
+    /// commit amortises: one coalesced flush pays it once.
+    pub wal_fsync_latency: SimDur,
+    /// Group commit: coalesce every record pending at flush time into one
+    /// device write (`true`), or flush strictly one record per device
+    /// write (`false`, the comparison baseline).
+    pub wal_group_commit: bool,
+    /// Take a fuzzy checkpoint once the log since the last checkpoint
+    /// exceeds this many bytes. Bounds replay work — and therefore
+    /// recovery time — at the cost of periodic image writes.
+    pub wal_checkpoint_every_bytes: u64,
+    /// CPU cost of applying one log record during recovery replay.
+    pub wal_replay_cpu_per_record: SimDur,
+    /// Fixed restart cost before replay begins (process boot, device
+    /// open, queue-pair re-establishment). Incurred once per recovery.
+    pub wal_restart_boot_latency: SimDur,
+
     // --- learned-index design (design 4) knobs ---
     /// Error bound ε of the learned model's linear segments: a predicted
     /// table position is within ±ε of the true one at training time.
@@ -161,6 +210,14 @@ impl Default for ClusterSpec {
             retry_backoff_cap: SimDur::from_micros(256),
             retry_limit: 16,
             lease_duration: SimDur::from_millis(5),
+            durability: Durability::Off,
+            wal_write_bandwidth: 2.0e9,
+            wal_read_bandwidth: 3.5e9,
+            wal_fsync_latency: SimDur::from_micros(10),
+            wal_group_commit: true,
+            wal_checkpoint_every_bytes: 16 << 20,
+            wal_replay_cpu_per_record: SimDur::from_nanos(150),
+            wal_restart_boot_latency: SimDur::from_millis(2),
             learned_epsilon: 8,
             learned_retrain_threshold: 0.05,
             learned_model_fanout: 64,
@@ -261,6 +318,44 @@ impl ClusterSpec {
              before the rate is even defined (got {})",
             self.learned_retrain_threshold,
         );
+        if self.durability == Durability::Wal {
+            assert!(
+                self.wal_write_bandwidth > 0.0 && self.wal_read_bandwidth > 0.0,
+                "wal_write_bandwidth / wal_read_bandwidth must be positive \
+                 when durability is Wal: every acknowledged mutation waits \
+                 on a log flush, a zero-throughput device never \
+                 acknowledges anything (got {} / {})",
+                self.wal_write_bandwidth,
+                self.wal_read_bandwidth,
+            );
+            assert!(
+                self.wal_checkpoint_every_bytes > 0,
+                "wal_checkpoint_every_bytes must be positive when \
+                 durability is Wal: a zero threshold triggers a checkpoint \
+                 after every append and the log never accumulates",
+            );
+            // Tie the checkpoint interval to the log device's throughput:
+            // accumulating one interval of log must take longer than a
+            // single durable write's fixed fsync cost, or the device
+            // spends its whole duty cycle writing checkpoint images
+            // instead of group-committed appends and the flush queue
+            // grows without bound.
+            let interval = SimDur::from_secs_f64(
+                self.wal_checkpoint_every_bytes as f64 / self.wal_write_bandwidth,
+            );
+            assert!(
+                interval > self.wal_fsync_latency,
+                "wal_checkpoint_every_bytes ({} bytes) is too small for the \
+                 configured log device: streaming one checkpoint interval \
+                 of log takes {}ns, within one fsync ({}ns) — checkpoints \
+                 would fire faster than individual flushes complete. Raise \
+                 the interval, raise wal_write_bandwidth, or lower \
+                 wal_fsync_latency",
+                self.wal_checkpoint_every_bytes,
+                interval.as_nanos(),
+                self.wal_fsync_latency.as_nanos(),
+            );
+        }
         assert!(
             self.learned_model_fanout >= 2,
             "learned_model_fanout must be >= 2: the segment recursion \
@@ -360,6 +455,63 @@ mod tests {
     fn degenerate_model_fanout_is_rejected() {
         let spec = ClusterSpec {
             learned_model_fanout: 1,
+            ..ClusterSpec::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    fn wal_defaults_validate_under_wal_durability() {
+        let spec = ClusterSpec {
+            durability: Durability::Wal,
+            ..ClusterSpec::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    fn off_durability_ignores_wal_knobs() {
+        // Back-compat: with durability Off the WAL knobs are inert and a
+        // nonsensical device must not fail validation.
+        let spec = ClusterSpec {
+            durability: Durability::Off,
+            wal_write_bandwidth: 0.0,
+            wal_checkpoint_every_bytes: 0,
+            ..ClusterSpec::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "wal_write_bandwidth")]
+    fn zero_device_bandwidth_is_rejected() {
+        let spec = ClusterSpec {
+            durability: Durability::Wal,
+            wal_write_bandwidth: 0.0,
+            ..ClusterSpec::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "wal_checkpoint_every_bytes")]
+    fn zero_checkpoint_interval_is_rejected() {
+        let spec = ClusterSpec {
+            durability: Durability::Wal,
+            wal_checkpoint_every_bytes: 0,
+            ..ClusterSpec::default()
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "too small for the configured log device")]
+    fn checkpoint_interval_must_outlast_one_fsync() {
+        // 1 KiB interval at 2 GB/s streams in 500ns, far inside the 10us
+        // fsync: the device would checkpoint continuously.
+        let spec = ClusterSpec {
+            durability: Durability::Wal,
+            wal_checkpoint_every_bytes: 1024,
             ..ClusterSpec::default()
         };
         spec.validate();

@@ -840,6 +840,38 @@ impl VerbObserver for Sanitizer {
         st.unreachable.entry((client, server)).or_insert(time);
     }
 
+    fn on_server_recovered(&self, server: usize, time: SimTime) {
+        // Recovery rewound this server's memory to the durable prefix:
+        // a mutation that applied before the crash but never reached
+        // the log has been *undone*, so shadow words tracked from
+        // pre-crash verbs can be stale — legitimately, not through any
+        // protocol violation. Resync every published node on the server
+        // from the recovered memory. Private (pre-publish) pages keep
+        // their owner: their raw writes are outside the protocol checks
+        // anyway, and a reverted allocation is simply overwritten when
+        // the offset is handed out again.
+        let offsets: Vec<u64> = self
+            .state
+            .borrow()
+            .nodes
+            .iter()
+            .filter(|(&(s, _), n)| s == server && n.private_to.is_none())
+            .map(|(&(_, off), _)| off)
+            .collect();
+        for off in offsets {
+            let word = self.read_word(server, off);
+            if let Some(n) = self.state.borrow_mut().nodes.get_mut(&(server, off)) {
+                n.word = word;
+                n.holder = if lock_word::is_locked(word) {
+                    Holder::LockedUnknown
+                } else {
+                    Holder::Unlocked
+                };
+                n.locked_since = time;
+            }
+        }
+    }
+
     fn on_free(&self, server: usize, offset: u64, len: usize, time: SimTime) {
         let mut st = self.state.borrow_mut();
         st.freed.insert((server, offset), Freed { len, time });

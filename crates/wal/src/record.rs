@@ -1,0 +1,335 @@
+//! WAL record wire format.
+//!
+//! Every state mutation a memory server acknowledges is first encoded as
+//! one record and appended to the server's log. Records carry *post-state*
+//! payloads (the bytes a region holds after the write, the allocator
+//! watermark after an alloc, the value a key maps to after an upsert), so
+//! replay is idempotent: re-applying a record whose effect the checkpoint
+//! image already contains is a no-op. That lets a fuzzy checkpoint commit
+//! while some of the records it covers are still waiting in the group-
+//! commit buffer — replay simply skips/overwrites by LSN.
+//!
+//! On-device layout of one record (all integers little-endian):
+//!
+//! ```text
+//! magic:u32 | kind:u8 | lsn:u64 | payload_len:u32 | payload | crc:u64
+//! ```
+//!
+//! The CRC (FNV-1a over everything before it) is what makes torn tails
+//! detectable: a crash mid-flush persists a byte-accurate prefix of the
+//! in-flight batch, and recovery stops scanning at the first record whose
+//! bytes are incomplete or whose CRC mismatches — the torn tail is
+//! discarded, never replayed.
+
+/// First four bytes of every record.
+pub const RECORD_MAGIC: u32 = 0x5741_4C31; // "WAL1"
+
+/// Fixed bytes before the payload: magic + kind + lsn + payload_len.
+pub const HEADER_BYTES: usize = 4 + 1 + 8 + 4;
+
+/// Trailing CRC bytes.
+pub const CRC_BYTES: usize = 8;
+
+/// One logged state mutation. Payloads are post-state (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Bytes written to the memory pool at `offset` (covers WRITE verbs
+    /// and the 8-byte post-images of successful CAS / FETCH_AND_ADD).
+    PoolWrite {
+        /// Pool offset of the first byte.
+        offset: u64,
+        /// The bytes the region holds after the write.
+        data: Vec<u8>,
+    },
+    /// Allocator watermark after an ALLOC verb. Replay takes the max with
+    /// the current watermark, so re-application never double-allocates.
+    PoolAllocTo {
+        /// Bump-allocator `next` value after the alloc.
+        next: u64,
+    },
+    /// A server-local tree now maps `key` to `value` by *in-place update*
+    /// of the first live entry (the hybrid design's `update_value` after
+    /// a leaf split repoints a high key). Replay updates if the entry
+    /// exists and inserts otherwise.
+    TreeUpsert {
+        /// Tree key.
+        key: u64,
+        /// Tree value after the operation.
+        value: u64,
+    },
+    /// A fresh entry `(key, value)` was inserted into a server-local
+    /// tree. Distinct from [`WalRecord::TreeUpsert`] because B-link trees
+    /// admit duplicate keys: replay must re-run the insert verbatim to
+    /// preserve entry multiplicity, not collapse onto an existing entry.
+    TreeInsert {
+        /// Tree key.
+        key: u64,
+        /// Inserted value.
+        value: u64,
+    },
+    /// `key` was deleted from a server-local tree. Replaying a delete of
+    /// an absent key is a no-op.
+    TreeDelete {
+        /// Tree key.
+        key: u64,
+    },
+}
+
+impl WalRecord {
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::PoolWrite { .. } => 1,
+            WalRecord::PoolAllocTo { .. } => 2,
+            WalRecord::TreeUpsert { .. } => 3,
+            WalRecord::TreeDelete { .. } => 4,
+            WalRecord::TreeInsert { .. } => 5,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            WalRecord::PoolWrite { offset, data } => {
+                let mut p = Vec::with_capacity(8 + data.len());
+                p.extend_from_slice(&offset.to_le_bytes());
+                p.extend_from_slice(data);
+                p
+            }
+            WalRecord::PoolAllocTo { next } => next.to_le_bytes().to_vec(),
+            WalRecord::TreeUpsert { key, value } | WalRecord::TreeInsert { key, value } => {
+                let mut p = Vec::with_capacity(16);
+                p.extend_from_slice(&key.to_le_bytes());
+                p.extend_from_slice(&value.to_le_bytes());
+                p
+            }
+            WalRecord::TreeDelete { key } => key.to_le_bytes().to_vec(),
+        }
+    }
+
+    /// Encoded size of this record on the device.
+    pub fn encoded_len(&self) -> usize {
+        let payload = match self {
+            WalRecord::PoolWrite { data, .. } => 8 + data.len(),
+            WalRecord::PoolAllocTo { .. } => 8,
+            WalRecord::TreeUpsert { .. } | WalRecord::TreeInsert { .. } => 16,
+            WalRecord::TreeDelete { .. } => 8,
+        };
+        HEADER_BYTES + payload + CRC_BYTES
+    }
+
+    /// Serialize with the given LSN.
+    pub fn encode(&self, lsn: u64) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len() + CRC_BYTES);
+        out.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+        out.push(self.kind());
+        out.extend_from_slice(&lsn.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let crc = fnv1a(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// FNV-1a over a byte slice — the workspace's house digest (same algorithm
+/// as `mc`'s history digests), dependency-free and deterministic.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Outcome of decoding one record at a log position.
+enum DecodeOne {
+    /// A complete, CRC-valid record of `len` encoded bytes.
+    Ok(WalRecord, u64, usize),
+    /// The bytes at this position are not a complete valid record — the
+    /// scan has hit the (possibly torn) end of the log.
+    End,
+}
+
+fn decode_one(buf: &[u8]) -> DecodeOne {
+    if buf.len() < HEADER_BYTES + CRC_BYTES {
+        return DecodeOne::End;
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if magic != RECORD_MAGIC {
+        return DecodeOne::End;
+    }
+    let kind = buf[4];
+    let lsn = u64::from_le_bytes(buf[5..13].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(buf[13..17].try_into().expect("4 bytes")) as usize;
+    let total = HEADER_BYTES + payload_len + CRC_BYTES;
+    if buf.len() < total {
+        return DecodeOne::End;
+    }
+    let body = &buf[..HEADER_BYTES + payload_len];
+    let crc = u64::from_le_bytes(
+        buf[HEADER_BYTES + payload_len..total]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    if fnv1a(body) != crc {
+        return DecodeOne::End;
+    }
+    let payload = &buf[HEADER_BYTES..HEADER_BYTES + payload_len];
+    let rec = match kind {
+        1 if payload_len >= 8 => WalRecord::PoolWrite {
+            offset: u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
+            data: payload[8..].to_vec(),
+        },
+        2 if payload_len == 8 => WalRecord::PoolAllocTo {
+            next: u64::from_le_bytes(payload.try_into().expect("8 bytes")),
+        },
+        3 if payload_len == 16 => WalRecord::TreeUpsert {
+            key: u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
+            value: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
+        },
+        4 if payload_len == 8 => WalRecord::TreeDelete {
+            key: u64::from_le_bytes(payload.try_into().expect("8 bytes")),
+        },
+        5 if payload_len == 16 => WalRecord::TreeInsert {
+            key: u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
+            value: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
+        },
+        // Unknown kind or malformed payload length with a somehow-valid
+        // CRC: treat as end of usable log rather than guessing.
+        _ => return DecodeOne::End,
+    };
+    DecodeOne::Ok(rec, lsn, total)
+}
+
+/// A fully decoded log: the valid record prefix and how much of the tail
+/// was discarded as torn/corrupt.
+pub struct DecodedLog {
+    /// Records in log order, each with its LSN.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Bytes of valid log (scan position where decoding stopped).
+    pub valid_bytes: usize,
+    /// Bytes after `valid_bytes` that were discarded.
+    pub torn_bytes: usize,
+}
+
+/// Scan a log image from the front, stopping at the first incomplete or
+/// CRC-invalid record. Everything after the stop point is torn tail.
+pub fn decode_log(buf: &[u8]) -> DecodedLog {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        match decode_one(&buf[pos..]) {
+            DecodeOne::Ok(rec, lsn, len) => {
+                records.push((lsn, rec));
+                pos += len;
+            }
+            DecodeOne::End => break,
+        }
+    }
+    DecodedLog {
+        records,
+        valid_bytes: pos,
+        torn_bytes: buf.len() - pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WalRecord> {
+        vec![
+            WalRecord::PoolWrite {
+                offset: 4096,
+                data: vec![7u8; 48],
+            },
+            WalRecord::PoolWrite {
+                offset: 0,
+                data: vec![],
+            },
+            WalRecord::PoolAllocTo { next: 1 << 20 },
+            WalRecord::TreeUpsert {
+                key: 42,
+                value: u64::MAX,
+            },
+            WalRecord::TreeInsert { key: 42, value: 7 },
+            WalRecord::TreeDelete { key: 0 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_single_records() {
+        for (i, rec) in samples().into_iter().enumerate() {
+            let lsn = (i as u64) * 7 + 1;
+            let bytes = rec.encode(lsn);
+            assert_eq!(bytes.len(), rec.encoded_len());
+            let decoded = decode_log(&bytes);
+            assert_eq!(decoded.records, vec![(lsn, rec)]);
+            assert_eq!(decoded.valid_bytes, bytes.len());
+            assert_eq!(decoded.torn_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn round_trip_concatenated_log() {
+        let mut log = Vec::new();
+        for (i, rec) in samples().iter().enumerate() {
+            log.extend_from_slice(&rec.encode(i as u64 + 1));
+        }
+        let decoded = decode_log(&log);
+        assert_eq!(decoded.records.len(), samples().len());
+        for (i, (lsn, rec)) in decoded.records.iter().enumerate() {
+            assert_eq!(*lsn, i as u64 + 1);
+            assert_eq!(rec, &samples()[i]);
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_discarded_at_every_cut() {
+        // A two-record log cut at every possible byte boundary: the
+        // decoder must keep exactly the records whose full encoding fits
+        // before the cut, and never fabricate a record from the tail.
+        let a = WalRecord::TreeUpsert { key: 1, value: 2 };
+        let b = WalRecord::PoolWrite {
+            offset: 64,
+            data: vec![0xAB; 24],
+        };
+        let mut log = a.encode(1);
+        let a_len = log.len();
+        log.extend_from_slice(&b.encode(2));
+        for cut in 0..=log.len() {
+            let decoded = decode_log(&log[..cut]);
+            let expect = usize::from(cut >= a_len) + usize::from(cut >= log.len());
+            assert_eq!(decoded.records.len(), expect, "cut at {cut}");
+            assert_eq!(decoded.valid_bytes + decoded.torn_bytes, cut);
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_stops_the_scan() {
+        let a = WalRecord::TreeUpsert { key: 9, value: 9 };
+        let b = WalRecord::TreeDelete { key: 3 };
+        let clean = {
+            let mut l = a.encode(1);
+            l.extend_from_slice(&b.encode(2));
+            l
+        };
+        // Flip one byte inside the second record: the first must survive,
+        // the second must be discarded (CRC or magic mismatch).
+        let a_len = a.encode(1).len();
+        for i in a_len..clean.len() {
+            let mut log = clean.clone();
+            log[i] ^= 0xFF;
+            let decoded = decode_log(&log);
+            assert_eq!(decoded.records.len(), 1, "corrupt byte {i}");
+            assert_eq!(decoded.records[0].1, a);
+        }
+    }
+
+    #[test]
+    fn fnv_is_position_sensitive() {
+        assert_ne!(fnv1a(&[1, 2]), fnv1a(&[2, 1]));
+        assert_ne!(fnv1a(&[0]), fnv1a(&[0, 0]));
+    }
+}

@@ -78,7 +78,10 @@ pub mod prelude {
     pub use namdex_core::{
         CoarseGrained, Design, FgConfig, FineGrained, Hybrid, Learned, LearnedStats, OpError,
     };
-    pub use rdma_sim::{Cluster, ClusterSpec, Endpoint, LinkDegrade, RemotePtr, VerbError};
+    pub use rdma_sim::{
+        Cluster, ClusterSpec, Durability, Endpoint, LinkDegrade, RecoveryRecord, RemotePtr,
+        VerbError, WalStats,
+    };
     pub use simnet::{Sim, SimDur, SimTime};
     pub use ycsb::{Dataset, InsertPattern, Op, OpGen, RequestDist, Workload};
 }

@@ -184,3 +184,46 @@ fn chaos_runs_drain_without_task_leaks() {
         );
     }
 }
+
+/// Linearizability across a real recovery: for every design, crash the
+/// hot server mid-run under `Durability::Wal` (RAM wiped, checkpoint +
+/// log replayed) under several schedule interleavings, and require a
+/// clean quiescent state with a linearizable history every time. Each
+/// walk seed moves the crash relative to in-flight appends, flushes and
+/// acks — these are the recovery interleavings the durability design
+/// must survive.
+#[test]
+fn crash_recovery_interleavings_stay_linearizable() {
+    for design in DesignKind::ALL {
+        for walk_seed in [5u64, 23] {
+            let sc = Scenario::point_ops(design, FaultMode::CrashRecover, 13);
+            let report = run_scenario(&sc, &PolicyKind::RandomWalk { seed: walk_seed });
+            assert_eq!(
+                report.recoveries,
+                1,
+                "{}: the crash/recovery cycle must complete",
+                design.name()
+            );
+            assert_eq!(report.task_leak, 0, "{}: live tasks", design.name());
+            assert!(
+                report.held_leaks.is_empty(),
+                "{}: live-owner lock leak across recovery: {:?}",
+                design.name(),
+                report.held_leaks
+            );
+            assert!(
+                report.san_violations.is_empty(),
+                "{}: sanitizer findings across recovery: {:?}",
+                design.name(),
+                report.san_violations
+            );
+            assert!(
+                report.lin.is_ok(),
+                "{}: non-linearizable history across recovery (walk seed \
+                 {walk_seed}): {:?}",
+                design.name(),
+                report.lin
+            );
+        }
+    }
+}
