@@ -52,4 +52,7 @@ fn main() {
     let path = results_dir().join("ablation_partitioning.csv");
     write_csv(&path, &["scheme", "panel", "throughput", "aborts"], &csv).expect("csv");
     println!("\nwrote {}", path.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

@@ -119,4 +119,7 @@ fn main() {
         }
         println!("{row}");
     }
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

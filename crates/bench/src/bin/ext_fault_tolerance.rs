@@ -243,4 +243,7 @@ fn main() {
     )
     .expect("recovery csv");
     println!("wrote {}", path.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

@@ -308,4 +308,7 @@ fn main() {
     let path = results_dir().join("BENCH_recovery.json");
     std::fs::write(&path, json).expect("bench json");
     println!("wrote {}", path.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

@@ -54,4 +54,7 @@ fn main() {
     let path = results_dir().join("ext_request_skew.csv");
     write_csv(&path, &["design", "dist", "throughput", "aborts"], &csv).expect("csv");
     println!("\nwrote {}", path.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

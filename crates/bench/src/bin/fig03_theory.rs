@@ -43,4 +43,7 @@ fn main() {
     let path = results_dir().join("fig03_theory.csv");
     write_csv(&path, &["series", "servers", "max_throughput"], &rows).expect("csv");
     println!("wrote {}", path.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

@@ -41,4 +41,7 @@ fn main() {
     )
     .expect("csv");
     println!("wrote {}", path.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

@@ -4,7 +4,7 @@
 
 use bench::figures::{full_sweep, panel_series, panels};
 use bench::plot::{ascii_chart, results_dir, write_csv};
-use bench::trajectory::{sample_designs, write_bench_json};
+use bench::trajectory::{append_bench_json, civil_date, sample_designs};
 use bench::DataDist;
 
 fn main() {
@@ -45,13 +45,23 @@ fn main() {
 
     // Seed-pinned perf-trajectory baseline (ROADMAP item 3): ops/sec is
     // deterministic, events/sec is this machine's event-loop raw speed.
-    // The timer below is the bench harness's sole wall-clock read; it
-    // never feeds back into simulation state.
+    // The wall-clock reads below are reporting-only; they never feed
+    // back into simulation state.
     let seed = bench::parse_args().seed_or_default();
     #[allow(clippy::disallowed_methods, clippy::disallowed_types)]
     let epoch = std::time::Instant::now(); // xtask: allow(wall-clock-instant)
     let points = sample_designs(seed, || epoch.elapsed().as_secs_f64());
+    #[allow(clippy::disallowed_methods, clippy::disallowed_types)]
+    let date = civil_date(
+        std::time::SystemTime::now() // xtask: allow(wall-clock-system-time)
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    );
     let json = results_dir().join("BENCH_fig08.json");
-    write_bench_json(&json, "fig08", seed, &points).expect("bench json");
-    println!("wrote {}", json.display());
+    append_bench_json(&json, "fig08", seed, &date, &points).expect("bench json");
+    println!("appended {date} entry to {}", json.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

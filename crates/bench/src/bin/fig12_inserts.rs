@@ -55,4 +55,7 @@ fn main() {
     let path = results_dir().join("fig12_inserts.csv");
     write_csv(&path, &["series", "clients", "throughput", "aborts"], &csv).expect("csv");
     println!("wrote {}", path.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

@@ -63,4 +63,7 @@ fn main() {
     )
     .expect("csv");
     println!("\nwrote {}", path.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

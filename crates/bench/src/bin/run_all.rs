@@ -36,4 +36,7 @@ fn main() {
         assert!(status.success(), "{bin} failed");
     }
     println!("\nAll tables and figures regenerated; CSVs in the results directory.");
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

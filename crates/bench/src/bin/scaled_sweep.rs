@@ -1,0 +1,97 @@
+//! Scaled sweep: ≥10M keys, up to 1,000 closed-loop clients, all four
+//! designs — the first step toward ROADMAP item 2's 10k-client /
+//! 100M-key target, made practical by the hot-path engine work
+//! (DESIGN.md §17). Cells run through the parallel sweep runner
+//! (`NAMDEX_SWEEP_THREADS`); the CSV is byte-identical for any thread
+//! count. Each row also records the cell's events/sec, so the run
+//! doubles as a large-scale engine benchmark.
+
+use bench::parallel::run_cells;
+use bench::plot::{results_dir, write_csv};
+use bench::{run_experiment, DesignKind, ExperimentConfig};
+use simnet::SimDur;
+
+/// Wall-clock sampler for per-cell events/sec. Reporting only — the
+/// reads never feed back into simulation state.
+#[allow(clippy::disallowed_methods, clippy::disallowed_types)]
+fn wall_secs() -> f64 {
+    use std::time::Instant; // xtask: allow(wall-clock-instant)
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() // xtask: allow(wall-clock-instant)
+}
+
+fn main() {
+    let seed = bench::parse_args().seed_or_default();
+    let num_keys: u64 = 10_000_000;
+    let clients_axis = [250usize, 500, 1_000];
+    let designs = [
+        DesignKind::Cg,
+        DesignKind::Fg,
+        DesignKind::Hybrid,
+        DesignKind::Learned,
+    ];
+    let cells: Vec<(DesignKind, usize)> = designs
+        .iter()
+        .flat_map(|&d| clients_axis.iter().map(move |&c| (d, c)))
+        .collect();
+    eprintln!(
+        "[scaled] {} cells: {num_keys} keys x {clients_axis:?} clients x {} designs",
+        cells.len(),
+        designs.len()
+    );
+    let rows = run_cells(&cells, |&(design, clients)| {
+        let cfg = ExperimentConfig {
+            design,
+            num_keys,
+            clients,
+            warmup: SimDur::from_millis(2),
+            measure: SimDur::from_millis(10),
+            seed,
+            ..ExperimentConfig::default()
+        };
+        let t0 = wall_secs();
+        let r = run_experiment(&cfg);
+        let secs = wall_secs() - t0;
+        let eps = if secs > 0.0 {
+            r.sim_events as f64 / secs
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[scaled] {} clients={clients}: {:.0} ops/s, {:.2}M events/s",
+            design.label(),
+            r.throughput,
+            eps / 1e6
+        );
+        vec![
+            design.label().to_string(),
+            clients.to_string(),
+            format!("{:.1}", r.throughput),
+            r.latency.percentile(0.5).to_string(),
+            r.latency.percentile(0.99).to_string(),
+            format!("{:.4}", r.wire_gbps),
+            r.sim_events.to_string(),
+            format!("{eps:.0}"),
+        ]
+    });
+    let path = results_dir().join("scaled_sweep.csv");
+    write_csv(
+        &path,
+        &[
+            "design",
+            "clients",
+            "throughput",
+            "p50_ns",
+            "p99_ns",
+            "wire_gbps",
+            "sim_events",
+            "events_per_sec",
+        ],
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
+}

@@ -9,4 +9,7 @@ fn main() {
         println!("  {symbol:<38} {value}");
     }
     println!("\nFormulas: M = P/(3K); L = D/M; H = ceil(log_M(...)).");
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

@@ -47,4 +47,7 @@ fn main() {
             println!("   (FG / CG-range / CG-hash)");
         }
     }
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

@@ -52,4 +52,7 @@ fn main() {
     println!("  throughput: {:.0} ops/s", r.throughput);
     println!("  trace:   {}", trace_path.display());
     println!("  metrics: {}", metrics_csv_path(&trace_path).display());
+    if let Some(summary) = bench::trajectory::process_events_summary() {
+        println!("{summary}");
+    }
 }

@@ -129,6 +129,10 @@ pub struct ExperimentConfig {
     /// leaves the run untelemetered — the verb layer's observer hooks
     /// stay behind their flag check and cost nothing measurable.
     pub trace_path: Option<PathBuf>,
+    /// Timer-queue backend. Results are bit-identical across kinds
+    /// (pinned by the scheduler-equivalence golden tests); the knob
+    /// exists so those tests can run the same experiment on both.
+    pub scheduler: simnet::SchedulerKind,
 }
 
 impl Default for ExperimentConfig {
@@ -152,6 +156,7 @@ impl Default for ExperimentConfig {
             fault_plan: None,
             timeline_window: SimDur::ZERO,
             trace_path: None,
+            scheduler: simnet::SchedulerKind::default(),
         }
     }
 }
@@ -282,9 +287,20 @@ fn build_design(cfg: &ExperimentConfig, nam: &NamCluster, data: Dataset) -> Desi
     }
 }
 
+/// Wall-clock nanoseconds since the first call, for the process-wide
+/// events/sec meter. Reporting only — never feeds back into simulation
+/// state, so determinism is untouched.
+#[allow(clippy::disallowed_methods, clippy::disallowed_types)]
+fn wall_nanos() -> u64 {
+    use std::time::Instant; // xtask: allow(wall-clock-instant)
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64 // xtask: allow(wall-clock-instant)
+}
+
 /// Run one experiment to completion and return its measurements.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
-    let sim = Sim::new();
+    let wall_start = wall_nanos();
+    let sim = Sim::with_scheduler(cfg.scheduler);
     // Model-checker parity hook: route every scheduling decision through
     // the explicit FIFO policy so `cargo xtask mc` can prove the
     // controlled scheduler is bit-identical to the uncontrolled executor
@@ -493,6 +509,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         _ => Vec::new(),
     };
 
+    crate::trajectory::meter_record(sim.events_processed(), wall_nanos() - wall_start);
     ExperimentResult {
         ops: count,
         throughput: count as f64 / secs,

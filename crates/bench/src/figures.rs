@@ -216,7 +216,11 @@ pub fn full_sweep(dist: DataDist) -> Vec<SweepRow> {
             path.display()
         );
     }
-    let mut rows = Vec::new();
+    // Enumerate every cell up front, then farm them through the
+    // parallel sweep runner ([`crate::parallel`]): cells are whole
+    // independent simulations, and `run_cells` merges outputs in cell
+    // order, so the CSV is byte-identical for any NAMDEX_SWEEP_THREADS.
+    let mut cells: Vec<(&'static str, Workload, SimDur, DesignKind, usize)> = Vec::new();
     for (panel, workload) in panels() {
         // Longer windows for longer operations: a sel=0.1 scan moves
         // thousands of pages and takes tens of virtual milliseconds
@@ -228,39 +232,43 @@ pub fn full_sweep(dist: DataDist) -> Vec<SweepRow> {
         };
         for &design in &want {
             for clients in clients_sweep() {
-                let cfg = ExperimentConfig {
-                    design,
-                    workload,
-                    num_keys: num_keys(),
-                    clients,
-                    data_dist: dist,
-                    warmup: SimDur::from_millis(3),
-                    measure,
-                    seed: cli::parse_args().seed_or_default(),
-                    cache_capacity: cli::parse_args().cache_capacity,
-                    ..ExperimentConfig::default()
-                };
-                let r = run_experiment(&cfg);
-                eprintln!(
-                    "[sweep {dist:?}] {panel} {} clients={clients}: {:.0} ops/s",
-                    design.label(),
-                    r.throughput
-                );
-                rows.push(SweepRow {
-                    design: design.label().to_string(),
-                    panel: panel.to_string(),
-                    clients,
-                    throughput: r.throughput,
-                    p50_ns: r.latency.percentile(0.5),
-                    p99_ns: r.latency.percentile(0.99),
-                    mean_ns: r.latency.mean(),
-                    wire_gbps: r.wire_gbps,
-                    max_bw_gbps: r.max_bandwidth_gbps,
-                    aborts: r.aborts,
-                });
+                cells.push((panel, workload, measure, design, clients));
             }
         }
     }
+    let rows =
+        crate::parallel::run_cells(&cells, |&(panel, workload, measure, design, clients)| {
+            let cfg = ExperimentConfig {
+                design,
+                workload,
+                num_keys: num_keys(),
+                clients,
+                data_dist: dist,
+                warmup: SimDur::from_millis(3),
+                measure,
+                seed: cli::parse_args().seed_or_default(),
+                cache_capacity: cli::parse_args().cache_capacity,
+                ..ExperimentConfig::default()
+            };
+            let r = run_experiment(&cfg);
+            eprintln!(
+                "[sweep {dist:?}] {panel} {} clients={clients}: {:.0} ops/s",
+                design.label(),
+                r.throughput
+            );
+            SweepRow {
+                design: design.label().to_string(),
+                panel: panel.to_string(),
+                clients,
+                throughput: r.throughput,
+                p50_ns: r.latency.percentile(0.5),
+                p99_ns: r.latency.percentile(0.99),
+                mean_ns: r.latency.mean(),
+                wire_gbps: r.wire_gbps,
+                max_bw_gbps: r.max_bandwidth_gbps,
+                aborts: r.aborts,
+            }
+        });
     save(&path, &rows);
     rows
 }

@@ -12,6 +12,7 @@
 pub mod cli;
 pub mod driver;
 pub mod figures;
+pub mod parallel;
 pub mod plot;
 pub mod trajectory;
 

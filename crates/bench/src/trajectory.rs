@@ -11,10 +11,20 @@
 //!   This one is machine-dependent by nature; the trajectory compares
 //!   it across PRs run on the same hardware.
 //!
+//! The trajectory *accrues*: each run appends a dated entry to the
+//! `entries` array instead of overwriting, so the PR-over-PR curve is
+//! readable straight from the committed file (`cargo xtask perf-smoke`
+//! compares CI runs against the last entry, warn-only). Events/sec is
+//! sampled **best-of-3** — same-seed reruns are virtual-time identical,
+//! so the repeats differ only in wall-clock noise, and the max is a far
+//! lower-variance estimate of achievable event-loop speed than a single
+//! draw on a busy machine.
+//!
 //! The JSON is hand-rolled (the workspace carries no serde) and field
 //! order is fixed, so same-machine same-seed reruns diff cleanly.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::driver::{run_experiment, DesignKind, ExperimentConfig};
 use crate::figures;
@@ -29,40 +39,66 @@ pub struct TrajectoryPoint {
     pub ops_per_sec: f64,
     /// Scheduling events the run processed (deterministic).
     pub sim_events: u64,
-    /// Simulator raw speed, events per wall-clock second.
+    /// Simulator raw speed, events per wall-clock second (best-of-3).
     pub events_per_sec: f64,
 }
 
-/// Run the seed-pinned baseline workload once per design in
-/// [`figures::designs`] and collect trajectory points.
+/// Wall-clock repeats per design; events/sec takes the max (the
+/// deterministic fields are asserted identical across repeats).
+pub const EVENTS_PER_SEC_REPEATS: usize = 3;
+
+/// Run the seed-pinned baseline workload [`EVENTS_PER_SEC_REPEATS`]
+/// times per design in [`figures::designs`] and collect trajectory
+/// points (best-of-N events/sec, first-run deterministic fields).
 ///
-/// `now_secs` is a monotonic wall-clock sampler in seconds — the one
-/// place the bench harness touches real time. Binaries pass an
-/// `Instant`-based timer; tests can pass a stub.
+/// `now_secs` is a monotonic wall-clock sampler in seconds — one of the
+/// two places the bench harness touches real time (the other is the
+/// process-wide meter below). Binaries pass an `Instant`-based timer;
+/// tests can pass a stub.
 pub fn sample_designs(seed: u64, now_secs: impl Fn() -> f64) -> Vec<TrajectoryPoint> {
     figures::designs()
         .into_iter()
         .map(|design| {
             let cfg = baseline_config(design, seed);
-            let t0 = now_secs();
-            let r = run_experiment(&cfg);
-            let secs = now_secs() - t0;
-            eprintln!(
-                "[trajectory] {}: {:.0} ops/s, {} events in {secs:.2}s wall",
-                design.label(),
-                r.throughput,
-                r.sim_events,
-            );
-            TrajectoryPoint {
-                design: design.label().to_string(),
-                ops_per_sec: r.throughput,
-                sim_events: r.sim_events,
-                events_per_sec: if secs > 0.0 {
+            let mut point: Option<TrajectoryPoint> = None;
+            for _ in 0..EVENTS_PER_SEC_REPEATS {
+                let t0 = now_secs();
+                let r = run_experiment(&cfg);
+                let secs = now_secs() - t0;
+                let eps = if secs > 0.0 {
                     r.sim_events as f64 / secs
                 } else {
                     0.0
-                },
+                };
+                match &mut point {
+                    None => {
+                        point = Some(TrajectoryPoint {
+                            design: design.label().to_string(),
+                            ops_per_sec: r.throughput,
+                            sim_events: r.sim_events,
+                            events_per_sec: eps,
+                        });
+                    }
+                    Some(p) => {
+                        // Virtual time is a pure function of the seed;
+                        // only the wall clock may differ between repeats.
+                        assert_eq!(
+                            p.sim_events, r.sim_events,
+                            "same-seed rerun changed the event count"
+                        );
+                        p.events_per_sec = p.events_per_sec.max(eps);
+                    }
+                }
             }
+            let p = point.expect("at least one repeat");
+            eprintln!(
+                "[trajectory] {}: {:.0} ops/s, {} events, best {:.2}M events/s",
+                p.design,
+                p.ops_per_sec,
+                p.sim_events,
+                p.events_per_sec / 1e6,
+            );
+            p
         })
         .collect()
 }
@@ -82,22 +118,122 @@ fn baseline_config(design: DesignKind, seed: u64) -> ExperimentConfig {
     }
 }
 
-/// Serialize trajectory points to the fixed-field JSON the ROADMAP's
-/// `BENCH_*.json` tracking consumes, and write it to `path`.
-pub fn write_bench_json(
-    path: &Path,
-    figure: &str,
-    seed: u64,
-    points: &[TrajectoryPoint],
-) -> std::io::Result<()> {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"figure\": \"{figure}\",\n"));
-    out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str("  \"designs\": [\n");
+// ---------------------------------------------------------------------
+// Process-wide events/sec meter.
+
+static METER_EVENTS: AtomicU64 = AtomicU64::new(0);
+static METER_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one experiment's scheduling-event count and wall-clock cost.
+/// Called by `driver::run_experiment` itself, so **every** figure binary
+/// accumulates raw-speed data with no per-binary plumbing.
+pub(crate) fn meter_record(events: u64, wall_nanos: u64) {
+    METER_EVENTS.fetch_add(events, Ordering::Relaxed);
+    METER_NANOS.fetch_add(wall_nanos, Ordering::Relaxed);
+}
+
+/// One-line summary of the process's accumulated simulator raw speed,
+/// or `None` if no experiment ran. Figure binaries print this as their
+/// last line; under the parallel sweep runner the events/sec is
+/// *aggregate* (events summed over cells, wall summed over workers).
+pub fn process_events_summary() -> Option<String> {
+    let ev = METER_EVENTS.load(Ordering::Relaxed);
+    let ns = METER_NANOS.load(Ordering::Relaxed);
+    if ev == 0 || ns == 0 {
+        return None;
+    }
+    let secs = ns as f64 / 1e9;
+    Some(format!(
+        "[events/sec] {ev} simulator events in {secs:.2}s wall = {:.2}M events/sec",
+        ev as f64 / secs / 1e6
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Appended-entry JSON.
+
+/// Convert a Unix timestamp (seconds, UTC) to a `YYYY-MM-DD` civil
+/// date. Hand-rolled days-from-epoch conversion (no chrono in the
+/// workspace); proleptic Gregorian, valid for any date the trajectory
+/// will ever see.
+pub fn civil_date(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Pull the existing entry blocks (as raw JSON object strings) out of a
+/// trajectory file. Accepts both the appended-entries format and the
+/// legacy single-snapshot format (which becomes one `"date": "unknown"`
+/// entry). Brace counting is safe here: the format contains no braces
+/// or brackets inside strings.
+fn parse_entries(text: &str) -> Vec<String> {
+    if let Some(start) = text.find("\"entries\": [") {
+        let mut entries = Vec::new();
+        let mut depth = 0usize;
+        let mut obj_start = None;
+        for (i, c) in text[start..].char_indices() {
+            match c {
+                '{' => {
+                    if depth == 0 {
+                        obj_start = Some(start + i);
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let s = obj_start.take().expect("matched brace");
+                        entries.push(text[s..=start + i].to_string());
+                    }
+                }
+                ']' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        return entries;
+    }
+    // Legacy single snapshot: hoist its seed + designs into one entry.
+    if let Some(d) = text.find("\"designs\": [") {
+        let seed = text
+            .find("\"seed\":")
+            .and_then(|i| {
+                let rest = text[i + 7..].trim_start();
+                let end = rest
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                rest[..end].parse::<u64>().ok()
+            })
+            .unwrap_or(0);
+        let Some(close) = text[d..].find(']').map(|i| d + i) else {
+            return Vec::new();
+        };
+        let designs = &text[d..=close];
+        return vec![format!(
+            "    {{\n      \"date\": \"unknown\",\n      \"seed\": {seed},\n      {}\n    }}",
+            designs.replace('\n', "\n  ")
+        )];
+    }
+    Vec::new()
+}
+
+fn format_entry(date: &str, seed: u64, points: &[TrajectoryPoint]) -> String {
+    let mut e = String::new();
+    e.push_str("    {\n");
+    e.push_str(&format!("      \"date\": \"{date}\",\n"));
+    e.push_str(&format!("      \"seed\": {seed},\n"));
+    e.push_str("      \"designs\": [\n");
     for (i, p) in points.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"design\": \"{}\", \"ops_per_sec\": {:.1}, \
+        e.push_str(&format!(
+            "        {{\"design\": \"{}\", \"ops_per_sec\": {:.1}, \
              \"sim_events\": {}, \"events_per_sec\": {:.0}}}{}\n",
             p.design,
             p.ops_per_sec,
@@ -106,7 +242,33 @@ pub fn write_bench_json(
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    e.push_str("      ]\n    }");
+    e
+}
+
+/// Append one dated entry to the `BENCH_*.json` trajectory at `path`,
+/// preserving every existing entry (and converting a legacy
+/// single-snapshot file to the entries format on first touch). The
+/// caller supplies the civil date — the wall-clock read stays in the
+/// binaries.
+pub fn append_bench_json(
+    path: &Path,
+    figure: &str,
+    seed: u64,
+    date: &str,
+    points: &[TrajectoryPoint],
+) -> std::io::Result<()> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(old) => parse_entries(&old),
+        Err(_) => Vec::new(),
+    };
+    entries.push(format_entry(date, seed, points));
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"figure\": \"{figure}\",\n"));
+    out.push_str("  \"entries\": [\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir)?;
     }
@@ -117,11 +279,8 @@ pub fn write_bench_json(
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_shape_is_stable() {
-        let dir = std::env::temp_dir().join("namdex_trajectory_test");
-        let path = dir.join("BENCH_test.json");
-        let pts = vec![
+    fn pts() -> Vec<TrajectoryPoint> {
+        vec![
             TrajectoryPoint {
                 design: "Hybrid".into(),
                 ops_per_sec: 1234.5,
@@ -134,15 +293,59 @@ mod tests {
                 sim_events: 888,
                 events_per_sec: 2e6,
             },
-        ];
-        write_bench_json(&path, "test", 42, &pts).unwrap();
+        ]
+    }
+
+    #[test]
+    fn entries_accrue_across_appends() {
+        let dir = std::env::temp_dir().join("namdex_trajectory_append");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("BENCH_test.json");
+        append_bench_json(&path, "test", 42, "2026-08-01", &pts()).unwrap();
+        append_bench_json(&path, "test", 42, "2026-08-09", &pts()).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"figure\": \"test\""));
-        assert!(text.contains("\"seed\": 42"));
-        assert!(text.contains("\"design\": \"Learned\""));
-        assert!(text.contains("\"sim_events\": 999"));
-        // Exactly one trailing comma between the two design entries.
-        assert_eq!(text.matches("},").count(), 1);
+        assert_eq!(text.matches("\"date\":").count(), 2, "{text}");
+        assert_eq!(text.matches("\"design\": \"Hybrid\"").count(), 2);
+        assert!(text.contains("\"2026-08-01\"") && text.contains("\"2026-08-09\""));
+        // Still well-formed enough to re-parse.
+        assert_eq!(parse_entries(&text).len(), 2);
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn legacy_snapshot_is_preserved_as_first_entry() {
+        let dir = std::env::temp_dir().join("namdex_trajectory_legacy");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let legacy = "{\n  \"figure\": \"test\",\n  \"seed\": 7,\n  \"designs\": [\n    \
+            {\"design\": \"Coarse-Grained\", \"ops_per_sec\": 1.0, \"sim_events\": 5, \"events_per_sec\": 100}\n  ]\n}\n";
+        std::fs::write(&path, legacy).unwrap();
+        append_bench_json(&path, "test", 42, "2026-08-09", &pts()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"entries\": ["));
+        assert!(text.contains("\"date\": \"unknown\""), "{text}");
+        assert!(text.contains("\"seed\": 7"));
+        assert!(text.contains("\"design\": \"Coarse-Grained\""));
+        assert!(text.contains("\"date\": \"2026-08-09\""));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_date(0), "1970-01-01");
+        assert_eq!(civil_date(86_399), "1970-01-01");
+        assert_eq!(civil_date(86_400), "1970-01-02");
+        // Leap-year boundary: 2024-02-29.
+        assert_eq!(civil_date(1_709_164_800), "2024-02-29");
+        assert_eq!(civil_date(1_786_233_600), "2026-08-09");
+    }
+
+    #[test]
+    fn meter_summary_formats() {
+        meter_record(1_000_000, 500_000_000);
+        let s = process_events_summary().expect("meter recorded");
+        assert!(s.contains("events/sec"), "{s}");
     }
 }

@@ -1,0 +1,102 @@
+//! Allocation-count regression gate for the zero-copy hot path.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warmup phase has populated the `BufArena` free lists and grown every
+//! executor structure (timing-wheel slot vectors, ready queue, arena
+//! bins) to steady capacity, a window of fine-grained point lookups
+//! must perform **zero** heap allocations — the property the PageBuf
+//! arena exists to provide (DESIGN.md §17). A regression that
+//! reintroduces a per-verb `Vec` shows up here as an exact count, not a
+//! profile hunch.
+//!
+//! This lives in its own integration-test binary because a global
+//! allocator is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use namdex_core::{FgConfig, FineGrained};
+use rdma_sim::{ClusterSpec, Endpoint};
+use simnet::Sim;
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_fg_lookups_allocate_nothing() {
+    let sim = Sim::new();
+    let nam = nam::NamCluster::new(&sim, ClusterSpec::with_memory_servers(4));
+    nam.rdma.set_active_clients(1);
+    let data = ycsb::Dataset::new(20_000);
+    let domain = data.domain();
+    let fg = FineGrained::build(
+        &nam.rdma,
+        FgConfig {
+            layout: blink::PageLayout::default(),
+            fill: 0.7,
+            head_stride: 8,
+            cache_capacity: None,
+        },
+        data.iter(),
+    );
+    let cluster = nam.rdma.clone();
+    sim.spawn(async move {
+        let ep = Endpoint::new(&cluster);
+        let mut key = 1u64;
+        let mut next = move || {
+            key = key
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            key % domain
+        };
+        // Warmup: fill the arena free lists and grow every executor
+        // container (wheel slots, ready queue) to steady capacity.
+        for _ in 0..1_000 {
+            fg.lookup(&ep, next()).await.expect("warmup lookup");
+        }
+        ALLOCS.store(0, Ordering::Relaxed);
+        COUNTING.store(true, Ordering::Relaxed);
+        for _ in 0..500 {
+            fg.lookup(&ep, next()).await.expect("measured lookup");
+        }
+        COUNTING.store(false, Ordering::Relaxed);
+    });
+    sim.run();
+    assert_eq!(
+        ALLOCS.load(Ordering::Relaxed),
+        0,
+        "steady-state fine-grained lookups must perform zero heap allocations"
+    );
+}

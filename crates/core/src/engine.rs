@@ -46,7 +46,7 @@ use blink::node::{
     kind_of, HeadNodeRef, InnerNodeMut, InnerNodeRef, LeafNodeMut, LeafNodeRef, NodeKind,
 };
 use blink::{Key, PageLayout, Ptr, Value};
-use rdma_sim::{Endpoint, OpKind, RegionKind, RemotePtr, VerbError};
+use rdma_sim::{Endpoint, OpKind, PageBuf, RegionKind, RemotePtr, VerbError};
 use simnet::SimDur;
 
 use crate::onesided::{lock_node, read_unlocked, release_on_error, unlock_only, write_unlock};
@@ -237,7 +237,7 @@ async fn descend<S: NodeSource>(
     key: Key,
     access: OpAccess,
     mut path: Option<&mut Vec<RemotePtr>>,
-) -> Result<(RemotePtr, Vec<u8>), VerbError> {
+) -> Result<(RemotePtr, PageBuf), VerbError> {
     let mut parent = RemotePtr::NULL;
     let mut cur = src.start(ep, key, access).await?;
     // protolint: loop(levels) -- one load per tree level; sibling chases
@@ -326,8 +326,8 @@ async fn lock_covering_leaf<S: NodeSource>(
     ep: &Endpoint,
     key: Key,
     mut cur: RemotePtr,
-    mut pending: Option<Vec<u8>>,
-) -> Result<(RemotePtr, Vec<u8>), VerbError> {
+    mut pending: Option<PageBuf>,
+) -> Result<(RemotePtr, PageBuf), VerbError> {
     // protolint: loop(spin) -- move-right retries only under contention.
     loop {
         // protolint: arm-by(first-page) -- client-descent callers hand
@@ -747,13 +747,13 @@ pub(crate) async fn scan_chain(
     ep: &Endpoint,
     layout: PageLayout,
     start: RemotePtr,
-    start_page: Option<Vec<u8>>,
+    start_page: Option<PageBuf>,
     lo: Key,
     hi: Key,
     out: &mut Vec<(Key, Value)>,
 ) -> Result<(), VerbError> {
     let ps = layout.page_size();
-    let mut prefetched: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut prefetched: BTreeMap<u64, PageBuf> = BTreeMap::new();
     let mut cur = start;
     let mut pending = start_page;
     // protolint: loop(chain) -- one read per chained leaf/head; trip

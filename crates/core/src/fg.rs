@@ -125,22 +125,25 @@ pub(crate) fn build_leaf_level(
     let per_leaf = ((cfg.layout.entry_capacity() as f64 * cfg.fill) as usize).max(2);
 
     // Chunk items into leaves, never splitting one key across leaves.
-    let mut chunks: Vec<Vec<(Key, Value)>> = Vec::new();
-    let mut prev: Option<Key> = None;
-    for (k, v) in items {
-        debug_assert!(prev.is_none_or(|p| p <= k), "leaf-level input unsorted");
-        let need_new = match chunks.last() {
-            None => true,
-            Some(c) => c.len() >= per_leaf && prev != Some(k),
-        };
-        if need_new {
-            chunks.push(Vec::with_capacity(per_leaf));
+    // One flat buffer plus boundary ranges — bulk load touches millions
+    // of entries, so per-chunk `Vec`s are measurable setup cost.
+    let all: Vec<(Key, Value)> = items.collect();
+    debug_assert!(
+        all.windows(2).all(|w| w[0].0 <= w[1].0),
+        "leaf-level input unsorted"
+    );
+    let mut chunks: Vec<(usize, usize)> = Vec::with_capacity(all.len() / per_leaf + 1);
+    let mut start = 0;
+    while start < all.len() {
+        let mut end = (start + per_leaf).min(all.len());
+        while end < all.len() && all[end].0 == all[end - 1].0 {
+            end += 1;
         }
-        chunks.last_mut().expect("chunk exists").push((k, v));
-        prev = Some(k);
+        chunks.push((start, end));
+        start = end;
     }
     if chunks.is_empty() {
-        chunks.push(Vec::new()); // empty index: one empty leaf
+        chunks.push((0, 0)); // empty index: one empty leaf
     }
 
     // Allocate pages: leaves round-robin, plus one head per group.
@@ -159,7 +162,12 @@ pub(crate) fn build_leaf_level(
     // leaf, except the last leaf of a group, which points at the next
     // group's head.
     let mut leaves = Vec::with_capacity(n);
-    for (i, chunk) in chunks.iter().enumerate() {
+    // One page buffer reused for every node: `init` zero-fills before
+    // writing, so the bytes shipped to the servers are identical to a
+    // freshly allocated page without the per-leaf 1 KiB allocation.
+    let mut page = cfg.layout.alloc_page();
+    for (i, &(lo, hi)) in chunks.iter().enumerate() {
+        let chunk = &all[lo..hi];
         let high = if i + 1 == n {
             KEY_MAX
         } else {
@@ -177,7 +185,6 @@ pub(crate) fn build_leaf_level(
         } else {
             leaf_ptrs[i - 1]
         };
-        let mut page = cfg.layout.alloc_page();
         let mut leaf = LeafNodeMut::init(&mut page, high, left.as_page_ptr(), right.as_page_ptr());
         for &(k, v) in chunk {
             leaf.push(k, v)
@@ -193,7 +200,6 @@ pub(crate) fn build_leaf_level(
         let lo = g * cfg.head_stride;
         let hi = (lo + cfg.head_stride).min(n);
         let ptrs: Vec<Ptr> = leaf_ptrs[lo..hi].iter().map(|p| p.as_page_ptr()).collect();
-        let mut page = cfg.layout.alloc_page();
         HeadNodeMut::init(&mut page, &ptrs, leaf_ptrs[lo].as_page_ptr());
         cluster.setup_write(head_ptr, &page);
     }
@@ -216,6 +222,7 @@ fn build_inner_levels(
 ) -> RemotePtr {
     let per_inner = ((cfg.layout.entry_capacity() as f64 * cfg.fill) as usize).max(2);
     let mut level_no: u8 = 0;
+    let mut page = cfg.layout.alloc_page(); // reused; `init` zero-fills
     while level.len() > 1 {
         level_no += 1;
         let mut next = Vec::new();
@@ -241,7 +248,6 @@ fn build_inner_levels(
                 ptrs[j + 1]
             };
             let high = level[start + take - 1].0;
-            let mut page = cfg.layout.alloc_page();
             let mut node = InnerNodeMut::init(&mut page, level_no, high, right.as_page_ptr());
             for &(sep, child) in &level[start..start + take] {
                 node.push(sep, child.as_page_ptr()).expect("under capacity");
@@ -438,7 +444,7 @@ impl NodeSource for FineGrained {
         Ok(self.root.get())
     }
 
-    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<Vec<u8>, VerbError> {
+    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<rdma_sim::PageBuf, VerbError> {
         read_unlocked(ep, ptr, self.ps()).await
     }
 }

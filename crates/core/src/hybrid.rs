@@ -271,7 +271,7 @@ impl NodeSource for Hybrid {
         self.leaf_ptr_for(ep, key, req_bytes).await
     }
 
-    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<Vec<u8>, VerbError> {
+    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<rdma_sim::PageBuf, VerbError> {
         read_unlocked(ep, ptr, self.ps()).await
     }
 }

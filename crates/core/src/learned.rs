@@ -319,7 +319,7 @@ impl NodeSource for Learned {
         self.tree.start(ep, key, access).await
     }
 
-    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<Vec<u8>, VerbError> {
+    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<rdma_sim::PageBuf, VerbError> {
         read_unlocked(ep, ptr, self.ps()).await
     }
 

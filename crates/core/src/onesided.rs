@@ -53,7 +53,7 @@
 
 use blink::layout::lock_word;
 use blink::node::version_lock_of;
-use rdma_sim::{Endpoint, RegionKind, RemotePtr, VerbError};
+use rdma_sim::{Endpoint, PageBuf, RegionKind, RemotePtr, VerbError};
 use simnet::SimTime;
 
 use crate::engine::spin_backoff as backoff;
@@ -111,7 +111,7 @@ pub(crate) async fn read_unlocked(
     ep: &Endpoint,
     ptr: RemotePtr,
     page_size: usize,
-) -> Result<Vec<u8>, VerbError> {
+) -> Result<PageBuf, VerbError> {
     let mut attempt = 0u32;
     let mut watch = LeaseWatch::new();
     // Telemetry region state. Opened on the first locked observation and
@@ -155,7 +155,7 @@ pub(crate) async fn read_unlocked(
 pub(crate) async fn lock_node(
     ep: &Endpoint,
     ptr: RemotePtr,
-    page: &mut Vec<u8>,
+    page: &mut PageBuf,
 ) -> Result<u64, VerbError> {
     let mut attempt = 0u32;
     let mut watch = LeaseWatch::new();

@@ -39,7 +39,7 @@
 
 use blink::node::{kind_of, NodeKind};
 use blink::{Key, PageLayout};
-use rdma_sim::{Cluster, Endpoint, RemotePtr, VerbError};
+use rdma_sim::{Cluster, Endpoint, PageBuf, RemotePtr, VerbError};
 
 use crate::cache::CacheLayer;
 
@@ -100,7 +100,7 @@ pub trait NodeSource {
     ) -> Result<RemotePtr, VerbError>;
 
     /// Current bytes of the page at `ptr` (spins past locked copies).
-    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<Vec<u8>, VerbError>;
+    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<PageBuf, VerbError>;
 
     /// Feedback: the descent for `key` ended at the covering leaf
     /// `ptr` whose bytes are `page`.
@@ -171,18 +171,18 @@ impl<S: NodeSource> NodeSource for Cached<'_, S> {
         self.inner.start(ep, key, access).await
     }
 
-    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<Vec<u8>, VerbError> {
+    async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<PageBuf, VerbError> {
         let cache = match self.cache {
             Some(c) if self.inner.cache_policy() == CachePolicy::InnerPages => c,
             _ => return self.inner.load(ep, ptr).await,
         };
         cache.flush_if_restarted();
         if let Some(page) = cache.page_hit(ep.client_id(), ptr) {
-            return Ok(page);
+            return Ok(PageBuf::detached(page));
         }
         let page = self.inner.load(ep, ptr).await?;
         if kind_of(&page) == NodeKind::Inner {
-            cache.put_page(ep.client_id(), ptr, page.clone());
+            cache.put_page(ep.client_id(), ptr, page.to_vec());
         }
         Ok(page)
     }

@@ -121,6 +121,9 @@ struct Inner {
     recovered_hooks: RefCell<Vec<RecoveredHook>>,
     /// Completed crash-recovery cycles, in completion order.
     recovery_log: RefCell<Vec<RecoveryRecord>>,
+    /// Reusable verb-payload buffers shared by every endpoint on this
+    /// cluster; steady-state READs recycle instead of allocating.
+    arena: crate::buf::BufArena,
 }
 
 /// Mutable fault-injection state; see [`crate::fault`].
@@ -271,6 +274,7 @@ impl Cluster {
                 recovering: RefCell::new(vec![false; spec_servers]),
                 recovered_hooks: RefCell::new(Vec::new()),
                 recovery_log: RefCell::new(Vec::new()),
+                arena: crate::buf::BufArena::new(),
             }),
         };
         for (s, sv) in cluster.inner.servers.iter().enumerate() {
@@ -313,6 +317,11 @@ impl Cluster {
 
     pub(crate) fn server(&self, s: usize) -> &MemServer {
         &self.inner.servers[s]
+    }
+
+    /// The cluster's shared verb-buffer arena.
+    pub fn arena(&self) -> &crate::buf::BufArena {
+        &self.inner.arena
     }
 
     /// Allocate a fresh endpoint (client) id.
@@ -426,6 +435,12 @@ impl Cluster {
                         .pool
                         .borrow_mut()
                         .replay_write(*offset, data);
+                }
+                WalRecord::PoolWriteWord { offset, word } => {
+                    self.inner.servers[s]
+                        .pool
+                        .borrow_mut()
+                        .replay_write(*offset, &word.to_le_bytes());
                 }
                 WalRecord::PoolAllocTo { next } => {
                     self.inner.servers[s]

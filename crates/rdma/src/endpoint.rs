@@ -208,16 +208,18 @@ impl Endpoint {
     /// `Durability::Off`. A crash while parked fails the verb like any
     /// other unreachable-server completion — the effect may or may not
     /// survive recovery, and the caller must not treat it as acknowledged.
+    /// `rec` is a thunk so the default [`crate::spec::Durability::Off`]
+    /// path never constructs (or heap-allocates) the record at all.
     async fn make_durable(
         &self,
         s: usize,
-        rec: WalRecord,
+        rec: impl FnOnce() -> WalRecord,
         kind: AttemptKind,
     ) -> Result<(), VerbError> {
         let Some(w) = self.cluster.server_wal(s) else {
             return Ok(());
         };
-        let lsn = w.append(rec);
+        let lsn = w.append(rec());
         match w.wait_durable(lsn).await {
             WaitOutcome::Durable => Ok(()),
             WaitOutcome::Crashed => Err(self.fail_unreachable(s, kind).await),
@@ -246,7 +248,11 @@ impl Endpoint {
     // ------------------------------------------------- one-sided verbs ----
 
     /// One-sided `RDMA_READ` of `len` bytes.
-    pub async fn read(&self, ptr: RemotePtr, len: usize) -> Result<Vec<u8>, VerbError> {
+    ///
+    /// The payload arrives in a recycled [`crate::buf::PageBuf`] from the
+    /// cluster's arena — steady-state descents re-use the same buffers
+    /// instead of allocating per verb.
+    pub async fn read(&self, ptr: RemotePtr, len: usize) -> Result<crate::buf::PageBuf, VerbError> {
         let sim = self.sim();
         let issued = sim.now();
         self.check_alive()?;
@@ -272,7 +278,7 @@ impl Endpoint {
             return Err(self.fail_unreachable(s, AttemptKind::Read).await);
         }
         // Effect at completion: copy the bytes as they are *now*.
-        let mut buf = vec![0u8; len];
+        let mut buf = self.cluster.arena().checkout(len);
         server.pool.borrow().copy_out(ptr.offset(), &mut buf);
         self.emit(s, ptr.offset(), len, VerbKind::Read, issued, queue);
         Ok(buf)
@@ -281,7 +287,10 @@ impl Endpoint {
     /// Fan out one-sided READs (selectively signalled, §4.3): all wires
     /// are reserved immediately and the caller waits for the last
     /// completion, so transfers to different servers overlap.
-    pub async fn read_many(&self, reqs: &[(RemotePtr, usize)]) -> Result<Vec<Vec<u8>>, VerbError> {
+    pub async fn read_many(
+        &self,
+        reqs: &[(RemotePtr, usize)],
+    ) -> Result<Vec<crate::buf::PageBuf>, VerbError> {
         let sim = self.sim();
         let issued = sim.now();
         self.check_alive()?;
@@ -389,10 +398,10 @@ impl Endpoint {
                 return Err(self.fail_unreachable(s, AttemptKind::Read).await);
             }
         }
-        let bufs: Vec<Vec<u8>> = reqs
+        let bufs: Vec<crate::buf::PageBuf> = reqs
             .iter()
             .map(|&(ptr, len)| {
-                let mut buf = vec![0u8; len];
+                let mut buf = self.cluster.arena().checkout(len);
                 self.cluster
                     .server(ptr.server())
                     .pool
@@ -452,7 +461,7 @@ impl Endpoint {
         self.emit(s, ptr.offset(), data.len(), VerbKind::Write, issued, queue);
         self.make_durable(
             s,
-            WalRecord::PoolWrite {
+            || WalRecord::PoolWrite {
                 offset: ptr.offset(),
                 data: data.to_vec(),
             },
@@ -516,11 +525,12 @@ impl Endpoint {
         );
         if prev == expected {
             // Only a successful swap mutates state; log its post-word.
+            // `PoolWriteWord` keeps the 8-byte payload on the stack.
             self.make_durable(
                 s,
-                WalRecord::PoolWrite {
+                || WalRecord::PoolWriteWord {
                     offset: ptr.offset(),
-                    data: new.to_le_bytes().to_vec(),
+                    word: new,
                 },
                 AttemptKind::Cas,
             )
@@ -569,9 +579,9 @@ impl Endpoint {
         );
         self.make_durable(
             s,
-            WalRecord::PoolWrite {
+            || WalRecord::PoolWriteWord {
                 offset: ptr.offset(),
-                data: prev.wrapping_add(add).to_le_bytes().to_vec(),
+                word: prev.wrapping_add(add),
             },
             AttemptKind::Faa,
         )
@@ -618,7 +628,7 @@ impl Endpoint {
         );
         self.make_durable(
             s,
-            WalRecord::PoolAllocTo { next: watermark },
+            || WalRecord::PoolAllocTo { next: watermark },
             AttemptKind::Alloc,
         )
         .await?;

@@ -31,6 +31,7 @@
 //! reproducing the effect §6.1 identifies as the coarse-grained design's
 //! saturation point.
 
+pub mod buf;
 pub mod cluster;
 pub mod endpoint;
 pub mod fault;
@@ -39,6 +40,7 @@ pub mod pool;
 pub mod ptr;
 pub mod spec;
 
+pub use buf::{BufArena, PageBuf};
 pub use cluster::{Cluster, DurableState, RecoveryRecord, ServerStats};
 pub use endpoint::{Endpoint, RpcReply};
 pub use fault::{AttemptKind, FaultStats, LinkDegrade, VerbError};

@@ -40,5 +40,5 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use executor::{FifoPolicy, SchedulePolicy, Sim, TaskId};
+pub use executor::{FifoPolicy, SchedulePolicy, SchedulerKind, Sim, TaskId};
 pub use time::{SimDur, SimTime};

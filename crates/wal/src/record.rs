@@ -41,6 +41,18 @@ pub enum WalRecord {
         /// The bytes the region holds after the write.
         data: Vec<u8>,
     },
+    /// An 8-byte word written to the memory pool at `offset` — the
+    /// post-image of a successful CAS / FETCH_AND_ADD, carried inline so
+    /// the atomic hot path never heap-allocates a payload vector. Encodes
+    /// byte-identically to a [`WalRecord::PoolWrite`] of the word's LE
+    /// bytes (same kind byte, same payload layout); decode always yields
+    /// `PoolWrite`, so recovery is unchanged.
+    PoolWriteWord {
+        /// Pool offset of the first byte.
+        offset: u64,
+        /// The word the region holds after the atomic.
+        word: u64,
+    },
     /// Allocator watermark after an ALLOC verb. Replay takes the max with
     /// the current watermark, so re-application never double-allocates.
     PoolAllocTo {
@@ -78,7 +90,7 @@ pub enum WalRecord {
 impl WalRecord {
     fn kind(&self) -> u8 {
         match self {
-            WalRecord::PoolWrite { .. } => 1,
+            WalRecord::PoolWrite { .. } | WalRecord::PoolWriteWord { .. } => 1,
             WalRecord::PoolAllocTo { .. } => 2,
             WalRecord::TreeUpsert { .. } => 3,
             WalRecord::TreeDelete { .. } => 4,
@@ -92,6 +104,12 @@ impl WalRecord {
                 let mut p = Vec::with_capacity(8 + data.len());
                 p.extend_from_slice(&offset.to_le_bytes());
                 p.extend_from_slice(data);
+                p
+            }
+            WalRecord::PoolWriteWord { offset, word } => {
+                let mut p = Vec::with_capacity(16);
+                p.extend_from_slice(&offset.to_le_bytes());
+                p.extend_from_slice(&word.to_le_bytes());
                 p
             }
             WalRecord::PoolAllocTo { next } => next.to_le_bytes().to_vec(),
@@ -109,6 +127,7 @@ impl WalRecord {
     pub fn encoded_len(&self) -> usize {
         let payload = match self {
             WalRecord::PoolWrite { data, .. } => 8 + data.len(),
+            WalRecord::PoolWriteWord { .. } => 16,
             WalRecord::PoolAllocTo { .. } => 8,
             WalRecord::TreeUpsert { .. } | WalRecord::TreeInsert { .. } => 16,
             WalRecord::TreeDelete { .. } => 8,
@@ -325,6 +344,23 @@ mod tests {
             assert_eq!(decoded.records.len(), 1, "corrupt byte {i}");
             assert_eq!(decoded.records[0].1, a);
         }
+    }
+
+    #[test]
+    fn pool_write_word_encodes_as_pool_write() {
+        let word = WalRecord::PoolWriteWord {
+            offset: 512,
+            word: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        let vec_form = WalRecord::PoolWrite {
+            offset: 512,
+            data: 0xDEAD_BEEF_CAFE_F00Du64.to_le_bytes().to_vec(),
+        };
+        assert_eq!(word.encode(9), vec_form.encode(9));
+        assert_eq!(word.encoded_len(), vec_form.encoded_len());
+        // Decode always yields the general form.
+        let decoded = decode_log(&word.encode(9));
+        assert_eq!(decoded.records, vec![(9, vec_form)]);
     }
 
     #[test]

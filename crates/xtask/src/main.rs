@@ -32,6 +32,11 @@
 //! `crates/mc`): FIFO-policy engine parity, the clean schedule-
 //! exploration matrix, and the two mutation hunts that prove the
 //! checker catches the re-introduced historical bugs.
+//!
+//! `cargo xtask perf-smoke` is the performance gate: engine-parity
+//! digest first (speed from a changed engine is meaningless), then a
+//! quick fig08 run whose events/sec is compared — warn-only, CI
+//! machines vary — against the last entry of `results/BENCH_fig08.json`.
 
 use std::fmt;
 use std::fs;
@@ -583,6 +588,134 @@ fn engine_parity_inner(bless: bool, mc_fifo: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---------------------------------------------------------------------
+// perf-smoke: behaviour-pinned speed check for CI.
+
+/// Pull `(design label, events/sec)` pairs out of a `BENCH_*.json`
+/// trajectory file, keeping the **last** occurrence per design — in the
+/// appended-entries format, later entries supersede earlier ones, and a
+/// legacy single-snapshot file degenerates to the same thing.
+fn bench_design_points(text: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for line in text.lines() {
+        let Some(design) = json_str_field(&line.replace("\": ", "\":"), "design").map(String::from)
+        else {
+            continue;
+        };
+        let Some(eps) = json_num_field(&line.replace("\": ", "\":"), "events_per_sec") else {
+            continue;
+        };
+        if let Some(slot) = out.iter_mut().find(|(d, _)| *d == design) {
+            slot.1 = eps;
+        } else {
+            out.push((design, eps));
+        }
+    }
+    out
+}
+
+/// `cargo xtask perf-smoke` — the CI perf gate, two steps:
+///
+/// 1. **Parity first**: re-run the engine-parity digest check, because a
+///    speed number from a behaviourally-changed engine is meaningless.
+/// 2. **Speed delta, warn-only**: run the quick fig08 sweep (all four
+///    designs) into a scratch results dir and compare its trajectory
+///    events/sec per design against the last appended entry in
+///    `results/BENCH_fig08.json`. Wall-clock speed varies across CI
+///    runners, so a slowdown only *warns*; the committed trajectory is
+///    re-baselined by deliberate fig08 runs on the dev machine.
+fn perf_smoke() -> ExitCode {
+    let code = engine_parity(false);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    let root = repo_root();
+    let dir = root.join("target").join("perf-smoke");
+    if dir.exists() {
+        if let Err(e) = fs::remove_dir_all(&dir) {
+            eprintln!("perf-smoke: cannot clear {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("perf-smoke: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let status = std::process::Command::new("cargo")
+        .current_dir(&root)
+        .env("NAMDEX_QUICK", "1")
+        .env("NAMDEX_RESULTS_DIR", &dir)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "bench",
+            "--bin",
+            "fig08_throughput_unif",
+            "--",
+            "--seed",
+            "42",
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("perf-smoke: fig08_throughput_unif exited with {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("perf-smoke: failed to launch cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let fresh = match fs::read_to_string(dir.join("BENCH_fig08.json")) {
+        Ok(t) => bench_design_points(&t),
+        Err(e) => {
+            eprintln!("perf-smoke: quick run produced no BENCH_fig08.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_path = root.join("results").join("BENCH_fig08.json");
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(t) => bench_design_points(&t),
+        Err(_) => {
+            println!(
+                "perf-smoke: no committed {} — nothing to compare, ok",
+                baseline_path.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+    let mut warned = false;
+    for (design, base_eps) in &baseline {
+        let Some((_, eps)) = fresh.iter().find(|(d, _)| d == design) else {
+            eprintln!("perf-smoke: warning: {design} missing from fresh run");
+            warned = true;
+            continue;
+        };
+        let ratio = if *base_eps > 0.0 { eps / base_eps } else { 1.0 };
+        println!(
+            "perf-smoke: {design}: {:.2}M ev/s vs baseline {:.2}M ({:+.0}%)",
+            eps / 1e6,
+            base_eps / 1e6,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 0.7 {
+            eprintln!(
+                "perf-smoke: warning: {design} events/sec dropped more than 30% \
+                 below the committed trajectory (machine noise, or a real \
+                 event-loop regression — check locally)"
+            );
+            warned = true;
+        }
+    }
+    println!(
+        "perf-smoke: parity ok, speed delta {} (warn-only)",
+        if warned { "WARNED" } else { "clean" }
+    );
+    ExitCode::SUCCESS
+}
+
 /// Run `cargo <args...>` from the repo root, failing loudly.
 fn cargo_step(label: &str, args: &[&str]) -> Result<(), ExitCode> {
     println!("mc: {label}: cargo {}", args.join(" "));
@@ -706,9 +839,10 @@ fn main() -> ExitCode {
         Some("protolint") if args.len() == 1 => protolint_gate(false),
         Some("protolint") if args[1] == "--emit-docs" => protolint_gate(true),
         Some("verb-model") if args.len() == 1 => verb_model(),
+        Some("perf-smoke") if args.len() == 1 => perf_smoke(),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--self-test] | trace-check | engine-parity [--bless] | mc [--quick] | protolint [--emit-docs] | verb-model>"
+                "usage: cargo xtask <lint [--self-test] | trace-check | engine-parity [--bless] | mc [--quick] | protolint [--emit-docs] | verb-model | perf-smoke>"
             );
             ExitCode::FAILURE
         }
@@ -813,6 +947,30 @@ mod tests {
         assert!(validate_trace(&bad).unwrap_err().contains("pid"));
         // Empty array.
         assert!(validate_trace("[\n]").is_err());
+    }
+
+    #[test]
+    fn bench_points_keep_last_entry_per_design() {
+        // Appended-entries shape: the same design appears once per entry;
+        // the later (newer) number must win.
+        let text = "{\n  \"figure\": \"fig08\",\n  \"entries\": [\n\
+            {\"date\": \"2026-07-01\", \"designs\": [\n\
+            {\"design\": \"Hybrid\", \"ops_per_sec\": 1.0, \"sim_events\": 9, \"events_per_sec\": 1000000},\n\
+            {\"design\": \"Learned\", \"ops_per_sec\": 1.0, \"sim_events\": 9, \"events_per_sec\": 1500000}]},\n\
+            {\"date\": \"2026-08-01\", \"designs\": [\n\
+            {\"design\": \"Hybrid\", \"ops_per_sec\": 1.0, \"sim_events\": 9, \"events_per_sec\": 4000000}]}\n\
+            ]\n}\n";
+        let pts = bench_design_points(text);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], ("Hybrid".to_string(), 4_000_000.0));
+        assert_eq!(pts[1], ("Learned".to_string(), 1_500_000.0));
+        // Legacy single-snapshot files parse the same way.
+        let legacy = "{\"designs\": [\n\
+            {\"design\": \"Coarse-Grained\", \"ops_per_sec\": 2.0, \"sim_events\": 3, \"events_per_sec\": 2158651}\n]}";
+        assert_eq!(
+            bench_design_points(legacy),
+            vec![("Coarse-Grained".to_string(), 2_158_651.0)]
+        );
     }
 
     #[test]
