@@ -8,9 +8,11 @@
 //! `PATH.metrics.csv` metrics-registry snapshot next to it. The main
 //! sweeps additionally accept `--cache-capacity N`: attach a client-side
 //! cache of `N` entries (`0` = unbounded) to the pointer-resolving
-//! designs' operation path. Both `--flag N` and `--flag=N` forms work;
-//! flags the binaries do not know are ignored so wrappers can pass extra
-//! arguments through.
+//! designs' operation path, and `--racecheck` (or `NAMDEX_RACECHECK=1`):
+//! install the happens-before race detector on every cluster the sweep
+//! builds and fail the run on any violation. Both `--flag N` and
+//! `--flag=N` forms work; flags the binaries do not know are ignored so
+//! wrappers can pass extra arguments through.
 
 /// Arguments recognised by the experiment binaries.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -24,6 +26,10 @@ pub struct BenchArgs {
     /// `--cache-capacity`: client cache capacity in entries (0 =
     /// unbounded). Absent = caching off.
     pub cache_capacity: Option<usize>,
+    /// `--racecheck`: install the happens-before race detector on the
+    /// cluster and fail the run on any violation. Also settable via
+    /// `NAMDEX_RACECHECK=1`.
+    pub racecheck: bool,
 }
 
 impl BenchArgs {
@@ -52,6 +58,11 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> BenchArgs {
             Some((f, v)) => (f.to_string(), Some(v.to_string())),
             None => (arg, None),
         };
+        if flag == "--racecheck" {
+            // Boolean flag: no value.
+            out.racecheck = true;
+            continue;
+        }
         if !matches!(
             flag.as_str(),
             "--seed" | "--fault-seed" | "--trace" | "--cache-capacity"
@@ -93,6 +104,7 @@ mod tests {
                 fault_seed: Some(9),
                 trace: None,
                 cache_capacity: None,
+                racecheck: false,
             }
         );
     }
@@ -114,6 +126,16 @@ mod tests {
         let eq = parse(&["--cache-capacity=4096"]);
         assert_eq!(eq.cache_capacity, Some(4096));
         assert_eq!(parse(&[]).cache_capacity, None);
+    }
+
+    #[test]
+    fn parses_racecheck_flag() {
+        assert!(parse(&["--racecheck"]).racecheck);
+        // Boolean: consumes no value.
+        let got = parse(&["--racecheck", "--seed", "5"]);
+        assert!(got.racecheck);
+        assert_eq!(got.seed, Some(5));
+        assert!(!parse(&[]).racecheck);
     }
 
     #[test]

@@ -133,6 +133,10 @@ pub struct ExperimentConfig {
     /// (pinned by the scheduler-equivalence golden tests); the knob
     /// exists so those tests can run the same experiment on both.
     pub scheduler: simnet::SchedulerKind,
+    /// Install the happens-before race detector on the cluster and
+    /// panic at the end of the run if any rule fired. Also switched on
+    /// by `--racecheck` on any bench binary or `NAMDEX_RACECHECK=1`.
+    pub racecheck: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -157,6 +161,7 @@ impl Default for ExperimentConfig {
             timeline_window: SimDur::ZERO,
             trace_path: None,
             scheduler: simnet::SchedulerKind::default(),
+            racecheck: false,
         }
     }
 }
@@ -331,6 +336,15 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         tel.install(&nam.rdma);
         tel
     });
+
+    // Happens-before race detector (opt-in; installed before the build
+    // like telemetry so every timed verb of the run is clocked). The
+    // run *fails* on a violation — a race under a bench workload is a
+    // protocol bug, not a statistic.
+    let racecheck_on = cfg.racecheck
+        || crate::cli::parse_args().racecheck
+        || std::env::var_os("NAMDEX_RACECHECK").is_some_and(|v| v == "1");
+    let race = racecheck_on.then(|| racecheck::Racecheck::install(&nam.rdma, cfg.page_size));
 
     let data = Dataset::new(cfg.num_keys);
     let design = build_design(cfg, &nam, data);
@@ -508,6 +522,15 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         }
         _ => Vec::new(),
     };
+
+    if let Some(race) = &race {
+        let c = race.counts();
+        eprintln!(
+            "[racecheck] {} page reads checked, {} racy, {} dirty, {} validated, {} violations",
+            c.reads_checked, c.racy_reads, c.dirty_reads, c.validated, c.violations
+        );
+        race.assert_clean();
+    }
 
     crate::trajectory::meter_record(sim.events_processed(), wall_nanos() - wall_start);
     ExperimentResult {

@@ -225,6 +225,26 @@ fn parse_entries(text: &str) -> Vec<String> {
     Vec::new()
 }
 
+/// Pull the free-form note strings out of a trajectory file's
+/// `"notes": [...]` array (absent in most files). Notes are one-line
+/// strings with no embedded quotes or brackets — `cargo xtask
+/// perf-smoke` appends racecheck-overhead measurements here.
+fn parse_notes(text: &str) -> Vec<String> {
+    let Some(start) = text.find("\"notes\": [") else {
+        return Vec::new();
+    };
+    let body = &text[start + "\"notes\": [".len()..];
+    let Some(end) = body.find(']') else {
+        return Vec::new();
+    };
+    body[..end]
+        .split('"')
+        .skip(1)
+        .step_by(2)
+        .map(String::from)
+        .collect()
+}
+
 fn format_entry(date: &str, seed: u64, points: &[TrajectoryPoint]) -> String {
     let mut e = String::new();
     e.push_str("    {\n");
@@ -258,14 +278,24 @@ pub fn append_bench_json(
     date: &str,
     points: &[TrajectoryPoint],
 ) -> std::io::Result<()> {
-    let mut entries = match std::fs::read_to_string(path) {
-        Ok(old) => parse_entries(&old),
-        Err(_) => Vec::new(),
+    let (mut entries, notes) = match std::fs::read_to_string(path) {
+        Ok(old) => (parse_entries(&old), parse_notes(&old)),
+        Err(_) => (Vec::new(), Vec::new()),
     };
     entries.push(format_entry(date, seed, points));
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"figure\": \"{figure}\",\n"));
+    if !notes.is_empty() {
+        out.push_str("  \"notes\": [\n");
+        for (i, n) in notes.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{n}\"{}\n",
+                if i + 1 == notes.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+    }
     out.push_str("  \"entries\": [\n");
     out.push_str(&entries.join(",\n"));
     out.push_str("\n  ]\n}\n");
@@ -329,6 +359,32 @@ mod tests {
         assert!(text.contains("\"seed\": 7"));
         assert!(text.contains("\"design\": \"Coarse-Grained\""));
         assert!(text.contains("\"date\": \"2026-08-09\""));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn notes_survive_entry_appends() {
+        let dir = std::env::temp_dir().join("namdex_trajectory_notes");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("BENCH_test.json");
+        append_bench_json(&path, "test", 42, "2026-08-01", &pts()).unwrap();
+        // Splice a notes array in the way `cargo xtask perf-smoke` does.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let with_notes = text.replace(
+            "\"figure\": \"test\",",
+            "\"figure\": \"test\",\n  \"notes\": [\n    \
+             \"racecheck-overhead 2026-08-01: Hybrid 1.10x\"\n  ],",
+        );
+        std::fs::write(&path, with_notes).unwrap();
+        assert_eq!(
+            parse_notes(&std::fs::read_to_string(&path).unwrap()),
+            vec!["racecheck-overhead 2026-08-01: Hybrid 1.10x".to_string()]
+        );
+        // The next appended entry must carry the note through.
+        append_bench_json(&path, "test", 42, "2026-08-09", &pts()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("racecheck-overhead 2026-08-01"), "{text}");
+        assert_eq!(text.matches("\"date\":").count(), 2);
         std::fs::remove_dir_all(dir).ok();
     }
 

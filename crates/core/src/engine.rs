@@ -46,7 +46,7 @@ use blink::node::{
     kind_of, HeadNodeRef, InnerNodeMut, InnerNodeRef, LeafNodeMut, LeafNodeRef, NodeKind,
 };
 use blink::{Key, PageLayout, Ptr, Value};
-use rdma_sim::{Endpoint, OpKind, PageBuf, RegionKind, RemotePtr, VerbError};
+use rdma_sim::{Endpoint, FenceKind, OpKind, PageBuf, RegionKind, RemotePtr, VerbError};
 use simnet::SimDur;
 
 use crate::onesided::{lock_node, read_unlocked, release_on_error, unlock_only, write_unlock};
@@ -247,6 +247,9 @@ async fn descend<S: NodeSource>(
         match kind_of(&page) {
             NodeKind::Inner => {
                 let node = InnerNodeRef::new(&page);
+                // `find_child` is this level's fence: it proves the
+                // (optimistically read) inner copy still routes the key.
+                crate::note_fence(ep, FenceKind::Revalidate, cur);
                 match node.find_child(key) {
                     Some(c) => {
                         if let Some(p) = path.as_deref_mut() {
@@ -263,10 +266,25 @@ async fn descend<S: NodeSource>(
                     }
                 }
             }
-            NodeKind::Head => cur = rp(HeadNodeRef::new(&page).right_sibling()),
+            NodeKind::Head => {
+                // Head bytes never escape: only the (append-only)
+                // sibling pointer is consumed — a routing re-check.
+                crate::note_fence(ep, FenceKind::Revalidate, cur);
+                cur = rp(HeadNodeRef::new(&page).right_sibling());
+            }
             NodeKind::Leaf => {
                 let leaf = LeafNodeRef::new(&page);
-                if leaf.covers(key) {
+                // Mutation (race, `mutations` builds under
+                // NAMDEX_RACE_MUT=descend-no-covers): return the leaf
+                // without evaluating the `covers()` fence, letting the
+                // optimistic read escape unvalidated.
+                let valid = if crate::race_mut(crate::RaceMut::DescendNoCovers) {
+                    true
+                } else {
+                    crate::note_fence(ep, FenceKind::Revalidate, cur);
+                    leaf.covers(key)
+                };
+                if valid {
                     src.note_leaf(ep, key, cur, &page);
                     return Ok((cur, page));
                 }
@@ -337,11 +355,15 @@ async fn lock_covering_leaf<S: NodeSource>(
             None => src.load(ep, cur).await?,
         };
         if kind_of(&page) == NodeKind::Head {
+            crate::note_fence(ep, FenceKind::Revalidate, cur);
             cur = rp(HeadNodeRef::new(&page).right_sibling());
             continue;
         }
         lock_node(ep, cur, &mut page).await?;
         let leaf = LeafNodeRef::new(&page);
+        // Coverage re-check *under the lock* (the acquire CAS already
+        // synchronized the copy; this is the semantic fence).
+        crate::note_fence(ep, FenceKind::Revalidate, cur);
         if leaf.covers(key) {
             src.note_leaf(ep, key, cur, &page);
             return Ok((cur, page));
@@ -606,12 +628,14 @@ pub(crate) async fn propagate_split<U: RemoteUpper>(
         loop {
             page = read_unlocked(ep, cur, ps).await?;
             let node = InnerNodeRef::new(&page);
+            crate::note_fence(ep, FenceKind::Revalidate, cur);
             if !node.covers(sep) {
                 cur = rp(node.right_sibling());
                 continue;
             }
             lock_node(ep, cur, &mut page).await?;
             let node = InnerNodeRef::new(&page);
+            crate::note_fence(ep, FenceKind::Revalidate, cur);
             if node.covers(sep) {
                 break;
             }
@@ -705,6 +729,7 @@ async fn path_to_level<U: RemoteUpper>(
         let page = read_unlocked(ep, cur, ps).await?;
         debug_assert_eq!(kind_of(&page), NodeKind::Inner, "levels > 0 are inner");
         let node = InnerNodeRef::new(&page);
+        crate::note_fence(ep, FenceKind::Revalidate, cur);
         if !node.covers(key) {
             cur = rp(node.right_sibling());
             continue;
@@ -756,10 +781,18 @@ pub(crate) async fn scan_chain(
     let mut prefetched: BTreeMap<u64, PageBuf> = BTreeMap::new();
     let mut cur = start;
     let mut pending = start_page;
+    // Unconsumed prefetched pages never escape into the result; tell the
+    // observer bus so pending racy reads on them are closed as discards.
+    let discard_rest = |ep: &Endpoint, rest: &BTreeMap<u64, PageBuf>| {
+        for &raw in rest.keys() {
+            crate::note_fence(ep, FenceKind::Discard, RemotePtr::from_raw(raw));
+        }
+    };
     // protolint: loop(chain) -- one read per chained leaf/head; trip
     // count scales with the range width, not the tree height.
     loop {
         if cur.is_null() {
+            discard_rest(ep, &prefetched);
             return Ok(());
         }
         let page = match pending.take() {
@@ -768,6 +801,10 @@ pub(crate) async fn scan_chain(
                 Some(p)
                     if !blink::layout::lock_word::is_locked(blink::node::version_lock_of(&p)) =>
                 {
+                    // The prefetched copy's lock-word inspection is this
+                    // page's fence: an unlocked snapshot is safe to scan
+                    // under the B-link invariants.
+                    crate::note_fence(ep, FenceKind::Revalidate, cur);
                     p
                 }
                 _ => read_unlocked(ep, cur, ps).await?,
@@ -777,6 +814,7 @@ pub(crate) async fn scan_chain(
             NodeKind::Head => {
                 // Prefetch the whole group with selectively signalled
                 // READs (§4.3) — one latency for the group.
+                crate::note_fence(ep, FenceKind::Revalidate, cur);
                 let head = HeadNodeRef::new(&page);
                 let reqs: Vec<(RemotePtr, usize)> = head
                     .ptrs()
@@ -793,8 +831,10 @@ pub(crate) async fn scan_chain(
             }
             NodeKind::Leaf => {
                 let leaf = LeafNodeRef::new(&page);
+                crate::note_fence(ep, FenceKind::Revalidate, cur);
                 leaf.collect_range(lo, hi, out);
                 if leaf.high_key() >= hi {
+                    discard_rest(ep, &prefetched);
                     return Ok(());
                 }
                 cur = rp(leaf.right_sibling());

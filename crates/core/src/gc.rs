@@ -80,6 +80,13 @@ async fn onesided_chain_gc(
     let mut cur = first;
     while !cur.is_null() {
         let page = read_unlocked(ep, cur, page_size).await?;
+        // Chain-walk fence: the collector consults only monotone
+        // structural fields of the optimistic snapshot — sibling
+        // pointers (pools are bump allocators, pages are never reused)
+        // and delete bits (only ever set). A stale skip is re-collected
+        // by the next pass; a stale compact decision is revalidated by
+        // the lock CAS below before any bytes are rewritten.
+        crate::note_fence(ep, rdma_sim::FenceKind::Revalidate, cur);
         match kind_of(&page) {
             NodeKind::Head => {
                 cur = RemotePtr::from_page_ptr(HeadNodeRef::new(&page).right_sibling());

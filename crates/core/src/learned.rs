@@ -229,6 +229,9 @@ impl Learned {
         let mut table: Vec<(Key, u64)> = Vec::new();
         let mut cur = self.tree.first();
         while !cur.is_null() {
+            // protolint: allow(validated-before-use) -- untimed
+            // control-path snapshot, not a wire READ: a torn chain
+            // aborts the rebuild below (non-chain page kind).
             let page = src.load(cur);
             match kind_of(&page) {
                 NodeKind::Head => cur = rp(HeadNodeRef::new(&page).right_sibling()),
@@ -306,10 +309,16 @@ impl NodeSource for Learned {
         access: OpAccess,
     ) -> Result<RemotePtr, VerbError> {
         self.sync_model();
+        // `sync_model` just reconciled the model against the cluster
+        // restart epoch — the same fence the cache layer evaluates.
+        crate::note_epoch_check(ep);
         let predicted = self.model.borrow().as_ref().map(|m| m.predict(key));
         if let Some(ptr) = predicted {
             self.predictions.set(self.predictions.get() + 1);
             self.predictions_since.set(self.predictions_since.get() + 1);
+            // A prediction is a served client-resident artifact: its
+            // pointer derives from reads of a past leaf-chain snapshot.
+            crate::note_fence(ep, rdma_sim::FenceKind::CachedUse, ptr);
             return Ok(ptr);
         }
         // No model (epoch flush with a server still down, or a torn
@@ -320,6 +329,16 @@ impl NodeSource for Learned {
     }
 
     async fn load(&self, ep: &Endpoint, ptr: RemotePtr) -> Result<rdma_sim::PageBuf, VerbError> {
+        // Mutation (race, `mutations` builds under
+        // NAMDEX_RACE_MUT=learned-no-reread): read the predicted page
+        // raw, skipping `read_unlocked`'s locked-spin re-read, so a
+        // mid-write snapshot can escape into the descent.
+        if crate::race_mut(crate::RaceMut::LearnedNoReread) {
+            // protolint: allow(validated-before-use) -- seeded race
+            // mutation; the clean path below reads through the
+            // self-validating `read_unlocked` primitive.
+            return ep.read(ptr, self.ps()).await;
+        }
         read_unlocked(ep, ptr, self.ps()).await
     }
 

@@ -119,6 +119,77 @@ pub fn mutations_enabled() -> bool {
     cfg!(feature = "mutations")
 }
 
+/// The seeded *race* mutations of `mutations` builds: each one elides a
+/// single read-validation fence so the happens-before race detector
+/// (`crates/racecheck`) and the `validated-before-use` protolint rule
+/// can be mutation-tested. Unlike the always-on historical mutations A/B
+/// these are selected one at a time through the `NAMDEX_RACE_MUT`
+/// environment variable, so one `mutations` binary can hunt each race in
+/// isolation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceMut {
+    /// Drop the `covers()` version re-check in the engine descent: the
+    /// optimistically read leaf escapes into the op result unvalidated.
+    DescendNoCovers,
+    /// Skip the restart-epoch fence (`CacheLayer::flush_if_restarted`)
+    /// in `resolve::Cached`: cached pages/routes survive a server
+    /// restart and are served against the rebuilt pool.
+    CachedNoFence,
+    /// Skip the learned design's locked-page re-read: a predicted leaf
+    /// is read raw instead of through `read_unlocked`, so a mid-write
+    /// snapshot can escape without the spin re-read.
+    LearnedNoReread,
+    /// Reorder the commit: unlock FAA before the final in-place WRITE,
+    /// publishing the version bump while the page bytes still race.
+    UnlockBeforeWrite,
+}
+
+impl RaceMut {
+    /// The `NAMDEX_RACE_MUT` value selecting this mutation.
+    pub fn key(self) -> &'static str {
+        match self {
+            RaceMut::DescendNoCovers => "descend-no-covers",
+            RaceMut::CachedNoFence => "cached-no-fence",
+            RaceMut::LearnedNoReread => "learned-no-reread",
+            RaceMut::UnlockBeforeWrite => "unlock-before-write",
+        }
+    }
+
+    /// All four seeded race mutations.
+    pub const ALL: [RaceMut; 4] = [
+        RaceMut::DescendNoCovers,
+        RaceMut::CachedNoFence,
+        RaceMut::LearnedNoReread,
+        RaceMut::UnlockBeforeWrite,
+    ];
+}
+
+/// Whether `which` is active: `mutations` builds only, and only when
+/// `NAMDEX_RACE_MUT` selects it. Non-mutation builds compile this to
+/// `false` (the env read is behind the `cfg!`).
+pub fn race_mut(which: RaceMut) -> bool {
+    cfg!(feature = "mutations")
+        && std::env::var("NAMDEX_RACE_MUT").map(|v| v == which.key()) == Ok(true)
+}
+
+/// Report a protocol fence evaluation on the page at `ptr` to the
+/// observer bus (race detector). A flag check with no observers.
+pub(crate) fn note_fence(ep: &Endpoint, kind: rdma_sim::FenceKind, ptr: RemotePtr) {
+    if ep.cluster().has_observers() {
+        ep.cluster()
+            .note_fence(ep.client_id(), kind, ptr.server(), ptr.offset());
+    }
+}
+
+/// Report a restart-epoch reconciliation (cache/model flush check) by
+/// this client. A flag check with no observers.
+pub(crate) fn note_epoch_check(ep: &Endpoint) {
+    if ep.cluster().has_observers() {
+        ep.cluster()
+            .note_fence(ep.client_id(), rdma_sim::FenceKind::EpochCheck, 0, 0);
+    }
+}
+
 /// Report an index-level invocation to the observer bus (history
 /// recorders, model checker). A flag check with no observers installed.
 fn note_invoke(ep: &Endpoint, args: OpArgs) {

@@ -262,6 +262,25 @@ pub(crate) async fn write_unlock(
     if let Some((right_ptr, right_page)) = split {
         ep.write(right_ptr, right_page).await?;
     }
+    // Mutation (race, `mutations` builds under
+    // NAMDEX_RACE_MUT=unlock-before-write): publish the unlock/version
+    // bump *before* the in-place write-back, opening a window where a
+    // contender can acquire the lock while the page bytes still race
+    // with this client's deferred WRITE.
+    if crate::race_mut(crate::RaceMut::UnlockBeforeWrite) {
+        let prev = ep.fetch_add(ptr, 1).await?;
+        // Ship the page with the post-unlock word (a plain reorder, not
+        // a stuck lock): readers can now observe a bumped version whose
+        // page bytes have not landed yet.
+        let mut stale = page.to_vec();
+        // protolint: allow(hot-panic) -- fixed [..8] prefix of a page
+        // image that is at least a lock word long by construction.
+        stale[..8].copy_from_slice(&prev.wrapping_add(1).to_le_bytes());
+        // protolint: allow(validated-before-use) -- seeded race
+        // mutation; the clean path below writes before the unlock FAA.
+        ep.write(ptr, &stale).await?;
+        return Ok(());
+    }
     ep.write(ptr, page).await?;
     ep.fetch_add(ptr, 1).await?;
     Ok(())

@@ -39,7 +39,7 @@
 
 use blink::node::{kind_of, NodeKind};
 use blink::{Key, PageLayout};
-use rdma_sim::{Cluster, Endpoint, PageBuf, RemotePtr, VerbError};
+use rdma_sim::{Cluster, Endpoint, FenceKind, PageBuf, RemotePtr, VerbError};
 
 use crate::cache::CacheLayer;
 
@@ -161,9 +161,16 @@ impl<S: NodeSource> NodeSource for Cached<'_, S> {
         access: OpAccess,
     ) -> Result<RemotePtr, VerbError> {
         if let Some(cache) = self.cache {
-            cache.flush_if_restarted();
+            // Mutation (race, `mutations` builds under
+            // NAMDEX_RACE_MUT=cached-no-fence): skip the restart-epoch
+            // fence, serving cached routes against a rebuilt pool.
+            if !crate::race_mut(crate::RaceMut::CachedNoFence) {
+                cache.flush_if_restarted();
+                crate::note_epoch_check(ep);
+            }
             if self.inner.cache_policy() == CachePolicy::Routes {
                 if let Some(ptr) = cache.route_hit(ep.client_id(), key) {
+                    crate::note_fence(ep, FenceKind::CachedUse, ptr);
                     return Ok(ptr);
                 }
             }
@@ -176,8 +183,13 @@ impl<S: NodeSource> NodeSource for Cached<'_, S> {
             Some(c) if self.inner.cache_policy() == CachePolicy::InnerPages => c,
             _ => return self.inner.load(ep, ptr).await,
         };
-        cache.flush_if_restarted();
+        // Mutation (race): same elision as in `start` — see above.
+        if !crate::race_mut(crate::RaceMut::CachedNoFence) {
+            cache.flush_if_restarted();
+            crate::note_epoch_check(ep);
+        }
         if let Some(page) = cache.page_hit(ep.client_id(), ptr) {
+            crate::note_fence(ep, FenceKind::CachedUse, ptr);
             return Ok(PageBuf::detached(page));
         }
         let page = self.inner.load(ep, ptr).await?;

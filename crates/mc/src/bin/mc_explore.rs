@@ -6,9 +6,10 @@
 //! mc_explore replay FILE
 //! ```
 //!
-//! Exit codes: `0` success (explore: zero violations; mutation: both
-//! bugs detected; replay: violation reproduced), `1` violations found
-//! (explore) or replay failed to reproduce, `2` usage error.
+//! Exit codes: `0` success (explore: zero violations; mutation: every
+//! seeded bug — the two historical ones plus the four env-gated race
+//! mutations — detected; replay: violation reproduced), `1` violations
+//! found (explore) or replay failed to reproduce, `2` usage error.
 
 use mc::explore::{explore, run_mutation_hunts, ExploreConfig};
 use mc::Counterexample;

@@ -18,6 +18,9 @@ use std::path::Path;
 pub enum ViolationClass {
     /// History rejected by the linearizability checker.
     Linearizability,
+    /// Happens-before race detector finding (unvalidated optimistic
+    /// read, write-write race, stale-epoch cached use).
+    Racecheck,
     /// Sanitizer protocol finding (race, version tamper, ...).
     Sanitizer,
     /// Lock held by a live owner at quiescence.
@@ -31,6 +34,7 @@ impl ViolationClass {
     pub fn name(self) -> &'static str {
         match self {
             ViolationClass::Linearizability => "linearizability",
+            ViolationClass::Racecheck => "racecheck",
             ViolationClass::Sanitizer => "sanitizer",
             ViolationClass::LockLeak => "lock-leak",
             ViolationClass::TaskLeak => "task-leak",
@@ -41,6 +45,7 @@ impl ViolationClass {
     pub fn parse(s: &str) -> Option<ViolationClass> {
         [
             ViolationClass::Linearizability,
+            ViolationClass::Racecheck,
             ViolationClass::Sanitizer,
             ViolationClass::LockLeak,
             ViolationClass::TaskLeak,
@@ -51,11 +56,15 @@ impl ViolationClass {
 }
 
 /// The most severe violation in `report`, if any. Severity order:
-/// linearizability (user-visible wrong answers) > sanitizer (protocol
-/// broken even if answers happened to be right) > leaks.
+/// linearizability (user-visible wrong answers) > racecheck (a racy
+/// snapshot escaped validation — the precursor of a wrong answer) >
+/// sanitizer (protocol broken even if answers happened to be right) >
+/// leaks.
 pub fn classify(report: &RunReport) -> Option<ViolationClass> {
     if report.lin.is_err() {
         Some(ViolationClass::Linearizability)
+    } else if !report.race_violations.is_empty() {
+        Some(ViolationClass::Racecheck)
     } else if !report.san_violations.is_empty() {
         Some(ViolationClass::Sanitizer)
     } else if !report.held_leaks.is_empty() {
@@ -81,16 +90,23 @@ pub struct Counterexample {
 }
 
 impl Counterexample {
-    /// Serialize to the `namdex-mc counterexample v1` text format.
+    /// Serialize to the `namdex-mc counterexample v2` text format
+    /// (v2 added the `cache` line when scenarios grew a client-side
+    /// cache knob).
     pub fn to_text(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "# namdex-mc counterexample v1");
+        let _ = writeln!(s, "# namdex-mc counterexample v2");
         let _ = writeln!(s, "design: {}", self.scenario.design.name());
         let _ = writeln!(s, "fault: {}", self.scenario.fault.name());
         let _ = writeln!(s, "seed: {}", self.scenario.seed);
         let _ = writeln!(s, "clients: {}", self.scenario.clients);
         let _ = writeln!(s, "ops_per_client: {}", self.scenario.ops_per_client);
         let _ = writeln!(s, "with_scans: {}", self.scenario.with_scans);
+        let cache = match self.scenario.cache_capacity {
+            None => "none".to_string(),
+            Some(c) => c.to_string(),
+        };
+        let _ = writeln!(s, "cache: {cache}");
         let _ = writeln!(s, "violation: {}", self.class.name());
         let _ = writeln!(s, "detail: {}", self.detail.replace('\n', " "));
         let decisions: Vec<String> = self.decisions.iter().map(|d| d.to_string()).collect();
@@ -102,7 +118,7 @@ impl Counterexample {
     /// line, missing field, or version mismatch.
     pub fn from_text(text: &str) -> Option<Counterexample> {
         let mut lines = text.lines();
-        if lines.next()?.trim() != "# namdex-mc counterexample v1" {
+        if lines.next()?.trim() != "# namdex-mc counterexample v2" {
             return None;
         }
         let mut field = |name: &str| -> Option<String> {
@@ -116,6 +132,10 @@ impl Counterexample {
         let clients = field("clients")?.parse().ok()?;
         let ops_per_client = field("ops_per_client")?.parse().ok()?;
         let with_scans = field("with_scans")?.parse().ok()?;
+        let cache_capacity = match field("cache")?.as_str() {
+            "none" => None,
+            c => Some(c.parse().ok()?),
+        };
         let class = ViolationClass::parse(&field("violation")?)?;
         let detail = field("detail")?;
         let raw = field("decisions")?;
@@ -134,6 +154,7 @@ impl Counterexample {
                 clients,
                 ops_per_client,
                 with_scans,
+                cache_capacity,
             },
             class,
             detail,

@@ -114,6 +114,13 @@ fn violation_detail(report: &RunReport) -> String {
             .err()
             .map(|v| v.to_string())
             .unwrap_or_default(),
+        Some(ViolationClass::Racecheck) => format!(
+            "{} by client {} at server {} offset {}",
+            report.race_violations[0].rule,
+            report.race_violations[0].client,
+            report.race_violations[0].server,
+            report.race_violations[0].offset
+        ),
         Some(ViolationClass::Sanitizer) => format!(
             "{:?} at server {} offset {}",
             report.san_violations[0].kind,
@@ -369,6 +376,24 @@ fn hunt(
 ///   CAS-shape check (`VersionProtocol`). Needs an orphaned lock, so it
 ///   is hunted under [`FaultMode::Chaos`] on FG (kill-on-lock-acquire
 ///   plus the verifier scan's lease reclaim).
+///
+/// Four further *race* mutations (env-gated via `NAMDEX_RACE_MUT` so
+/// each is hunted in isolation from one `mutations` binary) re-open
+/// classic optimistic-lock-coupling holes; all four must be caught by
+/// the happens-before detector ([`ViolationClass::Racecheck`]):
+///
+/// * **descend-no-covers** — the descent trusts the leaf it READ
+///   without the `covers()` fence, so a racy snapshot escapes into
+///   lookup results unvalidated.
+/// * **cached-no-fence** — the cache layer skips the restart-epoch
+///   flush, serving cached artifacts against a rebuilt pool (hunted
+///   under [`FaultMode::CrashRecover`] with the cache enabled).
+/// * **learned-no-reread** — the learned design reads predicted leaves
+///   raw instead of through the self-validating spin-read, so a
+///   mid-critical-section (torn) snapshot can escape.
+/// * **unlock-before-write** — the commit path publishes the unlock
+///   FAA before the in-place WRITE, so the deferred WRITE races with
+///   the next acquirer's critical section.
 pub fn run_mutation_hunts(budget: u64, out_dir: &Path) -> Vec<MutationResult> {
     assert!(
         namdex_core::mutations_enabled(),
@@ -402,5 +427,47 @@ pub fn run_mutation_hunts(budget: u64, out_dir: &Path) -> Vec<MutationResult> {
             )
         },
     );
-    vec![a, b]
+    let mut results = vec![a, b];
+    for m in namdex_core::RaceMut::ALL {
+        results.push(hunt_race_mutation(m, budget, out_dir));
+    }
+    results
+}
+
+/// Clears `NAMDEX_RACE_MUT` on scope exit so one process can hunt each
+/// race mutation in isolation (the gate re-reads the env on every call).
+struct RaceMutGuard;
+
+impl Drop for RaceMutGuard {
+    fn drop(&mut self) {
+        std::env::remove_var("NAMDEX_RACE_MUT");
+    }
+}
+
+fn hunt_race_mutation(m: namdex_core::RaceMut, budget: u64, out_dir: &Path) -> MutationResult {
+    std::env::set_var("NAMDEX_RACE_MUT", m.key());
+    let _guard = RaceMutGuard;
+    let (design, fault, cache, base) = match m {
+        // Races need contention, not faults: clean runs, hot keys.
+        namdex_core::RaceMut::DescendNoCovers => (DesignKind::Fg, FaultMode::None, None, 0xC_B06),
+        // Stale cached artifacts need a restart and a cache to be stale.
+        namdex_core::RaceMut::CachedNoFence => (
+            DesignKind::Fg,
+            FaultMode::CrashRecover,
+            Some(0usize),
+            0xD_B06,
+        ),
+        namdex_core::RaceMut::LearnedNoReread => {
+            (DesignKind::Learned, FaultMode::None, None, 0xE_B06)
+        }
+        namdex_core::RaceMut::UnlockBeforeWrite => (DesignKind::Fg, FaultMode::None, None, 0xF_B06),
+    };
+    hunt(m.key(), budget, ViolationClass::Racecheck, out_dir, |i| {
+        (
+            Scenario::point_ops(design, fault, mix3(base, i, 0)).with_cache(cache),
+            PolicyKind::RandomWalk {
+                seed: mix3(base, i, 1),
+            },
+        )
+    })
 }

@@ -30,6 +30,7 @@ use blink::PageLayout;
 use chaos::{ChaosController, FaultPlan};
 use nam::{NamCluster, PartitionMap};
 use namdex_core::{CoarseGrained, Design, FgConfig, FineGrained, Hybrid, Learned};
+use racecheck::Racecheck;
 use rdma_sim::{ClusterSpec, Durability, Endpoint, LinkDegrade};
 use sanitizer::{HeldLock, Sanitizer, Violation};
 use simnet::rng::DetRng;
@@ -136,6 +137,11 @@ pub struct Scenario {
     /// Issue mid-run range scans (forces whole-history linearizability
     /// checking — keep the workload tiny).
     pub with_scans: bool,
+    /// Client-side cache capacity handed to the design build (`Some(0)`
+    /// = unbounded, `None` = caching off). Cache-coherence bugs (a
+    /// cached artifact served against a rebuilt pool) are invisible
+    /// without it.
+    pub cache_capacity: Option<usize>,
 }
 
 impl Scenario {
@@ -148,6 +154,7 @@ impl Scenario {
             clients: 3,
             ops_per_client: 12,
             with_scans: false,
+            cache_capacity: None,
         }
     }
 
@@ -160,7 +167,15 @@ impl Scenario {
             clients: 2,
             ops_per_client: 5,
             with_scans: true,
+            cache_capacity: None,
         }
+    }
+
+    /// Same scenario with the client-side cache enabled (`Some(0)` =
+    /// unbounded).
+    pub fn with_cache(mut self, capacity: Option<usize>) -> Scenario {
+        self.cache_capacity = capacity;
+        self
     }
 }
 
@@ -198,6 +213,9 @@ pub struct RunReport {
     pub lin: Result<CheckStats, LinViolation>,
     /// Sanitizer findings (protocol races, version tampering, ...).
     pub san_violations: Vec<Violation>,
+    /// Happens-before race detector findings (unvalidated optimistic
+    /// reads, write-write races, stale-epoch cached uses).
+    pub race_violations: Vec<racecheck::Violation>,
     /// Locks still held at quiescence by *live* clients (dead owners
     /// are excused under [`FaultMode::Chaos`] — lease recovery frees
     /// them lazily on next touch).
@@ -228,6 +246,7 @@ impl RunReport {
     pub fn clean(&self) -> bool {
         self.lin.is_ok()
             && self.san_violations.is_empty()
+            && self.race_violations.is_empty()
             && self.held_leaks.is_empty()
             && self.task_leak == 0
     }
@@ -325,14 +344,15 @@ pub fn value_of(key: u64) -> u64 {
     key ^ 0xABCD
 }
 
-fn build(kind: DesignKind, nam: &NamCluster) -> Design {
+fn build(sc: &Scenario, nam: &NamCluster) -> Design {
+    let kind = sc.design;
     let items = (0..LOAD_UNITS).map(|i| (i * 8, i));
     let partition = PartitionMap::range_uniform(nam.num_servers(), LOAD_UNITS * 8);
     let cfg = FgConfig {
         layout: PageLayout::new(PAGE_SIZE),
         fill: 0.7,
         head_stride: 4,
-        cache_capacity: None,
+        cache_capacity: sc.cache_capacity,
     };
     match kind {
         DesignKind::Cg => Design::Cg(CoarseGrained::build(
@@ -471,10 +491,11 @@ pub fn run_scenario_with_history(
         _ => ClusterSpec::default(),
     };
     let nam = NamCluster::new(&sim, spec);
-    let idx = build(sc.design, &nam);
+    let idx = build(sc, &nam);
     let recorder = HistoryRecorder::install(&nam.rdma);
     let san = Sanitizer::install(&nam.rdma, PAGE_SIZE);
     sanitizer::walk::register_design(&san, &idx);
+    let race = Racecheck::install(&nam.rdma, PAGE_SIZE);
 
     let eps: Vec<Endpoint> = (0..sc.clients).map(|_| Endpoint::new(&nam.rdma)).collect();
     match sc.fault {
@@ -530,6 +551,7 @@ pub fn run_scenario_with_history(
     let report = RunReport {
         lin,
         san_violations: san.violations(),
+        race_violations: race.violations(),
         held_leaks,
         task_leak,
         end_nanos: end.as_nanos(),

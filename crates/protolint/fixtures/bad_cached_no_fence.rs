@@ -1,0 +1,14 @@
+//! Negative fixture: the `cached-no-fence` race shape — a client-side
+//! cached page served without first reconciling against the cluster
+//! restart epoch. After a server crash the backing pool is rebuilt; the
+//! cached artifact points into memory that no longer exists, and only
+//! the `flush_if_restarted()` fence before the hit can notice.
+
+// protolint: entry, expect(validated-before-use)
+async fn cached_lookup(ep: &Endpoint, cache: &CacheLayer, ptr: RemotePtr) -> Result<u64, VerbError> {
+    if let Some(page) = cache.page_hit(ep.client_id(), ptr) {
+        return Ok(head_value(page));
+    }
+    let page = fetch_validated(ep, ptr).await?;
+    Ok(head_value(page))
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: the `descend-no-covers` race shape — an optimistic
+//! descent that trusts every snapshot outright. No `covers()` re-check,
+//! no `find_child()` re-derivation, no lock-word probe: a page split
+//! concurrently with the READ routes the lookup to a node that no
+//! longer covers the key, and nothing ever notices.
+
+// protolint: entry, expect(validated-before-use)
+async fn lookup_trusting(ep: &Endpoint, ptr: RemotePtr, key: u64) -> Result<u64, VerbError> {
+    let page = ep.read(ptr).await?;
+    // Route straight off the raw bytes — the snapshot may predate a
+    // split that moved `key` to a sibling.
+    let child = raw_child_ptr(page, key);
+    let leaf = ep.read(child).await?;
+    Ok(head_value(leaf))
+}

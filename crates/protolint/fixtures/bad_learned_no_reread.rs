@@ -1,0 +1,13 @@
+//! Negative fixture: the `learned-no-reread` race shape — a learned
+//! model's leaf route served without the `sync_model()` restart-epoch
+//! reconciliation. The model was trained against a pre-crash pool; its
+//! prediction is a pointer into rebuilt memory, and the route is used
+//! with no fence between training epoch and serving epoch.
+
+// protolint: entry, expect(validated-before-use)
+async fn routed_lookup(ep: &Endpoint, model: &Model, key: u64) -> Result<u64, VerbError> {
+    if let Some(leaf) = model.route_hit(ep.client_id(), key) {
+        return Ok(probe_rpc(ep, leaf, key).await?);
+    }
+    Ok(probe_rpc(ep, root_of(model), key).await?)
+}

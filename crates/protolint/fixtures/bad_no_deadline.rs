@@ -5,5 +5,7 @@
 // protolint: entry, expect(deadline-thread)
 async fn probe_fresh_endpoint(cluster: &Cluster, ptr: RemotePtr) -> Result<u64, VerbError> {
     let ep = Endpoint::new(cluster);
+    // protolint: allow(validated-before-use) -- single-rule probe
+    // for deadline threading; validation is out of scope here.
     ep.read(ptr).await
 }

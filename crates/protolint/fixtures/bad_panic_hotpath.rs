@@ -5,6 +5,8 @@
 // protolint: entry, expect(hot-panic)
 async fn fetch_unchecked(ep: &Endpoint, ptrs: Vec<RemotePtr>, i: usize) -> Result<u64, VerbError> {
     let ptr = ptrs[i]; // indexing can panic
+    // protolint: allow(validated-before-use) -- single-rule probe
+    // for panic freedom; validation is out of scope here.
     let v = ep.read(ptr).await.unwrap(); // unwrap can panic
     Ok(v)
 }

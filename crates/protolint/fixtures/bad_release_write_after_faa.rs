@@ -1,0 +1,16 @@
+//! Negative fixture: the `unlock-before-write` race shape — a
+//! commit-release helper that publishes the unlock FAA *before* the
+//! in-place write-back. The release edge lands first, so a contender
+//! can acquire the lock (or an optimistic reader can trust the bumped
+//! version) while the page bytes are still in flight.
+
+// protolint: role(commit-release), primitive, entry, expect(validated-before-use)
+async fn write_unlock_reordered(
+    ep: &Endpoint,
+    ptr: RemotePtr,
+    page: &[u8],
+) -> Result<(), VerbError> {
+    ep.fetch_add(ptr, 1).await?;
+    ep.write(ptr, page).await?;
+    Ok(())
+}

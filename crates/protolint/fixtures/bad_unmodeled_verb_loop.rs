@@ -10,6 +10,6 @@ async fn chase_unannotated(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbErr
         if is_leaf(page) {
             return Ok(head_value(page));
         }
-        cur = next_ptr(page);
+        cur = find_child(page);
     }
 }

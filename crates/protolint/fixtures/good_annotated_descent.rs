@@ -12,6 +12,6 @@ async fn chase_annotated(ep: &Endpoint, ptr: RemotePtr) -> Result<u64, VerbError
         if is_leaf(page) {
             return Ok(head_value(page));
         }
-        cur = next_ptr(page);
+        cur = find_child(page);
     }
 }

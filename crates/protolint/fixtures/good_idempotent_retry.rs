@@ -4,6 +4,8 @@
 
 async fn attempt_lookup(ep: &Endpoint, key: u64) -> Result<u64, VerbError> {
     let ptr = ptr_of(key);
+    // protolint: allow(validated-before-use) -- single-rule probe
+    // for retry idempotence; validation is out of scope here.
     ep.read(ptr).await
 }
 

@@ -1,0 +1,47 @@
+//! False-positive guard: the disciplined twins of the four
+//! `validated-before-use` shapes. Optimistic reads re-derive the route
+//! via `find_child` and re-check coverage via `covers`; cached hits sit
+//! behind the `flush_if_restarted` restart-epoch fence; the
+//! commit-release helper writes back before the unlock FAA. Must
+//! produce no findings.
+
+// protolint: entry
+async fn lookup_validated(ep: &Endpoint, ptr: RemotePtr, key: u64) -> Result<u64, VerbError> {
+    let page = ep.read(ptr).await?;
+    if !covers(page, key) {
+        return Err(VerbError::Cancelled);
+    }
+    let child = find_child(page);
+    let leaf = ep.read(child).await?;
+    if !covers(leaf, key) {
+        return Err(VerbError::Cancelled);
+    }
+    Ok(head_value(leaf))
+}
+
+// protolint: entry
+async fn cached_lookup_fenced(
+    ep: &Endpoint,
+    cache: &CacheLayer,
+    ptr: RemotePtr,
+    key: u64,
+) -> Result<u64, VerbError> {
+    cache.flush_if_restarted();
+    if let Some(page) = cache.page_hit(ep.client_id(), ptr) {
+        if covers(page, key) {
+            return Ok(head_value(page));
+        }
+    }
+    lookup_validated(ep, ptr, key).await
+}
+
+// protolint: role(commit-release), primitive, entry
+async fn write_unlock_ordered(
+    ep: &Endpoint,
+    ptr: RemotePtr,
+    page: &[u8],
+) -> Result<(), VerbError> {
+    ep.write(ptr, page).await?;
+    ep.fetch_add(ptr, 1).await?;
+    Ok(())
+}

@@ -13,7 +13,12 @@
 //! * **retry/deadline discipline** — `retry-idempotent`,
 //!   `deadline-thread`;
 //! * **panic freedom** — `hot-panic` plus the `unmodeled-*` fences that
-//!   keep the model honest when new verbs or loops appear.
+//!   keep the model honest when new verbs or loops appear;
+//! * **validation discipline** — `validated-before-use`: optimistic
+//!   reads must carry validation vocabulary, cached-artifact uses must
+//!   sit behind a restart-epoch fence, and release-role functions must
+//!   not WRITE after the unlock FAA (the static twin of the `racecheck`
+//!   crate's dynamic happens-before rules).
 //!
 //! The same walker, run in Cost mode, produces the static verbs-per-op
 //! table that `verb_model_check` cross-checks against simulator

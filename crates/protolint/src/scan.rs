@@ -1,10 +1,11 @@
 //! Structural rules over every function reachable from a protocol
-//! root: panic-freedom (`hot-panic`) and deadline threading
-//! (`deadline-thread`). These are token-shape scans — no path
+//! root: panic-freedom (`hot-panic`), deadline threading
+//! (`deadline-thread`) and validation-before-use
+//! (`validated-before-use`). These are token-shape scans — no path
 //! sensitivity needed.
 
 use crate::analyze::{ep_verb, Analysis, Finding};
-use crate::lex::Kind;
+use crate::lex::{AnnItem, Kind};
 use crate::syntax::Tree;
 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
@@ -114,16 +115,163 @@ fn scan_trees(trees: &[Tree], has_ep: bool, out: &mut Vec<(&'static str, u32, St
     }
 }
 
+/// One call site, in source-token order: `(name, was-method-call, line)`.
+type CallSite = (String, bool, u32);
+
+/// Flatten every call in `trees` (free `name(...)` and method
+/// `.name(...)`) in token order, recursing into argument groups.
+fn collect_calls(trees: &[Tree], out: &mut Vec<CallSite>) {
+    for (k, t) in trees.iter().enumerate() {
+        match t {
+            Tree::T(tok) if tok.kind == Kind::Ident => {
+                let next_call = trees
+                    .get(k + 1)
+                    .and_then(|n| n.group())
+                    .map(|g| g.open == '(')
+                    .unwrap_or(false);
+                if next_call {
+                    let after_dot = k > 0 && trees[k - 1].is_punct(".");
+                    out.push((tok.text.clone(), after_dot, tok.line));
+                }
+            }
+            Tree::G(g) => collect_calls(&g.items, out),
+            _ => {}
+        }
+    }
+}
+
+/// Dot-method reads whose bytes arrive optimistically (the snapshot may
+/// race with a concurrent writer). `read_unlocked` is deliberately
+/// absent: it spin-rereads until the lock word is clean, so the
+/// primitive validates its own snapshot.
+const VBU_READS: [&str; 3] = ["read", "read_many", "load"];
+
+/// Calls that validate an optimistic snapshot: version / fence
+/// re-checks, lock-word probes, and structural probes that re-derive
+/// the route. A lock-word `.cas(...)` also counts (checked by shape in
+/// [`vbu_scan`], since `cas` must be a method call).
+const VBU_MARKERS: [&str; 7] = [
+    "covers",
+    "find_child",
+    "is_locked",
+    "version_lock_of",
+    "version_of",
+    "contains",
+    "live_count",
+];
+
+/// Cached-artifact uses that must be preceded by a restart-epoch fence.
+const VBU_CACHED: [&str; 2] = ["page_hit", "route_hit"];
+
+/// Restart-epoch fences that make a later cached-artifact use safe.
+const VBU_EPOCH_FENCES: [&str; 2] = ["flush_if_restarted", "sync_model"];
+
+/// `validated-before-use` over one function's flattened call sequence.
+///
+/// Three shapes, one discipline — remote bytes must not flow into a
+/// result without a happens-before-restoring check:
+///
+/// * a function issuing optimistic reads (`.read` / `.read_many` /
+///   `.load`) must contain validation vocabulary *somewhere*: a
+///   version/fence re-check, a structural probe, or a lock CAS (a read
+///   under the lock is not optimistic; a CAS after the read validates
+///   the word it observed). Call order is deliberately ignored — the
+///   validating re-check of a loop iteration's read commonly sits at
+///   the top of the next iteration, which token order cannot see;
+/// * a cached-artifact use (`page_hit` / `route_hit`) must be preceded
+///   by a restart-epoch fence (`flush_if_restarted` / `sync_model`) —
+///   here the fence genuinely must come first;
+/// * in a release-role function, no in-place WRITE may follow the
+///   unlock FAA — the page must be published before the release edge.
+fn vbu_scan(
+    calls: &[CallSite],
+    anns: &[AnnItem],
+    acquire_names: &[&str],
+    out: &mut Vec<(&'static str, u32, String)>,
+) {
+    let is_marker = |c: &CallSite| {
+        (c.1 && c.0 == "cas")
+            || VBU_MARKERS.contains(&c.0.as_str())
+            || acquire_names.contains(&c.0.as_str())
+    };
+    if !calls.iter().any(is_marker) {
+        if let Some(c) = calls
+            .iter()
+            .find(|c| c.1 && VBU_READS.contains(&c.0.as_str()))
+        {
+            out.push((
+                "validated-before-use",
+                c.2,
+                format!(
+                    "optimistic `.{}(...)` is never validated: the function \
+                     contains no version/fence re-check \
+                     (covers/find_child/lock-word probe) or lock CAS, so the \
+                     bytes can escape into a result unchecked",
+                    c.0
+                ),
+            ));
+        }
+    }
+    if let Some(c) = calls.iter().enumerate().find_map(|(i, c)| {
+        (VBU_CACHED.contains(&c.0.as_str())
+            && !calls[..i]
+                .iter()
+                .any(|p| VBU_EPOCH_FENCES.contains(&p.0.as_str())))
+        .then_some(c)
+    }) {
+        out.push((
+            "validated-before-use",
+            c.2,
+            format!(
+                "cached artifact served via `{}(...)` without a preceding \
+                 restart-epoch fence (flush_if_restarted/sync_model): a \
+                 server restart leaves the cache pointing into a rebuilt pool",
+                c.0
+            ),
+        ));
+    }
+    let release_role = anns
+        .iter()
+        .any(|a| matches!(a, AnnItem::Role(r) if r == "release" || r == "commit-release"));
+    if release_role {
+        if let Some(fa) = calls.iter().position(|c| c.1 && c.0 == "fetch_add") {
+            if let Some(w) = calls[fa + 1..].iter().find(|c| c.1 && c.0 == "write") {
+                out.push((
+                    "validated-before-use",
+                    w.2,
+                    "in-place WRITE after the unlock FAA: the release edge is \
+                     published before the page bytes land, so a concurrent \
+                     optimistic reader races with this write by construction"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
 impl Analysis<'_> {
     /// Run the structural rules over every visited function.
     pub fn structural_scan(&mut self) {
         let prog = self.prog;
+        let acquire_names: Vec<&str> = prog
+            .fns
+            .iter()
+            .filter(|f| {
+                f.anns
+                    .iter()
+                    .any(|a| matches!(a, AnnItem::Role(r) if r == "acquire"))
+            })
+            .map(|f| f.name.as_str())
+            .collect();
         let visited: Vec<usize> = self.visited.iter().copied().collect();
         for fi in visited {
             let f = &prog.fns[fi];
             let has_ep = f.params.iter().any(|p| p == "ep");
             let mut raw = Vec::new();
             scan_trees(&f.body, has_ep, &mut raw);
+            let mut calls = Vec::new();
+            collect_calls(&f.body, &mut calls);
+            vbu_scan(&calls, &f.anns, &acquire_names, &mut raw);
             let mut deadline_done = false;
             for (rule, line, msg) in raw {
                 if rule == "deadline-thread" {

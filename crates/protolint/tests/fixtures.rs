@@ -56,6 +56,7 @@ fn fixture_corpus_covers_all_rule_families() {
         "retry-idempotent",
         "hot-panic",
         "deadline-thread",
+        "validated-before-use",
     ] {
         assert!(covered.contains(rule), "no fixture exercises `{rule}`");
     }

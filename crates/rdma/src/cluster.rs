@@ -806,6 +806,21 @@ impl Cluster {
         self.each_observer(|o| o.on_region(client, kind, enter, now));
     }
 
+    /// Report that `client` evaluated a protocol-level fence on the page
+    /// at `(server, offset)` (see [`crate::observer::FenceKind`]). The
+    /// engine calls this through [`Cluster::has_observers`]-guarded
+    /// helpers; with no observers it is never reached.
+    pub fn note_fence(
+        &self,
+        client: u64,
+        kind: crate::observer::FenceKind,
+        server: usize,
+        offset: u64,
+    ) {
+        let now = self.inner.sim.now();
+        self.each_observer(|o| o.on_fence(client, kind, server, offset, now));
+    }
+
     /// Report a cluster-scoped labelled instant (fault injection etc.).
     pub fn note_instant(&self, label: &str) {
         let now = self.inner.sim.now();

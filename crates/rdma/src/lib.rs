@@ -45,7 +45,7 @@ pub use cluster::{Cluster, DurableState, RecoveryRecord, ServerStats};
 pub use endpoint::{Endpoint, RpcReply};
 pub use fault::{AttemptKind, FaultStats, LinkDegrade, VerbError};
 pub use observer::{
-    OpArgs, OpKind, OpOutcome, RegionKind, RpcEvent, VerbEvent, VerbKind, VerbObserver,
+    FenceKind, OpArgs, OpKind, OpOutcome, RegionKind, RpcEvent, VerbEvent, VerbKind, VerbObserver,
 };
 pub use pool::MemPool;
 pub use ptr::{PtrDecodeError, RemotePtr};

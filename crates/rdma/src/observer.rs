@@ -188,6 +188,32 @@ impl RegionKind {
     }
 }
 
+/// A protocol-level fence the index engine evaluated (see
+/// [`VerbObserver::on_fence`]). These notes carry no simulated cost and
+/// exist so race detectors can tell a *validated* optimistic read (the
+/// engine re-checked a version/fence before letting the bytes escape
+/// into a result) from an unvalidated one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FenceKind {
+    /// A version/fence re-check (`covers()`, `find_child()`, lock-word
+    /// inspection) was *evaluated* on the page at `(server, offset)`,
+    /// whatever its outcome — a failed check that discards the bytes is
+    /// still a performed re-check.
+    Revalidate,
+    /// The bytes read from `(server, offset)` were discarded without
+    /// flowing into an op result (e.g. an unconsumed prefetched page).
+    Discard,
+    /// A client-resident cached artifact derived from `(server, offset)`
+    /// — a cached inner page, a leaf route, a learned-model prediction —
+    /// was served without touching the wire.
+    CachedUse,
+    /// The client reconciled its cached state against the cluster
+    /// restart epoch (cache/model wholesale-flush check). `server` and
+    /// `offset` are zero; the event covers all of the client's cached
+    /// artifacts.
+    EpochCheck,
+}
+
 pub use crate::fault::AttemptKind;
 
 /// Receiver for verb events and reclamation notices.
@@ -259,6 +285,16 @@ pub trait VerbObserver {
     /// human-readable label. Default: ignore.
     fn on_instant(&self, label: &str, time: SimTime) {
         let _ = (label, time);
+    }
+
+    /// `client` evaluated a protocol-level fence: a version/fence
+    /// re-check on a page, a discard of never-escaping bytes, a served
+    /// cached artifact, or a restart-epoch reconciliation. Fires
+    /// synchronously from the index engine with no simulated cost; race
+    /// detectors use it to close (or open) validation windows on
+    /// optimistic reads. Default: ignore.
+    fn on_fence(&self, client: u64, kind: FenceKind, server: usize, offset: u64, time: SimTime) {
+        let _ = (client, kind, server, offset, time);
     }
 
     /// `server` finished crash recovery: its memory now holds the

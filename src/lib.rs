@@ -23,6 +23,7 @@
 //! | [`model`] | `analysis` | the §2.3 analytical scalability model |
 //! | [`chaos`] | `chaos` | deterministic fault injection: fault plans, client kills, server crashes, link degradation |
 //! | [`telemetry`] | `telemetry` | metrics registry, causal op spans, Chrome-trace/Perfetto export |
+//! | [`racecheck`] | `racecheck` | happens-before race detector: vector-clock checking of optimistic reads over the verb-observer bus |
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,7 @@ pub use blink as tree;
 pub use chaos;
 pub use nam as cluster;
 pub use namdex_core as index;
+pub use racecheck;
 pub use rdma_sim as rdma;
 #[cfg(feature = "sanitizer")]
 pub use sanitizer;
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use namdex_core::{
         CoarseGrained, Design, FgConfig, FineGrained, Hybrid, Learned, LearnedStats, OpError,
     };
+    pub use racecheck::Racecheck;
     pub use rdma_sim::{
         Cluster, ClusterSpec, Durability, Endpoint, LinkDegrade, RecoveryRecord, RemotePtr,
         VerbError, WalStats,
